@@ -1,0 +1,159 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* control-name methodology (Section 4.3) — without controls, wildcard
+  and default-A zones massively inflate "discoveries";
+* routing-table filter (Section 4.3) — without it, misconfigured
+  servers add false positives;
+* label-frequency threshold — candidate count vs discovery yield;
+* streaming vs batch CT monitoring (Section 6) — the two observed
+  latency populations;
+* Chrome log-diversity policy (Section 2) — concentration vs
+  compliance of the CAs' log selections.
+"""
+
+from datetime import date, timedelta
+
+import pytest
+from conftest import ENUM_DOMAIN_SCALE, record_artifact
+
+from repro.core import enumeration, leakage
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture(scope="module")
+def enum_setup(enum_corpus):
+    stats = leakage.analyze_names(enum_corpus.ct_fqdns, enum_corpus.psl)
+    plan = enumeration.construct_candidates(stats, enum_corpus)
+    truth = enumeration.build_ground_truth(plan, seed=1717)
+    return stats, plan, truth
+
+
+def test_bench_ablation_controls_and_filter(benchmark, enum_setup):
+    """Discovery counts with and without the two safeguards."""
+    _, plan, truth = enum_setup
+
+    def run():
+        return enumeration.verify_candidates(
+            plan, truth, seed=81, with_ablations=True
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: Section 4.3 safeguards",
+        f"  full methodology:      {result.discovered} discoveries",
+        f"  without controls:      {result.discovered_without_controls} "
+        f"({result.discovered_without_controls / max(1, result.discovered):.1f}x inflated)",
+        f"  without routing filter: {result.discovered_without_routing_filter} "
+        f"(+{result.discovered_without_routing_filter - result.discovered} false positives)",
+    ]
+    record_artifact("ablation_safeguards", "\n".join(lines))
+    # Controls matter by ~3-4x (29 % wildcard zones vs 9 % genuine).
+    assert result.discovered_without_controls > 3 * result.discovered
+    # The routing filter removes a real, non-zero false-positive tail.
+    assert result.discovered_without_routing_filter > result.discovered * 1.02
+
+
+def test_bench_ablation_label_threshold(benchmark, enum_corpus, enum_setup):
+    """Sweep the >=100k label filter: candidates vs yield."""
+    stats, _, _ = enum_setup
+    thresholds = [20_000, 50_000, 100_000, 200_000, 400_000]
+
+    def sweep():
+        rows = []
+        for threshold in thresholds:
+            config = enumeration.EnumerationConfig(
+                min_label_occurrences=threshold
+            )
+            plan = enumeration.construct_candidates(stats, enum_corpus, config)
+            rows.append((threshold, len(plan.eligible_labels), len(plan.candidates)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: label-frequency threshold (real-unit threshold, labels, candidates)"]
+    for threshold, labels, candidates in rows:
+        lines.append(f"  >={threshold:>7}: {labels:3d} labels, {candidates:7d} candidates")
+    record_artifact("ablation_threshold", "\n".join(lines))
+    candidates = [c for _, _, c in rows]
+    assert candidates == sorted(candidates, reverse=True)
+    assert candidates[-1] < candidates[0]
+
+
+def test_bench_ablation_streaming_vs_batch(benchmark, fresh_setup=None):
+    """The two latency populations of Section 6.2."""
+    from repro.ct.loglist import build_default_logs
+    from repro.ct.monitor import BatchMonitor, StreamingMonitor
+    from repro.util.timeutil import utc_datetime
+    from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    log = logs["Google Icarus log"]
+    ca = CertificateAuthority("Ablation CA", key_bits=256)
+    base = utc_datetime(2018, 4, 30, 13, 0)
+    for i in range(60):
+        ca.issue(IssuanceRequest((f"ab{i}.example",)), [log],
+                 base + timedelta(minutes=7 * i))
+
+    def observe():
+        stream = StreamingMonitor("stream", SeededRng(1), latency_range_s=(72, 180))
+        batch = BatchMonitor("batch", SeededRng(2), interval=timedelta(hours=2))
+        return (
+            [o.latency_seconds for o in stream.observe(log)],
+            [o.latency_seconds for o in batch.observe(log)],
+        )
+
+    stream_lat, batch_lat = benchmark.pedantic(observe, rounds=1, iterations=1)
+    mean_stream = sum(stream_lat) / len(stream_lat)
+    mean_batch = sum(batch_lat) / len(batch_lat)
+    lines = [
+        "Ablation: streaming vs batch CT monitoring latency",
+        f"  streaming: mean {mean_stream:6.0f}s  min {min(stream_lat):6.0f}s  max {max(stream_lat):6.0f}s",
+        f"  batch:     mean {mean_batch:6.0f}s  min {min(batch_lat):6.0f}s  max {max(batch_lat):6.0f}s",
+        f"  -> the paper's two query populations: minutes vs >=1-2 hours",
+    ]
+    record_artifact("ablation_monitoring", "\n".join(lines))
+    assert max(stream_lat) <= 180
+    assert mean_batch > 10 * mean_stream
+    # 2h batch interval: latencies spread up to the full interval.
+    assert max(batch_lat) > 3_600
+
+
+def test_bench_ablation_policy_diversity(benchmark, evolution_run):
+    """How the big CAs' log selections fare under Chrome's policy, and
+    what happens when the overloaded Nimbus log is disqualified."""
+    from repro.ct.policy import ChromeCTPolicy
+
+    logs = evolution_run.logs
+    policy = ChromeCTPolicy(logs)
+    april_pairs = [
+        pair for pair in evolution_run.issued
+        if pair.final_certificate.not_before.date() >= date(2018, 4, 1)
+    ]
+
+    def evaluate():
+        return [
+            policy.evaluate(pair.final_certificate, list(pair.scts))
+            for pair in april_pairs
+        ]
+
+    verdicts = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    compliant = sum(1 for v in verdicts if v.compliant)
+
+    nimbus = logs["Cloudflare Nimbus2018 Log"]
+    nimbus.disqualified = True
+    after = [
+        policy.evaluate(pair.final_certificate, list(pair.scts))
+        for pair in april_pairs
+    ]
+    nimbus.disqualified = False
+    compliant_after = sum(1 for v in after if v.compliant)
+    lines = [
+        "Ablation: Chrome log-diversity policy vs log concentration",
+        f"  April 2018 certificates evaluated: {len(verdicts)}",
+        f"  compliant with Nimbus qualified:    {compliant} ({compliant / len(verdicts):.0%})",
+        f"  compliant after Nimbus disqualified: {compliant_after} ({compliant_after / len(verdicts):.0%})",
+        "  -> concentrating on few logs makes the ecosystem fragile (Section 2)",
+    ]
+    record_artifact("ablation_policy", "\n".join(lines))
+    # Disqualifying the single overloaded log knocks out a large share
+    # of fresh certificates — the fragility the paper warns about.
+    assert compliant_after < compliant * 0.75

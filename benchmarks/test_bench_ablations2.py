@@ -1,0 +1,95 @@
+"""Further ablations: leak channels and countermeasures.
+
+* **rDNS discipline (Section 6.1)** — the honeypot deliberately kept
+  its unique IPv6 addresses out of the rDNS tree "to avoid discovery
+  through rDNS walking".  We quantify the alternative channels: had
+  PTRs been published, a tree walker finds every address in a few
+  hundred queries; random IPv6 scanning never finds them; CT leaks
+  them in ~90 seconds regardless.
+* **Label redaction (Section 4)** — the countermeasure CT never
+  standardized: how much of Table 2's leakage each policy removes, and
+  how much of the Section 5 defender visibility it costs.
+"""
+
+from conftest import record_artifact
+
+from repro.core.honeypot import CtHoneypotExperiment
+from repro.ct.redaction import RedactionPolicy, leakage_reduction
+from repro.dnscore.rdns import (
+    ReverseZone,
+    random_ipv6_scan_hit_probability,
+    walk_rdns_tree,
+)
+
+
+def test_bench_ablation_rdns_discipline(benchmark):
+    result = CtHoneypotExperiment(seed=66).run()
+    domains = result.domains
+
+    # The counterfactual: PTRs for every honeypot IPv6 address.
+    zone = ReverseZone()
+    for domain in domains:
+        zone.add_ptr(domain.ipv6, domain.fqdn)
+
+    walk = benchmark.pedantic(
+        walk_rdns_tree, args=(zone, []), rounds=1, iterations=1
+    )
+    ct_latency = min(
+        row.dns_delta_s for row in result.table4() if row.dns_delta_s
+    )
+    p_random = random_ipv6_scan_hit_probability(len(domains), prefix_bits=64)
+    lines = [
+        "Ablation: how could the honeypot's IPv6 endpoints be discovered?",
+        f"  via CT (the actual leak):   first query {ct_latency:.0f}s after logging",
+        f"  via rDNS walking (if PTRs existed): all {len(walk.discovered)}/{len(domains)} "
+        f"addresses in {walk.queries_used} queries",
+        f"  via random IPv6 scanning:   P(hit per probe) = {p_random:.1e} — hopeless",
+        "  -> publishing PTRs would have opened a second leak; the paper's",
+        "     discipline makes CT the *only* channel, which the zero non-CA",
+        "     IPv6 traffic confirms.",
+    ]
+    record_artifact("ablation_rdns", "\n".join(lines))
+    assert len(walk.discovered) == len(domains)
+    assert walk.queries_used < 5_000
+    assert p_random < 1e-15
+    assert ct_latency < 300
+
+
+def test_bench_ablation_redaction(benchmark, domain_corpus):
+    policies = [
+        ("no redaction", RedactionPolicy(redact_all_labels=False)),
+        ("hide sensitive (vpn/dev/staging/admin)", RedactionPolicy(
+            redact_all_labels=False,
+            sensitive_labels=("vpn", "dev", "staging", "admin", "test", "intranet"),
+        )),
+        ("Deneb-style: hide all but www", RedactionPolicy(keep_labels=("www",))),
+        ("hide everything", RedactionPolicy(keep_labels=())),
+    ]
+
+    def run():
+        return [
+            (name, leakage_reduction(domain_corpus.ct_fqdns, policy))
+            for name, policy in policies
+        ]
+
+    impacts = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: label redaction — privacy gained vs monitoring lost"]
+    for name, impact in impacts:
+        lines.append(
+            f"  {name:42s} labels hidden {impact.label_reduction:6.1%}   "
+            f"names unmonitorable {impact.monitoring_loss:6.1%}"
+        )
+    lines.append(
+        "  -> privacy and defender visibility move in lockstep; this tension"
+    )
+    lines.append("     is why redaction was never standardized (Section 4).")
+    record_artifact("ablation_redaction", "\n".join(lines))
+
+    by_name = dict(impacts)
+    assert by_name["no redaction"].label_reduction == 0.0
+    assert 0.0 < by_name["hide sensitive (vpn/dev/staging/admin)"].label_reduction < 0.1
+    assert by_name["Deneb-style: hide all but www"].label_reduction > 0.3
+    assert by_name["hide everything"].label_reduction == 1.0
+    # Monitoring loss rises monotonically with privacy.
+    losses = [impact.monitoring_loss for _, impact in impacts]
+    assert losses == sorted(losses)

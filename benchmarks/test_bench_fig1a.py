@@ -1,0 +1,60 @@
+"""Figure 1a — cumulative growth of logged precertificates per CA.
+
+Paper shape targets: DigiCert dominates the cumulative count over the
+long term; Let's Encrypt, starting only in March 2018 at >2M/day,
+surges to a comparable magnitude within two months; StartCom and the
+'Other' tail stay orders of magnitude below.
+"""
+
+from datetime import date
+
+from conftest import EVOLUTION_SCALE, record_artifact
+
+from repro.core import evolution, report
+
+
+def test_bench_fig1a(benchmark, evolution_run):
+    growth = benchmark.pedantic(
+        evolution.cumulative_precert_growth,
+        args=(evolution_run.logs,),
+        rounds=1,
+        iterations=1,
+    )
+    crossings = evolution.crossover_dates(growth)
+    crossover_lines = ["", "crossovers (riser overtakes):"]
+    for (riser, overtaken), day in sorted(crossings.items(), key=lambda kv: kv[1]):
+        crossover_lines.append(f"  {day.isoformat()}  {riser} passes {overtaken}")
+    text = report.render_figure1a(growth, weight=evolution_run.weight)
+    record_artifact("fig1a", text + "\n".join(crossover_lines))
+
+    totals = {ca: series[-1][1] for ca, series in growth.items()}
+    # DigiCert leads the cumulative counts at harvest time.
+    leader = max(totals, key=totals.get)
+    assert leader == "DigiCert", totals
+    # Let's Encrypt reaches the same order of magnitude in two months.
+    assert totals["Let's Encrypt"] > totals["DigiCert"] * 0.3
+    # Let's Encrypt's series only begins in March 2018.
+    assert growth["Let's Encrypt"][0][0] >= date(2018, 3, 1)
+    # Scaled back to real units, the ecosystem carries hundreds of
+    # millions of precertificates.
+    total_real = sum(totals.values()) / EVOLUTION_SCALE
+    assert total_real > 1e8
+    # Crossovers fall where the paper's figure shows them: Let's
+    # Encrypt overtakes the smaller long-established CAs within weeks
+    # of starting (March/April 2018).
+    for overtaken in ("Symantec", "GlobalSign", "StartCom"):
+        day = crossings[("Let's Encrypt", overtaken)]
+        assert date(2018, 3, 8) <= day <= date(2018, 4, 30), (overtaken, day)
+
+
+def test_bench_fig1a_workload_generation(benchmark):
+    """Cost of the full CA->log pipeline itself, at a reduced scale."""
+    from repro.workloads.ca_profiles import CaLoggingWorkload
+
+    def run():
+        return CaLoggingWorkload(
+            scale=1 / 400_000, end=date(2018, 4, 30), seed=1
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.issued

@@ -1,0 +1,40 @@
+"""Figure 1b — relative precertificate update rate per CA and day.
+
+Paper shape targets: DigiCert dominates the daily rate over a long
+period, with irregular additions by Comodo, GlobalSign, and StartCom;
+after starting to log in March 2018, Let's Encrypt dominates.
+"""
+
+from datetime import date
+
+from conftest import record_artifact
+
+from repro.core import evolution, report
+
+
+def test_bench_fig1b(benchmark, evolution_run):
+    shares = benchmark.pedantic(
+        evolution.relative_daily_rates,
+        args=(evolution_run.logs,),
+        rounds=1,
+        iterations=1,
+    )
+    text = report.render_figure1b(shares)
+    record_artifact("fig1b", text)
+
+    def mean_share(ca, start, end):
+        days = [d for d in shares if start <= d <= end]
+        return sum(shares[d].get(ca, 0.0) for d in days) / max(1, len(days))
+
+    # 2016-2017: DigiCert dominates the daily rate.
+    assert mean_share("DigiCert", date(2016, 1, 1), date(2017, 12, 31)) > 0.4
+    # April 2018: Let's Encrypt dominates.
+    le_april = mean_share("Let's Encrypt", date(2018, 4, 1), date(2018, 4, 30))
+    assert le_april > 0.45
+    assert le_april > mean_share("DigiCert", date(2018, 4, 1), date(2018, 4, 30))
+    # StartCom disappears after its distrust (no share after 2017-11).
+    assert mean_share("StartCom", date(2018, 1, 1), date(2018, 4, 30)) == 0.0
+    # Irregularity: Comodo's day-to-day share fluctuates strongly.
+    comodo = [shares[d].get("Comodo", 0.0)
+              for d in sorted(shares) if date(2016, 6, 1) <= d <= date(2017, 6, 1)]
+    assert max(comodo) > 4 * (sum(comodo) / len(comodo))

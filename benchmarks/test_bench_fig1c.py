@@ -1,0 +1,52 @@
+"""Figure 1c — distribution of precertificate logging by CA over logs
+(April 2018).
+
+Paper shape targets: the CA x log matrix is *very sparsely populated*;
+besides Google logs, the Cloudflare Nimbus log carries Let's Encrypt's
+main load (leading to its overload incident); the five big CAs publish
+only to a small selection of logs.
+"""
+
+from conftest import record_artifact
+
+from repro.core import evolution, report
+
+
+def test_bench_fig1c(benchmark, evolution_run):
+    matrix = benchmark.pedantic(
+        evolution.ca_log_matrix,
+        args=(evolution_run.logs, "2018-04"),
+        rounds=1,
+        iterations=1,
+    )
+    text = report.render_figure1c(matrix)
+    load = evolution.log_load_report(evolution_run.logs, "2018-04")
+    plan = evolution.rebalancing_plan(evolution_run.logs, "2018-04")
+    rebalance = (
+        "The paper's recommendation, quantified — even spread across "
+        "qualified logs:\n"
+        f"  load Gini {plan.gini_before:.2f} -> {plan.gini_after:.2f} "
+        f"({plan.gini_reduction:.0%} reduction), "
+        f"top-log share {plan.top_share_before:.1%} -> {plan.top_share_after:.1%}"
+    )
+    record_artifact(
+        "fig1c", text + "\n\n" + report.render_log_load(load) + "\n\n" + rebalance
+    )
+
+    # Sparsity: well under half the cells are populated.
+    assert matrix.density() < 0.45
+    # Nimbus2018's load comes almost entirely from Let's Encrypt.
+    nimbus = "Cloudflare Nimbus2018 Log"
+    assert matrix.get("Let's Encrypt", nimbus) / matrix.col_total(nimbus) > 0.9
+    # Nimbus is among the top-3 loaded logs in April.
+    top_logs = matrix.cols()[:3]
+    assert nimbus in top_logs
+    # Each big CA touches only a handful of the 15+ logs.
+    for ca in ("Let's Encrypt", "DigiCert", "Comodo", "GlobalSign", "Symantec"):
+        used = sum(1 for log in matrix.cols() if matrix.get(ca, log) > 0)
+        assert used <= 8, (ca, used)
+    # The concentration the paper warns about, and the overload it caused.
+    assert load.gini_coefficient > 0.5
+    assert "Cloudflare Nimbus2018 Log" in load.overloaded_logs
+    # Top-5 CA share of April precerts: paper reports 99 %.
+    assert evolution.top_ca_share(evolution_run.logs, "2018-04") > 0.97

@@ -1,0 +1,58 @@
+"""Figure 2 — percent of daily connections containing an SCT.
+
+Paper shape targets: the share is roughly constant over the year
+(~32 % total, ~21 % via certificate, ~11 % via TLS extension), with
+occasional peaks caused by graph.facebook.com traffic, and no upward
+jump right after the April 2018 Chrome enforcement date.
+"""
+
+from datetime import date
+
+from conftest import record_artifact
+
+from repro.core import adoption, report
+
+
+def test_bench_fig2(benchmark, traffic_stats):
+    days, series = benchmark.pedantic(
+        adoption.figure2_series, args=(traffic_stats,), rounds=1, iterations=1
+    )
+    record_artifact("fig2", report.render_figure2(traffic_stats))
+
+    assert days[0] == date(2017, 4, 26)
+    assert days[-1] == date(2018, 5, 23)
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    assert abs(mean(series["Total_SCT"]) - 32.6) < 3.5
+    assert abs(mean(series["SCT_in_Cert"]) - 21.4) < 2.5
+    assert abs(mean(series["SCT_in_TLS"]) - 11.2) < 2.0
+
+    # Roughly constant: April-May 2018 mean within a few points of the
+    # 2017 mean (no enforcement jump).
+    early = [v for d, v in zip(days, series["Total_SCT"]) if d < date(2017, 8, 1)]
+    late = [v for d, v in zip(days, series["Total_SCT"]) if d > date(2018, 4, 18)]
+    assert abs(mean(early) - mean(late)) < 6.0
+
+    # The facebook peaks are present and pronounced.
+    peaks = adoption.peak_days(traffic_stats, threshold_percent=45.0)
+    assert len(peaks) >= 4
+    assert date(2018, 5, 2) in peaks
+
+
+def test_bench_fig2_projection(benchmark, traffic_stats):
+    """The paper's forward-looking claim: adoption will rise with
+    gradual certificate replacement after enforcement."""
+    from repro.core.projection import project_adoption, render_projection
+
+    share_at_enforcement = traffic_stats.share("with_any_sct")
+    projection = benchmark.pedantic(
+        project_adoption, args=(share_at_enforcement,), rounds=1, iterations=1
+    )
+    record_artifact("fig2_projection", render_projection(projection))
+    # The S-curve rises: majority CT within a year of enforcement, the
+    # long tail converting as two-year certificates roll over.
+    d50 = projection.date_reaching(0.5)
+    assert d50 is not None and d50 < date(2019, 4, 18)
+    assert projection.projected_sct_share[-1] > 0.9

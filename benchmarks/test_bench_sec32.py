@@ -1,0 +1,34 @@
+"""Section 3.2 — aggregate CT adoption in passive traffic.
+
+Paper targets: 26.5G connections; 32.61 % with any SCT; 21.40 % via
+certificate; 11.21 % via TLS extension; ~2M via stapled OCSP; rare
+channel overlaps (30.8K cert+TLS, 29 cert+OCSP, 1.5M TLS+OCSP);
+66.76 % of clients signal SCT support.
+"""
+
+import pytest
+from conftest import record_artifact
+
+from repro.core import report
+
+
+def test_bench_sec32(benchmark, traffic_stats):
+    text = benchmark.pedantic(
+        report.render_section32, args=(traffic_stats,), rounds=1, iterations=1
+    )
+    record_artifact("sec32", text)
+
+    stats = traffic_stats
+    assert stats.total == pytest.approx(26.5e9, rel=0.02)
+    assert stats.share("with_any_sct") == pytest.approx(0.3261, abs=0.01)
+    assert stats.share("with_cert_sct") == pytest.approx(0.2140, abs=0.01)
+    assert stats.share("with_tls_sct") == pytest.approx(0.1121, abs=0.01)
+    assert stats.with_ocsp_sct == pytest.approx(2e6, rel=0.5)
+    assert stats.share("client_support") == pytest.approx(0.6676, abs=0.01)
+
+    # Channel overlaps: rare, in the paper's order of magnitude.
+    assert stats.overlap_cert_tls == pytest.approx(30_800, rel=0.5)
+    assert stats.overlap_cert_ocsp <= 100  # paper: 29 connections
+    assert stats.overlap_tls_ocsp == pytest.approx(1.5e6, rel=0.5)
+    # TLS+OCSP overlap is far more common than cert+OCSP, as observed.
+    assert stats.overlap_tls_ocsp > 100 * stats.overlap_cert_ocsp

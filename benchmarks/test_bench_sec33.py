@@ -1,0 +1,53 @@
+"""Section 3.3 — server-side CT support from the active scan.
+
+Paper targets: 68.7 % of 42.8M unique certificates carry an embedded
+SCT; ~336k certs send one via TLS extension, ~1.2k via stapled OCSP;
+3.7M IPs serve an SCT with ~12-fold SNI multiplexing; the per-cert
+log distribution is led by Cloudflare Nimbus2018 (74 %) and Google
+Icarus (71 %) — the inverse of the traffic view.
+"""
+
+import pytest
+from conftest import HOSTING_SCALE, record_artifact
+
+from repro.core import report, serversupport
+
+
+def test_bench_sec33(benchmark, hosting_scan, traffic_stats):
+    stats = hosting_scan
+    text = benchmark.pedantic(
+        report.render_section33,
+        args=(stats,),
+        kwargs={"weight": 1.0 / HOSTING_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("sec33", text)
+
+    assert stats.embedded_share == pytest.approx(0.687, abs=0.015)
+    assert stats.unique_certificates * (1 / HOSTING_SCALE) == pytest.approx(
+        42.8e6, rel=0.05
+    )
+    assert stats.certs_with_tls_ext_sct > 0
+    assert stats.certs_with_ocsp_sct > 0
+    assert stats.certs_per_sct_ip == pytest.approx(12.0, abs=1.5)
+
+    shares = stats.per_cert_log_shares
+    assert shares["Cloudflare Nimbus2018 Log"] == pytest.approx(0.74, abs=0.05)
+    assert shares["Google Icarus log"] == pytest.approx(0.71, abs=0.05)
+    assert shares["Google Rocketeer log"] == pytest.approx(0.19, abs=0.05)
+    assert shares["Comodo Sabre CT log"] == pytest.approx(0.125, abs=0.04)
+
+    # The paper's punchline: traffic view vs certificate-population view.
+    cert_total = sum(traffic_stats.cert_log_observations.values())
+    traffic_shares = {
+        name: count / cert_total
+        for name, count in traffic_stats.cert_log_observations.items()
+    }
+    contrast = serversupport.passive_vs_active_contrast(traffic_shares, stats)
+    lines = ["Passive (per-connection) vs active (per-certificate) log shares:"]
+    for name, in_traffic, in_certs in contrast[:6]:
+        lines.append(f"  {name:30s} traffic {in_traffic*100:6.2f}%   certs {in_certs*100:6.2f}%")
+    record_artifact("sec33_contrast", "\n".join(lines))
+    nimbus = next(row for row in contrast if "Nimbus2018" in row[0])
+    assert nimbus[2] > 0.5 and nimbus[1] < 0.01

@@ -1,0 +1,45 @@
+"""Section 3.4 — certificates with invalid embedded SCTs.
+
+Paper targets: 16 certificates from 4 CAs; TeliaSonera (1, reused SCT
+from a re-issuance), GlobalSign (12, SAN reorder with mixed DNS/IP),
+D-Trust (2, extension-order change), NetLock (1, different SANs and
+issuer).
+"""
+
+from conftest import record_artifact
+
+from repro.core import misissuance, report
+from repro.workloads.incidents import MisissuanceWorkload
+
+
+def test_bench_sec34(benchmark):
+    corpus = MisissuanceWorkload(healthy_certificates=400, seed=34).build()
+
+    audit = benchmark.pedantic(
+        misissuance.audit_certificates,
+        args=(
+            [pair.final_certificate for pair in corpus.pairs],
+            corpus.issuer_key_hashes(),
+            corpus.logs,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("sec34", report.render_section34(audit))
+
+    assert audit.invalid_certificate_count == 16
+    assert audit.affected_cas == ["D-Trust", "GlobalSign", "NetLock", "TeliaSonera"]
+    by_ca = {ca: len(findings) for ca, findings in audit.by_ca().items()}
+    assert by_ca == {
+        "TeliaSonera": 1,
+        "GlobalSign": 12,
+        "D-Trust": 2,
+        "NetLock": 1,
+    }
+    # Every GlobalSign incident involved mixed DNS+IP SANs.
+    for finding in audit.by_ca()["GlobalSign"]:
+        assert finding.certificate.ip_addresses()
+        assert "SAN entry order" in finding.root_cause[0]
+    # No false positives among the healthy population.
+    found = {(f.ca_name, f.certificate.serial) for f in audit.findings}
+    assert found == set(corpus.injected)

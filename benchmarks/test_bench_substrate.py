@@ -1,0 +1,132 @@
+"""Substrate micro-benchmarks (multi-round timing, no paper artifact).
+
+These measure the throughput of the hot paths every experiment leans
+on: Merkle operations, signature crypto, issuance, resolution, PSL
+parsing, and the passive analyzer.  Useful for catching performance
+regressions when extending the library.
+"""
+
+import pytest
+
+from repro.ct.merkle import MerkleTree, verify_inclusion_proof
+from repro.ct.loglist import build_default_logs
+from repro.dnscore.psl import default_psl
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.util.timeutil import utc_datetime
+from repro.x509.crypto import KeyPair, sign, verify
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 4, 18)
+
+
+def test_bench_merkle_append(benchmark):
+    leaves = [f"leaf-{i}".encode() for i in range(1_000)]
+
+    def build():
+        tree = MerkleTree()
+        for leaf in leaves:
+            tree.append(leaf)
+        return tree.root()
+
+    root = benchmark(build)
+    assert len(root) == 32
+
+
+def test_bench_merkle_inclusion_proof(benchmark):
+    tree = MerkleTree()
+    leaves = [f"leaf-{i}".encode() for i in range(2_048)]
+    for leaf in leaves:
+        tree.append(leaf)
+    root = tree.root()
+
+    def prove_and_verify():
+        proof = tree.inclusion_proof(1_000)
+        return verify_inclusion_proof(leaves[1_000], 1_000, 2_048, proof, root)
+
+    assert benchmark(prove_and_verify)
+
+
+def test_bench_rsa_sign(benchmark):
+    key = KeyPair.generate("bench", 256)
+    message = b"x" * 128
+    signature = benchmark(sign, key, message)
+    assert verify(key, message, signature)
+
+
+def test_bench_rsa_verify(benchmark):
+    key = KeyPair.generate("bench", 256)
+    message = b"x" * 128
+    signature = sign(key, message)
+    assert benchmark(verify, key, message, signature)
+
+
+def test_bench_issuance(benchmark):
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    chosen = [logs["Google Pilot log"], logs["Google Icarus log"]]
+    ca = CertificateAuthority("Bench CA", key_bits=256)
+    counter = iter(range(10_000_000))
+
+    def issue():
+        return ca.issue(
+            IssuanceRequest((f"b{next(counter)}.example",)), chosen, NOW
+        )
+
+    pair = benchmark(issue)
+    assert pair.final_certificate.has_embedded_scts
+
+
+def test_bench_resolver(benchmark):
+    universe = DnsUniverse()
+    zone = Zone("bench.example")
+    for i in range(1_000):
+        zone.add_simple(f"h{i}.bench.example", RecordType.A, "192.0.2.1")
+    universe.add_zone(zone)
+    resolver = RecursiveResolver("bench", universe)
+    universe.servers[0].log_queries = False
+
+    def resolve():
+        return resolver.resolve("h500.bench.example", RecordType.A, now=NOW)
+
+    result = benchmark(resolve)
+    assert result.addresses
+
+
+def test_bench_psl_split(benchmark):
+    psl = default_psl()
+
+    def split():
+        return psl.split("dev.api.internal.some-company.co.uk")
+
+    labels, registrable, suffix = benchmark(split)
+    assert registrable == "some-company.co.uk"
+
+
+def test_bench_analyzer_throughput(benchmark):
+    from repro.bro.analyzer import BroSctAnalyzer
+    from repro.tls.connection import TlsConnection
+
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    ca = CertificateAuthority("Analyzer CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest(("a.example",)),
+        [logs["Google Pilot log"], logs["Google Icarus log"]],
+        NOW,
+    )
+    connections = [
+        TlsConnection(
+            time=NOW,
+            server_name="a.example",
+            server_ip="192.0.2.1",
+            certificate=pair.final_certificate,
+            weight=1,
+        )
+        for _ in range(1_000)
+    ]
+    analyzer = BroSctAnalyzer(logs)
+
+    def analyze_all():
+        return sum(1 for _ in analyzer.analyze_stream(connections))
+
+    assert benchmark(analyze_all) == 1_000

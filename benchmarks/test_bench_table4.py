@@ -1,0 +1,69 @@
+"""Table 4 — the CT honeypot timeline.
+
+Paper targets: first DNS queries 73 s - ~3 min after the CT log entry
+for all 11 subdomains; Google (AS 15169) always queries first, with
+1&1, Deteque, Petersburg Internet, and Amazon close behind; tens of
+queries from 10-32 ASes and up to 7 EDNS client subnets per domain;
+HTTP(S) from DigitalOcean/Amazon after ~1-2 hours (19 days and 5+
+days for two domains); 169 ECS queries over 12 unique /24 subnets
+(top three used 115/25/10 times); one Quasi Networks host scanning
+30 ports; zero IPv6 traffic beyond the CA's validation.
+"""
+
+from conftest import record_artifact
+
+from repro.core.honeypot import CtHoneypotExperiment, render_table4
+
+
+def test_bench_table4(benchmark):
+    result = benchmark.pedantic(
+        lambda: CtHoneypotExperiment(seed=66).run(), rounds=1, iterations=1
+    )
+    rows = result.table4()
+    companion = [
+        "",
+        f"ECS queries: {result.ecs_query_count()} over "
+        f"{len(result.unique_ecs_subnets())} unique /24 subnets "
+        f"(top 3: {[c for _, c in result.unique_ecs_subnets()[:3]]})",
+        f"port scanners: {result.port_scanners()}",
+        f"IPv6 inbound ASNs: {sorted({c.src_asn for c in result.ipv6_inbound()})} "
+        "(the CA's validation only)",
+    ]
+    record_artifact("table4", render_table4(rows) + "\n".join(companion))
+
+    assert len(rows) == 11
+
+    # First DNS within the paper's 73 s - 3 min regime, every domain.
+    deltas = [row.dns_delta_s for row in rows]
+    assert all(60 <= delta <= 300 for delta in deltas)
+    assert min(deltas) < 130
+
+    # Google first on every domain; the follow-up set matches the cast.
+    for row in rows:
+        assert row.first3_asns[0] == 15169
+        assert set(row.first3_asns[1:]) <= {8560, 54054, 44050, 16509, 36692}
+
+    # Query/AS/subnet count ranges bracket the paper's (30-81 / 10-32 / 2-7).
+    assert all(20 <= row.query_count <= 110 for row in rows)
+    assert all(8 <= row.as_count <= 40 for row in rows)
+    assert all(row.subnet_count <= 8 for row in rows)
+
+    # HTTP(S): ~1-2 h for most domains, days for C and G, from
+    # DigitalOcean and Amazon.
+    by_letter = {row.letter: row for row in rows}
+    for letter, row in by_letter.items():
+        if letter in ("C", "G"):
+            assert row.http_delta_s > 4 * 86_400
+        else:
+            assert 45 * 60 <= row.http_delta_s <= 3.5 * 3600
+        assert 14061 in row.http_asns
+        assert row.http_asns[-1] in (16509, 14618)
+
+    # Companion findings.
+    subnets = result.unique_ecs_subnets()
+    assert len(subnets) == 12
+    assert [count for _, count in subnets[:3]] == [115, 25, 10]
+    scanners = result.port_scanners()
+    assert list(scanners.values()) == [30]
+    assert next(iter(scanners))[1] == 29073  # Quasi Networks
+    assert {c.src_asn for c in result.ipv6_inbound()} == {64501}

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Reproduce the entire paper in one run.
+
+Runs Sections 2-6 end to end at moderate scales (a minute or two) and
+prints every table and figure in paper order.  For shape-asserted
+versions of these artifacts, see the benchmark harness
+(`pytest benchmarks/ --benchmark-only`).
+
+Run:  python examples/full_reproduction.py
+"""
+
+from repro.paper import reproduce_paper
+
+
+def main() -> None:
+    results = reproduce_paper(seed=7, progress=True)
+    print()
+    print(results.render())
+
+
+if __name__ == "__main__":
+    main()

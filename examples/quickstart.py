@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: the Certificate Transparency machinery end to end.
+
+Walks the full RFC 6962 flow on the public API:
+
+1. build the trusted log set (the logs of the paper's Table 1);
+2. issue a certificate through a CA — precertificate, SCTs, final
+   certificate with the SCT list embedded;
+3. validate the embedded SCTs the way an auditor (or Section 3.4 of
+   the paper) does: reconstruct the precertificate and verify the log
+   signatures;
+4. check the certificate against Chrome's CT policy;
+5. fetch and verify Merkle inclusion and consistency proofs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ct import build_default_logs
+from repro.ct.merkle import verify_consistency_proof, verify_inclusion_proof
+from repro.ct.policy import ChromeCTPolicy
+from repro.ct.verification import validate_embedded_scts
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+def main() -> None:
+    logs = build_default_logs()
+    ca = CertificateAuthority("Example CA")
+    now = utc_datetime(2018, 4, 18, 12, 0)
+
+    # Chrome's policy wants one Google and one non-Google log.
+    chosen = [logs["Google Pilot log"], logs["Cloudflare Nimbus2018 Log"]]
+    pair = ca.issue(
+        IssuanceRequest(("example.org", "www.example.org")), chosen, now
+    )
+    print("issued:", pair.final_certificate.subject_cn)
+    print("  precertificate poisoned:", pair.precertificate.is_precertificate)
+    print("  embedded SCTs:", len(pair.scts), "from", ", ".join(pair.log_names))
+
+    # Auditor-side validation from the final certificate alone.
+    log_keys = {log.log_id: log.key for log in logs.values()}
+    log_names = {log.log_id: log.name for log in logs.values()}
+    result = validate_embedded_scts(
+        pair.final_certificate, ca.issuer_key_hash, log_keys, log_names
+    )
+    print("  embedded SCTs valid:", result.all_valid)
+
+    # Chrome CT policy.
+    policy = ChromeCTPolicy(logs)
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    print("  Chrome CT policy compliant:", verdict.compliant)
+
+    # Merkle proofs against the signed tree head.
+    log = chosen[0]
+    sth = log.get_sth(now)
+    print(f"  {log.name}: tree size {sth.tree_size}, STH verifies:",
+          sth.verify(log.key))
+    entry = log.entries[-1]
+    proof = log.get_proof_by_hash(entry.index, sth.tree_size)
+    print("  inclusion proof verifies:",
+          verify_inclusion_proof(entry.leaf_input, entry.index,
+                                 sth.tree_size, proof, sth.root_hash))
+
+    # Append more and prove append-only consistency.
+    old_size, old_root = sth.tree_size, sth.root_hash
+    for i in range(5):
+        ca.issue(IssuanceRequest((f"more{i}.example.org",)), [log],
+                 utc_datetime(2018, 4, 18, 13, i))
+    new_sth = log.get_sth(utc_datetime(2018, 4, 18, 14, 0))
+    consistency = log.get_consistency(old_size, new_sth.tree_size)
+    print("  consistency proof verifies:",
+          verify_consistency_proof(old_size, new_sth.tree_size,
+                                   old_root, new_sth.root_hash, consistency))
+
+
+if __name__ == "__main__":
+    main()

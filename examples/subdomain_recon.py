@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Bulk subdomain reconnaissance from CT data (Section 4).
+
+Reproduces the paper's Section 4 pipeline at a small scale:
+
+1. extract FQDNs from a CT-logged certificate corpus;
+2. rank subdomain labels (Table 2) and compare against the wordlists
+   hacking tools ship (subbrute / dnsrecon);
+3. construct candidate FQDNs from frequent labels and verify them with
+   a massdns-style bulk resolver using pseudorandom control names and
+   a border-router routing filter;
+4. diff the discoveries against a Sonar-like forward-DNS list.
+
+Run:  python examples/subdomain_recon.py
+"""
+
+from repro.core import enumeration, leakage
+from repro.workloads.domains import DomainWorkload
+from repro.workloads.wordlists import dnsrecon_wordlist, subbrute_wordlist
+
+
+def main() -> None:
+    corpus = DomainWorkload(scale=1 / 20_000).build()
+    print(f"domain list: {len(corpus.registrable_domains)} registrable domains")
+    print(f"CT corpus:   {len(corpus.ct_fqdns)} names from CN/SAN fields\n")
+
+    stats = leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+    print("top 10 subdomain labels leaked via CT:")
+    for rank, (label, count) in enumerate(stats.top_labels(10), start=1):
+        print(f"  {rank:2d}. {label:14s} {count}")
+    print(f"  (invalid names filtered: {stats.invalid_names})\n")
+
+    print("per-suffix signature labels:")
+    tops = stats.top_label_per_suffix()
+    for suffix in ("tech", "email", "cloud", "design", "gov", "gov.uk"):
+        if suffix in tops:
+            print(f"  {suffix:8s} -> {tops[suffix]}")
+
+    # Would the classic wordlists have found these labels?
+    sb = subbrute_wordlist(stats.label_counts)
+    dr = dnsrecon_wordlist(stats.label_counts)
+    print(f"\nwordlist coverage of CT labels:")
+    print(f"  subbrute ({len(sb)} words): "
+          f"{len(leakage.wordlist_overlap(sb, stats))} occur in CT")
+    print(f"  dnsrecon ({len(dr)} words): "
+          f"{len(leakage.wordlist_overlap(dr, stats))} occur in CT")
+
+    # Construct + verify new FQDNs.
+    plan, truth, report = enumeration.run_enumeration_experiment(
+        stats, corpus, with_ablations=True
+    )
+    print(f"\nconstructed {report.candidate_count} candidate FQDNs "
+          f"from {len(report.eligible_labels)} frequent labels")
+    print(f"  candidates answering: {report.answered} "
+          f"({report.rate('answered') * 100:.1f}%)")
+    print(f"  controls answering:   {report.control_answered} "
+          f"({report.rate('control_answered') * 100:.1f}%)  <- wildcard zones")
+    print(f"  genuine discoveries:  {report.discovered} "
+          f"({report.rate('discovered') * 100:.1f}%)")
+    print(f"  new vs Sonar:         {report.new_unknown}")
+    print(f"  [ablation] no controls: {report.discovered_without_controls} "
+          f"(inflated by wildcard/default-A zones)")
+    print(f"  [ablation] no routing filter: "
+          f"{report.discovered_without_routing_filter} "
+          f"(inflated by misconfigured servers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of "The Rise of Certificate Transparency and
+Its Implications on the Internet Ecosystem" (Scheitle et al., IMC 2018).
+
+The package is organized in three layers:
+
+* **substrates** — real implementations of everything the paper's
+  measurements run on: RFC 6962 CT logs (:mod:`repro.ct`), an
+  X.509/CA pipeline (:mod:`repro.x509`), DNS (:mod:`repro.dnscore`),
+  TLS endpoints and scanners (:mod:`repro.tls`), a Bro-style passive
+  analyzer (:mod:`repro.bro`), and a simulated Internet topology
+  (:mod:`repro.inet`);
+* **workloads** — calibrated synthetic datasets standing in for the
+  paper's live inputs (:mod:`repro.workloads`);
+* **core** — the analyses of Sections 2-6, one module per paper
+  artifact (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import ct, x509
+    from repro.util.timeutil import utc_datetime
+
+    logs = ct.build_default_logs()
+    ca = x509.CertificateAuthority("Example CA")
+    pair = ca.issue(
+        x509.IssuanceRequest(("example.org", "www.example.org")),
+        [logs["Google Pilot log"], logs["Google Icarus log"]],
+        utc_datetime(2018, 4, 18),
+    )
+    assert pair.final_certificate.has_embedded_scts
+
+See ``examples/`` for full experiment walk-throughs and
+``benchmarks/`` for the per-table/figure reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro import bro, ct, dnscore, inet, tls, util, x509
+
+__all__ = [
+    "__version__",
+    "bro",
+    "ct",
+    "dnscore",
+    "inet",
+    "tls",
+    "util",
+    "x509",
+]

@@ -1,0 +1,13 @@
+"""Bro/Zeek-style passive analysis.
+
+The paper extended the Bro Network Security Monitor to extract and
+validate Signed Certificate Timestamps from live TLS traffic, over all
+three transmission channels.  :mod:`repro.bro.analyzer` is that
+analyzer: it consumes :class:`~repro.tls.connection.TlsConnection`
+streams and emits per-connection SCT observations that the Section 3
+analyses aggregate.
+"""
+
+from repro.bro.analyzer import BroSctAnalyzer, SctObservation
+
+__all__ = ["BroSctAnalyzer", "SctObservation"]

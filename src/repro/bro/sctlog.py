@@ -1,0 +1,78 @@
+"""Persistence helpers for SCT observation streams.
+
+The real deployment wrote Bro logs to disk and post-processed them;
+these helpers serialize observation streams to a compact line format
+and read them back, so long captures can be analyzed out-of-core.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.bro.analyzer import SctObservation
+from repro.tls.connection import SctPresence
+
+
+def observation_to_line(obs: SctObservation) -> str:
+    """One observation as a JSON line (certificate object omitted)."""
+    return json.dumps(
+        {
+            "day": obs.day.isoformat(),
+            "server": obs.server_name,
+            "weight": obs.weight,
+            "cert": obs.presence.certificate,
+            "tls": obs.presence.tls_extension,
+            "ocsp": obs.presence.ocsp_staple,
+            "cert_logs": list(obs.cert_sct_logs),
+            "tls_logs": list(obs.tls_sct_logs),
+            "ocsp_logs": list(obs.ocsp_sct_logs),
+            "client_support": obs.client_support,
+            "valid": obs.embedded_scts_valid,
+        },
+        separators=(",", ":"),
+    )
+
+
+def line_to_observation(line: str) -> SctObservation:
+    """Inverse of :func:`observation_to_line`."""
+    data = json.loads(line)
+    return SctObservation(
+        day=date.fromisoformat(data["day"]),
+        server_name=data["server"],
+        weight=data["weight"],
+        presence=SctPresence(
+            certificate=data["cert"],
+            tls_extension=data["tls"],
+            ocsp_staple=data["ocsp"],
+        ),
+        cert_sct_logs=tuple(data["cert_logs"]),
+        tls_sct_logs=tuple(data["tls_logs"]),
+        ocsp_sct_logs=tuple(data["ocsp_logs"]),
+        client_support=data["client_support"],
+        embedded_scts_valid=data["valid"],
+    )
+
+
+def write_observations(
+    path: Union[str, Path], observations: Iterable[SctObservation]
+) -> int:
+    """Stream observations to a log file; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for obs in observations:
+            handle.write(observation_to_line(obs))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_observations(path: Union[str, Path]) -> Iterator[SctObservation]:
+    """Stream observations back from a log file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield line_to_observation(line)

@@ -1,0 +1,212 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1a [--scale 1e-5] [--seed 7]
+    python -m repro table4
+    python -m repro sec43 --ablations
+
+Each artifact command runs the corresponding workload + analysis and
+prints the rendered table/figure (the same renderings the benchmark
+harness writes to ``benchmarks/output/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import date
+from typing import Callable, Dict, Optional
+
+from repro.core import adoption, enumeration, evolution, leakage, misissuance
+from repro.core import report as rpt
+from repro.core import serversupport
+from repro.core.honeypot import CtHoneypotExperiment, render_table4
+from repro.core.phishdetect import PhishingDetector
+from repro.core.threatintel import build_threat_report, render_threat_report
+
+
+def _evolution_run(args):
+    from repro.workloads.ca_profiles import CaLoggingWorkload
+
+    scale = args.scale or 1e-5
+    return CaLoggingWorkload(
+        scale=scale, end=date(2018, 4, 30), seed=args.seed
+    ).run()
+
+
+def cmd_fig1a(args) -> str:
+    run = _evolution_run(args)
+    growth = evolution.cumulative_precert_growth(run.logs)
+    return rpt.render_figure1a(growth, weight=run.weight)
+
+
+def cmd_fig1b(args) -> str:
+    run = _evolution_run(args)
+    return rpt.render_figure1b(evolution.relative_daily_rates(run.logs))
+
+
+def cmd_fig1c(args) -> str:
+    run = _evolution_run(args)
+    matrix = evolution.ca_log_matrix(run.logs, "2018-04")
+    load = evolution.log_load_report(run.logs, "2018-04")
+    return rpt.render_figure1c(matrix) + "\n\n" + rpt.render_log_load(load)
+
+
+def _traffic_stats(args):
+    from repro.bro.analyzer import BroSctAnalyzer
+    from repro.workloads.traffic import UplinkTrafficWorkload
+
+    per_day = int(args.scale * 26.5e9 / 393) if args.scale else 400
+    workload = UplinkTrafficWorkload(
+        connections_per_day=max(50, per_day), seed=args.seed
+    )
+    analyzer = BroSctAnalyzer(workload.logs)
+    return adoption.aggregate(analyzer.analyze_stream(workload.stream()))
+
+
+def cmd_fig2(args) -> str:
+    return rpt.render_figure2(_traffic_stats(args))
+
+
+def cmd_table1(args) -> str:
+    return rpt.render_table1(adoption.table1(_traffic_stats(args)))
+
+
+def cmd_sec32(args) -> str:
+    return rpt.render_section32(_traffic_stats(args))
+
+
+def cmd_sec33(args) -> str:
+    from repro.tls.scanner import TlsScanner
+    from repro.util.timeutil import utc_datetime
+    from repro.workloads.hosting import HostingWorkload
+
+    scale = args.scale or 1 / 20_000
+    population = HostingWorkload(scale=scale, seed=args.seed).build()
+    scanner = TlsScanner(population.resolver(), population.endpoints)
+    records = scanner.scan(population.domains, utc_datetime(2018, 5, 18))
+    names = {log.log_id: log.name for log in population.logs.values()}
+    stats = serversupport.analyze_scan(records, names)
+    return rpt.render_section33(stats, weight=1.0 / scale)
+
+
+def cmd_sec34(args) -> str:
+    from repro.workloads.incidents import MisissuanceWorkload
+
+    corpus = MisissuanceWorkload(healthy_certificates=200, seed=args.seed).build()
+    audit = misissuance.audit_certificates(
+        (pair.final_certificate for pair in corpus.pairs),
+        corpus.issuer_key_hashes(),
+        corpus.logs,
+    )
+    return rpt.render_section34(audit)
+
+
+def _domain_corpus(args, default_scale=1 / 2_000):
+    from repro.workloads.domains import DomainWorkload
+
+    return DomainWorkload(scale=args.scale or default_scale, seed=args.seed).build()
+
+
+def cmd_table2(args) -> str:
+    corpus = _domain_corpus(args, 1 / 1_000)
+    stats = leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+    return rpt.render_table2(stats, weight=1.0 / corpus.scale)
+
+
+def cmd_sec43(args) -> str:
+    corpus = _domain_corpus(args, 1 / 10_000)
+    stats = leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+    _, _, result = enumeration.run_enumeration_experiment(
+        stats, corpus, seed=args.seed, with_ablations=args.ablations
+    )
+    return rpt.render_section43(result, corpus.scale)
+
+
+def cmd_table3(args) -> str:
+    from repro.workloads.phishing import PhishingWorkload
+
+    scale = args.scale or 1 / 100
+    corpus = PhishingWorkload(scale=scale, seed=args.seed).build()
+    result = PhishingDetector().scan(corpus.names)
+    return rpt.render_table3(result, weight=1.0 / scale)
+
+
+def cmd_table4(args) -> str:
+    result = CtHoneypotExperiment(seed=args.seed).run()
+    return render_table4(result.table4())
+
+
+def cmd_threatintel(args) -> str:
+    result = CtHoneypotExperiment(seed=args.seed).run()
+    return render_threat_report(build_threat_report(result))
+
+
+def cmd_projection(args) -> str:
+    from repro.core.projection import project_adoption, render_projection
+
+    share = args.scale if args.scale is not None else 0.3261
+    return render_projection(project_adoption(share))
+
+
+COMMANDS: Dict[str, Callable] = {
+    "fig1a": cmd_fig1a,
+    "fig1b": cmd_fig1b,
+    "fig1c": cmd_fig1c,
+    "fig2": cmd_fig2,
+    "table1": cmd_table1,
+    "sec32": cmd_sec32,
+    "sec33": cmd_sec33,
+    "sec34": cmd_sec34,
+    "table2": cmd_table2,
+    "sec43": cmd_sec43,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "threatintel": cmd_threatintel,
+    "projection": cmd_projection,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the IMC'18 CT paper.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(COMMANDS) + ["list"],
+        help="which table/figure/section to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="simulated:real ratio (artifact-specific default)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument(
+        "--ablations",
+        action="store_true",
+        help="include methodology ablations where supported (sec43)",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.artifact == "list":
+            print("available artifacts:")
+            for name in sorted(COMMANDS):
+                print(f"  {name}")
+            return 0
+        print(COMMANDS[args.artifact](args))
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

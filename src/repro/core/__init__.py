@@ -1,0 +1,49 @@
+"""Core analyses: one module per paper section/artifact.
+
+=====================  ==============================================
+Module                 Paper artifact
+=====================  ==============================================
+evolution              Section 2, Figures 1a / 1b / 1c, rebalancing
+adoption               Section 3.2, Figure 2, Table 1
+serversupport          Section 3.3
+misissuance            Section 3.4
+leakage                Section 4.2, Table 2
+enumeration            Section 4.3
+phishdetect            Section 5, Table 3
+honeypot               Section 6, Table 4
+projection             Figure 2's anticipated continuation
+watchlist              Section 5's (undisclosed) advisory services
+threatintel            Section 6's countermeasure direction
+report                 text renderings of all of the above
+=====================  ==============================================
+"""
+
+from repro.core import (
+    adoption,
+    enumeration,
+    evolution,
+    honeypot,
+    leakage,
+    misissuance,
+    phishdetect,
+    projection,
+    report,
+    serversupport,
+    threatintel,
+    watchlist,
+)
+
+__all__ = [
+    "adoption",
+    "enumeration",
+    "evolution",
+    "honeypot",
+    "leakage",
+    "misissuance",
+    "phishdetect",
+    "projection",
+    "report",
+    "serversupport",
+    "threatintel",
+    "watchlist",
+]

@@ -1,0 +1,179 @@
+"""Section 3.2: CT adoption as seen in passive traffic.
+
+Aggregates the Bro analyzer's per-connection observations into the
+paper's reported statistics:
+
+* total / per-channel SCT connection shares (32.61 % / 21.40 % /
+  11.21 % / ~0.01 %),
+* channel overlap counts (cert+TLS, cert+OCSP, TLS+OCSP),
+* client-side SCT support (66.76 %),
+* Figure 2's per-day percentage series,
+* Table 1's per-log observation counts split by channel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, Iterable, List, Tuple
+
+from repro.bro.analyzer import SctObservation
+
+
+@dataclass
+class DailyAdoption:
+    """One day's weighted connection counts."""
+
+    total: int = 0
+    with_any_sct: int = 0
+    with_cert_sct: int = 0
+    with_tls_sct: int = 0
+    with_ocsp_sct: int = 0
+
+    def percent(self, attribute: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * getattr(self, attribute) / self.total
+
+
+@dataclass
+class AdoptionStats:
+    """Weighted aggregates over the whole capture."""
+
+    total: int = 0
+    with_any_sct: int = 0
+    with_cert_sct: int = 0
+    with_tls_sct: int = 0
+    with_ocsp_sct: int = 0
+    overlap_cert_tls: int = 0
+    overlap_cert_ocsp: int = 0
+    overlap_tls_ocsp: int = 0
+    client_support: int = 0
+    invalid_embedded: int = 0
+    daily: Dict[date, DailyAdoption] = field(default_factory=dict)
+    #: Per-log weighted observation counts by channel.
+    cert_log_observations: Dict[str, int] = field(default_factory=dict)
+    tls_log_observations: Dict[str, int] = field(default_factory=dict)
+    ocsp_log_observations: Dict[str, int] = field(default_factory=dict)
+
+    def share(self, attribute: str) -> float:
+        """An aggregate as a fraction of all connections."""
+        if self.total == 0:
+            return 0.0
+        return getattr(self, attribute) / self.total
+
+
+def aggregate(observations: Iterable[SctObservation]) -> AdoptionStats:
+    """Fold an observation stream into :class:`AdoptionStats`."""
+    stats = AdoptionStats()
+    cert_logs: Dict[str, int] = defaultdict(int)
+    tls_logs: Dict[str, int] = defaultdict(int)
+    ocsp_logs: Dict[str, int] = defaultdict(int)
+    for obs in observations:
+        weight = obs.weight
+        stats.total += weight
+        day = stats.daily.get(obs.day)
+        if day is None:
+            day = stats.daily[obs.day] = DailyAdoption()
+        day.total += weight
+        presence = obs.presence
+        if presence.any:
+            stats.with_any_sct += weight
+            day.with_any_sct += weight
+        if presence.certificate:
+            stats.with_cert_sct += weight
+            day.with_cert_sct += weight
+            for log in obs.cert_sct_logs:
+                cert_logs[log] += weight
+        if presence.tls_extension:
+            stats.with_tls_sct += weight
+            day.with_tls_sct += weight
+            for log in obs.tls_sct_logs:
+                tls_logs[log] += weight
+        if presence.ocsp_staple:
+            stats.with_ocsp_sct += weight
+            day.with_ocsp_sct += weight
+            for log in obs.ocsp_sct_logs:
+                ocsp_logs[log] += weight
+        if presence.certificate and presence.tls_extension:
+            stats.overlap_cert_tls += weight
+        if presence.certificate and presence.ocsp_staple:
+            stats.overlap_cert_ocsp += weight
+        if presence.tls_extension and presence.ocsp_staple:
+            stats.overlap_tls_ocsp += weight
+        if obs.client_support:
+            stats.client_support += weight
+        if not obs.embedded_scts_valid:
+            stats.invalid_embedded += weight
+    stats.cert_log_observations = dict(cert_logs)
+    stats.tls_log_observations = dict(tls_logs)
+    stats.ocsp_log_observations = dict(ocsp_logs)
+    return stats
+
+
+def figure2_series(
+    stats: AdoptionStats,
+) -> Tuple[List[date], Dict[str, List[float]]]:
+    """Figure 2: percent of daily connections with an SCT, by channel.
+
+    Returns the ordered day axis and three series named as in the
+    figure legend (``SCT_in_Cert``, ``SCT_in_TLS``, ``Total_SCT``).
+    OCSP is omitted "due to their rarity", as in the paper.
+    """
+    days = sorted(stats.daily)
+    series = {
+        "SCT_in_Cert": [stats.daily[d].percent("with_cert_sct") for d in days],
+        "SCT_in_TLS": [stats.daily[d].percent("with_tls_sct") for d in days],
+        "Total_SCT": [stats.daily[d].percent("with_any_sct") for d in days],
+    }
+    return days, series
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    log_name: str
+    cert_scts: int
+    cert_share: float
+    tls_scts: int
+    tls_share: float
+
+
+def table1(stats: AdoptionStats, top: int = 15) -> List[Table1Row]:
+    """Table 1: top logs by certificate-SCT observations.
+
+    Shares are of the respective channel's total observations, matching
+    the paper's percentages (e.g. Google Pilot 28.69 % of all cert-SCT
+    observations).
+    """
+    cert_total = sum(stats.cert_log_observations.values())
+    tls_total = sum(stats.tls_log_observations.values())
+    names = sorted(
+        set(stats.cert_log_observations) | set(stats.tls_log_observations),
+        key=lambda name: -stats.cert_log_observations.get(name, 0),
+    )
+    rows = []
+    for name in names[:top]:
+        cert = stats.cert_log_observations.get(name, 0)
+        tls = stats.tls_log_observations.get(name, 0)
+        rows.append(
+            Table1Row(
+                log_name=name,
+                cert_scts=cert,
+                cert_share=cert / cert_total if cert_total else 0.0,
+                tls_scts=tls,
+                tls_share=tls / tls_total if tls_total else 0.0,
+            )
+        )
+    return rows
+
+
+def peak_days(stats: AdoptionStats, threshold_percent: float = 45.0) -> List[date]:
+    """Days where total SCT share spikes (the graph.facebook.com peaks)."""
+    return [
+        day
+        for day in sorted(stats.daily)
+        if stats.daily[day].percent("with_any_sct") >= threshold_percent
+    ]

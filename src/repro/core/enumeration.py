@@ -1,0 +1,321 @@
+"""Section 4.3: constructing and verifying new FQDNs from CT data.
+
+The paper's methodology, step by step:
+
+1. keep subdomain labels occurring >= 100k times in the CT corpus;
+2. for each label, keep the 10 public suffixes it occurs in most,
+   disregarding the too-generic com/net/org;
+3. prepend the label to every known registrable domain in those
+   suffixes -> 210.7M candidate FQDNs;
+4. resolve each candidate **and** a control (the label replaced by a
+   16-character pseudorandom string) with massdns, following CNAMEs up
+   to 10 hops, and discard answers outside the border router's
+   routing table;
+5. count a discovery only when the candidate answers and its control
+   does not (ruling out wildcard/default-A zones);
+6. compare the discoveries against the Sonar forward-DNS list.
+
+Paper results: 80.3M candidate answers, 61.5M control answers, 18.8M
+discoveries, of which 17.7M unknown to Sonar.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.leakage import LeakageStats
+from repro.dnscore.massdns import BulkResolver
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.inet.routing import RoutingTable
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.workloads.domains import DomainCorpus
+from repro.workloads.sonar import SonarDataset
+
+
+@dataclass(frozen=True)
+class EnumerationConfig:
+    """Methodology parameters (paper defaults)."""
+
+    #: Real-world label-frequency threshold; scaled by the corpus scale.
+    min_label_occurrences: int = 100_000
+    top_suffixes_per_label: int = 10
+    excluded_suffixes: Tuple[str, ...] = ("com", "net", "org")
+    #: Ground-truth knobs, calibrated to the paper's reply rates.
+    wildcard_zone_share: float = 0.29
+    unroutable_zone_share: float = 0.02
+    genuine_hit_rate: float = 0.135
+    cname_share: float = 0.20
+    broken_cname_share: float = 0.03
+    deep_cname_share: float = 0.01
+    #: Share of otherwise-genuine records whose A answer points outside
+    #: routed space (misconfigured servers) — what the routing-table
+    #: filter of Section 4.3 exists to discard.
+    unroutable_record_share: float = 0.05
+
+
+@dataclass
+class CandidatePlan:
+    """Output of the construction stage."""
+
+    eligible_labels: List[str]
+    suffixes_per_label: Dict[str, List[str]]
+    candidates: List[str]
+    #: candidate -> (label, registrable domain)
+    origin: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def construct_candidates(
+    stats: LeakageStats,
+    corpus: DomainCorpus,
+    config: EnumerationConfig = EnumerationConfig(),
+) -> CandidatePlan:
+    """Steps 1-3: build the candidate FQDN list."""
+    threshold = max(1, int(config.min_label_occurrences * corpus.scale))
+    eligible = [
+        label
+        for label, count in stats.label_counts.items()
+        if count >= threshold
+    ]
+    # Invert the per-suffix counters: label -> suffix -> occurrences.
+    label_suffix_counts: Dict[str, Dict[str, int]] = defaultdict(dict)
+    for suffix, counter in stats.per_suffix_labels.items():
+        if suffix in config.excluded_suffixes:
+            continue
+        for label, count in counter.items():
+            label_suffix_counts[label][suffix] = count
+    per_suffix_domains: Dict[str, List[str]] = defaultdict(list)
+    for domain, suffix in corpus.domain_suffix.items():
+        per_suffix_domains[suffix].append(domain)
+
+    known = {name.lower() for name in corpus.ct_fqdns}
+    plan = CandidatePlan(
+        eligible_labels=sorted(eligible),
+        suffixes_per_label={},
+        candidates=[],
+    )
+    for label in plan.eligible_labels:
+        ranked = sorted(
+            label_suffix_counts.get(label, {}).items(),
+            key=lambda kv: -kv[1],
+        )
+        suffixes = [sfx for sfx, _ in ranked[: config.top_suffixes_per_label]]
+        plan.suffixes_per_label[label] = suffixes
+        for suffix in suffixes:
+            for domain in per_suffix_domains.get(suffix, ()):
+                fqdn = f"{label}.{domain}"
+                if fqdn in known:
+                    continue  # not a *new* FQDN
+                plan.candidates.append(fqdn)
+                plan.origin[fqdn] = (label, domain)
+    return plan
+
+
+@dataclass
+class GroundTruth:
+    """The simulated DNS reality behind the candidate list."""
+
+    universe: DnsUniverse
+    routing_table: RoutingTable
+    #: Candidates that genuinely exist and resolve to routed space.
+    existing: Set[str]
+    wildcard_domains: Set[str]
+    unroutable_domains: Set[str]
+
+
+def build_ground_truth(
+    plan: CandidatePlan,
+    config: EnumerationConfig = EnumerationConfig(),
+    seed: int = 4343,
+) -> GroundTruth:
+    """Step-4 substrate: zones for every candidate registrable domain.
+
+    A calibrated share of zones answers *anything* (wildcard records or
+    default-A misconfigurations — what the controls catch); a small
+    share answers with unroutable addresses (what the routing-table
+    filter catches); the rest carry genuine records for a calibrated
+    fraction of candidate names, some behind CNAME chains.
+    """
+    rng = SeededRng(seed, "ground-truth")
+    universe = DnsUniverse()
+    routing = RoutingTable()
+    routing.add_prefix((185, 199))  # the hosting space genuine answers use
+    routing.add_prefix((185, 200))
+    unroutable_ip = "203.0.113.66"  # intentionally NOT in the table
+
+    by_domain: Dict[str, List[str]] = defaultdict(list)
+    for fqdn in plan.candidates:
+        label, domain = plan.origin[fqdn]
+        by_domain[domain].append(fqdn)
+
+    truth = GroundTruth(
+        universe=universe,
+        routing_table=routing,
+        existing=set(),
+        wildcard_domains=set(),
+        unroutable_domains=set(),
+    )
+    host_counter = 0
+    for domain, fqdns in by_domain.items():
+        droll = rng.fork(f"zone:{domain}")
+        zone = Zone(domain)
+        roll = droll.random()
+        if roll < config.unroutable_zone_share:
+            zone.default_a = unroutable_ip
+            truth.unroutable_domains.add(domain)
+            universe.add_zone(zone)
+            continue
+        if roll < config.unroutable_zone_share + config.wildcard_zone_share:
+            truth.wildcard_domains.add(domain)
+            if droll.chance(0.5):
+                zone.default_a = f"185.200.{droll.randint(0, 249)}.{droll.randint(1, 249)}"
+            else:
+                zone.add_simple(
+                    f"*.{domain}",
+                    RecordType.A,
+                    f"185.200.{droll.randint(0, 249)}.{droll.randint(1, 249)}",
+                )
+            universe.add_zone(zone)
+            continue
+        zone_used = False
+        for fqdn in fqdns:
+            if not droll.chance(config.genuine_hit_rate):
+                continue
+            host_counter += 1
+            address = f"185.199.{(host_counter // 250) % 250}.{host_counter % 250 + 1}"
+            kind = droll.random()
+            if kind < config.broken_cname_share:
+                # CNAME pointing nowhere: chased, then NXDOMAIN.
+                zone.add_simple(fqdn, RecordType.CNAME, f"gone.{domain}")
+            elif kind < config.broken_cname_share + config.deep_cname_share:
+                # A chain longer than the 10-hop budget: never resolves.
+                for hop in range(12):
+                    zone.add_simple(
+                        f"hop{hop}.{fqdn}" if hop else fqdn,
+                        RecordType.CNAME,
+                        f"hop{hop + 1}.{fqdn}",
+                    )
+            elif kind < config.broken_cname_share + config.deep_cname_share + config.unroutable_record_share:
+                # A record pointing outside routed space: answers, but
+                # the border-router filter discards it.
+                zone.add_simple(fqdn, RecordType.A, unroutable_ip)
+            elif kind < config.broken_cname_share + config.deep_cname_share + config.unroutable_record_share + config.cname_share:
+                hops = droll.randint(1, 3)
+                previous = fqdn
+                for hop in range(hops):
+                    target = f"cdn{hop}.{domain}"
+                    zone.add_simple(previous, RecordType.CNAME, target)
+                    previous = target
+                zone.add_simple(previous, RecordType.A, address)
+                truth.existing.add(fqdn)
+            else:
+                zone.add_simple(fqdn, RecordType.A, address)
+                truth.existing.add(fqdn)
+            zone_used = True
+        if zone_used:
+            universe.add_zone(zone)
+    return truth
+
+
+@dataclass
+class EnumerationReport:
+    """All Section 4.3 outcome numbers (simulated units)."""
+
+    candidate_count: int = 0
+    answered: int = 0
+    control_answered: int = 0
+    discovered: int = 0
+    known_to_sonar: int = 0
+    new_unknown: int = 0
+    discovered_fqdns: List[str] = field(default_factory=list)
+    eligible_labels: List[str] = field(default_factory=list)
+    #: Ablation results, filled when requested.
+    discovered_without_controls: Optional[int] = None
+    discovered_without_routing_filter: Optional[int] = None
+
+    def rate(self, attribute: str) -> float:
+        if self.candidate_count == 0:
+            return 0.0
+        return getattr(self, attribute) / self.candidate_count
+
+
+def verify_candidates(
+    plan: CandidatePlan,
+    truth: GroundTruth,
+    *,
+    sonar: Optional[SonarDataset] = None,
+    seed: int = 777,
+    when: Optional[datetime] = None,
+    with_ablations: bool = False,
+) -> EnumerationReport:
+    """Steps 4-6: bulk-resolve candidates with controls and filters."""
+    when = when or utc_datetime(2018, 4, 27)
+    for server in truth.universe.servers:
+        server.log_queries = False
+    resolver = RecursiveResolver(
+        "massdns-resolver", truth.universe, ip="169.229.0.53", asn=64496
+    )
+    bulk = BulkResolver(
+        resolver,
+        SeededRng(seed, "verify"),
+        address_filter=truth.routing_table.contains,
+    )
+    report = EnumerationReport(
+        candidate_count=len(plan.candidates),
+        eligible_labels=list(plan.eligible_labels),
+    )
+    for result in bulk.resolve_all(plan.candidates, when):
+        if result.candidate_answered:
+            report.answered += 1
+        if result.control_answered:
+            report.control_answered += 1
+        if result.discovered:
+            report.discovered += 1
+            report.discovered_fqdns.append(result.fqdn)
+    if sonar is not None:
+        report.known_to_sonar = sum(
+            1 for fqdn in report.discovered_fqdns if sonar.knows(fqdn)
+        )
+        report.new_unknown = report.discovered - report.known_to_sonar
+    if with_ablations:
+        report.discovered_without_controls = sum(
+            1
+            for result in bulk.resolve_without_controls(plan.candidates, when)
+            if result.discovered
+        )
+        unfiltered = BulkResolver(
+            resolver, SeededRng(seed, "verify-nofilter"), address_filter=None
+        )
+        report.discovered_without_routing_filter = sum(
+            1
+            for result in unfiltered.resolve_all(plan.candidates, when)
+            if result.discovered
+        )
+    return report
+
+
+def run_enumeration_experiment(
+    stats: LeakageStats,
+    corpus: DomainCorpus,
+    *,
+    config: EnumerationConfig = EnumerationConfig(),
+    sonar: Optional[SonarDataset] = None,
+    seed: int = 99,
+    with_ablations: bool = False,
+) -> Tuple[CandidatePlan, GroundTruth, EnumerationReport]:
+    """The full Section 4.3 pipeline in one call."""
+    plan = construct_candidates(stats, corpus, config)
+    truth = build_ground_truth(plan, config, seed=seed)
+    if sonar is None:
+        from repro.workloads.sonar import SonarWorkload
+
+        sonar = SonarWorkload(seed=seed + 1).build(corpus, truth.existing)
+    report = verify_candidates(
+        plan, truth, sonar=sonar, seed=seed + 2, with_ablations=with_ablations
+    )
+    return plan, truth, report

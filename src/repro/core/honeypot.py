@@ -1,0 +1,641 @@
+"""Section 6: the CT honeypot.
+
+The experiment's four building blocks, as in the paper:
+
+(i)   unique random 12-character subdomains that are hard to guess;
+(ii)  leaking them *exclusively* via CT — certificates are obtained
+      from a Let's Encrypt-like CA whose precertificates land in logs;
+(iii) monitoring all queries at the authoritative DNS server we
+      control (source AS, EDNS Client Subnet);
+(iv)  monitoring all traffic to the subdomains' A/AAAA addresses.
+
+The simulated attacker ecosystem is calibrated to Section 6.2:
+
+* streaming CT monitors at Google (AS 15169), 1&1 (AS 8560), Deteque
+  (AS 54054), Petersburg Internet (AS 44050), Amazon (AS 16509), and
+  OpenDNS (AS 36692) query within seconds-to-minutes;
+* DigitalOcean (AS 14061) polls in a ~2-hour batch rhythm;
+* 76 other ASes run batch jobs touching one or two domains, not
+  before one hour in 99 % of cases;
+* stub resolvers in Hetzner and Quasi Networks use Google Public DNS,
+  exposing 12 unique /24 client subnets via EDNS Client Subnet;
+* machines from 4 of those subnets connect over IPv4 — three only to
+  tcp/443, one (in Quasi Networks, AS 29073) scanning 30 ports across
+  the two honeypot machines;
+* HTTP(S) connections come from DigitalOcean and Amazon roughly one
+  to two hours after logging (19 days and 5+ days for two domains);
+* the unique IPv6 addresses receive nothing but the CA's validation
+  traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import build_default_logs
+from repro.ct.monitor import BatchMonitor, StreamingMonitor
+from repro.dnscore.authoritative import AuthoritativeServer, QueryLogEntry
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.inet.asn import AS_REGISTRY, generic_ases, table4_symbol
+from repro.inet.clock import EventScheduler
+from repro.util.format import duration_human
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HONEYPOT_END, HONEYPOT_START, utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+#: Letters Table 4 uses for the 11 subdomains.
+DOMAIN_LETTERS = "ABCDEFGHIJK"
+
+#: The three issuance batches (Section 6.1 / Table 4 first column).
+DEFAULT_BATCHES: Tuple[Tuple[datetime, int], ...] = (
+    (utc_datetime(2018, 4, 12, 14, 16, 30), 2),   # A, B
+    (utc_datetime(2018, 4, 20, 10, 43, 30), 1),   # C
+    (utc_datetime(2018, 4, 30, 13, 0, 0), 8),     # D..K
+)
+
+LE_VALIDATION_ASN = 64501
+HONEYPOT_ASN = 64500
+GOOGLE_ASN = 15169
+QUASI_ASN = 29073
+HETZNER_ASN = 24940
+DIGITALOCEAN_ASN = 14061
+AMAZON_ASN = 16509
+AMAZON_AES_ASN = 14618
+
+#: Streaming monitors: (name, asn, coverage, latency range s, qtypes, repeats).
+STREAMING_MONITORS: Tuple[
+    Tuple[str, int, float, Tuple[float, float], Tuple[RecordType, ...], int], ...
+] = (
+    ("google-ct", GOOGLE_ASN, 1.0, (72.0, 130.0), (RecordType.A, RecordType.AAAA), 3),
+    ("oneandone-ct", 8560, 1.0, (95.0, 240.0), (RecordType.A,), 2),
+    ("deteque-feed", 54054, 0.82, (120.0, 420.0), (RecordType.A, RecordType.NS), 2),
+    ("petersburg", 44050, 0.45, (130.0, 500.0), (RecordType.A,), 1),
+    ("amazon-scanner", AMAZON_ASN, 1.0, (150.0, 640.0), (RecordType.A,), 2),
+    ("opendns-feed", 36692, 0.64, (300.0, 700.0), (RecordType.A,), 1),
+)
+
+#: Stub clients using Google Public DNS (exposed via EDNS Client Subnet):
+#: (subnet owner asn, queries over all domains, qtypes, connects, scans_ports).
+@dataclass(frozen=True)
+class StubProfile:
+    asn: int
+    total_queries: int
+    qtypes: Tuple[RecordType, ...]
+    connects_https: bool = False
+    scans_ports: bool = False
+
+
+STUB_PROFILES: Tuple[StubProfile, ...] = (
+    StubProfile(
+        HETZNER_ASN, 115,
+        (RecordType.A, RecordType.AAAA, RecordType.MX, RecordType.NS, RecordType.SOA),
+        connects_https=True,
+    ),
+    StubProfile(
+        QUASI_ASN, 25,
+        (RecordType.A, RecordType.AAAA),
+        scans_ports=True,
+    ),
+    StubProfile(HETZNER_ASN, 10, (RecordType.A,), connects_https=True),
+    StubProfile(QUASI_ASN, 2, (RecordType.A,), connects_https=True),
+    StubProfile(HETZNER_ASN, 2, (RecordType.A,)),
+    StubProfile(24940, 1, (RecordType.A,)),
+    StubProfile(12876, 2, (RecordType.A,)),
+    StubProfile(19397, 1, (RecordType.A,)),
+    StubProfile(44050, 1, (RecordType.A,)),
+    StubProfile(8560, 1, (RecordType.A,)),
+    StubProfile(16509, 2, (RecordType.A,)),
+    StubProfile(54054, 1, (RecordType.A,)),
+)
+
+#: Ports the heavy scanner probes (15 per machine = 30 total).
+SCAN_PORTS = (21, 22, 23, 25, 53, 80, 110, 143, 443, 445, 587, 993, 995, 3389, 8080)
+
+
+# Connection records live with the capture substrate; re-exported here
+# because the honeypot is their main producer.
+from repro.inet.pcap import ConnectionRecord  # noqa: E402
+
+
+@dataclass
+class HoneypotDomain:
+    """One honeypot subdomain and its CT trace."""
+
+    letter: str
+    fqdn: str
+    ipv4: str
+    ipv6: str
+    ct_entry_time: datetime
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of Table 4."""
+
+    letter: str
+    ct_entry: datetime
+    first_dns: Optional[datetime]
+    dns_delta_s: Optional[float]
+    query_count: int
+    as_count: int
+    subnet_count: int
+    first3_asns: Tuple[int, ...]
+    first_http: Optional[datetime]
+    http_delta_s: Optional[float]
+    http_asns: Tuple[int, ...]
+
+
+@dataclass
+class HoneypotResult:
+    """Everything the experiment produced."""
+
+    domains: List[HoneypotDomain]
+    auth_server: AuthoritativeServer
+    connections: List[ConnectionRecord]
+    logs: Dict[str, CTLog]
+    capture_start: datetime
+    capture_end: datetime
+
+    def capture(self) -> "PacketCapture":
+        """The connection log as a filterable packet capture."""
+        from repro.inet.pcap import PacketCapture
+
+        return PacketCapture(self.connections)
+
+    def queries_for_domain(self, domain: HoneypotDomain) -> List[QueryLogEntry]:
+        """DNS queries for one subdomain, with the CA's own validation
+        traffic filtered out (Section 6.1: "We filter out DNS queries
+        from the issuing CA's validation infrastructure")."""
+        return [
+            entry
+            for entry in self.auth_server.queries_for(domain.fqdn)
+            if entry.source_asn != LE_VALIDATION_ASN
+            and self.capture_start <= entry.time <= self.capture_end
+        ]
+
+    def table4(self) -> List[Table4Row]:
+        rows = []
+        for domain in self.domains:
+            queries = sorted(self.queries_for_domain(domain), key=lambda q: q.time)
+            first_dns = queries[0].time if queries else None
+            ases: List[int] = []
+            for query in queries:
+                if query.source_asn is not None and query.source_asn not in ases:
+                    ases.append(query.source_asn)
+            subnets: Set[str] = {
+                str(query.client_subnet)
+                for query in queries
+                if query.client_subnet is not None
+            }
+            http = sorted(
+                (
+                    conn
+                    for conn in self.connections
+                    if conn.sni == domain.fqdn and conn.dst_port in (80, 443)
+                    and conn.src_asn != LE_VALIDATION_ASN
+                ),
+                key=lambda conn: conn.time,
+            )
+            first_http = http[0].time if http else None
+            http_asns = tuple(sorted({conn.src_asn for conn in http}))
+            rows.append(
+                Table4Row(
+                    letter=domain.letter,
+                    ct_entry=domain.ct_entry_time,
+                    first_dns=first_dns,
+                    dns_delta_s=(
+                        (first_dns - domain.ct_entry_time).total_seconds()
+                        if first_dns
+                        else None
+                    ),
+                    query_count=len(queries),
+                    as_count=len(ases),
+                    subnet_count=len(subnets),
+                    first3_asns=tuple(ases[:3]),
+                    first_http=first_http,
+                    http_delta_s=(
+                        (first_http - domain.ct_entry_time).total_seconds()
+                        if first_http
+                        else None
+                    ),
+                    http_asns=http_asns,
+                )
+            )
+        return rows
+
+    # -- Section 6.2 companion findings -------------------------------------
+
+    def ipv6_inbound(self) -> List[ConnectionRecord]:
+        """Inbound IPv6 traffic: only the CA's validation, per the paper."""
+        return [conn for conn in self.connections if conn.ipv6]
+
+    def port_scanners(self, min_ports: int = 10) -> Dict[Tuple[str, int], int]:
+        """Source (ip, asn) -> distinct ports probed, heavy scanners only."""
+        ports: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+        for conn in self.connections:
+            if conn.ipv6:
+                continue
+            key = (conn.src_ip, conn.src_asn)
+            ports.setdefault(key, set()).add((conn.dst_ip, conn.dst_port))
+        return {
+            key: len(targets)
+            for key, targets in ports.items()
+            if len(targets) >= min_ports
+        }
+
+    def scanner_hygiene(self) -> Dict[int, bool]:
+        """Do inbound scanners follow scanning best practices?
+
+        Section 6.2: "across all inbound scans, no source IP address
+        followed scanning best practices such as informative rDNS
+        names, websites, or whois entries.  This likely excludes
+        benevolent scanners from academia or industrial research."
+        Returns ASN -> best-practice flag for every connecting AS
+        (excluding the CA's validation).
+        """
+        from repro.inet.asn import AS_REGISTRY
+
+        out: Dict[int, bool] = {}
+        for conn in self.connections:
+            if conn.src_asn == LE_VALIDATION_ASN or conn.ipv6:
+                continue
+            asys = AS_REGISTRY.get(conn.src_asn)
+            out[conn.src_asn] = bool(
+                asys and asys.follows_scanning_best_practices
+            )
+        return out
+
+    def ecs_query_count(self) -> int:
+        """Queries carrying an EDNS Client Subnet option."""
+        return sum(
+            1
+            for entry in self.auth_server.query_log
+            if entry.client_subnet is not None
+            and entry.source_asn != LE_VALIDATION_ASN
+        )
+
+    def unique_ecs_subnets(self) -> List[Tuple[str, int]]:
+        """(subnet, use count) sorted by use, as in Section 6.2."""
+        counts: Dict[str, int] = {}
+        for entry in self.auth_server.query_log:
+            if entry.client_subnet is None or entry.source_asn == LE_VALIDATION_ASN:
+                continue
+            key = str(entry.client_subnet)
+            counts[key] = counts.get(key, 0) + 1
+        return sorted(counts.items(), key=lambda kv: -kv[1])
+
+
+class CtHoneypotExperiment:
+    """Build and run the full Section 6 experiment."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 66,
+        base_domain: str = "ct-hpot.net",
+        batches: Sequence[Tuple[datetime, int]] = DEFAULT_BATCHES,
+        batch_spacing: timedelta = timedelta(minutes=10),
+        other_as_count: int = 76,
+        #: Domains (by index) whose first HTTP(S) contact is delayed,
+        #: and by how much — C after ~19 days, G after ~5 days.
+        delayed_http: Optional[Dict[int, timedelta]] = None,
+        logs: Optional[Dict[str, CTLog]] = None,
+        key_bits: int = 256,
+    ) -> None:
+        self._rng = SeededRng(seed, "honeypot")
+        self.base_domain = base_domain
+        self.batches = list(batches)
+        self.batch_spacing = batch_spacing
+        self.other_as_count = other_as_count
+        self.delayed_http = delayed_http if delayed_http is not None else {
+            2: timedelta(days=19, hours=20),   # C
+            6: timedelta(days=9, hours=16),    # G
+        }
+        self.logs = logs if logs is not None else build_default_logs(
+            with_capacities=False, key_bits=key_bits
+        )
+        self._key_bits = key_bits
+
+    def run(self) -> HoneypotResult:
+        rng = self._rng
+        scheduler = EventScheduler()
+        universe = DnsUniverse()
+        auth = AuthoritativeServer(name="honeypot-auth")
+        universe.add_server(auth)
+        zone = Zone(self.base_domain)
+        auth.add_zone(zone)
+        # Register in the universe index as well.
+        universe.add_zone(zone, auth)
+
+        machine_ips = ("198.18.0.10", "198.18.0.11")
+        connections: List[ConnectionRecord] = []
+
+        # The CA's validation infrastructure queries the authoritative
+        # server *before* CT logging — the analysis must filter these.
+        def validation_hook(names: Sequence[str], now: datetime) -> None:
+            for name in names:
+                for qtype in (RecordType.A, RecordType.AAAA, RecordType.CAA):
+                    auth.query(
+                        name,
+                        qtype,
+                        now=now - timedelta(seconds=rng.uniform(20, 45)),
+                        source_ip="64.78.149.164",
+                        source_asn=LE_VALIDATION_ASN,
+                        resolver_name="letsencrypt-va",
+                    )
+
+        ca = CertificateAuthority(
+            "Let's Encrypt",
+            validation_hook=validation_hook,
+            key_bits=self._key_bits,
+        )
+        log_set = [
+            self.logs["Cloudflare Nimbus2018 Log"],
+            self.logs["Google Icarus log"],
+        ]
+
+        # --- create the honeypot domains and leak them via CT -------------
+        domains: List[HoneypotDomain] = []
+        index = 0
+        for batch_start, count in self.batches:
+            for position in range(count):
+                letter = DOMAIN_LETTERS[index]
+                label = rng.fork(f"label:{letter}").token(12)
+                fqdn = f"{label}.{self.base_domain}"
+                ipv4 = machine_ips[index % len(machine_ips)]
+                ipv6 = f"2001:db8:1::{index + 1:x}"
+                zone.add_simple(fqdn, RecordType.A, ipv4)
+                zone.add_simple(fqdn, RecordType.AAAA, ipv6)
+                when = batch_start + self.batch_spacing * position + timedelta(
+                    seconds=rng.uniform(0, 59)
+                )
+                ca.issue(IssuanceRequest((fqdn,)), log_set, when)
+                # The CA's validation also touches the IPv6 endpoint
+                # (the only IPv6 traffic the paper ever saw).
+                connections.append(
+                    ConnectionRecord(
+                        time=when - timedelta(seconds=10),
+                        src_ip="64.78.149.164",
+                        src_asn=LE_VALIDATION_ASN,
+                        dst_ip=ipv6,
+                        dst_port=443,
+                        sni=fqdn,
+                        ipv6=True,
+                    )
+                )
+                domains.append(
+                    HoneypotDomain(letter, fqdn, ipv4, ipv6, when)
+                )
+                index += 1
+        by_fqdn = {domain.fqdn: domain for domain in domains}
+
+        # --- resolvers ------------------------------------------------------
+        def resolver_for(name: str, asn: int, forwards_ecs: bool = False) -> RecursiveResolver:
+            asys = AS_REGISTRY.get(asn)
+            block = asys.ipv4_blocks[0] if asys and asys.ipv4_blocks else (192, 0)
+            return RecursiveResolver(
+                name,
+                universe,
+                ip=f"{block[0]}.{block[1]}.0.53",
+                asn=asn,
+                forwards_ecs=forwards_ecs,
+            )
+
+        google_dns = resolver_for("google-public-dns", GOOGLE_ASN, forwards_ecs=True)
+
+        # --- streaming monitors --------------------------------------------
+        def schedule_queries(
+            resolver: RecursiveResolver,
+            fqdn: str,
+            start: datetime,
+            qtypes: Sequence[RecordType],
+            repeats: int,
+            local_rng: SeededRng,
+            client_ip: Optional[str] = None,
+        ) -> None:
+            moment = start
+            for repeat in range(repeats):
+                for qtype in qtypes:
+                    def fire(now: datetime, q=qtype, r=resolver, c=client_ip, f=fqdn):
+                        r.resolve(f, q, now=now, client_ip=c)
+
+                    scheduler.schedule(moment, fire, label=f"dns:{fqdn}")
+                    moment += timedelta(seconds=local_rng.uniform(0.5, 5))
+                moment += timedelta(minutes=local_rng.uniform(15, 240))
+
+        for name, asn, coverage, (low, high), qtypes, repeats in STREAMING_MONITORS:
+            monitor = StreamingMonitor(
+                name, rng.fork(f"mon:{name}"), latency_range_s=(low, high)
+            )
+            resolver = resolver_for(f"{name}-resolver", asn)
+            mon_rng = rng.fork(f"monrng:{name}")
+            for log in log_set:
+                for obs in monitor.observe(log):
+                    fqdn = obs.dns_names[0]
+                    if fqdn not in by_fqdn:
+                        continue
+                    if not mon_rng.chance(coverage):
+                        continue
+                    schedule_queries(
+                        resolver, fqdn, obs.observed_at, qtypes, repeats, mon_rng
+                    )
+
+        # --- DigitalOcean: a ~2-hour batch poller, plus HTTP(S) visits -----
+        do_monitor = BatchMonitor(
+            "digitalocean-batch",
+            rng.fork("mon:do"),
+            interval=timedelta(hours=2),
+        )
+        do_resolver = resolver_for("digitalocean-resolver", DIGITALOCEAN_ASN)
+        do_rng = rng.fork("do")
+        http_sources = (
+            (DIGITALOCEAN_ASN, "104.131.44.7"),
+            (AMAZON_ASN, "52.95.30.111"),
+            (AMAZON_AES_ASN, "18.204.9.20"),
+        )
+        seen_do: Set[str] = set()
+        for log in log_set:
+            for obs in do_monitor.observe(log):
+                fqdn = obs.dns_names[0]
+                if fqdn not in by_fqdn or fqdn in seen_do:
+                    continue
+                seen_do.add(fqdn)
+                schedule_queries(
+                    do_resolver, fqdn, obs.observed_at, (RecordType.A,), 2, do_rng
+                )
+                domain = by_fqdn[fqdn]
+                domain_index = domains.index(domain)
+                delay = self.delayed_http.get(domain_index)
+                if delay is not None:
+                    http_at = domain.ct_entry_time + delay + timedelta(
+                        minutes=do_rng.uniform(0, 600)
+                    )
+                else:
+                    http_at = domain.ct_entry_time + timedelta(
+                        minutes=do_rng.uniform(58, 125)
+                    )
+                # DigitalOcean first, Amazon shortly after.
+                for offset, (asn, src_ip) in enumerate(http_sources[:2] if domain.letter != "B" else (http_sources[0], http_sources[2])):
+                    def connect(now: datetime, d=domain, a=asn, s=src_ip):
+                        connections.append(
+                            ConnectionRecord(
+                                time=now,
+                                src_ip=s,
+                                src_asn=a,
+                                dst_ip=d.ipv4,
+                                dst_port=443,
+                                sni=d.fqdn,
+                            )
+                        )
+
+                    scheduler.schedule(
+                        http_at + timedelta(minutes=offset * do_rng.uniform(4, 40)),
+                        connect,
+                        label=f"http:{fqdn}",
+                    )
+
+        # --- stub clients behind Google Public DNS (ECS exposure) ----------
+        stub_rng = rng.fork("stubs")
+        stub_machines: List[Tuple[StubProfile, str]] = []
+        for stub_index, profile in enumerate(STUB_PROFILES):
+            asys = AS_REGISTRY.get(profile.asn)
+            block = asys.ipv4_blocks[0] if asys and asys.ipv4_blocks else (198, 51)
+            client_ip = f"{block[0]}.{block[1]}.{40 + stub_index}.{23 + stub_index}"
+            stub_machines.append((profile, client_ip))
+            # Spread the profile's query budget across domains, weighted
+            # to the later (larger) batch like the real counts.
+            remaining = profile.total_queries
+            learn_rng = rng.fork(f"stub:{stub_index}")
+            while remaining > 0:
+                domain = learn_rng.choice(domains)
+                start = domain.ct_entry_time + timedelta(
+                    minutes=learn_rng.uniform(3, 50)
+                )
+                burst = min(remaining, len(profile.qtypes))
+                for q_i in range(burst):
+                    qtype = profile.qtypes[q_i % len(profile.qtypes)]
+
+                    def stub_fire(now: datetime, q=qtype, c=client_ip, f=domain.fqdn):
+                        google_dns.resolve(f, q, now=now, client_ip=c)
+
+                    scheduler.schedule(
+                        start + timedelta(seconds=q_i * learn_rng.uniform(1, 8)),
+                        stub_fire,
+                        label=f"stub:{domain.fqdn}",
+                    )
+                remaining -= burst
+
+        # --- one-off batch queriers from the long tail of ASes -------------
+        tail_rng = rng.fork("tail")
+        for asys in generic_ases(self.other_as_count):
+            tail_resolver = RecursiveResolver(
+                f"as{asys.asn}-resolver",
+                universe,
+                ip=f"{asys.ipv4_blocks[0][0]}.{asys.ipv4_blocks[0][1]}.9.9",
+                asn=asys.asn,
+            )
+            target_count = 1 if tail_rng.chance(0.8) else 2
+            targets = tail_rng.sample(domains, min(target_count, len(domains)))
+            for domain in targets:
+                # 99 % after one hour, 62 % after two hours.
+                roll = tail_rng.random()
+                if roll < 0.01:
+                    delay_h = tail_rng.uniform(0.4, 1.0)
+                elif roll < 0.38:
+                    delay_h = tail_rng.uniform(1.0, 2.0)
+                else:
+                    delay_h = tail_rng.uniform(2.0, 40.0)
+                schedule_queries(
+                    tail_resolver,
+                    domain.fqdn,
+                    domain.ct_entry_time + timedelta(hours=delay_h),
+                    (RecordType.A,),
+                    1,
+                    tail_rng,
+                )
+
+        # --- IPv4 connections from the ECS-exposed machines ----------------
+        conn_rng = rng.fork("connections")
+        for profile, client_ip in stub_machines:
+            if profile.scans_ports:
+                # The Quasi Networks machine: 30 ports over both machines.
+                scan_start = domains[0].ct_entry_time + timedelta(
+                    hours=conn_rng.uniform(4, 9)
+                )
+                tick = scan_start
+                for machine_ip in machine_ips:
+                    for port in SCAN_PORTS:
+                        def probe(now: datetime, ip=machine_ip, p=port, s=client_ip, a=profile.asn):
+                            connections.append(
+                                ConnectionRecord(
+                                    time=now,
+                                    src_ip=s,
+                                    src_asn=a,
+                                    dst_ip=ip,
+                                    dst_port=p,
+                                    sni=None,  # raw scan, no SNI
+                                )
+                            )
+
+                        scheduler.schedule(tick, probe, label="portscan")
+                        tick += timedelta(seconds=conn_rng.uniform(0.2, 3))
+            elif profile.connects_https:
+                target = conn_rng.choice(domains[:2])
+                at = target.ct_entry_time + timedelta(hours=conn_rng.uniform(3, 20))
+
+                def https_only(now: datetime, d=target, s=client_ip, a=profile.asn):
+                    connections.append(
+                        ConnectionRecord(
+                            time=now,
+                            src_ip=s,
+                            src_asn=a,
+                            dst_ip=d.ipv4,
+                            dst_port=443,
+                            sni=None,  # connects by IP, port 443 only
+                        )
+                    )
+
+                scheduler.schedule(at, https_only, label="https-only")
+
+        scheduler.run_all()
+        connections.sort(key=lambda conn: conn.time)
+        return HoneypotResult(
+            domains=domains,
+            auth_server=auth,
+            connections=connections,
+            logs=self.logs,
+            capture_start=HONEYPOT_START,
+            capture_end=HONEYPOT_END,
+        )
+
+
+def render_table4(rows: Sequence[Table4Row]) -> str:
+    """Text rendering in the paper's layout."""
+    from repro.util.tables import Table
+
+    table = Table(
+        [
+            "", "CT log entry", "DNS", "Δt", "Q", "AS", "CS",
+            "First 3 ASes", "HTTP(S)", "Δt", "HTTP ASNs",
+        ]
+    )
+    for row in rows:
+        table.add_row(
+            row.letter,
+            row.ct_entry.strftime("%m-%d %H:%M:%S"),
+            row.first_dns.strftime("%H:%M:%S") if row.first_dns else "-",
+            duration_human(row.dns_delta_s) if row.dns_delta_s is not None else "-",
+            row.query_count,
+            row.as_count,
+            row.subnet_count,
+            ", ".join(table4_symbol(asn) for asn in row.first3_asns),
+            row.first_http.strftime("%m-%d %H:%M:%S") if row.first_http else "-",
+            duration_human(row.http_delta_s) if row.http_delta_s is not None else "-",
+            ", ".join(table4_symbol(asn) for asn in row.http_asns),
+        )
+    return table.render()

@@ -1,0 +1,141 @@
+"""Section 3.4: finding certificates with invalid embedded SCTs.
+
+The audit walks a certificate corpus exactly as the paper's pipeline
+did over passive and active scan data: for every final certificate
+with embedded SCTs, reconstruct the precertificate bytes, verify each
+SCT against the issuing log's public key, and — for failures — root
+cause the divergence by comparing against the logged precertificate
+(the paper did this via crt.sh and direct CA inquiries).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.sct import SctEntryType
+from repro.ct.verification import (
+    SctValidationResult,
+    diagnose_mismatch,
+    validate_embedded_scts,
+)
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class InvalidSctFinding:
+    """One certificate with at least one invalid embedded SCT."""
+
+    ca_name: str
+    certificate: Certificate
+    validation: SctValidationResult
+    root_cause: Tuple[str, ...]
+
+
+@dataclass
+class MisissuanceReport:
+    """The audit's result: Section 3.4's "16 certificates from 4 CAs"."""
+
+    certificates_checked: int = 0
+    certificates_with_embedded_scts: int = 0
+    findings: List[InvalidSctFinding] = field(default_factory=list)
+
+    @property
+    def invalid_certificate_count(self) -> int:
+        return len(self.findings)
+
+    @property
+    def affected_cas(self) -> List[str]:
+        return sorted({finding.ca_name for finding in self.findings})
+
+    def by_ca(self) -> Dict[str, List[InvalidSctFinding]]:
+        grouped: Dict[str, List[InvalidSctFinding]] = defaultdict(list)
+        for finding in self.findings:
+            grouped[finding.ca_name].append(finding)
+        return dict(grouped)
+
+
+def _index_precertificates(
+    logs: Iterable[CTLog],
+) -> Dict[Tuple[str, int], Certificate]:
+    """(issuer, serial) -> logged precertificate, for root-cause analysis."""
+    index: Dict[Tuple[str, int], Certificate] = {}
+    for log in logs:
+        for entry in log.entries:
+            if entry.entry_type is SctEntryType.PRECERT_ENTRY:
+                cert = entry.certificate
+                index[(cert.issuer_org, cert.serial)] = cert
+    return index
+
+
+def audit_certificates(
+    certificates: Iterable[Certificate],
+    issuer_key_hashes: Dict[str, bytes],
+    logs: Dict[str, CTLog],
+) -> MisissuanceReport:
+    """Validate embedded SCTs across a corpus and root-cause failures."""
+    log_keys = {log.log_id: log.key for log in logs.values()}
+    log_names = {log.log_id: log.name for log in logs.values()}
+    precert_index = _index_precertificates(logs.values())
+    report = MisissuanceReport()
+    seen: set = set()
+    for cert in certificates:
+        identity = (cert.issuer_org, cert.serial)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        report.certificates_checked += 1
+        if not cert.has_embedded_scts:
+            continue
+        report.certificates_with_embedded_scts += 1
+        issuer_key_hash = issuer_key_hashes.get(cert.issuer_org)
+        if issuer_key_hash is None:
+            continue
+        result = validate_embedded_scts(cert, issuer_key_hash, log_keys, log_names)
+        if result.all_valid:
+            continue
+        root_cause = _root_cause(cert, precert_index)
+        report.findings.append(
+            InvalidSctFinding(
+                ca_name=cert.issuer_org,
+                certificate=cert,
+                validation=result,
+                root_cause=root_cause,
+            )
+        )
+    return report
+
+
+def _root_cause(
+    cert: Certificate,
+    precert_index: Dict[Tuple[str, int], Certificate],
+) -> Tuple[str, ...]:
+    """Explain why the embedded SCTs are invalid.
+
+    When the logged precertificate is available, the divergence is
+    diagnosed structurally; a certificate whose TBS matches its
+    precertificate but whose SCTs still fail can only have embedded
+    SCTs belonging to a *different* certificate (the TeliaSonera
+    re-issuance case).
+    """
+    precert = precert_index.get((cert.issuer_org, cert.serial))
+    if precert is None:
+        # NetLock-style: the final cert's issuer CN changed too, so the
+        # (issuer, serial) lookup misses; retry on serial alone.
+        candidates = [
+            candidate
+            for (issuer, serial), candidate in precert_index.items()
+            if serial == cert.serial and issuer.split(" ")[0] in cert.issuer_org
+        ]
+        precert = candidates[0] if candidates else None
+    if precert is None:
+        return ("no matching precertificate found in any log",)
+    reasons = diagnose_mismatch(precert, cert)
+    if not reasons:
+        return (
+            "embedded SCTs do not belong to this certificate "
+            "(likely reused from an earlier re-issued certificate)",
+        )
+    return tuple(reasons)

@@ -1,0 +1,138 @@
+"""Projecting CT adoption forward (the Figure 2 discussion).
+
+Section 3.2: "As we can see the number of connections containing an
+SCT stays relatively constant, even after Chrome enforcement started
+in April 2018.  We assume that this picture will change in the near
+future with gradual certificate replacement, and given the extreme
+increase in logging as seen in Figure 1a."
+
+This module turns that assumption into a model.  Certificates are
+replaced at the end of their lifetime; from the enforcement date on,
+replacements are CT-logged (the CA has no choice if it wants Chrome to
+trust them).  Given the traffic's share of SCT connections at the
+enforcement date and the lifetime mix of the certificates behind the
+non-SCT share, :func:`project_adoption` produces the expected Figure 2
+curve for the following months — the S-curve the authors anticipated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ct.policy import ENFORCEMENT_DATE
+
+
+@dataclass(frozen=True)
+class LifetimeBucket:
+    """A slice of the non-CT certificate population.
+
+    ``share`` is the bucket's fraction of non-SCT *connections*;
+    ``lifetime_days`` how long its certificates live.  Replacement
+    times are assumed uniform over the lifetime (issuance dates are
+    spread out), so the bucket converts to CT linearly over one
+    lifetime after enforcement.
+    """
+
+    name: str
+    share: float
+    lifetime_days: int
+
+
+#: The 2018 certificate-lifetime landscape behind non-CT connections:
+#: a fast 90-day (Let's Encrypt-style) slice, the one-year mainstream,
+#: and the two/three-year long tail (the CAB Forum cap was 825 days).
+DEFAULT_LIFETIME_MIX: Tuple[LifetimeBucket, ...] = (
+    LifetimeBucket("90-day", 0.22, 90),
+    LifetimeBucket("1-year", 0.48, 365),
+    LifetimeBucket("2-year", 0.24, 730),
+    LifetimeBucket("825-day", 0.06, 825),
+)
+
+
+@dataclass
+class AdoptionProjection:
+    """The projected Figure 2 continuation."""
+
+    start: date
+    days: List[date]
+    projected_sct_share: List[float]
+
+    def share_on(self, day: date) -> float:
+        if day <= self.days[0]:
+            return self.projected_sct_share[0]
+        if day >= self.days[-1]:
+            return self.projected_sct_share[-1]
+        index = (day - self.days[0]).days
+        return self.projected_sct_share[index]
+
+    def date_reaching(self, target_share: float) -> Optional[date]:
+        """First projected day at/above a target SCT share."""
+        for day, share in zip(self.days, self.projected_sct_share):
+            if share >= target_share:
+                return day
+        return None
+
+
+def project_adoption(
+    current_sct_share: float,
+    *,
+    start: date = ENFORCEMENT_DATE,
+    horizon_days: int = 900,
+    lifetime_mix: Sequence[LifetimeBucket] = DEFAULT_LIFETIME_MIX,
+    #: Share of non-SCT connections that will never convert (internal
+    #: services, legacy stacks pinned to non-CT roots, plain failures).
+    never_convert_share: float = 0.06,
+) -> AdoptionProjection:
+    """Project the SCT connection share after the enforcement date.
+
+    Each lifetime bucket's certificates are replaced uniformly over
+    one lifetime, and every replacement issued on/after ``start`` is
+    CT-logged.  The projected share therefore rises piecewise-linearly
+    toward ``1 - never_convert_share x (non-SCT share)``.
+    """
+    if not 0.0 <= current_sct_share <= 1.0:
+        raise ValueError("current_sct_share must be within [0, 1]")
+    mix_total = sum(bucket.share for bucket in lifetime_mix)
+    if abs(mix_total - 1.0) > 1e-6:
+        raise ValueError(f"lifetime mix must sum to 1, got {mix_total}")
+    non_sct = 1.0 - current_sct_share
+    convertible = non_sct * (1.0 - never_convert_share)
+    days: List[date] = []
+    shares: List[float] = []
+    for offset in range(horizon_days + 1):
+        converted_fraction = 0.0
+        for bucket in lifetime_mix:
+            progress = min(1.0, offset / bucket.lifetime_days)
+            converted_fraction += bucket.share * progress
+        share = current_sct_share + convertible * converted_fraction
+        days.append(start + timedelta(days=offset))
+        shares.append(min(1.0, share))
+    return AdoptionProjection(start=start, days=days, projected_sct_share=shares)
+
+
+def render_projection(
+    projection: AdoptionProjection, *, milestones: Sequence[float] = (0.5, 0.75, 0.9)
+) -> str:
+    """A compact text rendering of the projection."""
+    from repro.util.format import human_percent
+    from repro.util.tables import ascii_line_chart
+
+    chart = ascii_line_chart(
+        {"projected_SCT_share_%": [s * 100 for s in projection.projected_sct_share]},
+        y_label="percent of connections",
+        x_labels=(projection.days[0].isoformat(), projection.days[-1].isoformat()),
+    )
+    lines = [
+        "Projected CT adoption after Chrome enforcement "
+        "(gradual certificate replacement)",
+        chart,
+    ]
+    for milestone in milestones:
+        reached = projection.date_reaching(milestone)
+        lines.append(
+            f"  {human_percent(milestone, 0)} of connections: "
+            + (reached.isoformat() if reached else "beyond horizon")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Section 3.3: server-side CT support from active scans.
+
+Consumes the TLS scanner's records and computes the paper's
+statistics: unique-certificate counts per SCT channel, SCT-serving
+IPs, SNI multiplexing, and the per-certificate log distribution whose
+contrast with Table 1 is the section's main point ("characteristics of
+certificates generally encountered by users … vary strongly from
+those offered across the Internet").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.ct.sct import SCT_LIST_EXTENSION_OID, SignedCertificateTimestamp
+from repro.tls.scanner import ScanRecord
+
+
+@dataclass
+class ServerSupportStats:
+    """Aggregates over one active scan."""
+
+    unique_certificates: int = 0
+    certs_with_embedded_sct: int = 0
+    certs_with_tls_ext_sct: int = 0
+    certs_with_ocsp_sct: int = 0
+    ips_serving_sct: int = 0
+    total_ips: int = 0
+    #: Among embedded-SCT certs, fraction carrying an SCT of each log.
+    per_cert_log_shares: Dict[str, float] = field(default_factory=dict)
+    #: Average certificates per SCT-serving IP (the ~12x multiplexing).
+    certs_per_sct_ip: float = 0.0
+
+    @property
+    def embedded_share(self) -> float:
+        if self.unique_certificates == 0:
+            return 0.0
+        return self.certs_with_embedded_sct / self.unique_certificates
+
+
+def analyze_scan(
+    records: Iterable[ScanRecord],
+    log_names_by_id: Dict[bytes, str],
+) -> ServerSupportStats:
+    """Compute Section 3.3 statistics from scan records."""
+    stats = ServerSupportStats()
+    seen_certs: Set[bytes] = set()
+    embedded_cert_logs: Dict[bytes, Tuple[str, ...]] = {}
+    tls_ext_certs: Set[bytes] = set()
+    ocsp_certs: Set[bytes] = set()
+    ip_certs: Dict[str, Set[bytes]] = defaultdict(set)
+    ip_serves_sct: Dict[str, bool] = defaultdict(bool)
+
+    for record in records:
+        fingerprint = record.certificate.fingerprint()
+        ip_certs[record.ip].add(fingerprint)
+        has_sct = False
+        if fingerprint not in seen_certs:
+            seen_certs.add(fingerprint)
+            extension = record.certificate.get_extension(SCT_LIST_EXTENSION_OID)
+            if extension is not None:
+                logs = tuple(
+                    log_names_by_id.get(sct.log_id, "unknown log")
+                    for sct in SignedCertificateTimestamp.decode_list(extension.value)
+                )
+                embedded_cert_logs[fingerprint] = logs
+        if fingerprint in embedded_cert_logs:
+            has_sct = True
+        if record.tls_extension_scts:
+            tls_ext_certs.add(fingerprint)
+            has_sct = True
+        if record.ocsp_scts:
+            ocsp_certs.add(fingerprint)
+            has_sct = True
+        if has_sct:
+            ip_serves_sct[record.ip] = True
+
+    stats.unique_certificates = len(seen_certs)
+    stats.certs_with_embedded_sct = len(embedded_cert_logs)
+    stats.certs_with_tls_ext_sct = len(tls_ext_certs)
+    stats.certs_with_ocsp_sct = len(ocsp_certs)
+    stats.total_ips = len(ip_certs)
+    sct_ips = [ip for ip, serves in ip_serves_sct.items() if serves]
+    stats.ips_serving_sct = len(sct_ips)
+    if sct_ips:
+        stats.certs_per_sct_ip = sum(
+            len(ip_certs[ip]) for ip in sct_ips
+        ) / len(sct_ips)
+
+    log_counts: Dict[str, int] = defaultdict(int)
+    for logs in embedded_cert_logs.values():
+        for name in set(logs):
+            log_counts[name] += 1
+    if embedded_cert_logs:
+        total = len(embedded_cert_logs)
+        stats.per_cert_log_shares = {
+            name: count / total for name, count in log_counts.items()
+        }
+    return stats
+
+
+def top_per_cert_logs(
+    stats: ServerSupportStats, top: int = 6
+) -> List[Tuple[str, float]]:
+    """The per-certificate log ranking (Nimbus2018 74 %, Icarus 71 %, …)."""
+    return sorted(
+        stats.per_cert_log_shares.items(), key=lambda kv: -kv[1]
+    )[:top]
+
+
+def passive_vs_active_contrast(
+    per_connection_shares: Dict[str, float],
+    stats: ServerSupportStats,
+) -> List[Tuple[str, float, float]]:
+    """The section's punchline: per-connection vs per-certificate shares.
+
+    Returns (log, share_in_traffic, share_in_cert_population) rows for
+    every log present in either view, sorted by the absolute gap.
+    """
+    names = set(per_connection_shares) | set(stats.per_cert_log_shares)
+    rows = [
+        (
+            name,
+            per_connection_shares.get(name, 0.0),
+            stats.per_cert_log_shares.get(name, 0.0),
+        )
+        for name in names
+    ]
+    rows.sort(key=lambda row: -abs(row[1] - row[2]))
+    return rows

@@ -1,0 +1,154 @@
+"""Turning honeypot observations into defensive intelligence.
+
+The paper's conclusion: "leaked domain names are actively used in
+Internet scanning, some of it likely malicious … We hope our results
+encourage work on countermeasures."  This module is such a
+countermeasure: it scores the actors a CT honeypot observes and emits
+a blocklist.
+
+Scoring follows the paper's own reasoning in Section 6.2:
+
+* querying a CT-leaked name is *expected* behaviour for research and
+  threat-intelligence backends — not malicious by itself;
+* connecting to the leaked endpoints, and especially port-scanning
+  them, is target acquisition;
+* none of the inbound scanners followed best practices (informative
+  rDNS, abuse contacts), which the paper used to exclude benevolent
+  scanners — represented here via the AS registry's
+  ``follows_scanning_best_practices`` flag;
+* a bulletproof-hosting AS (Quasi Networks "ignores all abuse
+  messages") raises the score further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.honeypot import HoneypotResult
+from repro.inet.asn import AS_REGISTRY
+
+#: Score weights.
+SCORE_CONNECTED = 2.0
+SCORE_PER_EXTRA_PORT = 0.5
+SCORE_NO_BEST_PRACTICES = 1.0
+SCORE_BULLETPROOF_AS = 3.0
+#: The machine looked the name up (via ECS-correlated queries) before
+#: connecting: informed, CT-driven targeting rather than random scans.
+SCORE_INFORMED_TARGETING = 2.0
+#: Scores at or above this land on the blocklist.
+BLOCK_THRESHOLD = 5.0
+
+
+@dataclass
+class ActorProfile:
+    """Everything observed about one source IP."""
+
+    ip: str
+    asn: int
+    dns_queries: int = 0
+    #: DNS queries whose EDNS Client Subnet covers this IP — how the
+    #: paper correlated stub clients behind Google DNS with the
+    #: machines that later connected (Section 6.2).
+    ecs_correlated_queries: int = 0
+    connections: int = 0
+    distinct_ports: Set[int] = field(default_factory=set)
+    touched_machines: Set[str] = field(default_factory=set)
+
+    @property
+    def as_name(self) -> str:
+        asys = AS_REGISTRY.get(self.asn)
+        return asys.name if asys else f"AS{self.asn}"
+
+    def score(self) -> float:
+        """Maliciousness score per the Section 6.2 reasoning."""
+        value = 0.0
+        if self.connections:
+            value += SCORE_CONNECTED
+            value += SCORE_PER_EXTRA_PORT * max(0, len(self.distinct_ports) - 1)
+            if self.ecs_correlated_queries:
+                value += SCORE_INFORMED_TARGETING
+            asys = AS_REGISTRY.get(self.asn)
+            if asys is None or not asys.follows_scanning_best_practices:
+                value += SCORE_NO_BEST_PRACTICES
+            if asys is not None and asys.category == "bulletproof":
+                value += SCORE_BULLETPROOF_AS
+        return value
+
+
+@dataclass
+class ThreatReport:
+    """Outcome of the honeypot-driven scoring."""
+
+    actors: Dict[str, ActorProfile]
+
+    def ranked(self) -> List[ActorProfile]:
+        return sorted(
+            self.actors.values(), key=lambda a: (-a.score(), a.ip)
+        )
+
+    def blocklist(self, threshold: float = BLOCK_THRESHOLD) -> List[str]:
+        """Source IPs whose score crosses the threshold."""
+        return [actor.ip for actor in self.ranked() if actor.score() >= threshold]
+
+    def scanners(self) -> List[ActorProfile]:
+        return [a for a in self.actors.values() if len(a.distinct_ports) > 1]
+
+
+def build_threat_report(result: HoneypotResult) -> ThreatReport:
+    """Score every actor seen by the honeypot's two sensors."""
+    actors: Dict[str, ActorProfile] = {}
+
+    def profile(ip: str, asn: Optional[int]) -> ActorProfile:
+        actor = actors.get(ip)
+        if actor is None:
+            actor = actors[ip] = ActorProfile(ip=ip, asn=asn or 0)
+        return actor
+
+    for entry in result.auth_server.query_log:
+        if entry.source_asn == 64501:  # the CA's own validation
+            continue
+        profile(entry.source_ip, entry.source_asn).dns_queries += 1
+
+    for conn in result.connections:
+        if conn.src_asn == 64501 or conn.ipv6:
+            continue
+        actor = profile(conn.src_ip, conn.src_asn)
+        actor.connections += 1
+        actor.distinct_ports.add(conn.dst_port)
+        actor.touched_machines.add(conn.dst_ip)
+
+    # The ECS correlation of Section 6.2: stub clients that queried via
+    # Google Public DNS are linked to connecting machines through the
+    # /24 the resolver exposed.
+    for entry in result.auth_server.query_log:
+        if entry.client_subnet is None or entry.source_asn == 64501:
+            continue
+        for actor in actors.values():
+            if actor.connections and entry.client_subnet.covers(actor.ip):
+                actor.ecs_correlated_queries += 1
+    return ThreatReport(actors=actors)
+
+
+def render_threat_report(report: ThreatReport, top: int = 8) -> str:
+    """Human-readable ranking plus the blocklist."""
+    from repro.util.tables import Table
+
+    table = Table(["IP", "AS", "score", "DNS q", "ECS q", "conns", "ports", "machines"])
+    for actor in report.ranked()[:top]:
+        table.add_row(
+            actor.ip,
+            f"{actor.asn} ({actor.as_name})",
+            f"{actor.score():.1f}",
+            actor.dns_queries,
+            actor.ecs_correlated_queries,
+            actor.connections,
+            len(actor.distinct_ports),
+            len(actor.touched_machines),
+        )
+    block = report.blocklist()
+    return (
+        "Honeypot-derived threat intelligence\n"
+        + table.render()
+        + f"\nblocklist (score >= {BLOCK_THRESHOLD}): {block or 'empty'}"
+    )

@@ -1,0 +1,183 @@
+"""A CT-based domain watchlist/advisory service (Section 5).
+
+"Facebook and CertSpotter even offer notification services for
+operators to receive advisories about potential phishing attempts
+against their users.  However, their methods are not disclosed."
+
+This module is an open implementation: operators register the domains
+they care about; the service follows CT logs through a streaming
+monitor and raises advisories for
+
+* **new certificates for the watched domains themselves** (catching
+  unauthorized issuance — CT's original purpose), and
+* **lookalike registrations** impersonating a watched domain, using
+  the Section 5 detection grammar (target embedding, hyphenation,
+  suffix abuse).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.monitor import LogObservation, StreamingMonitor
+from repro.dnscore.name import is_subdomain_of, normalize_name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class WatchEntry:
+    """One watched registrable domain and who to notify."""
+
+    domain: str
+    operator: str
+    #: Issuers the operator uses; others trigger unauthorized-issuance
+    #: advisories (empty = any issuer is expected).
+    expected_issuers: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One notification to an operator."""
+
+    operator: str
+    watched_domain: str
+    kind: str  # "issuance" | "unauthorized-issuance" | "lookalike"
+    certificate_name: str
+    log_name: str
+    observed_at: datetime
+    detail: str = ""
+
+
+class WatchlistService:
+    """Follows logs and notifies operators about relevant certificates."""
+
+    def __init__(
+        self,
+        psl: Optional[PublicSuffixList] = None,
+        seed: int = 1,
+        latency_range_s: Tuple[float, float] = (30.0, 120.0),
+    ) -> None:
+        self._psl = psl or default_psl()
+        self._entries: Dict[str, WatchEntry] = {}
+        self._patterns: Dict[str, re.Pattern] = {}
+        self._monitor = StreamingMonitor(
+            "watchlist", SeededRng(seed, "watchlist"), latency_range_s
+        )
+        self.advisories: List[Advisory] = []
+
+    # -- registration --------------------------------------------------------
+
+    def watch(self, entry: WatchEntry) -> None:
+        domain = normalize_name(entry.domain)
+        self._entries[domain] = entry
+        owner = domain.split(".")[0]
+        # Lookalike grammar: the owner label (or the full domain with
+        # dots turned into separators) embedded at a label boundary.
+        escaped_domain = re.escape(domain).replace(r"\.", r"[.-]")
+        self._patterns[domain] = re.compile(
+            rf"(^|[.-])({re.escape(owner)}|{escaped_domain})(?=$|[.-])"
+        )
+
+    def watched_domains(self) -> List[str]:
+        return sorted(self._entries)
+
+    # -- classification ------------------------------------------------------
+
+    def classify_name(
+        self, name: str, issuer: str = ""
+    ) -> Optional[Tuple[WatchEntry, str, str]]:
+        """Return (entry, kind, detail) when a name concerns a watch entry."""
+        candidate = normalize_name(name)
+        for domain, entry in self._entries.items():
+            if is_subdomain_of(candidate, domain):
+                if entry.expected_issuers and issuer not in entry.expected_issuers:
+                    return (
+                        entry,
+                        "unauthorized-issuance",
+                        f"issued by {issuer!r}, expected one of {entry.expected_issuers}",
+                    )
+                return entry, "issuance", "certificate for a watched name"
+            if self._patterns[domain].search(candidate):
+                return entry, "lookalike", f"embeds {domain!r} outside its registrable domain"
+        return None
+
+    # -- the monitoring loop ---------------------------------------------------
+
+    def process(self, logs: Iterable[CTLog]) -> List[Advisory]:
+        """Consume new log entries; returns newly raised advisories."""
+        fresh: List[Advisory] = []
+        for log in logs:
+            for obs in self._monitor.observe(log):
+                fresh.extend(self._handle(obs))
+        self.advisories.extend(fresh)
+        return fresh
+
+    def _handle(self, obs: LogObservation) -> List[Advisory]:
+        advisories = []
+        issuer = obs.entry.certificate.issuer_org
+        seen: Set[Tuple[str, str]] = set()
+        for name in obs.dns_names:
+            match = self.classify_name(name, issuer)
+            if match is None:
+                continue
+            entry, kind, detail = match
+            key = (entry.domain, kind)
+            if key in seen:
+                continue  # one advisory per cert per (domain, kind)
+            seen.add(key)
+            advisories.append(
+                Advisory(
+                    operator=entry.operator,
+                    watched_domain=entry.domain,
+                    kind=kind,
+                    certificate_name=name,
+                    log_name=obs.log_name,
+                    observed_at=obs.observed_at,
+                    detail=detail,
+                )
+            )
+        return advisories
+
+    def advisories_for(self, operator: str) -> List[Advisory]:
+        return [a for a in self.advisories if a.operator == operator]
+
+    # -- CertFeed integration ----------------------------------------------
+
+    def feed_subscriber(self):
+        """A callback suitable for :meth:`repro.ct.feed.CertFeed.subscribe`.
+
+        Lets the watchlist consume a shared CertStream-style feed
+        instead of running its own log cursors; advisories accumulate
+        in :attr:`advisories` exactly as with :meth:`process`.
+        """
+
+        def on_event(event) -> None:  # event: repro.ct.feed.FeedEvent
+            issuer = event.entry.certificate.issuer_org
+            seen: Set[Tuple[str, str]] = set()
+            for name in event.dns_names:
+                match = self.classify_name(name, issuer)
+                if match is None:
+                    continue
+                entry, kind, detail = match
+                key = (entry.domain, kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.advisories.append(
+                    Advisory(
+                        operator=entry.operator,
+                        watched_domain=entry.domain,
+                        kind=kind,
+                        certificate_name=name,
+                        log_name=event.log_name,
+                        observed_at=event.seen_at,
+                        detail=detail,
+                    )
+                )
+
+        return on_event

@@ -1,0 +1,63 @@
+"""Certificate Transparency substrate (RFC 6962).
+
+Implements the CT machinery the paper measures:
+
+* :mod:`repro.ct.merkle` — Merkle hash trees with inclusion and
+  consistency proofs (the append-only ledger structure);
+* :mod:`repro.ct.sct` — Signed Certificate Timestamps;
+* :mod:`repro.ct.log` — log servers with the precertificate submission
+  flow, signed tree heads, and a capacity/overload model (the Nimbus
+  performance incident of Section 2);
+* :mod:`repro.ct.loglist` — the registry of logs in the study
+  (operators and Chrome inclusion dates of Table 1);
+* :mod:`repro.ct.policy` — Chrome's CT policy (diverse-operator rule);
+* :mod:`repro.ct.monitor` — streaming and batch log monitors, the
+  mechanism behind Section 6's honeypot observations;
+* :mod:`repro.ct.verification` — embedded-SCT validation by
+  precertificate reconstruction (Section 3.4).
+"""
+
+from repro.ct.auditor import AuditFinding, GossipPool, LogAuditor
+from repro.ct.log import CTLog, LogEntry, LogEntryType, LogOverloadedError
+from repro.ct.loglist import KNOWN_LOGS, LogInfo, build_default_logs
+from repro.ct.redaction import RedactionPolicy, redact_certificate, redact_name
+from repro.ct.storage import dump_log, load_log
+from repro.ct.merkle import (
+    MerkleTree,
+    verify_consistency_proof,
+    verify_inclusion_proof,
+)
+from repro.ct.monitor import BatchMonitor, LogObservation, StreamingMonitor
+from repro.ct.policy import ChromeCTPolicy, PolicyVerdict
+from repro.ct.sct import SignedCertificateTimestamp, SctChannel
+from repro.ct.verification import SctValidationResult, validate_embedded_scts
+
+__all__ = [
+    "AuditFinding",
+    "BatchMonitor",
+    "CTLog",
+    "GossipPool",
+    "LogAuditor",
+    "RedactionPolicy",
+    "dump_log",
+    "load_log",
+    "redact_certificate",
+    "redact_name",
+    "ChromeCTPolicy",
+    "KNOWN_LOGS",
+    "LogEntry",
+    "LogEntryType",
+    "LogInfo",
+    "LogObservation",
+    "LogOverloadedError",
+    "MerkleTree",
+    "PolicyVerdict",
+    "SctChannel",
+    "SctValidationResult",
+    "SignedCertificateTimestamp",
+    "StreamingMonitor",
+    "build_default_logs",
+    "validate_embedded_scts",
+    "verify_consistency_proof",
+    "verify_inclusion_proof",
+]

@@ -1,0 +1,252 @@
+"""CT auditing: verifying that logs keep their promises.
+
+Section 2 of the paper: "Logs are append-only and use Merkle Hash
+Trees, which allows to detect tampering with a log's history."  This
+module is the machinery that actually does the detecting:
+
+* :class:`LogAuditor` follows one log over time, verifying STH
+  signatures, checking consistency proofs between consecutive tree
+  heads (append-only), and auditing SCTs for inclusion within the
+  log's maximum merge delay;
+* :class:`GossipPool` cross-checks STHs observed by *different*
+  vantage points, catching split-view attacks where a log shows
+  diverging histories to different clients (the attack CT's design
+  must prevent for the "full view" claim to hold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, List, Optional, Tuple
+
+from repro.ct.log import CTLog, SignedTreeHead
+from repro.ct.merkle import verify_consistency_proof, verify_inclusion_proof
+from repro.ct.sct import (
+    SignedCertificateTimestamp,
+    precert_signing_input,
+    x509_signing_input,
+    SctEntryType,
+)
+from repro.util.timeutil import from_timestamp_ms
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One problem an auditor observed."""
+
+    log_name: str
+    kind: str  # bad-sth-signature | inconsistent-history | missing-entry | mmd-violation | split-view
+    detail: str
+    observed_at: Optional[datetime] = None
+
+
+@dataclass
+class AuditReport:
+    """Accumulated findings of an audit run."""
+
+    findings: List[AuditFinding] = field(default_factory=list)
+    sths_verified: int = 0
+    consistency_checks: int = 0
+    inclusion_checks: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def add(self, finding: AuditFinding) -> None:
+        self.findings.append(finding)
+
+
+class LogAuditor:
+    """Follows a single log and verifies its behaviour over time."""
+
+    def __init__(self, log: CTLog) -> None:
+        self._log = log
+        self._last_sth: Optional[SignedTreeHead] = None
+        self.report = AuditReport()
+
+    def observe_sth(self, sth: SignedTreeHead, now: datetime) -> None:
+        """Verify a new STH and its consistency with the previous one."""
+        if not sth.verify(self._log.key):
+            self.report.add(
+                AuditFinding(
+                    self._log.name,
+                    "bad-sth-signature",
+                    f"STH for tree size {sth.tree_size} has an invalid signature",
+                    now,
+                )
+            )
+            return
+        self.report.sths_verified += 1
+        previous = self._last_sth
+        if previous is not None:
+            if sth.tree_size < previous.tree_size:
+                self.report.add(
+                    AuditFinding(
+                        self._log.name,
+                        "inconsistent-history",
+                        f"tree shrank from {previous.tree_size} to {sth.tree_size}",
+                        now,
+                    )
+                )
+                return
+            proof = self._log.get_consistency(previous.tree_size, sth.tree_size)
+            self.report.consistency_checks += 1
+            if not verify_consistency_proof(
+                previous.tree_size,
+                sth.tree_size,
+                previous.root_hash,
+                sth.root_hash,
+                proof,
+            ):
+                self.report.add(
+                    AuditFinding(
+                        self._log.name,
+                        "inconsistent-history",
+                        f"no valid consistency proof from size "
+                        f"{previous.tree_size} to {sth.tree_size}",
+                        now,
+                    )
+                )
+                return
+        self._last_sth = sth
+
+    def poll(self, now: datetime) -> SignedTreeHead:
+        """Fetch and verify the log's current STH."""
+        sth = self._log.get_sth(now)
+        self.observe_sth(sth, now)
+        return sth
+
+    def audit_sct_inclusion(
+        self,
+        certificate: Certificate,
+        sct: SignedCertificateTimestamp,
+        issuer_key_hash: bytes,
+        now: datetime,
+    ) -> bool:
+        """Check that an SCT's promise has been kept.
+
+        Verifies the SCT signature, locates the corresponding entry in
+        the log, and verifies an inclusion proof against a fresh STH.
+        Flags an MMD violation when the entry is missing although the
+        maximum merge delay has passed.
+        """
+        if sct.entry_type is SctEntryType.PRECERT_ENTRY:
+            entry_input = precert_signing_input(certificate, issuer_key_hash)
+        else:
+            entry_input = x509_signing_input(certificate)
+        if not sct.verify(self._log.key, entry_input):
+            self.report.add(
+                AuditFinding(
+                    self._log.name,
+                    "bad-sth-signature",
+                    "SCT signature invalid for presented certificate",
+                    now,
+                )
+            )
+            return False
+        self.report.inclusion_checks += 1
+        index = next(
+            (
+                entry.index
+                for entry in self._log.entries
+                if entry.leaf_input == entry_input
+            ),
+            None,
+        )
+        if index is None:
+            deadline = from_timestamp_ms(sct.timestamp_ms) + timedelta(
+                hours=self._log.mmd_hours
+            )
+            kind = "mmd-violation" if now > deadline else "missing-entry"
+            self.report.add(
+                AuditFinding(
+                    self._log.name,
+                    kind,
+                    f"no log entry for SCT issued at {sct.timestamp}",
+                    now,
+                )
+            )
+            return False
+        sth = self._log.get_sth(now)
+        proof = self._log.get_proof_by_hash(index, sth.tree_size)
+        ok = verify_inclusion_proof(
+            entry_input, index, sth.tree_size, proof, sth.root_hash
+        )
+        if not ok:
+            self.report.add(
+                AuditFinding(
+                    self._log.name,
+                    "missing-entry",
+                    f"inclusion proof for entry {index} does not verify",
+                    now,
+                )
+            )
+        return ok
+
+
+class GossipPool:
+    """Cross-vantage STH gossip for split-view detection.
+
+    Vantage points submit the STHs they observed; for any two STHs of
+    the same log with the same tree size but different root hashes the
+    log has equivocated — cryptographic proof of misbehaviour.
+    """
+
+    def __init__(self) -> None:
+        # (log name, tree size) -> (root hash, first reporter)
+        self._seen: Dict[Tuple[str, int], Tuple[bytes, str]] = {}
+        self.findings: List[AuditFinding] = []
+        self.sths_gossiped = 0
+
+    def submit(self, log_name: str, sth: SignedTreeHead, reporter: str) -> Optional[AuditFinding]:
+        """Record an observed STH; returns a finding on equivocation."""
+        self.sths_gossiped += 1
+        key = (log_name, sth.tree_size)
+        known = self._seen.get(key)
+        if known is None:
+            self._seen[key] = (sth.root_hash, reporter)
+            return None
+        root, first_reporter = known
+        if root != sth.root_hash:
+            finding = AuditFinding(
+                log_name,
+                "split-view",
+                f"tree size {sth.tree_size}: {first_reporter} saw root "
+                f"{root.hex()[:16]}…, {reporter} saw {sth.root_hash.hex()[:16]}…",
+            )
+            self.findings.append(finding)
+            return finding
+        return None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def make_split_view_log(log: CTLog, fork_at: int) -> CTLog:
+    """Build an equivocating twin of ``log`` for testing/demonstration.
+
+    The twin shares ``log``'s history up to ``fork_at`` entries and
+    then diverges — the classic split-view attack setup.  It uses the
+    same key (the attacker *is* the log operator).
+    """
+    from repro.ct.merkle import MerkleTree
+
+    twin = CTLog(
+        name=log.name,
+        operator=log.operator,
+        key=log.key,
+        chrome_inclusion=log.chrome_inclusion,
+        url=log.url,
+        mmd_hours=log.mmd_hours,
+    )
+    twin.tree = MerkleTree()
+    for entry in log.entries[:fork_at]:
+        twin.tree.append(entry.leaf_input)
+        twin.entries.append(entry)
+    # Diverge: a fabricated entry not present in the honest view.
+    twin.tree.append(b"equivocation-entry")
+    return twin

@@ -1,0 +1,153 @@
+"""A CertStream-style certificate feed hub.
+
+The paper (Section 6.2) attributes the fastest honeypot reactions to
+"a streaming fashion, using e.g., CertStream" — a service that tails
+all logs and fans entries out to subscribers.  This module implements
+that service shape:
+
+* :class:`CertFeed` tails a set of logs (one cursor per log) and
+  pushes :class:`FeedEvent` items to subscribers;
+* subscribers are plain callables; slow consumers are protected by a
+  bounded per-subscriber queue with an explicit drop counter (the
+  real CertStream drops messages under backpressure too);
+* :meth:`CertFeed.backfill` replays historical entries to a new
+  subscriber, the way monitors bootstrap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.ct.log import CTLog, LogEntry
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One certificate update pushed to subscribers."""
+
+    log_name: str
+    entry: LogEntry
+    seen_at: datetime
+
+    @property
+    def dns_names(self) -> List[str]:
+        return self.entry.certificate.dns_names()
+
+    @property
+    def issuer(self) -> str:
+        return self.entry.certificate.issuer_org
+
+
+Subscriber = Callable[[FeedEvent], None]
+
+
+@dataclass
+class _Subscription:
+    name: str
+    callback: Subscriber
+    queue: Deque[FeedEvent]
+    max_queue: int
+    delivered: int = 0
+    dropped: int = 0
+
+
+class CertFeed:
+    """Tails logs and fans out new entries to subscribers."""
+
+    def __init__(self, logs: Iterable[CTLog], *, max_queue: int = 10_000) -> None:
+        self._logs = list(logs)
+        self._cursors: Dict[str, int] = {log.name: log.size for log in self._logs}
+        self._subs: Dict[str, _Subscription] = {}
+        self._default_max_queue = max_queue
+        self.events_emitted = 0
+
+    # -- subscription management ---------------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        callback: Subscriber,
+        *,
+        max_queue: Optional[int] = None,
+    ) -> None:
+        if name in self._subs:
+            raise ValueError(f"subscriber {name!r} already registered")
+        self._subs[name] = _Subscription(
+            name=name,
+            callback=callback,
+            queue=deque(),
+            max_queue=max_queue if max_queue is not None else self._default_max_queue,
+        )
+
+    def unsubscribe(self, name: str) -> None:
+        self._subs.pop(name, None)
+
+    def subscribers(self) -> List[str]:
+        return sorted(self._subs)
+
+    def stats(self, name: str) -> Tuple[int, int, int]:
+        """(delivered, queued, dropped) for one subscriber."""
+        sub = self._subs[name]
+        return sub.delivered, len(sub.queue), sub.dropped
+
+    # -- feeding ---------------------------------------------------------------
+
+    def backfill(self, name: str, *, limit: Optional[int] = None) -> int:
+        """Replay historical entries (oldest first) to one subscriber."""
+        sub = self._subs[name]
+        replayed = 0
+        for log in self._logs:
+            for entry in log.entries if limit is None else log.entries[-limit:]:
+                event = FeedEvent(log.name, entry, entry.submitted_at)
+                sub.callback(event)
+                sub.delivered += 1
+                replayed += 1
+        return replayed
+
+    def poll(self, now: datetime) -> int:
+        """Pull new entries from all logs and enqueue them everywhere."""
+        fresh: List[FeedEvent] = []
+        for log in self._logs:
+            cursor = self._cursors.get(log.name, 0)
+            if log.size > cursor:
+                for entry in log.get_entries(cursor, log.size - 1):
+                    fresh.append(FeedEvent(log.name, entry, now))
+                self._cursors[log.name] = log.size
+        for event in fresh:
+            self.events_emitted += 1
+            for sub in self._subs.values():
+                if len(sub.queue) >= sub.max_queue:
+                    sub.dropped += 1
+                    continue
+                sub.queue.append(event)
+        return len(fresh)
+
+    def dispatch(self, *, budget: Optional[int] = None) -> int:
+        """Drain subscriber queues through their callbacks.
+
+        ``budget`` caps total deliveries (simulating a scheduling
+        quantum); returns the number delivered.
+        """
+        delivered = 0
+        pending = True
+        while pending and (budget is None or delivered < budget):
+            pending = False
+            for sub in self._subs.values():
+                if not sub.queue:
+                    continue
+                if budget is not None and delivered >= budget:
+                    break
+                event = sub.queue.popleft()
+                sub.callback(event)
+                sub.delivered += 1
+                delivered += 1
+                pending = True
+        return delivered
+
+    def run_once(self, now: datetime) -> int:
+        """Convenience: poll then fully dispatch; returns deliveries."""
+        self.poll(now)
+        return self.dispatch()

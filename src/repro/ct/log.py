@@ -1,0 +1,238 @@
+"""CT log servers.
+
+A :class:`CTLog` models one log instance: an append-only Merkle tree
+over submitted (pre)certificates, SCT issuance with real signatures,
+signed tree heads, and the ``get-entries`` interface monitors poll.
+
+It also carries a simple capacity model.  Section 2 of the paper
+documents how Let's Encrypt's logging volume overloaded the Cloudflare
+Nimbus log, triggering a disqualification discussion; the capacity
+model lets the evolution benchmarks reproduce that overload signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import Dict, List, Optional, Tuple
+
+from repro.ct.merkle import MerkleTree
+from repro.ct.sct import (
+    SctEntryType,
+    SignedCertificateTimestamp,
+    precert_signing_input,
+    x509_signing_input,
+)
+from repro.util.timeutil import timestamp_ms
+from repro.x509 import crypto
+from repro.x509.certificate import Certificate
+
+
+class LogOverloadedError(RuntimeError):
+    """Raised when a submission exceeds the log's daily capacity."""
+
+
+class LogDisqualifiedError(RuntimeError):
+    """Raised when submitting to a disqualified log."""
+
+
+#: Alias re-export so callers need only import from ct.log.
+LogEntryType = SctEntryType
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One appended log entry."""
+
+    index: int
+    submitted_at: datetime
+    entry_type: SctEntryType
+    certificate: Certificate
+    leaf_input: bytes
+
+
+@dataclass(frozen=True)
+class SignedTreeHead:
+    """An STH: the log's signed commitment to its current state."""
+
+    tree_size: int
+    timestamp_ms: int
+    root_hash: bytes
+    signature: bytes
+
+    @staticmethod
+    def signed_payload(tree_size: int, timestamp_ms_: int, root_hash: bytes) -> bytes:
+        return (
+            b"STHv1"
+            + tree_size.to_bytes(8, "big")
+            + timestamp_ms_.to_bytes(8, "big")
+            + root_hash
+        )
+
+    def verify(self, log_key: crypto.KeyPair) -> bool:
+        payload = self.signed_payload(self.tree_size, self.timestamp_ms, self.root_hash)
+        return crypto.verify(log_key, payload, self.signature)
+
+
+@dataclass
+class CTLog:
+    """A Certificate Transparency log server.
+
+    Parameters
+    ----------
+    name / operator:
+        Display name ("Google Pilot log") and operator ("Google").
+    key:
+        The log's signing keypair; ``key.key_id`` is the LogID.
+    chrome_inclusion:
+        Month the log was accepted into Chrome (Table 1 annotations).
+    capacity_per_day:
+        Optional submissions-per-day ceiling; exceeding it records an
+        overload event and (if ``strict_capacity``) rejects.
+    """
+
+    name: str
+    operator: str
+    key: crypto.KeyPair
+    chrome_inclusion: Optional[date] = None
+    url: str = ""
+    mmd_hours: int = 24
+    capacity_per_day: Optional[int] = None
+    strict_capacity: bool = False
+
+    entries: List[LogEntry] = field(default_factory=list)
+    tree: MerkleTree = field(default_factory=MerkleTree)
+    disqualified: bool = False
+    overload_days: Dict[date, int] = field(default_factory=dict)
+
+    _daily_counts: Dict[date, int] = field(default_factory=dict)
+    _sct_cache: Dict[bytes, SignedCertificateTimestamp] = field(default_factory=dict)
+
+    @property
+    def log_id(self) -> bytes:
+        return self.key.key_id
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    # -- submission API ------------------------------------------------------
+
+    def add_pre_chain(
+        self,
+        precert: Certificate,
+        issuer_key_hash: bytes,
+        now: datetime,
+    ) -> SignedCertificateTimestamp:
+        """Submit a precertificate; returns the inclusion promise (SCT)."""
+        if not precert.is_precertificate:
+            raise ValueError("add_pre_chain requires a poisoned precertificate")
+        entry_input = precert_signing_input(precert, issuer_key_hash)
+        return self._accept(
+            precert, entry_input, SctEntryType.PRECERT_ENTRY, now
+        )
+
+    def add_chain(
+        self, cert: Certificate, now: datetime
+    ) -> SignedCertificateTimestamp:
+        """Submit a final certificate."""
+        if cert.is_precertificate:
+            raise ValueError("add_chain requires a final certificate")
+        entry_input = x509_signing_input(cert)
+        return self._accept(cert, entry_input, SctEntryType.X509_ENTRY, now)
+
+    def _accept(
+        self,
+        cert: Certificate,
+        entry_input: bytes,
+        entry_type: SctEntryType,
+        now: datetime,
+    ) -> SignedCertificateTimestamp:
+        if self.disqualified:
+            raise LogDisqualifiedError(f"{self.name} is disqualified")
+        cache_key = crypto.sha256(entry_input)
+        cached = self._sct_cache.get(cache_key)
+        if cached is not None:
+            # Logs deduplicate: resubmission returns the original SCT.
+            return cached
+        day = now.date()
+        count = self._daily_counts.get(day, 0) + 1
+        self._daily_counts[day] = count
+        if self.capacity_per_day is not None and count > self.capacity_per_day:
+            self.overload_days[day] = self.overload_days.get(day, 0) + 1
+            if self.strict_capacity:
+                raise LogOverloadedError(
+                    f"{self.name} over capacity on {day.isoformat()}"
+                )
+        ts = timestamp_ms(now)
+        payload = SignedCertificateTimestamp.signed_payload(
+            self.log_id, ts, entry_type, entry_input
+        )
+        sct = SignedCertificateTimestamp(
+            log_id=self.log_id,
+            timestamp_ms=ts,
+            entry_type=entry_type,
+            signature=crypto.sign(self.key, payload),
+        )
+        index = self.tree.append(entry_input)
+        self.entries.append(
+            LogEntry(
+                index=index,
+                submitted_at=now,
+                entry_type=entry_type,
+                certificate=cert,
+                leaf_input=entry_input,
+            )
+        )
+        self._sct_cache[cache_key] = sct
+        return sct
+
+    # -- read API --------------------------------------------------------------
+
+    def get_sth(self, now: datetime) -> SignedTreeHead:
+        """Sign and return the current tree head."""
+        root = self.tree.root()
+        ts = timestamp_ms(now)
+        payload = SignedTreeHead.signed_payload(self.tree.size, ts, root)
+        return SignedTreeHead(
+            tree_size=self.tree.size,
+            timestamp_ms=ts,
+            root_hash=root,
+            signature=crypto.sign(self.key, payload),
+        )
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        """Entries with indices in [start, end] (RFC 6962 get-entries)."""
+        if start < 0 or end < start:
+            raise ValueError("invalid entry range")
+        return self.entries[start : end + 1]
+
+    def get_proof_by_hash(self, index: int, tree_size: int) -> List[bytes]:
+        return self.tree.inclusion_proof(index, tree_size)
+
+    def get_consistency(self, old_size: int, new_size: int) -> List[bytes]:
+        return self.tree.consistency_proof(old_size, new_size)
+
+    # -- health -----------------------------------------------------------------
+
+    def disqualify(self) -> None:
+        """Mark the log disqualified (rejected from the trusted set)."""
+        self.disqualified = True
+
+    def daily_submission_counts(self) -> Dict[date, int]:
+        return dict(self._daily_counts)
+
+    def was_overloaded(self) -> bool:
+        return bool(self.overload_days)
+
+    def utilization(self) -> List[Tuple[date, float]]:
+        """Per-day load relative to capacity (empty if uncapped)."""
+        if self.capacity_per_day is None:
+            return []
+        return sorted(
+            (day, count / self.capacity_per_day)
+            for day, count in self._daily_counts.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CTLog({self.name!r}, size={self.size})"

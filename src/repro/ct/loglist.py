@@ -1,0 +1,98 @@
+"""Registry of the CT logs appearing in the study.
+
+The fifteen logs of Table 1 (with their operators and Chrome inclusion
+dates) plus a few logs discussed elsewhere in the paper: the Cloudflare
+Nimbus2019 shard, and Symantec's "Deneb" log, which existed explicitly
+to *hide* subdomains (Section 4).
+
+Log keys are generated deterministically from the log name, so the
+whole simulated log ecosystem is reproducible and SCT verification
+works across process runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional
+
+from repro.ct.log import CTLog
+from repro.x509.crypto import KeyPair
+
+
+@dataclass(frozen=True)
+class LogInfo:
+    """Static description of a known log."""
+
+    name: str
+    operator: str
+    chrome_inclusion: Optional[date]
+    #: Daily submission capacity at scale 1:1000 (None = effectively unbounded).
+    capacity_per_day: Optional[int] = None
+
+
+#: Table 1's logs, in the paper's order, plus Nimbus2019 and Deneb.
+KNOWN_LOGS: List[LogInfo] = [
+    LogInfo("Google Pilot log", "Google", date(2014, 6, 1)),
+    LogInfo("Symantec log", "Symantec", date(2015, 9, 1)),
+    LogInfo("Google Rocketeer log", "Google", date(2015, 4, 1)),
+    LogInfo("DigiCert Log Server", "DigiCert", date(2015, 1, 1)),
+    LogInfo("Google Skydiver log", "Google", date(2016, 11, 1)),
+    LogInfo("Google Aviator log", "Google", date(2014, 6, 1)),
+    LogInfo("Venafi log", "Venafi", date(2015, 10, 1)),
+    LogInfo("DigiCert Log Server 2", "DigiCert", date(2017, 6, 1)),
+    LogInfo("Symantec Vega log", "Symantec", date(2016, 2, 1)),
+    LogInfo("Comodo Mammoth CT log", "Comodo", date(2017, 7, 1)),
+    # Nimbus absorbed most of Let's Encrypt's load and suffered the
+    # overload incident of Section 2; the capacity below reproduces it.
+    LogInfo("Cloudflare Nimbus2018 Log", "Cloudflare", date(2018, 3, 1), capacity_per_day=2600),
+    LogInfo("Google Icarus log", "Google", date(2016, 11, 1)),
+    LogInfo("Cloudflare Nimbus2020 Log", "Cloudflare", date(2018, 3, 1)),
+    LogInfo("Comodo Sabre CT log", "Comodo", date(2017, 7, 1)),
+    LogInfo("Certly.IO log", "Certly", date(2015, 4, 1)),
+    LogInfo("Cloudflare Nimbus2019 Log", "Cloudflare", date(2018, 3, 1)),
+    LogInfo("Symantec Deneb log", "Symantec", None),  # never Chrome-trusted
+]
+
+#: Convenience name list in Table 1 order.
+TABLE1_LOG_NAMES = [info.name for info in KNOWN_LOGS[:15]]
+
+
+def log_key(name: str, key_bits: int = 512) -> KeyPair:
+    """Deterministic keypair for a log name."""
+    return KeyPair.generate(f"ct-log:{name}", key_bits)
+
+
+def build_default_logs(
+    *,
+    strict_capacity: bool = False,
+    with_capacities: bool = True,
+    key_bits: int = 512,
+) -> Dict[str, CTLog]:
+    """Instantiate all known logs, keyed by name.
+
+    ``key_bits`` trades signature size/cost for speed: the
+    volume-oriented evolution experiments use 256-bit keys (the
+    signatures remain genuine RSA and verifiable), while protocol-level
+    tests keep the 512-bit default.
+    """
+    logs: Dict[str, CTLog] = {}
+    for info in KNOWN_LOGS:
+        logs[info.name] = CTLog(
+            name=info.name,
+            operator=info.operator,
+            key=log_key(info.name, key_bits),
+            chrome_inclusion=info.chrome_inclusion,
+            url=f"https://{info.name.lower().replace(' ', '-')}.example/ct/v1/",
+            capacity_per_day=info.capacity_per_day if with_capacities else None,
+            strict_capacity=strict_capacity,
+        )
+    return logs
+
+
+def logs_by_operator(logs: Dict[str, CTLog]) -> Dict[str, List[CTLog]]:
+    """Group logs by operator (Chrome's diversity policy needs this)."""
+    grouped: Dict[str, List[CTLog]] = {}
+    for log in logs.values():
+        grouped.setdefault(log.operator, []).append(log)
+    return grouped

@@ -1,0 +1,218 @@
+"""RFC 6962 Merkle hash trees.
+
+Implements the exact tree construction of RFC 6962 section 2.1:
+
+* leaf hash  = SHA-256(0x00 || leaf)
+* node hash  = SHA-256(0x01 || left || right)
+* the left subtree of an n-leaf tree holds the largest power of two
+  smaller than n.
+
+Inclusion (audit) proofs and consistency proofs follow sections 2.1.1
+and 2.1.2, with standalone verifiers that use only public data.  These
+are the invariants the property-based tests in
+``tests/ct/test_merkle_properties.py`` exercise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+LEAF_PREFIX = b"\x00"
+NODE_PREFIX = b"\x01"
+EMPTY_TREE_HASH = hashlib.sha256(b"").digest()
+
+
+def leaf_hash(leaf: bytes) -> bytes:
+    """RFC 6962 leaf hash."""
+    return hashlib.sha256(LEAF_PREFIX + leaf).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """RFC 6962 interior-node hash."""
+    return hashlib.sha256(NODE_PREFIX + left + right).digest()
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """An append-only Merkle tree over byte-string leaves.
+
+    Leaves are stored as their leaf hashes; subtree roots are memoized
+    by ``(start, end)`` range so repeated proof generation over a
+    growing log stays fast.
+    """
+
+    def __init__(self) -> None:
+        self._leaf_hashes: List[bytes] = []
+        self._subtree_cache: Dict[Tuple[int, int], bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._leaf_hashes)
+
+    @property
+    def size(self) -> int:
+        return len(self._leaf_hashes)
+
+    def append(self, leaf: bytes) -> int:
+        """Append a leaf; returns its index."""
+        self._leaf_hashes.append(leaf_hash(leaf))
+        return len(self._leaf_hashes) - 1
+
+    def append_leaf_hash(self, digest: bytes) -> int:
+        """Append an already-hashed leaf (for replicating trees)."""
+        self._leaf_hashes.append(digest)
+        return len(self._leaf_hashes) - 1
+
+    def root(self, tree_size: int = -1) -> bytes:
+        """Merkle tree head over the first ``tree_size`` leaves."""
+        if tree_size < 0:
+            tree_size = len(self._leaf_hashes)
+        if tree_size > len(self._leaf_hashes):
+            raise ValueError("tree_size exceeds current tree")
+        if tree_size == 0:
+            return EMPTY_TREE_HASH
+        return self._range_hash(0, tree_size)
+
+    def _range_hash(self, start: int, end: int) -> bytes:
+        """Hash of the subtree over leaves [start, end)."""
+        width = end - start
+        if width == 1:
+            return self._leaf_hashes[start]
+        key = (start, end)
+        cached = self._subtree_cache.get(key)
+        if cached is not None:
+            return cached
+        split = _largest_power_of_two_below(width)
+        value = node_hash(
+            self._range_hash(start, start + split),
+            self._range_hash(start + split, end),
+        )
+        # Only cache complete power-of-two subtrees: they are immutable
+        # under append.  Ragged right edges change as the tree grows.
+        if width == split * 2 and start % width == 0:
+            self._subtree_cache[key] = value
+        return value
+
+    # -- proofs ------------------------------------------------------------
+
+    def inclusion_proof(self, index: int, tree_size: int = -1) -> List[bytes]:
+        """Audit path for leaf ``index`` within ``tree_size`` (RFC 6962 2.1.1)."""
+        if tree_size < 0:
+            tree_size = len(self._leaf_hashes)
+        if not 0 <= index < tree_size <= len(self._leaf_hashes):
+            raise IndexError("index/tree_size out of range")
+        return self._path(index, 0, tree_size)
+
+    def _path(self, index: int, start: int, end: int) -> List[bytes]:
+        width = end - start
+        if width == 1:
+            return []
+        split = _largest_power_of_two_below(width)
+        if index - start < split:
+            path = self._path(index, start, start + split)
+            path.append(self._range_hash(start + split, end))
+        else:
+            path = self._path(index, start + split, end)
+            path.append(self._range_hash(start, start + split))
+        return path
+
+    def consistency_proof(self, old_size: int, new_size: int = -1) -> List[bytes]:
+        """Proof that the ``old_size`` tree is a prefix of the ``new_size`` tree."""
+        if new_size < 0:
+            new_size = len(self._leaf_hashes)
+        if not 0 <= old_size <= new_size <= len(self._leaf_hashes):
+            raise ValueError("invalid sizes for consistency proof")
+        if old_size == 0 or old_size == new_size:
+            return []
+        return self._subproof(old_size, 0, new_size, True)
+
+    def _subproof(self, m: int, start: int, end: int, complete: bool) -> List[bytes]:
+        width = end - start
+        if m == width:
+            if complete:
+                return []
+            return [self._range_hash(start, end)]
+        split = _largest_power_of_two_below(width)
+        if m <= split:
+            proof = self._subproof(m, start, start + split, complete)
+            proof.append(self._range_hash(start + split, end))
+        else:
+            proof = self._subproof(m - split, start + split, end, False)
+            proof.append(self._range_hash(start, start + split))
+        return proof
+
+
+def verify_inclusion_proof(
+    leaf: bytes,
+    index: int,
+    tree_size: int,
+    proof: Sequence[bytes],
+    root: bytes,
+) -> bool:
+    """Verify an RFC 6962 audit path against a signed tree head."""
+    if tree_size == 0 or not 0 <= index < tree_size:
+        return False
+    computed = leaf_hash(leaf)
+    fn, sn = index, tree_size - 1
+    for sibling in proof:
+        if sn == 0:
+            return False
+        if fn % 2 == 1 or fn == sn:
+            computed = node_hash(sibling, computed)
+            while fn % 2 == 0 and fn != 0:
+                fn >>= 1
+                sn >>= 1
+        else:
+            computed = node_hash(computed, sibling)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and computed == root
+
+
+def verify_consistency_proof(
+    old_size: int,
+    new_size: int,
+    old_root: bytes,
+    new_root: bytes,
+    proof: Sequence[bytes],
+) -> bool:
+    """Verify an RFC 6962 consistency proof between two tree heads."""
+    if old_size > new_size:
+        return False
+    if old_size == new_size:
+        return not proof and old_root == new_root
+    if old_size == 0:
+        # Any tree is consistent with the empty tree.
+        return not proof
+    proof_list = list(proof)
+    node, last_node = old_size - 1, new_size - 1
+    while node % 2 == 1:
+        node >>= 1
+        last_node >>= 1
+    if not proof_list:
+        return False
+    if node:
+        new_hash = old_hash = proof_list.pop(0)
+    else:
+        new_hash = old_hash = old_root
+    while node or last_node:
+        if node % 2 == 1:
+            if not proof_list:
+                return False
+            sibling = proof_list.pop(0)
+            old_hash = node_hash(sibling, old_hash)
+            new_hash = node_hash(sibling, new_hash)
+        elif node < last_node:
+            if not proof_list:
+                return False
+            new_hash = node_hash(new_hash, proof_list.pop(0))
+        node >>= 1
+        last_node >>= 1
+    return not proof_list and old_hash == old_root and new_hash == new_root

@@ -1,0 +1,95 @@
+"""Chrome's Certificate Transparency policy.
+
+Section 2 recounts Google's enforcement timeline: an announcement in
+October 2016, the revised deadline of April 18, 2018, and a policy
+requiring "diversely operated log entries".  This module implements the
+policy as it stood at enforcement time:
+
+* certificates with a lifetime < 15 months need SCTs from >= 2 logs,
+  15-27 months >= 3, 27-39 months >= 4, above that >= 5 (embedded SCTs);
+* at least one SCT must come from a Google log and one from a
+  non-Google log (operator diversity);
+* SCTs must come from logs that were qualified (Chrome-included and
+  not disqualified) at issuance time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.sct import SignedCertificateTimestamp
+from repro.x509.certificate import Certificate
+
+#: Chrome CT enforcement date for all new certificates.
+ENFORCEMENT_DATE = date(2018, 4, 18)
+
+
+def required_sct_count(lifetime_months: float) -> int:
+    """Embedded-SCT count Chrome requires for a given lifetime."""
+    if lifetime_months < 15:
+        return 2
+    if lifetime_months <= 27:
+        return 3
+    if lifetime_months <= 39:
+        return 4
+    return 5
+
+
+@dataclass(frozen=True)
+class PolicyVerdict:
+    """Result of a Chrome CT policy evaluation."""
+
+    compliant: bool
+    reasons: Tuple[str, ...] = ()
+
+
+class ChromeCTPolicy:
+    """Evaluate certificates + SCTs against Chrome's CT policy."""
+
+    def __init__(self, logs: Dict[str, CTLog]) -> None:
+        self._by_id = {log.log_id: log for log in logs.values()}
+
+    def evaluate(
+        self,
+        cert: Certificate,
+        scts: Sequence[SignedCertificateTimestamp],
+        *,
+        at: Optional[date] = None,
+    ) -> PolicyVerdict:
+        """Check SCT count, operator diversity, and log qualification."""
+        when = at or cert.not_before.date()
+        reasons: List[str] = []
+        lifetime_days = (cert.not_after - cert.not_before).days
+        needed = required_sct_count(lifetime_days / 30.44)
+
+        qualified = []
+        for sct in scts:
+            log = self._by_id.get(sct.log_id)
+            if log is None:
+                reasons.append("SCT from unknown log")
+                continue
+            if log.disqualified:
+                reasons.append(f"SCT from disqualified log {log.name}")
+                continue
+            if log.chrome_inclusion is None or log.chrome_inclusion > when:
+                reasons.append(f"SCT from not-yet-qualified log {log.name}")
+                continue
+            qualified.append(log)
+
+        if len(qualified) < needed:
+            reasons.append(
+                f"needs {needed} qualified SCTs, has {len(qualified)}"
+            )
+        operators = {log.operator for log in qualified}
+        if qualified and "Google" not in operators:
+            reasons.append("no SCT from a Google log")
+        if qualified and operators == {"Google"}:
+            reasons.append("no SCT from a non-Google log")
+        return PolicyVerdict(compliant=not reasons, reasons=tuple(reasons))
+
+    def enforcement_applies(self, cert: Certificate) -> bool:
+        """Chrome enforces only for certificates issued on/after the deadline."""
+        return cert.not_before.date() >= ENFORCEMENT_DATE

@@ -1,0 +1,175 @@
+"""Domain-label redaction: the countermeasure CT never standardized.
+
+Section 4 of the paper: "The leaking of DNS information was a concern
+about CT from the beginning: Symantec even used to operate a special
+log (called Deneb) whose explicit goal was to hide subdomains.  There
+are also efforts to standardize label redaction."  (The referenced
+draft — Strad­ling/Hall's CABForum proposal — replaced subdomain
+labels with a ``?`` placeholder in logged precertificates.)
+
+This module implements that proposal so its security/privacy tradeoff
+can be *measured*:
+
+* :func:`redact_name` / :func:`redact_certificate` produce the logged
+  (redacted) view of a certificate;
+* :class:`RedactionPolicy` decides which labels a CA redacts;
+* :func:`leakage_reduction` quantifies how much of Section 4.2's label
+  leakage a redaction policy would have prevented — and what it costs:
+  redacted names cannot be monitored precisely, the very tension that
+  kept redaction from standardization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.x509.certificate import Certificate, GeneralName, SanType
+
+#: The placeholder the redaction draft used for hidden labels.
+REDACTED_LABEL = "?"
+
+
+@dataclass(frozen=True)
+class RedactionPolicy:
+    """Which subdomain labels a CA hides when logging.
+
+    Parameters
+    ----------
+    redact_all_labels:
+        Deneb-style: hide every label under the registrable domain.
+    keep_labels:
+        Labels never redacted even under ``redact_all_labels`` —
+        real proposals kept ``www`` visible.
+    sensitive_labels:
+        When ``redact_all_labels`` is False, only these are hidden
+        (e.g. internal service names).
+    """
+
+    redact_all_labels: bool = True
+    keep_labels: Tuple[str, ...] = ("www",)
+    sensitive_labels: Tuple[str, ...] = ()
+
+    def should_redact(self, label: str) -> bool:
+        if label in self.keep_labels:
+            return False
+        if self.redact_all_labels:
+            return True
+        return label in self.sensitive_labels
+
+
+def redact_name(
+    name: str,
+    policy: RedactionPolicy,
+    psl: Optional[PublicSuffixList] = None,
+) -> str:
+    """The logged form of one DNS name under a redaction policy."""
+    psl = psl or default_psl()
+    labels, registrable, _ = psl.split(name)
+    if registrable is None or not labels:
+        return name.lower()
+    redacted = [
+        REDACTED_LABEL if policy.should_redact(label) else label
+        for label in labels
+    ]
+    return ".".join(redacted + [registrable])
+
+
+def redact_certificate(
+    cert: Certificate,
+    policy: RedactionPolicy,
+    psl: Optional[PublicSuffixList] = None,
+) -> Certificate:
+    """The precertificate view a redacting CA would submit to logs."""
+    psl = psl or default_psl()
+    new_san = tuple(
+        GeneralName(entry.san_type, redact_name(entry.value, policy, psl))
+        if entry.san_type is SanType.DNS
+        else entry
+        for entry in cert.san
+    )
+    from dataclasses import replace
+
+    return replace(
+        cert,
+        subject_cn=redact_name(cert.subject_cn, policy, psl),
+        san=new_san,
+    )
+
+
+def submit_redacted(
+    precert: Certificate,
+    policy: RedactionPolicy,
+    log,  # CTLog; untyped to avoid a module cycle
+    issuer_key_hash: bytes,
+    now,
+    psl: Optional[PublicSuffixList] = None,
+):
+    """Deneb-style logging: submit the *redacted* view of a precert.
+
+    Returns the SCT the log issues for the redacted precertificate.
+    This is exactly what Symantec's Deneb log enabled — and the reason
+    such SCTs were never Chrome-trusted: an SCT over the redacted TBS
+    cannot be validated against the real final certificate (RFC 6962's
+    reconstruction yields different bytes), as
+    ``tests/ct/test_redaction.py`` demonstrates.
+    """
+    redacted = redact_certificate(precert, policy, psl)
+    return log.add_pre_chain(redacted, issuer_key_hash, now), redacted
+
+
+@dataclass
+class RedactionImpact:
+    """What a redaction policy changes, measured on a name corpus."""
+
+    names_total: int = 0
+    labels_total: int = 0
+    labels_hidden: int = 0
+    #: Distinct hidden labels (the §4.2 vocabulary that disappears).
+    hidden_vocabulary: Set[str] = field(default_factory=set)
+    #: Names that became unmonitorable (contain a redacted label), so a
+    #: watchlist/phishing monitor can no longer match them precisely.
+    unmonitorable_names: int = 0
+
+    @property
+    def label_reduction(self) -> float:
+        if self.labels_total == 0:
+            return 0.0
+        return self.labels_hidden / self.labels_total
+
+    @property
+    def monitoring_loss(self) -> float:
+        if self.names_total == 0:
+            return 0.0
+        return self.unmonitorable_names / self.names_total
+
+
+def leakage_reduction(
+    names: Iterable[str],
+    policy: RedactionPolicy,
+    psl: Optional[PublicSuffixList] = None,
+) -> RedactionImpact:
+    """Measure a policy's effect over a CT name corpus.
+
+    This is the quantitative version of the paper's qualitative
+    discussion: redaction shrinks the Section 4 attack surface exactly
+    as much as it blinds the Section 5 defenders.
+    """
+    psl = psl or default_psl()
+    impact = RedactionImpact()
+    for name in names:
+        labels, registrable, _ = psl.split(name)
+        if registrable is None:
+            continue
+        impact.names_total += 1
+        hidden_here = 0
+        for label in labels:
+            impact.labels_total += 1
+            if policy.should_redact(label):
+                impact.labels_hidden += 1
+                impact.hidden_vocabulary.add(label)
+                hidden_here += 1
+        if hidden_here:
+            impact.unmonitorable_names += 1
+    return impact

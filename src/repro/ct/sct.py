@@ -1,0 +1,173 @@
+"""Signed Certificate Timestamps (RFC 6962 section 3.2).
+
+An SCT is a log's signed promise to include a (pre)certificate within
+its maximum merge delay.  SCTs reach TLS clients over three channels —
+embedded in the certificate, in a TLS extension, or in a stapled OCSP
+response — and Section 3 of the paper quantifies each channel's use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from enum import Enum
+
+from repro.util.timeutil import from_timestamp_ms
+from repro.x509 import crypto
+from repro.x509.certificate import (
+    Certificate,
+    POISON_EXTENSION_OID,
+    SCT_LIST_EXTENSION_OID,
+)
+
+
+class SctChannel(str, Enum):
+    """How an SCT was delivered to the client (paper Section 3.2)."""
+
+    CERTIFICATE = "cert"
+    TLS_EXTENSION = "tls"
+    OCSP_STAPLE = "ocsp"
+
+
+class SctEntryType(int, Enum):
+    """RFC 6962 LogEntryType."""
+
+    X509_ENTRY = 0
+    PRECERT_ENTRY = 1
+
+
+def precert_signing_input(cert: Certificate, issuer_key_hash: bytes) -> bytes:
+    """The bytes a log signs for a precertificate entry.
+
+    Per RFC 6962, the signature covers the issuer key hash plus the
+    TBSCertificate with the poison extension removed — and naturally
+    without any embedded SCT list, since that does not exist yet.  The
+    same function is used when *reconstructing* the precertificate from
+    a final certificate, which is exactly how the paper detects the
+    invalid embedded SCTs of Section 3.4.
+    """
+    tbs = cert.tbs_bytes(
+        exclude_oids=(POISON_EXTENSION_OID, SCT_LIST_EXTENSION_OID)
+    )
+    return b"PRECERT" + issuer_key_hash + tbs
+
+
+def x509_signing_input(cert: Certificate) -> bytes:
+    """The bytes a log signs for a final-certificate entry."""
+    return b"X509CERT" + cert.tbs_bytes(exclude_oids=(SCT_LIST_EXTENSION_OID,))
+
+
+@dataclass(frozen=True)
+class SignedCertificateTimestamp:
+    """An issued SCT.
+
+    Attributes
+    ----------
+    log_id:
+        SHA-256 of the log's public key (RFC 6962 LogID).
+    timestamp_ms:
+        Issuance time in milliseconds since the epoch.
+    entry_type:
+        Precertificate or final-certificate entry.
+    signature:
+        Log signature over the timestamped entry.
+    """
+
+    log_id: bytes
+    timestamp_ms: int
+    entry_type: SctEntryType
+    signature: bytes
+    extensions: bytes = b""
+
+    @property
+    def timestamp(self) -> datetime:
+        return from_timestamp_ms(self.timestamp_ms)
+
+    @staticmethod
+    def signed_payload(
+        log_id: bytes,
+        timestamp_ms: int,
+        entry_type: SctEntryType,
+        entry_input: bytes,
+        extensions: bytes = b"",
+    ) -> bytes:
+        """The exact byte string covered by an SCT signature."""
+        return b"".join(
+            [
+                b"SCTv1",
+                log_id,
+                timestamp_ms.to_bytes(8, "big"),
+                int(entry_type).to_bytes(2, "big"),
+                len(extensions).to_bytes(2, "big"),
+                extensions,
+                entry_input,
+            ]
+        )
+
+    def verify(self, log_key: crypto.KeyPair, entry_input: bytes) -> bool:
+        """Verify this SCT against a log public key and entry bytes."""
+        if self.log_id != log_key.key_id:
+            return False
+        payload = self.signed_payload(
+            self.log_id,
+            self.timestamp_ms,
+            self.entry_type,
+            entry_input,
+            self.extensions,
+        )
+        return crypto.verify(log_key, payload, self.signature)
+
+    def encode(self) -> bytes:
+        """Wire serialization (used to fill the SCT list extension)."""
+        return b"".join(
+            [
+                len(self.log_id).to_bytes(1, "big"),
+                self.log_id,
+                self.timestamp_ms.to_bytes(8, "big"),
+                int(self.entry_type).to_bytes(2, "big"),
+                len(self.extensions).to_bytes(2, "big"),
+                self.extensions,
+                len(self.signature).to_bytes(2, "big"),
+                self.signature,
+            ]
+        )
+
+    @classmethod
+    def decode_list(cls, blob: bytes) -> "list[SignedCertificateTimestamp]":
+        """Parse a concatenation of encoded SCTs (the SCT list extension)."""
+        scts = []
+        offset = 0
+        while offset < len(blob):
+            id_len = blob[offset]
+            offset += 1
+            log_id = blob[offset : offset + id_len]
+            offset += id_len
+            ts = int.from_bytes(blob[offset : offset + 8], "big")
+            offset += 8
+            entry_type = SctEntryType(
+                int.from_bytes(blob[offset : offset + 2], "big")
+            )
+            offset += 2
+            ext_len = int.from_bytes(blob[offset : offset + 2], "big")
+            offset += 2
+            extensions = blob[offset : offset + ext_len]
+            offset += ext_len
+            sig_len = int.from_bytes(blob[offset : offset + 2], "big")
+            offset += 2
+            signature = blob[offset : offset + sig_len]
+            offset += sig_len
+            scts.append(
+                cls(
+                    log_id=log_id,
+                    timestamp_ms=ts,
+                    entry_type=entry_type,
+                    signature=signature,
+                    extensions=extensions,
+                )
+            )
+        return scts
+
+
+def encode_sct_list(scts: "list[SignedCertificateTimestamp]") -> bytes:
+    """Serialize SCTs for the embedded SCT list extension."""
+    return b"".join(sct.encode() for sct in scts)

@@ -1,0 +1,148 @@
+"""Out-of-core persistence for CT log harvests.
+
+The paper harvested "data of all CT log servers deployed" — hundreds
+of millions of entries in reality.  This module serializes log
+contents to JSON-lines so harvests survive process restarts and can be
+analyzed incrementally, and restores them with the Merkle tree rebuilt
+and verified against the stored tree head.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.ct.log import CTLog, LogEntry
+from repro.ct.sct import SctEntryType
+from repro.util.timeutil import from_timestamp_ms, timestamp_ms
+from repro.x509.certificate import Certificate, Extension, GeneralName, SanType
+
+
+class LogStorageError(RuntimeError):
+    """Raised when a stored harvest fails verification on load."""
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def certificate_to_dict(cert: Certificate) -> dict:
+    return {
+        "serial": cert.serial,
+        "issuer_cn": cert.issuer_cn,
+        "issuer_org": cert.issuer_org,
+        "subject_cn": cert.subject_cn,
+        "san": [[entry.san_type.value, entry.value] for entry in cert.san],
+        "not_before": timestamp_ms(cert.not_before),
+        "not_after": timestamp_ms(cert.not_after),
+        "public_key_id": _b64(cert.public_key_id),
+        "extensions": [
+            [ext.oid, _b64(ext.value), ext.critical] for ext in cert.extensions
+        ],
+        "signature": _b64(cert.signature),
+    }
+
+
+def certificate_from_dict(data: dict) -> Certificate:
+    return Certificate(
+        serial=data["serial"],
+        issuer_cn=data["issuer_cn"],
+        issuer_org=data["issuer_org"],
+        subject_cn=data["subject_cn"],
+        san=tuple(
+            GeneralName(SanType(kind), value) for kind, value in data["san"]
+        ),
+        not_before=from_timestamp_ms(data["not_before"]),
+        not_after=from_timestamp_ms(data["not_after"]),
+        public_key_id=_unb64(data["public_key_id"]),
+        extensions=tuple(
+            Extension(oid, _unb64(value), critical)
+            for oid, value, critical in data["extensions"]
+        ),
+        signature=_unb64(data["signature"]),
+    )
+
+
+def dump_log(log: CTLog, path: Union[str, Path]) -> int:
+    """Write a log's entries plus a trailer with the tree head.
+
+    Returns the number of entries written.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for entry in log.entries:
+            record = {
+                "type": "entry",
+                "index": entry.index,
+                "submitted_at": timestamp_ms(entry.submitted_at),
+                "entry_type": int(entry.entry_type),
+                "leaf_input": _b64(entry.leaf_input),
+                "certificate": certificate_to_dict(entry.certificate),
+            }
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        trailer = {
+            "type": "tree-head",
+            "name": log.name,
+            "operator": log.operator,
+            "tree_size": log.tree.size,
+            "root_hash": _b64(log.tree.root()),
+        }
+        handle.write(json.dumps(trailer, separators=(",", ":")) + "\n")
+    return len(log.entries)
+
+
+def iter_stored_entries(path: Union[str, Path]) -> Iterator[dict]:
+    """Stream raw records (entries then the trailer) from a harvest file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_log(path: Union[str, Path], into: CTLog) -> int:
+    """Restore a harvest into an (empty) log object and verify it.
+
+    The Merkle tree is rebuilt from the stored leaf inputs; the rebuilt
+    root must match the stored tree head, otherwise the harvest was
+    tampered with or truncated and :class:`LogStorageError` is raised.
+    """
+    if into.entries:
+        raise ValueError("load_log requires an empty log object")
+    trailer: Optional[dict] = None
+    count = 0
+    for record in iter_stored_entries(path):
+        if record["type"] == "tree-head":
+            trailer = record
+            continue
+        cert = certificate_from_dict(record["certificate"])
+        entry_type = SctEntryType(record["entry_type"])
+        leaf = _unb64(record["leaf_input"])
+        into.tree.append(leaf)
+        into.entries.append(
+            LogEntry(
+                index=record["index"],
+                submitted_at=from_timestamp_ms(record["submitted_at"]),
+                entry_type=entry_type,
+                certificate=cert,
+                leaf_input=leaf,
+            )
+        )
+        count += 1
+    if trailer is None:
+        raise LogStorageError("harvest file has no tree-head trailer")
+    if trailer["tree_size"] != into.tree.size:
+        raise LogStorageError(
+            f"stored tree size {trailer['tree_size']} != rebuilt {into.tree.size}"
+        )
+    if _unb64(trailer["root_hash"]) != into.tree.root():
+        raise LogStorageError("rebuilt Merkle root does not match stored tree head")
+    return count
+
+

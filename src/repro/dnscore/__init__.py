@@ -1,0 +1,47 @@
+"""DNS substrate.
+
+Everything Section 4 (information leakage, subdomain enumeration) and
+Section 6 (honeypot) need from the DNS:
+
+* :mod:`repro.dnscore.name` — FQDN syntax validation (the paper used
+  the Python ``validators`` library to drop malformed names);
+* :mod:`repro.dnscore.psl` — a Public Suffix List engine with wildcard
+  and exception rules, defining *registrable domain* and *subdomain
+  labels* exactly as the paper's parsing does;
+* :mod:`repro.dnscore.records` / :mod:`repro.dnscore.zone` — resource
+  records and zone storage, including wildcard zones and the
+  default-A misconfiguration the control-query methodology detects;
+* :mod:`repro.dnscore.authoritative` — authoritative servers with full
+  query logging (source AS, EDNS Client Subnet) — the honeypot sensor;
+* :mod:`repro.dnscore.resolver` — recursive resolution with CNAME
+  chasing (up to 10 indirections, as in Section 4.3);
+* :mod:`repro.dnscore.massdns` — a massdns-style bulk resolver.
+"""
+
+from repro.dnscore.authoritative import AuthoritativeServer, QueryLogEntry
+from repro.dnscore.edns import ClientSubnet
+from repro.dnscore.massdns import BulkResolver, BulkResult
+from repro.dnscore.name import is_valid_fqdn, normalize_name, split_labels
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.dnscore.records import RecordType, ResourceRecord
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver, Rcode
+from repro.dnscore.zone import Zone
+
+__all__ = [
+    "AuthoritativeServer",
+    "BulkResolver",
+    "BulkResult",
+    "ClientSubnet",
+    "DnsUniverse",
+    "PublicSuffixList",
+    "QueryLogEntry",
+    "Rcode",
+    "RecordType",
+    "RecursiveResolver",
+    "ResourceRecord",
+    "Zone",
+    "default_psl",
+    "is_valid_fqdn",
+    "normalize_name",
+    "split_labels",
+]

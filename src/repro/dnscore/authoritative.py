@@ -1,0 +1,109 @@
+"""Authoritative DNS servers with query logging.
+
+The CT honeypot's key instrument (Section 6.1 item iii): "monitoring
+requests to the authoritative DNS server".  Every query is recorded
+with its timestamp, source address, source AS, and any EDNS Client
+Subnet option — the columns Table 4 aggregates (query count, querying
+ASes, unique client subnets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional
+
+from repro.dnscore.edns import ClientSubnet
+from repro.dnscore.name import is_subdomain_of, normalize_name
+from repro.dnscore.records import RecordType, ResourceRecord
+from repro.dnscore.zone import Zone
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One logged query at an authoritative server."""
+
+    time: datetime
+    qname: str
+    qtype: RecordType
+    source_ip: str
+    source_asn: Optional[int] = None
+    client_subnet: Optional[ClientSubnet] = None
+    resolver_name: Optional[str] = None
+
+
+@dataclass
+class AuthoritativeServer:
+    """Serves one or more zones; answers queries and logs them.
+
+    ``log_queries`` can be disabled for bulk-resolution experiments
+    (hundreds of thousands of queries) where the log is not consumed.
+    """
+
+    name: str = "auth"
+    zones: Dict[str, Zone] = field(default_factory=dict)
+    query_log: List[QueryLogEntry] = field(default_factory=list)
+    log_queries: bool = True
+
+    def add_zone(self, zone: Zone) -> Zone:
+        self.zones[zone.origin] = zone
+        return zone
+
+    def zone_for(self, qname: str) -> Optional[Zone]:
+        """Longest-origin-match zone selection.
+
+        Walks the name's ancestors from most to least specific, so the
+        lookup is O(labels) regardless of how many zones are hosted.
+        """
+        candidate = normalize_name(qname)
+        while candidate:
+            zone = self.zones.get(candidate)
+            if zone is not None:
+                return zone
+            if "." not in candidate:
+                return None
+            candidate = candidate.split(".", 1)[1]
+        return None
+
+    def query(
+        self,
+        qname: str,
+        qtype: RecordType,
+        *,
+        now: datetime,
+        source_ip: str,
+        source_asn: Optional[int] = None,
+        client_subnet: Optional[ClientSubnet] = None,
+        resolver_name: Optional[str] = None,
+    ) -> List[ResourceRecord]:
+        """Answer a query and append it to the query log."""
+        if self.log_queries:
+            self.query_log.append(
+                QueryLogEntry(
+                    time=now,
+                    qname=normalize_name(qname),
+                    qtype=qtype,
+                    source_ip=source_ip,
+                    source_asn=source_asn,
+                    client_subnet=client_subnet,
+                    resolver_name=resolver_name,
+                )
+            )
+        zone = self.zone_for(qname)
+        if zone is None:
+            return []
+        return zone.lookup(qname, qtype)
+
+    # -- honeypot-analysis helpers -------------------------------------------
+
+    def queries_for(self, qname: str) -> List[QueryLogEntry]:
+        """All logged queries whose qname is at or under ``qname``."""
+        target = normalize_name(qname)
+        return [
+            entry
+            for entry in self.query_log
+            if entry.qname == target or is_subdomain_of(entry.qname, target)
+        ]
+
+    def clear_log(self) -> None:
+        self.query_log.clear()

@@ -1,0 +1,78 @@
+"""CAA (Certification Authority Authorization, RFC 8659) lookups.
+
+The paper's authors studied CAA separately ([35] in the references);
+here it closes the loop between the DNS substrate and the CA pipeline:
+before issuing, a CA queries CAA records, climbing from the requested
+name toward the root until a CAA record set is found.  ``issue`` tags
+name the authorized CAs; an empty result authorizes everyone.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Callable, List, Optional, Sequence
+
+from repro.dnscore.name import normalize_name, parent_name
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import Rcode, RecursiveResolver
+
+
+def parse_caa_value(rdata: str) -> Optional[str]:
+    """Extract the issuer identity from a CAA rdata string.
+
+    Accepts both the wire-ish form ``0 issue "letsencrypt-org"`` and a
+    bare ``issue letsencrypt-org``; returns None for non-issue tags
+    (``iodef``, ``issuewild`` is treated as issue for simplicity).
+    """
+    fields = rdata.replace('"', "").split()
+    if not fields:
+        return None
+    if fields[0].isdigit():
+        fields = fields[1:]
+    if len(fields) < 2:
+        return None
+    tag = fields[0].lower()
+    if tag not in ("issue", "issuewild"):
+        return None
+    value = fields[1].strip()
+    return value or None
+
+
+def caa_authorized_issuers(
+    resolver: RecursiveResolver,
+    name: str,
+    now: datetime,
+) -> List[str]:
+    """RFC 8659 climbing lookup: the relevant CAA ``issue`` set.
+
+    Returns the issuer identities of the *closest* ancestor with CAA
+    records; an empty list when no CAA records exist anywhere up the
+    tree (meaning: issuance unrestricted).
+    """
+    current: Optional[str] = normalize_name(name)
+    while current:
+        result = resolver.resolve(current, RecordType.CAA, now=now)
+        if result.rcode is Rcode.NOERROR and result.answers:
+            issuers = []
+            for record in result.answers:
+                if record.rtype is not RecordType.CAA:
+                    continue
+                value = parse_caa_value(record.value)
+                if value is not None:
+                    issuers.append(value)
+            # CAA present but no valid issue tags => issuance forbidden
+            # for everyone; represent as a non-empty impossible set.
+            return issuers if issuers else ["<nobody>"]
+        current = parent_name(current)
+    return []
+
+
+def make_caa_checker(
+    resolver: RecursiveResolver,
+) -> Callable[[str, datetime], Sequence[str]]:
+    """Adapter producing the ``CaaChecker`` the CA pipeline expects."""
+
+    def check(name: str, now: datetime) -> Sequence[str]:
+        return caa_authorized_issuers(resolver, name, now)
+
+    return check

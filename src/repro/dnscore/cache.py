@@ -1,0 +1,100 @@
+"""A TTL-honoring caching resolver.
+
+Open resolvers like Google Public DNS answer most repeat queries from
+cache — which is exactly why the honeypot's authoritative server sees
+*one* upstream query per resolver per TTL window even when many stub
+clients ask (Section 6.2's query counts are shaped by this).  The
+cache wraps any :class:`~repro.dnscore.resolver.RecursiveResolver`,
+caching both positive answers (for ``min(record TTLs)``) and negative
+results (for a configurable negative TTL, RFC 2308-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Dict, Optional, Tuple
+
+from repro.dnscore.name import normalize_name
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import Rcode, RecursiveResolver, ResolutionResult
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    result: ResolutionResult
+    expires_at: datetime
+
+
+class CachingResolver:
+    """TTL cache in front of a recursive resolver."""
+
+    def __init__(
+        self,
+        upstream: RecursiveResolver,
+        *,
+        negative_ttl_s: int = 300,
+        max_entries: int = 100_000,
+    ) -> None:
+        self.upstream = upstream
+        self.negative_ttl_s = negative_ttl_s
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._cache: Dict[Tuple[str, RecordType], _Entry] = {}
+
+    def resolve(
+        self,
+        qname: str,
+        qtype: RecordType,
+        *,
+        now: datetime,
+        client_ip: Optional[str] = None,
+    ) -> ResolutionResult:
+        key = (normalize_name(qname), qtype)
+        entry = self._cache.get(key)
+        if entry is not None:
+            if entry.expires_at > now:
+                self.stats.hits += 1
+                return entry.result
+            del self._cache[key]
+            self.stats.expirations += 1
+        self.stats.misses += 1
+        result = self.upstream.resolve(qname, qtype, now=now, client_ip=client_ip)
+        ttl = self._ttl_for(result)
+        if ttl > 0:
+            if len(self._cache) >= self.max_entries:
+                self._evict_expired(now)
+            if len(self._cache) < self.max_entries:
+                self._cache[key] = _Entry(result, now + timedelta(seconds=ttl))
+        return result
+
+    def _ttl_for(self, result: ResolutionResult) -> int:
+        if result.rcode is Rcode.NOERROR and result.answers:
+            return min(record.ttl for record in result.answers)
+        if result.rcode is Rcode.NXDOMAIN:
+            return self.negative_ttl_s
+        return 0  # SERVFAIL: do not cache
+
+    def _evict_expired(self, now: datetime) -> None:
+        expired = [key for key, entry in self._cache.items() if entry.expires_at <= now]
+        for key in expired:
+            del self._cache[key]
+            self.stats.expirations += 1
+
+    def flush(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,148 @@
+"""Reverse DNS and rDNS-tree walking.
+
+Section 6.1: "For each subdomain, we create an AAAA record with a
+unique IPv6 address.  We do not enter these IPv6 addresses into the
+rDNS tree to avoid discovery through rDNS walking."
+
+This module supplies both sides of that sentence:
+
+* :class:`ReverseZone` — PTR records under ``ip6.arpa`` / ``in-addr.arpa``
+  with NXDOMAIN semantics that distinguish *empty non-terminals* (an
+  ancestor of an existing name) from truly absent subtrees;
+* :func:`walk_rdns_tree` — the enumeration technique (semantic
+  NXDOMAIN walking, as used against DNSSEC-style trees and studied for
+  IPv6 hitlists): descend nibble by nibble, pruning subtrees whose
+  root does not exist, and collect every PTR present.
+
+The honeypot ablation benchmark uses these to show that *had* the
+operators entered the honeypot's IPv6 addresses into rDNS, a walker
+would have found them without any help from CT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+_HEX = "0123456789abcdef"
+
+
+def ipv6_to_nibbles(address: str) -> List[str]:
+    """Expand an IPv6 address to its 32 reverse-order nibbles."""
+    head, _, tail = address.lower().partition("::")
+    head_groups = head.split(":") if head else []
+    tail_groups = tail.split(":") if tail else []
+    missing = 8 - len(head_groups) - len(tail_groups)
+    if missing < 0:
+        raise ValueError(f"invalid IPv6 address: {address}")
+    groups = head_groups + ["0"] * missing + tail_groups
+    nibbles: List[str] = []
+    for group in groups:
+        if not group or len(group) > 4 or any(c not in _HEX for c in group):
+            raise ValueError(f"invalid IPv6 group in {address!r}: {group!r}")
+        nibbles.extend(group.zfill(4))
+    nibbles.reverse()
+    return nibbles
+
+
+def ipv6_ptr_name(address: str) -> str:
+    """The ip6.arpa name of an address."""
+    return ".".join(ipv6_to_nibbles(address)) + ".ip6.arpa"
+
+
+@dataclass
+class ReverseZone:
+    """A reverse zone holding PTR records.
+
+    Lookup distinguishes three outcomes the walker relies on:
+    ``"ptr"`` (record exists), ``"empty-non-terminal"`` (no record, but
+    names exist below), and ``"nxdomain"`` (nothing in this subtree).
+    """
+
+    origin: str = "ip6.arpa"
+    _ptr: Dict[str, str] = field(default_factory=dict)
+    _non_terminals: Set[str] = field(default_factory=set)
+    queries: int = 0
+
+    def add_ptr(self, address: str, hostname: str) -> str:
+        """Register a PTR for an IPv6 address; returns the owner name."""
+        owner = ipv6_ptr_name(address)
+        self._ptr[owner] = hostname.lower()
+        # Every ancestor becomes an empty non-terminal.
+        parts = owner.split(".")
+        for depth in range(1, len(parts)):
+            self._non_terminals.add(".".join(parts[depth:]))
+        return owner
+
+    def status(self, name: str) -> str:
+        """``ptr`` | ``empty-non-terminal`` | ``nxdomain`` for a name."""
+        self.queries += 1
+        name = name.lower().rstrip(".")
+        if name in self._ptr:
+            return "ptr"
+        if name in self._non_terminals:
+            return "empty-non-terminal"
+        return "nxdomain"
+
+    def ptr(self, name: str) -> Optional[str]:
+        return self._ptr.get(name.lower().rstrip("."))
+
+    def __len__(self) -> int:
+        return len(self._ptr)
+
+
+@dataclass
+class WalkResult:
+    """Outcome of an rDNS tree walk."""
+
+    discovered: Dict[str, str]  # ptr owner -> hostname
+    queries_used: int
+    nodes_visited: int
+
+
+def walk_rdns_tree(
+    zone: ReverseZone,
+    prefix_nibbles: Iterable[str],
+    *,
+    max_queries: int = 1_000_000,
+) -> WalkResult:
+    """Enumerate all PTRs under a prefix by NXDOMAIN-pruned descent.
+
+    ``prefix_nibbles`` is the *reversed* nibble path of the prefix to
+    start from (e.g. the nibbles of ``2001:db8::/32`` under ip6.arpa).
+    The walk explores children nibble by nibble and prunes any subtree
+    that answers NXDOMAIN at its root, making enumeration proportional
+    to the number of *existing* names, not the 2^128 address space.
+    """
+    start = list(prefix_nibbles)
+    base = ".".join(start) + "." + zone.origin if start else zone.origin
+    queries_before = zone.queries
+    discovered: Dict[str, str] = {}
+    visited = 0
+    stack = [base]
+    while stack and zone.queries - queries_before < max_queries:
+        node = stack.pop()
+        visited += 1
+        state = zone.status(node)
+        if state == "nxdomain":
+            continue
+        if state == "ptr":
+            hostname = zone.ptr(node)
+            if hostname is not None:
+                discovered[node] = hostname
+            continue
+        for nibble in _HEX:
+            stack.append(f"{nibble}.{node}")
+    return WalkResult(
+        discovered=discovered,
+        queries_used=zone.queries - queries_before,
+        nodes_visited=visited,
+    )
+
+
+def random_ipv6_scan_hit_probability(targets: int, prefix_bits: int = 64) -> float:
+    """Probability that one random probe in a /``prefix_bits`` hits one
+    of ``targets`` addresses — the paper's point that IPv6 'challenges
+    scanning per se', making CT the attractive discovery channel."""
+    space = 2 ** (128 - prefix_bits)
+    return min(1.0, targets / space)

@@ -1,0 +1,32 @@
+"""DNS resource records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RecordType(str, Enum):
+    """Record types the paper's measurements touch."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    MX = "MX"
+    NS = "NS"
+    SOA = "SOA"
+    TXT = "TXT"
+    CAA = "CAA"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One record: owner name, type, value (rdata as text), TTL."""
+
+    name: str
+    rtype: RecordType
+    value: str
+    ttl: int = 300
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.ttl} IN {self.rtype.value} {self.value}"

@@ -1,0 +1,186 @@
+"""RFC 1035-style zone file parsing and serialization.
+
+The paper's domain list is "mainly constructed from various large zone
+files, e.g., .com, .net, and .org" (Section 4.1).  This module reads
+and writes the master-file format those zones are distributed in —
+enough of it for realistic pipelines: ``$ORIGIN`` / ``$TTL``
+directives, relative and absolute owner names, ``@`` for the origin,
+owner inheritance from the previous record, comments, and the record
+types the rest of the package understands.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.dnscore.name import normalize_name
+from repro.dnscore.records import RecordType, ResourceRecord
+from repro.dnscore.zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised on malformed zone file content."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    for char in line:
+        if char == ";":
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def parse_zone_file(
+    text: str,
+    *,
+    default_origin: Optional[str] = None,
+) -> List[ResourceRecord]:
+    """Parse master-file text into resource records."""
+    origin = normalize_name(default_origin) if default_origin else None
+    default_ttl = 3600
+    previous_owner: Optional[str] = None
+    records: List[ResourceRecord] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).rstrip()
+        if not line.strip():
+            continue
+        # Directives.
+        stripped = line.strip()
+        if stripped.startswith("$ORIGIN"):
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise ZoneFileError(line_number, "$ORIGIN needs exactly one argument")
+            origin = normalize_name(parts[1])
+            continue
+        if stripped.startswith("$TTL"):
+            parts = stripped.split()
+            try:
+                default_ttl = int(parts[1])
+            except (IndexError, ValueError):
+                raise ZoneFileError(line_number, "$TTL needs an integer argument")
+            continue
+        if stripped.startswith("$"):
+            raise ZoneFileError(line_number, f"unsupported directive {stripped.split()[0]}")
+
+        # Owner inheritance: a line starting with whitespace reuses the
+        # previous owner.
+        if line[0] in " \t":
+            owner = previous_owner
+            fields = stripped.split()
+        else:
+            fields = stripped.split()
+            owner = fields[0]
+            fields = fields[1:]
+        if owner is None:
+            raise ZoneFileError(line_number, "first record has no owner name")
+
+        # Optional TTL, optional class, type, rdata.
+        ttl = default_ttl
+        if fields and fields[0].isdigit():
+            ttl = int(fields[0])
+            fields = fields[1:]
+        if fields and fields[0].upper() == "IN":
+            fields = fields[1:]
+        if len(fields) < 2:
+            raise ZoneFileError(line_number, "record needs a type and rdata")
+        type_text = fields[0].upper()
+        try:
+            rtype = RecordType(type_text)
+        except ValueError:
+            raise ZoneFileError(line_number, f"unsupported record type {type_text!r}")
+        rdata = " ".join(fields[1:])
+
+        full_owner = _resolve_name(owner, origin, line_number)
+        if rtype in (RecordType.CNAME, RecordType.NS, RecordType.MX):
+            # Name-valued rdata: resolve relative names too.  MX keeps
+            # its preference prefix.
+            if rtype is RecordType.MX:
+                pref, _, exchange = rdata.partition(" ")
+                if not exchange:
+                    raise ZoneFileError(line_number, "MX needs preference and exchange")
+                rdata = f"{pref} {_resolve_name(exchange, origin, line_number)}"
+            else:
+                rdata = _resolve_name(rdata, origin, line_number)
+        previous_owner = owner
+        records.append(ResourceRecord(full_owner, rtype, rdata, ttl))
+    return records
+
+
+def _resolve_name(name: str, origin: Optional[str], line_number: int) -> str:
+    name = name.strip()
+    if name == "@":
+        if origin is None:
+            raise ZoneFileError(line_number, "'@' used without $ORIGIN")
+        return origin
+    if name.endswith("."):
+        return normalize_name(name)
+    if origin is None:
+        raise ZoneFileError(line_number, f"relative name {name!r} without $ORIGIN")
+    if name.startswith("*."):
+        return "*." + normalize_name(f"{name[2:]}.{origin}")
+    if name == "*":
+        return f"*.{origin}"
+    return normalize_name(f"{name}.{origin}")
+
+
+def load_zone(
+    source: Union[str, Path],
+    origin: str,
+) -> Zone:
+    """Parse a zone file into a served :class:`Zone`.
+
+    Pass a :class:`~pathlib.Path` to read from disk, or a ``str`` of
+    master-file text directly.
+    """
+    text = source.read_text(encoding="utf-8") if isinstance(source, Path) else source
+    zone = Zone(origin)
+    for record in parse_zone_file(text, default_origin=origin):
+        zone.add(record)
+    return zone
+
+
+def serialize_zone(zone: Zone, *, ttl: int = 3600) -> str:
+    """Render a zone back to master-file text (sorted, absolute names)."""
+    lines = [f"$ORIGIN {zone.origin}.", f"$TTL {ttl}"]
+    for record in zone.all_records():
+        value = record.value
+        # Name-valued rdata must serialize absolute, or re-parsing
+        # would append the origin again.
+        if record.rtype in (RecordType.CNAME, RecordType.NS):
+            value = value.rstrip(".") + "."
+        elif record.rtype is RecordType.MX:
+            pref, _, exchange = value.partition(" ")
+            value = f"{pref} {exchange.rstrip('.')}."
+        lines.append(
+            f"{record.name}. {record.ttl} IN {record.rtype.value} {value}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def extract_registrable_domains(
+    records: Iterable[ResourceRecord],
+    psl=None,
+) -> List[str]:
+    """The paper's domain-list construction step: pull registrable
+    domains out of zone-file records (NS/A owners, mostly)."""
+    from repro.dnscore.psl import default_psl
+
+    psl = psl or default_psl()
+    seen = set()
+    out: List[str] = []
+    for record in records:
+        owner = record.name
+        if owner.startswith("*."):
+            owner = owner[2:]
+        registrable = psl.registrable_domain(owner)
+        if registrable and registrable not in seen:
+            seen.add(registrable)
+            out.append(registrable)
+    return out

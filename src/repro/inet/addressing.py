@@ -1,0 +1,70 @@
+"""Deterministic IPv4/IPv6 address allocation per AS.
+
+Hosts get addresses inside their AS's blocks; the honeypot's unique
+per-subdomain IPv6 addresses (Section 6.1) come from the operator AS's
+IPv6 prefix and are never published anywhere but CT-leaked DNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.inet.asn import AutonomousSystem
+
+
+@dataclass
+class Ipv4Allocator:
+    """Hands out addresses from an AS's /16 blocks, round-robin."""
+
+    asys: AutonomousSystem
+    _next_host: int = 0
+
+    def allocate(self) -> str:
+        if not self.asys.ipv4_blocks:
+            raise ValueError(f"AS{self.asys.asn} has no IPv4 blocks")
+        block_count = len(self.asys.ipv4_blocks)
+        block = self.asys.ipv4_blocks[self._next_host % block_count]
+        host = self._next_host // block_count
+        self._next_host += 1
+        third = (host // 250) % 250 + 1
+        fourth = host % 250 + 1
+        return f"{block[0]}.{block[1]}.{third}.{fourth}"
+
+    def peek_subnet(self) -> str:
+        """The /24 an allocation at the current cursor would land in."""
+        block = self.asys.ipv4_blocks[self._next_host % len(self.asys.ipv4_blocks)]
+        host = self._next_host // len(self.asys.ipv4_blocks)
+        third = (host // 250) % 250 + 1
+        return f"{block[0]}.{block[1]}.{third}.0"
+
+
+@dataclass
+class Ipv6Allocator:
+    """Hands out addresses under the AS's IPv6 prefix."""
+
+    asys: AutonomousSystem
+    _next_host: int = 0
+
+    def allocate(self) -> str:
+        if not self.asys.ipv6_prefix:
+            raise ValueError(f"AS{self.asys.asn} has no IPv6 prefix")
+        self._next_host += 1
+        prefix = self.asys.ipv6_prefix.rstrip(":")
+        return f"{prefix}:{self._next_host:x}"
+
+
+@dataclass
+class AddressSpace:
+    """Shared allocator registry so modules agree on host addresses."""
+
+    _v4: Dict[int, Ipv4Allocator] = field(default_factory=dict)
+    _v6: Dict[int, Ipv6Allocator] = field(default_factory=dict)
+
+    def ipv4(self, asys: AutonomousSystem) -> str:
+        allocator = self._v4.setdefault(asys.asn, Ipv4Allocator(asys))
+        return allocator.allocate()
+
+    def ipv6(self, asys: AutonomousSystem) -> str:
+        allocator = self._v6.setdefault(asys.asn, Ipv6Allocator(asys))
+        return allocator.allocate()

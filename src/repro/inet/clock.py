@@ -1,0 +1,78 @@
+"""Discrete-event simulation scheduler.
+
+The honeypot study is event-driven: a precertificate hits a log, a
+streaming monitor fires minutes later, DNS queries trickle in, a
+scanner follows hours later.  :class:`EventScheduler` orders these as
+timestamped events and runs callbacks in time order; callbacks may
+schedule further events (a scanner reacting to a DNS answer).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable, List, Optional
+
+Callback = Callable[[datetime], None]
+
+
+@dataclass(order=True)
+class SimEvent:
+    """One scheduled event; ordering is (time, insertion sequence)."""
+
+    time: datetime
+    seq: int
+    callback: Callback = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventScheduler:
+    """A time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[SimEvent] = []
+        self._counter = itertools.count()
+        self._now: Optional[datetime] = None
+        self.processed = 0
+
+    @property
+    def now(self) -> Optional[datetime]:
+        """Timestamp of the event currently/last being processed."""
+        return self._now
+
+    def schedule(self, when: datetime, callback: Callback, label: str = "") -> SimEvent:
+        """Enqueue ``callback`` to run at ``when``."""
+        if self._now is not None and when < self._now:
+            raise ValueError(
+                f"cannot schedule into the past: {when} < {self._now}"
+            )
+        event = SimEvent(when, next(self._counter), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run_until(self, end: datetime) -> int:
+        """Process events with time <= ``end``; returns the count run."""
+        ran = 0
+        while self._queue and self._queue[0].time <= end:
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback(event.time)
+            ran += 1
+            self.processed += 1
+        return ran
+
+    def run_all(self) -> int:
+        """Drain the queue entirely (callbacks may extend it)."""
+        ran = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback(event.time)
+            ran += 1
+            self.processed += 1
+        return ran
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,141 @@
+"""Packet-capture-style storage and filtering for honeypot traffic.
+
+Section 6.1: "We store full packet captures from our monitors from
+2018-04-12 14:00 UTC until 2018-05-15 14:00 UTC."  This module is the
+capture store: an append-only list of flow records with a small
+filter language (the role tcpdump/BPF expressions play on a real
+capture), plus JSONL persistence so captures outlive the process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Union
+
+from repro.util.timeutil import from_timestamp_ms, timestamp_ms
+
+
+@dataclass(frozen=True)
+class ConnectionRecord:
+    """One inbound packet/flow at a monitored machine."""
+
+    time: datetime
+    src_ip: str
+    src_asn: int
+    dst_ip: str
+    dst_port: int
+    sni: Optional[str] = None
+    ipv6: bool = False
+
+
+@dataclass(frozen=True)
+class CaptureFilter:
+    """A conjunctive flow filter (all set fields must match)."""
+
+    src_asn: Optional[int] = None
+    dst_ip: Optional[str] = None
+    dst_port: Optional[int] = None
+    sni: Optional[str] = None
+    ipv6: Optional[bool] = None
+    after: Optional[datetime] = None
+    before: Optional[datetime] = None
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        if self.src_asn is not None and record.src_asn != self.src_asn:
+            return False
+        if self.dst_ip is not None and record.dst_ip != self.dst_ip:
+            return False
+        if self.dst_port is not None and record.dst_port != self.dst_port:
+            return False
+        if self.sni is not None and record.sni != self.sni:
+            return False
+        if self.ipv6 is not None and record.ipv6 != self.ipv6:
+            return False
+        if self.after is not None and record.time < self.after:
+            return False
+        if self.before is not None and record.time > self.before:
+            return False
+        return True
+
+
+class PacketCapture:
+    """An append-only capture of connection records."""
+
+    def __init__(self, records: Iterable[ConnectionRecord] = ()) -> None:
+        self._records: List[ConnectionRecord] = sorted(
+            records, key=lambda r: r.time
+        )
+
+    def append(self, record: ConnectionRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ConnectionRecord]:
+        return iter(self._records)
+
+    # -- querying -------------------------------------------------------------
+
+    def filter(self, flt: CaptureFilter) -> List[ConnectionRecord]:
+        return [record for record in self._records if flt.matches(record)]
+
+    def where(self, predicate: Callable[[ConnectionRecord], bool]) -> List[ConnectionRecord]:
+        return [record for record in self._records if predicate(record)]
+
+    def first(self, flt: CaptureFilter) -> Optional[ConnectionRecord]:
+        for record in self._records:
+            if flt.matches(record):
+                return record
+        return None
+
+    def unique_sources(self) -> List[str]:
+        return sorted({record.src_ip for record in self._records})
+
+    def ports_probed(self, src_ip: str) -> List[int]:
+        return sorted({
+            record.dst_port
+            for record in self._records
+            if record.src_ip == src_ip
+        })
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> int:
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps({
+                    "t": timestamp_ms(record.time),
+                    "src": record.src_ip,
+                    "asn": record.src_asn,
+                    "dst": record.dst_ip,
+                    "port": record.dst_port,
+                    "sni": record.sni,
+                    "v6": record.ipv6,
+                }, separators=(",", ":")) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PacketCapture":
+        records = []
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                records.append(
+                    ConnectionRecord(
+                        time=from_timestamp_ms(data["t"]),
+                        src_ip=data["src"],
+                        src_asn=data["asn"],
+                        dst_ip=data["dst"],
+                        dst_port=data["port"],
+                        sni=data["sni"],
+                        ipv6=data["v6"],
+                    )
+                )
+        return cls(records)

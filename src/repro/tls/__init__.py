@@ -1,0 +1,22 @@
+"""TLS substrate: connections, HTTPS endpoints, active scanning.
+
+Models the two vantage points of Section 3: the passive uplink
+(streams of :class:`~repro.tls.connection.TlsConnection` records run
+through the Bro-style analyzer) and the active scan pipeline
+(domain list -> DNS resolution -> zmap port sweep -> TLS handshake
+with SNI), mirroring the paper's measurement setup.
+"""
+
+from repro.tls.connection import SctPresence, TlsConnection
+from repro.tls.server import HttpsEndpoint, ServerSite
+from repro.tls.scanner import ScanRecord, TlsScanner, zmap_scan
+
+__all__ = [
+    "HttpsEndpoint",
+    "ScanRecord",
+    "SctPresence",
+    "ServerSite",
+    "TlsConnection",
+    "TlsScanner",
+    "zmap_scan",
+]

@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic randomness, simulated time, statistics.
+
+Everything in the reproduction is deterministic given a seed.  The
+:class:`~repro.util.rng.SeededRng` class provides named substreams so
+that adding a new consumer of randomness does not perturb existing
+experiment outputs.
+"""
+
+from repro.util.format import human_count, human_percent, si_count
+from repro.util.rng import SeededRng
+from repro.util.stats import Counter2D, TopK, share
+from repro.util.tables import Table
+from repro.util.timeutil import (
+    DAY_SECONDS,
+    date_range,
+    day_index,
+    parse_date,
+    parse_utc,
+    utc_datetime,
+)
+
+__all__ = [
+    "DAY_SECONDS",
+    "Counter2D",
+    "SeededRng",
+    "Table",
+    "TopK",
+    "date_range",
+    "day_index",
+    "human_count",
+    "human_percent",
+    "parse_date",
+    "parse_utc",
+    "share",
+    "si_count",
+    "utc_datetime",
+]

@@ -1,0 +1,52 @@
+"""Human-readable numbers in the paper's notation.
+
+The paper reports counts with SI-style suffixes: ``26.5G`` connections,
+``8.6G`` SCT connections, ``61.1M`` occurrences of ``www``, ``303k``
+``shop`` labels.  These helpers render simulated (scaled) counts in the
+same notation so the benchmark output lines up with the paper tables.
+"""
+
+from __future__ import annotations
+
+
+def si_count(value: float) -> str:
+    """Render a count like the paper: 26.5G, 61.1M, 303k, 55."""
+    magnitude = abs(value)
+    if magnitude >= 1e9:
+        return _trim(value / 1e9) + "G"
+    if magnitude >= 1e6:
+        return _trim(value / 1e6) + "M"
+    if magnitude >= 1e3:
+        return _trim(value / 1e3) + "k"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def _trim(scaled: float) -> str:
+    """One decimal, dropping a trailing .0 (61.1 -> '61.1', 4.0 -> '4')."""
+    text = f"{scaled:.1f}"
+    if text.endswith(".0"):
+        return text[:-2]
+    return text
+
+
+def human_count(value: float) -> str:
+    """Alias for :func:`si_count` kept for readability at call sites."""
+    return si_count(value)
+
+
+def human_percent(fraction: float, decimals: int = 2) -> str:
+    """Render a fraction as a percentage string, e.g. 0.3261 -> '32.61%'."""
+    return f"{fraction * 100:.{decimals}f}%"
+
+
+def duration_human(seconds: float) -> str:
+    """Render a duration the way Table 4 does: 73s, 111m, 19d."""
+    if seconds < 600:
+        return f"{int(round(seconds))}s"
+    minutes = seconds / 60.0
+    if minutes < 60 * 48:
+        return f"{int(round(minutes))}m"
+    days = seconds / 86_400.0
+    return f"{int(round(days))}d"

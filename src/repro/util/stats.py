@@ -1,0 +1,138 @@
+"""Small statistics helpers used across analyses."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+def share(part: float, whole: float) -> float:
+    """Return ``part / whole`` as a fraction, 0.0 when ``whole`` is zero."""
+    if whole == 0:
+        return 0.0
+    return part / whole
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Return the q-th percentile (0..100) by linear interpolation.
+
+    ``sorted_values`` must already be sorted ascending.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    if q <= 0:
+        return sorted_values[0]
+    if q >= 100:
+        return sorted_values[-1]
+    position = (len(sorted_values) - 1) * q / 100.0
+    lower = int(position)
+    frac = position - lower
+    if lower + 1 >= len(sorted_values):
+        return sorted_values[-1]
+    return sorted_values[lower] * (1 - frac) + sorted_values[lower + 1] * frac
+
+
+def cumulative(values: Iterable[float]) -> List[float]:
+    """Running sum of ``values``."""
+    out: List[float] = []
+    total = 0.0
+    for value in values:
+        total += value
+        out.append(total)
+    return out
+
+
+class TopK:
+    """Track the top-``k`` keys by accumulated count."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._counts: Counter = Counter()
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        self._counts[key] += count
+
+    def update(self, counts: Dict[Hashable, int]) -> None:
+        self._counts.update(counts)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def count(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def top(self, k: Optional[int] = None) -> List[Tuple[Hashable, int]]:
+        return self._counts.most_common(k if k is not None else self.k)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class Counter2D:
+    """A sparse two-dimensional counter (e.g. CA x log matrices)."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[Hashable, Hashable], int] = defaultdict(int)
+        self._rows: Counter = Counter()
+        self._cols: Counter = Counter()
+
+    def add(self, row: Hashable, col: Hashable, count: int = 1) -> None:
+        self._cells[(row, col)] += count
+        self._rows[row] += count
+        self._cols[col] += count
+
+    def get(self, row: Hashable, col: Hashable) -> int:
+        return self._cells.get((row, col), 0)
+
+    def row_total(self, row: Hashable) -> int:
+        return self._rows.get(row, 0)
+
+    def col_total(self, col: Hashable) -> int:
+        return self._cols.get(col, 0)
+
+    def total(self) -> int:
+        return sum(self._rows.values())
+
+    def rows(self) -> List[Hashable]:
+        return [key for key, _ in self._rows.most_common()]
+
+    def cols(self) -> List[Hashable]:
+        return [key for key, _ in self._cols.most_common()]
+
+    def cells(self) -> Dict[Tuple[Hashable, Hashable], int]:
+        return dict(self._cells)
+
+    def density(self) -> float:
+        """Fraction of row x col cells that are non-zero."""
+        n_rows = len(self._rows)
+        n_cols = len(self._cols)
+        if n_rows == 0 or n_cols == 0:
+            return 0.0
+        nonzero = sum(1 for value in self._cells.values() if value > 0)
+        return nonzero / (n_rows * n_cols)
+
+    def row_shares(self, row: Hashable) -> Dict[Hashable, float]:
+        """Per-column share of a row's total."""
+        total = self.row_total(row)
+        if total == 0:
+            return {}
+        return {
+            col: self._cells[(row, col)] / total
+            for (r, col) in self._cells
+            if r == row
+        }
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = equal, ~1 = concentrated)."""
+    data = sorted(float(v) for v in values)
+    n = len(data)
+    if n == 0:
+        raise ValueError("gini of empty sequence")
+    total = sum(data)
+    if total == 0:
+        return 0.0
+    weighted = sum((index + 1) * value for index, value in enumerate(data))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,131 @@
+"""Plain-text table and chart rendering for benchmark reports.
+
+The benchmark harness regenerates each paper table/figure as text:
+tables are rendered with aligned columns, figures as ASCII line charts
+or heatmaps.  Keeping rendering here lets every analysis module return
+plain data structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)),
+            "  ".join("-" * widths[i] for i in range(len(self.headers))),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 72,
+    y_label: str = "",
+    x_labels: Optional[Tuple[str, str]] = None,
+) -> str:
+    """Render one or more numeric series as a compact ASCII chart.
+
+    Each series is down-sampled to ``width`` columns; series are drawn
+    with distinct glyphs and a legend line is appended.
+    """
+    if not series:
+        return "(empty chart)"
+    glyphs = "*+ox#@%&"
+    max_value = max((max(s) for s in series.values() if len(s)), default=0.0)
+    if max_value <= 0:
+        max_value = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        legend.append(f"{glyph}={name}")
+        if not values:
+            continue
+        for col in range(width):
+            src = int(col * (len(values) - 1) / max(1, width - 1)) if len(values) > 1 else 0
+            value = values[src]
+            row = height - 1 - int((value / max_value) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = max_value * (height - 1 - row_index) / (height - 1)
+        prefix = f"{y_value:10.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    if x_labels:
+        left, right = x_labels
+        pad = max(1, width - len(left) - len(right))
+        lines.append(" " * 12 + left + " " * pad + right)
+    lines.append("  " + "  ".join(legend) + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    rows: Sequence[str],
+    cols: Sequence[str],
+    values: Dict[Tuple[str, str], float],
+    *,
+    max_rows: int = 20,
+    max_cols: int = 12,
+) -> str:
+    """Render a sparse matrix as a shaded ASCII heatmap (Fig. 1c style)."""
+    shades = " .:-=+*#%@"
+    shown_rows = list(rows)[:max_rows]
+    shown_cols = list(cols)[:max_cols]
+    peak = max((values.get((r, c), 0.0) for r in shown_rows for c in shown_cols), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    col_width = 4
+    header = " " * 26 + "".join(
+        f"{_shorten(c, col_width - 1):>{col_width}}" for c in shown_cols
+    )
+    lines = [header]
+    for row in shown_rows:
+        cells = []
+        for col in shown_cols:
+            value = values.get((row, col), 0.0)
+            if value <= 0:
+                cells.append(" " * (col_width - 1) + ".")
+            else:
+                shade = shades[min(len(shades) - 1, 1 + int((value / peak) * (len(shades) - 2)))]
+                cells.append(" " * (col_width - 1) + shade)
+        lines.append(f"{_shorten(row, 25):<26}" + "".join(cells))
+    lines.append("")
+    lines.append(f"  shading: '.'=0  '{shades[1]}'..'{shades[-1]}' scaled to max={peak:.3g}")
+    return "\n".join(lines)
+
+
+def _shorten(text: str, limit: int) -> str:
+    if len(text) <= limit:
+        return text
+    return text[: limit - 1] + "~"

@@ -1,0 +1,91 @@
+"""Simulated-time helpers.
+
+The measurement period of the paper spans 2015-01-01 (early CT logging)
+through 2018-05-23 (end of the passive capture).  All timestamps in the
+simulation are timezone-aware UTC datetimes; day-granularity series use
+:class:`datetime.date`.
+"""
+
+from __future__ import annotations
+
+from datetime import date, datetime, timedelta, timezone
+from typing import Iterator
+
+DAY_SECONDS = 86_400
+
+#: Start of the paper's CT-log harvesting window (Fig. 1).
+LOG_HARVEST_START = date(2015, 1, 1)
+#: CT-log snapshot date used in Sections 2 and 4 (certificates "as of").
+LOG_SNAPSHOT_DATE = date(2018, 4, 26)
+#: Passive UCB capture window (Fig. 2, Table 1).
+PASSIVE_START = date(2017, 4, 26)
+PASSIVE_END = date(2018, 5, 23)
+#: Chrome CT enforcement deadline.
+CHROME_ENFORCEMENT = date(2018, 4, 18)
+#: Honeypot capture window (Section 6).
+HONEYPOT_START = datetime(2018, 4, 12, 14, 0, tzinfo=timezone.utc)
+HONEYPOT_END = datetime(2018, 5, 15, 14, 0, tzinfo=timezone.utc)
+
+
+def utc_datetime(
+    year: int,
+    month: int,
+    day: int,
+    hour: int = 0,
+    minute: int = 0,
+    second: int = 0,
+) -> datetime:
+    """Construct a timezone-aware UTC datetime."""
+    return datetime(year, month, day, hour, minute, second, tzinfo=timezone.utc)
+
+
+def parse_date(text: str) -> date:
+    """Parse ``YYYY-MM-DD``."""
+    return date.fromisoformat(text)
+
+
+def parse_utc(text: str) -> datetime:
+    """Parse ``YYYY-MM-DD HH:MM[:SS]`` as UTC."""
+    parsed = datetime.fromisoformat(text)
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed
+
+
+def date_range(start: date, end: date) -> Iterator[date]:
+    """Yield every date from ``start`` to ``end`` inclusive."""
+    current = start
+    one_day = timedelta(days=1)
+    while current <= end:
+        yield current
+        current += one_day
+
+
+def day_index(day: date, origin: date) -> int:
+    """Number of days from ``origin`` to ``day`` (may be negative)."""
+    return (day - origin).days
+
+
+def day_of(moment: datetime) -> date:
+    """The UTC calendar date of a datetime."""
+    return moment.astimezone(timezone.utc).date()
+
+
+def start_of_day(day: date) -> datetime:
+    """Midnight UTC at the start of ``day``."""
+    return datetime(day.year, day.month, day.day, tzinfo=timezone.utc)
+
+
+def month_key(day: date) -> str:
+    """Return ``YYYY-MM`` for grouping by month."""
+    return f"{day.year:04d}-{day.month:02d}"
+
+
+def timestamp_ms(moment: datetime) -> int:
+    """Milliseconds since the Unix epoch (the unit SCTs use)."""
+    return int(moment.timestamp() * 1000)
+
+
+def from_timestamp_ms(ms: int) -> datetime:
+    """Inverse of :func:`timestamp_ms`."""
+    return datetime.fromtimestamp(ms / 1000.0, tz=timezone.utc)

@@ -1,0 +1,54 @@
+"""Calibrated synthetic workloads.
+
+The paper's inputs are live Internet datasets; each module here builds
+the closest synthetic equivalent at a configurable scale, calibrated to
+the numbers the paper reports (see DESIGN.md, "Reproduction strategy").
+
+* :mod:`repro.workloads.ca_profiles` — per-CA precertificate logging
+  behaviour over 2015-2018 (Figure 1);
+* :mod:`repro.workloads.traffic` — the UCB-uplink connection mix
+  (Figure 2, Table 1, Section 3.2);
+* :mod:`repro.workloads.hosting` — the scanned HTTPS server population
+  (Section 3.3);
+* :mod:`repro.workloads.incidents` — the four CA bugs behind the 16
+  invalid embedded SCTs (Section 3.4);
+* :mod:`repro.workloads.domains` — registrable domains and the
+  subdomain-label distribution (Table 2, Section 4);
+* :mod:`repro.workloads.wordlists` — synthetic subbrute/dnsrecon lists;
+* :mod:`repro.workloads.sonar` — a Sonar-FDNS-like dataset;
+* :mod:`repro.workloads.phishing` — phishing/legitimate/benign domains
+  (Table 3, Section 5).
+"""
+
+from repro.workloads.ca_profiles import (
+    CaLoggingWorkload,
+    CaProfile,
+    PAPER_CA_PROFILES,
+)
+from repro.workloads.domains import DomainCorpus, DomainWorkload
+from repro.workloads.hosting import HostingPopulation, HostingWorkload
+from repro.workloads.incidents import IncidentCorpus, MisissuanceWorkload
+from repro.workloads.phishing import PhishingCorpus, PhishingWorkload
+from repro.workloads.sonar import SonarDataset, SonarWorkload
+from repro.workloads.traffic import SiteGroup, UplinkTrafficWorkload
+from repro.workloads.wordlists import dnsrecon_wordlist, subbrute_wordlist
+
+__all__ = [
+    "CaLoggingWorkload",
+    "CaProfile",
+    "DomainCorpus",
+    "DomainWorkload",
+    "HostingPopulation",
+    "HostingWorkload",
+    "IncidentCorpus",
+    "MisissuanceWorkload",
+    "PAPER_CA_PROFILES",
+    "PhishingCorpus",
+    "PhishingWorkload",
+    "SiteGroup",
+    "SonarDataset",
+    "SonarWorkload",
+    "UplinkTrafficWorkload",
+    "dnsrecon_wordlist",
+    "subbrute_wordlist",
+]

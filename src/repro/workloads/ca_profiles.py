@@ -1,0 +1,313 @@
+"""Per-CA precertificate logging behaviour, 2015 - May 2018.
+
+Calibrated to Section 2 / Figure 1 of the paper:
+
+* DigiCert "dominated activities over a long period", with "more
+  irregular additions by Comodo, GlobalSign, and StartCom";
+* Let's Encrypt "started logging precertificates in March 2018 with an
+  update rate above 2M certificates per day into few logs";
+* the top five issuing CAs accounted for 99 % of certificates in
+  April 2018, with "pronounced final jumps starting in March 2018";
+* Figure 1c's CA x log matrix is very sparse, with the Cloudflare
+  Nimbus log carrying Let's Encrypt's main load besides Google logs —
+  causing the Nimbus overload/disqualification discussion.
+
+Rates below are *real-world* certificates/day; the workload multiplies
+by its ``scale`` (simulated = real x scale) before sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ct.log import CTLog, LogOverloadedError
+from repro.ct.loglist import build_default_logs
+from repro.util.rng import SeededRng
+from repro.util.timeutil import date_range, start_of_day
+from repro.x509.ca import CertificateAuthority, IssuanceRequest, IssuedPair
+
+#: Real-world capacity of the Nimbus2018 log in submissions/day; Let's
+#: Encrypt's ~2M/day ramp pushes past this, reproducing the Section 2
+#: overload incident.
+NIMBUS_REAL_CAPACITY_PER_DAY = 1_600_000
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """A piecewise-constant logging-rate phase."""
+
+    start: date
+    end: date
+    daily_rate: float  # real certificates/day
+    #: Relative burstiness; 0 = smooth Poisson, >0 adds day-to-day swings
+    #: (the "irregular additions" of Comodo/GlobalSign/StartCom).
+    burstiness: float = 0.0
+
+
+@dataclass(frozen=True)
+class CaProfile:
+    """Logging behaviour of one CA brand."""
+
+    name: str
+    issuer_cns: Tuple[str, ...]
+    phases: Tuple[RatePhase, ...]
+    #: Weighted log-set choices: each issuance submits its precert to
+    #: every log in the chosen set (one SCT per log).
+    log_choices: Tuple[Tuple[Tuple[str, ...], float], ...]
+
+    def rate_on(self, day: date) -> float:
+        for phase in self.phases:
+            if phase.start <= day <= phase.end:
+                return phase.daily_rate
+        return 0.0
+
+    def burstiness_on(self, day: date) -> float:
+        for phase in self.phases:
+            if phase.start <= day <= phase.end:
+                return phase.burstiness
+        return 0.0
+
+
+def _p(start: str, end: str, rate: float, burstiness: float = 0.0) -> RatePhase:
+    return RatePhase(date.fromisoformat(start), date.fromisoformat(end), rate, burstiness)
+
+
+#: The CA cast of Figure 1, with "Other" subsuming the long tail.
+PAPER_CA_PROFILES: Tuple[CaProfile, ...] = (
+    CaProfile(
+        name="Let's Encrypt",
+        issuer_cns=("Let's Encrypt Authority X3", "Let's Encrypt Authority X4"),
+        phases=(
+            _p("2018-03-08", "2018-03-12", 400_000.0),
+            _p("2018-03-13", "2018-03-19", 1_200_000.0),
+            _p("2018-03-20", "2018-05-31", 2_200_000.0),
+        ),
+        log_choices=(
+            (("Cloudflare Nimbus2018 Log", "Google Icarus log"), 0.57),
+            (("Cloudflare Nimbus2018 Log", "Google Icarus log", "Google Rocketeer log"), 0.14),
+            (("Cloudflare Nimbus2018 Log", "Comodo Sabre CT log"), 0.07),
+            (("Google Icarus log", "Cloudflare Nimbus2019 Log"), 0.06),
+            (("Google Rocketeer log", "Comodo Sabre CT log"), 0.05),
+            (("Cloudflare Nimbus2018 Log", "Google Icarus log", "Google Pilot log"), 0.06),
+            (("Cloudflare Nimbus2018 Log", "Cloudflare Nimbus2020 Log", "Google Icarus log"), 0.05),
+        ),
+    ),
+    CaProfile(
+        name="DigiCert",
+        issuer_cns=("DigiCert SHA2 Secure Server CA", "DigiCert SHA2 Extended Validation Server CA"),
+        phases=(
+            _p("2015-01-01", "2016-06-30", 60_000.0),
+            _p("2016-07-01", "2017-06-30", 120_000.0),
+            _p("2017-07-01", "2018-02-28", 250_000.0),
+            _p("2018-03-01", "2018-05-31", 900_000.0),
+        ),
+        log_choices=(
+            (("DigiCert Log Server", "Google Pilot log"), 0.45),
+            (("DigiCert Log Server", "DigiCert Log Server 2"), 0.30),
+            (("DigiCert Log Server", "Google Rocketeer log"), 0.25),
+        ),
+    ),
+    CaProfile(
+        name="Comodo",
+        issuer_cns=("COMODO RSA Domain Validation Secure Server CA",),
+        phases=(
+            _p("2016-02-01", "2017-06-30", 30_000.0, burstiness=1.2),
+            _p("2017-07-01", "2018-02-28", 80_000.0, burstiness=0.8),
+            _p("2018-03-01", "2018-05-31", 700_000.0),
+        ),
+        log_choices=(
+            (("Comodo Mammoth CT log", "Comodo Sabre CT log"), 0.50),
+            (("Comodo Mammoth CT log", "Google Pilot log"), 0.30),
+            (("Comodo Sabre CT log", "Google Rocketeer log"), 0.20),
+        ),
+    ),
+    CaProfile(
+        name="GlobalSign",
+        issuer_cns=("GlobalSign Organization Validation CA - SHA256 - G2",),
+        phases=(
+            _p("2015-06-01", "2017-12-31", 15_000.0, burstiness=1.0),
+            _p("2018-01-01", "2018-02-28", 40_000.0),
+            _p("2018-03-01", "2018-05-31", 180_000.0),
+        ),
+        log_choices=(
+            (("Google Pilot log", "Google Rocketeer log"), 0.60),
+            (("Google Skydiver log", "Google Rocketeer log"), 0.40),
+        ),
+    ),
+    CaProfile(
+        name="StartCom",
+        issuer_cns=("StartCom Class 1 DV Server CA",),
+        phases=(
+            # Distrusted by browsers; logging stops at the end of 2017.
+            _p("2015-09-01", "2017-10-31", 8_000.0, burstiness=1.5),
+        ),
+        log_choices=(
+            (("Google Pilot log", "Venafi log"), 0.70),
+            (("Google Pilot log",), 0.30),
+        ),
+    ),
+    CaProfile(
+        name="Symantec",
+        issuer_cns=("Symantec Class 3 Secure Server CA - G4",),
+        phases=(
+            _p("2015-09-01", "2017-12-31", 40_000.0),
+            _p("2018-01-01", "2018-05-31", 60_000.0),
+        ),
+        log_choices=(
+            (("Symantec log", "Symantec Vega log"), 0.60),
+            (("Symantec log", "Google Pilot log"), 0.40),
+        ),
+    ),
+    CaProfile(
+        name="Other",
+        issuer_cns=("Misc Issuing CA",),
+        phases=(
+            _p("2015-01-01", "2016-12-31", 2_000.0),
+            _p("2017-01-01", "2018-02-28", 10_000.0),
+            _p("2018-03-01", "2018-05-31", 40_000.0),
+        ),
+        log_choices=(
+            (("Google Pilot log", "Google Rocketeer log"), 0.40),
+            (("Google Skydiver log", "Google Pilot log"), 0.30),
+            (("Venafi log", "Google Rocketeer log"), 0.30),
+        ),
+    ),
+)
+
+#: Default simulated:real ratio for the evolution experiments.
+DEFAULT_EVOLUTION_SCALE = 1.0 / 40_000.0
+
+
+@dataclass
+class CaWorkloadResult:
+    """Output of a full CA-logging simulation."""
+
+    logs: Dict[str, CTLog]
+    cas: Dict[str, CertificateAuthority]
+    issued: List[IssuedPair]
+    scale: float
+    start: date
+    end: date
+    rejected_submissions: int = 0
+
+    @property
+    def weight(self) -> float:
+        """Real-world certificates represented by one simulated one."""
+        return 1.0 / self.scale
+
+
+class CaLoggingWorkload:
+    """Drive all CA profiles through the real issuance pipeline.
+
+    Every simulated certificate runs the full RFC 6962 flow:
+    precertificate -> log submission (per the CA's log choices) -> SCT
+    -> final certificate with embedded SCTs.
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: float = DEFAULT_EVOLUTION_SCALE,
+        seed: int = 2018,
+        start: Optional[date] = None,
+        end: Optional[date] = None,
+        profiles: Sequence[CaProfile] = PAPER_CA_PROFILES,
+        key_bits: int = 256,
+        logs: Optional[Dict[str, CTLog]] = None,
+    ) -> None:
+        self.scale = scale
+        self.start = start or date(2015, 1, 1)
+        self.end = end or date(2018, 4, 30)
+        self.profiles = list(profiles)
+        self._rng = SeededRng(seed, "ca-workload")
+        self.logs = logs if logs is not None else build_default_logs(
+            with_capacities=False, key_bits=key_bits
+        )
+        nimbus = self.logs.get("Cloudflare Nimbus2018 Log")
+        if nimbus is not None and nimbus.capacity_per_day is None:
+            nimbus.capacity_per_day = max(
+                1, int(NIMBUS_REAL_CAPACITY_PER_DAY * scale)
+            )
+        self.cas = {
+            profile.name: CertificateAuthority(
+                profile.name, profile.issuer_cns, key_bits=key_bits
+            )
+            for profile in self.profiles
+        }
+        self._domain_counter = 0
+
+    def run(self) -> CaWorkloadResult:
+        """Simulate the whole period; returns logs, CAs, and all pairs."""
+        issued: List[IssuedPair] = []
+        rejected = 0
+        for day in date_range(self.start, self.end):
+            for profile in self.profiles:
+                count = self._daily_count(profile, day)
+                if count == 0:
+                    continue
+                ca = self.cas[profile.name]
+                day_rng = self._rng.fork(f"{profile.name}:{day.isoformat()}")
+                for _ in range(count):
+                    moment = start_of_day(day) + timedelta(
+                        seconds=day_rng.uniform(0, 86_399)
+                    )
+                    log_set = self._choose_logs(profile, day, day_rng)
+                    request = IssuanceRequest(self._next_names(day_rng))
+                    try:
+                        issued.append(ca.issue(request, log_set, moment))
+                    except LogOverloadedError:
+                        rejected += 1
+        return CaWorkloadResult(
+            logs=self.logs,
+            cas=self.cas,
+            issued=issued,
+            scale=self.scale,
+            start=self.start,
+            end=self.end,
+            rejected_submissions=rejected,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _daily_count(self, profile: CaProfile, day: date) -> int:
+        rate = profile.rate_on(day) * self.scale
+        if rate <= 0:
+            return 0
+        burst = profile.burstiness_on(day)
+        if burst > 0:
+            # Irregular CAs: some days multiply, some days go quiet.
+            roll = self._rng.fork(f"burst:{profile.name}:{day}").random()
+            if roll < 0.35:
+                rate = 0.0
+            elif roll > 0.85:
+                rate *= 1.0 + burst * 4.0
+        return self._rng.fork(f"count:{profile.name}:{day}").poisson(rate)
+
+    def _choose_logs(
+        self, profile: CaProfile, day: date, rng: SeededRng
+    ) -> List[CTLog]:
+        sets = [names for names, _ in profile.log_choices]
+        weights = [weight for _, weight in profile.log_choices]
+        chosen = sets[rng.weighted_index(weights)]
+        available = []
+        for name in chosen:
+            log = self.logs.get(name)
+            if log is None or log.disqualified:
+                continue
+            if log.chrome_inclusion is not None and log.chrome_inclusion > day:
+                continue
+            available.append(log)
+        if not available:
+            # Before a CA's preferred logs existed, Google Pilot was the
+            # catch-all destination.
+            available = [self.logs["Google Pilot log"]]
+        return available
+
+    def _next_names(self, rng: SeededRng) -> Tuple[str, ...]:
+        self._domain_counter += 1
+        base = f"host{self._domain_counter}.example-{rng.token(6)}.com"
+        if rng.chance(0.6):
+            return (base, f"www.{base}")
+        return (base,)

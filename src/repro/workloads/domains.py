@@ -1,0 +1,232 @@
+"""Registrable domains and the CT-leaked FQDN corpus (Section 4).
+
+Builds, at a configurable scale:
+
+* the **domain list** of Section 4.1 — the paper's 206M registrable
+  domains "mainly constructed from various large zone files";
+* the **CT FQDN corpus** — DNS names extracted from CN/SAN fields of
+  CT-logged certificates, with subdomain-label frequencies calibrated
+  to Table 2 (www 61.1M … smtp 140k), a long tail of sub-100k labels,
+  per-suffix signature labels (git/tech, autoconfig/email, api/cloud,
+  ftp/design, sip/gov, dialin/gov.uk), and a sprinkling of names that
+  are *not* valid FQDNs, which the leakage analysis must filter out
+  exactly as the paper did with the ``validators`` library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.util.rng import SeededRng
+
+#: Table 2's label counts (real-world occurrences).
+TABLE2_LABEL_COUNTS: Tuple[Tuple[str, int], ...] = (
+    ("www", 61_100_000),
+    ("mail", 14_400_000),
+    ("webdisk", 8_700_000),
+    ("webmail", 8_600_000),
+    ("cpanel", 8_200_000),
+    ("autodiscover", 3_600_000),
+    ("m", 310_000),
+    ("shop", 303_000),
+    ("whm", 280_000),
+    ("dev", 256_000),
+    ("remote", 253_000),
+    ("test", 249_000),
+    ("api", 239_000),
+    ("blog", 235_000),
+    ("secure", 176_000),
+    ("admin", 158_000),
+    ("mobile", 156_000),
+    ("server", 146_000),
+    ("cloud", 141_000),
+    ("smtp", 140_000),
+)
+
+#: Long-tail labels, each below the paper's 100k construction threshold.
+TAIL_LABEL_COUNTS: Tuple[Tuple[str, int], ...] = (
+    ("ftp", 95_000), ("ns1", 90_000), ("vpn", 85_000), ("portal", 80_000),
+    ("app", 75_000), ("autoconfig", 70_000), ("web", 65_000), ("git", 60_000),
+    ("ns2", 60_000), ("static", 55_000), ("mx", 50_000), ("imap", 45_000),
+    ("cdn", 45_000), ("staging", 40_000), ("pop", 40_000), ("demo", 35_000),
+    ("backup", 33_000), ("sip", 30_000), ("beta", 30_000), ("img", 30_000),
+    ("wiki", 28_000), ("media", 28_000), ("forum", 26_000), ("owncloud", 25_000),
+    ("news", 24_000), ("files", 22_000), ("calendar", 20_000), ("host", 20_000),
+    ("citrix", 18_000), ("monitor", 15_000), ("stats", 12_000), ("dialin", 8_000),
+)
+
+#: Section 4.2's per-suffix signature labels: within these suffixes the
+#: given label is the most common one.
+SUFFIX_SIGNATURE_LABELS: Tuple[Tuple[str, str], ...] = (
+    ("tech", "git"),
+    ("email", "autoconfig"),
+    ("cloud", "api"),
+    ("design", "ftp"),
+    ("gov", "sip"),
+    ("gov.uk", "dialin"),
+)
+
+#: Registrable-domain suffix mix (share of the 206M list).
+SUFFIX_MIX: Tuple[Tuple[str, float], ...] = (
+    ("com", 0.42), ("net", 0.07), ("org", 0.06), ("de", 0.05),
+    ("co.uk", 0.035), ("ru", 0.03), ("nl", 0.025), ("info", 0.02),
+    ("fr", 0.02), ("it", 0.018), ("br", 0.015), ("io", 0.015),
+    ("pl", 0.014), ("au", 0.0), ("com.au", 0.013), ("es", 0.012),
+    ("ca", 0.012), ("eu", 0.011), ("ch", 0.01), ("us", 0.01),
+    ("se", 0.009), ("jp", 0.0), ("co.jp", 0.009), ("cz", 0.008),
+    ("in", 0.008), ("biz", 0.008), ("me", 0.007), ("at", 0.007),
+    ("dk", 0.006), ("be", 0.006), ("cn", 0.006), ("tv", 0.005),
+    ("co", 0.005), ("xyz", 0.02), ("online", 0.01), ("site", 0.008),
+    ("top", 0.012), ("shop", 0.006), ("tech", 0.0008), ("email", 0.0006),
+    ("cloud", 0.0006), ("design", 0.0005), ("gov", 0.0005), ("gov.uk", 0.0003),
+    ("gov.au", 0.001), ("ga", 0.008), ("tk", 0.012), ("ml", 0.007),
+    ("cf", 0.006), ("gq", 0.004), ("bid", 0.004), ("review", 0.003),
+    ("live", 0.004), ("money", 0.002), ("co.am", 0.001), ("my", 0.003),
+)
+
+REAL_REGISTRABLE_DOMAINS = 206_000_000
+DEFAULT_DOMAIN_SCALE = 1.0 / 1_000.0
+
+
+@dataclass
+class DomainCorpus:
+    """The generated domain list plus the CT-extracted FQDN corpus."""
+
+    registrable_domains: List[str]
+    domain_suffix: Dict[str, str]
+    ct_fqdns: List[str]
+    psl: PublicSuffixList
+    scale: float
+    #: Ground truth: scaled per-label emission counts (for tests).
+    emitted_label_counts: Dict[str, int] = field(default_factory=dict)
+
+    def domains_in_suffix(self, suffix: str) -> List[str]:
+        return [
+            domain
+            for domain, sfx in self.domain_suffix.items()
+            if sfx == suffix
+        ]
+
+    def distinct_ct_labels(self) -> Set[str]:
+        return set(self.emitted_label_counts)
+
+
+class DomainWorkload:
+    """Generate the domain list and CT FQDN corpus."""
+
+    def __init__(
+        self,
+        *,
+        scale: float = DEFAULT_DOMAIN_SCALE,
+        seed: int = 44,
+        psl: Optional[PublicSuffixList] = None,
+        invalid_name_count: int = 200,
+        bare_domain_share: float = 0.4,
+    ) -> None:
+        self.scale = scale
+        self._rng = SeededRng(seed, "domains")
+        self.psl = psl or default_psl()
+        self.invalid_name_count = invalid_name_count
+        self.bare_domain_share = bare_domain_share
+
+    def build(self) -> DomainCorpus:
+        registrable, suffix_of, per_suffix = self._registrable_domains()
+        special_suffixes = {suffix for suffix, _ in SUFFIX_SIGNATURE_LABELS}
+        # Signature suffixes keep their own label profile; the global
+        # Table 2 emission draws from the remaining domains so the
+        # global ranking stays calibrated.
+        regular = [d for d in registrable if suffix_of[d] not in special_suffixes]
+        fqdns: List[str] = []
+        emitted: Dict[str, int] = {}
+
+        # Bare registrable domains (certificates for the apex).
+        bare_count = int(len(registrable) * self.bare_domain_share)
+        fqdns.extend(registrable[:bare_count])
+
+        # Per-suffix signature labels: each signature label sits on half
+        # of its suffix's domains, dominating the suffix (Section 4.2).
+        sig_rng = self._rng.fork("signatures")
+        for suffix, label in SUFFIX_SIGNATURE_LABELS:
+            domains = per_suffix.get(suffix, [])
+            if not domains:
+                continue
+            count = max(2, int(len(domains) * 0.5))
+            for domain in sig_rng.sample(domains, min(count, len(domains))):
+                fqdns.append(f"{label}.{domain}")
+                emitted[label] = emitted.get(label, 0) + 1
+            minor = max(1, int(len(domains) * 0.12))
+            for domain in sig_rng.sample(domains, min(minor, len(domains))):
+                fqdns.append(f"mail.{domain}")
+                emitted["mail"] = emitted.get("mail", 0) + 1
+
+        # Table 2 + tail labels at scale, topping each label up to its
+        # calibrated total (signature emissions already count toward it).
+        rng = self._rng.fork("labels")
+        for label, real_count in list(TABLE2_LABEL_COUNTS) + list(TAIL_LABEL_COUNTS):
+            count = max(1, int(real_count * self.scale)) - emitted.get(label, 0)
+            if count <= 0:
+                continue
+            chosen = (
+                rng.sample(regular, count)
+                if count <= len(regular)
+                else rng.choices(regular, k=count)
+            )
+            for domain in chosen:
+                fqdns.append(f"{label}.{domain}")
+            emitted[label] = emitted.get(label, 0) + count
+
+        # Some wildcard certificates and invalid CN/SAN entries — the
+        # parser must cope with both.
+        junk_rng = self._rng.fork("junk")
+        for _ in range(self.invalid_name_count):
+            domain = junk_rng.choice(registrable)
+            kind = junk_rng.randint(0, 4)
+            if kind == 0:
+                fqdns.append(f"*.{domain}")  # valid wildcard
+            elif kind == 1:
+                fqdns.append(f"under_score.{domain}")  # invalid label
+            elif kind == 2:
+                fqdns.append(f"-dash.{domain}")  # leading hyphen
+            elif kind == 3:
+                fqdns.append("localhost")  # single label
+            else:
+                fqdns.append(f"{junk_rng.token(70)}.{domain}")  # label too long
+
+        junk_rng.shuffle(fqdns)
+        return DomainCorpus(
+            registrable_domains=registrable,
+            domain_suffix=suffix_of,
+            ct_fqdns=fqdns,
+            psl=self.psl,
+            scale=self.scale,
+            emitted_label_counts=emitted,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _registrable_domains(
+        self,
+    ) -> Tuple[List[str], Dict[str, str], Dict[str, List[str]]]:
+        total = max(100, int(REAL_REGISTRABLE_DOMAINS * self.scale))
+        suffixes = [suffix for suffix, _ in SUFFIX_MIX]
+        weights = [weight for _, weight in SUFFIX_MIX]
+        weight_sum = sum(weights)
+        rng = self._rng.fork("registrable")
+        registrable: List[str] = []
+        suffix_of: Dict[str, str] = {}
+        per_suffix: Dict[str, List[str]] = {}
+        counter = 0
+        for suffix, weight in zip(suffixes, weights):
+            count = int(total * weight / weight_sum)
+            if weight > 0 and count == 0:
+                count = 2
+            bucket = per_suffix.setdefault(suffix, [])
+            for _ in range(count):
+                counter += 1
+                name = f"{rng.token(3)}{counter}.{suffix}"
+                registrable.append(name)
+                suffix_of[name] = suffix
+                bucket.append(name)
+        return registrable, suffix_of, per_suffix

@@ -1,0 +1,191 @@
+"""The HTTPS server population seen by the active scan (Section 3.3).
+
+Calibration targets from the paper:
+
+* 42.8M unique certificates encountered; 68.7 % with an embedded SCT;
+* 335.7K unique certificates with an SCT in the TLS extension, 1,214
+  with one in a stapled OCSP reply;
+* 3.7M IPs serve an SCT for at least one hosted site, with ~12-fold
+  SNI multiplexing of certificates per IP;
+* per-*certificate* log shares dominated by Cloudflare Nimbus2018
+  (74 %) and Google Icarus (71 %) — i.e. Let's Encrypt's log choices —
+  in stark contrast to the per-*connection* shares of Table 1.
+
+The population is materialized as real endpoints with real
+certificates issued through the CA -> log pipeline, plus DNS zones so
+the three-stage scanner (resolve -> zmap -> TLS) can find them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Dict, List, Optional, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import build_default_logs
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.tls.server import HttpsEndpoint, ServerSite
+from repro.util.rng import SeededRng
+from repro.util.timeutil import start_of_day
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+#: Real-world calibration constants (Section 3.3).
+REAL_UNIQUE_CERTS = 42_800_000
+EMBEDDED_SCT_CERT_SHARE = 0.687
+REAL_TLS_EXT_CERTS = 335_700
+REAL_OCSP_CERTS = 1_214
+SITES_PER_SCT_IP = 12
+
+#: Per-certificate log-set mix for SCT-bearing certificates, tuned so
+#: the per-cert shares land at Nimbus2018 ~74 %, Icarus ~71 %,
+#: Rocketeer ~19 %, Sabre ~12.5 %, everything else < 10 %.
+CERT_LOG_MIX: Tuple[Tuple[Tuple[str, ...], float], ...] = (
+    (("Cloudflare Nimbus2018 Log", "Google Icarus log"), 0.55),
+    (("Cloudflare Nimbus2018 Log", "Google Icarus log", "Google Rocketeer log"), 0.10),
+    (("Cloudflare Nimbus2018 Log", "Comodo Sabre CT log"), 0.06),
+    (("Cloudflare Nimbus2018 Log", "Google Icarus log", "Comodo Sabre CT log"), 0.03),
+    (("Google Icarus log", "Google Rocketeer log"), 0.03),
+    (("Google Rocketeer log", "Comodo Sabre CT log"), 0.035),
+    (("Google Rocketeer log", "Google Pilot log"), 0.025),
+    (("DigiCert Log Server", "DigiCert Log Server 2"), 0.06),
+    (("Comodo Mammoth CT log", "Google Skydiver log"), 0.05),
+    (("Google Pilot log", "Google Aviator log"), 0.06),
+)
+
+#: CA attribution for SCT-bearing certificates (mostly Let's Encrypt).
+CERT_CA_MIX: Tuple[Tuple[str, float], ...] = (
+    ("Let's Encrypt", 0.72),
+    ("Comodo", 0.12),
+    ("DigiCert", 0.10),
+    ("Other", 0.06),
+)
+
+DEFAULT_HOSTING_SCALE = 1.0 / 10_000.0
+
+
+@dataclass
+class HostingPopulation:
+    """The materialized server population plus its DNS."""
+
+    endpoints: Dict[str, HttpsEndpoint]
+    universe: DnsUniverse
+    domains: List[str]
+    logs: Dict[str, CTLog]
+    scale: float
+
+    def resolver(self, name: str = "scan-resolver") -> RecursiveResolver:
+        return RecursiveResolver(name, self.universe, ip="169.229.0.53", asn=64496)
+
+
+class HostingWorkload:
+    """Builds the scanned HTTPS population at a configurable scale."""
+
+    def __init__(
+        self,
+        *,
+        scale: float = DEFAULT_HOSTING_SCALE,
+        seed: int = 33,
+        scan_date: Optional[date] = None,
+        logs: Optional[Dict[str, CTLog]] = None,
+        key_bits: int = 256,
+    ) -> None:
+        self.scale = scale
+        self.scan_date = scan_date or date(2018, 5, 18)
+        self._rng = SeededRng(seed, "hosting")
+        self.logs = logs if logs is not None else build_default_logs(
+            with_capacities=False, key_bits=key_bits
+        )
+        self._cas = {
+            name: CertificateAuthority(name, key_bits=key_bits)
+            for name, _ in CERT_CA_MIX
+        }
+        self._plain_ca = CertificateAuthority("Plain CA", key_bits=key_bits)
+
+    def build(self) -> HostingPopulation:
+        """Create endpoints, certificates, and DNS for the population."""
+        total_certs = max(10, int(REAL_UNIQUE_CERTS * self.scale))
+        sct_certs = int(total_certs * EMBEDDED_SCT_CERT_SHARE)
+        tls_ext_certs = max(1, int(REAL_TLS_EXT_CERTS * self.scale))
+        ocsp_certs = max(1, int(REAL_OCSP_CERTS * self.scale))
+        issued_at = start_of_day(self.scan_date) - timedelta(days=20)
+
+        endpoints: Dict[str, HttpsEndpoint] = {}
+        universe = DnsUniverse()
+        zone = Zone("com")
+        universe.add_zone(zone)
+        domains: List[str] = []
+
+        mix_sets = [logs for logs, _ in CERT_LOG_MIX]
+        mix_weights = [weight for _, weight in CERT_LOG_MIX]
+        ca_names = [name for name, _ in CERT_CA_MIX]
+        ca_weights = [weight for _, weight in CERT_CA_MIX]
+
+        # SCT-bearing certificates, packed ~12 sites per IP.
+        sct_endpoint: Optional[HttpsEndpoint] = None
+        for index in range(sct_certs):
+            if sct_endpoint is None or len(sct_endpoint.sites) >= SITES_PER_SCT_IP:
+                ip = f"104.131.{(index // 250) % 250}.{index % 250 + 1}"
+                sct_endpoint = endpoints.setdefault(ip, HttpsEndpoint(ip))
+            hostname = f"site{index}.hosted-sct.com"
+            log_set = [
+                self.logs[name]
+                for name in mix_sets[self._rng.weighted_index(mix_weights)]
+            ]
+            ca = self._cas[ca_names[self._rng.weighted_index(ca_weights)]]
+            pair = ca.issue(
+                IssuanceRequest((hostname,), lifetime_days=90), log_set, issued_at
+            )
+            site = ServerSite(hostname, pair.final_certificate)
+            if index < tls_ext_certs:
+                # Operators also sending their SCTs via the TLS extension.
+                site.tls_extension_scts = pair.scts
+            sct_endpoint.add_site(site)
+            zone.add_simple(hostname, RecordType.A, sct_endpoint.ip)
+            domains.append(hostname)
+
+        # Certificates without CT: lower multiplexing.
+        plain_certs = total_certs - sct_certs
+        plain_endpoint: Optional[HttpsEndpoint] = None
+        for index in range(plain_certs):
+            if plain_endpoint is None or len(plain_endpoint.sites) >= 2:
+                ip = f"88.198.{(index // 250) % 250}.{index % 250 + 1}"
+                plain_endpoint = endpoints.setdefault(ip, HttpsEndpoint(ip))
+            hostname = f"site{index}.hosted-plain.com"
+            pair = self._plain_ca.issue(
+                IssuanceRequest((hostname,), lifetime_days=365, embed_scts=False),
+                [],
+                issued_at,
+            )
+            plain_endpoint.add_site(ServerSite(hostname, pair.final_certificate))
+            zone.add_simple(hostname, RecordType.A, plain_endpoint.ip)
+            domains.append(hostname)
+
+        # The handful of certificates with stapled-OCSP SCT delivery.
+        for index in range(ocsp_certs):
+            ip = f"52.95.200.{index + 1}"
+            hostname = f"site{index}.hosted-ocsp.com"
+            endpoint = endpoints.setdefault(ip, HttpsEndpoint(ip))
+            pair = self._plain_ca.issue(
+                IssuanceRequest((hostname,), embed_scts=False), [], issued_at
+            )
+            ocsp_scts = (
+                self.logs["DigiCert Log Server"].add_chain(
+                    pair.final_certificate, issued_at
+                ),
+            )
+            endpoint.add_site(
+                ServerSite(hostname, pair.final_certificate, ocsp_scts=ocsp_scts)
+            )
+            zone.add_simple(hostname, RecordType.A, ip)
+            domains.append(hostname)
+
+        return HostingPopulation(
+            endpoints=endpoints,
+            universe=universe,
+            domains=domains,
+            logs=self.logs,
+            scale=self.scale,
+        )

@@ -1,0 +1,144 @@
+"""The four CA pipeline incidents of Section 3.4.
+
+The paper found 16 certificates from 4 CAs with invalid embedded SCTs:
+
+* **TeliaSonera** (1): a re-issuance of an earlier certificate that
+  embedded the *earlier* certificate's SCT;
+* **GlobalSign** (12): certificates whose SANs mixed DNS names and IP
+  addresses, with the entry order changed in the final certificate;
+* **D-Trust** (2): X.509 extension ordering differed between
+  precertificate and final certificate;
+* **NetLock** (1): precertificate and final certificate contained
+  entirely different SAN names and even issuer names.
+
+This workload issues those 16 certificates through the buggy-pipeline
+paths of :class:`~repro.x509.ca.CertificateAuthority`, embedded in a
+larger population of correctly issued certificates from the same and
+other CAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+from typing import Dict, List, Optional, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import build_default_logs
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import (
+    CertificateAuthority,
+    IssuanceBug,
+    IssuanceRequest,
+    IssuedPair,
+)
+
+
+@dataclass
+class IncidentCorpus:
+    """All issued pairs plus the ground truth of injected incidents."""
+
+    pairs: List[IssuedPair]
+    cas: Dict[str, CertificateAuthority]
+    logs: Dict[str, CTLog]
+    #: Ground truth: serial -> (CA name, bug) for every buggy final cert.
+    injected: Dict[Tuple[str, int], IssuanceBug] = field(default_factory=dict)
+
+    def issuer_key_hashes(self) -> Dict[str, bytes]:
+        return {name: ca.issuer_key_hash for name, ca in self.cas.items()}
+
+
+class MisissuanceWorkload:
+    """Issue the Section 3.4 incident certificates among healthy ones."""
+
+    def __init__(
+        self,
+        *,
+        healthy_certificates: int = 400,
+        seed: int = 34,
+        logs: Optional[Dict[str, CTLog]] = None,
+        key_bits: int = 256,
+    ) -> None:
+        self.healthy_certificates = healthy_certificates
+        self._rng = SeededRng(seed, "incidents")
+        self.logs = logs if logs is not None else build_default_logs(
+            with_capacities=False, key_bits=key_bits
+        )
+        ca_names = [
+            "TeliaSonera", "GlobalSign", "D-Trust", "NetLock",
+            "Let's Encrypt", "DigiCert", "Comodo",
+        ]
+        self.cas = {
+            name: CertificateAuthority(name, key_bits=key_bits)
+            for name in ca_names
+        }
+
+    def build(self) -> IncidentCorpus:
+        now = utc_datetime(2018, 2, 1)
+        pilot = self.logs["Google Pilot log"]
+        rocketeer = self.logs["Google Rocketeer log"]
+        log_pair = [pilot, rocketeer]
+        corpus = IncidentCorpus(pairs=[], cas=self.cas, logs=self.logs)
+
+        # Healthy background population from all CAs.
+        ca_list = list(self.cas.values())
+        for index in range(self.healthy_certificates):
+            ca = ca_list[index % len(ca_list)]
+            pair = ca.issue(
+                IssuanceRequest((f"ok{index}.{ca.name.lower().replace(' ', '-').replace(chr(39), '')}-customer.com",)),
+                log_pair,
+                now + timedelta(minutes=index),
+            )
+            corpus.pairs.append(pair)
+
+        def inject(ca_name: str, request: IssuanceRequest, bug: IssuanceBug,
+                   when) -> IssuedPair:
+            pair = self.cas[ca_name].issue(request, log_pair, when, bug=bug)
+            corpus.pairs.append(pair)
+            corpus.injected[(ca_name, pair.final_certificate.serial)] = bug
+            return pair
+
+        # TeliaSonera: first a legitimate issuance, then the re-issuance
+        # that embeds the earlier certificate's SCT.
+        telia_name = "secure.teliasonera-customer.se"
+        first = self.cas["TeliaSonera"].issue(
+            IssuanceRequest((telia_name,)), log_pair, utc_datetime(2018, 1, 10)
+        )
+        corpus.pairs.append(first)
+        inject(
+            "TeliaSonera",
+            IssuanceRequest((telia_name,)),
+            IssuanceBug.SCT_REUSE,
+            utc_datetime(2018, 1, 25),
+        )
+
+        # GlobalSign: 12 certificates with mixed DNS + IP SANs reordered.
+        for index in range(12):
+            inject(
+                "GlobalSign",
+                IssuanceRequest(
+                    (f"vpn{index}.globalsign-customer.com",),
+                    ip_addresses=(f"203.0.113.{index + 1}",),
+                ),
+                IssuanceBug.SAN_REORDER,
+                utc_datetime(2018, 2, 10) + timedelta(hours=index),
+            )
+
+        # D-Trust: 2 certificates with reordered X.509 extensions.
+        for index in range(2):
+            inject(
+                "D-Trust",
+                IssuanceRequest((f"portal{index}.dtrust-kunde.de",)),
+                IssuanceBug.EXTENSION_REORDER,
+                utc_datetime(2018, 3, 5) + timedelta(hours=index),
+            )
+
+        # NetLock: 1 certificate with entirely different SANs/issuer.
+        inject(
+            "NetLock",
+            IssuanceRequest(("www.netlock-ugyfel.hu",)),
+            IssuanceBug.SAN_SWAP,
+            utc_datetime(2018, 3, 20),
+        )
+        return corpus

@@ -1,0 +1,215 @@
+"""Phishing-domain workload (Section 5, Table 3).
+
+Generates CT-visible domain names in three populations:
+
+* **phishing** domains imitating the five services of Table 3 with the
+  squatting grammars visible in the paper's examples
+  (``appleid.apple.com-7etr6eti.gq``, ``paypal.com-account-security.money``,
+  ``www-hotmail-login.live``, ``accounts.google.co.am``,
+  ``www.ebay.co.uk.dll7.bid``), plus government-taxation impersonations
+  (ATO / HMRC / IRS);
+* **legitimate** names: real subdomains of the targeted services, which
+  the detector must exclude;
+* **benign** names: unrelated domains, including near-miss negatives
+  like ``snapple.com`` that a naive substring match would flag.
+
+Counts are calibrated to Table 3 (Apple 63k, PayPal 58k, Microsoft 4k,
+Google 1k, eBay <1k) at a configurable scale, with the paper's suffix
+affinities: 2/3 of Apple phish on com/ga/info/tk/ml, 28 % of eBay
+phish on bid/review, 4 % of Microsoft phish on live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class PhishingService:
+    """One impersonation target."""
+
+    name: str
+    legitimate_domains: Tuple[str, ...]
+    #: Tokens the squatting grammars embed.
+    lure_tokens: Tuple[str, ...]
+    real_count: int
+    #: (suffix, share) pairs; the remainder spreads over generic suffixes.
+    suffix_affinity: Tuple[Tuple[str, float], ...] = ()
+
+
+SERVICES: Tuple[PhishingService, ...] = (
+    PhishingService(
+        "Apple",
+        ("apple.com", "icloud.com"),
+        ("appleid.apple.com", "apple.com", "icloud.com", "appleid"),
+        63_000,
+        (("com", 0.25), ("ga", 0.13), ("info", 0.10), ("tk", 0.11), ("ml", 0.08)),
+    ),
+    PhishingService(
+        "PayPal",
+        ("paypal.com",),
+        ("paypal.com", "paypal"),
+        58_000,
+        (("money", 0.08), ("com", 0.30), ("tk", 0.10)),
+    ),
+    PhishingService(
+        "Microsoft",
+        ("microsoft.com", "live.com", "hotmail.com", "outlook.com"),
+        ("hotmail", "outlook", "login.live", "microsoft"),
+        4_000,
+        (("live", 0.04), ("com", 0.40)),
+    ),
+    PhishingService(
+        "Google",
+        ("google.com", "gmail.com"),
+        ("accounts.google", "google", "gmail"),
+        1_000,
+        (("co.am", 0.06), ("com", 0.40)),
+    ),
+    PhishingService(
+        "eBay",
+        ("ebay.com", "ebay.co.uk"),
+        ("ebay.co.uk", "ebay.com", "ebay"),
+        800,
+        (("bid", 0.16), ("review", 0.12), ("com", 0.30)),
+    ),
+)
+
+#: Government-taxation impersonations observed in the paper.
+GOVERNMENT_EXAMPLES: Tuple[str, ...] = (
+    "ato.gov.au.eng-atorefund.com",
+    "hmrc.gov.uk-refund.cf",
+    "refund.irs.gov.my-irs.com",
+)
+
+GENERIC_SUFFIXES: Tuple[str, ...] = (
+    "com", "info", "ga", "tk", "ml", "cf", "gq", "xyz", "online", "top", "site",
+)
+
+#: Near-miss benign names a naive substring detector would flag.
+TRICKY_BENIGN: Tuple[str, ...] = (
+    "snapple.com",
+    "pineapple-farm.org",
+    "grapple.net",
+    "scrapbook-fans.info",
+    "nonstopgoogles.mistyped.example-blog.com",
+)
+
+DEFAULT_PHISHING_SCALE = 1.0 / 100.0
+
+
+@dataclass
+class PhishingCorpus:
+    """The generated name populations plus ground truth."""
+
+    names: List[str]
+    #: name -> service for every generated phishing name.
+    truth: Dict[str, str] = field(default_factory=dict)
+    government_names: List[str] = field(default_factory=list)
+    legitimate_names: List[str] = field(default_factory=list)
+    benign_names: List[str] = field(default_factory=list)
+    scale: float = DEFAULT_PHISHING_SCALE
+
+    def phishing_count(self, service: str) -> int:
+        return sum(1 for s in self.truth.values() if s == service)
+
+
+class PhishingWorkload:
+    """Generate the Table 3 phishing corpus."""
+
+    def __init__(
+        self,
+        *,
+        scale: float = DEFAULT_PHISHING_SCALE,
+        seed: int = 5,
+        benign_count: int = 4_000,
+        legitimate_per_service: int = 40,
+        government_count: int = 30,
+    ) -> None:
+        self.scale = scale
+        self._rng = SeededRng(seed, "phishing")
+        self.benign_count = benign_count
+        self.legitimate_per_service = legitimate_per_service
+        self.government_count = government_count
+
+    def build(self) -> PhishingCorpus:
+        corpus = PhishingCorpus(names=[], scale=self.scale)
+        for service in SERVICES:
+            self._generate_service(service, corpus)
+        self._generate_government(corpus)
+        self._generate_legitimate(corpus)
+        self._generate_benign(corpus)
+        self._rng.fork("shuffle").shuffle(corpus.names)
+        return corpus
+
+    # -- generators ----------------------------------------------------------
+
+    def _pick_suffix(self, service: PhishingService, rng: SeededRng) -> str:
+        roll = rng.random()
+        acc = 0.0
+        for suffix, share in service.suffix_affinity:
+            acc += share
+            if roll < acc:
+                return suffix
+        return rng.choice(GENERIC_SUFFIXES)
+
+    def _generate_service(
+        self, service: PhishingService, corpus: PhishingCorpus
+    ) -> None:
+        rng = self._rng.fork(f"svc:{service.name}")
+        count = max(3, int(service.real_count * self.scale))
+        for index in range(count):
+            suffix = self._pick_suffix(service, rng)
+            lure = rng.choice(service.lure_tokens)
+            style = rng.randint(0, 3)
+            if style == 0:
+                # appleid.apple.com-7etr6eti.gq
+                name = f"{lure}-{rng.token(8)}.{suffix}"
+            elif style == 1:
+                # paypal.com-account-security.money
+                filler = rng.choice(("account-security", "verify", "signin-alert", "support-id"))
+                name = f"{lure}-{filler}{rng.token(3)}.{suffix}"
+            elif style == 2:
+                # www-hotmail-login.live
+                name = f"www-{lure.replace('.', '-')}-login{rng.token(3)}.{suffix}"
+            else:
+                # www.ebay.co.uk.dll7.bid / accounts.google.co.am
+                name = f"www.{lure}.{rng.token(4)}{index % 10}.{suffix}"
+            name = name.lower()
+            corpus.names.append(name)
+            corpus.truth[name] = service.name
+
+    def _generate_government(self, corpus: PhishingCorpus) -> None:
+        rng = self._rng.fork("gov")
+        corpus.government_names.extend(GOVERNMENT_EXAMPLES)
+        templates = (
+            "ato.gov.au.{token}-refund.com",
+            "hmrc.gov.uk-{token}.cf",
+            "refund.irs.gov.{token}-irs.com",
+        )
+        for index in range(self.government_count - len(GOVERNMENT_EXAMPLES)):
+            name = templates[index % len(templates)].format(token=rng.token(5))
+            corpus.government_names.append(name)
+        corpus.names.extend(corpus.government_names)
+
+    def _generate_legitimate(self, corpus: PhishingCorpus) -> None:
+        rng = self._rng.fork("legit")
+        labels = ("www", "accounts", "id", "login", "mail", "support", "store")
+        for service in SERVICES:
+            for domain in service.legitimate_domains:
+                for _ in range(self.legitimate_per_service // len(service.legitimate_domains) + 1):
+                    name = f"{rng.choice(labels)}.{domain}"
+                    corpus.legitimate_names.append(name)
+                    corpus.names.append(name)
+
+    def _generate_benign(self, corpus: PhishingCorpus) -> None:
+        rng = self._rng.fork("benign")
+        corpus.benign_names.extend(TRICKY_BENIGN)
+        for index in range(self.benign_count - len(TRICKY_BENIGN)):
+            corpus.benign_names.append(
+                f"{rng.token(7)}{index}.{rng.choice(GENERIC_SUFFIXES)}"
+            )
+        corpus.names.extend(corpus.benign_names)

@@ -1,0 +1,94 @@
+"""A Sonar-Forward-DNS-like dataset (Sections 4.1 and 4.3).
+
+Rapid7's Sonar database contains FQDNs with A-lookup results.  The
+paper's calibration points, reproduced here:
+
+* 82 % of the study's registrable domains also occur on the Sonar
+  list (within the same public suffix);
+* only 21 % of the study's subdomain *labels* appear as Sonar labels;
+* of the 18.8M FQDNs newly discovered via CT construction, only 1.1M
+  (~5.9 %) were already known to Sonar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.util.rng import SeededRng
+from repro.workloads.domains import DomainCorpus
+
+#: Fraction of the study's registrable domains present in Sonar.
+DOMAIN_OVERLAP = 0.82
+#: Fraction of the study's subdomain labels present as Sonar labels.
+LABEL_OVERLAP = 0.21
+#: Fraction of genuinely existing constructed FQDNs Sonar already knows.
+DISCOVERED_KNOWN_SHARE = 0.059
+
+
+@dataclass
+class SonarDataset:
+    """The synthetic Sonar forward-DNS snapshot."""
+
+    fqdns: Set[str]
+    labels: Set[str]
+
+    def knows(self, fqdn: str) -> bool:
+        return fqdn.lower() in self.fqdns
+
+    def known_among(self, fqdns: Iterable[str]) -> List[str]:
+        return [name for name in fqdns if self.knows(name)]
+
+
+class SonarWorkload:
+    """Build the Sonar dataset relative to a domain corpus."""
+
+    def __init__(self, seed: int = 55) -> None:
+        self._rng = SeededRng(seed, "sonar")
+
+    def build(
+        self,
+        corpus: DomainCorpus,
+        existing_constructed_fqdns: Optional[Iterable[str]] = None,
+    ) -> SonarDataset:
+        """Assemble the dataset.
+
+        ``existing_constructed_fqdns`` — the ground-truth set of
+        Section 4.3 candidate FQDNs that really exist; Sonar gets the
+        calibrated ~5.9 % of them.
+        """
+        rng = self._rng
+        fqdns: Set[str] = set()
+        labels: Set[str] = set()
+
+        # 82 % of the corpus's registrable domains, as bare entries.
+        shared_domains = [
+            domain
+            for domain in corpus.registrable_domains
+            if rng.fork(f"dom:{domain}").chance(DOMAIN_OVERLAP)
+        ]
+        fqdns.update(shared_domains)
+
+        # Sonar's label vocabulary: 21 % of the corpus's labels, plus
+        # Sonar-only labels the CT corpus never saw.
+        ct_labels = sorted(corpus.distinct_ct_labels())
+        shared_count = max(1, int(len(ct_labels) * LABEL_OVERLAP))
+        shared_labels = rng.fork("labels").sample(ct_labels, shared_count)
+        labels.update(shared_labels)
+        sonar_only = [f"sonar-{rng.token(5)}{i}" for i in range(len(ct_labels) * 3)]
+        labels.update(sonar_only)
+
+        # Labelled Sonar entries over the shared domains.
+        label_pool = shared_labels + sonar_only
+        entry_rng = rng.fork("entries")
+        for domain in shared_domains[:: max(1, len(shared_domains) // 20_000)]:
+            for _ in range(entry_rng.randint(0, 2)):
+                fqdns.add(f"{entry_rng.choice(label_pool)}.{domain}")
+
+        # The calibrated slice of genuinely existing constructed names.
+        if existing_constructed_fqdns is not None:
+            known_rng = rng.fork("known")
+            for name in existing_constructed_fqdns:
+                if known_rng.chance(DISCOVERED_KNOWN_SHARE):
+                    fqdns.add(name.lower())
+        return SonarDataset(fqdns=fqdns, labels=labels)

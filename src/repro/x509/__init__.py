@@ -1,0 +1,51 @@
+"""X.509-like certificate substrate.
+
+This package models the parts of X.509 the paper's analyses touch:
+
+* a deterministic small-RSA signature scheme (:mod:`repro.x509.crypto`)
+  so SCT signatures are *really* verified, not assumed;
+* a certificate model with subject/issuer, SAN entries (DNS names and
+  IP addresses), extensions with explicit ordering, and a canonical
+  TBS ("to-be-signed") serialization (:mod:`repro.x509.certificate`);
+* certification authorities that run the precertificate flow of
+  RFC 6962 and can be configured to reproduce the four real-world CA
+  bugs discussed in Section 3.4 (:mod:`repro.x509.ca`).
+"""
+
+from repro.x509.certificate import (
+    Certificate,
+    Extension,
+    GeneralName,
+    POISON_EXTENSION_OID,
+    SCT_LIST_EXTENSION_OID,
+    SanType,
+)
+from repro.x509.crypto import KeyPair, sha256, verify, sign
+
+_LAZY_CA_EXPORTS = ("CertificateAuthority", "IssuanceBug", "IssuanceRequest", "IssuedPair")
+
+
+def __getattr__(name):
+    # repro.x509.ca imports repro.ct (for log submission), which imports
+    # this package for crypto — resolve the cycle by loading ca lazily.
+    if name in _LAZY_CA_EXPORTS:
+        from repro.x509 import ca
+
+        return getattr(ca, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "Extension",
+    "GeneralName",
+    "IssuanceRequest",
+    "IssuedPair",
+    "KeyPair",
+    "POISON_EXTENSION_OID",
+    "SCT_LIST_EXTENSION_OID",
+    "SanType",
+    "sha256",
+    "sign",
+    "verify",
+]

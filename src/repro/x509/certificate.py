@@ -1,0 +1,200 @@
+"""A structural model of X.509 certificates.
+
+Only the parts the paper's analyses depend on are modeled, but those
+are modeled faithfully:
+
+* the **ordering** of Subject Alternative Name entries and of X.509
+  extensions is significant — two of the real CA bugs reproduced in
+  Section 3.4 (GlobalSign, D-Trust) were ordering changes between
+  precertificate and final certificate that invalidated embedded SCTs;
+* a canonical TBS ("to-be-signed") byte serialization, because SCT
+  signatures are computed over (a cleaned form of) these bytes;
+* the RFC 6962 poison extension marking precertificates and the SCT
+  list extension carrying embedded SCTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.timeutil import timestamp_ms
+
+#: OID of the RFC 6962 precertificate poison extension.
+POISON_EXTENSION_OID = "1.3.6.1.4.1.11129.2.4.3"
+#: OID of the embedded SCT list extension.
+SCT_LIST_EXTENSION_OID = "1.3.6.1.4.1.11129.2.4.2"
+
+
+class SanType(str, Enum):
+    """Subject Alternative Name entry types used by the paper."""
+
+    DNS = "dns"
+    IP = "ip"
+
+
+@dataclass(frozen=True)
+class GeneralName:
+    """A single SAN entry."""
+
+    san_type: SanType
+    value: str
+
+    def encode(self) -> bytes:
+        payload = f"{self.san_type.value}:{self.value}".encode("utf-8")
+        return len(payload).to_bytes(2, "big") + payload
+
+
+@dataclass(frozen=True)
+class Extension:
+    """An X.509 extension; ``value`` is opaque bytes."""
+
+    oid: str
+    value: bytes = b""
+    critical: bool = False
+
+    def encode(self) -> bytes:
+        oid_bytes = self.oid.encode("ascii")
+        return (
+            len(oid_bytes).to_bytes(1, "big")
+            + oid_bytes
+            + (b"\x01" if self.critical else b"\x00")
+            + len(self.value).to_bytes(3, "big")
+            + self.value
+        )
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An immutable certificate (or precertificate).
+
+    Attributes
+    ----------
+    serial:
+        Serial number, unique per issuer in well-behaved CAs.
+    issuer_cn / issuer_org:
+        Distinguished-name fields of the issuer.  ``issuer_org`` is the
+        CA brand the paper aggregates by ("Let's Encrypt", "DigiCert"...).
+    subject_cn:
+        The Common Name; usually also present in ``san``.
+    san:
+        Ordered SAN entries.  Order matters for SCT validity.
+    extensions:
+        Ordered extension list.  Order matters for SCT validity.
+    """
+
+    serial: int
+    issuer_cn: str
+    issuer_org: str
+    subject_cn: str
+    san: Tuple[GeneralName, ...]
+    not_before: datetime
+    not_after: datetime
+    public_key_id: bytes = b""
+    extensions: Tuple[Extension, ...] = field(default_factory=tuple)
+    signature: bytes = b""
+
+    # -- content helpers ---------------------------------------------------
+
+    def dns_names(self) -> List[str]:
+        """All DNS names in the certificate (CN first, then DNS SANs), deduplicated."""
+        names: List[str] = []
+        seen = set()
+        for candidate in [self.subject_cn] + [
+            entry.value for entry in self.san if entry.san_type is SanType.DNS
+        ]:
+            lowered = candidate.lower()
+            if lowered and lowered not in seen:
+                seen.add(lowered)
+                names.append(lowered)
+        return names
+
+    def ip_addresses(self) -> List[str]:
+        """IP-address SAN entries in order."""
+        return [e.value for e in self.san if e.san_type is SanType.IP]
+
+    def has_extension(self, oid: str) -> bool:
+        return any(ext.oid == oid for ext in self.extensions)
+
+    def get_extension(self, oid: str) -> Optional[Extension]:
+        for ext in self.extensions:
+            if ext.oid == oid:
+                return ext
+        return None
+
+    @property
+    def is_precertificate(self) -> bool:
+        """True when the RFC 6962 poison extension is present."""
+        return self.has_extension(POISON_EXTENSION_OID)
+
+    @property
+    def has_embedded_scts(self) -> bool:
+        """True when the SCT list extension is present."""
+        return self.has_extension(SCT_LIST_EXTENSION_OID)
+
+    # -- serialization -----------------------------------------------------
+
+    def tbs_bytes(self, *, exclude_oids: Sequence[str] = ()) -> bytes:
+        """Canonical TBS serialization.
+
+        ``exclude_oids`` supports the RFC 6962 reconstruction rules: SCT
+        signatures cover the TBS without the poison extension; embedded
+        SCT verification removes the SCT list extension from the final
+        certificate before comparing.
+        """
+        excluded = set(exclude_oids)
+        parts = [
+            b"TBS1",
+            self.serial.to_bytes(16, "big"),
+            _encode_str(self.issuer_cn),
+            _encode_str(self.issuer_org),
+            _encode_str(self.subject_cn),
+            timestamp_ms(self.not_before).to_bytes(8, "big"),
+            timestamp_ms(self.not_after).to_bytes(8, "big"),
+            len(self.public_key_id).to_bytes(1, "big"),
+            self.public_key_id,
+        ]
+        san_blob = b"".join(entry.encode() for entry in self.san)
+        parts.append(len(san_blob).to_bytes(4, "big"))
+        parts.append(san_blob)
+        ext_blob = b"".join(
+            ext.encode() for ext in self.extensions if ext.oid not in excluded
+        )
+        parts.append(len(ext_blob).to_bytes(4, "big"))
+        parts.append(ext_blob)
+        return b"".join(parts)
+
+    def with_extensions(self, extensions: Sequence[Extension]) -> "Certificate":
+        """Copy with a replaced (ordered) extension list."""
+        return replace(self, extensions=tuple(extensions))
+
+    def with_san(self, san: Sequence[GeneralName]) -> "Certificate":
+        """Copy with a replaced (ordered) SAN list."""
+        return replace(self, san=tuple(san))
+
+    def without_extension(self, oid: str) -> "Certificate":
+        """Copy with one extension removed (order otherwise preserved)."""
+        return self.with_extensions(
+            [ext for ext in self.extensions if ext.oid != oid]
+        )
+
+    def fingerprint(self) -> bytes:
+        """A certificate identity: hash over TBS plus signature."""
+        from repro.x509.crypto import sha256
+
+        return sha256(self.tbs_bytes() + self.signature)
+
+    def __hash__(self) -> int:
+        return hash((self.serial, self.issuer_cn, self.subject_cn, self.san))
+
+
+def _encode_str(text: str) -> bytes:
+    payload = text.encode("utf-8")
+    return len(payload).to_bytes(2, "big") + payload
+
+
+def dns_general_names(names: Sequence[str]) -> Tuple[GeneralName, ...]:
+    """Convenience: build a SAN tuple of DNS entries."""
+    return tuple(GeneralName(SanType.DNS, name) for name in names)

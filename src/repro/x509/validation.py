@@ -1,0 +1,57 @@
+"""Certificate validation helpers used by the TLS scanner and analyzer."""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+from repro.x509 import crypto
+from repro.x509.certificate import Certificate
+
+
+def verify_certificate_signature(cert: Certificate, issuer_key: crypto.KeyPair) -> bool:
+    """Check the CA's signature over the certificate TBS."""
+    return crypto.verify(issuer_key, cert.tbs_bytes(), cert.signature)
+
+
+def is_time_valid(cert: Certificate, now: datetime) -> bool:
+    """Check the validity period."""
+    return cert.not_before <= now <= cert.not_after
+
+
+def hostname_matches(cert: Certificate, hostname: str) -> bool:
+    """RFC 6125-style host matching with single-label wildcards."""
+    target = hostname.lower().rstrip(".")
+    for name in cert.dns_names():
+        if _name_matches(name, target):
+            return True
+    return False
+
+
+def _name_matches(pattern: str, hostname: str) -> bool:
+    pattern = pattern.lower().rstrip(".")
+    if pattern == hostname:
+        return True
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        if not suffix:
+            return False
+        head, sep, tail = hostname.partition(".")
+        return bool(sep) and head != "" and tail == suffix
+    return False
+
+
+def validate_for_connection(
+    cert: Certificate,
+    hostname: str,
+    now: datetime,
+    issuer_key: Optional[crypto.KeyPair] = None,
+) -> bool:
+    """Full client-side check: time, name, and (optionally) signature."""
+    if not is_time_valid(cert, now):
+        return False
+    if not hostname_matches(cert, hostname):
+        return False
+    if issuer_key is not None and not verify_certificate_signature(cert, issuer_key):
+        return False
+    return True

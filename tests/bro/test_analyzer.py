@@ -1,0 +1,141 @@
+"""Tests for the Bro-style SCT analyzer."""
+
+import pytest
+
+from repro.bro.analyzer import BroSctAnalyzer
+from repro.tls.connection import TlsConnection
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceBug, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 10, 0)
+
+
+@pytest.fixture()
+def ca256():
+    return CertificateAuthority("Bro CA", key_bits=256)
+
+
+def connection(cert, tls_scts=(), ocsp_scts=(), weight=10, support=True):
+    return TlsConnection(
+        time=NOW,
+        server_name="site.example",
+        server_ip="192.0.2.1",
+        certificate=cert,
+        tls_extension_scts=tuple(tls_scts),
+        ocsp_scts=tuple(ocsp_scts),
+        client_signals_sct_support=support,
+        weight=weight,
+    )
+
+
+def test_embedded_sct_channel_detected(ca256, fresh_logs):
+    pair = ca256.issue(
+        IssuanceRequest(("site.example",)),
+        [fresh_logs["Google Pilot log"], fresh_logs["Google Icarus log"]],
+        NOW,
+    )
+    analyzer = BroSctAnalyzer(fresh_logs)
+    obs = analyzer.analyze(connection(pair.final_certificate))
+    assert obs.presence.certificate
+    assert not obs.presence.tls_extension
+    assert obs.cert_sct_logs == ("Google Pilot log", "Google Icarus log")
+    assert obs.weight == 10
+    assert obs.day == NOW.date()
+
+
+def test_tls_extension_channel(ca256, fresh_logs):
+    pair = ca256.issue(IssuanceRequest(("e.example",), embed_scts=False), [], NOW)
+    sct = fresh_logs["Venafi log"].add_chain(pair.final_certificate, NOW)
+    analyzer = BroSctAnalyzer(fresh_logs)
+    obs = analyzer.analyze(connection(pair.final_certificate, tls_scts=[sct]))
+    assert obs.presence.tls_extension
+    assert not obs.presence.certificate
+    assert obs.tls_sct_logs == ("Venafi log",)
+
+
+def test_ocsp_channel(ca256, fresh_logs):
+    pair = ca256.issue(IssuanceRequest(("o.example",), embed_scts=False), [], NOW)
+    sct = fresh_logs["DigiCert Log Server"].add_chain(pair.final_certificate, NOW)
+    analyzer = BroSctAnalyzer(fresh_logs)
+    obs = analyzer.analyze(connection(pair.final_certificate, ocsp_scts=[sct]))
+    assert obs.presence.ocsp_staple
+    assert obs.ocsp_sct_logs == ("DigiCert Log Server",)
+
+
+def test_no_sct_connection(ca256, fresh_logs):
+    pair = ca256.issue(IssuanceRequest(("p.example",), embed_scts=False), [], NOW)
+    analyzer = BroSctAnalyzer(fresh_logs)
+    obs = analyzer.analyze(connection(pair.final_certificate))
+    assert not obs.presence.any
+
+
+def test_connection_without_certificate(fresh_logs):
+    analyzer = BroSctAnalyzer(fresh_logs)
+    obs = analyzer.analyze(connection(None))
+    assert not obs.presence.any
+
+
+def test_client_support_passthrough(ca256, fresh_logs):
+    pair = ca256.issue(IssuanceRequest(("c.example",), embed_scts=False), [], NOW)
+    analyzer = BroSctAnalyzer(fresh_logs)
+    assert analyzer.analyze(connection(pair.final_certificate, support=False)).client_support is False
+
+
+def test_unknown_log_named(ca256, fresh_logs):
+    from repro.ct.log import CTLog
+    from repro.ct.loglist import log_key
+
+    rogue = CTLog(name="Rogue", operator="R", key=log_key("Rogue", 256))
+    pair = ca256.issue(IssuanceRequest(("r.example",)), [rogue], NOW)
+    analyzer = BroSctAnalyzer(fresh_logs)  # rogue absent
+    obs = analyzer.analyze(connection(pair.final_certificate))
+    assert obs.cert_sct_logs == ("unknown log",)
+
+
+def test_signature_validation_catches_buggy_cert(ca256, fresh_logs):
+    good = ca256.issue(
+        IssuanceRequest(("g.example",)), [fresh_logs["Google Pilot log"]], NOW
+    )
+    bad = ca256.issue(
+        IssuanceRequest(("b.example",), ip_addresses=("192.0.2.5",)),
+        [fresh_logs["Google Pilot log"]],
+        NOW,
+        bug=IssuanceBug.SAN_REORDER,
+    )
+    analyzer = BroSctAnalyzer(
+        fresh_logs,
+        issuer_key_hashes={"Bro CA": ca256.issuer_key_hash},
+        validate_signatures=True,
+    )
+    assert analyzer.analyze(connection(good.final_certificate)).embedded_scts_valid
+    assert not analyzer.analyze(connection(bad.final_certificate)).embedded_scts_valid
+
+
+def test_validation_skipped_for_unknown_issuer(ca256, fresh_logs):
+    bad = ca256.issue(
+        IssuanceRequest(("u.example",), ip_addresses=("192.0.2.5",)),
+        [fresh_logs["Google Pilot log"]],
+        NOW,
+        bug=IssuanceBug.SAN_REORDER,
+    )
+    analyzer = BroSctAnalyzer(fresh_logs, issuer_key_hashes={}, validate_signatures=True)
+    # Without the issuer key hash the analyzer cannot reconstruct, so
+    # it reports valid (same limitation as the live system).
+    assert analyzer.analyze(connection(bad.final_certificate)).embedded_scts_valid
+
+
+def test_stream_analysis_is_lazy(ca256, fresh_logs):
+    pair = ca256.issue(IssuanceRequest(("s.example",), embed_scts=False), [], NOW)
+    analyzer = BroSctAnalyzer(fresh_logs)
+    stream = analyzer.analyze_stream(connection(pair.final_certificate) for _ in range(3))
+    assert sum(1 for _ in stream) == 3
+
+
+def test_cache_consistency_across_repeats(ca256, fresh_logs):
+    pair = ca256.issue(
+        IssuanceRequest(("cache.example",)), [fresh_logs["Google Pilot log"]], NOW
+    )
+    analyzer = BroSctAnalyzer(fresh_logs)
+    first = analyzer.analyze(connection(pair.final_certificate))
+    second = analyzer.analyze(connection(pair.final_certificate))
+    assert first.cert_sct_logs == second.cert_sct_logs

@@ -1,0 +1,53 @@
+"""Tests for observation-stream persistence."""
+
+from datetime import date
+
+from repro.bro.analyzer import SctObservation
+from repro.bro.sctlog import (
+    line_to_observation,
+    observation_to_line,
+    read_observations,
+    write_observations,
+)
+from repro.tls.connection import SctPresence
+
+
+def make_obs(**overrides):
+    fields = dict(
+        day=date(2018, 5, 1),
+        server_name="x.example",
+        weight=42,
+        presence=SctPresence(certificate=True, tls_extension=False, ocsp_staple=True),
+        cert_sct_logs=("Google Pilot log",),
+        tls_sct_logs=(),
+        ocsp_sct_logs=("DigiCert Log Server",),
+        client_support=False,
+        embedded_scts_valid=True,
+    )
+    fields.update(overrides)
+    return SctObservation(**fields)
+
+
+def test_line_roundtrip():
+    obs = make_obs()
+    assert line_to_observation(observation_to_line(obs)) == obs
+
+
+def test_roundtrip_preserves_presence_flags():
+    obs = make_obs(presence=SctPresence())
+    restored = line_to_observation(observation_to_line(obs))
+    assert not restored.presence.any
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "scts.jsonl"
+    observations = [make_obs(weight=i) for i in range(5)]
+    assert write_observations(path, observations) == 5
+    restored = list(read_observations(path))
+    assert restored == observations
+
+
+def test_read_skips_blank_lines(tmp_path):
+    path = tmp_path / "scts.jsonl"
+    path.write_text(observation_to_line(make_obs()) + "\n\n\n")
+    assert len(list(read_observations(path))) == 1

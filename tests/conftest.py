@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Heavy objects (log sets with generated keys, CAs) are session-scoped:
+key generation is deterministic, so sharing them across tests cannot
+leak state except through log *contents* — tests that append to logs
+build their own instances instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ct.loglist import build_default_logs
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture(scope="session")
+def shared_logs():
+    """Read-mostly default log set with fast keys."""
+    return build_default_logs(with_capacities=False, key_bits=256)
+
+
+@pytest.fixture()
+def fresh_logs():
+    """A log set tests may freely append to."""
+    return build_default_logs(with_capacities=False, key_bits=256)
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority("Test CA", key_bits=256)
+
+
+@pytest.fixture()
+def now():
+    return utc_datetime(2018, 4, 18, 12, 0)
+
+
+@pytest.fixture()
+def rng():
+    return SeededRng(1234, "tests")
+
+
+@pytest.fixture()
+def issued_pair(ca, fresh_logs, now):
+    """A valid certificate with two embedded SCTs."""
+    logs = [fresh_logs["Google Pilot log"], fresh_logs["Google Icarus log"]]
+    return ca.issue(
+        IssuanceRequest(("example.org", "www.example.org")), logs, now
+    )

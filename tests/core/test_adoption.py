@@ -1,0 +1,108 @@
+"""Tests for the Section 3.2 adoption analysis."""
+
+from datetime import date
+
+import pytest
+
+from repro.bro.analyzer import BroSctAnalyzer
+from repro.core import adoption
+from repro.workloads.traffic import UplinkTrafficWorkload
+
+
+@pytest.fixture(scope="module")
+def stats():
+    workload = UplinkTrafficWorkload(
+        connections_per_day=400,
+        start=date(2017, 5, 1),
+        end=date(2017, 7, 30),
+        seed=13,
+    )
+    analyzer = BroSctAnalyzer(workload.logs)
+    return adoption.aggregate(analyzer.analyze_stream(workload.stream()))
+
+
+def test_total_sct_share_near_paper(stats):
+    assert stats.share("with_any_sct") == pytest.approx(0.3261, abs=0.02)
+
+
+def test_cert_channel_share(stats):
+    assert stats.share("with_cert_sct") == pytest.approx(0.2140, abs=0.02)
+
+
+def test_tls_channel_share(stats):
+    assert stats.share("with_tls_sct") == pytest.approx(0.1121, abs=0.015)
+
+
+def test_ocsp_is_rare(stats):
+    assert stats.share("with_ocsp_sct") < 0.001
+
+
+def test_client_support_share(stats):
+    assert stats.share("client_support") == pytest.approx(0.6676, abs=0.02)
+
+
+def test_overlaps_are_rare(stats):
+    assert stats.overlap_cert_tls < stats.with_cert_sct * 0.001
+    assert stats.overlap_cert_ocsp <= 100
+    assert stats.overlap_tls_ocsp <= 3_000_000
+
+
+def test_daily_series_covers_window(stats):
+    days, series = adoption.figure2_series(stats)
+    assert days[0] == date(2017, 5, 1)
+    assert days[-1] == date(2017, 7, 30)
+    assert set(series) == {"SCT_in_Cert", "SCT_in_TLS", "Total_SCT"}
+    assert all(len(values) == len(days) for values in series.values())
+
+
+def test_daily_shares_roughly_constant(stats):
+    _, series = adoption.figure2_series(stats)
+    total = series["Total_SCT"]
+    non_peak = sorted(total)[: int(len(total) * 0.9)]
+    assert max(non_peak) - min(non_peak) < 15.0
+
+
+def test_figure2_total_at_least_max_channel(stats):
+    _, series = adoption.figure2_series(stats)
+    for cert, tls, total in zip(
+        series["SCT_in_Cert"], series["SCT_in_TLS"], series["Total_SCT"]
+    ):
+        assert total >= max(cert, tls) - 1e-9
+
+
+def test_peak_day_detected(stats):
+    peaks = adoption.peak_days(stats, threshold_percent=45.0)
+    assert date(2017, 7, 18) in peaks
+    assert len(peaks) <= 3
+
+
+def test_table1_ranking(stats):
+    rows = adoption.table1(stats)
+    assert rows[0].log_name == "Google Pilot log"
+    assert rows[0].cert_share == pytest.approx(0.2869, abs=0.03)
+    names = [row.log_name for row in rows]
+    assert "Symantec log" in names[:3]
+    assert "Google Rocketeer log" in names[:3]
+
+
+def test_table1_tls_champion_is_symantec(stats):
+    rows = adoption.table1(stats)
+    symantec = next(row for row in rows if row.log_name == "Symantec log")
+    assert symantec.tls_share == pytest.approx(0.4019, abs=0.04)
+
+
+def test_table1_shares_sum_to_one(stats):
+    rows = adoption.table1(stats, top=100)
+    assert sum(row.cert_share for row in rows) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_table1_limits_rows(stats):
+    assert len(adoption.table1(stats, top=5)) == 5
+
+
+def test_empty_aggregation():
+    stats = adoption.aggregate([])
+    assert stats.total == 0
+    assert stats.share("with_any_sct") == 0.0
+    days, series = adoption.figure2_series(stats)
+    assert days == []

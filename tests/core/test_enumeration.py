@@ -1,0 +1,115 @@
+"""Tests for the Section 4.3 enumeration pipeline."""
+
+import pytest
+
+from repro.core import enumeration, leakage
+from repro.workloads.domains import DomainWorkload
+from repro.workloads.sonar import SonarWorkload
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return DomainWorkload(scale=1 / 25_000, seed=31).build()
+
+
+@pytest.fixture(scope="module")
+def stats(corpus):
+    return leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+
+
+@pytest.fixture(scope="module")
+def experiment(stats, corpus):
+    return enumeration.run_enumeration_experiment(
+        stats, corpus, seed=41, with_ablations=True
+    )
+
+
+class TestConstruction:
+    def test_eligible_labels_respect_threshold(self, stats, corpus):
+        plan = enumeration.construct_candidates(stats, corpus)
+        threshold = max(1, int(100_000 * corpus.scale))
+        for label in plan.eligible_labels:
+            assert stats.label_counts[label] >= threshold
+        # Tail labels (ftp etc.) are below the threshold.
+        assert "ftp" not in plan.eligible_labels
+        assert "www" in plan.eligible_labels
+
+    def test_excluded_suffixes_not_used(self, stats, corpus):
+        plan = enumeration.construct_candidates(stats, corpus)
+        for label, suffixes in plan.suffixes_per_label.items():
+            assert not set(suffixes) & {"com", "net", "org"}
+
+    def test_at_most_ten_suffixes_per_label(self, stats, corpus):
+        plan = enumeration.construct_candidates(stats, corpus)
+        for suffixes in plan.suffixes_per_label.values():
+            assert len(suffixes) <= 10
+
+    def test_known_ct_names_excluded(self, stats, corpus):
+        plan = enumeration.construct_candidates(stats, corpus)
+        known = set(corpus.ct_fqdns)
+        assert not (set(plan.candidates) & known)
+
+    def test_candidates_are_label_dot_domain(self, stats, corpus):
+        plan = enumeration.construct_candidates(stats, corpus)
+        for fqdn in plan.candidates[:100]:
+            label, domain = plan.origin[fqdn]
+            assert fqdn == f"{label}.{domain}"
+            assert domain in corpus.domain_suffix
+
+
+class TestGroundTruth:
+    def test_shares_calibrated(self, experiment):
+        plan, truth, _ = experiment
+        domains = {plan.origin[c][1] for c in plan.candidates}
+        wildcard_share = len(truth.wildcard_domains) / len(domains)
+        assert wildcard_share == pytest.approx(0.29, abs=0.03)
+
+    def test_existing_resolve_in_routed_space(self, experiment):
+        from repro.dnscore.records import RecordType
+        from repro.dnscore.resolver import RecursiveResolver
+        from repro.util.timeutil import utc_datetime
+
+        plan, truth, _ = experiment
+        resolver = RecursiveResolver("check", truth.universe)
+        sample = sorted(truth.existing)[:20]
+        for fqdn in sample:
+            result = resolver.resolve(
+                fqdn, RecordType.A, now=utc_datetime(2018, 4, 27)
+            )
+            assert result.addresses
+            assert all(truth.routing_table.contains(a) for a in result.addresses)
+
+
+class TestVerification:
+    def test_rates_near_paper(self, experiment):
+        _, _, report = experiment
+        assert report.rate("answered") == pytest.approx(0.381, abs=0.04)
+        assert report.rate("control_answered") == pytest.approx(0.292, abs=0.04)
+        assert report.rate("discovered") == pytest.approx(0.089, abs=0.02)
+
+    def test_discoveries_are_existing(self, experiment):
+        _, truth, report = experiment
+        assert set(report.discovered_fqdns) <= truth.existing
+
+    def test_sonar_split_consistent(self, experiment):
+        _, _, report = experiment
+        assert report.known_to_sonar + report.new_unknown == report.discovered
+        assert report.new_unknown / max(1, report.discovered) > 0.85
+
+    def test_ablation_without_controls_inflates(self, experiment):
+        _, _, report = experiment
+        assert report.discovered_without_controls > report.discovered * 2
+
+    def test_ablation_without_routing_filter_inflates(self, experiment):
+        _, _, report = experiment
+        assert report.discovered_without_routing_filter > report.discovered
+
+
+def test_threshold_sweep_monotone(stats, corpus):
+    counts = []
+    for threshold in (50_000, 100_000, 300_000):
+        config = enumeration.EnumerationConfig(min_label_occurrences=threshold)
+        plan = enumeration.construct_candidates(stats, corpus, config)
+        counts.append(len(plan.candidates))
+    assert counts[0] >= counts[1] >= counts[2]
+    assert counts[2] < counts[0]

@@ -1,0 +1,155 @@
+"""Tests for the Section 6 honeypot experiment."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core.honeypot import (
+    CtHoneypotExperiment,
+    LE_VALIDATION_ASN,
+    QUASI_ASN,
+    render_table4,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return CtHoneypotExperiment(seed=101).run()
+
+
+@pytest.fixture(scope="module")
+def rows(result):
+    return result.table4()
+
+
+def test_eleven_domains_in_three_batches(result):
+    assert len(result.domains) == 11
+    batch_days = {d.ct_entry_time.date() for d in result.domains}
+    assert len(batch_days) == 3
+
+
+def test_subdomain_labels_are_random_12_chars(result):
+    for domain in result.domains:
+        label = domain.fqdn.split(".")[0]
+        assert len(label) == 12
+
+
+def test_every_domain_receives_dns_queries(rows):
+    for row in rows:
+        assert row.query_count > 0
+        assert row.first_dns is not None
+
+
+def test_first_dns_within_minutes(rows):
+    for row in rows:
+        assert 60 <= row.dns_delta_s <= 300, row.letter
+    # Paper's fastest was 73 s; ours should sit in the same regime.
+    assert min(row.dns_delta_s for row in rows) < 120
+
+
+def test_google_is_always_first(rows):
+    for row in rows:
+        assert row.first3_asns[0] == 15169
+
+
+def test_query_and_as_counts_in_paper_range(rows):
+    for row in rows:
+        assert 20 <= row.query_count <= 110, row.letter
+        assert 8 <= row.as_count <= 40, row.letter
+
+
+def test_ca_validation_filtered_from_table(result, rows):
+    # The validation queries exist in the raw log ...
+    raw_le = [
+        q for q in result.auth_server.query_log
+        if q.source_asn == LE_VALIDATION_ASN
+    ]
+    assert raw_le
+    # ... but never reach the per-domain analysis.
+    for domain in result.domains:
+        for query in result.queries_for_domain(domain):
+            assert query.source_asn != LE_VALIDATION_ASN
+
+
+def test_validation_happens_before_logging(result):
+    for domain in result.domains:
+        validation = [
+            q for q in result.auth_server.queries_for(domain.fqdn)
+            if q.source_asn == LE_VALIDATION_ASN
+        ]
+        assert validation
+        assert all(q.time < domain.ct_entry_time for q in validation)
+
+
+def test_http_connections_from_cloud_scanners(rows):
+    immediate = [row for row in rows if row.letter not in ("C", "G")]
+    for row in immediate:
+        assert row.first_http is not None
+        assert 50 * 60 <= row.http_delta_s <= 3.5 * 3600, row.letter
+        assert 14061 in row.http_asns
+
+
+def test_delayed_http_for_c_and_g(rows):
+    by_letter = {row.letter: row for row in rows}
+    assert by_letter["C"].http_delta_s > 15 * 86_400
+    assert by_letter["G"].http_delta_s > 4 * 86_400
+
+
+def test_ecs_exposure(result):
+    subnets = result.unique_ecs_subnets()
+    assert len(subnets) == 12
+    counts = [count for _, count in subnets]
+    assert counts[0] == 115
+    assert counts[1] == 25
+    assert counts[2] == 10
+    assert result.ecs_query_count() == sum(counts)
+
+
+def test_quasi_port_scanner_found(result):
+    scanners = result.port_scanners()
+    assert len(scanners) == 1
+    (ip, asn), ports = next(iter(scanners.items()))
+    assert asn == QUASI_ASN
+    assert ports == 30
+
+
+def test_ipv6_only_ca_validation(result):
+    v6 = result.ipv6_inbound()
+    assert v6
+    assert {conn.src_asn for conn in v6} == {LE_VALIDATION_ASN}
+
+
+def test_port_scan_does_not_pollute_http_column(rows, result):
+    # The scanner connects without SNI, so Table 4's HTTP(S) column
+    # only shows the cloud scanners.
+    for row in rows:
+        assert QUASI_ASN not in row.http_asns
+
+
+def test_render_table4_contains_all_rows(rows):
+    text = render_table4(rows)
+    for letter in "ABCDEFGHIJK":
+        assert f"\n{letter}  " in text or text.startswith(f"{letter}  ")
+    assert "★15169" in text
+    assert "◗14061" in text
+
+
+def test_determinism():
+    a = CtHoneypotExperiment(seed=5).run()
+    b = CtHoneypotExperiment(seed=5).run()
+    assert [r.query_count for r in a.table4()] == [r.query_count for r in b.table4()]
+
+
+def test_seed_changes_details_not_shape():
+    a = CtHoneypotExperiment(seed=5).run().table4()
+    b = CtHoneypotExperiment(seed=6).run().table4()
+    assert [r.letter for r in a] == [r.letter for r in b]
+    assert any(
+        ra.query_count != rb.query_count for ra, rb in zip(a, b)
+    )
+
+
+def test_no_scanner_follows_best_practices(result):
+    hygiene = result.scanner_hygiene()
+    assert hygiene  # some scanners connected
+    assert not any(hygiene.values())  # none follows best practices

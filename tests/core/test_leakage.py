@@ -1,0 +1,94 @@
+"""Tests for the Section 4.2 leakage analysis."""
+
+import pytest
+
+from repro.core import leakage
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+def test_counts_each_fqdn_once():
+    stats = leakage.analyze_names(
+        ["www.example.com", "WWW.example.com", "www.example.com."]
+    )
+    assert stats.unique_fqdns == 1
+    assert stats.label_counts["www"] == 1
+
+
+def test_invalid_names_filtered():
+    stats = leakage.analyze_names(
+        ["under_score.example.com", "-x.example.com", "localhost", "ok.example.com"]
+    )
+    assert stats.invalid_names == 3
+    assert stats.unique_fqdns == 1
+
+
+def test_wildcard_label_not_counted():
+    stats = leakage.analyze_names(["*.example.com"])
+    assert stats.unique_fqdns == 1
+    assert "*" not in stats.label_counts
+    assert stats.fqdns_with_subdomains == 0
+
+
+def test_multi_label_names_count_all_labels():
+    stats = leakage.analyze_names(["dev.api.example.co.uk"])
+    assert stats.label_counts["dev"] == 1
+    assert stats.label_counts["api"] == 1
+
+
+def test_registrable_domain_contributes_no_labels():
+    stats = leakage.analyze_names(["example.com", "example.co.uk"])
+    assert stats.fqdns_with_subdomains == 0
+    assert len(stats.label_counts) == 0
+
+
+def test_per_suffix_counters():
+    stats = leakage.analyze_names(
+        ["git.a.tech", "git.b.tech", "www.a.tech", "www.c.com"]
+    )
+    assert stats.per_suffix_labels["tech"]["git"] == 2
+    assert stats.per_suffix_labels["tech"]["www"] == 1
+    assert stats.per_suffix_labels["com"]["www"] == 1
+    assert stats.top_label_per_suffix()["tech"] == "git"
+
+
+def test_shares():
+    stats = leakage.analyze_names(
+        [f"www.d{i}.com" for i in range(9)] + ["mail.d0.com"]
+    )
+    assert stats.label_share("www") == pytest.approx(0.9)
+    assert stats.top_k_share(1) == pytest.approx(0.9)
+    assert stats.top_k_share(10) == pytest.approx(1.0)
+
+
+def test_shares_on_empty_stats():
+    stats = leakage.analyze_names([])
+    assert stats.label_share("www") == 0.0
+    assert stats.top_k_share(10) == 0.0
+
+
+def test_management_interface_counts():
+    stats = leakage.analyze_names(
+        ["cpanel.x.com", "whm.x.com", "webdisk.y.com", "www.z.com"]
+    )
+    counts = stats.management_interface_counts()
+    assert counts == {"webdisk": 1, "cpanel": 1, "whm": 1}
+
+
+def test_extraction_from_real_certificates(fresh_logs):
+    ca = CertificateAuthority("Leak CA", key_bits=256)
+    now = utc_datetime(2018, 4, 1)
+    log = [fresh_logs["Google Pilot log"]]
+    ca.issue(IssuanceRequest(("shop.site-a.com", "www.site-a.com")), log, now)
+    ca.issue(IssuanceRequest(("mail.site-b.de",)), log, now)
+    certs = [entry.certificate for entry in fresh_logs["Google Pilot log"].entries]
+    stats = leakage.analyze_certificates(certs)
+    assert stats.label_counts["shop"] == 1
+    assert stats.label_counts["www"] == 1
+    assert stats.label_counts["mail"] == 1
+
+
+def test_wordlist_overlap():
+    stats = leakage.analyze_names(["www.x.com", "api.x.com"])
+    overlap = leakage.wordlist_overlap(["WWW", "api", "nope"], stats)
+    assert overlap == ["api", "www"]

@@ -1,0 +1,75 @@
+"""Tests for the Section 3.4 invalid-SCT audit."""
+
+import pytest
+
+from repro.core import misissuance
+from repro.workloads.incidents import MisissuanceWorkload
+
+
+@pytest.fixture(scope="module")
+def audit():
+    corpus = MisissuanceWorkload(healthy_certificates=60, seed=23).build()
+    report = misissuance.audit_certificates(
+        (pair.final_certificate for pair in corpus.pairs),
+        corpus.issuer_key_hashes(),
+        corpus.logs,
+    )
+    return corpus, report
+
+
+def test_finds_exactly_sixteen(audit):
+    _, report = audit
+    assert report.invalid_certificate_count == 16
+
+
+def test_four_cas_affected(audit):
+    _, report = audit
+    assert report.affected_cas == ["D-Trust", "GlobalSign", "NetLock", "TeliaSonera"]
+
+
+def test_per_ca_counts_match_paper(audit):
+    _, report = audit
+    by_ca = {ca: len(findings) for ca, findings in report.by_ca().items()}
+    assert by_ca == {"TeliaSonera": 1, "GlobalSign": 12, "D-Trust": 2, "NetLock": 1}
+
+
+def test_no_false_positives(audit):
+    corpus, report = audit
+    found = {(f.ca_name, f.certificate.serial) for f in report.findings}
+    assert found == set(corpus.injected)
+
+
+def test_root_causes_match_bugs(audit):
+    _, report = audit
+    causes = {ca: findings[0].root_cause[0] for ca, findings in report.by_ca().items()}
+    assert "SAN entry order" in causes["GlobalSign"]
+    assert "extension order" in causes["D-Trust"]
+    assert "reused" in causes["TeliaSonera"]
+    assert "differ" in causes["NetLock"]
+
+
+def test_counts_certificates_checked(audit):
+    corpus, report = audit
+    unique = {(p.final_certificate.issuer_org, p.final_certificate.serial)
+              for p in corpus.pairs}
+    assert report.certificates_checked == len(unique)
+
+
+def test_duplicate_certificates_counted_once(audit):
+    corpus, _ = audit
+    doubled = [p.final_certificate for p in corpus.pairs] * 2
+    report = misissuance.audit_certificates(
+        doubled, corpus.issuer_key_hashes(), corpus.logs
+    )
+    assert report.invalid_certificate_count == 16
+
+
+def test_unknown_issuer_skipped(audit):
+    corpus, _ = audit
+    report = misissuance.audit_certificates(
+        (p.final_certificate for p in corpus.pairs),
+        {},  # no issuer key hashes known
+        corpus.logs,
+    )
+    assert report.invalid_certificate_count == 0
+    assert report.certificates_with_embedded_scts > 0

@@ -1,0 +1,108 @@
+"""Tests for the Section 5 phishing detector."""
+
+import pytest
+
+from repro.core.phishdetect import PhishingDetector
+from repro.workloads.phishing import PhishingWorkload
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return PhishingDetector()
+
+
+class TestClassify:
+    @pytest.mark.parametrize("name,service", [
+        ("appleid.apple.com-7etr6eti.gq", "Apple"),
+        ("paypal.com-account-security.money", "PayPal"),
+        ("www-hotmail-login.live", "Microsoft"),
+        ("accounts.google.co.am", "Google"),
+        ("www.ebay.co.uk.dll7.bid", "eBay"),
+    ])
+    def test_paper_examples_detected(self, detector, name, service):
+        assert detector.classify(name) == service
+
+    @pytest.mark.parametrize("name", [
+        "www.apple.com",          # legitimate Apple
+        "id.icloud.com",
+        "accounts.google.com",
+        "signin.ebay.co.uk",
+        "login.live.com",
+        "www.paypal.com",
+    ])
+    def test_legitimate_domains_excluded(self, detector, name):
+        assert detector.classify(name) is None
+
+    @pytest.mark.parametrize("name", [
+        "snapple.com",            # substring but not label-anchored
+        "pineapple-farm.org",
+        "grapple.net",
+        "random-shop.example",
+    ])
+    def test_benign_not_flagged(self, detector, name):
+        assert detector.classify(name) is None
+
+    def test_label_boundary_matching(self, detector):
+        assert detector.classify("shop.apple-store.tk") == "Apple"
+        assert detector.classify("reapple.com") is None
+
+
+class TestGovernment:
+    @pytest.mark.parametrize("name", [
+        "ato.gov.au.eng-atorefund.com",
+        "hmrc.gov.uk-refund.cf",
+        "refund.irs.gov.my-irs.com",
+    ])
+    def test_paper_examples(self, detector, name):
+        assert detector.is_government_impersonation(name)
+
+    def test_real_government_domains_not_flagged(self, detector):
+        assert not detector.is_government_impersonation("www.ato.gov.au")
+        assert not detector.is_government_impersonation("online.hmrc.gov.uk")
+
+
+class TestScan:
+    @pytest.fixture(scope="class")
+    def scanned(self, detector):
+        corpus = PhishingWorkload(seed=19).build()
+        return corpus, detector.scan(corpus.names)
+
+    def test_counts_match_ground_truth(self, scanned):
+        corpus, report = scanned
+        for service in ("Apple", "PayPal", "Microsoft", "Google", "eBay"):
+            assert report.count(service) == corpus.phishing_count(service), service
+
+    def test_table3_ordering(self, scanned):
+        _, report = scanned
+        rows = report.table3()
+        assert [service for service, _, _ in rows[:2]] == ["Apple", "PayPal"]
+        counts = [count for _, count, _ in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_ebay_suffix_affinity(self, scanned):
+        _, report = scanned
+        affinity = report.suffix_affinity("eBay")
+        assert affinity.get("bid", 0) + affinity.get("review", 0) > 0.15
+
+    def test_microsoft_live_affinity(self, scanned):
+        _, report = scanned
+        affinity = report.suffix_affinity("Microsoft")
+        assert 0 < affinity.get("live", 0) < 0.2
+
+    def test_no_benign_flagged(self, scanned):
+        corpus, report = scanned
+        flagged = {n for names in report.matches.values() for n in names}
+        assert not flagged & {n.lower() for n in corpus.benign_names}
+
+    def test_government_matches_found(self, scanned):
+        corpus, report = scanned
+        assert len(report.government_matches) >= len(corpus.government_names) - 2
+
+    def test_dedup_in_scan(self, detector):
+        report = detector.scan(["paypal-x.tk", "PAYPAL-X.TK", "paypal-x.tk"])
+        assert report.count("PayPal") == 1
+        assert report.names_scanned == 1
+
+    def test_suffix_affinity_empty_service(self, detector):
+        report = detector.scan([])
+        assert report.suffix_affinity("Apple") == {}

@@ -1,0 +1,81 @@
+"""Tests for the adoption projection model."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.projection import (
+    DEFAULT_LIFETIME_MIX,
+    LifetimeBucket,
+    project_adoption,
+    render_projection,
+)
+
+
+@pytest.fixture(scope="module")
+def projection():
+    # Start from the paper's observed 32.61 %.
+    return project_adoption(0.3261)
+
+
+def test_starts_at_current_share(projection):
+    assert projection.projected_sct_share[0] == pytest.approx(0.3261)
+    assert projection.days[0] == date(2018, 4, 18)
+
+
+def test_monotonically_increasing(projection):
+    shares = projection.projected_sct_share
+    assert all(b >= a for a, b in zip(shares, shares[1:]))
+
+
+def test_converges_below_one(projection):
+    final = projection.projected_sct_share[-1]
+    # 6 % of the non-SCT share never converts.
+    ceiling = 0.3261 + (1 - 0.3261) * 0.94
+    assert final == pytest.approx(ceiling, abs=0.01)
+    assert final < 1.0
+
+
+def test_90_day_bucket_converts_first():
+    fast_only = project_adoption(
+        0.3261,
+        lifetime_mix=(LifetimeBucket("90-day", 1.0, 90),),
+        never_convert_share=0.0,
+    )
+    # Fully converted after one 90-day lifetime.
+    assert fast_only.share_on(date(2018, 7, 17)) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_milestone_dates_ordered(projection):
+    d50 = projection.date_reaching(0.5)
+    d75 = projection.date_reaching(0.75)
+    d90 = projection.date_reaching(0.9)
+    assert d50 < d75 < d90
+    # Half of connections within the first year of replacement.
+    assert d50 < date(2019, 4, 18)
+
+
+def test_unreachable_milestone(projection):
+    assert projection.date_reaching(0.999) is None
+
+
+def test_share_on_clamps_to_range(projection):
+    assert projection.share_on(date(2017, 1, 1)) == projection.projected_sct_share[0]
+    assert projection.share_on(date(2030, 1, 1)) == projection.projected_sct_share[-1]
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        project_adoption(1.5)
+    with pytest.raises(ValueError):
+        project_adoption(0.3, lifetime_mix=(LifetimeBucket("x", 0.5, 90),))
+
+
+def test_default_mix_sums_to_one():
+    assert sum(b.share for b in DEFAULT_LIFETIME_MIX) == pytest.approx(1.0)
+
+
+def test_render(projection):
+    text = render_projection(projection)
+    assert "Projected CT adoption" in text
+    assert "50%" in text

@@ -1,0 +1,180 @@
+"""Tests for the table/figure text renderers."""
+
+from datetime import date
+
+import pytest
+
+from repro.core import adoption, report
+from repro.core.leakage import analyze_names
+from repro.bro.analyzer import SctObservation
+from repro.tls.connection import SctPresence
+from repro.util.stats import Counter2D
+
+
+def make_obs(day, cert=False, tls=False, weight=100):
+    return SctObservation(
+        day=day,
+        server_name="x",
+        weight=weight,
+        presence=SctPresence(certificate=cert, tls_extension=tls),
+        cert_sct_logs=("Google Pilot log",) if cert else (),
+        tls_sct_logs=("Symantec log",) if tls else (),
+    )
+
+
+@pytest.fixture()
+def stats():
+    observations = [
+        make_obs(date(2017, 5, 1), cert=True),
+        make_obs(date(2017, 5, 1)),
+        make_obs(date(2017, 5, 2), tls=True),
+        make_obs(date(2017, 5, 2)),
+    ]
+    return adoption.aggregate(observations)
+
+
+def test_render_figure2(stats):
+    text = report.render_figure2(stats)
+    assert "Figure 2" in text
+    assert "Total_SCT" in text
+    assert "2017-05-01" in text
+
+
+def test_render_table1(stats):
+    text = report.render_table1(adoption.table1(stats))
+    assert "Google Pilot log" in text
+    assert "100.00%" in text  # sole cert log
+
+
+def test_render_section32(stats):
+    text = report.render_section32(stats)
+    assert "total connections" in text
+    assert "50.00%" in text  # 2 of 4 with SCT
+
+
+def test_render_figure1a():
+    growth = {
+        "DigiCert": [(date(2015, 1, 1), 10), (date(2016, 1, 1), 100)],
+        "Let's Encrypt": [(date(2018, 3, 10), 500)],
+    }
+    text = report.render_figure1a(growth, weight=1000)
+    assert "Figure 1a" in text
+    assert "DigiCert" in text
+    assert "500k" in text  # 500 * 1000 scaled
+
+
+def test_render_figure1a_empty():
+    assert report.render_figure1a({}) == "(no data)"
+
+
+def test_render_figure1b():
+    shares = {
+        date(2018, 3, 1): {"Let's Encrypt": 0.8, "DigiCert": 0.2},
+        date(2018, 4, 1): {"Let's Encrypt": 0.9, "DigiCert": 0.1},
+    }
+    text = report.render_figure1b(shares)
+    assert "2018-03" in text and "2018-04" in text
+    assert "80%" in text
+
+
+def test_render_figure1c():
+    matrix = Counter2D()
+    matrix.add("Let's Encrypt", "Cloudflare Nimbus2018 Log", 100)
+    matrix.add("DigiCert", "DigiCert Log Server", 10)
+    text = report.render_figure1c(matrix)
+    assert "Figure 1c" in text
+    assert "density" in text
+
+
+def test_render_table2():
+    stats = analyze_names(["www.a.com", "www.b.com", "mail.a.com"])
+    text = report.render_table2(stats, weight=1000)
+    assert "www" in text
+    assert "top-10 share" in text
+
+
+def test_render_table3():
+    from repro.core.phishdetect import PhishingDetector
+
+    detector = PhishingDetector()
+    rep = detector.scan(["appleid-x.gq", "paypal-y.tk", "benign.example"])
+    text = report.render_table3(rep, weight=100)
+    assert "Apple" in text
+    assert "government" in text
+
+
+def test_render_section34():
+    from repro.core import misissuance
+    from repro.workloads.incidents import MisissuanceWorkload
+
+    corpus = MisissuanceWorkload(healthy_certificates=5, seed=1).build()
+    audit = misissuance.audit_certificates(
+        (p.final_certificate for p in corpus.pairs),
+        corpus.issuer_key_hashes(),
+        corpus.logs,
+    )
+    text = report.render_section34(audit)
+    assert "16" in text
+    assert "GlobalSign" in text
+
+
+def test_render_section43():
+    from repro.core.enumeration import EnumerationReport
+
+    rep = EnumerationReport(
+        candidate_count=1000, answered=380, control_answered=290,
+        discovered=90, known_to_sonar=5, new_unknown=85,
+        eligible_labels=["www"],
+        discovered_without_controls=380,
+        discovered_without_routing_filter=95,
+    )
+    text = report.render_section43(rep, scale=1 / 1000)
+    assert "38.0%" in text
+    assert "ablation" in text
+
+
+def test_render_log_load():
+    from repro.core.evolution import LogLoadReport
+
+    text = report.render_log_load(
+        LogLoadReport(
+            entries_per_log={"A": 10},
+            gini_coefficient=0.8,
+            top_share=0.4,
+            overloaded_logs=("Cloudflare Nimbus2018 Log",),
+            matrix_density=0.2,
+        )
+    )
+    assert "0.80" in text
+    assert "Nimbus2018" in text
+
+
+def test_render_advisories():
+    from repro.core.watchlist import Advisory
+    from repro.util.timeutil import utc_datetime
+
+    advisories = [
+        Advisory(
+            operator="ops",
+            watched_domain="example.org",
+            kind="lookalike",
+            certificate_name="example.org-login.tk",
+            log_name="Google Pilot log",
+            observed_at=utc_datetime(2018, 5, 1, 9, 30),
+            detail="embeds 'example.org'",
+        )
+    ]
+    text = report.render_advisories(advisories)
+    assert "lookalike" in text
+    assert "example.org-login.tk" in text
+    assert report.render_advisories([]) == "No advisories."
+
+
+def test_render_audit():
+    from repro.ct.auditor import AuditFinding, AuditReport
+
+    audit = AuditReport(sths_verified=3, consistency_checks=2, inclusion_checks=1)
+    audit.add(AuditFinding("Some Log", "split-view", "roots diverge"))
+    text = report.render_audit(audit)
+    assert "STHs verified:       3" in text
+    assert "split-view" in text

@@ -1,0 +1,78 @@
+"""Tests for the Section 3.3 active-scan analysis."""
+
+import pytest
+
+from repro.core import serversupport
+from repro.tls.scanner import TlsScanner
+from repro.util.timeutil import utc_datetime
+from repro.workloads.hosting import HostingWorkload
+
+NOW = utc_datetime(2018, 5, 18)
+
+
+@pytest.fixture(scope="module")
+def scan():
+    population = HostingWorkload(scale=1 / 40_000, seed=17).build()
+    scanner = TlsScanner(population.resolver(), population.endpoints)
+    records = scanner.scan(population.domains, NOW)
+    names = {log.log_id: log.name for log in population.logs.values()}
+    return population, records, serversupport.analyze_scan(records, names)
+
+
+def test_embedded_share_near_paper(scan):
+    _, _, stats = scan
+    assert stats.embedded_share == pytest.approx(0.687, abs=0.02)
+
+
+def test_unique_certificate_count(scan):
+    population, records, stats = scan
+    assert stats.unique_certificates == len(population.domains)
+
+
+def test_tls_ext_and_ocsp_counts(scan):
+    _, _, stats = scan
+    assert stats.certs_with_tls_ext_sct >= 1
+    assert stats.certs_with_ocsp_sct >= 1
+    assert stats.certs_with_tls_ext_sct < stats.certs_with_embedded_sct
+
+
+def test_sni_multiplexing_near_12(scan):
+    _, _, stats = scan
+    assert stats.certs_per_sct_ip == pytest.approx(12.0, abs=2.0)
+
+
+def test_per_cert_log_ranking(scan):
+    _, _, stats = scan
+    top = serversupport.top_per_cert_logs(stats, top=4)
+    names = [name for name, _ in top]
+    assert names[0] == "Cloudflare Nimbus2018 Log"
+    assert names[1] == "Google Icarus log"
+    shares = dict(top)
+    assert shares["Cloudflare Nimbus2018 Log"] == pytest.approx(0.74, abs=0.05)
+    assert shares["Google Icarus log"] == pytest.approx(0.71, abs=0.05)
+
+
+def test_other_logs_below_ten_percent(scan):
+    _, _, stats = scan
+    top4 = {name for name, _ in serversupport.top_per_cert_logs(stats, top=4)}
+    for name, share in stats.per_cert_log_shares.items():
+        if name not in top4:
+            assert share < 0.10, name
+
+
+def test_contrast_orders_by_gap(scan):
+    _, _, stats = scan
+    traffic_shares = {"Google Pilot log": 0.2869, "Cloudflare Nimbus2018 Log": 0.0005}
+    rows = serversupport.passive_vs_active_contrast(traffic_shares, stats)
+    gaps = [abs(traffic - cert) for _, traffic, cert in rows]
+    assert gaps == sorted(gaps, reverse=True)
+    # Nimbus: near-zero in traffic, dominant per certificate.
+    nimbus = next(row for row in rows if row[0] == "Cloudflare Nimbus2018 Log")
+    assert nimbus[2] > 0.5 > nimbus[1]
+
+
+def test_empty_scan():
+    stats = serversupport.analyze_scan([], {})
+    assert stats.unique_certificates == 0
+    assert stats.embedded_share == 0.0
+    assert stats.certs_per_sct_ip == 0.0

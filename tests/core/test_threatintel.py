@@ -1,0 +1,81 @@
+"""Tests for honeypot-derived threat intelligence."""
+
+import pytest
+
+from repro.core.honeypot import CtHoneypotExperiment
+from repro.core.threatintel import (
+    BLOCK_THRESHOLD,
+    build_threat_report,
+    render_threat_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = CtHoneypotExperiment(seed=77).run()
+    return build_threat_report(result)
+
+
+def test_quasi_scanner_tops_ranking(report):
+    top = report.ranked()[0]
+    assert top.asn == 29073
+    assert len(top.distinct_ports) == 15
+    assert len(top.touched_machines) == 2
+
+
+def test_quasi_scanner_blocklisted(report):
+    blocklist = report.blocklist()
+    assert blocklist
+    assert report.actors[blocklist[0]].asn == 29073
+
+
+def test_pure_resolvers_not_blocklisted(report):
+    """Google/1&1 only resolve names — expected behaviour, score 0."""
+    blocked_asns = {report.actors[ip].asn for ip in report.blocklist()}
+    assert 15169 not in blocked_asns
+    assert 8560 not in blocked_asns
+
+
+def test_cloud_crawlers_scored_but_below_threshold(report):
+    """DigitalOcean/Amazon connect (HTTP) but do not port-scan."""
+    do_actors = [
+        a for a in report.actors.values() if a.asn == 14061 and a.connections
+    ]
+    assert do_actors
+    for actor in do_actors:
+        assert 0 < actor.score() < BLOCK_THRESHOLD
+    # The DO *resolver* (DNS only) scores zero.
+    do_resolvers = [
+        a for a in report.actors.values()
+        if a.asn == 14061 and not a.connections
+    ]
+    assert do_resolvers and all(a.score() == 0.0 for a in do_resolvers)
+
+
+def test_ecs_correlation_links_stub_to_scanner(report):
+    """The paper's Section 6.2 linkage: the heavy scanner's subnet
+    appeared in 25 ECS-carrying DNS queries."""
+    top = report.ranked()[0]
+    assert top.ecs_correlated_queries == 25
+
+
+def test_ca_validation_excluded(report):
+    assert all(actor.asn != 64501 for actor in report.actors.values())
+
+
+def test_scanners_listing(report):
+    scanners = report.scanners()
+    assert len(scanners) == 1
+    assert scanners[0].asn == 29073
+
+
+def test_render_contains_ranking_and_blocklist(report):
+    text = render_threat_report(report)
+    assert "Quasi Networks" in text
+    assert "blocklist" in text
+    assert "ECS q" in text
+
+
+def test_ranking_is_sorted(report):
+    scores = [a.score() for a in report.ranked()]
+    assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,129 @@
+"""Tests for the CT watchlist/advisory service."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core.watchlist import WatchEntry, WatchlistService
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 9, 0)
+
+
+@pytest.fixture()
+def service():
+    svc = WatchlistService(seed=3)
+    svc.watch(WatchEntry("paypal.com", "paypal-secops",
+                         expected_issuers=("DigiCert",)))
+    svc.watch(WatchEntry("example.org", "example-ops"))
+    return svc
+
+
+class TestClassification:
+    def test_own_domain_issuance(self, service):
+        match = service.classify_name("www.paypal.com", "DigiCert")
+        assert match is not None
+        entry, kind, _ = match
+        assert kind == "issuance"
+        assert entry.operator == "paypal-secops"
+
+    def test_unauthorized_issuer(self, service):
+        _, kind, detail = service.classify_name("www.paypal.com", "Shady CA")
+        assert kind == "unauthorized-issuance"
+        assert "Shady CA" in detail
+
+    def test_lookalike_embedding_owner_label(self, service):
+        _, kind, _ = service.classify_name("paypal-account-security.money", "Any")
+        assert kind == "lookalike"
+
+    def test_lookalike_embedding_full_domain(self, service):
+        _, kind, _ = service.classify_name("paypal.com-verify.tk", "Any")
+        assert kind == "lookalike"
+
+    def test_unrelated_name_ignored(self, service):
+        assert service.classify_name("blog.randomsite.net", "Any") is None
+
+    def test_substring_without_boundary_ignored(self, service):
+        # "notpaypal" does not start a label with the owner token.
+        assert service.classify_name("notpaypalish.com", "Any") is None
+
+    def test_any_issuer_ok_without_expected_list(self, service):
+        _, kind, _ = service.classify_name("www.example.org", "Whatever CA")
+        assert kind == "issuance"
+
+
+class TestProcessing:
+    def test_advisories_from_log_stream(self, service, fresh_logs):
+        log = fresh_logs["Google Pilot log"]
+        good_ca = CertificateAuthority("DigiCert", key_bits=256)
+        rogue_ca = CertificateAuthority("Rogue CA", key_bits=256)
+        phisher = CertificateAuthority("Budget CA", key_bits=256)
+
+        good_ca.issue(IssuanceRequest(("www.paypal.com",)), [log], NOW)
+        rogue_ca.issue(IssuanceRequest(("login.paypal.com",)), [log],
+                       NOW + timedelta(minutes=1))
+        phisher.issue(IssuanceRequest(("paypal.com-secure-login.gq",)), [log],
+                      NOW + timedelta(minutes=2))
+        phisher.issue(IssuanceRequest(("unrelated.shop",)), [log],
+                      NOW + timedelta(minutes=3))
+
+        advisories = service.process([log])
+        kinds = sorted(a.kind for a in advisories)
+        assert kinds == ["issuance", "lookalike", "unauthorized-issuance"]
+        assert all(a.operator == "paypal-secops" for a in advisories)
+        # Latency comes from the streaming monitor.
+        assert all(a.observed_at > NOW for a in advisories)
+
+    def test_cursor_no_duplicate_advisories(self, service, fresh_logs):
+        log = fresh_logs["Google Pilot log"]
+        ca = CertificateAuthority("Budget CA", key_bits=256)
+        ca.issue(IssuanceRequest(("paypal-refund.cf",)), [log], NOW)
+        first = service.process([log])
+        second = service.process([log])
+        assert len(first) == 1
+        assert second == []
+
+    def test_advisories_for_operator(self, service, fresh_logs):
+        log = fresh_logs["Google Pilot log"]
+        ca = CertificateAuthority("Budget CA", key_bits=256)
+        ca.issue(IssuanceRequest(("paypal-login.tk",)), [log], NOW)
+        ca.issue(IssuanceRequest(("shop.example.org",)), [log], NOW)
+        service.process([log])
+        assert len(service.advisories_for("paypal-secops")) == 1
+        assert len(service.advisories_for("example-ops")) == 1
+        assert service.advisories_for("nobody") == []
+
+    def test_one_advisory_per_cert_per_kind(self, service, fresh_logs):
+        log = fresh_logs["Google Pilot log"]
+        ca = CertificateAuthority("Budget CA", key_bits=256)
+        # Two lookalike SANs in one certificate: one advisory.
+        ca.issue(
+            IssuanceRequest(("paypal-a.tk", "paypal-b.tk")), [log], NOW
+        )
+        advisories = service.process([log])
+        assert len(advisories) == 1
+
+
+def test_watched_domains_listing(service):
+    assert service.watched_domains() == ["example.org", "paypal.com"]
+
+
+def test_watchlist_consumes_cert_feed(service, fresh_logs):
+    """The watchlist can ride a shared CertStream-style feed."""
+    from datetime import timedelta
+
+    from repro.ct.feed import CertFeed
+
+    log = fresh_logs["Google Icarus log"]
+    feed = CertFeed([log])
+    feed.subscribe("watchlist", service.feed_subscriber())
+    ca = CertificateAuthority("Budget CA", key_bits=256)
+    ca.issue(IssuanceRequest(("paypal-via-feed.gq",)), [log], NOW)
+    ca.issue(IssuanceRequest(("nothing-to-see.shop",)), [log],
+             NOW + timedelta(minutes=1))
+    feed.run_once(NOW + timedelta(minutes=2))
+    assert len(service.advisories) == 1
+    advisory = service.advisories[0]
+    assert advisory.kind == "lookalike"
+    assert advisory.log_name == "Google Icarus log"

@@ -1,0 +1,141 @@
+"""Tests for log auditing and split-view gossip."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.auditor import GossipPool, LogAuditor, make_split_view_log
+from repro.ct.log import CTLog, SignedTreeHead
+from repro.ct.loglist import log_key
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture()
+def log():
+    return CTLog(name="Audited Log", operator="T", key=log_key("Audited Log", 256))
+
+
+@pytest.fixture()
+def ca256():
+    return CertificateAuthority("Audit CA", key_bits=256)
+
+
+def grow(ca, log, count, start, prefix="g"):
+    for i in range(count):
+        ca.issue(
+            IssuanceRequest((f"{prefix}{i}.example",)), [log],
+            start + timedelta(minutes=i),
+        )
+
+
+def test_honest_log_audits_clean(log, ca256, now):
+    auditor = LogAuditor(log)
+    auditor.poll(now)
+    grow(ca256, log, 5, now)
+    auditor.poll(now + timedelta(hours=1))
+    grow(ca256, log, 7, now + timedelta(hours=2))
+    auditor.poll(now + timedelta(hours=3))
+    assert auditor.report.clean
+    assert auditor.report.sths_verified == 3
+    assert auditor.report.consistency_checks == 2
+
+
+def test_shrinking_tree_flagged(log, ca256, now):
+    auditor = LogAuditor(log)
+    grow(ca256, log, 4, now)
+    big = log.get_sth(now + timedelta(minutes=30))
+    auditor.observe_sth(big, now + timedelta(minutes=30))
+    # Fabricate an older/smaller STH presented later.
+    small_root = log.tree.root(2)
+    payload = SignedTreeHead.signed_payload(2, 0, small_root)
+    from repro.x509 import crypto
+
+    small = SignedTreeHead(2, 0, small_root, crypto.sign(log.key, payload))
+    auditor.observe_sth(small, now + timedelta(hours=1))
+    assert any(f.kind == "inconsistent-history" for f in auditor.report.findings)
+
+
+def test_bad_sth_signature_flagged(log, now):
+    auditor = LogAuditor(log)
+    sth = log.get_sth(now)
+    from dataclasses import replace
+
+    forged = replace(sth, signature=b"\x00" * len(sth.signature))
+    auditor.observe_sth(forged, now)
+    assert any(f.kind == "bad-sth-signature" for f in auditor.report.findings)
+
+
+def test_sct_inclusion_audit_passes(log, ca256, now):
+    pair = ca256.issue(IssuanceRequest(("inc.example",)), [log], now)
+    auditor = LogAuditor(log)
+    assert auditor.audit_sct_inclusion(
+        pair.precertificate, pair.scts[0], ca256.issuer_key_hash,
+        now + timedelta(hours=1),
+    )
+    assert auditor.report.clean
+
+
+def test_broken_promise_within_mmd_is_missing_entry(log, ca256, now):
+    pair = ca256.issue(IssuanceRequest(("gone.example",)), [log], now)
+    # Simulate a log that dropped the entry.
+    log.entries.clear()
+    auditor = LogAuditor(log)
+    assert not auditor.audit_sct_inclusion(
+        pair.precertificate, pair.scts[0], ca256.issuer_key_hash,
+        now + timedelta(hours=1),
+    )
+    assert auditor.report.findings[0].kind == "missing-entry"
+
+
+def test_broken_promise_after_mmd_is_violation(log, ca256, now):
+    pair = ca256.issue(IssuanceRequest(("late.example",)), [log], now)
+    log.entries.clear()
+    auditor = LogAuditor(log)
+    auditor.audit_sct_inclusion(
+        pair.precertificate, pair.scts[0], ca256.issuer_key_hash,
+        now + timedelta(hours=25),  # past the 24h MMD
+    )
+    assert auditor.report.findings[0].kind == "mmd-violation"
+
+
+class TestGossip:
+    def test_consistent_views_are_clean(self, log, ca256, now):
+        grow(ca256, log, 3, now)
+        pool = GossipPool()
+        sth = log.get_sth(now + timedelta(hours=1))
+        assert pool.submit(log.name, sth, "vantage-a") is None
+        assert pool.submit(log.name, sth, "vantage-b") is None
+        assert pool.clean
+        assert pool.sths_gossiped == 2
+
+    def test_split_view_detected(self, log, ca256, now):
+        grow(ca256, log, 6, now)
+        twin = make_split_view_log(log, fork_at=4)
+        # Grow both views to the same size with different content.
+        grow(ca256, log, 1, now + timedelta(hours=1), prefix="honest")
+        # twin already has 5 entries (4 shared + 1 fabricated); honest
+        # log now has 7 — align sizes by trimming honest comparison to
+        # what each vantage reports at its own size.
+        pool = GossipPool()
+        honest_sth = log.get_sth(now + timedelta(hours=2))
+        # Make the twin the same tree size as the honest log.
+        while twin.tree.size < honest_sth.tree_size:
+            twin.tree.append(b"more-equivocation")
+        twin_sth = twin.get_sth(now + timedelta(hours=2))
+        assert honest_sth.tree_size == twin_sth.tree_size
+        assert pool.submit(log.name, honest_sth, "vantage-a") is None
+        finding = pool.submit(log.name, twin_sth, "vantage-b")
+        assert finding is not None
+        assert finding.kind == "split-view"
+        assert not pool.clean
+
+    def test_different_sizes_do_not_conflict(self, log, ca256, now):
+        grow(ca256, log, 2, now)
+        pool = GossipPool()
+        first = log.get_sth(now + timedelta(minutes=5))
+        grow(ca256, log, 2, now + timedelta(minutes=10))
+        second = log.get_sth(now + timedelta(minutes=20))
+        pool.submit(log.name, first, "a")
+        assert pool.submit(log.name, second, "b") is None
+        assert pool.clean

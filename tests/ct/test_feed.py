@@ -1,0 +1,151 @@
+"""Tests for the CertStream-style feed hub."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.feed import CertFeed
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 10, 0)
+
+
+@pytest.fixture()
+def world():
+    log_a = CTLog(name="Feed A", operator="T", key=log_key("Feed A", 256))
+    log_b = CTLog(name="Feed B", operator="T", key=log_key("Feed B", 256))
+    ca = CertificateAuthority("Feed CA", key_bits=256)
+    return log_a, log_b, ca
+
+
+def issue(ca, log, name, when=NOW):
+    return ca.issue(IssuanceRequest((name,)), [log], when)
+
+
+def test_new_entries_reach_subscribers(world):
+    log_a, log_b, ca = world
+    feed = CertFeed([log_a, log_b])
+    seen = []
+    feed.subscribe("s1", seen.append)
+    issue(ca, log_a, "one.example")
+    issue(ca, log_b, "two.example")
+    delivered = feed.run_once(NOW + timedelta(seconds=30))
+    assert delivered == 2
+    assert sorted(n for e in seen for n in e.dns_names) == [
+        "one.example", "two.example",
+    ]
+    assert {e.log_name for e in seen} == {"Feed A", "Feed B"}
+
+
+def test_entries_before_feed_creation_not_streamed(world):
+    log_a, _, ca = world
+    issue(ca, log_a, "old.example")
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    feed.run_once(NOW)
+    assert seen == []
+
+
+def test_backfill_replays_history(world):
+    log_a, _, ca = world
+    issue(ca, log_a, "old.example")
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    assert feed.backfill("s") == 1
+    assert seen[0].dns_names == ["old.example"]
+
+
+def test_no_duplicate_delivery(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    issue(ca, log_a, "x.example")
+    feed.run_once(NOW)
+    feed.run_once(NOW + timedelta(minutes=1))
+    assert len(seen) == 1
+
+
+def test_multiple_subscribers_each_get_events(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    a, b = [], []
+    feed.subscribe("a", a.append)
+    feed.subscribe("b", b.append)
+    issue(ca, log_a, "multi.example")
+    feed.run_once(NOW)
+    assert len(a) == len(b) == 1
+
+
+def test_duplicate_subscriber_name_rejected(world):
+    log_a, _, _ = world
+    feed = CertFeed([log_a])
+    feed.subscribe("s", lambda e: None)
+    with pytest.raises(ValueError):
+        feed.subscribe("s", lambda e: None)
+
+
+def test_backpressure_drops_counted(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("slow", seen.append, max_queue=2)
+    for i in range(5):
+        issue(ca, log_a, f"bp{i}.example")
+    feed.poll(NOW)
+    delivered, queued, dropped = feed.stats("slow")
+    assert queued == 2
+    assert dropped == 3
+    feed.dispatch()
+    assert len(seen) == 2
+
+
+def test_dispatch_budget(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    for i in range(4):
+        issue(ca, log_a, f"q{i}.example")
+    feed.poll(NOW)
+    assert feed.dispatch(budget=3) == 3
+    assert len(seen) == 3
+    assert feed.dispatch() == 1
+
+
+def test_unsubscribe(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    feed.unsubscribe("s")
+    issue(ca, log_a, "bye.example")
+    feed.run_once(NOW)
+    assert seen == []
+    assert feed.subscribers() == []
+
+
+def test_event_metadata(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    issue(ca, log_a, "meta.example")
+    feed.run_once(NOW + timedelta(seconds=45))
+    event = seen[0]
+    assert event.issuer == "Feed CA"
+    assert event.seen_at == NOW + timedelta(seconds=45)
+
+
+def test_feed_with_no_logs():
+    feed = CertFeed([])
+    seen = []
+    feed.subscribe("s", seen.append)
+    assert feed.poll(NOW) == 0
+    assert feed.dispatch() == 0
+    assert feed.backfill("s") == 0

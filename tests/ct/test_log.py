@@ -1,0 +1,165 @@
+"""Tests for the CT log server."""
+
+import pytest
+
+from repro.ct.log import CTLog, LogDisqualifiedError, LogOverloadedError
+from repro.ct.loglist import log_key
+from repro.ct.merkle import verify_consistency_proof, verify_inclusion_proof
+from repro.ct.sct import SctEntryType
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture()
+def log():
+    return CTLog(name="Test Log", operator="Testers", key=log_key("Test Log", 256))
+
+
+@pytest.fixture()
+def ca256():
+    return CertificateAuthority("Log Test CA", key_bits=256)
+
+
+def issue_into(ca, log, name, when):
+    return ca.issue(IssuanceRequest((name,)), [log], when)
+
+
+def test_add_pre_chain_appends_entry(log, ca256, now):
+    issue_into(ca256, log, "a.example", now)
+    assert log.size == 1
+    assert log.entries[0].entry_type is SctEntryType.PRECERT_ENTRY
+
+
+def test_add_pre_chain_rejects_final_cert(log, ca256, now):
+    pair = ca256.issue(IssuanceRequest(("x.example",), embed_scts=False), [], now)
+    with pytest.raises(ValueError):
+        log.add_pre_chain(pair.final_certificate, ca256.issuer_key_hash, now)
+
+
+def test_add_chain_rejects_precert(log, ca256, now):
+    pair = issue_into(ca256, log, "y.example", now)
+    with pytest.raises(ValueError):
+        log.add_chain(pair.precertificate, now)
+
+
+def test_sct_verifies_against_log_key(log, ca256, now):
+    pair = issue_into(ca256, log, "v.example", now)
+    sct = pair.scts[0]
+    assert sct.log_id == log.log_id
+    entry = log.entries[-1]
+    assert sct.verify(log.key, entry.leaf_input)
+
+
+def test_duplicate_submission_returns_same_sct(log, ca256, now):
+    pair = issue_into(ca256, log, "dup.example", now)
+    again = log.add_pre_chain(pair.precertificate, ca256.issuer_key_hash, now)
+    assert again == pair.scts[0]
+    assert log.size == 1  # deduplicated
+
+
+def test_sth_signs_current_tree(log, ca256, now):
+    issue_into(ca256, log, "s1.example", now)
+    issue_into(ca256, log, "s2.example", now)
+    sth = log.get_sth(now)
+    assert sth.tree_size == 2
+    assert sth.verify(log.key)
+    assert sth.root_hash == log.tree.root()
+
+
+def test_sth_signature_rejects_other_key(log, ca256, now):
+    issue_into(ca256, log, "s.example", now)
+    sth = log.get_sth(now)
+    assert not sth.verify(log_key("Another Log", 256))
+
+
+def test_get_entries_range(log, ca256, now):
+    for i in range(5):
+        issue_into(ca256, log, f"e{i}.example", now)
+    entries = log.get_entries(1, 3)
+    assert [e.index for e in entries] == [1, 2, 3]
+
+
+def test_get_entries_invalid_range(log):
+    with pytest.raises(ValueError):
+        log.get_entries(-1, 2)
+    with pytest.raises(ValueError):
+        log.get_entries(3, 2)
+
+
+def test_inclusion_proof_through_log_api(log, ca256, now):
+    for i in range(9):
+        issue_into(ca256, log, f"p{i}.example", now)
+    sth = log.get_sth(now)
+    entry = log.entries[4]
+    proof = log.get_proof_by_hash(entry.index, sth.tree_size)
+    assert verify_inclusion_proof(
+        entry.leaf_input, entry.index, sth.tree_size, proof, sth.root_hash
+    )
+
+
+def test_consistency_through_log_api(log, ca256, now):
+    for i in range(4):
+        issue_into(ca256, log, f"c{i}.example", now)
+    old = log.get_sth(now)
+    for i in range(4, 11):
+        issue_into(ca256, log, f"c{i}.example", now)
+    new = log.get_sth(now)
+    proof = log.get_consistency(old.tree_size, new.tree_size)
+    assert verify_consistency_proof(
+        old.tree_size, new.tree_size, old.root_hash, new.root_hash, proof
+    )
+
+
+def test_capacity_tracking_records_overload(ca256, now):
+    log = CTLog(
+        name="Tiny Log", operator="T", key=log_key("Tiny Log", 256),
+        capacity_per_day=2,
+    )
+    for i in range(4):
+        issue_into(ca256, log, f"o{i}.example", now)
+    assert log.was_overloaded()
+    assert log.overload_days[now.date()] == 2
+    # Non-strict mode still accepts.
+    assert log.size == 4
+
+
+def test_strict_capacity_rejects(ca256, now):
+    log = CTLog(
+        name="Strict Log", operator="T", key=log_key("Strict Log", 256),
+        capacity_per_day=1, strict_capacity=True,
+    )
+    issue_into(ca256, log, "ok.example", now)
+    with pytest.raises(LogOverloadedError):
+        issue_into(ca256, log, "over.example", now)
+
+
+def test_capacity_resets_across_days(ca256, now):
+    log = CTLog(
+        name="Daily Log", operator="T", key=log_key("Daily Log", 256),
+        capacity_per_day=1,
+    )
+    issue_into(ca256, log, "d1.example", now)
+    next_day = utc_datetime(2018, 4, 19, 12, 0)
+    issue_into(ca256, log, "d2.example", next_day)
+    assert not log.was_overloaded()
+
+
+def test_disqualified_log_rejects(log, ca256, now):
+    log.disqualify()
+    with pytest.raises(LogDisqualifiedError):
+        issue_into(ca256, log, "dq.example", now)
+
+
+def test_utilization_series(ca256, now):
+    log = CTLog(
+        name="Util Log", operator="T", key=log_key("Util Log", 256),
+        capacity_per_day=4,
+    )
+    for i in range(2):
+        issue_into(ca256, log, f"u{i}.example", now)
+    series = log.utilization()
+    assert series == [(now.date(), 0.5)]
+
+
+def test_utilization_empty_when_uncapped(log):
+    assert log.utilization() == []

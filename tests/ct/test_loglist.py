@@ -1,0 +1,69 @@
+"""Tests for the log registry."""
+
+from datetime import date
+
+from repro.ct.loglist import (
+    KNOWN_LOGS,
+    TABLE1_LOG_NAMES,
+    build_default_logs,
+    log_key,
+    logs_by_operator,
+)
+
+
+def test_table1_logs_present():
+    names = {info.name for info in KNOWN_LOGS}
+    for expected in (
+        "Google Pilot log",
+        "Symantec log",
+        "Google Rocketeer log",
+        "DigiCert Log Server",
+        "Cloudflare Nimbus2018 Log",
+        "Certly.IO log",
+    ):
+        assert expected in names
+
+
+def test_table1_order_matches_paper_head():
+    assert TABLE1_LOG_NAMES[0] == "Google Pilot log"
+    assert len(TABLE1_LOG_NAMES) == 15
+
+
+def test_deneb_never_chrome_trusted():
+    deneb = next(info for info in KNOWN_LOGS if "Deneb" in info.name)
+    assert deneb.chrome_inclusion is None
+
+
+def test_build_default_logs_keys_are_distinct():
+    logs = build_default_logs(key_bits=256)
+    ids = [log.log_id for log in logs.values()]
+    assert len(set(ids)) == len(ids)
+
+
+def test_log_key_deterministic():
+    assert log_key("Some Log", 256).key_id == log_key("Some Log", 256).key_id
+
+
+def test_build_without_capacities():
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    assert all(log.capacity_per_day is None for log in logs.values())
+
+
+def test_build_with_capacities_caps_nimbus():
+    logs = build_default_logs(with_capacities=True, key_bits=256)
+    assert logs["Cloudflare Nimbus2018 Log"].capacity_per_day is not None
+
+
+def test_logs_by_operator_groups():
+    logs = build_default_logs(key_bits=256)
+    grouped = logs_by_operator(logs)
+    assert len(grouped["Google"]) >= 5
+    assert len(grouped["Cloudflare"]) >= 3
+    assert {log.operator for log in grouped["Symantec"]} == {"Symantec"}
+
+
+def test_chrome_inclusion_dates_match_table1_annotations():
+    logs = {info.name: info for info in KNOWN_LOGS}
+    assert logs["Google Pilot log"].chrome_inclusion == date(2014, 6, 1)
+    assert logs["DigiCert Log Server 2"].chrome_inclusion == date(2017, 6, 1)
+    assert logs["Cloudflare Nimbus2018 Log"].chrome_inclusion == date(2018, 3, 1)

@@ -1,0 +1,166 @@
+"""Tests for the RFC 6962 Merkle tree."""
+
+import hashlib
+
+import pytest
+
+from repro.ct.merkle import (
+    EMPTY_TREE_HASH,
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+    verify_consistency_proof,
+    verify_inclusion_proof,
+)
+
+
+def build_tree(n):
+    tree = MerkleTree()
+    leaves = [f"leaf-{i}".encode() for i in range(n)]
+    for leaf in leaves:
+        tree.append(leaf)
+    return tree, leaves
+
+
+def test_empty_tree_root_is_sha256_of_empty():
+    assert MerkleTree().root() == hashlib.sha256(b"").digest()
+    assert MerkleTree().root() == EMPTY_TREE_HASH
+
+
+def test_single_leaf_root_is_leaf_hash():
+    tree = MerkleTree()
+    tree.append(b"only")
+    assert tree.root() == leaf_hash(b"only")
+
+
+def test_two_leaf_root():
+    tree = MerkleTree()
+    tree.append(b"a")
+    tree.append(b"b")
+    assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+
+def test_three_leaf_root_unbalanced_split():
+    # RFC 6962: left subtree takes the largest power of two < n (2).
+    tree, _ = build_tree(3)
+    left = node_hash(leaf_hash(b"leaf-0"), leaf_hash(b"leaf-1"))
+    assert tree.root() == node_hash(left, leaf_hash(b"leaf-2"))
+
+
+def test_leaf_and_node_prefixes_differ():
+    # Second-preimage resistance: leaf and node hashing are domain-separated.
+    data = b"x" * 64
+    assert leaf_hash(data) != node_hash(data[:32], data[32:])
+
+
+def test_root_of_prefix_matches_smaller_tree():
+    big, _ = build_tree(13)
+    small, _ = build_tree(7)
+    assert big.root(7) == small.root()
+
+
+def test_root_raises_beyond_size():
+    tree, _ = build_tree(3)
+    with pytest.raises(ValueError):
+        tree.root(4)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33, 64, 100])
+def test_inclusion_proofs_verify_for_all_leaves(n):
+    tree, leaves = build_tree(n)
+    root = tree.root()
+    for index, leaf in enumerate(leaves):
+        proof = tree.inclusion_proof(index)
+        assert verify_inclusion_proof(leaf, index, n, proof, root), (n, index)
+
+
+def test_inclusion_proof_fails_for_wrong_leaf():
+    tree, leaves = build_tree(8)
+    proof = tree.inclusion_proof(3)
+    assert not verify_inclusion_proof(b"not-the-leaf", 3, 8, proof, tree.root())
+
+
+def test_inclusion_proof_fails_for_wrong_index():
+    tree, leaves = build_tree(8)
+    proof = tree.inclusion_proof(3)
+    assert not verify_inclusion_proof(leaves[3], 4, 8, proof, tree.root())
+
+
+def test_inclusion_proof_fails_with_truncated_proof():
+    tree, leaves = build_tree(8)
+    proof = tree.inclusion_proof(3)[:-1]
+    assert not verify_inclusion_proof(leaves[3], 3, 8, proof, tree.root())
+
+
+def test_inclusion_proof_out_of_range_raises():
+    tree, _ = build_tree(4)
+    with pytest.raises(IndexError):
+        tree.inclusion_proof(4)
+    with pytest.raises(IndexError):
+        tree.inclusion_proof(2, 8)
+
+
+def test_inclusion_verify_rejects_empty_tree():
+    assert not verify_inclusion_proof(b"x", 0, 0, [], EMPTY_TREE_HASH)
+
+
+@pytest.mark.parametrize("old,new", [(1, 2), (2, 3), (3, 7), (4, 8), (7, 13), (8, 8), (0, 5), (6, 8), (1, 64)])
+def test_consistency_proofs_verify(old, new):
+    tree, _ = build_tree(new)
+    proof = tree.consistency_proof(old, new)
+    assert verify_consistency_proof(old, new, tree.root(old), tree.root(new), proof)
+
+
+def test_consistency_proof_rejects_tampered_history():
+    tree_a, _ = build_tree(8)
+    # A different tree of size 4 is not a prefix of tree_a.
+    other = MerkleTree()
+    for i in range(4):
+        other.append(f"other-{i}".encode())
+    proof = tree_a.consistency_proof(4, 8)
+    assert not verify_consistency_proof(4, 8, other.root(), tree_a.root(), proof)
+
+
+def test_consistency_equal_sizes_needs_equal_roots():
+    tree, _ = build_tree(5)
+    assert verify_consistency_proof(5, 5, tree.root(), tree.root(), [])
+    assert not verify_consistency_proof(5, 5, tree.root(), EMPTY_TREE_HASH, [])
+
+
+def test_consistency_old_bigger_than_new_rejected():
+    tree, _ = build_tree(4)
+    assert not verify_consistency_proof(5, 4, tree.root(), tree.root(), [])
+
+
+def test_consistency_invalid_sizes_raise():
+    tree, _ = build_tree(4)
+    with pytest.raises(ValueError):
+        tree.consistency_proof(5, 4)
+
+
+def test_append_returns_indices():
+    tree = MerkleTree()
+    assert tree.append(b"a") == 0
+    assert tree.append(b"b") == 1
+    assert len(tree) == 2
+
+
+def test_append_leaf_hash_replicates_tree():
+    original, leaves = build_tree(6)
+    replica = MerkleTree()
+    for leaf in leaves:
+        replica.append_leaf_hash(leaf_hash(leaf))
+    assert replica.root() == original.root()
+
+
+def test_proofs_stable_while_tree_grows():
+    tree, leaves = build_tree(5)
+    root5 = tree.root(5)
+    proof = tree.inclusion_proof(2, 5)
+    for i in range(5, 40):
+        tree.append(f"leaf-{i}".encode())
+    # The old proof still verifies against the old tree head.
+    assert verify_inclusion_proof(leaves[2], 2, 5, proof, root5)
+    # And a fresh proof verifies against the new head.
+    new_proof = tree.inclusion_proof(2, tree.size)
+    assert verify_inclusion_proof(leaves[2], 2, tree.size, new_proof, tree.root())

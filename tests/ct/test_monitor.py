@@ -1,0 +1,96 @@
+"""Tests for streaming and batch log monitors."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.ct.monitor import BatchMonitor, StreamingMonitor, watch_logs
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture()
+def log_with_entries(now):
+    log = CTLog(name="Mon Log", operator="T", key=log_key("Mon Log", 256))
+    ca = CertificateAuthority("Mon CA", key_bits=256)
+    for i in range(5):
+        ca.issue(
+            IssuanceRequest((f"mon{i}.example",)), [log],
+            now + timedelta(minutes=i),
+        )
+    return log
+
+
+def test_streaming_latency_within_range(log_with_entries):
+    monitor = StreamingMonitor("s", SeededRng(1), latency_range_s=(60, 180))
+    observations = monitor.observe(log_with_entries)
+    assert len(observations) == 5
+    for obs in observations:
+        assert 60 <= obs.latency_seconds <= 180
+
+
+def test_streaming_cursor_advances(log_with_entries):
+    monitor = StreamingMonitor("s", SeededRng(1))
+    assert len(monitor.observe(log_with_entries)) == 5
+    assert monitor.observe(log_with_entries) == []
+
+
+def test_streaming_sees_only_new_entries(log_with_entries, now):
+    monitor = StreamingMonitor("s", SeededRng(1))
+    monitor.observe(log_with_entries)
+    ca = CertificateAuthority("Late CA", key_bits=256)
+    ca.issue(IssuanceRequest(("late.example",)), [log_with_entries],
+             now + timedelta(hours=1))
+    fresh = monitor.observe(log_with_entries)
+    assert len(fresh) == 1
+    assert "late.example" in fresh[0].dns_names
+
+
+def test_streaming_base_offset(log_with_entries):
+    slow = StreamingMonitor("slow", SeededRng(1), latency_range_s=(10, 20),
+                            base_offset_s=1_000)
+    for obs in slow.observe(log_with_entries):
+        assert obs.latency_seconds >= 1_000
+
+
+def test_batch_observes_at_next_poll_tick(log_with_entries):
+    monitor = BatchMonitor("b", SeededRng(2), interval=timedelta(hours=2))
+    observations = monitor.observe(log_with_entries)
+    assert len(observations) == 5
+    for obs in observations:
+        assert obs.latency_seconds <= 2 * 3600 + monitor.processing_delay_s
+        assert obs.latency_seconds > 0
+
+
+def test_batch_next_poll_is_after_moment(now):
+    monitor = BatchMonitor("b", SeededRng(3), interval=timedelta(hours=1))
+    tick = monitor.next_poll_after(now)
+    assert tick > now
+    assert (tick - now) <= timedelta(hours=1)
+
+
+def test_batch_polls_are_periodic(now):
+    monitor = BatchMonitor("b", SeededRng(4), interval=timedelta(hours=2))
+    first = monitor.next_poll_after(now)
+    second = monitor.next_poll_after(first)
+    # Microsecond truncation in timedelta may wobble the tick by <1 ms.
+    assert abs((second - first) - timedelta(hours=2)) < timedelta(milliseconds=1)
+
+
+def test_observation_exposes_dns_names(log_with_entries):
+    monitor = StreamingMonitor("s", SeededRng(5))
+    obs = monitor.observe(log_with_entries)[0]
+    assert obs.dns_names == ["mon0.example"]
+    assert obs.log_name == "Mon Log"
+
+
+def test_watch_logs_sorts_by_time(log_with_entries):
+    fast = StreamingMonitor("fast", SeededRng(6), latency_range_s=(1, 2))
+    slow = StreamingMonitor("slow", SeededRng(7), latency_range_s=(500, 600))
+    observations = watch_logs([fast, slow], [log_with_entries])
+    times = [obs.observed_at for obs in observations]
+    assert times == sorted(times)
+    assert len(observations) == 10

@@ -1,0 +1,127 @@
+"""Tests for the Chrome CT policy engine."""
+
+from datetime import date
+
+import pytest
+
+from repro.ct.policy import ChromeCTPolicy, ENFORCEMENT_DATE, required_sct_count
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture()
+def ca256():
+    return CertificateAuthority("Policy CA", key_bits=256)
+
+
+def test_required_sct_count_ladder():
+    assert required_sct_count(3) == 2
+    assert required_sct_count(14.9) == 2
+    assert required_sct_count(15) == 3
+    assert required_sct_count(27) == 3
+    assert required_sct_count(30) == 4
+    assert required_sct_count(39) == 4
+    assert required_sct_count(48) == 5
+
+
+def test_compliant_with_google_and_non_google(fresh_logs, ca256, now):
+    policy = ChromeCTPolicy(fresh_logs)
+    pair = ca256.issue(
+        IssuanceRequest(("ok.example",), lifetime_days=90),
+        [fresh_logs["Google Pilot log"], fresh_logs["Cloudflare Nimbus2018 Log"]],
+        now,
+    )
+    assert policy.evaluate(pair.final_certificate, list(pair.scts)).compliant
+
+
+def test_google_only_not_compliant(fresh_logs, ca256, now):
+    policy = ChromeCTPolicy(fresh_logs)
+    pair = ca256.issue(
+        IssuanceRequest(("go.example",), lifetime_days=90),
+        [fresh_logs["Google Pilot log"], fresh_logs["Google Rocketeer log"]],
+        now,
+    )
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+    assert any("non-Google" in reason for reason in verdict.reasons)
+
+
+def test_no_google_not_compliant(fresh_logs, ca256, now):
+    policy = ChromeCTPolicy(fresh_logs)
+    pair = ca256.issue(
+        IssuanceRequest(("ng.example",), lifetime_days=90),
+        [fresh_logs["Cloudflare Nimbus2018 Log"], fresh_logs["Venafi log"]],
+        now,
+    )
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+    assert any("Google" in reason for reason in verdict.reasons)
+
+
+def test_too_few_scts_for_long_lifetime(fresh_logs, ca256, now):
+    policy = ChromeCTPolicy(fresh_logs)
+    pair = ca256.issue(
+        IssuanceRequest(("long.example",), lifetime_days=720),
+        [fresh_logs["Google Pilot log"], fresh_logs["Venafi log"]],
+        now,
+    )
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+    assert any("qualified SCTs" in reason for reason in verdict.reasons)
+
+
+def test_disqualified_log_scts_dont_count(fresh_logs, ca256, now):
+    policy = ChromeCTPolicy(fresh_logs)
+    pair = ca256.issue(
+        IssuanceRequest(("dq.example",), lifetime_days=90),
+        [fresh_logs["Google Pilot log"], fresh_logs["Cloudflare Nimbus2018 Log"]],
+        now,
+    )
+    fresh_logs["Cloudflare Nimbus2018 Log"].disqualify()
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+
+
+def test_not_yet_included_log_does_not_qualify(fresh_logs, ca256):
+    policy = ChromeCTPolicy(fresh_logs)
+    early = utc_datetime(2017, 1, 15)  # Nimbus joined Chrome 2018-03
+    pair = ca256.issue(
+        IssuanceRequest(("early.example",), lifetime_days=90),
+        [fresh_logs["Google Pilot log"], fresh_logs["Cloudflare Nimbus2018 Log"]],
+        early,
+    )
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+    assert any("not-yet-qualified" in reason for reason in verdict.reasons)
+
+
+def test_unknown_log_sct_flagged(fresh_logs, ca256, now):
+    from repro.ct.log import CTLog
+    from repro.ct.loglist import log_key
+
+    rogue = CTLog(name="Rogue Log", operator="Rogue", key=log_key("Rogue Log", 256),
+                  chrome_inclusion=date(2014, 1, 1))
+    policy = ChromeCTPolicy(fresh_logs)  # rogue not in the trusted set
+    pair = ca256.issue(
+        IssuanceRequest(("rogue.example",), lifetime_days=90),
+        [rogue, fresh_logs["Google Pilot log"]],
+        now,
+    )
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+    assert any("unknown log" in reason for reason in verdict.reasons)
+
+
+def test_enforcement_applies_from_deadline(fresh_logs, ca256):
+    policy = ChromeCTPolicy(fresh_logs)
+    before = ca256.issue(
+        IssuanceRequest(("b.example",), embed_scts=False), [],
+        utc_datetime(2018, 4, 17),
+    )
+    after = ca256.issue(
+        IssuanceRequest(("a.example",), embed_scts=False), [],
+        utc_datetime(2018, 4, 18),
+    )
+    assert not policy.enforcement_applies(before.final_certificate)
+    assert policy.enforcement_applies(after.final_certificate)
+    assert ENFORCEMENT_DATE == date(2018, 4, 18)

@@ -1,0 +1,150 @@
+"""Tests for domain-label redaction."""
+
+import pytest
+
+from repro.ct.redaction import (
+    REDACTED_LABEL,
+    RedactionPolicy,
+    leakage_reduction,
+    redact_certificate,
+    redact_name,
+)
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+def test_redact_all_hides_labels():
+    policy = RedactionPolicy(redact_all_labels=True, keep_labels=())
+    assert redact_name("dev.internal.example.com", policy) == "?.?.example.com"
+
+
+def test_keep_labels_survive():
+    policy = RedactionPolicy(redact_all_labels=True, keep_labels=("www",))
+    assert redact_name("www.example.com", policy) == "www.example.com"
+    assert redact_name("mail.example.com", policy) == "?.example.com"
+
+
+def test_registrable_domain_never_redacted():
+    policy = RedactionPolicy(redact_all_labels=True, keep_labels=())
+    assert redact_name("example.co.uk", policy) == "example.co.uk"
+
+
+def test_selective_redaction():
+    policy = RedactionPolicy(
+        redact_all_labels=False, sensitive_labels=("vpn", "intranet")
+    )
+    assert redact_name("vpn.example.com", policy) == "?.example.com"
+    assert redact_name("www.example.com", policy) == "www.example.com"
+
+
+def test_redact_certificate_covers_cn_and_san():
+    ca = CertificateAuthority("Redact CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest(
+            ("secret.example.com", "www.example.com"),
+            ip_addresses=("192.0.2.1",),
+            embed_scts=False,
+        ),
+        [],
+        utc_datetime(2018, 4, 1),
+    )
+    policy = RedactionPolicy()
+    redacted = redact_certificate(pair.final_certificate, policy)
+    assert redacted.subject_cn == "?.example.com"
+    names = redacted.dns_names()
+    assert "?.example.com" in names
+    assert "www.example.com" in names
+    # IP SANs untouched.
+    assert redacted.ip_addresses() == ["192.0.2.1"]
+
+
+def test_leakage_reduction_metrics():
+    policy = RedactionPolicy(keep_labels=("www",))
+    names = [
+        "www.a.com",          # kept
+        "mail.a.com",         # hidden
+        "dev.api.b.de",       # two hidden
+        "c.org",              # no labels
+    ]
+    impact = leakage_reduction(names, policy)
+    assert impact.names_total == 4
+    assert impact.labels_total == 4
+    assert impact.labels_hidden == 3
+    assert impact.hidden_vocabulary == {"mail", "dev", "api"}
+    assert impact.unmonitorable_names == 2
+    assert impact.label_reduction == pytest.approx(0.75)
+    assert impact.monitoring_loss == pytest.approx(0.5)
+
+
+def test_deneb_style_policy_kills_table2_leakage():
+    """Full redaction removes the entire Section 4.2 vocabulary except
+    for the kept labels — and blinds monitoring in equal measure."""
+    from repro.workloads.domains import DomainWorkload
+
+    corpus = DomainWorkload(scale=1 / 50_000, seed=3).build()
+    policy = RedactionPolicy(keep_labels=("www",))
+    impact = leakage_reduction(corpus.ct_fqdns, policy)
+    assert "mail" in impact.hidden_vocabulary
+    assert "cpanel" in impact.hidden_vocabulary
+    assert "www" not in impact.hidden_vocabulary
+    assert impact.label_reduction > 0.3
+    assert impact.monitoring_loss > 0.1
+
+
+def test_empty_corpus():
+    impact = leakage_reduction([], RedactionPolicy())
+    assert impact.label_reduction == 0.0
+    assert impact.monitoring_loss == 0.0
+
+
+class TestDenebSubmission:
+    """Redacted logging a la Symantec Deneb, and why it never flew."""
+
+    def test_redacted_precert_logged_without_leaking_labels(self, fresh_logs, now):
+        from repro.ct.redaction import submit_redacted
+        from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+        ca = CertificateAuthority("Deneb CA", key_bits=256)
+        pair = ca.issue(
+            IssuanceRequest(("secret-lab.example.com",)), [], now
+        )
+        # Build a poisoned precert manually (no log submission yet).
+        from repro.x509.certificate import Extension, POISON_EXTENSION_OID
+
+        precert = pair.final_certificate.with_extensions(
+            list(pair.final_certificate.extensions)
+            + [Extension(POISON_EXTENSION_OID, critical=True)]
+        )
+        deneb = fresh_logs["Symantec Deneb log"]
+        policy = RedactionPolicy(keep_labels=())
+        sct, redacted = submit_redacted(
+            precert, policy, deneb, ca.issuer_key_hash, now
+        )
+        logged_names = deneb.entries[-1].certificate.dns_names()
+        assert all("secret-lab" not in name for name in logged_names)
+        assert "?.example.com" in logged_names
+
+    def test_redacted_sct_invalid_for_real_certificate(self, fresh_logs, now):
+        """The incompatibility that kept redaction out of Chrome: the
+        SCT covers the redacted bytes, not the real certificate."""
+        from repro.ct.redaction import submit_redacted
+        from repro.ct.sct import precert_signing_input
+        from repro.x509.ca import CertificateAuthority, IssuanceRequest
+        from repro.x509.certificate import Extension, POISON_EXTENSION_OID
+
+        ca = CertificateAuthority("Deneb CA 2", key_bits=256)
+        pair = ca.issue(IssuanceRequest(("vpn.corp.example",)), [], now)
+        precert = pair.final_certificate.with_extensions(
+            list(pair.final_certificate.extensions)
+            + [Extension(POISON_EXTENSION_OID, critical=True)]
+        )
+        deneb = fresh_logs["Symantec Deneb log"]
+        sct, redacted = submit_redacted(
+            precert, RedactionPolicy(), deneb, ca.issuer_key_hash, now
+        )
+        real_input = precert_signing_input(
+            pair.final_certificate, ca.issuer_key_hash
+        )
+        redacted_input = precert_signing_input(redacted, ca.issuer_key_hash)
+        assert sct.verify(deneb.key, redacted_input)
+        assert not sct.verify(deneb.key, real_input)

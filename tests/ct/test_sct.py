@@ -1,0 +1,119 @@
+"""Tests for SCT structures, serialization, and signing inputs."""
+
+import pytest
+
+from repro.ct.sct import (
+    SctEntryType,
+    SignedCertificateTimestamp,
+    encode_sct_list,
+    precert_signing_input,
+    x509_signing_input,
+)
+from repro.util.timeutil import utc_datetime
+from repro.x509.certificate import (
+    Extension,
+    POISON_EXTENSION_OID,
+    SCT_LIST_EXTENSION_OID,
+)
+from repro.x509 import crypto
+
+
+@pytest.fixture(scope="module")
+def log_key():
+    return crypto.KeyPair.generate("sct-test-log", 256)
+
+
+def make_sct(log_key, entry_input, ts=1_523_542_619_000,
+             entry_type=SctEntryType.PRECERT_ENTRY, extensions=b""):
+    payload = SignedCertificateTimestamp.signed_payload(
+        log_key.key_id, ts, entry_type, entry_input, extensions
+    )
+    return SignedCertificateTimestamp(
+        log_id=log_key.key_id,
+        timestamp_ms=ts,
+        entry_type=entry_type,
+        signature=crypto.sign(log_key, payload),
+        extensions=extensions,
+    )
+
+
+def test_sct_verifies(log_key):
+    sct = make_sct(log_key, b"entry-bytes")
+    assert sct.verify(log_key, b"entry-bytes")
+
+
+def test_sct_rejects_different_entry(log_key):
+    sct = make_sct(log_key, b"entry-bytes")
+    assert not sct.verify(log_key, b"other-bytes")
+
+
+def test_sct_rejects_wrong_log(log_key):
+    other = crypto.KeyPair.generate("other-log", 256)
+    sct = make_sct(log_key, b"entry")
+    assert not sct.verify(other, b"entry")
+
+
+def test_sct_timestamp_property(log_key):
+    sct = make_sct(log_key, b"e", ts=1_523_542_619_000)
+    assert sct.timestamp.year == 2018
+
+
+def test_encode_decode_roundtrip(log_key):
+    scts = [
+        make_sct(log_key, b"one"),
+        make_sct(log_key, b"two", ts=1_523_542_620_000, extensions=b"ext"),
+    ]
+    decoded = SignedCertificateTimestamp.decode_list(encode_sct_list(scts))
+    assert decoded == scts
+
+
+def test_decode_empty_blob():
+    assert SignedCertificateTimestamp.decode_list(b"") == []
+
+
+def test_payload_binds_timestamp(log_key):
+    sct = make_sct(log_key, b"entry", ts=1000)
+    forged = SignedCertificateTimestamp(
+        log_id=sct.log_id,
+        timestamp_ms=2000,
+        entry_type=sct.entry_type,
+        signature=sct.signature,
+    )
+    assert not forged.verify(log_key, b"entry")
+
+
+def test_payload_binds_entry_type(log_key):
+    sct = make_sct(log_key, b"entry", entry_type=SctEntryType.PRECERT_ENTRY)
+    forged = SignedCertificateTimestamp(
+        log_id=sct.log_id,
+        timestamp_ms=sct.timestamp_ms,
+        entry_type=SctEntryType.X509_ENTRY,
+        signature=sct.signature,
+    )
+    assert not forged.verify(log_key, b"entry")
+
+
+class TestSigningInputs:
+    def test_precert_input_ignores_poison_and_sct_list(self, issued_pair, ca):
+        final = issued_pair.final_certificate
+        precert = issued_pair.precertificate
+        ikh = ca.issuer_key_hash
+        # Reconstruction from the final cert equals the original input.
+        assert precert_signing_input(final, ikh) == precert_signing_input(precert, ikh)
+
+    def test_precert_input_binds_issuer_key_hash(self, issued_pair):
+        final = issued_pair.final_certificate
+        assert precert_signing_input(final, b"\x01" * 32) != precert_signing_input(
+            final, b"\x02" * 32
+        )
+
+    def test_x509_input_ignores_sct_list_only(self, issued_pair):
+        final = issued_pair.final_certificate
+        stripped = final.without_extension(SCT_LIST_EXTENSION_OID)
+        assert x509_signing_input(final) == x509_signing_input(stripped)
+
+    def test_inputs_are_domain_separated(self, issued_pair, ca):
+        final = issued_pair.final_certificate
+        assert x509_signing_input(final) != precert_signing_input(
+            final, ca.issuer_key_hash
+        )

@@ -1,0 +1,125 @@
+"""Tests for log harvest persistence."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.ct.storage import (
+    LogStorageError,
+    certificate_from_dict,
+    certificate_to_dict,
+    dump_log,
+    iter_stored_entries,
+    load_log,
+)
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 4, 1)
+
+
+@pytest.fixture()
+def populated_log():
+    log = CTLog(name="Store Log", operator="T", key=log_key("Store Log", 256))
+    ca = CertificateAuthority("Store CA", key_bits=256)
+    for i in range(7):
+        ca.issue(
+            IssuanceRequest((f"s{i}.example", f"www.s{i}.example")),
+            [log],
+            NOW + timedelta(minutes=i),
+        )
+    return log
+
+
+def fresh_copy_of(log):
+    return CTLog(name=log.name, operator=log.operator, key=log.key)
+
+
+def test_certificate_dict_roundtrip(populated_log):
+    cert = populated_log.entries[0].certificate
+    assert certificate_from_dict(certificate_to_dict(cert)) == cert
+
+
+def test_dump_load_roundtrip(populated_log, tmp_path):
+    path = tmp_path / "harvest.jsonl"
+    assert dump_log(populated_log, path) == 7
+    restored = fresh_copy_of(populated_log)
+    assert load_log(path, restored) == 7
+    assert restored.tree.root() == populated_log.tree.root()
+    assert [e.certificate for e in restored.entries] == [
+        e.certificate for e in populated_log.entries
+    ]
+
+
+def test_restored_log_serves_valid_proofs(populated_log, tmp_path):
+    from repro.ct.merkle import verify_inclusion_proof
+
+    path = tmp_path / "harvest.jsonl"
+    dump_log(populated_log, path)
+    restored = fresh_copy_of(populated_log)
+    load_log(path, restored)
+    sth = restored.get_sth(NOW + timedelta(hours=1))
+    entry = restored.entries[3]
+    proof = restored.get_proof_by_hash(entry.index, sth.tree_size)
+    assert verify_inclusion_proof(
+        entry.leaf_input, entry.index, sth.tree_size, proof, sth.root_hash
+    )
+
+
+def test_truncated_harvest_rejected(populated_log, tmp_path):
+    path = tmp_path / "harvest.jsonl"
+    dump_log(populated_log, path)
+    lines = path.read_text().splitlines()
+    # Drop one entry but keep the trailer.
+    path.write_text("\n".join(lines[1:]) + "\n")
+    with pytest.raises(LogStorageError):
+        load_log(path, fresh_copy_of(populated_log))
+
+
+def test_tampered_entry_rejected(populated_log, tmp_path):
+    import json
+
+    path = tmp_path / "harvest.jsonl"
+    dump_log(populated_log, path)
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[0])
+    record["leaf_input"] = record["leaf_input"][:-4] + "AAA="
+    lines[0] = json.dumps(record)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(LogStorageError):
+        load_log(path, fresh_copy_of(populated_log))
+
+
+def test_missing_trailer_rejected(populated_log, tmp_path):
+    path = tmp_path / "harvest.jsonl"
+    dump_log(populated_log, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(LogStorageError):
+        load_log(path, fresh_copy_of(populated_log))
+
+
+def test_load_into_nonempty_log_rejected(populated_log, tmp_path):
+    path = tmp_path / "harvest.jsonl"
+    dump_log(populated_log, path)
+    with pytest.raises(ValueError):
+        load_log(path, populated_log)
+
+
+def test_iter_stored_entries_order(populated_log, tmp_path):
+    path = tmp_path / "harvest.jsonl"
+    dump_log(populated_log, path)
+    records = list(iter_stored_entries(path))
+    assert records[-1]["type"] == "tree-head"
+    assert [r["index"] for r in records[:-1]] == list(range(7))
+
+
+def test_dump_empty_log(tmp_path):
+    empty = CTLog(name="Empty", operator="T", key=log_key("Empty", 256))
+    path = tmp_path / "empty.jsonl"
+    assert dump_log(empty, path) == 0
+    restored = CTLog(name="Empty", operator="T", key=empty.key)
+    assert load_log(path, restored) == 0
+    assert restored.tree.size == 0

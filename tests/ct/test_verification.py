@@ -1,0 +1,100 @@
+"""Tests for embedded-SCT validation and root-cause diagnosis."""
+
+import pytest
+
+from repro.ct.verification import (
+    diagnose_mismatch,
+    validate_embedded_scts,
+)
+from repro.x509.ca import CertificateAuthority, IssuanceBug, IssuanceRequest
+
+
+def maps(logs):
+    return (
+        {log.log_id: log.key for log in logs.values()},
+        {log.log_id: log.name for log in logs.values()},
+    )
+
+
+def test_valid_certificate_passes(ca, fresh_logs, issued_pair):
+    keys, names = maps(fresh_logs)
+    result = validate_embedded_scts(
+        issued_pair.final_certificate, ca.issuer_key_hash, keys, names
+    )
+    assert result.all_valid
+    assert not result.any_invalid
+    assert result.invalid_count == 0
+    assert [v.log_name for v in result.verdicts] == [
+        "Google Pilot log", "Google Icarus log",
+    ]
+
+
+def test_wrong_issuer_key_hash_fails(fresh_logs, issued_pair):
+    keys, names = maps(fresh_logs)
+    result = validate_embedded_scts(
+        issued_pair.final_certificate, b"\x00" * 32, keys, names
+    )
+    assert result.any_invalid
+    assert result.invalid_count == 2
+
+
+def test_unknown_log_reported(ca, issued_pair):
+    result = validate_embedded_scts(
+        issued_pair.final_certificate, ca.issuer_key_hash, {}, {}
+    )
+    assert result.any_invalid
+    assert all(v.reason == "unknown log id" for v in result.verdicts)
+
+
+def test_cert_without_scts_has_no_verdicts(ca, now):
+    pair = ca.issue(IssuanceRequest(("n.example",), embed_scts=False), [], now)
+    result = validate_embedded_scts(pair.final_certificate, ca.issuer_key_hash, {}, {})
+    assert result.verdicts == ()
+    assert result.all_valid
+
+
+def test_precertificate_rejected(ca, fresh_logs, issued_pair):
+    keys, names = maps(fresh_logs)
+    with pytest.raises(ValueError):
+        validate_embedded_scts(
+            issued_pair.precertificate, ca.issuer_key_hash, keys, names
+        )
+
+
+class TestDiagnosis:
+    def test_clean_pair_has_no_reasons(self, issued_pair):
+        assert diagnose_mismatch(
+            issued_pair.precertificate, issued_pair.final_certificate
+        ) == []
+
+    def test_san_reorder_diagnosed(self, ca, fresh_logs, now):
+        pair = ca.issue(
+            IssuanceRequest(("d1.example",), ip_addresses=("192.0.2.1",)),
+            [fresh_logs["Google Pilot log"]], now, bug=IssuanceBug.SAN_REORDER,
+        )
+        reasons = diagnose_mismatch(pair.precertificate, pair.final_certificate)
+        assert reasons == ["SAN entry order changed in the final certificate"]
+
+    def test_extension_reorder_diagnosed(self, ca, fresh_logs, now):
+        pair = ca.issue(
+            IssuanceRequest(("d2.example",)),
+            [fresh_logs["Google Pilot log"]], now,
+            bug=IssuanceBug.EXTENSION_REORDER,
+        )
+        reasons = diagnose_mismatch(pair.precertificate, pair.final_certificate)
+        assert "X.509 extension order changed in the final certificate" in reasons
+
+    def test_san_swap_diagnosed(self, ca, fresh_logs, now):
+        pair = ca.issue(
+            IssuanceRequest(("d3.example",)),
+            [fresh_logs["Google Pilot log"]], now, bug=IssuanceBug.SAN_SWAP,
+        )
+        reasons = diagnose_mismatch(pair.precertificate, pair.final_certificate)
+        assert any("differ entirely" in reason for reason in reasons)
+        assert any("issuer names differ" in reason for reason in reasons)
+
+    def test_serial_mismatch_diagnosed(self, ca, fresh_logs, now):
+        a = ca.issue(IssuanceRequest(("s1.example",)), [fresh_logs["Google Pilot log"]], now)
+        b = ca.issue(IssuanceRequest(("s1.example",)), [fresh_logs["Google Pilot log"]], now)
+        reasons = diagnose_mismatch(a.precertificate, b.final_certificate)
+        assert any("serial" in reason for reason in reasons)

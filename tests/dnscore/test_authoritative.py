@@ -1,0 +1,85 @@
+"""Tests for the authoritative server and its query log."""
+
+import pytest
+
+from repro.dnscore.authoritative import AuthoritativeServer
+from repro.dnscore.edns import ClientSubnet
+from repro.dnscore.records import RecordType
+from repro.dnscore.zone import Zone
+from repro.util.timeutil import utc_datetime
+
+
+@pytest.fixture()
+def server():
+    srv = AuthoritativeServer(name="test-auth")
+    zone = Zone("hpot.net")
+    zone.add_simple("abc.hpot.net", RecordType.A, "198.18.0.10")
+    zone.add_simple("abc.hpot.net", RecordType.AAAA, "2001:db8::1")
+    srv.add_zone(zone)
+    return srv
+
+
+def query(server, name, qtype=RecordType.A, asn=15169, ecs=None, when=None):
+    return server.query(
+        name,
+        qtype,
+        now=when or utc_datetime(2018, 4, 12, 14, 20),
+        source_ip="74.125.0.53",
+        source_asn=asn,
+        client_subnet=ecs,
+        resolver_name="test",
+    )
+
+
+def test_query_answers_and_logs(server):
+    records = query(server, "abc.hpot.net")
+    assert records[0].value == "198.18.0.10"
+    assert len(server.query_log) == 1
+    assert server.query_log[0].qname == "abc.hpot.net"
+
+
+def test_unknown_name_logged_but_empty(server):
+    assert query(server, "nope.hpot.net") == []
+    assert len(server.query_log) == 1
+
+
+def test_out_of_zone_query(server):
+    assert query(server, "other.example") == []
+
+
+def test_query_log_carries_metadata(server):
+    ecs = ClientSubnet.from_ipv4("88.198.40.23")
+    query(server, "abc.hpot.net", asn=29073, ecs=ecs)
+    entry = server.query_log[-1]
+    assert entry.source_asn == 29073
+    assert str(entry.client_subnet) == "88.198.40.0/24"
+    assert entry.qtype is RecordType.A
+
+
+def test_queries_for_filters_subtree(server):
+    query(server, "abc.hpot.net")
+    query(server, "sub.abc.hpot.net")
+    query(server, "xyz.hpot.net")
+    matches = server.queries_for("abc.hpot.net")
+    assert len(matches) == 2
+
+
+def test_clear_log(server):
+    query(server, "abc.hpot.net")
+    server.clear_log()
+    assert server.query_log == []
+
+
+def test_log_queries_flag_disables_logging(server):
+    server.log_queries = False
+    query(server, "abc.hpot.net")
+    assert server.query_log == []
+
+
+def test_zone_for_longest_match():
+    srv = AuthoritativeServer()
+    srv.add_zone(Zone("example.org"))
+    sub = srv.add_zone(Zone("deep.example.org"))
+    assert srv.zone_for("www.deep.example.org") is sub
+    assert srv.zone_for("www.example.org").origin == "example.org"
+    assert srv.zone_for("unrelated.net") is None

@@ -1,0 +1,132 @@
+"""Tests for CAA lookups and CA-side enforcement."""
+
+import pytest
+
+from repro.dnscore.caa import (
+    caa_authorized_issuers,
+    make_caa_checker,
+    parse_caa_value,
+)
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CaaDeniedError, CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 4, 1)
+
+
+@pytest.fixture()
+def resolver():
+    universe = DnsUniverse()
+    zone = Zone("locked.example")
+    zone.add_simple("locked.example", RecordType.CAA, '0 issue "good-ca"')
+    zone.add_simple("www.locked.example", RecordType.A, "192.0.2.1")
+    universe.add_zone(zone)
+    override = Zone("open.example")
+    override.add_simple("open.example", RecordType.A, "192.0.2.2")
+    universe.add_zone(override)
+    multi = Zone("multi.example")
+    multi.add_simple("multi.example", RecordType.CAA, '0 issue "good-ca"')
+    multi.add_simple("multi.example", RecordType.CAA, '0 issue "other-ca"')
+    universe.add_zone(multi)
+    forbidden = Zone("frozen.example")
+    forbidden.add_simple("frozen.example", RecordType.CAA, '0 iodef "mailto:sec@frozen.example"')
+    universe.add_zone(forbidden)
+    return RecursiveResolver("caa-test", universe)
+
+
+class TestParsing:
+    def test_wire_form(self):
+        assert parse_caa_value('0 issue "letsencrypt-org"') == "letsencrypt-org"
+
+    def test_bare_form(self):
+        assert parse_caa_value("issue good-ca") == "good-ca"
+
+    def test_issuewild(self):
+        assert parse_caa_value("0 issuewild star-ca") == "star-ca"
+
+    def test_iodef_ignored(self):
+        assert parse_caa_value('0 iodef "mailto:x@y"') is None
+
+    def test_garbage(self):
+        assert parse_caa_value("") is None
+        assert parse_caa_value("0") is None
+
+
+class TestLookup:
+    def test_direct_record(self, resolver):
+        assert caa_authorized_issuers(resolver, "locked.example", NOW) == ["good-ca"]
+
+    def test_climbing_from_subdomain(self, resolver):
+        assert caa_authorized_issuers(resolver, "deep.www.locked.example", NOW) == [
+            "good-ca"
+        ]
+
+    def test_no_caa_anywhere_is_unrestricted(self, resolver):
+        assert caa_authorized_issuers(resolver, "www.open.example", NOW) == []
+
+    def test_multiple_issuers(self, resolver):
+        issuers = caa_authorized_issuers(resolver, "multi.example", NOW)
+        assert sorted(issuers) == ["good-ca", "other-ca"]
+
+    def test_caa_without_issue_tags_forbids_everyone(self, resolver):
+        assert caa_authorized_issuers(resolver, "frozen.example", NOW) == ["<nobody>"]
+
+
+class TestEnforcement:
+    def test_authorized_ca_issues(self, resolver):
+        ca = CertificateAuthority(
+            "Good CA", caa_checker=make_caa_checker(resolver),
+            caa_identity="good-ca", key_bits=256,
+        )
+        pair = ca.issue(
+            IssuanceRequest(("www.locked.example",), embed_scts=False), [], NOW
+        )
+        assert pair.final_certificate.subject_cn == "www.locked.example"
+
+    def test_unauthorized_ca_refused(self, resolver):
+        ca = CertificateAuthority(
+            "Evil CA", caa_checker=make_caa_checker(resolver),
+            caa_identity="evil-ca", key_bits=256,
+        )
+        with pytest.raises(CaaDeniedError):
+            ca.issue(
+                IssuanceRequest(("www.locked.example",), embed_scts=False), [], NOW
+            )
+
+    def test_unrestricted_name_any_ca(self, resolver):
+        ca = CertificateAuthority(
+            "Any CA", caa_checker=make_caa_checker(resolver),
+            caa_identity="any-ca", key_bits=256,
+        )
+        pair = ca.issue(
+            IssuanceRequest(("www.open.example",), embed_scts=False), [], NOW
+        )
+        assert pair is not None
+
+    def test_default_identity_derived_from_name(self, resolver):
+        ca = CertificateAuthority(
+            "Good CA", caa_checker=make_caa_checker(resolver), key_bits=256
+        )
+        # Derived identity is "good-ca" -> authorized.
+        pair = ca.issue(
+            IssuanceRequest(("www.locked.example",), embed_scts=False), [], NOW
+        )
+        assert pair is not None
+
+    def test_caa_denial_happens_before_validation_and_logging(self, resolver, fresh_logs):
+        calls = []
+        ca = CertificateAuthority(
+            "Evil CA",
+            caa_checker=make_caa_checker(resolver),
+            caa_identity="evil-ca",
+            validation_hook=lambda names, when: calls.append(names),
+            key_bits=256,
+        )
+        log = fresh_logs["Google Pilot log"]
+        before = log.size
+        with pytest.raises(CaaDeniedError):
+            ca.issue(IssuanceRequest(("www.locked.example",)), [log], NOW)
+        assert calls == []
+        assert log.size == before

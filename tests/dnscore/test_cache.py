@@ -1,0 +1,109 @@
+"""Tests for the TTL-honoring caching resolver."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.dnscore.cache import CachingResolver
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, Rcode, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.util.timeutil import utc_datetime
+
+NOW = utc_datetime(2018, 4, 30, 13, 0)
+
+
+@pytest.fixture()
+def setup():
+    universe = DnsUniverse()
+    zone = Zone("cache.example")
+    zone.add_simple("short.cache.example", RecordType.A, "192.0.2.1", ttl=60)
+    zone.add_simple("long.cache.example", RecordType.A, "192.0.2.2", ttl=3600)
+    zone.add_simple("loop.cache.example", RecordType.CNAME, "loop.cache.example")
+    universe.add_zone(zone)
+    auth = universe.servers[0]
+    upstream = RecursiveResolver("up", universe)
+    return auth, CachingResolver(upstream)
+
+
+def test_repeat_query_served_from_cache(setup):
+    auth, resolver = setup
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    upstream_queries = len(auth.query_log)
+    for _ in range(5):
+        result = resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    assert result.addresses == ["192.0.2.1"]
+    assert len(auth.query_log) == upstream_queries  # no new upstream traffic
+    assert resolver.stats.hits == 5
+    assert resolver.stats.misses == 1
+
+
+def test_entry_expires_after_ttl(setup):
+    auth, resolver = setup
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    later = NOW + timedelta(seconds=61)
+    resolver.resolve("short.cache.example", RecordType.A, now=later)
+    assert resolver.stats.misses == 2
+    assert resolver.stats.expirations == 1
+
+
+def test_entry_within_ttl_not_expired(setup):
+    _, resolver = setup
+    resolver.resolve("long.cache.example", RecordType.A, now=NOW)
+    result = resolver.resolve(
+        "long.cache.example", RecordType.A, now=NOW + timedelta(minutes=30)
+    )
+    assert resolver.stats.hits == 1
+    assert result.addresses == ["192.0.2.2"]
+
+
+def test_negative_caching(setup):
+    auth, resolver = setup
+    resolver.resolve("missing.cache.example", RecordType.A, now=NOW)
+    upstream_queries = len(auth.query_log)
+    result = resolver.resolve("missing.cache.example", RecordType.A, now=NOW)
+    assert result.rcode is Rcode.NXDOMAIN
+    assert len(auth.query_log) == upstream_queries
+    # After the negative TTL the query goes upstream again.
+    resolver.resolve(
+        "missing.cache.example", RecordType.A, now=NOW + timedelta(seconds=301)
+    )
+    assert len(auth.query_log) > upstream_queries
+
+
+def test_servfail_not_cached(setup):
+    auth, resolver = setup
+    resolver.resolve("loop.cache.example", RecordType.A, now=NOW)
+    before = len(auth.query_log)
+    resolver.resolve("loop.cache.example", RecordType.A, now=NOW)
+    assert len(auth.query_log) > before  # re-queried
+
+
+def test_qtype_distinguished(setup):
+    _, resolver = setup
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    resolver.resolve("short.cache.example", RecordType.AAAA, now=NOW)
+    assert resolver.stats.misses == 2
+
+
+def test_case_insensitive_key(setup):
+    _, resolver = setup
+    resolver.resolve("SHORT.cache.example", RecordType.A, now=NOW)
+    resolver.resolve("short.CACHE.example", RecordType.A, now=NOW)
+    assert resolver.stats.hits == 1
+
+
+def test_flush(setup):
+    _, resolver = setup
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    resolver.flush()
+    assert len(resolver) == 0
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    assert resolver.stats.misses == 2
+
+
+def test_hit_rate(setup):
+    _, resolver = setup
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    resolver.resolve("short.cache.example", RecordType.A, now=NOW)
+    assert resolver.stats.hit_rate == pytest.approx(0.5)

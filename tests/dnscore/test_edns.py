@@ -1,0 +1,35 @@
+"""Tests for the EDNS Client Subnet option."""
+
+import pytest
+
+from repro.dnscore.edns import ClientSubnet
+
+
+def test_from_ipv4_truncates_to_24():
+    subnet = ClientSubnet.from_ipv4("88.198.40.23")
+    assert str(subnet) == "88.198.40.0/24"
+
+
+def test_from_ipv4_custom_prefix():
+    assert str(ClientSubnet.from_ipv4("10.20.30.40", 16)) == "10.20.0.0/16"
+    assert str(ClientSubnet.from_ipv4("10.20.30.40", 32)) == "10.20.30.40/32"
+    assert str(ClientSubnet.from_ipv4("10.20.30.40", 0)) == "0.0.0.0/0"
+
+
+def test_invalid_address_rejected():
+    with pytest.raises(ValueError):
+        ClientSubnet.from_ipv4("300.1.1.1")
+    with pytest.raises(ValueError):
+        ClientSubnet.from_ipv4("1.2.3")
+    with pytest.raises(ValueError):
+        ClientSubnet.from_ipv4("a.b.c.d")
+
+
+def test_covers():
+    subnet = ClientSubnet.from_ipv4("88.198.40.23")
+    assert subnet.covers("88.198.40.200")
+    assert not subnet.covers("88.198.41.1")
+
+
+def test_equality_is_value_based():
+    assert ClientSubnet.from_ipv4("1.2.3.4") == ClientSubnet.from_ipv4("1.2.3.99")

@@ -1,0 +1,102 @@
+"""Tests for the bulk resolver and control-name methodology."""
+
+import pytest
+
+from repro.dnscore.massdns import BulkResolver, control_name
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+
+NOW = utc_datetime(2018, 4, 27)
+
+
+@pytest.fixture()
+def setup():
+    universe = DnsUniverse()
+    real = Zone("real.example")
+    real.add_simple("www.real.example", RecordType.A, "185.199.0.1")
+    universe.add_zone(real)
+    wildcard = Zone("wild.example", default_a="185.199.0.9")
+    universe.add_zone(wildcard)
+    unroutable = Zone("bogus.example", default_a="203.0.113.66")
+    universe.add_zone(unroutable)
+    resolver = RecursiveResolver("bulk", universe)
+    rng = SeededRng(77, "bulk-tests")
+    return universe, resolver, rng
+
+
+def test_control_name_replaces_leftmost_label():
+    rng = SeededRng(1)
+    control = control_name("www.example.org", rng)
+    assert control.endswith(".example.org")
+    assert not control.startswith("www.")
+    assert len(control.split(".")[0]) == 16
+
+
+def test_control_name_requires_two_labels():
+    with pytest.raises(ValueError):
+        control_name("org", SeededRng(1))
+
+
+def test_genuine_discovery(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(resolver, rng)
+    result = bulk.resolve_one("www.real.example", NOW)
+    assert result.candidate_answered
+    assert not result.control_answered
+    assert result.discovered
+    assert result.addresses == ("185.199.0.1",)
+
+
+def test_wildcard_zone_caught_by_control(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(resolver, rng)
+    result = bulk.resolve_one("www.wild.example", NOW)
+    assert result.candidate_answered
+    assert result.control_answered
+    assert not result.discovered
+
+
+def test_nonexistent_name(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(resolver, rng)
+    result = bulk.resolve_one("missing.real.example", NOW)
+    assert not result.candidate_answered
+    assert not result.discovered
+
+
+def test_routing_filter_discards_unroutable(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(
+        resolver, rng, address_filter=lambda ip: ip.startswith("185.")
+    )
+    result = bulk.resolve_one("www.bogus.example", NOW)
+    assert not result.candidate_answered
+    assert not result.discovered
+
+
+def test_without_filter_unroutable_counts(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(resolver, rng, address_filter=None)
+    result = bulk.resolve_one("www.bogus.example", NOW)
+    # default_a answers the control too, so still not a discovery —
+    # but the candidate does answer.
+    assert result.candidate_answered
+
+
+def test_resolve_all_order_preserved(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(resolver, rng)
+    names = ["www.real.example", "www.wild.example", "nope.real.example"]
+    results = bulk.resolve_all(names, NOW)
+    assert [r.fqdn for r in results] == names
+
+
+def test_resolve_without_controls_skips_control_queries(setup):
+    _, resolver, rng = setup
+    bulk = BulkResolver(resolver, rng)
+    results = bulk.resolve_without_controls(["www.wild.example"], NOW)
+    # Ablation: the wildcard zone now *looks* like a discovery.
+    assert results[0].discovered

@@ -1,0 +1,110 @@
+"""Tests for reverse DNS and rDNS-tree walking."""
+
+import pytest
+
+from repro.dnscore.rdns import (
+    ReverseZone,
+    ipv6_ptr_name,
+    ipv6_to_nibbles,
+    random_ipv6_scan_hit_probability,
+    walk_rdns_tree,
+)
+
+
+class TestNibbles:
+    def test_full_address(self):
+        nibbles = ipv6_to_nibbles("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert len(nibbles) == 32
+        assert nibbles[0] == "1"      # least significant first
+        assert nibbles[-1] == "2"     # most significant last
+
+    def test_compressed_address(self):
+        assert ipv6_to_nibbles("2001:db8::1") == ipv6_to_nibbles(
+            "2001:0db8:0000:0000:0000:0000:0000:0001"
+        )
+
+    def test_ptr_name(self):
+        name = ipv6_ptr_name("2001:db8::1")
+        assert name.endswith("8.b.d.0.1.0.0.2.ip6.arpa")
+        assert name.startswith("1.0.0.0.")
+
+    @pytest.mark.parametrize("bad", ["2001:::1", "2001:db8::1::2", "gggg::1"])
+    def test_invalid_addresses(self, bad):
+        with pytest.raises(ValueError):
+            ipv6_to_nibbles(bad)
+
+
+class TestReverseZone:
+    def test_ptr_roundtrip(self):
+        zone = ReverseZone()
+        owner = zone.add_ptr("2001:db8::42", "host.example.net")
+        assert zone.status(owner) == "ptr"
+        assert zone.ptr(owner) == "host.example.net"
+
+    def test_ancestors_are_empty_non_terminals(self):
+        zone = ReverseZone()
+        owner = zone.add_ptr("2001:db8::42", "host.example.net")
+        parent = owner.split(".", 1)[1]
+        assert zone.status(parent) == "empty-non-terminal"
+
+    def test_unrelated_subtree_is_nxdomain(self):
+        zone = ReverseZone()
+        zone.add_ptr("2001:db8::42", "host.example.net")
+        assert zone.status("1.2.3.ip6.arpa") == "nxdomain"
+
+    def test_query_counter(self):
+        zone = ReverseZone()
+        zone.add_ptr("2001:db8::1", "a.example")
+        zone.status("ip6.arpa")
+        zone.status("ip6.arpa")
+        assert zone.queries == 2
+
+
+class TestWalking:
+    def build_zone(self, count):
+        zone = ReverseZone()
+        for i in range(count):
+            zone.add_ptr(f"2001:db8:1::{i + 1:x}", f"h{i}.hpot.net")
+        return zone
+
+    def test_walk_finds_all_ptrs(self):
+        zone = self.build_zone(11)
+        result = walk_rdns_tree(zone, [])
+        assert len(result.discovered) == 11
+        assert set(result.discovered.values()) == {
+            f"h{i}.hpot.net" for i in range(11)
+        }
+
+    def test_walk_is_pruned_not_exhaustive(self):
+        zone = self.build_zone(11)
+        result = walk_rdns_tree(zone, [])
+        # 2^128 addresses, but queries stay linear in the tree size.
+        assert result.queries_used < 32 * 16 * 11
+
+    def test_walk_respects_query_budget(self):
+        zone = self.build_zone(11)
+        result = walk_rdns_tree(zone, [], max_queries=10)
+        assert result.queries_used <= 10
+
+    def test_walk_empty_zone(self):
+        zone = ReverseZone()
+        result = walk_rdns_tree(zone, [])
+        assert result.discovered == {}
+        assert result.queries_used == 1  # the root probe
+
+    def test_walk_from_prefix(self):
+        zone = self.build_zone(3)
+        zone.add_ptr("2001:db9::1", "other.example")  # different /32
+        from repro.dnscore.rdns import ipv6_to_nibbles
+
+        prefix = ipv6_to_nibbles("2001:db8::")[-8:]  # 2001:db8 /32
+        result = walk_rdns_tree(zone, prefix)
+        assert len(result.discovered) == 3
+        assert "other.example" not in result.discovered.values()
+
+
+def test_random_scan_probability_is_hopeless():
+    # 11 honeypot addresses in a /64: one probe's hit chance ~ 6e-19.
+    p = random_ipv6_scan_hit_probability(11, prefix_bits=64)
+    assert p < 1e-15
+    assert random_ipv6_scan_hit_probability(2**64, prefix_bits=64) == 1.0

@@ -1,0 +1,147 @@
+"""Tests for recursive resolution over the simulated universe."""
+
+import pytest
+
+from repro.dnscore.authoritative import AuthoritativeServer
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import (
+    DnsUniverse,
+    MAX_CNAME_CHAIN,
+    Rcode,
+    RecursiveResolver,
+)
+from repro.dnscore.zone import Zone
+from repro.util.timeutil import utc_datetime
+
+
+@pytest.fixture()
+def universe():
+    u = DnsUniverse()
+    zone = Zone("example.org")
+    zone.add_simple("example.org", RecordType.A, "192.0.2.1")
+    zone.add_simple("www.example.org", RecordType.CNAME, "cdn.example.org")
+    zone.add_simple("cdn.example.org", RecordType.A, "192.0.2.2")
+    u.add_zone(zone)
+    other = Zone("cross.net")
+    other.add_simple("www.cross.net", RecordType.CNAME, "cdn.example.org")
+    u.add_zone(other)
+    return u
+
+
+@pytest.fixture()
+def resolver(universe):
+    return RecursiveResolver("test-resolver", universe, asn=64496)
+
+
+def test_direct_a_lookup(resolver, now):
+    result = resolver.resolve("example.org", RecordType.A, now=now)
+    assert result.rcode is Rcode.NOERROR
+    assert result.addresses == ["192.0.2.1"]
+
+
+def test_cname_chase(resolver, now):
+    result = resolver.resolve("www.example.org", RecordType.A, now=now)
+    assert result.rcode is Rcode.NOERROR
+    assert result.addresses == ["192.0.2.2"]
+    assert result.cname_chain == ("cdn.example.org",)
+
+
+def test_cross_zone_cname(resolver, now):
+    result = resolver.resolve("www.cross.net", RecordType.A, now=now)
+    assert result.addresses == ["192.0.2.2"]
+
+
+def test_nxdomain_for_unknown_zone(resolver, now):
+    result = resolver.resolve("nowhere.invalid", RecordType.A, now=now)
+    assert result.rcode is Rcode.NXDOMAIN
+    assert result.addresses == []
+
+
+def test_nxdomain_for_missing_name(resolver, now):
+    result = resolver.resolve("missing.example.org", RecordType.A, now=now)
+    assert result.rcode is Rcode.NXDOMAIN
+
+
+def test_cname_query_type_not_chased(resolver, now):
+    result = resolver.resolve("www.example.org", RecordType.CNAME, now=now)
+    assert result.rcode is Rcode.NOERROR
+    assert result.answers[0].value == "cdn.example.org"
+    assert result.cname_chain == ()
+
+
+def test_deep_cname_chain_servfails(now):
+    u = DnsUniverse()
+    zone = Zone("deep.example")
+    for hop in range(MAX_CNAME_CHAIN + 3):
+        zone.add_simple(
+            f"h{hop}.deep.example", RecordType.CNAME, f"h{hop + 1}.deep.example"
+        )
+    u.add_zone(zone)
+    resolver = RecursiveResolver("r", u)
+    result = resolver.resolve("h0.deep.example", RecordType.A, now=now)
+    assert result.rcode is Rcode.SERVFAIL
+
+
+def test_chain_at_limit_resolves(now):
+    u = DnsUniverse()
+    zone = Zone("edge.example")
+    for hop in range(MAX_CNAME_CHAIN):
+        zone.add_simple(
+            f"h{hop}.edge.example", RecordType.CNAME, f"h{hop + 1}.edge.example"
+        )
+    zone.add_simple(f"h{MAX_CNAME_CHAIN}.edge.example", RecordType.A, "192.0.2.9")
+    u.add_zone(zone)
+    resolver = RecursiveResolver("r", u)
+    result = resolver.resolve("h0.edge.example", RecordType.A, now=now)
+    assert result.rcode is Rcode.NOERROR
+    assert len(result.cname_chain) == MAX_CNAME_CHAIN
+
+
+def test_broken_cname_target_is_nxdomain(resolver, universe, now):
+    zone = universe.server_for("example.org").zone_for("example.org")
+    zone.add_simple("dangling.example.org", RecordType.CNAME, "void.example.org")
+    result = resolver.resolve("dangling.example.org", RecordType.A, now=now)
+    assert result.rcode is Rcode.NXDOMAIN
+
+
+def test_resolver_identity_reaches_query_log(universe, now):
+    auth = universe.server_for("example.org")
+    resolver = RecursiveResolver("logged", universe, ip="10.9.8.7", asn=12345)
+    resolver.resolve("example.org", RecordType.A, now=now)
+    entry = auth.query_log[-1]
+    assert entry.source_ip == "10.9.8.7"
+    assert entry.source_asn == 12345
+    assert entry.resolver_name == "logged"
+
+
+def test_ecs_forwarded_when_enabled(universe, now):
+    auth = universe.server_for("example.org")
+    resolver = RecursiveResolver("gdns", universe, forwards_ecs=True)
+    resolver.resolve("example.org", RecordType.A, now=now, client_ip="203.0.113.77")
+    entry = auth.query_log[-1]
+    assert str(entry.client_subnet) == "203.0.113.0/24"
+
+
+def test_ecs_not_forwarded_by_default(universe, now):
+    auth = universe.server_for("example.org")
+    resolver = RecursiveResolver("plain", universe)
+    resolver.resolve("example.org", RecordType.A, now=now, client_ip="203.0.113.77")
+    assert auth.query_log[-1].client_subnet is None
+
+
+def test_longest_origin_match(now):
+    u = DnsUniverse()
+    parent = Zone("example.org")
+    parent.add_simple("example.org", RecordType.A, "192.0.2.1")
+    child = Zone("sub.example.org")
+    child.add_simple("www.sub.example.org", RecordType.A, "192.0.2.50")
+    u.add_zone(parent)
+    dedicated = AuthoritativeServer(name="child-auth")
+    u.add_zone(child, dedicated)
+    assert u.server_for("www.sub.example.org") is dedicated
+
+
+def test_queries_sent_counter(resolver, now):
+    before = resolver.queries_sent
+    resolver.resolve("www.example.org", RecordType.A, now=now)
+    assert resolver.queries_sent == before + 2  # CNAME + target

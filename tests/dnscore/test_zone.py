@@ -1,0 +1,104 @@
+"""Tests for zone storage and lookup behaviours."""
+
+import pytest
+
+from repro.dnscore.records import RecordType, ResourceRecord
+from repro.dnscore.zone import Zone
+
+
+@pytest.fixture()
+def zone():
+    z = Zone("example.org")
+    z.add_simple("example.org", RecordType.A, "192.0.2.1")
+    z.add_simple("www.example.org", RecordType.A, "192.0.2.2")
+    z.add_simple("mail.example.org", RecordType.CNAME, "www.example.org")
+    z.add_simple("www.example.org", RecordType.AAAA, "2001:db8::2")
+    return z
+
+
+def test_exact_lookup(zone):
+    records = zone.lookup("www.example.org", RecordType.A)
+    assert [r.value for r in records] == ["192.0.2.2"]
+
+
+def test_lookup_is_case_insensitive(zone):
+    assert zone.lookup("WWW.Example.ORG", RecordType.A)
+
+
+def test_nodata_for_missing_type(zone):
+    assert zone.lookup("example.org", RecordType.MX) == []
+
+
+def test_nxdomain_for_missing_name(zone):
+    assert zone.lookup("missing.example.org", RecordType.A) == []
+
+
+def test_cname_returned_for_other_types(zone):
+    records = zone.lookup("mail.example.org", RecordType.A)
+    assert records[0].rtype is RecordType.CNAME
+    assert records[0].value == "www.example.org"
+
+
+def test_add_rejects_foreign_name(zone):
+    with pytest.raises(ValueError):
+        zone.add_simple("other.net", RecordType.A, "192.0.2.9")
+
+
+def test_wildcard_match():
+    z = Zone("wild.example")
+    z.add_simple("*.wild.example", RecordType.A, "192.0.2.7")
+    records = z.lookup("anything.wild.example", RecordType.A)
+    assert records[0].value == "192.0.2.7"
+    assert records[0].name == "anything.wild.example"  # synthesized owner
+
+
+def test_wildcard_matches_deep_names():
+    z = Zone("wild.example")
+    z.add_simple("*.wild.example", RecordType.A, "192.0.2.7")
+    assert z.lookup("a.b.wild.example", RecordType.A)
+
+
+def test_wildcard_does_not_cover_apex():
+    z = Zone("wild.example")
+    z.add_simple("*.wild.example", RecordType.A, "192.0.2.7")
+    assert z.lookup("wild.example", RecordType.A) == []
+
+
+def test_explicit_record_beats_wildcard():
+    z = Zone("wild.example")
+    z.add_simple("*.wild.example", RecordType.A, "192.0.2.7")
+    z.add_simple("www.wild.example", RecordType.A, "192.0.2.8")
+    assert z.lookup("www.wild.example", RecordType.A)[0].value == "192.0.2.8"
+
+
+def test_default_a_answers_anything():
+    z = Zone("broken.example", default_a="198.51.100.5")
+    records = z.lookup("random-junk.broken.example", RecordType.A)
+    assert records[0].value == "198.51.100.5"
+
+
+def test_default_a_only_for_a_queries():
+    z = Zone("broken.example", default_a="198.51.100.5")
+    assert z.lookup("x.broken.example", RecordType.AAAA) == []
+
+
+def test_explicit_beats_default_a():
+    z = Zone("broken.example", default_a="198.51.100.5")
+    z.add_simple("real.broken.example", RecordType.A, "192.0.2.30")
+    assert z.lookup("real.broken.example", RecordType.A)[0].value == "192.0.2.30"
+
+
+def test_contains(zone):
+    assert zone.contains("deep.www.example.org")
+    assert not zone.contains("example.com")
+
+
+def test_names_and_record_count(zone):
+    assert "www.example.org" in zone.names()
+    assert zone.record_count() == 4
+
+
+def test_wildcard_owner_add_allowed():
+    z = Zone("example.org")
+    z.add(ResourceRecord("*.example.org", RecordType.A, "192.0.2.1"))
+    assert z.lookup("x.example.org", RecordType.A)

@@ -1,0 +1,128 @@
+"""Tests for zone file parsing and serialization."""
+
+import pytest
+
+from repro.dnscore.records import RecordType
+from repro.dnscore.zonefile import (
+    ZoneFileError,
+    extract_registrable_domains,
+    load_zone,
+    parse_zone_file,
+    serialize_zone,
+)
+
+SAMPLE = """\
+$ORIGIN example.com.
+$TTL 600
+@        IN A     192.0.2.1       ; apex
+www      IN A     192.0.2.2
+         IN AAAA  2001:db8::2     ; owner inherited from www
+mail 300 IN CNAME www
+ftp.example.com. IN A 192.0.2.3   ; absolute owner
+*.dev    IN A     192.0.2.4       ; wildcard
+@        IN MX    10 mail
+@        IN CAA   0 issue "good-ca"
+"""
+
+
+def test_parse_basics():
+    records = parse_zone_file(SAMPLE)
+    assert len(records) == 8
+    by_key = {(r.name, r.rtype): r for r in records}
+    assert by_key[("example.com", RecordType.A)].value == "192.0.2.1"
+    assert by_key[("www.example.com", RecordType.A)].value == "192.0.2.2"
+
+
+def test_owner_inheritance():
+    records = parse_zone_file(SAMPLE)
+    aaaa = next(r for r in records if r.rtype is RecordType.AAAA)
+    assert aaaa.name == "www.example.com"
+
+
+def test_explicit_ttl():
+    records = parse_zone_file(SAMPLE)
+    cname = next(r for r in records if r.rtype is RecordType.CNAME)
+    assert cname.ttl == 300
+    assert cname.value == "www.example.com"  # relative target resolved
+
+
+def test_default_ttl_directive():
+    records = parse_zone_file(SAMPLE)
+    apex_a = next(r for r in records if r.name == "example.com" and r.rtype is RecordType.A)
+    assert apex_a.ttl == 600
+
+
+def test_absolute_owner():
+    records = parse_zone_file(SAMPLE)
+    assert any(r.name == "ftp.example.com" for r in records)
+
+
+def test_wildcard_owner():
+    records = parse_zone_file(SAMPLE)
+    wildcard = next(r for r in records if r.name.startswith("*."))
+    assert wildcard.name == "*.dev.example.com"
+
+
+def test_mx_exchange_resolved():
+    records = parse_zone_file(SAMPLE)
+    mx = next(r for r in records if r.rtype is RecordType.MX)
+    assert mx.value == "10 mail.example.com"
+
+
+def test_comments_and_blank_lines_ignored():
+    records = parse_zone_file("; pure comment\n\n$ORIGIN x.org.\nwww IN A 192.0.2.1\n")
+    assert len(records) == 1
+
+
+def test_relative_name_without_origin_fails():
+    with pytest.raises(ZoneFileError):
+        parse_zone_file("www IN A 192.0.2.1")
+
+
+def test_at_without_origin_fails():
+    with pytest.raises(ZoneFileError):
+        parse_zone_file("@ IN A 192.0.2.1")
+
+
+def test_unknown_type_fails():
+    with pytest.raises(ZoneFileError) as err:
+        parse_zone_file("$ORIGIN x.org.\nwww IN BOGUS data")
+    assert err.value.line_number == 2
+
+
+def test_unknown_directive_fails():
+    with pytest.raises(ZoneFileError):
+        parse_zone_file("$INCLUDE other.zone")
+
+
+def test_load_zone_serves_records():
+    zone = load_zone(SAMPLE, "example.com")
+    assert zone.lookup("www.example.com", RecordType.A)[0].value == "192.0.2.2"
+    assert zone.lookup("x.dev.example.com", RecordType.A)[0].value == "192.0.2.4"
+
+
+def test_load_zone_from_path(tmp_path):
+    path = tmp_path / "example.zone"
+    path.write_text(SAMPLE)
+    zone = load_zone(path, "example.com")
+    assert zone.record_count() == 8
+
+
+def test_serialize_parse_roundtrip():
+    zone = load_zone(SAMPLE, "example.com")
+    text = serialize_zone(zone)
+    reparsed = load_zone(text, "example.com")
+    assert sorted(map(str, reparsed.all_records())) == sorted(
+        map(str, zone.all_records())
+    )
+
+
+def test_extract_registrable_domains():
+    records = parse_zone_file(
+        "$ORIGIN co.uk.\n"
+        "alpha IN NS ns1.alpha.co.uk.\n"
+        "www.alpha IN A 192.0.2.1\n"
+        "beta IN NS ns1.beta.co.uk.\n"
+    )
+    domains = extract_registrable_domains(records)
+    assert domains == ["alpha.co.uk", "beta.co.uk"]

@@ -1,0 +1,106 @@
+"""Tests for the packet-capture store."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.inet.pcap import CaptureFilter, ConnectionRecord, PacketCapture
+from repro.util.timeutil import utc_datetime
+
+T0 = utc_datetime(2018, 4, 12, 14, 0)
+
+
+def record(minutes=0, src="191.96.41.24", asn=29073, dst="198.18.0.10",
+           port=443, sni=None, ipv6=False):
+    return ConnectionRecord(
+        time=T0 + timedelta(minutes=minutes),
+        src_ip=src,
+        src_asn=asn,
+        dst_ip=dst,
+        dst_port=port,
+        sni=sni,
+        ipv6=ipv6,
+    )
+
+
+@pytest.fixture()
+def capture():
+    return PacketCapture([
+        record(5, port=22),
+        record(1, port=443, sni="a.hpot.net"),
+        record(10, src="104.131.44.7", asn=14061, port=443, sni="a.hpot.net"),
+        record(3, dst="2001:db8:1::1", ipv6=True, asn=64501),
+        record(7, port=80),
+    ])
+
+
+def test_records_sorted_by_time(capture):
+    times = [r.time for r in capture]
+    assert times == sorted(times)
+
+
+def test_filter_by_asn(capture):
+    hits = capture.filter(CaptureFilter(src_asn=29073))
+    assert len(hits) == 3
+
+
+def test_filter_by_port_and_sni(capture):
+    hits = capture.filter(CaptureFilter(dst_port=443, sni="a.hpot.net"))
+    assert len(hits) == 2
+
+
+def test_filter_by_ipv6(capture):
+    assert len(capture.filter(CaptureFilter(ipv6=True))) == 1
+    assert len(capture.filter(CaptureFilter(ipv6=False))) == 4
+
+
+def test_filter_time_window(capture):
+    hits = capture.filter(
+        CaptureFilter(after=T0 + timedelta(minutes=4), before=T0 + timedelta(minutes=8))
+    )
+    assert len(hits) == 2
+
+
+def test_first(capture):
+    first = capture.first(CaptureFilter(dst_port=443))
+    assert first is not None
+    assert first.time == T0 + timedelta(minutes=1)
+    assert capture.first(CaptureFilter(dst_port=9999)) is None
+
+
+def test_where_predicate(capture):
+    assert len(capture.where(lambda r: r.dst_port < 100)) == 2
+
+
+def test_unique_sources(capture):
+    assert capture.unique_sources() == ["104.131.44.7", "191.96.41.24"]
+
+
+def test_ports_probed(capture):
+    assert capture.ports_probed("191.96.41.24") == [22, 80, 443]
+
+
+def test_save_load_roundtrip(capture, tmp_path):
+    path = tmp_path / "capture.jsonl"
+    assert capture.save(path) == 5
+    restored = PacketCapture.load(path)
+    assert list(restored) == list(capture)
+
+
+def test_append_and_len(capture):
+    capture.append(record(20))
+    assert len(capture) == 6
+
+
+def test_honeypot_capture_integration():
+    from repro.core.honeypot import CtHoneypotExperiment
+
+    result = CtHoneypotExperiment(seed=8).run()
+    capture = result.capture()
+    # The Quasi scan is findable with a filter expression.
+    quasi = capture.filter(CaptureFilter(src_asn=29073))
+    ports = {r.dst_port for r in quasi}
+    assert len(ports) >= 10
+    # IPv6 view contains only the CA validation.
+    v6 = capture.filter(CaptureFilter(ipv6=True))
+    assert {r.src_asn for r in v6} == {64501}

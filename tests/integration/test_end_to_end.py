@@ -1,0 +1,152 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+from datetime import date
+
+import pytest
+
+from repro.bro.analyzer import BroSctAnalyzer
+from repro.core import adoption, enumeration, leakage, misissuance, serversupport
+from repro.core.honeypot import CtHoneypotExperiment
+from repro.ct.loglist import build_default_logs
+from repro.ct.monitor import StreamingMonitor
+from repro.tls.connection import TlsConnection
+from repro.tls.scanner import TlsScanner
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.workloads.domains import DomainWorkload
+from repro.workloads.hosting import HostingWorkload
+from repro.workloads.incidents import MisissuanceWorkload
+from repro.workloads.traffic import UplinkTrafficWorkload
+
+
+def test_ca_to_log_to_monitor_to_dns_chain(fresh_logs, now):
+    """A certificate issued by a CA is visible to a log monitor, whose
+    DNS names match what the certificate leaked."""
+    from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+    ca = CertificateAuthority("Chain CA", key_bits=256)
+    log = fresh_logs["Google Icarus log"]
+    ca.issue(IssuanceRequest(("secret-subdomain.example.net",)), [log], now)
+    monitor = StreamingMonitor("watcher", SeededRng(1))
+    observations = monitor.observe(log)
+    assert observations[0].dns_names == ["secret-subdomain.example.net"]
+    assert observations[0].observed_at > now
+
+
+def test_traffic_to_bro_to_adoption_roundtrip():
+    """Connections -> analyzer -> aggregates; totals conserved."""
+    workload = UplinkTrafficWorkload(
+        connections_per_day=150,
+        start=date(2017, 9, 1), end=date(2017, 9, 10), seed=3,
+    )
+    connections = list(workload.stream())
+    analyzer = BroSctAnalyzer(workload.logs)
+    stats = adoption.aggregate(analyzer.analyze_stream(connections))
+    assert stats.total == sum(c.weight for c in connections)
+    assert 0.25 < stats.share("with_any_sct") < 0.40
+
+
+def test_scan_and_traffic_views_disagree_as_in_paper():
+    """Section 3.3's contrast: the per-certificate view is dominated by
+    logs that are nearly invisible in the per-connection view."""
+    population = HostingWorkload(scale=1 / 100_000, seed=5).build()
+    scanner = TlsScanner(population.resolver(), population.endpoints)
+    records = scanner.scan(population.domains, utc_datetime(2018, 5, 18))
+    names = {log.log_id: log.name for log in population.logs.values()}
+    stats = serversupport.analyze_scan(records, names)
+    nimbus_cert_share = stats.per_cert_log_shares.get(
+        "Cloudflare Nimbus2018 Log", 0.0
+    )
+    assert nimbus_cert_share > 0.5
+    # In traffic (Table 1), Nimbus2018 is ~0.05 % — the paper's point.
+
+
+def test_leakage_feeds_enumeration():
+    corpus = DomainWorkload(scale=1 / 50_000, seed=6).build()
+    stats = leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+    plan, truth, report = enumeration.run_enumeration_experiment(
+        stats, corpus, seed=7
+    )
+    assert report.candidate_count > 0
+    assert 0 < report.discovered < report.answered
+    assert report.new_unknown <= report.discovered
+
+
+def test_misissuance_audit_over_bro_observed_certs():
+    """The paper audited certificates seen in traffic; wire the incident
+    corpus through connections and audit what the analyzer saw."""
+    corpus = MisissuanceWorkload(healthy_certificates=30, seed=8).build()
+    now = utc_datetime(2018, 5, 1)
+    connections = [
+        TlsConnection(
+            time=now,
+            server_name=pair.final_certificate.subject_cn,
+            server_ip="192.0.2.1",
+            certificate=pair.final_certificate,
+        )
+        for pair in corpus.pairs
+    ]
+    analyzer = BroSctAnalyzer(corpus.logs)
+    seen_certs = [obs.certificate for obs in analyzer.analyze_stream(connections)]
+    report = misissuance.audit_certificates(
+        seen_certs, corpus.issuer_key_hashes(), corpus.logs
+    )
+    assert report.invalid_certificate_count == 16
+
+
+def test_honeypot_uses_shared_log_infrastructure():
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    before = logs["Cloudflare Nimbus2018 Log"].size
+    result = CtHoneypotExperiment(seed=9, logs=logs).run()
+    assert logs["Cloudflare Nimbus2018 Log"].size == before + 11
+    # Honeypot precerts are discoverable through the standard read API.
+    entries = logs["Cloudflare Nimbus2018 Log"].get_entries(
+        before, before + 10
+    )
+    leaked = {entry.certificate.subject_cn for entry in entries}
+    assert leaked == {domain.fqdn for domain in result.domains}
+
+
+def test_honeypot_names_invisible_to_leakage_wordlists():
+    """Honeypot labels are random: no wordlist would guess them — the
+    premise of building block (i)."""
+    result = CtHoneypotExperiment(seed=10).run()
+    labels = {domain.fqdn.split(".")[0] for domain in result.domains}
+    from repro.workloads.wordlists import dnsrecon_wordlist
+
+    words = set(dnsrecon_wordlist(["www", "mail", "api"] , seed=2))
+    assert not labels & words
+
+
+def test_intermediate_ca_chain_through_ct(fresh_logs, now):
+    """A hierarchy intermediate issues into CT; the embedded SCT
+    validates with the intermediate's key hash and the chain validates
+    to the root — the structure behind the paper's Issuer-CN grouping."""
+    from repro.ct.verification import validate_embedded_scts
+    from repro.x509.ca import IssuanceRequest
+    from repro.x509.chain import CaHierarchy, build_chain, validate_chain
+
+    hierarchy = CaHierarchy("ChainBrand")
+    intermediate = hierarchy.add_intermediate(
+        "ChainBrand CA 1", not_before=utc_datetime(2016, 1, 1)
+    )
+    pair = intermediate.issue(
+        IssuanceRequest(("deep.example",)),
+        [fresh_logs["Google Pilot log"], fresh_logs["Google Icarus log"]],
+        now,
+    )
+    keys = {log.log_id: log.key for log in fresh_logs.values()}
+    sct_result = validate_embedded_scts(
+        pair.final_certificate, intermediate.issuer_key_hash, keys
+    )
+    assert sct_result.all_valid
+    chain = build_chain(pair.final_certificate, hierarchy)
+    chain_result = validate_chain(
+        chain,
+        {hierarchy.root_certificate.subject_cn: hierarchy.root_key},
+        now,
+        known_keys=hierarchy.keys_by_subject(),
+    )
+    assert chain_result.valid, chain_result.reasons
+    # The log entry is attributed to the brand, as the paper groups it.
+    assert fresh_logs["Google Pilot log"].entries[-1].certificate.issuer_org == "ChainBrand"

@@ -1,0 +1,125 @@
+"""Failure-injection tests: overload, disqualification, broken DNS."""
+
+import pytest
+
+from repro.ct.log import CTLog, LogDisqualifiedError, LogOverloadedError
+from repro.ct.loglist import log_key
+from repro.ct.policy import ChromeCTPolicy
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, Rcode, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+def test_log_overload_then_disqualification_breaks_policy(fresh_logs, now):
+    """The Nimbus scenario: overload -> disqualification -> previously
+    compliant certificates lose policy compliance."""
+    ca = CertificateAuthority("Victim CA", key_bits=256)
+    nimbus = fresh_logs["Cloudflare Nimbus2018 Log"]
+    nimbus.capacity_per_day = 3
+    pair = ca.issue(
+        IssuanceRequest(("site.example",), lifetime_days=90),
+        [fresh_logs["Google Pilot log"], nimbus],
+        now,
+    )
+    policy = ChromeCTPolicy(fresh_logs)
+    assert policy.evaluate(pair.final_certificate, list(pair.scts)).compliant
+
+    # Mass submission (the "final certificates flood" of Section 3.4).
+    flood_ca = CertificateAuthority("Flood CA", key_bits=256)
+    for i in range(10):
+        flood_ca.issue(IssuanceRequest((f"flood{i}.example",)), [nimbus], now)
+    assert nimbus.was_overloaded()
+
+    nimbus.disqualify()
+    verdict = policy.evaluate(pair.final_certificate, list(pair.scts))
+    assert not verdict.compliant
+
+
+def test_strict_log_rejects_mid_burst(now):
+    log = CTLog(
+        name="Fragile", operator="T", key=log_key("Fragile", 256),
+        capacity_per_day=2, strict_capacity=True,
+    )
+    ca = CertificateAuthority("Burst CA", key_bits=256)
+    issued = 0
+    rejected = 0
+    for i in range(5):
+        try:
+            ca.issue(IssuanceRequest((f"b{i}.example",)), [log], now)
+            issued += 1
+        except LogOverloadedError:
+            rejected += 1
+    assert issued == 2
+    assert rejected == 3
+    assert log.size == 2
+
+
+def test_disqualified_log_rejects_everything(now):
+    log = CTLog(name="Dead", operator="T", key=log_key("Dead", 256))
+    log.disqualify()
+    ca = CertificateAuthority("DQ CA", key_bits=256)
+    with pytest.raises(LogDisqualifiedError):
+        ca.issue(IssuanceRequest(("x.example",)), [log], now)
+
+
+def test_ca_workload_survives_strict_log_overload():
+    """The evolution workload records rejections instead of crashing."""
+    from datetime import date
+
+    from repro.ct.loglist import build_default_logs
+    from repro.workloads.ca_profiles import CaLoggingWorkload
+
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    nimbus = logs["Cloudflare Nimbus2018 Log"]
+    nimbus.strict_capacity = True
+    workload = CaLoggingWorkload(
+        scale=1 / 500_000,
+        start=date(2018, 3, 1),
+        end=date(2018, 4, 15),
+        seed=2,
+        logs=logs,
+    )
+    # The workload caps Nimbus to its scaled capacity.
+    result = workload.run()
+    assert result.rejected_submissions > 0
+    assert result.issued  # the rest of the ecosystem kept working
+
+
+def test_resolver_handles_cname_loop(now):
+    universe = DnsUniverse()
+    zone = Zone("loop.example")
+    zone.add_simple("a.loop.example", RecordType.CNAME, "b.loop.example")
+    zone.add_simple("b.loop.example", RecordType.CNAME, "a.loop.example")
+    universe.add_zone(zone)
+    resolver = RecursiveResolver("r", universe)
+    result = resolver.resolve("a.loop.example", RecordType.A, now=now)
+    assert result.rcode is Rcode.SERVFAIL
+
+
+def test_resolver_handles_self_referential_cname(now):
+    universe = DnsUniverse()
+    zone = Zone("self.example")
+    zone.add_simple("x.self.example", RecordType.CNAME, "x.self.example")
+    universe.add_zone(zone)
+    resolver = RecursiveResolver("r", universe)
+    result = resolver.resolve("x.self.example", RecordType.A, now=now)
+    assert result.rcode is Rcode.SERVFAIL
+
+
+def test_empty_zone_answers_nxdomain(now):
+    universe = DnsUniverse()
+    universe.add_zone(Zone("empty.example"))
+    resolver = RecursiveResolver("r", universe)
+    result = resolver.resolve("www.empty.example", RecordType.A, now=now)
+    assert result.rcode is Rcode.NXDOMAIN
+
+
+def test_scanner_tolerates_dead_dns():
+    from repro.tls.scanner import TlsScanner
+
+    universe = DnsUniverse()
+    resolver = RecursiveResolver("r", universe)
+    scanner = TlsScanner(resolver, {})
+    assert scanner.scan(["ghost.example"], utc_datetime(2018, 5, 18)) == []

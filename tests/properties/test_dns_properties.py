@@ -1,0 +1,95 @@
+"""Property-based tests for FQDN validation and PSL parsing."""
+
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dnscore.name import (
+    is_valid_fqdn,
+    normalize_name,
+    split_labels,
+)
+from repro.dnscore.psl import default_psl
+
+# Strategy for plausible labels (valid by construction).
+valid_label = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+valid_tld = st.sampled_from(["com", "org", "de", "co", "uk", "tech", "io"])
+valid_fqdn = st.builds(
+    lambda labels, tld: ".".join(labels + [tld]),
+    labels=st.lists(valid_label, min_size=1, max_size=4),
+    tld=valid_tld,
+)
+
+arbitrary_text = st.text(
+    alphabet=string.ascii_letters + string.digits + ".-_*! ",
+    max_size=80,
+)
+
+
+@given(name=valid_fqdn)
+@settings(max_examples=80, deadline=None)
+def test_constructed_fqdns_are_valid(name):
+    assert is_valid_fqdn(name)
+
+
+@given(name=arbitrary_text)
+@settings(max_examples=150, deadline=None)
+def test_validator_is_total_and_stable(name):
+    """The validator never raises and is idempotent under normalization."""
+    result = is_valid_fqdn(name)
+    assert result == is_valid_fqdn(normalize_name(name))
+
+
+@given(name=valid_fqdn)
+@settings(max_examples=80, deadline=None)
+def test_normalization_idempotent(name):
+    assert normalize_name(normalize_name(name)) == normalize_name(name)
+
+
+@given(name=valid_fqdn)
+@settings(max_examples=80, deadline=None)
+def test_split_join_roundtrip(name):
+    labels = split_labels(name)
+    assert ".".join(labels) == normalize_name(name)
+
+
+@given(name=valid_fqdn)
+@settings(max_examples=100, deadline=None)
+def test_psl_split_reassembles(name):
+    """labels + registrable domain always re-concatenate to the FQDN."""
+    psl = default_psl()
+    labels, registrable, suffix = psl.split(name)
+    normalized = normalize_name(name)
+    if registrable is None:
+        # The name is itself a public suffix.
+        assert psl.is_public_suffix(normalized)
+        return
+    rebuilt = ".".join(labels + [registrable]) if labels else registrable
+    assert rebuilt == normalized
+    assert registrable.endswith(suffix)
+    # The registrable domain has exactly one label above the suffix.
+    owner = registrable[: -(len(suffix) + 1)]
+    assert owner and "." not in owner
+
+
+@given(name=valid_fqdn)
+@settings(max_examples=80, deadline=None)
+def test_public_suffix_is_suffix(name):
+    psl = default_psl()
+    suffix = psl.public_suffix(name)
+    normalized = normalize_name(name)
+    assert normalized == suffix or normalized.endswith("." + suffix)
+
+
+@given(
+    label=valid_label,
+    name=valid_fqdn,
+)
+@settings(max_examples=80, deadline=None)
+def test_prepending_label_extends_subdomains(label, name):
+    psl = default_psl()
+    base_labels, base_reg, _ = psl.split(name)
+    assume(base_reg is not None)
+    extended_labels, extended_reg, _ = psl.split(f"{label}.{name}")
+    assert extended_reg == base_reg
+    assert extended_labels == [label] + base_labels

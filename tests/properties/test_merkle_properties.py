@@ -1,0 +1,98 @@
+"""Property-based tests for the Merkle tree invariants (RFC 6962)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ct.merkle import (
+    MerkleTree,
+    verify_consistency_proof,
+    verify_inclusion_proof,
+)
+
+leaves_strategy = st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=64)
+
+
+def build(leaves):
+    tree = MerkleTree()
+    for leaf in leaves:
+        tree.append(leaf)
+    return tree
+
+
+@given(leaves=leaves_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_every_inclusion_proof_verifies(leaves, data):
+    tree = build(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    proof = tree.inclusion_proof(index)
+    assert verify_inclusion_proof(
+        leaves[index], index, len(leaves), proof, tree.root()
+    )
+
+
+@given(leaves=leaves_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_inclusion_proof_rejects_other_leaf(leaves, data):
+    tree = build(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    proof = tree.inclusion_proof(index)
+    tampered = leaves[index] + b"!"
+    assert not verify_inclusion_proof(
+        tampered, index, len(leaves), proof, tree.root()
+    )
+
+
+@given(leaves=leaves_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_consistency_between_any_two_sizes(leaves, data):
+    tree = build(leaves)
+    new_size = len(leaves)
+    old_size = data.draw(st.integers(min_value=0, max_value=new_size))
+    proof = tree.consistency_proof(old_size, new_size)
+    assert verify_consistency_proof(
+        old_size, new_size, tree.root(old_size), tree.root(new_size), proof
+    )
+
+
+@given(leaves=leaves_strategy)
+@settings(max_examples=60, deadline=None)
+def test_append_only_preserves_prefix_roots(leaves):
+    tree = MerkleTree()
+    roots = []
+    for leaf in leaves:
+        tree.append(leaf)
+        roots.append(tree.root())
+    # Re-computing historical roots after all appends gives the same values.
+    for size, expected in enumerate(roots, start=1):
+        assert tree.root(size) == expected
+
+
+@given(
+    leaves=leaves_strategy,
+    extra=st.lists(st.binary(max_size=20), min_size=1, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_tampered_history_fails_consistency(leaves, extra):
+    tree = build(leaves)
+    old_size = len(leaves)
+    old_root = tree.root()
+    for leaf in extra:
+        tree.append(leaf)
+    # A *different* old root (tampered history) must not verify.
+    fake_old_root = bytes(b ^ 0xFF for b in old_root)
+    proof = tree.consistency_proof(old_size, tree.size)
+    assert verify_consistency_proof(
+        old_size, tree.size, old_root, tree.root(), proof
+    )
+    assert not verify_consistency_proof(
+        old_size, tree.size, fake_old_root, tree.root(), proof
+    )
+
+
+@given(leaves=leaves_strategy)
+@settings(max_examples=40, deadline=None)
+def test_distinct_leaf_sets_distinct_roots(leaves):
+    tree = build(leaves)
+    mutated = list(leaves)
+    mutated[0] = mutated[0] + b"\x00"
+    other = build(mutated)
+    assert tree.root() != other.root()

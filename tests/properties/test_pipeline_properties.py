@@ -1,0 +1,84 @@
+"""Property-based tests for cross-module invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ct.loglist import build_default_logs
+from repro.ct.verification import diagnose_mismatch, validate_embedded_scts
+from repro.dnscore.edns import ClientSubnet
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceBug, IssuanceRequest
+
+LOGS = build_default_logs(with_capacities=False, key_bits=256)
+KEYS = {log.log_id: log.key for log in LOGS.values()}
+NAMES = {log.log_id: log.name for log in LOGS.values()}
+LOG_CHOICES = [LOGS["Google Pilot log"], LOGS["Google Rocketeer log"],
+               LOGS["Google Icarus log"], LOGS["Venafi log"]]
+
+name_strategy = st.from_regex(r"[a-z][a-z0-9]{2,12}\.example\.com", fullmatch=True)
+
+
+@given(
+    name=name_strategy,
+    log_count=st.integers(min_value=1, max_value=4),
+    with_ip=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_clean_issuance_always_validates(name, log_count, with_ip):
+    """For any name/log-set/SAN mix, a bug-free pipeline yields valid SCTs."""
+    ca = CertificateAuthority("Prop CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest(
+            (name,), ip_addresses=("192.0.2.1",) if with_ip else ()
+        ),
+        LOG_CHOICES[:log_count],
+        utc_datetime(2018, 4, 1),
+    )
+    result = validate_embedded_scts(
+        pair.final_certificate, ca.issuer_key_hash, KEYS, NAMES
+    )
+    assert result.all_valid
+    assert len(result.verdicts) == log_count
+    assert diagnose_mismatch(pair.precertificate, pair.final_certificate) == []
+
+
+@given(
+    name=name_strategy,
+    bug=st.sampled_from([IssuanceBug.SAN_REORDER, IssuanceBug.EXTENSION_REORDER,
+                         IssuanceBug.SAN_SWAP]),
+)
+@settings(max_examples=30, deadline=None)
+def test_structural_bugs_always_detected(name, bug):
+    """Any TBS-changing bug makes every embedded SCT invalid."""
+    ca = CertificateAuthority("Buggy CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest((name,), ip_addresses=("192.0.2.7",)),
+        [LOGS["Google Pilot log"]],
+        utc_datetime(2018, 4, 1),
+        bug=bug,
+    )
+    result = validate_embedded_scts(
+        pair.final_certificate, ca.issuer_key_hash, KEYS, NAMES
+    )
+    assert result.any_invalid
+    assert diagnose_mismatch(pair.precertificate, pair.final_certificate)
+
+
+@given(
+    octets=st.tuples(*[st.integers(min_value=0, max_value=255)] * 4),
+    prefix=st.integers(min_value=0, max_value=32),
+)
+@settings(max_examples=100, deadline=None)
+def test_client_subnet_covers_its_origin(octets, prefix):
+    address = ".".join(str(o) for o in octets)
+    subnet = ClientSubnet.from_ipv4(address, prefix)
+    assert subnet.covers(address)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32), name=st.text(max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_rng_fork_determinism(seed, name):
+    a = SeededRng(seed).fork(name)
+    b = SeededRng(seed).fork(name)
+    assert a.random() == b.random()
+    assert a.token(8) == b.token(8)

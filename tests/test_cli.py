@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+def test_list(capsys):
+    code, output = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("fig1a", "table4", "sec43"):
+        assert name in output
+
+
+def test_parser_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_table3_runs(capsys):
+    code, output = run_cli(capsys, "table3", "--scale", "0.002", "--seed", "3")
+    assert code == 0
+    assert "Apple" in output
+    assert "PayPal" in output
+
+
+def test_table4_runs(capsys):
+    code, output = run_cli(capsys, "table4", "--seed", "2")
+    assert code == 0
+    assert "CT log entry" in output
+    assert "★15169" in output
+
+
+def test_sec34_runs(capsys):
+    code, output = run_cli(capsys, "sec34")
+    assert code == 0
+    assert "16" in output
+    assert "GlobalSign" in output
+
+
+def test_table2_runs_small(capsys):
+    code, output = run_cli(capsys, "table2", "--scale", "0.0001")
+    assert code == 0
+    assert "www" in output
+
+
+def test_sec43_with_ablations(capsys):
+    code, output = run_cli(
+        capsys, "sec43", "--scale", "0.00002", "--ablations"
+    )
+    assert code == 0
+    assert "ablation" in output
+
+
+def test_threatintel_runs(capsys):
+    code, output = run_cli(capsys, "threatintel", "--seed", "4")
+    assert code == 0
+    assert "Quasi Networks" in output
+
+
+def test_all_commands_registered():
+    assert set(COMMANDS) == {
+        "fig1a", "fig1b", "fig1c", "fig2", "table1", "sec32", "sec33",
+        "sec34", "table2", "sec43", "table3", "table4", "threatintel",
+        "projection",
+    }

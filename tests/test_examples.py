@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs cleanly.
+
+``full_reproduction.py`` is exercised separately (and more cheaply)
+via :mod:`tests.test_paper`, so it is excluded here.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "ct_phishing_monitor.py",
+    "misissuance_audit.py",
+    "honeypot_study.py",
+    "log_auditor.py",
+    "watchlist_service.py",
+    "subdomain_recon.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2_000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_are_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | {"full_reproduction.py"}

@@ -1,0 +1,89 @@
+"""Tests for the three-stage active scan pipeline."""
+
+import pytest
+
+from repro.dnscore.records import RecordType
+from repro.dnscore.resolver import DnsUniverse, RecursiveResolver
+from repro.dnscore.zone import Zone
+from repro.tls.scanner import TlsScanner, zmap_scan
+from repro.tls.server import HttpsEndpoint, ServerSite
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 18)
+
+
+@pytest.fixture()
+def world(fresh_logs):
+    ca = CertificateAuthority("Scan CA", key_bits=256)
+    universe = DnsUniverse()
+    zone = Zone("scan.example")
+    universe.add_zone(zone)
+    endpoints = {}
+
+    def host(name, ip, logs=(), port_open=True):
+        pair = ca.issue(
+            IssuanceRequest((name,), embed_scts=bool(logs)), list(logs), NOW
+        )
+        endpoint = endpoints.setdefault(ip, HttpsEndpoint(ip, port_open=port_open))
+        endpoint.add_site(ServerSite(name, pair.final_certificate))
+        zone.add_simple(name, RecordType.A, ip)
+        return pair
+
+    host("a.scan.example", "10.0.0.1", [fresh_logs["Google Pilot log"]])
+    host("b.scan.example", "10.0.0.1")
+    host("c.scan.example", "10.0.0.2")
+    host("down.scan.example", "10.0.0.3", port_open=False)
+    resolver = RecursiveResolver("scan", universe)
+    return endpoints, resolver, zone
+
+
+def test_zmap_scan_finds_open_ports(world):
+    endpoints, _, _ = world
+    open_ips = zmap_scan(endpoints, ["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.9"])
+    assert open_ips == ["10.0.0.1", "10.0.0.2"]
+
+
+def test_zmap_scan_other_port_empty(world):
+    endpoints, _, _ = world
+    assert zmap_scan(endpoints, ["10.0.0.1"], port=8443) == []
+
+
+def test_scan_resolves_and_handshakes(world):
+    endpoints, resolver, _ = world
+    scanner = TlsScanner(resolver, endpoints)
+    records = scanner.scan(
+        ["a.scan.example", "b.scan.example", "c.scan.example"], NOW
+    )
+    assert len(records) == 3
+    by_domain = {record.domain: record for record in records}
+    assert by_domain["a.scan.example"].certificate.has_embedded_scts
+    assert not by_domain["b.scan.example"].certificate.has_embedded_scts
+
+
+def test_scan_skips_unresolvable(world):
+    endpoints, resolver, _ = world
+    scanner = TlsScanner(resolver, endpoints)
+    records = scanner.scan(["missing.scan.example"], NOW)
+    assert records == []
+
+
+def test_scan_skips_closed_ports(world):
+    endpoints, resolver, _ = world
+    scanner = TlsScanner(resolver, endpoints)
+    records = scanner.scan(["down.scan.example"], NOW)
+    assert records == []
+
+
+def test_sni_gets_correct_certificate_on_shared_ip(world):
+    endpoints, resolver, _ = world
+    scanner = TlsScanner(resolver, endpoints)
+    records = scanner.scan(["b.scan.example"], NOW)
+    assert records[0].certificate.subject_cn == "b.scan.example"
+
+
+def test_resolve_targets_returns_addresses(world):
+    endpoints, resolver, _ = world
+    scanner = TlsScanner(resolver, endpoints)
+    targets = scanner.resolve_targets(["a.scan.example", "nope.scan.example"], NOW)
+    assert targets == {"a.scan.example": ["10.0.0.1"]}

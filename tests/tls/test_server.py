@@ -1,0 +1,76 @@
+"""Tests for HTTPS endpoints with SNI multiplexing."""
+
+import pytest
+
+from repro.tls.server import HttpsEndpoint, ServerSite
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture()
+def ca256():
+    return CertificateAuthority("TLS CA", key_bits=256)
+
+
+def make_site(ca, name, logs=(), now=None):
+    pair = ca.issue(
+        IssuanceRequest((name,), embed_scts=bool(logs)),
+        list(logs),
+        now or utc_datetime(2018, 5, 1),
+    )
+    return ServerSite(name, pair.final_certificate), pair
+
+
+def test_sni_selects_site(ca256):
+    endpoint = HttpsEndpoint("192.0.2.1")
+    a, _ = make_site(ca256, "a.example")
+    b, _ = make_site(ca256, "b.example")
+    endpoint.add_site(a)
+    endpoint.add_site(b)
+    assert endpoint.handshake("b.example") is b
+    assert endpoint.handshake("A.EXAMPLE") is a
+
+
+def test_unknown_sni_falls_back_to_default(ca256):
+    endpoint = HttpsEndpoint("192.0.2.1")
+    a, _ = make_site(ca256, "a.example")
+    endpoint.add_site(a)
+    assert endpoint.handshake("unknown.example") is a
+    assert endpoint.handshake(None) is a
+
+
+def test_wildcard_site_matches(ca256):
+    endpoint = HttpsEndpoint("192.0.2.1")
+    wild, _ = make_site(ca256, "*.example.org")
+    endpoint.add_site(wild)
+    assert endpoint.handshake("www.example.org") is wild
+
+
+def test_closed_port_refuses(ca256):
+    endpoint = HttpsEndpoint("192.0.2.1", port_open=False)
+    a, _ = make_site(ca256, "a.example")
+    endpoint.add_site(a)
+    assert endpoint.handshake("a.example") is None
+
+
+def test_empty_endpoint_refuses():
+    assert HttpsEndpoint("192.0.2.1").handshake("x.example") is None
+
+
+def test_certificate_count_dedups(ca256):
+    endpoint = HttpsEndpoint("192.0.2.1")
+    site, _ = make_site(ca256, "shared.example")
+    endpoint.add_site(site)
+    endpoint.add_site(ServerSite("alias.example", site.certificate))
+    assert len(endpoint.sites) == 2
+    assert endpoint.certificate_count() == 1
+
+
+def test_serves_any_sct(ca256, fresh_logs):
+    endpoint = HttpsEndpoint("192.0.2.1")
+    plain, _ = make_site(ca256, "plain.example")
+    endpoint.add_site(plain)
+    assert not endpoint.serves_any_sct()
+    sct_site, _ = make_site(ca256, "sct.example", [fresh_logs["Google Pilot log"]])
+    endpoint.add_site(sct_site)
+    assert endpoint.serves_any_sct()

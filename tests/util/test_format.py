@@ -1,0 +1,51 @@
+"""Tests for the paper-style number formatting."""
+
+from repro.util.format import duration_human, human_percent, si_count
+
+
+def test_si_count_giga():
+    assert si_count(26_500_000_000) == "26.5G"
+
+
+def test_si_count_mega():
+    assert si_count(61_100_000) == "61.1M"
+
+
+def test_si_count_kilo():
+    assert si_count(303_000) == "303k"
+
+
+def test_si_count_small():
+    assert si_count(55) == "55"
+
+
+def test_si_count_drops_trailing_zero():
+    assert si_count(4_000_000) == "4M"
+
+
+def test_si_count_fractional_small():
+    assert si_count(1.5) == "1.5"
+
+
+def test_human_percent():
+    assert human_percent(0.3261) == "32.61%"
+    assert human_percent(0.687, 1) == "68.7%"
+
+
+def test_duration_seconds():
+    assert duration_human(73) == "73s"
+    assert duration_human(197) == "197s"
+
+
+def test_duration_minutes():
+    assert duration_human(73 * 60) == "73m"
+    assert duration_human(111 * 60) == "111m"
+
+
+def test_duration_days():
+    assert duration_human(19 * 86_400) == "19d"
+
+
+def test_duration_boundaries():
+    assert duration_human(599) == "599s"
+    assert duration_human(601).endswith("m")

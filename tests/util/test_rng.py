@@ -1,0 +1,123 @@
+"""Tests for the deterministic, forkable RNG."""
+
+import pytest
+
+from repro.util.rng import SeededRng
+
+
+def test_same_seed_same_sequence():
+    a = SeededRng(7, "x")
+    b = SeededRng(7, "x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_differ():
+    a = SeededRng(7, "x")
+    b = SeededRng(7, "y")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_independent_of_parent_consumption():
+    parent1 = SeededRng(7, "root")
+    parent2 = SeededRng(7, "root")
+    parent2.random()  # consume from one parent only
+    child1 = parent1.fork("c")
+    child2 = parent2.fork("c")
+    assert [child1.random() for _ in range(5)] == [child2.random() for _ in range(5)]
+
+
+def test_fork_names_compose():
+    a = SeededRng(7, "root").fork("a").fork("b")
+    assert a.name == "root/a/b"
+
+
+def test_chance_extremes():
+    rng = SeededRng(1)
+    assert rng.chance(1.0) is True
+    assert rng.chance(0.0) is False
+    assert rng.chance(1.5) is True
+    assert rng.chance(-0.5) is False
+
+
+def test_chance_rate_is_plausible():
+    rng = SeededRng(5, "chance")
+    hits = sum(1 for _ in range(10_000) if rng.chance(0.3))
+    assert 2_700 <= hits <= 3_300
+
+
+def test_token_alphabet_and_length():
+    rng = SeededRng(2)
+    token = rng.token(12)
+    assert len(token) == 12
+    assert all(c in "abcdefghijklmnopqrstuvwxyz0123456789" for c in token)
+
+
+def test_token_custom_alphabet():
+    rng = SeededRng(2)
+    assert set(rng.token(50, "ab")) <= {"a", "b"}
+
+
+def test_random_bytes_length():
+    rng = SeededRng(3)
+    assert len(rng.random_bytes(16)) == 16
+    assert rng.random_bytes(0) == b""
+
+
+def test_weighted_index_distribution():
+    rng = SeededRng(4, "wi")
+    counts = [0, 0, 0]
+    for _ in range(6_000):
+        counts[rng.weighted_index([1.0, 2.0, 3.0])] += 1
+    assert counts[0] < counts[1] < counts[2]
+    assert abs(counts[2] / 6_000 - 0.5) < 0.05
+
+
+def test_weighted_index_rejects_nonpositive_sum():
+    rng = SeededRng(4)
+    with pytest.raises(ValueError):
+        rng.weighted_index([0.0, 0.0])
+
+
+def test_zipf_weights_shape():
+    rng = SeededRng(1)
+    weights = rng.zipf_weights(4)
+    assert weights == [1.0, 0.5, 1 / 3, 0.25]
+
+
+def test_poisson_zero_rate():
+    rng = SeededRng(1)
+    assert rng.poisson(0) == 0
+
+
+def test_poisson_mean_small_lambda():
+    rng = SeededRng(9, "poisson")
+    samples = [rng.poisson(3.0) for _ in range(5_000)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 3.0) < 0.15
+
+
+def test_poisson_mean_large_lambda_uses_normal_approx():
+    rng = SeededRng(9, "poisson-large")
+    samples = [rng.poisson(2_000.0) for _ in range(500)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 2_000.0) < 30
+    assert all(s >= 0 for s in samples)
+
+
+def test_poisson_negative_raises():
+    with pytest.raises(ValueError):
+        SeededRng(1).poisson(-1.0)
+
+
+def test_subsample_probability_one_keeps_all():
+    rng = SeededRng(1)
+    assert rng.subsample([1, 2, 3], 1.0) == [1, 2, 3]
+
+
+def test_shuffle_and_sample_deterministic():
+    a, b = SeededRng(11, "s"), SeededRng(11, "s")
+    la, lb = list(range(20)), list(range(20))
+    a.shuffle(la)
+    b.shuffle(lb)
+    assert la == lb
+    assert a.sample(range(100), 5) == b.sample(range(100), 5)

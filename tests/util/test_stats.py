@@ -1,0 +1,114 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.util.stats import Counter2D, TopK, cumulative, gini, percentile, share
+
+
+def test_share_normal_and_zero():
+    assert share(1, 4) == 0.25
+    assert share(1, 0) == 0.0
+
+
+def test_percentile_interpolates():
+    values = [0.0, 10.0, 20.0, 30.0]
+    assert percentile(values, 0) == 0.0
+    assert percentile(values, 100) == 30.0
+    assert percentile(values, 50) == 15.0
+
+
+def test_percentile_single_value():
+    assert percentile([5.0], 75) == 5.0
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_cumulative():
+    assert cumulative([1, 2, 3]) == [1, 3, 6]
+    assert cumulative([]) == []
+
+
+class TestTopK:
+    def test_ranking(self):
+        top = TopK(2)
+        top.add("a", 5)
+        top.add("b", 10)
+        top.add("c", 1)
+        assert top.top() == [("b", 10), ("a", 5)]
+
+    def test_total_and_count(self):
+        top = TopK(3)
+        top.add("x")
+        top.add("x", 2)
+        assert top.total() == 3
+        assert top.count("x") == 3
+        assert top.count("missing") == 0
+
+    def test_update_and_len(self):
+        top = TopK(5)
+        top.update({"a": 1, "b": 2})
+        assert len(top) == 2
+
+
+class TestCounter2D:
+    def test_cells_and_totals(self):
+        matrix = Counter2D()
+        matrix.add("ca1", "log1", 3)
+        matrix.add("ca1", "log2", 1)
+        matrix.add("ca2", "log1", 2)
+        assert matrix.get("ca1", "log1") == 3
+        assert matrix.get("ca2", "log2") == 0
+        assert matrix.row_total("ca1") == 4
+        assert matrix.col_total("log1") == 5
+        assert matrix.total() == 6
+
+    def test_rows_cols_sorted_by_total(self):
+        matrix = Counter2D()
+        matrix.add("small", "x", 1)
+        matrix.add("big", "x", 10)
+        assert matrix.rows() == ["big", "small"]
+
+    def test_density(self):
+        matrix = Counter2D()
+        matrix.add("a", "x")
+        matrix.add("b", "y")
+        # 2 rows x 2 cols, 2 non-zero cells.
+        assert matrix.density() == 0.5
+
+    def test_density_empty(self):
+        assert Counter2D().density() == 0.0
+
+    def test_row_shares(self):
+        matrix = Counter2D()
+        matrix.add("ca", "log1", 3)
+        matrix.add("ca", "log2", 1)
+        shares = matrix.row_shares("ca")
+        assert shares["log1"] == 0.75
+        assert shares["log2"] == 0.25
+
+    def test_row_shares_empty_row(self):
+        assert Counter2D().row_shares("nope") == {}
+
+
+def test_gini_equal_distribution_is_zero():
+    assert abs(gini([5, 5, 5, 5])) < 1e-9
+
+
+def test_gini_concentrated_is_high():
+    assert gini([0, 0, 0, 100]) > 0.7
+
+
+def test_gini_all_zero():
+    assert gini([0, 0, 0]) == 0.0
+
+
+def test_gini_empty_raises():
+    with pytest.raises(ValueError):
+        gini([])
+
+
+def test_gini_monotone_in_concentration():
+    assert gini([1, 1, 1, 7]) > gini([2, 2, 3, 3])

@@ -1,0 +1,63 @@
+"""Tests for text table/chart rendering."""
+
+import pytest
+
+from repro.util.tables import Table, ascii_heatmap, ascii_line_chart
+
+
+class TestTable:
+    def test_alignment(self):
+        table = Table(["name", "count"])
+        table.add_row("a", 1)
+        table.add_row("long-name", 12345)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line.rstrip()) for line in lines[:2]}) == 1
+
+    def test_wrong_cell_count_raises(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_str(self):
+        table = Table(["x"])
+        table.add_row("v")
+        assert "v" in str(table)
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert "empty" in ascii_line_chart({})
+
+    def test_contains_legend_and_glyphs(self):
+        chart = ascii_line_chart({"up": [0, 1, 2, 3], "flat": [1, 1, 1, 1]})
+        assert "*=up" in chart
+        assert "+=flat" in chart
+
+    def test_single_point_series(self):
+        chart = ascii_line_chart({"one": [5.0]})
+        assert "*" in chart
+
+    def test_all_zero_series(self):
+        chart = ascii_line_chart({"zero": [0, 0, 0]})
+        assert "*" in chart  # drawn on the baseline
+
+    def test_x_labels(self):
+        chart = ascii_line_chart({"s": [1, 2]}, x_labels=("2017-05", "2018-05"))
+        assert "2017-05" in chart and "2018-05" in chart
+
+
+class TestHeatmap:
+    def test_empty_cells_render_dots(self):
+        heat = ascii_heatmap(["r1"], ["c1", "c2"], {("r1", "c1"): 5.0})
+        assert "." in heat
+
+    def test_max_shade_for_peak(self):
+        heat = ascii_heatmap(["r"], ["c"], {("r", "c"): 10.0})
+        assert "@" in heat
+
+    def test_row_truncation(self):
+        rows = [f"row{i}" for i in range(40)]
+        heat = ascii_heatmap(rows, ["c"], {}, max_rows=5)
+        assert "row39" not in heat

@@ -1,0 +1,66 @@
+"""Tests for simulated-time helpers."""
+
+from datetime import date, datetime, timezone
+
+from repro.util import timeutil
+
+
+def test_utc_datetime_is_aware():
+    moment = timeutil.utc_datetime(2018, 4, 18, 12, 30)
+    assert moment.tzinfo is timezone.utc
+    assert moment.hour == 12
+
+
+def test_parse_date():
+    assert timeutil.parse_date("2018-04-18") == date(2018, 4, 18)
+
+
+def test_parse_utc_naive_gets_utc():
+    parsed = timeutil.parse_utc("2018-04-12 14:16:59")
+    assert parsed.tzinfo is timezone.utc
+    assert parsed.second == 59
+
+
+def test_date_range_inclusive():
+    days = list(timeutil.date_range(date(2018, 1, 1), date(2018, 1, 3)))
+    assert days == [date(2018, 1, 1), date(2018, 1, 2), date(2018, 1, 3)]
+
+
+def test_date_range_single_day():
+    days = list(timeutil.date_range(date(2018, 1, 1), date(2018, 1, 1)))
+    assert days == [date(2018, 1, 1)]
+
+
+def test_date_range_empty_when_reversed():
+    assert list(timeutil.date_range(date(2018, 1, 2), date(2018, 1, 1))) == []
+
+
+def test_day_index():
+    assert timeutil.day_index(date(2018, 1, 11), date(2018, 1, 1)) == 10
+    assert timeutil.day_index(date(2017, 12, 31), date(2018, 1, 1)) == -1
+
+
+def test_month_key():
+    assert timeutil.month_key(date(2018, 4, 26)) == "2018-04"
+
+
+def test_timestamp_ms_roundtrip():
+    moment = timeutil.utc_datetime(2018, 4, 12, 14, 16, 59)
+    assert timeutil.from_timestamp_ms(timeutil.timestamp_ms(moment)) == moment
+
+
+def test_start_of_day():
+    start = timeutil.start_of_day(date(2018, 4, 12))
+    assert (start.hour, start.minute, start.second) == (0, 0, 0)
+    assert start.tzinfo is timezone.utc
+
+
+def test_paper_window_constants_are_ordered():
+    assert timeutil.PASSIVE_START < timeutil.PASSIVE_END
+    assert timeutil.HONEYPOT_START < timeutil.HONEYPOT_END
+    assert timeutil.LOG_HARVEST_START < timeutil.LOG_SNAPSHOT_DATE
+
+
+def test_day_of():
+    moment = timeutil.utc_datetime(2018, 4, 12, 23, 59)
+    assert timeutil.day_of(moment) == date(2018, 4, 12)

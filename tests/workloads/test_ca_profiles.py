@@ -1,0 +1,89 @@
+"""Tests for the Figure 1 CA logging workload."""
+
+from datetime import date
+
+import pytest
+
+from repro.ct.sct import SctEntryType
+from repro.workloads.ca_profiles import (
+    CaLoggingWorkload,
+    PAPER_CA_PROFILES,
+)
+
+TINY_SCALE = 1.0 / 2_000_000.0
+
+
+@pytest.fixture(scope="module")
+def result():
+    return CaLoggingWorkload(
+        scale=1 / 600_000, end=date(2018, 4, 30), seed=11
+    ).run()
+
+
+def test_profiles_cover_the_paper_cast():
+    names = {profile.name for profile in PAPER_CA_PROFILES}
+    assert {"Let's Encrypt", "DigiCert", "Comodo", "GlobalSign",
+            "StartCom", "Symantec"} <= names
+
+
+def test_rate_on_respects_phases():
+    le = next(p for p in PAPER_CA_PROFILES if p.name == "Let's Encrypt")
+    assert le.rate_on(date(2018, 2, 1)) == 0.0
+    assert le.rate_on(date(2018, 4, 1)) >= 2_000_000
+
+
+def test_log_choice_weights_sum_to_one():
+    for profile in PAPER_CA_PROFILES:
+        total = sum(weight for _, weight in profile.log_choices)
+        assert abs(total - 1.0) < 1e-6, profile.name
+
+
+def test_workload_is_deterministic():
+    a = CaLoggingWorkload(scale=TINY_SCALE, end=date(2018, 4, 30), seed=3).run()
+    b = CaLoggingWorkload(scale=TINY_SCALE, end=date(2018, 4, 30), seed=3).run()
+    assert len(a.issued) == len(b.issued)
+    assert [p.final_certificate.serial for p in a.issued] == [
+        p.final_certificate.serial for p in b.issued
+    ]
+
+
+def test_entries_are_precertificates(result):
+    for log in result.logs.values():
+        for entry in log.entries[:20]:
+            assert entry.entry_type is SctEntryType.PRECERT_ENTRY
+
+
+def test_issued_certs_have_embedded_scts(result):
+    assert result.issued
+    for pair in result.issued[:50]:
+        assert pair.final_certificate.has_embedded_scts
+
+
+def test_no_submissions_to_not_yet_included_logs(result):
+    for log in result.logs.values():
+        if log.chrome_inclusion is None:
+            assert log.size == 0, log.name
+            continue
+        for entry in log.entries:
+            assert entry.submitted_at.date() >= log.chrome_inclusion, log.name
+
+
+def test_lets_encrypt_starts_only_in_march_2018(result):
+    le_dates = [
+        entry.submitted_at.date()
+        for log in result.logs.values()
+        for entry in log.entries
+        if entry.certificate.issuer_org == "Let's Encrypt"
+    ]
+    assert le_dates
+    assert min(le_dates) >= date(2018, 3, 8)
+
+
+def test_nimbus_capacity_scales_with_workload(result):
+    nimbus = result.logs["Cloudflare Nimbus2018 Log"]
+    assert nimbus.capacity_per_day is not None
+    assert nimbus.was_overloaded()
+
+
+def test_weight_is_inverse_scale(result):
+    assert result.weight == pytest.approx(600_000)

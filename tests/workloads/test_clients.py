@@ -1,0 +1,54 @@
+"""Tests for the TLS client population."""
+
+from datetime import date
+
+import pytest
+
+from repro.workloads.clients import (
+    ClientPopulation,
+    ClientProfile,
+    DEFAULT_CLIENT_MIX,
+)
+
+
+def test_default_mix_sums_to_one():
+    assert sum(p.share for p in DEFAULT_CLIENT_MIX) == pytest.approx(1.0)
+
+
+def test_support_share_matches_paper():
+    population = ClientPopulation()
+    assert population.support_share() == pytest.approx(0.6676, abs=0.005)
+
+
+def test_sampled_support_converges():
+    population = ClientPopulation(seed=5)
+    flags = population.sample_support(20_000)
+    assert sum(flags) / len(flags) == pytest.approx(0.668, abs=0.02)
+
+
+def test_enforcing_share_before_and_after_deadline():
+    population = ClientPopulation()
+    assert population.enforcing_share(date(2018, 4, 17)) == 0.0
+    after = population.enforcing_share(date(2018, 4, 18))
+    # Chrome desktop + mobile enforce from the deadline.
+    assert after == pytest.approx(0.625, abs=0.01)
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(ValueError):
+        ClientPopulation([ClientProfile("only", 0.5, True)])
+
+
+def test_draw_returns_profiles_from_mix():
+    population = ClientPopulation(seed=1)
+    names = {population.draw().name for _ in range(2_000)}
+    assert "chrome-desktop" in names
+    assert "safari" in names
+
+
+def test_profile_enforcing_on():
+    chrome = DEFAULT_CLIENT_MIX[0]
+    assert not chrome.enforcing_on(date(2018, 1, 1))
+    assert chrome.enforcing_on(date(2018, 5, 1))
+    safari = next(p for p in DEFAULT_CLIENT_MIX if p.name == "safari")
+    assert not safari.enforcing_on(date(2019, 1, 1))

@@ -1,0 +1,106 @@
+"""Tests for wordlists, Sonar, hosting, incidents, and phishing workloads."""
+
+import pytest
+
+from repro.core import leakage
+from repro.workloads.domains import DomainWorkload
+from repro.workloads.hosting import HostingWorkload
+from repro.workloads.incidents import MisissuanceWorkload
+from repro.workloads.phishing import PhishingWorkload, SERVICES
+from repro.workloads.sonar import SonarWorkload
+from repro.workloads.wordlists import (
+    DNSRECON_CT_OVERLAP,
+    DNSRECON_SIZE,
+    SUBBRUTE_CT_OVERLAP,
+    SUBBRUTE_SIZE,
+    dnsrecon_wordlist,
+    subbrute_wordlist,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return DomainWorkload(scale=1 / 20_000, seed=8).build()
+
+
+@pytest.fixture(scope="module")
+def stats(corpus):
+    return leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+
+
+class TestWordlists:
+    def test_subbrute_size_and_overlap(self, stats):
+        words = subbrute_wordlist(stats.label_counts)
+        assert len(words) == SUBBRUTE_SIZE
+        assert len(leakage.wordlist_overlap(words, stats)) == SUBBRUTE_CT_OVERLAP
+
+    def test_dnsrecon_size_and_overlap(self, stats):
+        words = dnsrecon_wordlist(stats.label_counts)
+        assert len(words) == DNSRECON_SIZE
+        assert len(leakage.wordlist_overlap(words, stats)) == DNSRECON_CT_OVERLAP
+
+    def test_deterministic(self, stats):
+        assert subbrute_wordlist(stats.label_counts) == subbrute_wordlist(stats.label_counts)
+
+
+class TestSonar:
+    def test_domain_overlap_calibration(self, corpus):
+        sonar = SonarWorkload(seed=2).build(corpus)
+        known = sum(1 for d in corpus.registrable_domains if sonar.knows(d))
+        assert abs(known / len(corpus.registrable_domains) - 0.82) < 0.03
+
+    def test_known_share_of_existing(self, corpus):
+        existing = [f"www.{d}" for d in corpus.registrable_domains[:3000]]
+        sonar = SonarWorkload(seed=2).build(corpus, existing)
+        known = len(sonar.known_among(existing))
+        assert abs(known / len(existing) - 0.059) < 0.02
+
+
+class TestHosting:
+    def test_population_shape(self):
+        population = HostingWorkload(scale=1 / 100_000, seed=1).build()
+        assert population.endpoints
+        assert population.domains
+        # Every domain resolves within the population's universe.
+        resolver = population.resolver()
+        from repro.dnscore.records import RecordType
+        from repro.util.timeutil import utc_datetime
+
+        result = resolver.resolve(
+            population.domains[0], RecordType.A, now=utc_datetime(2018, 5, 18)
+        )
+        assert result.addresses
+
+
+class TestIncidents:
+    def test_injected_counts(self):
+        corpus = MisissuanceWorkload(healthy_certificates=20, seed=3).build()
+        bugs = list(corpus.injected.values())
+        assert len(bugs) == 16
+        by_ca = {}
+        for (ca, _), bug in corpus.injected.items():
+            by_ca.setdefault(ca, 0)
+            by_ca[ca] += 1
+        assert by_ca == {
+            "TeliaSonera": 1, "GlobalSign": 12, "D-Trust": 2, "NetLock": 1,
+        }
+
+
+class TestPhishing:
+    def test_counts_scale(self):
+        corpus = PhishingWorkload(scale=1 / 1000, seed=4).build()
+        assert corpus.phishing_count("Apple") == 63
+        assert corpus.phishing_count("PayPal") == 58
+
+    def test_government_examples_present(self):
+        corpus = PhishingWorkload(seed=4).build()
+        assert "ato.gov.au.eng-atorefund.com" in corpus.government_names
+
+    def test_tricky_benign_included(self):
+        corpus = PhishingWorkload(seed=4).build()
+        assert "snapple.com" in corpus.benign_names
+
+    def test_all_services_generated(self):
+        corpus = PhishingWorkload(seed=4).build()
+        for service in SERVICES:
+            assert corpus.phishing_count(service.name) >= 3

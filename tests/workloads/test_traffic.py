@@ -1,0 +1,116 @@
+"""Tests for the uplink traffic workload."""
+
+from datetime import date
+
+import pytest
+
+from repro.workloads.traffic import (
+    DEFAULT_SITE_GROUPS,
+    FACEBOOK_PEAK_DAYS,
+    TOTAL_REAL_CONNECTIONS,
+    UplinkTrafficWorkload,
+    _apportion,
+)
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return UplinkTrafficWorkload(
+        connections_per_day=200,
+        start=date(2017, 6, 1),
+        end=date(2017, 6, 14),
+        seed=21,
+    )
+
+
+def test_group_shares_sum_to_one():
+    assert sum(g.share for g in DEFAULT_SITE_GROUPS) == pytest.approx(1.0)
+
+
+def test_cert_share_target():
+    cert_share = sum(g.share for g in DEFAULT_SITE_GROUPS if g.cert_logs)
+    assert cert_share == pytest.approx(0.2140, abs=1e-3)
+
+
+def test_tls_share_target():
+    tls_share = sum(
+        g.share for g in DEFAULT_SITE_GROUPS if g.tls_logs and not g.cert_logs
+    )
+    assert tls_share == pytest.approx(0.1121, abs=1e-3)
+
+
+def test_day_volume(workload):
+    day_connections = list(workload.connections_for_day(date(2017, 6, 3)))
+    # Each rare group may add one scheduled record on top.
+    assert 200 <= len(day_connections) <= 200 + len(workload._rare_runtimes)
+
+
+def test_weights_reconstruct_real_volume(workload):
+    total = sum(c.weight for c in workload.stream())
+    days = 14
+    expected = TOTAL_REAL_CONNECTIONS / 393 * days
+    assert abs(total - expected) / expected < 0.05
+
+
+def test_connections_have_certificates(workload):
+    for connection in workload.connections_for_day(date(2017, 6, 5)):
+        assert connection.certificate is not None
+        assert connection.time.date() == date(2017, 6, 5)
+
+
+def test_peak_day_shifts_mix():
+    workload = UplinkTrafficWorkload(
+        connections_per_day=400,
+        start=FACEBOOK_PEAK_DAYS[0],
+        end=FACEBOOK_PEAK_DAYS[0],
+        seed=5,
+    )
+    day = list(workload.connections_for_day(FACEBOOK_PEAK_DAYS[0]))
+    facebook = sum(1 for c in day if c.server_name == "graph.facebook.com")
+    assert facebook / len(day) > 0.25
+
+
+def test_stream_is_deterministic():
+    kwargs = dict(connections_per_day=100, start=date(2017, 7, 1),
+                  end=date(2017, 7, 3), seed=9)
+    a = [c.server_name for c in UplinkTrafficWorkload(**kwargs).stream()]
+    b = [c.server_name for c in UplinkTrafficWorkload(**kwargs).stream()]
+    assert a == b
+
+
+class TestApportion:
+    def test_counts_sum_to_total(self):
+        rng = SeededRng(1)
+        counts = _apportion([0.5, 0.3, 0.2], 100, rng)
+        assert sum(counts) == 100
+
+    def test_large_shares_proportional(self):
+        rng = SeededRng(2)
+        counts = _apportion([0.75, 0.25], 1000, rng)
+        assert abs(counts[0] - 750) <= 1
+
+    def test_tiny_share_never_negative(self):
+        rng = SeededRng(3)
+        counts = _apportion([0.999, 0.001], 10, rng)
+        assert all(count >= 0 for count in counts)
+        assert sum(counts) == 10
+
+
+def test_apportion_property_sum_preserved():
+    """Apportionment always hands out exactly the requested total."""
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        shares=st.lists(st.floats(0.001, 1.0), min_size=1, max_size=12),
+        total=st.integers(1, 2_000),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def check(shares, total, seed):
+        normalized = [s / sum(shares) for s in shares]
+        counts = _apportion(normalized, total, SeededRng(seed))
+        assert sum(counts) == total
+        assert all(count >= 0 for count in counts)
+
+    check()

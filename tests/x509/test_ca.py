@@ -1,0 +1,183 @@
+"""Tests for the CA issuance pipeline, including the bug injections."""
+
+import pytest
+
+from repro.ct.sct import SCT_LIST_EXTENSION_OID, SignedCertificateTimestamp
+from repro.ct.verification import validate_embedded_scts
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceBug, IssuanceRequest
+from repro.x509.certificate import POISON_EXTENSION_OID, SanType
+
+
+def log_maps(logs):
+    return (
+        {log.log_id: log.key for log in logs.values()},
+        {log.log_id: log.name for log in logs.values()},
+    )
+
+
+def test_issue_produces_poisoned_precert(issued_pair):
+    assert issued_pair.precertificate.is_precertificate
+    assert not issued_pair.final_certificate.is_precertificate
+
+
+def test_final_cert_has_embedded_scts(issued_pair):
+    assert issued_pair.final_certificate.has_embedded_scts
+    assert len(issued_pair.scts) == 2
+
+
+def test_embedded_sct_list_decodes_to_issued_scts(issued_pair):
+    ext = issued_pair.final_certificate.get_extension(SCT_LIST_EXTENSION_OID)
+    decoded = SignedCertificateTimestamp.decode_list(ext.value)
+    assert [s.log_id for s in decoded] == [s.log_id for s in issued_pair.scts]
+
+
+def test_embedded_scts_verify(ca, fresh_logs, issued_pair):
+    keys, names = log_maps(fresh_logs)
+    result = validate_embedded_scts(
+        issued_pair.final_certificate, ca.issuer_key_hash, keys, names
+    )
+    assert result.all_valid
+    assert len(result.verdicts) == 2
+
+
+def test_issue_without_sct_embedding(ca, now):
+    pair = ca.issue(IssuanceRequest(("plain.example",), embed_scts=False), [], now)
+    assert pair.precertificate is None
+    assert not pair.final_certificate.has_embedded_scts
+    assert pair.scts == ()
+
+
+def test_issue_requires_a_name(ca, now):
+    with pytest.raises(ValueError):
+        ca.issue(IssuanceRequest(()), [], now)
+
+
+def test_serials_increase(ca, fresh_logs, now):
+    logs = [fresh_logs["Google Pilot log"]]
+    a = ca.issue(IssuanceRequest(("a.example",)), logs, now)
+    b = ca.issue(IssuanceRequest(("b.example",)), logs, now)
+    assert b.final_certificate.serial > a.final_certificate.serial
+
+
+def test_issuer_cns_rotate(fresh_logs, now):
+    ca = CertificateAuthority("Multi CN", issuer_cns=("CN A", "CN B"), key_bits=256)
+    logs = [fresh_logs["Google Pilot log"]]
+    a = ca.issue(IssuanceRequest(("a.example",)), logs, now)
+    b = ca.issue(IssuanceRequest(("b.example",)), logs, now)
+    assert {a.final_certificate.issuer_cn, b.final_certificate.issuer_cn} == {"CN A", "CN B"}
+
+
+def test_validation_hook_called_before_logging(fresh_logs, now):
+    calls = []
+    ca = CertificateAuthority(
+        "Hooked CA", validation_hook=lambda names, when: calls.append((tuple(names), when)),
+        key_bits=256,
+    )
+    ca.issue(IssuanceRequest(("hooked.example",)), [fresh_logs["Google Pilot log"]], now)
+    assert calls == [(("hooked.example",), now)]
+
+
+def test_log_final_certificates_flag(fresh_logs, now):
+    ca = CertificateAuthority("LE-like", log_final_certificates=True, key_bits=256)
+    log = fresh_logs["Google Pilot log"]
+    before = log.size
+    ca.issue(IssuanceRequest(("final.example",)), [log], now)
+    # One precert entry + one final-cert entry.
+    assert log.size == before + 2
+
+
+def test_lifetime_days_respected(ca, now):
+    pair = ca.issue(
+        IssuanceRequest(("lt.example",), lifetime_days=10, embed_scts=False), [], now
+    )
+    assert (pair.final_certificate.not_after - pair.final_certificate.not_before).days == 10
+
+
+class TestBugInjection:
+    def test_san_reorder_moves_ips_first(self, ca, fresh_logs, now):
+        pair = ca.issue(
+            IssuanceRequest(("gs.example",), ip_addresses=("192.0.2.9",)),
+            [fresh_logs["Google Pilot log"]],
+            now,
+            bug=IssuanceBug.SAN_REORDER,
+        )
+        assert pair.final_certificate.san[0].san_type is SanType.IP
+        assert pair.precertificate.san[0].san_type is SanType.DNS
+
+    def test_san_reorder_invalidates_scts(self, ca, fresh_logs, now):
+        keys, names = log_maps(fresh_logs)
+        pair = ca.issue(
+            IssuanceRequest(("gs2.example",), ip_addresses=("192.0.2.9",)),
+            [fresh_logs["Google Pilot log"]],
+            now,
+            bug=IssuanceBug.SAN_REORDER,
+        )
+        result = validate_embedded_scts(
+            pair.final_certificate, ca.issuer_key_hash, keys, names
+        )
+        assert result.any_invalid
+
+    def test_extension_reorder_invalidates_scts(self, ca, fresh_logs, now):
+        keys, names = log_maps(fresh_logs)
+        pair = ca.issue(
+            IssuanceRequest(("dt.example",)),
+            [fresh_logs["Google Pilot log"]],
+            now,
+            bug=IssuanceBug.EXTENSION_REORDER,
+        )
+        result = validate_embedded_scts(
+            pair.final_certificate, ca.issuer_key_hash, keys, names
+        )
+        assert result.any_invalid
+
+    def test_san_swap_changes_names_and_issuer(self, ca, fresh_logs, now):
+        pair = ca.issue(
+            IssuanceRequest(("nl.example",)),
+            [fresh_logs["Google Pilot log"]],
+            now,
+            bug=IssuanceBug.SAN_SWAP,
+        )
+        assert pair.final_certificate.san != pair.precertificate.san
+        assert pair.final_certificate.issuer_cn != pair.precertificate.issuer_cn
+
+    def test_sct_reuse_requires_prior_issuance(self, ca, fresh_logs, now):
+        keys, names = log_maps(fresh_logs)
+        log = fresh_logs["Google Pilot log"]
+        first = ca.issue(IssuanceRequest(("ts.example",)), [log], now)
+        reissued = ca.issue(
+            IssuanceRequest(("ts.example",)), [log], now, bug=IssuanceBug.SCT_REUSE
+        )
+        # The re-issued cert embeds the *first* cert's SCT.
+        ext = reissued.final_certificate.get_extension(SCT_LIST_EXTENSION_OID)
+        embedded = SignedCertificateTimestamp.decode_list(ext.value)
+        assert embedded[0].signature == first.scts[0].signature
+        result = validate_embedded_scts(
+            reissued.final_certificate, ca.issuer_key_hash, keys, names
+        )
+        assert result.any_invalid
+
+    def test_sct_reuse_without_prior_is_clean(self, ca, fresh_logs, now):
+        keys, names = log_maps(fresh_logs)
+        pair = ca.issue(
+            IssuanceRequest(("fresh.example",)),
+            [fresh_logs["Google Pilot log"]],
+            now,
+            bug=IssuanceBug.SCT_REUSE,
+        )
+        result = validate_embedded_scts(
+            pair.final_certificate, ca.issuer_key_hash, keys, names
+        )
+        assert result.all_valid  # nothing to reuse yet
+
+    def test_healthy_issue_is_valid_for_all_bug_free_paths(self, ca, fresh_logs, now):
+        keys, names = log_maps(fresh_logs)
+        pair = ca.issue(
+            IssuanceRequest(("clean.example",), ip_addresses=("192.0.2.1",)),
+            [fresh_logs["Google Pilot log"]],
+            now,
+        )
+        result = validate_embedded_scts(
+            pair.final_certificate, ca.issuer_key_hash, keys, names
+        )
+        assert result.all_valid

@@ -1,0 +1,128 @@
+"""Tests for the certificate model and TBS serialization."""
+
+import pytest
+
+from repro.util.timeutil import utc_datetime
+from repro.x509.certificate import (
+    Certificate,
+    Extension,
+    GeneralName,
+    POISON_EXTENSION_OID,
+    SCT_LIST_EXTENSION_OID,
+    SanType,
+    dns_general_names,
+)
+
+
+def make_cert(**overrides):
+    fields = dict(
+        serial=1,
+        issuer_cn="Issuer CN",
+        issuer_org="Issuer Org",
+        subject_cn="example.org",
+        san=dns_general_names(["example.org", "www.example.org"]),
+        not_before=utc_datetime(2018, 1, 1),
+        not_after=utc_datetime(2018, 4, 1),
+    )
+    fields.update(overrides)
+    return Certificate(**fields)
+
+
+def test_dns_names_dedup_and_order():
+    cert = make_cert(
+        san=dns_general_names(["EXAMPLE.org", "www.example.org"])
+    )
+    assert cert.dns_names() == ["example.org", "www.example.org"]
+
+
+def test_dns_names_include_cn_first():
+    cert = make_cert(subject_cn="cn.example.org", san=dns_general_names(["other.example.org"]))
+    assert cert.dns_names()[0] == "cn.example.org"
+
+
+def test_ip_addresses():
+    cert = make_cert(
+        san=(
+            GeneralName(SanType.DNS, "a.example"),
+            GeneralName(SanType.IP, "192.0.2.1"),
+        )
+    )
+    assert cert.ip_addresses() == ["192.0.2.1"]
+
+
+def test_precertificate_flag():
+    cert = make_cert(extensions=(Extension(POISON_EXTENSION_OID, critical=True),))
+    assert cert.is_precertificate
+    assert not make_cert().is_precertificate
+
+
+def test_embedded_sct_flag():
+    cert = make_cert(extensions=(Extension(SCT_LIST_EXTENSION_OID, b"blob"),))
+    assert cert.has_embedded_scts
+
+
+def test_tbs_changes_with_san_order():
+    a = make_cert(san=dns_general_names(["a.example", "b.example"]))
+    b = make_cert(san=dns_general_names(["b.example", "a.example"]))
+    assert a.tbs_bytes() != b.tbs_bytes()
+
+
+def test_tbs_changes_with_extension_order():
+    e1, e2 = Extension("1.1", b"x"), Extension("2.2", b"y")
+    a = make_cert(extensions=(e1, e2))
+    b = make_cert(extensions=(e2, e1))
+    assert a.tbs_bytes() != b.tbs_bytes()
+
+
+def test_tbs_exclude_oids_removes_extension_influence():
+    base = make_cert()
+    poisoned = make_cert(extensions=(Extension(POISON_EXTENSION_OID, critical=True),))
+    assert base.tbs_bytes() == poisoned.tbs_bytes(
+        exclude_oids=(POISON_EXTENSION_OID,)
+    )
+
+
+def test_tbs_changes_with_serial():
+    assert make_cert(serial=1).tbs_bytes() != make_cert(serial=2).tbs_bytes()
+
+
+def test_tbs_changes_with_validity():
+    a = make_cert()
+    b = make_cert(not_after=utc_datetime(2018, 5, 1))
+    assert a.tbs_bytes() != b.tbs_bytes()
+
+
+def test_without_extension_preserves_order():
+    e1, e2, e3 = Extension("1.1"), Extension("2.2"), Extension("3.3")
+    cert = make_cert(extensions=(e1, e2, e3))
+    trimmed = cert.without_extension("2.2")
+    assert [e.oid for e in trimmed.extensions] == ["1.1", "3.3"]
+
+
+def test_get_extension():
+    ext = Extension("5.5", b"payload")
+    cert = make_cert(extensions=(ext,))
+    assert cert.get_extension("5.5") is ext
+    assert cert.get_extension("9.9") is None
+
+
+def test_fingerprint_distinguishes_certificates():
+    assert make_cert(serial=1).fingerprint() != make_cert(serial=2).fingerprint()
+
+
+def test_fingerprint_includes_signature():
+    a = make_cert(signature=b"sig-a")
+    b = make_cert(signature=b"sig-b")
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_general_name_encoding_distinguishes_types():
+    dns = GeneralName(SanType.DNS, "192.0.2.1")
+    ip = GeneralName(SanType.IP, "192.0.2.1")
+    assert dns.encode() != ip.encode()
+
+
+def test_extension_encoding_includes_critical_bit():
+    assert Extension("1.1", b"x", critical=True).encode() != Extension(
+        "1.1", b"x", critical=False
+    ).encode()

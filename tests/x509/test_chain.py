@@ -1,0 +1,142 @@
+"""Tests for CA hierarchies and chain validation."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import IssuanceRequest
+from repro.x509.chain import CaHierarchy, build_chain, validate_chain
+
+NOW = utc_datetime(2018, 4, 1)
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    h = CaHierarchy("BigBrand")
+    h.add_intermediate("BigBrand DV CA 1", not_before=utc_datetime(2016, 1, 1))
+    h.add_intermediate("BigBrand EV CA 2", not_before=utc_datetime(2017, 1, 1))
+    return h
+
+
+@pytest.fixture()
+def leaf(hierarchy, fresh_logs):
+    ca = hierarchy.intermediate_for("BigBrand DV CA 1")
+    pair = ca.issue(
+        IssuanceRequest(("chained.example",)),
+        [fresh_logs["Google Pilot log"]],
+        NOW,
+    )
+    return pair.final_certificate
+
+
+def trusted(hierarchy):
+    return {hierarchy.root_certificate.subject_cn: hierarchy.root_key}
+
+
+def test_intermediates_share_the_brand(hierarchy):
+    ca = hierarchy.intermediate_for("BigBrand DV CA 1")
+    assert ca.name == "BigBrand"
+    assert ca.issuer_cns == ("BigBrand DV CA 1",)
+
+
+def test_leaf_names_intermediate_as_issuer(leaf):
+    assert leaf.issuer_cn == "BigBrand DV CA 1"
+    assert leaf.issuer_org == "BigBrand"
+
+
+def test_chain_structure(hierarchy, leaf):
+    chain = build_chain(leaf, hierarchy)
+    assert [c.subject_cn for c in chain] == [
+        "chained.example", "BigBrand DV CA 1", "BigBrand Root CA",
+    ]
+
+
+def test_valid_chain_validates(hierarchy, leaf):
+    chain = build_chain(leaf, hierarchy)
+    result = validate_chain(
+        chain, trusted(hierarchy), NOW, known_keys=hierarchy.keys_by_subject()
+    )
+    assert result.valid, result.reasons
+
+
+def test_untrusted_anchor_rejected(hierarchy, leaf):
+    chain = build_chain(leaf, hierarchy)
+    result = validate_chain(chain, {}, NOW, known_keys=hierarchy.keys_by_subject())
+    assert not result.valid
+    assert any("not a trusted root" in r for r in result.reasons)
+
+
+def test_wrong_intermediate_rejected(hierarchy, leaf):
+    chain = build_chain(leaf, hierarchy)
+    # Swap in the *other* intermediate's certificate.
+    wrong = hierarchy.intermediate_certs["BigBrand EV CA 2"]
+    tampered = [chain[0], wrong, chain[2]]
+    result = validate_chain(
+        tampered, trusted(hierarchy), NOW, known_keys=hierarchy.keys_by_subject()
+    )
+    assert not result.valid
+
+
+def test_expired_intermediate_rejected(hierarchy, leaf):
+    chain = build_chain(leaf, hierarchy)
+    result = validate_chain(
+        chain, trusted(hierarchy), utc_datetime(2031, 1, 1),
+        known_keys=hierarchy.keys_by_subject(),
+    )
+    assert not result.valid
+    assert any("validity window" in r for r in result.reasons)
+
+
+def test_forged_leaf_signature_rejected(hierarchy, leaf):
+    from dataclasses import replace
+
+    forged = replace(leaf, signature=b"\x01" * len(leaf.signature))
+    chain = [forged] + build_chain(leaf, hierarchy)[1:]
+    result = validate_chain(
+        chain, trusted(hierarchy), NOW, known_keys=hierarchy.keys_by_subject()
+    )
+    assert not result.valid
+    assert any("bad signature" in r for r in result.reasons)
+
+
+def test_key_substitution_rejected(hierarchy, leaf):
+    """An attacker supplying their own key for the intermediate CN is
+    caught by the key-id binding check."""
+    from repro.x509.crypto import KeyPair
+
+    evil_keys = hierarchy.keys_by_subject()
+    evil_keys["BigBrand DV CA 1"] = KeyPair.generate("evil", 256)
+    chain = build_chain(leaf, hierarchy)
+    result = validate_chain(chain, trusted(hierarchy), NOW, known_keys=evil_keys)
+    assert not result.valid
+
+
+def test_missing_intermediate_key(hierarchy, leaf):
+    chain = build_chain(leaf, hierarchy)
+    result = validate_chain(chain, trusted(hierarchy), NOW, known_keys={})
+    assert not result.valid
+    assert any("no key known" in r for r in result.reasons)
+
+
+def test_empty_chain():
+    result = validate_chain([], {}, NOW)
+    assert not result.valid
+
+
+def test_duplicate_intermediate_rejected(hierarchy):
+    with pytest.raises(ValueError):
+        hierarchy.add_intermediate(
+            "BigBrand DV CA 1", not_before=utc_datetime(2016, 1, 1)
+        )
+
+
+def test_chain_for_unknown_issuer(hierarchy, fresh_logs):
+    from repro.x509.ca import CertificateAuthority
+
+    stranger = CertificateAuthority("Stranger", key_bits=256)
+    pair = stranger.issue(
+        IssuanceRequest(("s.example",), embed_scts=False), [], NOW
+    )
+    with pytest.raises(ValueError):
+        build_chain(pair.final_certificate, hierarchy)

@@ -1,0 +1,106 @@
+"""Tests for the OCSP responder substrate."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+from repro.x509.crypto import KeyPair
+from repro.x509.ocsp import CertStatus, OcspResponder
+from repro.util.timeutil import utc_datetime
+
+NOW = utc_datetime(2018, 4, 1)
+
+
+@pytest.fixture()
+def ca_and_responder():
+    ca = CertificateAuthority("OCSP CA", key_bits=256)
+    responder = OcspResponder(
+        "OCSP CA", KeyPair.generate("ocsp-responder", 256)
+    )
+    return ca, responder
+
+
+def issue(ca, name="site.example", logs=(), **kwargs):
+    return ca.issue(
+        IssuanceRequest((name,), embed_scts=bool(logs), **kwargs),
+        list(logs), NOW,
+    )
+
+
+def test_good_response_verifies(ca_and_responder):
+    ca, responder = ca_and_responder
+    pair = issue(ca)
+    response = responder.respond(pair.final_certificate, NOW)
+    assert response.status is CertStatus.GOOD
+    assert response.verify(responder.key, NOW)
+
+
+def test_response_carries_scts(ca_and_responder, fresh_logs):
+    ca, responder = ca_and_responder
+    pair = issue(ca)
+    sct = fresh_logs["DigiCert Log Server"].add_chain(pair.final_certificate, NOW)
+    response = responder.respond(pair.final_certificate, NOW, scts=(sct,))
+    assert response.scts() == [sct]
+    assert response.verify(responder.key, NOW)
+
+
+def test_revocation(ca_and_responder):
+    ca, responder = ca_and_responder
+    pair = issue(ca)
+    responder.revoke(pair.final_certificate, NOW)
+    assert responder.is_revoked(pair.final_certificate)
+    response = responder.respond(pair.final_certificate, NOW)
+    assert response.status is CertStatus.REVOKED
+
+
+def test_foreign_certificate_unknown(ca_and_responder):
+    _, responder = ca_and_responder
+    other = CertificateAuthority("Other CA", key_bits=256)
+    pair = issue(other)
+    response = responder.respond(pair.final_certificate, NOW)
+    assert response.status is CertStatus.UNKNOWN
+
+
+def test_cannot_revoke_foreign_cert(ca_and_responder):
+    _, responder = ca_and_responder
+    other = CertificateAuthority("Other CA", key_bits=256)
+    pair = issue(other)
+    with pytest.raises(ValueError):
+        responder.revoke(pair.final_certificate, NOW)
+
+
+def test_stale_response_rejected(ca_and_responder):
+    ca, responder = ca_and_responder
+    pair = issue(ca)
+    response = responder.respond(pair.final_certificate, NOW)
+    assert not response.verify(responder.key, NOW + timedelta(days=8))
+
+
+def test_tampered_response_rejected(ca_and_responder):
+    ca, responder = ca_and_responder
+    pair = issue(ca)
+    response = responder.respond(pair.final_certificate, NOW)
+    from dataclasses import replace
+
+    forged = replace(response, status=CertStatus.GOOD, serial=response.serial + 1)
+    assert not forged.verify(responder.key, NOW)
+
+
+def test_netlock_scenario(ca_and_responder, fresh_logs):
+    """Section 3.4: NetLock re-issued and revoked the bad certificate."""
+    from repro.x509.ca import IssuanceBug
+
+    ca = CertificateAuthority("NetLock", key_bits=256)
+    responder = OcspResponder("NetLock", KeyPair.generate("netlock-ocsp", 256))
+    bad = ca.issue(
+        IssuanceRequest(("www.netlock-ugyfel.hu",)),
+        [fresh_logs["Google Pilot log"]], NOW, bug=IssuanceBug.SAN_SWAP,
+    )
+    reissued = ca.issue(
+        IssuanceRequest(("www.netlock-ugyfel.hu",)),
+        [fresh_logs["Google Pilot log"]], NOW + timedelta(days=1),
+    )
+    responder.revoke(bad.final_certificate, NOW + timedelta(days=1))
+    assert responder.respond(bad.final_certificate, NOW + timedelta(days=2)).status is CertStatus.REVOKED
+    assert responder.respond(reissued.final_certificate, NOW + timedelta(days=2)).status is CertStatus.GOOD

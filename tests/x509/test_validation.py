@@ -1,0 +1,74 @@
+"""Tests for client-side certificate validation helpers."""
+
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+from repro.x509.certificate import Certificate, dns_general_names
+from repro.x509.validation import (
+    hostname_matches,
+    is_time_valid,
+    validate_for_connection,
+    verify_certificate_signature,
+)
+
+
+def make_cert(names, nb=None, na=None):
+    return Certificate(
+        serial=1,
+        issuer_cn="I",
+        issuer_org="I Org",
+        subject_cn=names[0],
+        san=dns_general_names(names),
+        not_before=nb or utc_datetime(2018, 1, 1),
+        not_after=na or utc_datetime(2018, 12, 31),
+    )
+
+
+def test_exact_hostname_match():
+    cert = make_cert(["example.org"])
+    assert hostname_matches(cert, "example.org")
+    assert hostname_matches(cert, "EXAMPLE.ORG.")
+
+
+def test_hostname_mismatch():
+    assert not hostname_matches(make_cert(["example.org"]), "other.org")
+
+
+def test_wildcard_matches_single_label():
+    cert = make_cert(["*.example.org"])
+    assert hostname_matches(cert, "www.example.org")
+    assert not hostname_matches(cert, "a.b.example.org")
+    assert not hostname_matches(cert, "example.org")
+
+
+def test_wildcard_requires_leftmost_position():
+    cert = make_cert(["www.*.org"])
+    assert not hostname_matches(cert, "www.example.org")
+
+
+def test_time_validity():
+    cert = make_cert(["example.org"])
+    assert is_time_valid(cert, utc_datetime(2018, 6, 1))
+    assert not is_time_valid(cert, utc_datetime(2019, 6, 1))
+    assert not is_time_valid(cert, utc_datetime(2017, 6, 1))
+
+
+def test_signature_verification_via_ca():
+    ca = CertificateAuthority("Sig CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest(("signed.example",), embed_scts=False), [], utc_datetime(2018, 3, 1)
+    )
+    assert verify_certificate_signature(pair.final_certificate, ca.key)
+    other = CertificateAuthority("Other CA", key_bits=256)
+    assert not verify_certificate_signature(pair.final_certificate, other.key)
+
+
+def test_validate_for_connection_all_checks():
+    ca = CertificateAuthority("Conn CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest(("conn.example",), embed_scts=False), [], utc_datetime(2018, 3, 1)
+    )
+    cert = pair.final_certificate
+    now = utc_datetime(2018, 4, 1)
+    assert validate_for_connection(cert, "conn.example", now, ca.key)
+    assert not validate_for_connection(cert, "wrong.example", now, ca.key)
+    assert not validate_for_connection(cert, "conn.example", utc_datetime(2020, 1, 1), ca.key)
