@@ -9,7 +9,6 @@ evaluation section.
 
 from __future__ import annotations
 
-import os
 from datetime import date
 from pathlib import Path
 
@@ -43,6 +42,16 @@ def record_artifact(name: str, text: str) -> None:
     path.write_text(text + "\n", encoding="utf-8")
     _ARTIFACTS.append((name, text))
     print(f"\n{text}\n[artifact written to {path}]")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ carries the ``bench`` marker.
+
+    The fast CI job deselects with ``-m "not bench"`` instead of
+    relying on directory layout.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -98,6 +107,28 @@ def hosting_scan():
     records = scanner.scan(population.domains, utc_datetime(2018, 5, 18))
     names = {log.log_id: log.name for log in population.logs.values()}
     return serversupport.analyze_scan(records, names)
+
+
+@pytest.fixture()
+def fresh_harvest_log():
+    """A small single-log harvest for the checkpoint benchmark."""
+    from repro.ct.loglist import build_default_logs
+    from repro.util.timeutil import utc_datetime
+    from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+    logs = build_default_logs(with_capacities=False, key_bits=256)
+    log = logs["Google Pilot log"]
+    ca = CertificateAuthority("Bench CA", key_bits=256)
+    now = utc_datetime(2018, 4, 18, 12, 0)
+    for index in range(40):
+        ca.issue(
+            IssuanceRequest(
+                (f"host{index}.bench.org", f"www.host{index}.bench.org")
+            ),
+            [log],
+            now,
+        )
+    return log
 
 
 @pytest.fixture(scope="session")

@@ -14,7 +14,7 @@
 from datetime import date, timedelta
 
 import pytest
-from conftest import ENUM_DOMAIN_SCALE, record_artifact
+from conftest import record_artifact
 
 from repro.core import enumeration, leakage
 from repro.util.rng import SeededRng

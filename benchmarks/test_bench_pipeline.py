@@ -1,0 +1,91 @@
+"""Serial vs sharded-parallel throughput for the hottest passes.
+
+Times the Table 2 FQDN pass (the heaviest per-item work) serially and
+on a 4-worker process pool at the benchmark's elevated scale, asserts
+the outputs are identical, and records a throughput artifact.  The
+>= 2x speedup bar only applies where the hardware can deliver it
+(>= 4 CPUs) and timing is meaningful (not benchmark-smoke mode).
+"""
+
+import os
+import time
+
+from conftest import DOMAIN_SCALE, record_artifact
+
+from repro.core import leakage
+from repro.pipeline import PipelineEngine, leakage_names
+
+BENCH_WORKERS = 4
+SPEEDUP_TARGET = 2.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_bench_pipeline_table2(domain_corpus, request):
+    names = domain_corpus.ct_fqdns
+    psl = domain_corpus.psl
+
+    serial_stats, serial_seconds = _timed(
+        lambda: leakage.analyze_names(names, psl)
+    )
+    engine = PipelineEngine(
+        workers=BENCH_WORKERS,
+        shard_size=max(1, len(names) // (BENCH_WORKERS * 4)),
+    )
+    parallel_stats, parallel_seconds = _timed(
+        lambda: leakage_names(names, engine, psl)
+    )
+
+    # The point of the exercise: sharding must not change a single bit.
+    assert parallel_stats == serial_stats
+    assert parallel_stats.top_labels(20) == serial_stats.top_labels(20)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    lines = [
+        "Pipeline throughput — Table 2 FQDN pass "
+        f"(scale 1:{int(1 / DOMAIN_SCALE)}, {len(names)} names, "
+        f"{os.cpu_count()} CPUs)",
+        f"  serial            {serial_seconds:8.3f} s   "
+        f"{len(names) / serial_seconds:10.0f} names/s",
+        f"  {BENCH_WORKERS} workers         {parallel_seconds:8.3f} s   "
+        f"{len(names) / parallel_seconds:10.0f} names/s",
+        f"  speedup           {speedup:8.2f}x",
+        f"  outputs identical: {parallel_stats == serial_stats}",
+    ]
+    record_artifact("pipeline", "\n".join(lines))
+
+    smoke = request.config.getoption("--benchmark-disable", default=False)
+    cpus = os.cpu_count() or 1
+    if cpus >= BENCH_WORKERS and not smoke:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x with {BENCH_WORKERS} workers "
+            f"on {cpus} CPUs, measured {speedup:.2f}x"
+        )
+
+
+def test_bench_pipeline_checkpoint_resume(tmp_path, fresh_harvest_log):
+    """Resuming from a checkpoint re-runs zero shards."""
+    from repro.ct.storage import dump_log
+    from repro.pipeline import analyze_harvest_names
+
+    path = tmp_path / "harvest.jsonl"
+    dump_log(fresh_harvest_log, path)
+    engine = PipelineEngine(workers=2, shard_size=8)
+
+    _, cold_seconds = _timed(
+        lambda: analyze_harvest_names(path, engine, checkpoint=True)
+    )
+    resumed, warm_seconds = _timed(
+        lambda: analyze_harvest_names(path, engine, checkpoint=True)
+    )
+    assert resumed == analyze_harvest_names(path)
+    record_artifact(
+        "pipeline_checkpoint",
+        "Checkpointed harvest re-analysis\n"
+        f"  cold run   {cold_seconds:8.3f} s\n"
+        f"  resumed    {warm_seconds:8.3f} s (all shards from checkpoint)",
+    )

@@ -6,7 +6,6 @@ parsing, and the passive analyzer.  Useful for catching performance
 regressions when extending the library.
 """
 
-import pytest
 
 from repro.ct.merkle import MerkleTree, verify_inclusion_proof
 from repro.ct.loglist import build_default_logs

@@ -71,6 +71,16 @@ class BroSctAnalyzer:
         self._embedded_names_cache: Dict[int, Tuple[str, ...]] = {}
         self._embedded_valid_cache: Dict[int, bool] = {}
 
+    def __getstate__(self) -> dict:
+        # The memo caches are keyed by object identity; in another
+        # process (e.g. a pipeline worker) ids are reassigned and a
+        # stale key could collide with a different certificate, so
+        # pickled copies start with empty caches.
+        state = self.__dict__.copy()
+        state["_embedded_names_cache"] = {}
+        state["_embedded_valid_cache"] = {}
+        return state
+
     def analyze(self, connection: TlsConnection) -> SctObservation:
         """Process one connection."""
         cert = connection.certificate

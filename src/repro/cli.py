@@ -19,12 +19,27 @@ import sys
 from datetime import date
 from typing import Callable, Dict, Optional
 
-from repro.core import adoption, enumeration, evolution, leakage, misissuance
+from repro.core import adoption, enumeration, evolution, misissuance
 from repro.core import report as rpt
 from repro.core import serversupport
 from repro.core.honeypot import CtHoneypotExperiment, render_table4
 from repro.core.phishdetect import PhishingDetector
 from repro.core.threatintel import build_threat_report, render_threat_report
+
+
+def _engine(args):
+    """Build the execution engine from ``--workers`` / ``--shard-size``.
+
+    ``--workers 1`` (the default) is the serial fallback: analyses run
+    the original single-threaded code and parallel runs are guaranteed
+    to produce the same bytes.
+    """
+    from repro.pipeline import DEFAULT_SHARD_SIZE, PipelineEngine
+
+    return PipelineEngine(
+        workers=args.workers,
+        shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+    )
 
 
 def _evolution_run(args):
@@ -37,25 +52,32 @@ def _evolution_run(args):
 
 
 def cmd_fig1a(args) -> str:
+    from repro.pipeline import evolution_growth
+
     run = _evolution_run(args)
-    growth = evolution.cumulative_precert_growth(run.logs)
+    growth = evolution_growth(run.logs, _engine(args))
     return rpt.render_figure1a(growth, weight=run.weight)
 
 
 def cmd_fig1b(args) -> str:
+    from repro.pipeline import evolution_rates
+
     run = _evolution_run(args)
-    return rpt.render_figure1b(evolution.relative_daily_rates(run.logs))
+    return rpt.render_figure1b(evolution_rates(run.logs, _engine(args)))
 
 
 def cmd_fig1c(args) -> str:
+    from repro.pipeline import evolution_matrix
+
     run = _evolution_run(args)
-    matrix = evolution.ca_log_matrix(run.logs, "2018-04")
-    load = evolution.log_load_report(run.logs, "2018-04")
+    matrix = evolution_matrix(run.logs, "2018-04", _engine(args))
+    load = evolution.log_load_report(run.logs, "2018-04", matrix=matrix)
     return rpt.render_figure1c(matrix) + "\n\n" + rpt.render_log_load(load)
 
 
 def _traffic_stats(args):
     from repro.bro.analyzer import BroSctAnalyzer
+    from repro.pipeline import traffic_adoption
     from repro.workloads.traffic import UplinkTrafficWorkload
 
     per_day = int(args.scale * 26.5e9 / 393) if args.scale else 400
@@ -63,7 +85,7 @@ def _traffic_stats(args):
         connections_per_day=max(50, per_day), seed=args.seed
     )
     analyzer = BroSctAnalyzer(workload.logs)
-    return adoption.aggregate(analyzer.analyze_stream(workload.stream()))
+    return traffic_adoption(workload.stream(), analyzer, _engine(args))
 
 
 def cmd_fig2(args) -> str:
@@ -111,14 +133,18 @@ def _domain_corpus(args, default_scale=1 / 2_000):
 
 
 def cmd_table2(args) -> str:
+    from repro.pipeline import leakage_names
+
     corpus = _domain_corpus(args, 1 / 1_000)
-    stats = leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+    stats = leakage_names(corpus.ct_fqdns, _engine(args), corpus.psl)
     return rpt.render_table2(stats, weight=1.0 / corpus.scale)
 
 
 def cmd_sec43(args) -> str:
+    from repro.pipeline import leakage_names
+
     corpus = _domain_corpus(args, 1 / 10_000)
-    stats = leakage.analyze_names(corpus.ct_fqdns, corpus.psl)
+    stats = leakage_names(corpus.ct_fqdns, _engine(args), corpus.psl)
     _, _, result = enumeration.run_enumeration_experiment(
         stats, corpus, seed=args.seed, with_ablations=args.ablations
     )
@@ -186,6 +212,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated:real ratio (artifact-specific default)",
     )
     parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded analysis passes "
+        "(1 = serial fallback; outputs are identical either way)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="entries per shard for parallel analysis (default 4096)",
+    )
     parser.add_argument(
         "--ablations",
         action="store_true",

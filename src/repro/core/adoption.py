@@ -112,6 +112,47 @@ def aggregate(observations: Iterable[SctObservation]) -> AdoptionStats:
     return stats
 
 
+def merge_stats(partials: Iterable[AdoptionStats]) -> AdoptionStats:
+    """Merge per-shard :class:`AdoptionStats` into one aggregate.
+
+    Every field is a weighted sum, so merging chunk aggregates (in any
+    grouping of the same observations) reproduces :func:`aggregate`
+    over the full stream exactly.  Key insertion order follows the
+    partial order, matching a serial fold over the concatenated
+    stream.
+    """
+    merged = AdoptionStats()
+    for partial in partials:
+        merged.total += partial.total
+        merged.with_any_sct += partial.with_any_sct
+        merged.with_cert_sct += partial.with_cert_sct
+        merged.with_tls_sct += partial.with_tls_sct
+        merged.with_ocsp_sct += partial.with_ocsp_sct
+        merged.overlap_cert_tls += partial.overlap_cert_tls
+        merged.overlap_cert_ocsp += partial.overlap_cert_ocsp
+        merged.overlap_tls_ocsp += partial.overlap_tls_ocsp
+        merged.client_support += partial.client_support
+        merged.invalid_embedded += partial.invalid_embedded
+        for day, daily in partial.daily.items():
+            into = merged.daily.get(day)
+            if into is None:
+                into = merged.daily[day] = DailyAdoption()
+            into.total += daily.total
+            into.with_any_sct += daily.with_any_sct
+            into.with_cert_sct += daily.with_cert_sct
+            into.with_tls_sct += daily.with_tls_sct
+            into.with_ocsp_sct += daily.with_ocsp_sct
+        for field_name in (
+            "cert_log_observations",
+            "tls_log_observations",
+            "ocsp_log_observations",
+        ):
+            into_counts = getattr(merged, field_name)
+            for name, count in getattr(partial, field_name).items():
+                into_counts[name] = into_counts.get(name, 0) + count
+    return merged
+
+
 def figure2_series(
     stats: AdoptionStats,
 ) -> Tuple[List[date], Dict[str, List[float]]]:

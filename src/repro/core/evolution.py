@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 from datetime import date, timedelta
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.ct.log import CTLog
 from repro.ct.sct import SctEntryType
@@ -25,32 +25,65 @@ def _precert_entries(logs: Iterable[CTLog]):
                 yield log, entry
 
 
-def cumulative_precert_growth(
-    logs: Dict[str, CTLog],
+#: A precertificate observation: (issuer org, serial, submission day).
+#: The (issuer, serial) pair identifies a unique precert across logs.
+PrecertRecord = Tuple[str, int, date]
+
+#: A log-load observation: (issuer org, log name, month key).
+MatrixRecord = Tuple[str, str, str]
+
+
+def growth_records(logs: Iterable[CTLog]) -> Iterator[PrecertRecord]:
+    """Flatten logs into the records Figures 1a/1b aggregate over."""
+    for _, entry in _precert_entries(logs):
+        cert = entry.certificate
+        yield cert.issuer_org, cert.serial, entry.submitted_at.date()
+
+
+def matrix_records(logs: Iterable[CTLog]) -> Iterator[MatrixRecord]:
+    """Flatten logs into the records Figure 1c aggregates over."""
+    for log, entry in _precert_entries(logs):
+        yield (
+            entry.certificate.issuer_org,
+            log.name,
+            month_key(entry.submitted_at.date()),
+        )
+
+
+def growth_map(records: Iterable[PrecertRecord]) -> Dict[Tuple[str, int], date]:
+    """Map step shared by Figures 1a and 1b: shard-local dedup.
+
+    Keeps, in stream order, the first submission day of every unique
+    (issuer, serial) seen in this shard; the reduce steps finish the
+    deduplication across shards.
+    """
+    firsts: Dict[Tuple[str, int], date] = {}
+    for issuer_org, serial, day in records:
+        key = (issuer_org, serial)
+        if key not in firsts:
+            firsts[key] = day
+    return firsts
+
+
+def growth_reduce(
+    partials: Iterable[Dict[Tuple[str, int], date]],
     *,
     start: Optional[date] = None,
     end: Optional[date] = None,
 ) -> Dict[str, List[Tuple[date, int]]]:
-    """Figure 1a: cumulative count of *unique* precertificates per CA.
-
-    A precertificate submitted to several logs counts once (identified
-    by issuer + serial).  Returns, per CA, a day-indexed cumulative
-    series covering only days with activity plus the series endpoints.
-    """
+    """Reduce step of Figure 1a; partials must arrive in shard order."""
     daily_new: Dict[str, Dict[date, int]] = defaultdict(lambda: defaultdict(int))
     seen: Set[Tuple[str, int]] = set()
-    for _, entry in _precert_entries(logs.values()):
-        cert = entry.certificate
-        key = (cert.issuer_org, cert.serial)
-        if key in seen:
-            continue
-        seen.add(key)
-        day = entry.submitted_at.date()
-        if start is not None and day < start:
-            continue
-        if end is not None and day > end:
-            continue
-        daily_new[cert.issuer_org][day] += 1
+    for partial in partials:
+        for key, day in partial.items():
+            if key in seen:
+                continue
+            seen.add(key)
+            if start is not None and day < start:
+                continue
+            if end is not None and day > end:
+                continue
+            daily_new[key[0]][day] += 1
     growth: Dict[str, List[Tuple[date, int]]] = {}
     for ca, per_day in daily_new.items():
         total = 0
@@ -62,24 +95,66 @@ def cumulative_precert_growth(
     return growth
 
 
-def relative_daily_rates(
-    logs: Dict[str, CTLog],
+def rates_reduce(
+    partials: Iterable[Dict[Tuple[str, int], date]],
 ) -> Dict[date, Dict[str, float]]:
-    """Figure 1b: each CA's share of the day's newly logged precerts."""
+    """Reduce step of Figure 1b; partials must arrive in shard order."""
     per_day: Dict[date, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
     seen: Set[Tuple[str, int]] = set()
-    for _, entry in _precert_entries(logs.values()):
-        cert = entry.certificate
-        key = (cert.issuer_org, cert.serial)
-        if key in seen:
-            continue
-        seen.add(key)
-        per_day[entry.submitted_at.date()][cert.issuer_org] += 1
+    for partial in partials:
+        for key, day in partial.items():
+            if key in seen:
+                continue
+            seen.add(key)
+            per_day[day][key[0]] += 1
     shares: Dict[date, Dict[str, float]] = {}
     for day, counts in per_day.items():
         total = sum(counts.values())
         shares[day] = {ca: count / total for ca, count in counts.items()}
     return shares
+
+
+def matrix_map(records: Iterable[MatrixRecord], month: str) -> Counter2D:
+    """Map step of Figure 1c: one shard's (CA, log) entry counts."""
+    matrix = Counter2D()
+    for issuer_org, log_name, entry_month in records:
+        if entry_month != month:
+            continue
+        matrix.add(issuer_org, log_name, 1)
+    return matrix
+
+
+def matrix_reduce(partials: Iterable[Counter2D]) -> Counter2D:
+    """Reduce step of Figure 1c; partials must arrive in shard order."""
+    merged = Counter2D()
+    for partial in partials:
+        merged.update(partial)
+    return merged
+
+
+def cumulative_precert_growth(
+    logs: Dict[str, CTLog],
+    *,
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+) -> Dict[str, List[Tuple[date, int]]]:
+    """Figure 1a: cumulative count of *unique* precertificates per CA.
+
+    A precertificate submitted to several logs counts once (identified
+    by issuer + serial).  Returns, per CA, a day-indexed cumulative
+    series covering only days with activity plus the series endpoints.
+    This is the single-shard case of the growth map/reduce pipeline.
+    """
+    return growth_reduce(
+        [growth_map(growth_records(logs.values()))], start=start, end=end
+    )
+
+
+def relative_daily_rates(
+    logs: Dict[str, CTLog],
+) -> Dict[date, Dict[str, float]]:
+    """Figure 1b: each CA's share of the day's newly logged precerts."""
+    return rates_reduce([growth_map(growth_records(logs.values()))])
 
 
 def ca_log_matrix(
@@ -90,12 +165,7 @@ def ca_log_matrix(
     Unlike 1a this counts entries, not unique precerts: the figure
     shows how logging load lands on logs.
     """
-    matrix = Counter2D()
-    for log, entry in _precert_entries(logs.values()):
-        if month_key(entry.submitted_at.date()) != month:
-            continue
-        matrix.add(entry.certificate.issuer_org, log.name, 1)
-    return matrix
+    return matrix_map(matrix_records(logs.values()), month)
 
 
 @dataclass(frozen=True)
@@ -110,10 +180,17 @@ class LogLoadReport:
 
 
 def log_load_report(
-    logs: Dict[str, CTLog], month: str = "2018-04"
+    logs: Dict[str, CTLog],
+    month: str = "2018-04",
+    matrix: Optional[Counter2D] = None,
 ) -> LogLoadReport:
-    """Quantify the (un)balanced utilization of logs the paper warns about."""
-    matrix = ca_log_matrix(logs, month)
+    """Quantify the (un)balanced utilization of logs the paper warns about.
+
+    ``matrix`` may be a precomputed :func:`ca_log_matrix` for the same
+    month (e.g. from the sharded pipeline) to avoid a second scan.
+    """
+    if matrix is None:
+        matrix = ca_log_matrix(logs, month)
     per_log = {name: matrix.col_total(name) for name in matrix.cols()}
     total = sum(per_log.values())
     values = list(per_log.values())

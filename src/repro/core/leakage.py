@@ -70,6 +70,104 @@ def extract_names_from_certificates(
         yield from cert.dns_names()
 
 
+@dataclass
+class LeakagePartial:
+    """Chunk-local partial of the name pipeline (mergeable).
+
+    ``candidates`` keeps the chunk's *first occurrence* of every valid
+    FQDN in stream order, already split against the PSL; the reduce
+    step deduplicates across chunks and folds label counts.  Reducing
+    a single chunk's partial reproduces :func:`analyze_names` exactly,
+    which is what keeps the sharded pipeline bit-identical to the
+    serial pass.
+    """
+
+    total_names_seen: int = 0
+    invalid_names: int = 0
+    #: candidate -> (subdomain labels, public suffix), insertion-ordered.
+    candidates: Dict[str, Tuple[Tuple[str, ...], Optional[str]]] = field(
+        default_factory=dict
+    )
+
+
+def map_name_chunk(
+    names: Iterable[str],
+    psl: Optional[PublicSuffixList] = None,
+) -> LeakagePartial:
+    """The map step: validate, deduplicate, and PSL-split one chunk."""
+    psl = psl or default_psl()
+    partial = LeakagePartial()
+    for raw in names:
+        partial.total_names_seen += 1
+        name = normalize_name(raw)
+        wildcard = name.startswith("*.")
+        candidate = name[2:] if wildcard else name
+        if not is_valid_fqdn(candidate):
+            partial.invalid_names += 1
+            continue
+        if candidate in partial.candidates:
+            continue
+        labels, _registrable, suffix = psl.split(candidate)
+        partial.candidates[candidate] = (tuple(labels), suffix)
+    return partial
+
+
+def reduce_name_partials(
+    partials: Iterable[LeakagePartial],
+) -> LeakageStats:
+    """The reduce step: global dedup + label ranking, in chunk order.
+
+    Chunks must arrive in stream order: the first chunk containing a
+    FQDN determines when its labels enter the counters, matching the
+    serial pass's first-occurrence semantics (and therefore its
+    tie-breaking in ``most_common``).
+    """
+    stats = LeakageStats()
+    seen: Set[str] = set()
+    per_suffix: Dict[str, Counter] = defaultdict(Counter)
+    for partial in partials:
+        stats.total_names_seen += partial.total_names_seen
+        stats.invalid_names += partial.invalid_names
+        for candidate, (labels, suffix) in partial.candidates.items():
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            stats.unique_fqdns += 1
+            if not labels:
+                continue
+            stats.fqdns_with_subdomains += 1
+            for label in labels:
+                stats.label_counts[label] += 1
+                if suffix is not None:
+                    per_suffix[suffix][label] += 1
+    stats.per_suffix_labels = dict(per_suffix)
+    return stats
+
+
+def encode_leakage_partial(partial: LeakagePartial) -> dict:
+    """JSON-serializable form of a partial (for shard checkpoints)."""
+    return {
+        "total": partial.total_names_seen,
+        "invalid": partial.invalid_names,
+        "candidates": [
+            [candidate, list(labels), suffix]
+            for candidate, (labels, suffix) in partial.candidates.items()
+        ],
+    }
+
+
+def decode_leakage_partial(data: dict) -> LeakagePartial:
+    """Inverse of :func:`encode_leakage_partial`."""
+    return LeakagePartial(
+        total_names_seen=data["total"],
+        invalid_names=data["invalid"],
+        candidates={
+            candidate: (tuple(labels), suffix)
+            for candidate, labels, suffix in data["candidates"]
+        },
+    )
+
+
 def analyze_names(
     names: Iterable[str],
     psl: Optional[PublicSuffixList] = None,
@@ -78,33 +176,9 @@ def analyze_names(
 
     Every FQDN is counted only once (paper Section 4.1); invalid names
     are dropped; wildcard labels (``*``) are not subdomain labels.
+    This is the single-chunk case of the sharded map/reduce pipeline.
     """
-    psl = psl or default_psl()
-    stats = LeakageStats()
-    seen: Set[str] = set()
-    per_suffix: Dict[str, Counter] = defaultdict(Counter)
-    for raw in names:
-        stats.total_names_seen += 1
-        name = normalize_name(raw)
-        wildcard = name.startswith("*.")
-        candidate = name[2:] if wildcard else name
-        if not is_valid_fqdn(candidate):
-            stats.invalid_names += 1
-            continue
-        if candidate in seen:
-            continue
-        seen.add(candidate)
-        stats.unique_fqdns += 1
-        labels, registrable, suffix = psl.split(candidate)
-        if not labels:
-            continue
-        stats.fqdns_with_subdomains += 1
-        for label in labels:
-            stats.label_counts[label] += 1
-            if suffix is not None:
-                per_suffix[suffix][label] += 1
-    stats.per_suffix_labels = dict(per_suffix)
-    return stats
+    return reduce_name_partials([map_name_chunk(names, psl)])
 
 
 def analyze_certificates(

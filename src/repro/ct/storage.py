@@ -12,7 +12,7 @@ from __future__ import annotations
 import base64
 import json
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from repro.ct.log import CTLog, LogEntry
 from repro.ct.sct import SctEntryType
@@ -104,6 +104,148 @@ def iter_stored_entries(path: Union[str, Path]) -> Iterator[dict]:
             line = line.strip()
             if line:
                 yield json.loads(line)
+
+
+def read_tree_head(path: Union[str, Path]) -> dict:
+    """Return a harvest file's tree-head trailer without loading entries."""
+    trailer: Optional[dict] = None
+    for record in iter_stored_entries(path):
+        if record.get("type") == "tree-head":
+            trailer = record
+    if trailer is None:
+        raise LogStorageError("harvest file has no tree-head trailer")
+    return trailer
+
+
+class HarvestCheckpoint:
+    """Incremental checkpoint for a sharded analysis of one harvest.
+
+    A JSON-lines sidecar next to the harvest file: a header binding
+    the checkpoint to one harvest state (tree size + root hash), one
+    analysis pass, and one shard size — followed by one line per
+    completed shard carrying its JSON-encoded partial result.  A
+    resumed run skips the recorded shards and re-runs only the rest.
+
+    Any corruption or mismatch (harvest re-harvested, different pass,
+    different shard plan, truncated/garbled lines) raises
+    :class:`LogStorageError` instead of silently resuming from
+    partials that no longer describe the data.
+    """
+
+    VERSION = 1
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        pass_name: str,
+        shard_size: int,
+        tree_size: int,
+        root_hash: str,
+    ) -> None:
+        self.path = Path(path)
+        self.pass_name = pass_name
+        self.shard_size = shard_size
+        self.tree_size = tree_size
+        self.root_hash = root_hash
+
+    @classmethod
+    def for_harvest(
+        cls,
+        harvest_path: Union[str, Path],
+        pass_name: str,
+        shard_size: int,
+        suffix: str = ".checkpoint",
+    ) -> "HarvestCheckpoint":
+        """Open the sidecar checkpoint for a harvest file's current state."""
+        trailer = read_tree_head(harvest_path)
+        return cls(
+            Path(str(harvest_path) + suffix),
+            pass_name=pass_name,
+            shard_size=shard_size,
+            tree_size=trailer["tree_size"],
+            root_hash=trailer["root_hash"],
+        )
+
+    def _header(self) -> dict:
+        return {
+            "type": "checkpoint-header",
+            "version": self.VERSION,
+            "pass": self.pass_name,
+            "shard_size": self.shard_size,
+            "tree_size": self.tree_size,
+            "root_hash": self.root_hash,
+        }
+
+    def completed(self) -> Dict[int, object]:
+        """Shard index -> recorded payload for every completed shard."""
+        if not self.path.exists():
+            return {}
+        done: Dict[int, object] = {}
+        header_seen = False
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise LogStorageError(
+                        f"corrupted shard checkpoint {self.path}: {exc}"
+                    ) from exc
+                if not isinstance(record, dict):
+                    raise LogStorageError(
+                        f"corrupted shard checkpoint {self.path}: "
+                        "record is not an object"
+                    )
+                if not header_seen:
+                    if record != self._header():
+                        raise LogStorageError(
+                            f"checkpoint {self.path} does not match this "
+                            "harvest/pass/shard plan"
+                        )
+                    header_seen = True
+                    continue
+                if record.get("type") != "shard" or "index" not in record:
+                    raise LogStorageError(
+                        f"corrupted shard checkpoint {self.path}: "
+                        "malformed shard record"
+                    )
+                index = record["index"]
+                if not isinstance(index, int) or index < 0:
+                    raise LogStorageError(
+                        f"corrupted shard checkpoint {self.path}: "
+                        f"bad shard index {index!r}"
+                    )
+                done[index] = record.get("payload")
+        if not header_seen:
+            raise LogStorageError(
+                f"corrupted shard checkpoint {self.path}: missing header"
+            )
+        return done
+
+    def record(self, index: int, payload: object) -> None:
+        """Append one completed shard's partial result."""
+        new_file = not self.path.exists()
+        with self.path.open("a", encoding="utf-8") as handle:
+            if new_file:
+                handle.write(
+                    json.dumps(self._header(), separators=(",", ":")) + "\n"
+                )
+            handle.write(
+                json.dumps(
+                    {"type": "shard", "index": index, "payload": payload},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            handle.flush()
+
+    def clear(self) -> None:
+        """Remove the sidecar (e.g. after the analysis completed)."""
+        if self.path.exists():
+            self.path.unlink()
 
 
 def load_log(path: Union[str, Path], into: CTLog) -> int:

@@ -1,0 +1,65 @@
+"""Sharded map-reduce execution for the heavy analysis passes.
+
+The paper's corpora are huge — hundreds of millions of log entries,
+26.5G connections, 206M domains — and every analysis in this
+reproduction decomposes the same way related CT monitors do: process
+each log (or index range, or stream chunk) independently and merge the
+typed partial results into one view.  This package provides
+
+* :mod:`repro.pipeline.shard` — shard planning (per-log and
+  per-index-range);
+* :mod:`repro.pipeline.merge` — typed mergers (counter, top-k,
+  set-union) for partial results;
+* :mod:`repro.pipeline.engine` — :class:`PipelineEngine`, the
+  ``concurrent.futures`` fan-out with a serial fallback and
+  checkpoint support;
+* :mod:`repro.pipeline.passes` — the three hottest paper passes
+  (Fig. 1a-1c log evolution, Fig. 2 / Table 1 SCT traffic, Table 2 /
+  Section 4.3 FQDN leakage) ported onto the engine;
+* :mod:`repro.pipeline.harvest` — checkpointed analysis of stored
+  harvests (see :mod:`repro.ct.storage`).
+
+Parallel and serial paths produce bit-identical outputs: partials are
+always merged in shard order, and the serial implementations are the
+single-shard special case of the same map/reduce decomposition.
+"""
+
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.harvest import analyze_harvest_names
+from repro.pipeline.merge import (
+    CounterMerge,
+    SetUnionMerge,
+    TopKMerge,
+    merge_counter2d,
+)
+from repro.pipeline.passes import (
+    evolution_growth,
+    evolution_matrix,
+    evolution_rates,
+    leakage_names,
+    traffic_adoption,
+)
+from repro.pipeline.shard import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    plan_log_shards,
+    plan_sequence_shards,
+)
+
+__all__ = [
+    "PipelineEngine",
+    "CounterMerge",
+    "TopKMerge",
+    "SetUnionMerge",
+    "merge_counter2d",
+    "Shard",
+    "DEFAULT_SHARD_SIZE",
+    "plan_log_shards",
+    "plan_sequence_shards",
+    "evolution_growth",
+    "evolution_rates",
+    "evolution_matrix",
+    "traffic_adoption",
+    "leakage_names",
+    "analyze_harvest_names",
+]

@@ -1,0 +1,147 @@
+"""The sharded map-reduce executor.
+
+:class:`PipelineEngine` fans shard tasks out to a
+``concurrent.futures`` pool (process or thread) and hands the partial
+results, **in shard order**, to a reduce function.  ``workers=1`` is
+the serial fallback: the same map/reduce code runs inline, so the
+parallel path can be validated against it bit-for-bit.
+
+A checkpoint object (see :class:`repro.ct.storage.HarvestCheckpoint`)
+may be attached to a run; completed shards are then skipped on resume
+and newly finished shards are recorded as they complete.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.pipeline.shard import DEFAULT_SHARD_SIZE
+
+MapFn = Callable[[Any], Any]
+ReduceFn = Callable[[List[Any]], Any]
+Codec = Callable[[Any], Any]
+
+EXECUTORS = ("process", "thread", "serial")
+
+
+class PipelineEngine:
+    """Fan shard tasks out to a worker pool and merge in shard order.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` (the default) runs everything inline —
+        the opt-in serial fallback that parallel results are asserted
+        against.
+    shard_size:
+        Target entries per shard; passes use it when planning shards.
+    executor:
+        ``"process"`` (default), ``"thread"``, or ``"serial"``.
+        Process pools need picklable map functions (module-level) and
+        task payloads; thread pools trade that constraint for the GIL.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        executor: str = "process",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        self.workers = workers
+        self.shard_size = shard_size
+        self.executor = executor
+
+    @property
+    def serial(self) -> bool:
+        """True when map tasks run inline rather than on a pool."""
+        return self.workers == 1 or self.executor == "serial"
+
+    # -- execution -----------------------------------------------------------
+
+    def map(
+        self,
+        map_fn: MapFn,
+        tasks: Sequence[Any],
+        *,
+        checkpoint: Optional[Any] = None,
+        encode: Optional[Codec] = None,
+        decode: Optional[Codec] = None,
+    ) -> List[Any]:
+        """Run ``map_fn`` over every task; return partials in task order.
+
+        ``checkpoint`` must offer ``completed() -> Dict[int, payload]``
+        and ``record(index, payload)``; ``encode``/``decode`` convert
+        partials to/from the checkpoint's serializable payloads.
+        """
+        results: List[Any] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        if checkpoint is not None:
+            done = checkpoint.completed()
+            for index, payload in done.items():
+                if 0 <= index < len(results):
+                    results[index] = decode(payload) if decode else payload
+            pending = [i for i in pending if i not in done]
+        if self.serial or len(pending) <= 1:
+            for index in pending:
+                results[index] = map_fn(tasks[index])
+                self._record(checkpoint, encode, index, results[index])
+            return results
+        pool_cls = (
+            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        )
+        pool: Executor
+        with pool_cls(max_workers=min(self.workers, len(pending))) as pool:
+            futures = {pool.submit(map_fn, tasks[i]): i for i in pending}
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                self._record(checkpoint, encode, index, results[index])
+        return results
+
+    def map_reduce(
+        self,
+        map_fn: MapFn,
+        tasks: Sequence[Any],
+        reduce_fn: ReduceFn,
+        *,
+        checkpoint: Optional[Any] = None,
+        encode: Optional[Codec] = None,
+        decode: Optional[Codec] = None,
+    ) -> Any:
+        """``reduce_fn`` over the ordered partials of :meth:`map`."""
+        return reduce_fn(
+            self.map(
+                map_fn,
+                tasks,
+                checkpoint=checkpoint,
+                encode=encode,
+                decode=decode,
+            )
+        )
+
+    @staticmethod
+    def _record(
+        checkpoint: Optional[Any], encode: Optional[Codec], index: int, result: Any
+    ) -> None:
+        if checkpoint is not None:
+            checkpoint.record(index, encode(result) if encode else result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PipelineEngine(workers={self.workers}, "
+            f"shard_size={self.shard_size}, executor={self.executor!r})"
+        )

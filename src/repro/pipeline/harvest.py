@@ -1,0 +1,91 @@
+"""Checkpointed, sharded analysis of stored harvests.
+
+A harvest file (see :mod:`repro.ct.storage`) is an append-ordered
+entry sequence with a verified tree head — exactly the shape the
+shard planner wants.  Workers read their own index range straight
+from disk, so task payloads stay tiny and a resumed run re-reads only
+the shards that were not checkpointed yet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core import leakage
+from repro.ct.storage import (
+    HarvestCheckpoint,
+    certificate_from_dict,
+    iter_stored_entries,
+    read_tree_head,
+)
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.shard import plan_sequence_shards
+
+#: Pass name recorded in checkpoints; changing the pass semantics
+#: must change this name so stale checkpoints are rejected.
+FQDN_LEAKAGE_PASS = "fqdn-leakage-v1"
+
+
+def harvest_entry_names(
+    path: Union[str, Path], start: int, stop: int
+) -> List[str]:
+    """CN/SAN DNS names of the stored entries with indices [start, stop)."""
+    names: List[str] = []
+    index = 0
+    for record in iter_stored_entries(path):
+        if record.get("type") != "entry":
+            continue
+        if index >= stop:
+            break
+        if index >= start:
+            names.extend(
+                certificate_from_dict(record["certificate"]).dns_names()
+            )
+        index += 1
+    return names
+
+
+def _harvest_leakage_task(
+    payload: Tuple[str, int, int]
+) -> leakage.LeakagePartial:
+    path, start, stop = payload
+    return leakage.map_name_chunk(harvest_entry_names(path, start, stop))
+
+
+def analyze_harvest_names(
+    path: Union[str, Path],
+    engine: Optional[PipelineEngine] = None,
+    *,
+    checkpoint: bool = False,
+) -> leakage.LeakageStats:
+    """Run the Section 4.2 FQDN pass over one stored harvest.
+
+    Shards the harvest by entry index range, extracts CN/SAN names per
+    shard, and reduces in shard order — identical to loading the
+    harvest and running ``leakage.analyze_certificates`` serially.
+
+    With ``checkpoint=True`` a ``<harvest>.checkpoint`` sidecar records
+    every finished shard; re-running after an interruption resumes
+    from the last completed shard.  A corrupted or mismatched sidecar
+    raises :class:`repro.ct.storage.LogStorageError`.
+    """
+    engine = engine or PipelineEngine()
+    trailer = read_tree_head(path)
+    shards = plan_sequence_shards(
+        trailer["tree_size"], engine.shard_size, source=str(path)
+    )
+    tasks = [(str(path), shard.start, shard.stop) for shard in shards]
+    store: Optional[HarvestCheckpoint] = None
+    if checkpoint:
+        store = HarvestCheckpoint.for_harvest(
+            path, FQDN_LEAKAGE_PASS, engine.shard_size
+        )
+    return engine.map_reduce(
+        _harvest_leakage_task,
+        tasks,
+        leakage.reduce_name_partials,
+        checkpoint=store,
+        encode=leakage.encode_leakage_partial,
+        decode=leakage.decode_leakage_partial,
+    )

@@ -1,0 +1,77 @@
+"""Typed mergers for partial analysis results.
+
+Every parallel pass reduces to one of three merge shapes:
+
+* **counter merge** — sum integer counts per key (Fig. 1c cells,
+  Table 1 per-log observations, Table 2 label counts);
+* **top-k merge** — counter merge followed by ranking (Table 2's top
+  20 labels); partials must be *complete* per-shard counts, not
+  per-shard top-k lists, for the merged ranking to be exact;
+* **set-union merge** — deduplicated unions (unique FQDNs, unique
+  precertificate identities).
+
+All mergers preserve first-seen key order across partials, merged in
+partial order.  ``Counter.most_common`` and :class:`Counter2D` break
+count ties by insertion order, so preserving it is what makes a
+parallel merge reproduce the serial ranking bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+from repro.util.stats import Counter2D
+
+Key = Hashable
+
+
+class CounterMerge:
+    """Sum integer-count mappings, preserving first-seen key order."""
+
+    def merge(self, partials: Iterable[Mapping[Key, int]]) -> Dict[Key, int]:
+        merged: Dict[Key, int] = {}
+        for partial in partials:
+            for key, count in partial.items():
+                merged[key] = merged.get(key, 0) + count
+        return merged
+
+
+class TopKMerge:
+    """Merge complete per-shard counts and rank the top ``k`` keys.
+
+    Ties rank in first-seen order across partials — the same order a
+    serial ``Counter`` built from the concatenated stream would use.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def merge(
+        self, partials: Iterable[Mapping[Key, int]]
+    ) -> List[Tuple[Key, int]]:
+        merged = Counter()
+        for partial in partials:
+            for key, count in partial.items():
+                merged[key] += count
+        return merged.most_common(self.k)
+
+
+class SetUnionMerge:
+    """Union partial key sets (deduplicated identities)."""
+
+    def merge(self, partials: Iterable[Iterable[Key]]) -> Set[Key]:
+        merged: Set[Key] = set()
+        for partial in partials:
+            merged.update(partial)
+        return merged
+
+
+def merge_counter2d(partials: Iterable[Counter2D]) -> Counter2D:
+    """Merge sparse 2-D counters cell-wise, preserving insertion order."""
+    merged = Counter2D()
+    for partial in partials:
+        merged.update(partial)
+    return merged

@@ -1,0 +1,158 @@
+"""The three hottest analysis passes, ported onto the engine.
+
+Each pass shards its corpus, maps the shards on the engine's pool,
+and reduces the typed partials in shard order.  With a serial engine
+(``workers=1``) the pass calls the original single-threaded code
+directly, so ``--workers 1`` is always the exact reference output and
+``--workers N`` is asserted (by the test suite) to match it
+bit-for-bit.
+
+Map functions live at module level so process pools can pickle them;
+task payloads carry plain data (record tuples, name chunks,
+connection chunks) rather than whole log objects.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bro.analyzer import BroSctAnalyzer
+from repro.core import adoption, evolution, leakage
+from repro.ct.log import CTLog
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.shard import plan_sequence_shards
+from repro.tls.connection import TlsConnection
+from repro.util.stats import Counter2D
+
+# -- module-level map tasks (picklable for process pools) ------------------
+
+
+def _growth_task(records: List[evolution.PrecertRecord]):
+    return evolution.growth_map(records)
+
+
+def _matrix_task(payload: Tuple[List[evolution.MatrixRecord], str]) -> Counter2D:
+    records, month = payload
+    return evolution.matrix_map(records, month)
+
+
+def _leakage_task(
+    payload: Tuple[List[str], Optional[PublicSuffixList]]
+) -> leakage.LeakagePartial:
+    names, psl = payload
+    return leakage.map_name_chunk(names, psl)
+
+
+def _traffic_task(
+    payload: Tuple[BroSctAnalyzer, List[TlsConnection]]
+) -> adoption.AdoptionStats:
+    analyzer, connections = payload
+    return adoption.aggregate(
+        analyzer.analyze(connection) for connection in connections
+    )
+
+
+# -- pass drivers ----------------------------------------------------------
+
+
+def _sequence_tasks(items: List, engine: PipelineEngine, source: str):
+    shards = plan_sequence_shards(len(items), engine.shard_size, source)
+    return [shard.slice(items) for shard in shards]
+
+
+def evolution_growth(
+    logs: Dict[str, CTLog],
+    engine: Optional[PipelineEngine] = None,
+    *,
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+):
+    """Figure 1a via the engine (== ``evolution.cumulative_precert_growth``)."""
+    engine = engine or PipelineEngine()
+    if engine.serial:
+        return evolution.cumulative_precert_growth(logs, start=start, end=end)
+    records = list(evolution.growth_records(logs.values()))
+    tasks = _sequence_tasks(records, engine, "precerts")
+    return engine.map_reduce(
+        _growth_task,
+        tasks,
+        lambda partials: evolution.growth_reduce(partials, start=start, end=end),
+    )
+
+
+def evolution_rates(
+    logs: Dict[str, CTLog], engine: Optional[PipelineEngine] = None
+):
+    """Figure 1b via the engine (== ``evolution.relative_daily_rates``)."""
+    engine = engine or PipelineEngine()
+    if engine.serial:
+        return evolution.relative_daily_rates(logs)
+    records = list(evolution.growth_records(logs.values()))
+    tasks = _sequence_tasks(records, engine, "precerts")
+    return engine.map_reduce(_growth_task, tasks, evolution.rates_reduce)
+
+
+def evolution_matrix(
+    logs: Dict[str, CTLog],
+    month: str = "2018-04",
+    engine: Optional[PipelineEngine] = None,
+) -> Counter2D:
+    """Figure 1c via the engine (== ``evolution.ca_log_matrix``)."""
+    engine = engine or PipelineEngine()
+    if engine.serial:
+        return evolution.ca_log_matrix(logs, month)
+    records = list(evolution.matrix_records(logs.values()))
+    tasks = [
+        (chunk, month) for chunk in _sequence_tasks(records, engine, "entries")
+    ]
+    return engine.map_reduce(_matrix_task, tasks, evolution.matrix_reduce)
+
+
+def traffic_adoption(
+    connections: Iterable[TlsConnection],
+    analyzer: BroSctAnalyzer,
+    engine: Optional[PipelineEngine] = None,
+) -> adoption.AdoptionStats:
+    """Figure 2 / Table 1 accounting via the engine.
+
+    Equals ``adoption.aggregate(analyzer.analyze_stream(connections))``:
+    every aggregate field is a weighted sum, so chunk aggregates merge
+    exactly.
+    """
+    engine = engine or PipelineEngine()
+    if engine.serial:
+        return adoption.aggregate(analyzer.analyze_stream(connections))
+    materialized = list(connections)
+    tasks = [
+        (analyzer, chunk)
+        for chunk in _sequence_tasks(materialized, engine, "connections")
+    ]
+    return engine.map_reduce(_traffic_task, tasks, adoption.merge_stats)
+
+
+def leakage_names(
+    names: Iterable[str],
+    engine: Optional[PipelineEngine] = None,
+    psl: Optional[PublicSuffixList] = None,
+) -> leakage.LeakageStats:
+    """Table 2 / Section 4.3 FQDN pass via the engine.
+
+    Equals ``leakage.analyze_names(names, psl)``; cross-shard FQDN
+    deduplication happens in the in-order reduce.
+    """
+    engine = engine or PipelineEngine()
+    if engine.serial:
+        return leakage.analyze_names(names, psl)
+    materialized = list(names)
+    # Workers rebuild the shared default PSL locally instead of
+    # unpickling a copy per task.
+    payload_psl = None if psl is None or psl is default_psl() else psl
+    tasks = [
+        (chunk, payload_psl)
+        for chunk in _sequence_tasks(materialized, engine, "fqdns")
+    ]
+    return engine.map_reduce(
+        _leakage_task, tasks, leakage.reduce_name_partials
+    )

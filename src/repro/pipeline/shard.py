@@ -1,0 +1,95 @@
+"""Shard planning: split corpora into independently processable chunks.
+
+Two decompositions cover every pass in the reproduction:
+
+* **per-log + per-index-range** — a CT harvest is naturally a set of
+  logs, each an append-only entry sequence; a shard is a half-open
+  index range ``[start, stop)`` within one log;
+* **per-sequence-range** — flat corpora (a connection stream, the CT
+  FQDN list) shard into contiguous ranges of one anonymous source.
+
+Shards carry a dense global ``index`` that fixes the merge order:
+reducing partials in index order reproduces the serial iteration
+order exactly, which is what keeps parallel outputs bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, TypeVar
+
+#: Default entries per shard; small enough to balance a pool, large
+#: enough that per-task overhead stays negligible.
+DEFAULT_SHARD_SIZE = 4096
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A half-open range ``[start, stop)`` of one source's items."""
+
+    index: int
+    source: str
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid shard range [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def slice(self, items: Sequence[T]) -> Sequence[T]:
+        """The shard's items out of its source sequence."""
+        return items[self.start : self.stop]
+
+
+def _check_shard_size(shard_size: int) -> None:
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+
+
+def plan_sequence_shards(
+    total: int, shard_size: int = DEFAULT_SHARD_SIZE, source: str = "stream"
+) -> List[Shard]:
+    """Split ``total`` items of one source into index-range shards."""
+    _check_shard_size(shard_size)
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    return [
+        Shard(
+            index=index,
+            source=source,
+            start=start,
+            stop=min(start + shard_size, total),
+        )
+        for index, start in enumerate(range(0, total, shard_size))
+    ]
+
+
+def plan_log_shards(
+    log_sizes: Mapping[str, int], shard_size: int = DEFAULT_SHARD_SIZE
+) -> List[Shard]:
+    """Per-log, per-index-range shards over a harvest.
+
+    ``log_sizes`` maps log name -> entry count, in the order the
+    serial pass iterates the logs; the resulting shard indices follow
+    that order so an in-order merge replays the serial scan.
+    """
+    _check_shard_size(shard_size)
+    shards: List[Shard] = []
+    for name, size in log_sizes.items():
+        if size < 0:
+            raise ValueError(f"log {name!r} has negative size {size}")
+        for start in range(0, size, shard_size):
+            shards.append(
+                Shard(
+                    index=len(shards),
+                    source=name,
+                    start=start,
+                    stop=min(start + shard_size, size),
+                )
+            )
+    return shards

@@ -86,6 +86,16 @@ class Counter2D:
     def get(self, row: Hashable, col: Hashable) -> int:
         return self._cells.get((row, col), 0)
 
+    def update(self, other: "Counter2D") -> None:
+        """Add another counter's cells, in their insertion order.
+
+        Replaying cells in order keeps row/col first-seen order — and
+        therefore ``rows()``/``cols()`` tie-breaking — identical to a
+        serial build over the concatenated streams.
+        """
+        for (row, col), count in other._cells.items():
+            self.add(row, col, count)
+
     def row_total(self, row: Hashable) -> int:
         return self._rows.get(row, 0)
 

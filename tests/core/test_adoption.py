@@ -106,3 +106,27 @@ def test_empty_aggregation():
     assert stats.share("with_any_sct") == 0.0
     days, series = adoption.figure2_series(stats)
     assert days == []
+
+
+def test_merge_stats_equals_full_aggregate():
+    workload = UplinkTrafficWorkload(
+        connections_per_day=60,
+        start=date(2017, 5, 1),
+        end=date(2017, 5, 20),
+        seed=13,
+    )
+    analyzer = BroSctAnalyzer(workload.logs)
+    observations = [analyzer.analyze(c) for c in workload.stream()]
+    whole = adoption.aggregate(observations)
+    chunked = adoption.merge_stats(
+        adoption.aggregate(observations[start : start + 37])
+        for start in range(0, len(observations), 37)
+    )
+    assert chunked == whole
+
+
+def test_merge_stats_empty_and_identity():
+    assert adoption.merge_stats([]) == adoption.AdoptionStats()
+    one = adoption.AdoptionStats(total=5, with_any_sct=2)
+    one.cert_log_observations = {"Pilot": 3}
+    assert adoption.merge_stats([one]) == one

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import enumeration, leakage
 from repro.workloads.domains import DomainWorkload
-from repro.workloads.sonar import SonarWorkload
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the Section 6 honeypot experiment."""
 
-from datetime import timedelta
 
 import pytest
 

@@ -92,3 +92,40 @@ def test_wordlist_overlap():
     stats = leakage.analyze_names(["www.x.com", "api.x.com"])
     overlap = leakage.wordlist_overlap(["WWW", "api", "nope"], stats)
     assert overlap == ["api", "www"]
+
+
+def test_map_reduce_chunks_equal_serial():
+    names = [
+        "www.a.com", "MAIL.a.com", "www.a.com", "*.b.org", "bad_label.c.net",
+        "git.d.tech", "www.b.org", "shop.e.co.uk", "localhost", "api.f.io",
+    ]
+    serial = leakage.analyze_names(names)
+    chunked = leakage.reduce_name_partials(
+        [leakage.map_name_chunk(names[i : i + 3]) for i in range(0, len(names), 3)]
+    )
+    assert chunked == serial
+    # Ranking tie-breaks depend on insertion order; it must match too.
+    assert chunked.top_labels(10) == serial.top_labels(10)
+
+
+def test_cross_chunk_duplicates_count_once():
+    chunked = leakage.reduce_name_partials(
+        [
+            leakage.map_name_chunk(["www.dup.com", "api.x.com"]),
+            leakage.map_name_chunk(["www.dup.com", "www.dup.com"]),
+        ]
+    )
+    assert chunked.unique_fqdns == 2
+    assert chunked.label_counts["www"] == 1
+    assert chunked.total_names_seen == 4
+
+
+def test_leakage_partial_codec_round_trip():
+    partial = leakage.map_name_chunk(
+        ["www.a.com", "*.b.org", "bad_label.c.net", "git.d.tech"]
+    )
+    decoded = leakage.decode_leakage_partial(
+        leakage.encode_leakage_partial(partial)
+    )
+    assert decoded == partial
+    assert list(decoded.candidates) == list(partial.candidates)

@@ -7,7 +7,6 @@ import pytest
 from repro.ct.auditor import GossipPool, LogAuditor, make_split_view_log
 from repro.ct.log import CTLog, SignedTreeHead
 from repro.ct.loglist import log_key
-from repro.util.timeutil import utc_datetime
 from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
 

@@ -8,7 +8,6 @@ from repro.ct.log import CTLog
 from repro.ct.loglist import log_key
 from repro.ct.monitor import BatchMonitor, StreamingMonitor, watch_logs
 from repro.util.rng import SeededRng
-from repro.util.timeutil import utc_datetime
 from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ct.redaction import (
-    REDACTED_LABEL,
     RedactionPolicy,
     leakage_reduction,
     redact_certificate,

@@ -9,10 +9,7 @@ from repro.ct.sct import (
     precert_signing_input,
     x509_signing_input,
 )
-from repro.util.timeutil import utc_datetime
 from repro.x509.certificate import (
-    Extension,
-    POISON_EXTENSION_OID,
     SCT_LIST_EXTENSION_OID,
 )
 from repro.x509 import crypto

@@ -1,0 +1,141 @@
+"""Sharded re-analysis and checkpointing of stored harvests.
+
+A harvest saved serially must load and verify identically when
+re-analyzed with ``workers > 1``, and a corrupted shard checkpoint
+must raise :class:`LogStorageError` rather than silently resuming.
+"""
+
+import json
+
+import pytest
+
+from repro.ct.log import CTLog
+from repro.ct.storage import (
+    HarvestCheckpoint,
+    LogStorageError,
+    dump_log,
+    load_log,
+    read_tree_head,
+)
+from repro.pipeline import PipelineEngine, analyze_harvest_names
+from repro.pipeline.harvest import FQDN_LEAKAGE_PASS, harvest_entry_names
+from repro.x509.ca import IssuanceRequest
+
+
+@pytest.fixture()
+def harvest(tmp_path, ca, fresh_logs, now):
+    """A serially saved harvest of one log with 20 certificates."""
+    log = fresh_logs["Google Pilot log"]
+    for index in range(20):
+        ca.issue(
+            IssuanceRequest(
+                (f"host{index}.example.org", f"www.host{index}.example.org")
+            ),
+            [log],
+            now,
+        )
+    path = tmp_path / "pilot.jsonl"
+    count = dump_log(log, path)
+    assert count == len(log.entries)
+    return path, log
+
+
+class TestShardedHarvestAnalysis:
+    def test_parallel_reanalysis_matches_serial(self, harvest):
+        path, _ = harvest
+        serial = analyze_harvest_names(path)
+        parallel = analyze_harvest_names(
+            path, PipelineEngine(workers=3, shard_size=7)
+        )
+        assert parallel == serial
+        assert serial.unique_fqdns == 40  # 2 names per certificate
+
+    def test_harvest_still_loads_and_verifies(self, harvest):
+        path, log = harvest
+        analyze_harvest_names(path, PipelineEngine(workers=2, shard_size=5))
+        restored = CTLog(name=log.name, operator=log.operator, key=log.key)
+        assert load_log(path, restored) == len(log.entries)
+        assert restored.tree.root() == log.tree.root()
+
+    def test_entry_name_ranges_partition_the_harvest(self, harvest):
+        path, _ = harvest
+        full = harvest_entry_names(path, 0, 20)
+        pieces = [harvest_entry_names(path, i, i + 4) for i in range(0, 20, 4)]
+        assert [name for piece in pieces for name in piece] == full
+
+    def test_read_tree_head(self, harvest):
+        path, log = harvest
+        trailer = read_tree_head(path)
+        assert trailer["tree_size"] == len(log.entries)
+
+    def test_read_tree_head_missing_trailer(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type":"entry"}\n', encoding="utf-8")
+        with pytest.raises(LogStorageError):
+            read_tree_head(path)
+
+
+class TestHarvestCheckpoint:
+    def _checkpoint_path(self, harvest_path):
+        return harvest_path.with_name(harvest_path.name + ".checkpoint")
+
+    def test_resume_skips_completed_shards(self, harvest):
+        path, _ = harvest
+        engine = PipelineEngine(workers=2, shard_size=6)
+        first = analyze_harvest_names(path, engine, checkpoint=True)
+        sidecar = self._checkpoint_path(path)
+        assert sidecar.exists()
+        lines = sidecar.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1 + 4  # header + ceil(20 / 6) shards
+        resumed = analyze_harvest_names(path, engine, checkpoint=True)
+        assert resumed == first
+        # No shard was re-recorded on resume.
+        assert len(sidecar.read_text(encoding="utf-8").splitlines()) == len(lines)
+
+    def test_corrupted_checkpoint_raises(self, harvest):
+        path, _ = harvest
+        engine = PipelineEngine(workers=2, shard_size=6)
+        analyze_harvest_names(path, engine, checkpoint=True)
+        sidecar = self._checkpoint_path(path)
+        text = sidecar.read_text(encoding="utf-8")
+        sidecar.write_text(text[:-15] + "{garbled\n", encoding="utf-8")
+        with pytest.raises(LogStorageError, match="corrupted shard checkpoint"):
+            analyze_harvest_names(path, engine, checkpoint=True)
+
+    def test_mismatched_shard_plan_rejected(self, harvest):
+        path, _ = harvest
+        analyze_harvest_names(
+            path, PipelineEngine(workers=1, shard_size=6), checkpoint=True
+        )
+        with pytest.raises(LogStorageError, match="does not match"):
+            analyze_harvest_names(
+                path, PipelineEngine(workers=1, shard_size=9), checkpoint=True
+            )
+
+    def test_rewritten_harvest_invalidates_checkpoint(self, harvest, ca, now):
+        path, log = harvest
+        engine = PipelineEngine(workers=1, shard_size=6)
+        analyze_harvest_names(path, engine, checkpoint=True)
+        # Re-harvest with one more entry: same sidecar, different head.
+        ca.issue(IssuanceRequest(("extra.example.org",)), [log], now)
+        dump_log(log, path)
+        with pytest.raises(LogStorageError, match="does not match"):
+            analyze_harvest_names(path, engine, checkpoint=True)
+
+    def test_malformed_shard_record_rejected(self, harvest):
+        path, _ = harvest
+        checkpoint = HarvestCheckpoint.for_harvest(path, FQDN_LEAKAGE_PASS, 6)
+        checkpoint.record(0, {"total": 1, "invalid": 0, "candidates": []})
+        with checkpoint.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "shard"}) + "\n")
+        with pytest.raises(LogStorageError, match="malformed shard record"):
+            checkpoint.completed()
+
+    def test_clear_removes_sidecar(self, harvest):
+        path, _ = harvest
+        checkpoint = HarvestCheckpoint.for_harvest(path, FQDN_LEAKAGE_PASS, 6)
+        checkpoint.record(0, None)
+        assert checkpoint.path.exists()
+        checkpoint.clear()
+        assert not checkpoint.path.exists()
+        assert checkpoint.completed() == {}

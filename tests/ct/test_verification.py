@@ -6,7 +6,7 @@ from repro.ct.verification import (
     diagnose_mismatch,
     validate_embedded_scts,
 )
-from repro.x509.ca import CertificateAuthority, IssuanceBug, IssuanceRequest
+from repro.x509.ca import IssuanceBug, IssuanceRequest
 
 
 def maps(logs):

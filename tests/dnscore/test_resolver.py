@@ -11,7 +11,6 @@ from repro.dnscore.resolver import (
     RecursiveResolver,
 )
 from repro.dnscore.zone import Zone
-from repro.util.timeutil import utc_datetime
 
 
 @pytest.fixture()

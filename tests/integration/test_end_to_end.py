@@ -2,7 +2,6 @@
 
 from datetime import date
 
-import pytest
 
 from repro.bro.analyzer import BroSctAnalyzer
 from repro.core import adoption, enumeration, leakage, misissuance, serversupport

@@ -1,0 +1,108 @@
+"""The map-reduce executor."""
+
+import pytest
+
+from repro.pipeline.engine import PipelineEngine
+
+
+def square_sum(chunk):
+    """Module-level so process pools can pickle it."""
+    return sum(value * value for value in chunk)
+
+
+def explode(_chunk):
+    raise RuntimeError("worker failed")
+
+
+class RecordingCheckpoint:
+    """In-memory stand-in for HarvestCheckpoint."""
+
+    def __init__(self, initial=None):
+        self.store = dict(initial or {})
+        self.recorded = []
+
+    def completed(self):
+        return dict(self.store)
+
+    def record(self, index, payload):
+        self.recorded.append(index)
+        self.store[index] = payload
+
+
+TASKS = [[1, 2], [3, 4], [5], [6, 7, 8]]
+EXPECTED = [5, 25, 25, 149]
+
+
+class TestConstruction:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            PipelineEngine(workers=0)
+
+    def test_rejects_bad_shard_size(self):
+        with pytest.raises(ValueError):
+            PipelineEngine(shard_size=0)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            PipelineEngine(executor="fibers")
+
+    def test_serial_fallback_detection(self):
+        assert PipelineEngine(workers=1).serial
+        assert PipelineEngine(workers=8, executor="serial").serial
+        assert not PipelineEngine(workers=2).serial
+
+
+class TestMap:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_results_in_task_order(self, executor):
+        engine = PipelineEngine(workers=3, executor=executor)
+        assert engine.map(square_sum, TASKS) == EXPECTED
+
+    def test_map_reduce(self):
+        engine = PipelineEngine(workers=2, executor="thread")
+        assert engine.map_reduce(square_sum, TASKS, sum) == sum(EXPECTED)
+
+    def test_empty_tasks(self):
+        assert PipelineEngine(workers=2).map(square_sum, []) == []
+
+    def test_worker_errors_propagate(self):
+        engine = PipelineEngine(workers=2, executor="thread")
+        with pytest.raises(RuntimeError, match="worker failed"):
+            engine.map(explode, TASKS)
+
+
+class TestCheckpointing:
+    def test_completed_shards_are_skipped(self):
+        # Shard 1 is pre-recorded with a sentinel value: if the engine
+        # re-ran it, the sentinel would be overwritten.
+        checkpoint = RecordingCheckpoint({1: -1})
+        engine = PipelineEngine(workers=1)
+        results = engine.map(square_sum, TASKS, checkpoint=checkpoint)
+        assert results == [5, -1, 25, 149]
+        assert sorted(checkpoint.recorded) == [0, 2, 3]
+
+    def test_new_shards_are_recorded(self):
+        checkpoint = RecordingCheckpoint()
+        engine = PipelineEngine(workers=2, executor="thread")
+        engine.map(square_sum, TASKS, checkpoint=checkpoint)
+        assert checkpoint.store == dict(enumerate(EXPECTED))
+
+    def test_encode_decode_round_trip(self):
+        checkpoint = RecordingCheckpoint()
+        engine = PipelineEngine(workers=1)
+        first = engine.map(
+            square_sum,
+            TASKS,
+            checkpoint=checkpoint,
+            encode=str,
+            decode=int,
+        )
+        resumed = engine.map(
+            square_sum,
+            TASKS,
+            checkpoint=checkpoint,
+            encode=str,
+            decode=int,
+        )
+        assert first == resumed == EXPECTED
+        assert checkpoint.store[0] == "5"

@@ -1,0 +1,75 @@
+"""Typed partial-result mergers."""
+
+import pytest
+
+from repro.pipeline.merge import (
+    CounterMerge,
+    SetUnionMerge,
+    TopKMerge,
+    merge_counter2d,
+)
+from repro.util.stats import Counter2D
+
+
+class TestCounterMerge:
+    def test_sums_counts(self):
+        merged = CounterMerge().merge([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+    def test_preserves_first_seen_order(self):
+        merged = CounterMerge().merge([{"x": 1}, {"y": 1, "x": 1}, {"z": 1}])
+        assert list(merged) == ["x", "y", "z"]
+
+    def test_empty(self):
+        assert CounterMerge().merge([]) == {}
+
+
+class TestTopKMerge:
+    def test_ranks_merged_counts(self):
+        merged = TopKMerge(2).merge([{"a": 5, "b": 1}, {"b": 9, "c": 3}])
+        assert merged == [("b", 10), ("a", 5)]
+
+    def test_ties_break_by_first_seen_order(self):
+        merged = TopKMerge(3).merge([{"a": 2}, {"b": 2, "c": 2}])
+        assert merged == [("a", 2), ("b", 2), ("c", 2)]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopKMerge(0)
+
+
+class TestSetUnionMerge:
+    def test_unions(self):
+        merged = SetUnionMerge().merge([{1, 2}, [2, 3], (4,)])
+        assert merged == {1, 2, 3, 4}
+
+
+class TestMergeCounter2D:
+    def _matrix(self, cells):
+        matrix = Counter2D()
+        for row, col, count in cells:
+            matrix.add(row, col, count)
+        return matrix
+
+    def test_cellwise_sum(self):
+        a = self._matrix([("ca1", "log1", 2), ("ca2", "log1", 1)])
+        b = self._matrix([("ca1", "log1", 3), ("ca1", "log2", 4)])
+        merged = merge_counter2d([a, b])
+        assert merged.get("ca1", "log1") == 5
+        assert merged.get("ca1", "log2") == 4
+        assert merged.row_total("ca1") == 9
+        assert merged.col_total("log1") == 6
+        assert merged.total() == 10
+
+    def test_matches_serial_build_including_tie_order(self):
+        # Two shards whose concatenation is the serial stream: the
+        # merged rows()/cols() ranking (ties broken by insertion)
+        # must equal the serial one.
+        stream = [("b", "x", 1), ("a", "y", 1), ("c", "x", 1), ("a", "x", 1)]
+        serial = self._matrix(stream)
+        merged = merge_counter2d(
+            [self._matrix(stream[:2]), self._matrix(stream[2:])]
+        )
+        assert merged.cells() == serial.cells()
+        assert merged.rows() == serial.rows()
+        assert merged.cols() == serial.cols()

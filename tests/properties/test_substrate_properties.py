@@ -1,6 +1,6 @@
 """Property-based tests for the newer substrates (zonefile, rDNS, feed)."""
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.dnscore.rdns import ReverseZone, ipv6_ptr_name, ipv6_to_nibbles, walk_rdns_tree
 from repro.dnscore.records import RecordType

@@ -64,6 +64,33 @@ def test_threatintel_runs(capsys):
     assert "Quasi Networks" in output
 
 
+def test_table2_parallel_output_identical(capsys):
+    code, serial = run_cli(capsys, "table2", "--scale", "0.0001", "--seed", "5")
+    assert code == 0
+    code, parallel = run_cli(
+        capsys,
+        "table2", "--scale", "0.0001", "--seed", "5",
+        "--workers", "2", "--shard-size", "1000",
+    )
+    assert code == 0
+    assert parallel == serial
+
+
+def test_fig1b_parallel_output_identical(capsys):
+    args = ("fig1b", "--scale", "0.000002")
+    code, serial = run_cli(capsys, *args)
+    assert code == 0
+    code, parallel = run_cli(capsys, *args, "--workers", "3")
+    assert code == 0
+    assert parallel == serial
+
+
+def test_parser_defaults_to_serial():
+    args = build_parser().parse_args(["fig1a"])
+    assert args.workers == 1
+    assert args.shard_size is None
+
+
 def test_all_commands_registered():
     assert set(COMMANDS) == {
         "fig1a", "fig1b", "fig1c", "fig2", "table1", "sec32", "sec33",

@@ -1,6 +1,6 @@
 """Tests for simulated-time helpers."""
 
-from datetime import date, datetime, timezone
+from datetime import date, timezone
 
 from repro.util import timeutil
 

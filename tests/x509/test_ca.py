@@ -4,9 +4,8 @@ import pytest
 
 from repro.ct.sct import SCT_LIST_EXTENSION_OID, SignedCertificateTimestamp
 from repro.ct.verification import validate_embedded_scts
-from repro.util.timeutil import utc_datetime
 from repro.x509.ca import CertificateAuthority, IssuanceBug, IssuanceRequest
-from repro.x509.certificate import POISON_EXTENSION_OID, SanType
+from repro.x509.certificate import SanType
 
 
 def log_maps(logs):

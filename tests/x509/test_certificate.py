@@ -1,6 +1,5 @@
 """Tests for the certificate model and TBS serialization."""
 
-import pytest
 
 from repro.util.timeutil import utc_datetime
 from repro.x509.certificate import (

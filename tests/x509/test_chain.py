@@ -1,6 +1,5 @@
 """Tests for CA hierarchies and chain validation."""
 
-from datetime import timedelta
 
 import pytest
 
