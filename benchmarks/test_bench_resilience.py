@@ -1,0 +1,93 @@
+"""Cost of fault tolerance: flaky harvesting vs the fault-free run.
+
+Runs the live-log FQDN pass three ways over the same 40-entry log:
+fault-free, through a seeded :class:`FlakyLog` failing 20% of fetches
+under a retry budget (output must stay bit-identical), and degraded
+(tail shards permanently dead, run completes with a report).  The
+artifact records the retry/degradation overhead.
+"""
+
+import time
+
+from conftest import record_artifact
+
+from repro.core import leakage
+from repro.pipeline import PipelineEngine, analyze_log_names
+from repro.pipeline.harvest import log_entry_names
+from repro.resilience import DegradedResult, FlakyLog, RetryPolicy
+from repro.util.rng import SeededRng
+
+SHARD_SIZE = 8
+FAILURE_RATE = 0.2
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _dead_tail(method, args):
+    """Permanently fail fetches in the last two shards (index >= 24)."""
+    return method == "get_entries" and args[0] >= 24
+
+
+def test_bench_degraded_harvest(fresh_harvest_log):
+    log = fresh_harvest_log
+    retry = RetryPolicy(max_attempts=4, base_delay_s=0.0)
+
+    baseline, clean_seconds = _timed(
+        lambda: analyze_log_names(
+            log, PipelineEngine(workers=1, shard_size=SHARD_SIZE)
+        )
+    )
+
+    flaky = FlakyLog(
+        log,
+        SeededRng(17, "bench-faults"),
+        failure_rate=FAILURE_RATE,
+        max_consecutive=2,
+        methods=("get_entries",),
+    )
+    retried, flaky_seconds = _timed(
+        lambda: analyze_log_names(
+            flaky,
+            PipelineEngine(workers=1, shard_size=SHARD_SIZE, retry=retry),
+        )
+    )
+    assert retried == baseline  # faults + retries change nothing
+    assert flaky.faults_injected > 0
+
+    dead = FlakyLog(
+        log, SeededRng(18, "bench-dead"), failure_rate=0.0,
+        fail_when=_dead_tail,
+    )
+    degraded, degraded_seconds = _timed(
+        lambda: analyze_log_names(
+            dead,
+            PipelineEngine(
+                workers=1,
+                shard_size=SHARD_SIZE,
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+                on_error="degrade",
+            ),
+        )
+    )
+    assert isinstance(degraded, DegradedResult)
+    assert degraded.report.failed_indices == [3, 4]
+    assert degraded.value == leakage.analyze_names(
+        log_entry_names(log, 0, 24)
+    )
+
+    overhead = flaky_seconds / clean_seconds if clean_seconds else 0.0
+    lines = [
+        f"Fault-tolerant harvest — live-log FQDN pass ({log.size} entries, "
+        f"shard size {SHARD_SIZE})",
+        f"  fault-free        {clean_seconds * 1e3:8.2f} ms",
+        f"  {FAILURE_RATE:.0%} flaky + retry  {flaky_seconds * 1e3:8.2f} ms   "
+        f"({flaky.faults_injected} faults injected, {overhead:.2f}x)",
+        f"  degraded tail     {degraded_seconds * 1e3:8.2f} ms   "
+        f"({degraded.report.summary()})",
+        f"  retried output identical: {retried == baseline}",
+    ]
+    record_artifact("resilience", "\n".join(lines))

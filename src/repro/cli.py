@@ -28,17 +28,32 @@ from repro.core.threatintel import build_threat_report, render_threat_report
 
 
 def _engine(args):
-    """Build the execution engine from ``--workers`` / ``--shard-size``.
+    """Build the execution engine from the parallelism/resilience flags.
 
     ``--workers 1`` (the default) is the serial fallback: analyses run
     the original single-threaded code and parallel runs are guaranteed
-    to produce the same bytes.
+    to produce the same bytes.  ``--retries``/``--backoff`` attach a
+    seeded :class:`~repro.resilience.RetryPolicy` so transient shard
+    failures are retried inside the workers, and ``--on-error degrade``
+    lets a run whose retries are exhausted complete with partial
+    results plus a degradation report instead of aborting.
     """
     from repro.pipeline import DEFAULT_SHARD_SIZE, PipelineEngine
+    from repro.resilience import RetryPolicy
+    from repro.util.rng import SeededRng
 
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            base_delay_s=args.backoff,
+            rng=SeededRng(args.seed, "cli-retry"),
+        )
     return PipelineEngine(
         workers=args.workers,
         shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+        retry=retry,
+        on_error=args.on_error,
     )
 
 
@@ -224,6 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="entries per shard for parallel analysis (default 4096)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per failed shard before giving up (0 disables; "
+        "transient faults like log overloads are retried with "
+        "exponential backoff, seeded jitter)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base backoff delay in seconds between shard retries "
+        "(doubles per attempt; default 0.05)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["raise", "degrade"],
+        default="raise",
+        help="what to do when a shard exhausts its retries: abort with "
+        "the failing shard named (raise) or finish on partial results "
+        "with a degradation report (degrade)",
     )
     parser.add_argument(
         "--ablations",

@@ -11,7 +11,11 @@ that service shape:
   bounded per-subscriber queue with an explicit drop counter (the
   real CertStream drops messages under backpressure too);
 * :meth:`CertFeed.backfill` replays historical entries to a new
-  subscriber, the way monitors bootstrap.
+  subscriber, the way monitors bootstrap;
+* polling is fault-tolerant: a log whose ``get_entries`` fails (after
+  the optional :class:`~repro.resilience.RetryPolicy` is exhausted)
+  keeps its cursor where it was — no entry is silently skipped — and
+  per-log error/retry counters are exposed via :meth:`log_health`.
 """
 
 from __future__ import annotations
@@ -19,9 +23,21 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from datetime import datetime
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.ct.log import CTLog, LogEntry
+
+if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.resilience.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -57,12 +73,21 @@ class _Subscription:
 class CertFeed:
     """Tails logs and fans out new entries to subscribers."""
 
-    def __init__(self, logs: Iterable[CTLog], *, max_queue: int = 10_000) -> None:
+    def __init__(
+        self,
+        logs: Iterable[CTLog],
+        *,
+        max_queue: int = 10_000,
+        retry: Optional["RetryPolicy"] = None,
+    ) -> None:
         self._logs = list(logs)
         self._cursors: Dict[str, int] = {log.name: log.size for log in self._logs}
         self._subs: Dict[str, _Subscription] = {}
         self._default_max_queue = max_queue
+        self.retry = retry
         self.events_emitted = 0
+        self.poll_errors: Dict[str, int] = {log.name: 0 for log in self._logs}
+        self.poll_retries: Dict[str, int] = {log.name: 0 for log in self._logs}
 
     # -- subscription management ---------------------------------------------
 
@@ -88,34 +113,81 @@ class CertFeed:
     def subscribers(self) -> List[str]:
         return sorted(self._subs)
 
+    def _require_sub(self, name: str) -> _Subscription:
+        sub = self._subs.get(name)
+        if sub is None:
+            raise ValueError(f"subscriber {name!r} is not registered")
+        return sub
+
     def stats(self, name: str) -> Tuple[int, int, int]:
         """(delivered, queued, dropped) for one subscriber."""
-        sub = self._subs[name]
+        sub = self._require_sub(name)
         return sub.delivered, len(sub.queue), sub.dropped
 
     # -- feeding ---------------------------------------------------------------
 
     def backfill(self, name: str, *, limit: Optional[int] = None) -> int:
-        """Replay historical entries (oldest first) to one subscriber."""
-        sub = self._subs[name]
+        """Replay historical entries (oldest first) to one subscriber.
+
+        Entries from all logs are merged into global submission order;
+        ``limit`` caps the *total* number of replayed events (the most
+        recent ones win), not the per-log count.  Each delivery is
+        counted exactly once.  Returns the number of events replayed.
+        """
+        sub = self._require_sub(name)
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        merged = sorted(
+            (
+                (entry.submitted_at, log_order, entry.index, log.name, entry)
+                for log_order, log in enumerate(self._logs)
+                for entry in log.entries
+            ),
+            key=lambda item: item[:3],
+        )
+        if limit is not None:
+            merged = merged[len(merged) - limit :] if limit else []
         replayed = 0
-        for log in self._logs:
-            for entry in log.entries if limit is None else log.entries[-limit:]:
-                event = FeedEvent(log.name, entry, entry.submitted_at)
-                sub.callback(event)
-                sub.delivered += 1
-                replayed += 1
+        for submitted_at, _, _, log_name, entry in merged:
+            sub.callback(FeedEvent(log_name, entry, submitted_at))
+            sub.delivered += 1
+            replayed += 1
         return replayed
 
+    def _fetch_new(self, log: CTLog, cursor: int, end: int) -> List[LogEntry]:
+        """``get_entries`` under the feed's retry policy (may raise)."""
+        if self.retry is None:
+            return log.get_entries(cursor, end)
+        outcome = self.retry.run(lambda: log.get_entries(cursor, end))
+        self.poll_retries[log.name] = (
+            self.poll_retries.get(log.name, 0) + outcome.retried
+        )
+        return outcome.value
+
     def poll(self, now: datetime) -> int:
-        """Pull new entries from all logs and enqueue them everywhere."""
+        """Pull new entries from all logs and enqueue them everywhere.
+
+        A log whose fetch fails — even after retries — contributes
+        nothing this round and its cursor stays put, so the entries
+        are delivered (not skipped) by the next successful poll;
+        failures are tallied in ``poll_errors``/``poll_retries``.
+        """
         fresh: List[FeedEvent] = []
         for log in self._logs:
             cursor = self._cursors.get(log.name, 0)
-            if log.size > cursor:
-                for entry in log.get_entries(cursor, log.size - 1):
-                    fresh.append(FeedEvent(log.name, entry, now))
-                self._cursors[log.name] = log.size
+            size = log.size
+            if size <= cursor:
+                continue
+            try:
+                entries = self._fetch_new(log, cursor, size - 1)
+            except Exception as exc:
+                self.poll_errors[log.name] = self.poll_errors.get(log.name, 0) + 1
+                self.poll_retries[log.name] = self.poll_retries.get(
+                    log.name, 0
+                ) + max(0, getattr(exc, "attempts", 1) - 1)
+                continue
+            fresh.extend(FeedEvent(log.name, entry, now) for entry in entries)
+            self._cursors[log.name] = cursor + len(entries)
         for event in fresh:
             self.events_emitted += 1
             for sub in self._subs.values():
@@ -124,6 +196,17 @@ class CertFeed:
                     continue
                 sub.queue.append(event)
         return len(fresh)
+
+    def log_health(self) -> Dict[str, Dict[str, int]]:
+        """Per-log cursor position and error/retry counters."""
+        return {
+            log.name: {
+                "cursor": self._cursors.get(log.name, 0),
+                "errors": self.poll_errors.get(log.name, 0),
+                "retries": self.poll_retries.get(log.name, 0),
+            }
+            for log in self._logs
+        }
 
     def dispatch(self, *, budget: Optional[int] = None) -> int:
         """Drain subscriber queues through their callbacks.

@@ -12,16 +12,25 @@ observed reaction times:
 
 Both monitor types consume the log through the public read API
 (``get_entries`` cursors), never through private state.
+
+Polling is fault-tolerant: a fetch that fails — after the optional
+:class:`~repro.resilience.RetryPolicy` is exhausted — leaves the
+log's cursor untouched, so no entry is silently lost; the next
+successful poll observes everything that accumulated in the meantime.
+Per-log error/retry counters are exposed on each monitor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime, timedelta
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.ct.log import CTLog, LogEntry
 from repro.util.rng import SeededRng
+
+if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.resilience.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -43,17 +52,44 @@ class LogObservation:
 
 
 class _CursorMixin:
-    """Shared cursor bookkeeping over multiple logs."""
+    """Shared cursor bookkeeping over multiple logs.
 
-    def __init__(self) -> None:
+    The cursor for a log only advances past entries that were actually
+    fetched; a failed ``get_entries`` (after the optional retry policy
+    gives up) counts into ``errors`` and leaves the cursor alone, so
+    the entries surface on the next successful poll instead of being
+    skipped.
+    """
+
+    def __init__(self, retry: Optional["RetryPolicy"] = None) -> None:
         self._cursors: Dict[str, int] = {}
+        self.retry = retry
+        self.errors: Dict[str, int] = {}
+        self.retries: Dict[str, int] = {}
 
     def _new_entries(self, log: CTLog) -> List[LogEntry]:
         cursor = self._cursors.get(log.name, 0)
-        if log.size <= cursor:
+        size = log.size
+        if size <= cursor:
             return []
-        entries = log.get_entries(cursor, log.size - 1)
-        self._cursors[log.name] = log.size
+        try:
+            if self.retry is None:
+                entries = log.get_entries(cursor, size - 1)
+            else:
+                outcome = self.retry.run(
+                    lambda: log.get_entries(cursor, size - 1)
+                )
+                entries = outcome.value
+                self.retries[log.name] = (
+                    self.retries.get(log.name, 0) + outcome.retried
+                )
+        except Exception as exc:
+            self.errors[log.name] = self.errors.get(log.name, 0) + 1
+            self.retries[log.name] = self.retries.get(log.name, 0) + max(
+                0, getattr(exc, "attempts", 1) - 1
+            )
+            return []
+        self._cursors[log.name] = cursor + len(entries)
         return entries
 
 
@@ -71,8 +107,9 @@ class StreamingMonitor(_CursorMixin):
         rng: SeededRng,
         latency_range_s: "tuple[float, float]" = (60.0, 180.0),
         base_offset_s: float = 0.0,
+        retry: Optional["RetryPolicy"] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(retry=retry)
         self.name = name
         self._rng = rng.fork(f"stream:{name}")
         self.latency_range_s = latency_range_s
@@ -109,8 +146,9 @@ class BatchMonitor(_CursorMixin):
         rng: SeededRng,
         interval: timedelta = timedelta(hours=2),
         processing_delay_s: float = 30.0,
+        retry: Optional["RetryPolicy"] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(retry=retry)
         self.name = name
         self._rng = rng.fork(f"batch:{name}")
         self.interval = interval

@@ -126,6 +126,14 @@ class HarvestCheckpoint:
     completed shard carrying its JSON-encoded partial result.  A
     resumed run skips the recorded shards and re-runs only the rest.
 
+    Shard records may carry an ``attempts`` count (how many tries a
+    retried shard needed — see :mod:`repro.resilience`), and a
+    degraded run appends a ``degraded`` record listing the shard
+    indices it lost; :meth:`fault_stats` aggregates both.  If a
+    resumed run re-records an index that is already present, the
+    duplicate is ignored (first record wins) instead of appending a
+    conflicting line.
+
     Any corruption or mismatch (harvest re-harvested, different pass,
     different shard plan, truncated/garbled lines) raises
     :class:`LogStorageError` instead of silently resuming from
@@ -148,6 +156,7 @@ class HarvestCheckpoint:
         self.shard_size = shard_size
         self.tree_size = tree_size
         self.root_hash = root_hash
+        self._recorded: Optional[set] = None
 
     @classmethod
     def for_harvest(
@@ -177,11 +186,10 @@ class HarvestCheckpoint:
             "root_hash": self.root_hash,
         }
 
-    def completed(self) -> Dict[int, object]:
-        """Shard index -> recorded payload for every completed shard."""
+    def _iter_records(self) -> Iterator[dict]:
+        """Validated non-header records of the sidecar, in file order."""
         if not self.path.exists():
-            return {}
-        done: Dict[int, object] = {}
+            return
         header_seen = False
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -207,7 +215,11 @@ class HarvestCheckpoint:
                         )
                     header_seen = True
                     continue
-                if record.get("type") != "shard" or "index" not in record:
+                rtype = record.get("type")
+                if rtype == "degraded":
+                    yield record
+                    continue
+                if rtype != "shard" or "index" not in record:
                     raise LogStorageError(
                         f"corrupted shard checkpoint {self.path}: "
                         "malformed shard record"
@@ -218,34 +230,110 @@ class HarvestCheckpoint:
                         f"corrupted shard checkpoint {self.path}: "
                         f"bad shard index {index!r}"
                     )
-                done[index] = record.get("payload")
+                yield record
         if not header_seen:
             raise LogStorageError(
                 f"corrupted shard checkpoint {self.path}: missing header"
             )
+
+    def completed(self) -> Dict[int, object]:
+        """Shard index -> recorded payload for every completed shard.
+
+        Duplicate indices (a resumed run that re-recorded a shard)
+        resolve to the *first* record, matching :meth:`record`'s
+        first-write-wins semantics.
+        """
+        done: Dict[int, object] = {}
+        for record in self._iter_records():
+            if record.get("type") == "degraded":
+                continue
+            if record["index"] not in done:
+                done[record["index"]] = record.get("payload")
         return done
 
-    def record(self, index: int, payload: object) -> None:
-        """Append one completed shard's partial result."""
+    def _append(self, record: dict) -> None:
         new_file = not self.path.exists()
         with self.path.open("a", encoding="utf-8") as handle:
             if new_file:
                 handle.write(
                     json.dumps(self._header(), separators=(",", ":")) + "\n"
                 )
-            handle.write(
-                json.dumps(
-                    {"type": "shard", "index": index, "payload": payload},
-                    separators=(",", ":"),
-                )
-                + "\n"
-            )
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
             handle.flush()
+
+    def record(self, index: int, payload: object, *, attempts: int = 1) -> None:
+        """Append one completed shard's partial result.
+
+        ``attempts`` > 1 marks a shard that needed retries (stored for
+        :meth:`fault_stats`).  Re-recording an index that is already in
+        the sidecar — e.g. a resumed run racing a stale worker — is a
+        no-op rather than a conflicting duplicate record.
+        """
+        if self._recorded is None:
+            self._recorded = set(self.completed()) if self.path.exists() else set()
+        if index in self._recorded:
+            return
+        record: Dict[str, object] = {
+            "type": "shard",
+            "index": index,
+            "payload": payload,
+        }
+        if attempts > 1:
+            record["attempts"] = attempts
+        self._append(record)
+        self._recorded.add(index)
+
+    def record_degraded(self, report: object) -> None:
+        """Append a degraded-run marker (failed shard indices + retries).
+
+        ``report`` is duck-typed against
+        :class:`repro.resilience.DegradationReport`.
+        """
+        self._append(
+            {
+                "type": "degraded",
+                "indices": list(getattr(report, "failed_indices", [])),
+                "retries": int(getattr(report, "retries", 0)),
+            }
+        )
+
+    def fault_stats(self) -> Dict[str, object]:
+        """Aggregate retry/degradation accounting out of the sidecar."""
+        shards = 0
+        retried_shards = 0
+        total_attempts = 0
+        degraded_runs = 0
+        degraded_indices: set = set()
+        degraded_retries = 0
+        seen: set = set()
+        for record in self._iter_records():
+            if record.get("type") == "degraded":
+                degraded_runs += 1
+                degraded_indices.update(record.get("indices", []))
+                degraded_retries += record.get("retries", 0)
+                continue
+            if record["index"] in seen:
+                continue
+            seen.add(record["index"])
+            shards += 1
+            attempts = record.get("attempts", 1)
+            total_attempts += attempts
+            if attempts > 1:
+                retried_shards += 1
+        return {
+            "shards": shards,
+            "retried_shards": retried_shards,
+            "total_attempts": total_attempts,
+            "degraded_runs": degraded_runs,
+            "degraded_indices": sorted(degraded_indices),
+            "degraded_retries": degraded_retries,
+        }
 
     def clear(self) -> None:
         """Remove the sidecar (e.g. after the analysis completed)."""
         if self.path.exists():
             self.path.unlink()
+        self._recorded = None
 
 
 def load_log(path: Union[str, Path], into: CTLog) -> int:

@@ -24,8 +24,8 @@ always merged in shard order, and the serial implementations are the
 single-shard special case of the same map/reduce decomposition.
 """
 
-from repro.pipeline.engine import PipelineEngine
-from repro.pipeline.harvest import analyze_harvest_names
+from repro.pipeline.engine import MapResult, PipelineEngine
+from repro.pipeline.harvest import analyze_harvest_names, analyze_log_names
 from repro.pipeline.merge import (
     CounterMerge,
     SetUnionMerge,
@@ -47,6 +47,7 @@ from repro.pipeline.shard import (
 )
 
 __all__ = [
+    "MapResult",
     "PipelineEngine",
     "CounterMerge",
     "TopKMerge",
@@ -62,4 +63,5 @@ __all__ = [
     "traffic_adoption",
     "leakage_names",
     "analyze_harvest_names",
+    "analyze_log_names",
 ]

@@ -9,25 +9,74 @@ parallel path can be validated against it bit-for-bit.
 A checkpoint object (see :class:`repro.ct.storage.HarvestCheckpoint`)
 may be attached to a run; completed shards are then skipped on resume
 and newly finished shards are recorded as they complete.
+
+Fault tolerance (see :mod:`repro.resilience`): an attached
+:class:`~repro.resilience.RetryPolicy` re-runs failed shards inside
+the worker with backoff; when retries are exhausted the engine either
+raises :class:`~repro.resilience.ShardFailedError` naming the shard
+(``on_error="raise"``, the default) or drops the shard and reports it
+in a :class:`~repro.resilience.DegradationReport`
+(``on_error="degrade"``).
 """
 
 from __future__ import annotations
 
+import inspect
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
 )
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.pipeline.shard import DEFAULT_SHARD_SIZE
+from repro.resilience.degrade import (
+    DegradationReport,
+    DegradedResult,
+    FailedShard,
+    ShardFailedError,
+)
+from repro.resilience.retry import RetryExhaustedError, RetryPolicy
 
 MapFn = Callable[[Any], Any]
 ReduceFn = Callable[[List[Any]], Any]
 Codec = Callable[[Any], Any]
 
 EXECUTORS = ("process", "thread", "serial")
+ON_ERROR_MODES = ("raise", "degrade")
+
+
+class MapResult(List[Any]):
+    """A :meth:`PipelineEngine.map` result: a plain list of partials
+    in task order, plus the run's :class:`DegradationReport` when the
+    engine ran with ``on_error="degrade"`` (``None`` otherwise)."""
+
+    degradation: Optional[DegradationReport] = None
+
+
+def _run_task(
+    map_fn: MapFn, task: Any, retry: Optional[RetryPolicy]
+) -> Tuple[Any, int]:
+    """Execute one shard (module-level so process pools can pickle it).
+
+    Returns ``(result, attempts)``; the retry loop runs *inside* the
+    worker, so transient faults never cross the pool boundary.
+    """
+    if retry is None:
+        return map_fn(task), 1
+    outcome = retry.run(lambda: map_fn(task))
+    return outcome.value, outcome.attempts
+
+
+def _failure_attempts(exc: BaseException) -> int:
+    return exc.attempts if isinstance(exc, RetryExhaustedError) else 1
+
+
+def _failure_cause(exc: BaseException) -> BaseException:
+    if isinstance(exc, RetryExhaustedError) and exc.__cause__ is not None:
+        return exc.__cause__
+    return exc
 
 
 class PipelineEngine:
@@ -45,6 +94,15 @@ class PipelineEngine:
         ``"process"`` (default), ``"thread"``, or ``"serial"``.
         Process pools need picklable map functions (module-level) and
         task payloads; thread pools trade that constraint for the GIL.
+    retry:
+        Optional :class:`RetryPolicy` applied per shard, inside the
+        worker.  With a process pool the policy (and its RNG) must be
+        picklable; the stock policy is.
+    on_error:
+        ``"raise"`` (default) aborts the run with a
+        :class:`ShardFailedError` naming the failing shard;
+        ``"degrade"`` completes the run without the failed shards and
+        attaches a :class:`DegradationReport`.
     """
 
     def __init__(
@@ -52,6 +110,8 @@ class PipelineEngine:
         workers: int = 1,
         shard_size: int = DEFAULT_SHARD_SIZE,
         executor: str = "process",
+        retry: Optional[RetryPolicy] = None,
+        on_error: str = "raise",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -61,14 +121,25 @@ class PipelineEngine:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
         self.workers = workers
         self.shard_size = shard_size
         self.executor = executor
+        self.retry = retry
+        self.on_error = on_error
 
     @property
     def serial(self) -> bool:
         """True when map tasks run inline rather than on a pool."""
         return self.workers == 1 or self.executor == "serial"
+
+    @property
+    def degrading(self) -> bool:
+        """True when exhausted shards degrade instead of raising."""
+        return self.on_error == "degrade"
 
     # -- execution -----------------------------------------------------------
 
@@ -80,14 +151,21 @@ class PipelineEngine:
         checkpoint: Optional[Any] = None,
         encode: Optional[Codec] = None,
         decode: Optional[Codec] = None,
-    ) -> List[Any]:
+    ) -> MapResult:
         """Run ``map_fn`` over every task; return partials in task order.
 
         ``checkpoint`` must offer ``completed() -> Dict[int, payload]``
         and ``record(index, payload)``; ``encode``/``decode`` convert
         partials to/from the checkpoint's serializable payloads.
+
+        A shard that exhausts its retries raises
+        :class:`ShardFailedError` (``on_error="raise"``) or is left as
+        ``None`` in the result with a :class:`DegradationReport`
+        attached (``on_error="degrade"``); either way the shards that
+        did finish are already checkpointed, and the report (if any)
+        is appended to the checkpoint as well.
         """
-        results: List[Any] = [None] * len(tasks)
+        results = MapResult([None] * len(tasks))
         pending = list(range(len(tasks)))
         if checkpoint is not None:
             done = checkpoint.completed()
@@ -95,21 +173,66 @@ class PipelineEngine:
                 if 0 <= index < len(results):
                     results[index] = decode(payload) if decode else payload
             pending = [i for i in pending if i not in done]
+        failures: List[FailedShard] = []
+        retries = 0
+
+        def finish(index: int, value: Any, attempts: int) -> None:
+            nonlocal retries
+            retries += attempts - 1
+            results[index] = value
+            self._record(checkpoint, encode, index, value, attempts)
+
+        def fail(index: int, exc: BaseException) -> None:
+            nonlocal retries
+            attempts = _failure_attempts(exc)
+            cause = _failure_cause(exc)
+            if not self.degrading:
+                raise ShardFailedError(index, attempts, cause) from exc
+            retries += attempts - 1
+            failures.append(FailedShard(index, repr(cause), attempts))
+
         if self.serial or len(pending) <= 1:
             for index in pending:
-                results[index] = map_fn(tasks[index])
-                self._record(checkpoint, encode, index, results[index])
-            return results
-        pool_cls = (
-            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
-        )
-        pool: Executor
-        with pool_cls(max_workers=min(self.workers, len(pending))) as pool:
-            futures = {pool.submit(map_fn, tasks[i]): i for i in pending}
-            for future in as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                self._record(checkpoint, encode, index, results[index])
+                try:
+                    value, attempts = _run_task(map_fn, tasks[index], self.retry)
+                except Exception as exc:
+                    fail(index, exc)
+                    continue
+                finish(index, value, attempts)
+        else:
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            pool: Executor
+            with pool_cls(max_workers=min(self.workers, len(pending))) as pool:
+                futures = {
+                    pool.submit(_run_task, map_fn, tasks[i], self.retry): i
+                    for i in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        value, attempts = future.result()
+                    except Exception as exc:
+                        fail(index, exc)
+                        continue
+                    finish(index, value, attempts)
+
+        if self.degrading:
+            report = DegradationReport(
+                total_shards=len(tasks),
+                failed=tuple(sorted(failures, key=lambda f: f.index)),
+                retries=retries,
+            )
+            results.degradation = report
+            if (
+                checkpoint is not None
+                and report.failed
+                and hasattr(checkpoint, "record_degraded")
+            ):
+                checkpoint.record_degraded(report)
         return results
 
     def map_reduce(
@@ -122,26 +245,55 @@ class PipelineEngine:
         encode: Optional[Codec] = None,
         decode: Optional[Codec] = None,
     ) -> Any:
-        """``reduce_fn`` over the ordered partials of :meth:`map`."""
-        return reduce_fn(
-            self.map(
-                map_fn,
-                tasks,
-                checkpoint=checkpoint,
-                encode=encode,
-                decode=decode,
-            )
+        """``reduce_fn`` over the ordered partials of :meth:`map`.
+
+        With ``on_error="degrade"`` the reduce runs over the shards
+        that survived (still in shard order) and the return value is a
+        :class:`DegradedResult` pairing it with the run's report.
+        """
+        partials = self.map(
+            map_fn,
+            tasks,
+            checkpoint=checkpoint,
+            encode=encode,
+            decode=decode,
         )
+        report = partials.degradation
+        if report is None:
+            return reduce_fn(partials)
+        lost = set(report.failed_indices)
+        value = reduce_fn(
+            [partial for i, partial in enumerate(partials) if i not in lost]
+        )
+        return DegradedResult(value=value, report=report)
 
     @staticmethod
     def _record(
-        checkpoint: Optional[Any], encode: Optional[Codec], index: int, result: Any
+        checkpoint: Optional[Any],
+        encode: Optional[Codec],
+        index: int,
+        result: Any,
+        attempts: int = 1,
     ) -> None:
-        if checkpoint is not None:
-            checkpoint.record(index, encode(result) if encode else result)
+        if checkpoint is None:
+            return
+        payload = encode(result) if encode else result
+        if attempts > 1 and _accepts_attempts(checkpoint.record):
+            checkpoint.record(index, payload, attempts=attempts)
+        else:
+            checkpoint.record(index, payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PipelineEngine(workers={self.workers}, "
-            f"shard_size={self.shard_size}, executor={self.executor!r})"
+            f"shard_size={self.shard_size}, executor={self.executor!r}, "
+            f"retry={self.retry!r}, on_error={self.on_error!r})"
         )
+
+
+def _accepts_attempts(record_fn: Callable[..., Any]) -> bool:
+    """Whether a checkpoint's ``record`` takes the ``attempts`` kwarg."""
+    try:
+        return "attempts" in inspect.signature(record_fn).parameters
+    except (TypeError, ValueError):  # builtins, C callables
+        return False

@@ -10,7 +10,7 @@ the shards that were not checkpointed yet.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 from repro.core import leakage
 from repro.ct.storage import (
@@ -69,6 +69,13 @@ def analyze_harvest_names(
     every finished shard; re-running after an interruption resumes
     from the last completed shard.  A corrupted or mismatched sidecar
     raises :class:`repro.ct.storage.LogStorageError`.
+
+    When the engine runs with ``on_error="degrade"``, the return value
+    is a :class:`repro.resilience.DegradedResult` pairing the stats
+    (over the shards that survived) with the run's
+    :class:`~repro.resilience.DegradationReport`; the report is also
+    appended to the checkpoint sidecar, so a resume re-runs exactly
+    the lost shards.
     """
     engine = engine or PipelineEngine()
     trailer = read_tree_head(path)
@@ -88,4 +95,51 @@ def analyze_harvest_names(
         checkpoint=store,
         encode=leakage.encode_leakage_partial,
         decode=leakage.decode_leakage_partial,
+    )
+
+
+def log_entry_names(log: Any, start: int, stop: int) -> List[str]:
+    """CN/SAN DNS names of a live log's entries with indices [start, stop).
+
+    Fetched through the public ``get_entries`` read API (never private
+    state), so fault-injection wrappers like
+    :class:`repro.resilience.FlakyLog` see every access.
+    """
+    if stop <= start:
+        return []
+    return [
+        name
+        for entry in log.get_entries(start, stop - 1)
+        for name in entry.certificate.dns_names()
+    ]
+
+
+def _log_leakage_task(payload: Tuple[Any, int, int]) -> leakage.LeakagePartial:
+    log, start, stop = payload
+    return leakage.map_name_chunk(log_entry_names(log, start, stop))
+
+
+def analyze_log_names(
+    log: Any,
+    engine: Optional[PipelineEngine] = None,
+) -> leakage.LeakageStats:
+    """Run the Section 4.2 FQDN pass over one *live* log.
+
+    Every shard fetches its index range through ``get_entries`` — the
+    same surface real monitors harvest through — which makes this the
+    natural pass to run against a :class:`repro.resilience.FlakyLog`
+    under a retry policy: transiently failing fetches are retried
+    inside the worker, and the output stays bit-identical to the
+    fault-free serial run.
+
+    ``log`` may be a :class:`repro.ct.CTLog` or any wrapper exposing
+    ``name``, ``size``, and ``get_entries``; with a process-pool
+    engine it must be picklable.  With ``on_error="degrade"`` the
+    return value is a :class:`repro.resilience.DegradedResult`.
+    """
+    engine = engine or PipelineEngine()
+    shards = plan_sequence_shards(log.size, engine.shard_size, source=log.name)
+    tasks = [(log, shard.start, shard.stop) for shard in shards]
+    return engine.map_reduce(
+        _log_leakage_task, tasks, leakage.reduce_name_partials
     )

@@ -14,8 +14,9 @@ connection chunks) rather than whole log objects.
 
 from __future__ import annotations
 
+import sys
 from datetime import date
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.bro.analyzer import BroSctAnalyzer
 from repro.core import adoption, evolution, leakage
@@ -23,6 +24,7 @@ from repro.ct.log import CTLog
 from repro.dnscore.psl import PublicSuffixList, default_psl
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.shard import plan_sequence_shards
+from repro.resilience.degrade import DegradedResult
 from repro.tls.connection import TlsConnection
 from repro.util.stats import Counter2D
 
@@ -62,6 +64,22 @@ def _sequence_tasks(items: List, engine: PipelineEngine, source: str):
     return [shard.slice(items) for shard in shards]
 
 
+def _unwrap(result: Any) -> Any:
+    """Unwrap a degrading engine's result so passes keep their shape.
+
+    These passes render straight into the paper's tables/figures, so a
+    :class:`DegradedResult` collapses to its value; a non-empty report
+    (shards actually lost) is surfaced on stderr rather than silently
+    discarded.  Callers that need the report programmatically use
+    ``engine.map`` or the harvest entry points instead.
+    """
+    if isinstance(result, DegradedResult):
+        if not result.report.ok:
+            print(f"[degraded] {result.report.summary()}", file=sys.stderr)
+        return result.value
+    return result
+
+
 def evolution_growth(
     logs: Dict[str, CTLog],
     engine: Optional[PipelineEngine] = None,
@@ -75,10 +93,14 @@ def evolution_growth(
         return evolution.cumulative_precert_growth(logs, start=start, end=end)
     records = list(evolution.growth_records(logs.values()))
     tasks = _sequence_tasks(records, engine, "precerts")
-    return engine.map_reduce(
-        _growth_task,
-        tasks,
-        lambda partials: evolution.growth_reduce(partials, start=start, end=end),
+    return _unwrap(
+        engine.map_reduce(
+            _growth_task,
+            tasks,
+            lambda partials: evolution.growth_reduce(
+                partials, start=start, end=end
+            ),
+        )
     )
 
 
@@ -91,7 +113,9 @@ def evolution_rates(
         return evolution.relative_daily_rates(logs)
     records = list(evolution.growth_records(logs.values()))
     tasks = _sequence_tasks(records, engine, "precerts")
-    return engine.map_reduce(_growth_task, tasks, evolution.rates_reduce)
+    return _unwrap(
+        engine.map_reduce(_growth_task, tasks, evolution.rates_reduce)
+    )
 
 
 def evolution_matrix(
@@ -107,7 +131,9 @@ def evolution_matrix(
     tasks = [
         (chunk, month) for chunk in _sequence_tasks(records, engine, "entries")
     ]
-    return engine.map_reduce(_matrix_task, tasks, evolution.matrix_reduce)
+    return _unwrap(
+        engine.map_reduce(_matrix_task, tasks, evolution.matrix_reduce)
+    )
 
 
 def traffic_adoption(
@@ -129,7 +155,9 @@ def traffic_adoption(
         (analyzer, chunk)
         for chunk in _sequence_tasks(materialized, engine, "connections")
     ]
-    return engine.map_reduce(_traffic_task, tasks, adoption.merge_stats)
+    return _unwrap(
+        engine.map_reduce(_traffic_task, tasks, adoption.merge_stats)
+    )
 
 
 def leakage_names(
@@ -153,6 +181,6 @@ def leakage_names(
         (chunk, payload_psl)
         for chunk in _sequence_tasks(materialized, engine, "fqdns")
     ]
-    return engine.map_reduce(
-        _leakage_task, tasks, leakage.reduce_name_partials
+    return _unwrap(
+        engine.map_reduce(_leakage_task, tasks, leakage.reduce_name_partials)
     )

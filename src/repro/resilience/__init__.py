@@ -1,0 +1,58 @@
+"""Fault tolerance for the harvesting and analysis layers.
+
+The paper's measurements assume every trusted log can be tailed
+continuously, yet Section 2's Nimbus incident shows real logs time
+out, rate-limit, and get overloaded.  Production CT consumers
+(CertStream-style feeds, monitor collectors) all wrap log I/O in
+retry-with-backoff and degrade gracefully when a log stays down; this
+package provides the shared machinery:
+
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`: bounded
+  attempts, exponential backoff with deterministic seeded jitter, and
+  retryable-vs-terminal exception classification
+  (:class:`repro.ct.log.LogOverloadedError` is retryable,
+  :class:`repro.ct.log.LogDisqualifiedError` is terminal);
+* :mod:`repro.resilience.faults` — :class:`FlakyLog`, a deterministic
+  seeded fault-injection wrapper around :class:`repro.ct.CTLog` for
+  tests and benchmarks;
+* :mod:`repro.resilience.degrade` — the typed degradation surface
+  (:class:`DegradationReport`, :class:`FailedShard`,
+  :class:`ShardFailedError`, :class:`DegradedResult`) used by
+  :class:`repro.pipeline.PipelineEngine` when ``on_error="degrade"``.
+"""
+
+from repro.resilience.degrade import (
+    DegradationReport,
+    DegradedResult,
+    FailedShard,
+    ShardFailedError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FlakyLog,
+    LogTimeoutError,
+    TransientLogError,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    DEFAULT_TERMINAL,
+    RetryExhaustedError,
+    RetryOutcome,
+    RetryPolicy,
+)
+
+__all__ = [
+    "DEFAULT_RETRYABLE",
+    "DEFAULT_TERMINAL",
+    "DegradationReport",
+    "DegradedResult",
+    "FAULT_KINDS",
+    "FailedShard",
+    "FlakyLog",
+    "LogTimeoutError",
+    "RetryExhaustedError",
+    "RetryOutcome",
+    "RetryPolicy",
+    "ShardFailedError",
+    "TransientLogError",
+]

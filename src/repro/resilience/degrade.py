@@ -1,0 +1,100 @@
+"""Typed degradation surface for sharded runs.
+
+When :class:`repro.pipeline.PipelineEngine` runs with
+``on_error="degrade"``, shards whose retries are exhausted are dropped
+from the result instead of aborting the run; the
+:class:`DegradationReport` enumerates exactly which shards failed (and
+how hard the run tried) so a checkpointed resume can re-run just
+those.  With the default ``on_error="raise"`` the engine raises
+:class:`ShardFailedError`, which — unlike a bare worker exception out
+of ``as_completed`` — names the failing shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+
+class ShardFailedError(RuntimeError):
+    """One shard failed for good; carries the shard's index."""
+
+    def __init__(self, index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {index} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.index = index
+        self.attempts = attempts
+
+    def __reduce__(self):
+        # Custom __init__ signature: spell out reconstruction so the
+        # error survives pickling (e.g. across a process pool).
+        return (_rebuild_shard_error, (self.args, self.index, self.attempts))
+
+
+def _rebuild_shard_error(args, index, attempts):
+    error = ShardFailedError.__new__(ShardFailedError)
+    RuntimeError.__init__(error, *args)
+    error.index = index
+    error.attempts = attempts
+    return error
+
+
+@dataclass(frozen=True)
+class FailedShard:
+    """One shard that exhausted its retries in a degraded run."""
+
+    index: int
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """What a degraded run lost, and what it cost to try.
+
+    ``retries`` counts extra attempts across *successful* shards too,
+    so a fully recovered run reports ``failed == ()`` but a nonzero
+    retry bill.
+    """
+
+    total_shards: int
+    failed: Tuple[FailedShard, ...] = ()
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def failed_indices(self) -> List[int]:
+        return [shard.index for shard in self.failed]
+
+    @property
+    def completed_shards(self) -> int:
+        return self.total_shards - len(self.failed)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"all {self.total_shards} shard(s) completed "
+                f"({self.retries} retr{'y' if self.retries == 1 else 'ies'})"
+            )
+        return (
+            f"{self.completed_shards}/{self.total_shards} shard(s) completed; "
+            f"failed: {self.failed_indices} ({self.retries} "
+            f"retr{'y' if self.retries == 1 else 'ies'})"
+        )
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """A reduce output paired with its degradation report.
+
+    Returned by ``map_reduce`` (and the harvest entry points) whenever
+    the engine runs with ``on_error="degrade"`` — even when nothing
+    failed, so callers opting into degradation get a stable shape.
+    """
+
+    value: Any
+    report: DegradationReport

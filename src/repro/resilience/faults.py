@@ -1,0 +1,190 @@
+"""Deterministic fault injection for CT log I/O.
+
+:class:`FlakyLog` wraps a :class:`repro.ct.log.CTLog` and injects
+seeded timeouts, overloads, and transient failures into its public
+API, so the retry and degradation paths can be exercised
+deterministically in tests and benchmarks.  Faults are *transient* by
+construction: a bounded number of consecutive failures per call site
+(``max_consecutive``) guarantees that a caller retrying at least
+``max_consecutive`` times always gets through — which is what makes
+the fault-injected parity runs bit-identical to fault-free ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.ct.log import CTLog, LogOverloadedError
+from repro.util.rng import SeededRng
+
+
+class TransientLogError(RuntimeError):
+    """A momentary log failure (connection reset, 5xx, ...)."""
+
+
+class LogTimeoutError(TransientLogError):
+    """A log request that timed out."""
+
+
+#: Injectable fault kinds and the exceptions they raise.
+FAULT_KINDS: Tuple[str, ...] = ("timeout", "overload", "transient")
+
+_FAULT_EXCEPTIONS = {
+    "timeout": LogTimeoutError,
+    "overload": LogOverloadedError,
+    "transient": TransientLogError,
+}
+
+#: The methods FlakyLog can wrap; everything else delegates untouched.
+FAULTABLE_METHODS: Tuple[str, ...] = (
+    "get_entries",
+    "get_sth",
+    "get_proof_by_hash",
+    "get_consistency",
+    "add_chain",
+    "add_pre_chain",
+)
+
+
+class FlakyLog:
+    """A fault-injecting proxy around one :class:`CTLog`.
+
+    Parameters
+    ----------
+    log:
+        The wrapped log; every attribute not intercepted here
+        (``size``, ``entries``, ``name``, ...) delegates to it.
+    rng:
+        Seeded stream the injection draws from; the same seed yields
+        the same fault sequence for the same call sequence.
+    failure_rate:
+        Per-call probability of injecting a fault into a wrapped
+        method.
+    max_consecutive:
+        Upper bound on consecutive failures *per call site* (method +
+        arguments).  After that many failures in a row the next
+        attempt is forced to succeed, so ``retries >= max_consecutive``
+        always recovers.  ``None`` removes the bound.
+    kinds:
+        Fault kinds to draw from (see :data:`FAULT_KINDS`).
+    methods:
+        Which wrapped methods inject faults (default: the read API
+        monitors poll).
+    fail_when:
+        Optional predicate ``(method, args) -> bool``; call sites it
+        matches fail *permanently* (every attempt), bypassing
+        ``failure_rate`` and ``max_consecutive`` — the deterministic
+        way to make specific shards exhaust their retries.
+    """
+
+    def __init__(
+        self,
+        log: CTLog,
+        rng: SeededRng,
+        *,
+        failure_rate: float = 0.2,
+        max_consecutive: Optional[int] = 2,
+        kinds: Sequence[str] = FAULT_KINDS,
+        methods: Sequence[str] = ("get_entries", "get_sth"),
+        fail_when: Optional[Callable[[str, Tuple[Any, ...]], bool]] = None,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        unknown = [kind for kind in kinds if kind not in _FAULT_EXCEPTIONS]
+        if unknown:
+            raise ValueError(f"unknown fault kinds {unknown}; choose from {FAULT_KINDS}")
+        bad = [method for method in methods if method not in FAULTABLE_METHODS]
+        if bad:
+            raise ValueError(
+                f"cannot inject into {bad}; faultable methods: {FAULTABLE_METHODS}"
+            )
+        self._log = log
+        self._rng = rng.fork(f"flaky:{log.name}")
+        self.failure_rate = failure_rate
+        self.max_consecutive = max_consecutive
+        self.kinds = tuple(kinds)
+        self.methods = tuple(methods)
+        self.fail_when = fail_when
+        self.calls = 0
+        self.faults_injected = 0
+        self.injected_by_kind: Dict[str, int] = {kind: 0 for kind in self.kinds}
+        self.injected_by_method: Dict[str, int] = {}
+        self._consecutive: Dict[Tuple[Any, ...], int] = {}
+
+    # -- injection core ------------------------------------------------------
+
+    def _site_key(self, method: str, args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        try:
+            hash(args)
+        except TypeError:
+            return (method, repr(args))
+        return (method,) + args
+
+    def _raise_fault(self, kind: str, method: str, args: Tuple[Any, ...]) -> None:
+        self.faults_injected += 1
+        self.injected_by_kind[kind] = self.injected_by_kind.get(kind, 0) + 1
+        self.injected_by_method[method] = self.injected_by_method.get(method, 0) + 1
+        raise _FAULT_EXCEPTIONS[kind](
+            f"injected {kind} fault in {self._log.name}.{method}{args!r}"
+        )
+
+    def _maybe_fail(self, method: str, args: Tuple[Any, ...]) -> None:
+        if method not in self.methods:
+            return
+        self.calls += 1
+        if self.fail_when is not None and self.fail_when(method, args):
+            self._raise_fault("transient", method, args)
+        if self.failure_rate <= 0.0:
+            return
+        site = self._site_key(method, args)
+        streak = self._consecutive.get(site, 0)
+        if self.max_consecutive is not None and streak >= self.max_consecutive:
+            self._consecutive[site] = 0
+            return
+        if not self._rng.chance(self.failure_rate):
+            self._consecutive[site] = 0
+            return
+        self._consecutive[site] = streak + 1
+        kind = self.kinds[0] if len(self.kinds) == 1 else self._rng.choice(self.kinds)
+        self._raise_fault(kind, method, args)
+
+    # -- wrapped CTLog API ---------------------------------------------------
+
+    def get_entries(self, start: int, end: int):
+        self._maybe_fail("get_entries", (start, end))
+        return self._log.get_entries(start, end)
+
+    def get_sth(self, now):
+        self._maybe_fail("get_sth", (now,))
+        return self._log.get_sth(now)
+
+    def get_proof_by_hash(self, index: int, tree_size: int):
+        self._maybe_fail("get_proof_by_hash", (index, tree_size))
+        return self._log.get_proof_by_hash(index, tree_size)
+
+    def get_consistency(self, old_size: int, new_size: int):
+        self._maybe_fail("get_consistency", (old_size, new_size))
+        return self._log.get_consistency(old_size, new_size)
+
+    def add_chain(self, cert, now):
+        self._maybe_fail("add_chain", (cert.serial,))
+        return self._log.add_chain(cert, now)
+
+    def add_pre_chain(self, precert, issuer_key_hash, now):
+        self._maybe_fail("add_pre_chain", (precert.serial,))
+        return self._log.add_pre_chain(precert, issuer_key_hash, now)
+
+    # -- delegation ----------------------------------------------------------
+
+    def __getattr__(self, item: str):
+        try:
+            log = self.__dict__["_log"]
+        except KeyError:
+            raise AttributeError(item) from None
+        return getattr(log, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlakyLog({self._log.name!r}, rate={self.failure_rate}, "
+            f"injected={self.faults_injected}/{self.calls})"
+        )

@@ -7,6 +7,8 @@ import pytest
 from repro.ct.feed import CertFeed
 from repro.ct.log import CTLog
 from repro.ct.loglist import log_key
+from repro.resilience import FlakyLog, RetryPolicy
+from repro.util.rng import SeededRng
 from repro.util.timeutil import utc_datetime
 from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
@@ -149,3 +151,178 @@ def test_feed_with_no_logs():
     assert feed.poll(NOW) == 0
     assert feed.dispatch() == 0
     assert feed.backfill("s") == 0
+
+
+# -- backfill semantics (global limit, global order) -----------------------
+
+
+def test_backfill_limit_caps_total_across_logs(world):
+    log_a, log_b, ca = world
+    issue(ca, log_a, "a0.example", NOW)
+    issue(ca, log_b, "b0.example", NOW + timedelta(minutes=1))
+    issue(ca, log_a, "a1.example", NOW + timedelta(minutes=2))
+    issue(ca, log_b, "b1.example", NOW + timedelta(minutes=3))
+    feed = CertFeed([log_a, log_b])
+    seen = []
+    feed.subscribe("s", seen.append)
+    # limit is a cap on the *total* replay, not per log: the most
+    # recent two submissions overall, still delivered oldest-first.
+    assert feed.backfill("s", limit=2) == 2
+    assert [e.dns_names[0] for e in seen] == ["a1.example", "b1.example"]
+
+
+def test_backfill_replays_in_global_submission_order(world):
+    log_a, log_b, ca = world
+    issue(ca, log_b, "first.example", NOW)
+    issue(ca, log_a, "second.example", NOW + timedelta(minutes=1))
+    issue(ca, log_b, "third.example", NOW + timedelta(minutes=2))
+    issue(ca, log_a, "fourth.example", NOW + timedelta(minutes=3))
+    feed = CertFeed([log_a, log_b])
+    seen = []
+    feed.subscribe("s", seen.append)
+    assert feed.backfill("s") == 4
+    assert [e.dns_names[0] for e in seen] == [
+        "first.example", "second.example", "third.example", "fourth.example",
+    ]
+
+
+def test_backfill_counts_and_seen_at(world):
+    log_a, _, ca = world
+    issue(ca, log_a, "hist.example", NOW)
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    assert feed.backfill("s") == 1
+    delivered, queued, dropped = feed.stats("s")
+    assert (delivered, queued, dropped) == (1, 0, 0)
+    assert seen[0].seen_at == log_a.entries[0].submitted_at
+
+
+def test_backfill_zero_limit_delivers_nothing(world):
+    log_a, _, ca = world
+    issue(ca, log_a, "z.example")
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    assert feed.backfill("s", limit=0) == 0
+    assert seen == []
+
+
+def test_backfill_negative_limit_rejected(world):
+    log_a, _, _ = world
+    feed = CertFeed([log_a])
+    feed.subscribe("s", lambda e: None)
+    with pytest.raises(ValueError):
+        feed.backfill("s", limit=-1)
+
+
+def test_backfill_unknown_subscriber_is_a_clear_error(world):
+    log_a, _, _ = world
+    feed = CertFeed([log_a])
+    with pytest.raises(ValueError, match="'ghost' is not registered"):
+        feed.backfill("ghost")
+
+
+def test_stats_unknown_subscriber_is_a_clear_error(world):
+    log_a, _, _ = world
+    feed = CertFeed([log_a])
+    with pytest.raises(ValueError, match="'ghost' is not registered"):
+        feed.stats("ghost")
+
+
+# -- poll cursors under failure (no skips, no double delivery) -------------
+
+
+def fail_first_fetch():
+    """Predicate failing only the very first get_entries call."""
+    calls = {"n": 0}
+
+    def predicate(method, _args):
+        if method != "get_entries":
+            return False
+        calls["n"] += 1
+        return calls["n"] == 1
+
+    return predicate
+
+
+def test_failed_poll_does_not_advance_cursor(world):
+    log_a, _, ca = world
+    flaky = FlakyLog(
+        log_a, SeededRng(1), failure_rate=0.0, fail_when=fail_first_fetch()
+    )
+    feed = CertFeed([flaky])
+    seen = []
+    feed.subscribe("s", seen.append)
+    issue(ca, log_a, "p0.example")
+    issue(ca, log_a, "p1.example")
+
+    assert feed.run_once(NOW) == 0  # fetch failed; cursor must hold
+    health = feed.log_health()["Feed A"]
+    assert health["errors"] == 1
+    assert health["cursor"] == 0
+
+    issue(ca, log_a, "p2.example")
+    assert feed.run_once(NOW + timedelta(minutes=1)) == 3
+    assert [e.dns_names[0] for e in seen] == [
+        "p0.example", "p1.example", "p2.example",
+    ]
+    assert feed.log_health()["Feed A"]["cursor"] == 3
+
+    # A further idle poll neither re-delivers nor skips.
+    assert feed.run_once(NOW + timedelta(minutes=2)) == 0
+    assert len(seen) == 3
+
+
+def test_poll_cursor_exact_across_many_polls(world):
+    log_a, _, ca = world
+    feed = CertFeed([log_a])
+    seen = []
+    feed.subscribe("s", seen.append)
+    for i in range(5):
+        issue(ca, log_a, f"seq{i}.example", NOW + timedelta(minutes=i))
+        feed.run_once(NOW + timedelta(minutes=i, seconds=30))
+    assert [e.dns_names[0] for e in seen] == [
+        f"seq{i}.example" for i in range(5)
+    ]
+
+
+def test_poll_retry_policy_recovers_within_one_poll(world):
+    log_a, _, ca = world
+    flaky = FlakyLog(
+        log_a,
+        SeededRng(3),
+        failure_rate=1.0,
+        max_consecutive=1,
+        methods=("get_entries",),
+    )
+    feed = CertFeed(
+        [flaky], retry=RetryPolicy(max_attempts=2, base_delay_s=0.0)
+    )
+    seen = []
+    feed.subscribe("s", seen.append)
+    issue(ca, log_a, "r0.example")
+    issue(ca, log_a, "r1.example")
+    assert feed.run_once(NOW) == 2
+    health = feed.log_health()["Feed A"]
+    assert health["errors"] == 0
+    assert health["retries"] == 1
+    assert health["cursor"] == 2
+
+
+def test_one_failing_log_does_not_block_the_other(world):
+    log_a, log_b, ca = world
+    broken = FlakyLog(
+        log_a, SeededRng(2), failure_rate=0.0,
+        fail_when=lambda method, args: method == "get_entries",
+    )
+    feed = CertFeed([broken, log_b])
+    seen = []
+    feed.subscribe("s", seen.append)
+    issue(ca, log_a, "stuck.example")
+    issue(ca, log_b, "fine.example")
+    assert feed.run_once(NOW) == 1
+    assert seen[0].dns_names == ["fine.example"]
+    health = feed.log_health()
+    assert health["Feed A"]["errors"] == 1
+    assert health["Feed B"]["cursor"] == 1

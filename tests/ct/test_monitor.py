@@ -7,6 +7,7 @@ import pytest
 from repro.ct.log import CTLog
 from repro.ct.loglist import log_key
 from repro.ct.monitor import BatchMonitor, StreamingMonitor, watch_logs
+from repro.resilience import FlakyLog, RetryPolicy
 from repro.util.rng import SeededRng
 from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
@@ -93,3 +94,91 @@ def test_watch_logs_sorts_by_time(log_with_entries):
     times = [obs.observed_at for obs in observations]
     assert times == sorted(times)
     assert len(observations) == 10
+
+
+# -- cursor regressions under injected failures ----------------------------
+
+
+def fail_first_fetch():
+    calls = {"n": 0}
+
+    def predicate(method, _args):
+        if method != "get_entries":
+            return False
+        calls["n"] += 1
+        return calls["n"] == 1
+
+    return predicate
+
+
+def test_failed_fetch_does_not_advance_cursor(log_with_entries, now):
+    flaky = FlakyLog(
+        log_with_entries,
+        SeededRng(8),
+        failure_rate=0.0,
+        fail_when=fail_first_fetch(),
+    )
+    monitor = StreamingMonitor("s", SeededRng(8))
+    assert monitor.observe(flaky) == []  # fetch failed, cursor holds
+    assert monitor.errors["Mon Log"] == 1
+    assert monitor._cursors.get("Mon Log", 0) == 0
+
+    # Every entry — including one issued after the failure — arrives
+    # exactly once on the next observation.
+    ca = CertificateAuthority("Late CA", key_bits=256)
+    ca.issue(
+        IssuanceRequest(("late.example",)), [log_with_entries],
+        now + timedelta(hours=1),
+    )
+    fresh = monitor.observe(flaky)
+    assert [obs.dns_names[0] for obs in fresh] == [
+        "mon0.example", "mon1.example", "mon2.example",
+        "mon3.example", "mon4.example", "late.example",
+    ]
+    assert monitor.observe(flaky) == []  # and never twice
+
+
+def test_monitor_retry_policy_recovers(log_with_entries):
+    flaky = FlakyLog(
+        log_with_entries,
+        SeededRng(9),
+        failure_rate=1.0,
+        max_consecutive=1,
+        methods=("get_entries",),
+    )
+    monitor = StreamingMonitor(
+        "s", SeededRng(9),
+        retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+    )
+    assert len(monitor.observe(flaky)) == 5
+    assert monitor.errors.get("Mon Log", 0) == 0
+    assert monitor.retries["Mon Log"] == 1
+
+
+def test_batch_monitor_counts_errors_too(log_with_entries):
+    broken = FlakyLog(
+        log_with_entries,
+        SeededRng(10),
+        failure_rate=0.0,
+        fail_when=lambda method, args: method == "get_entries",
+    )
+    monitor = BatchMonitor("b", SeededRng(10), interval=timedelta(hours=2))
+    assert monitor.observe(broken) == []
+    assert monitor.observe(broken) == []
+    assert monitor.errors["Mon Log"] == 2
+
+
+def test_cursor_exact_across_incremental_growth(log_with_entries, now):
+    monitor = StreamingMonitor("s", SeededRng(11))
+    seen = list(monitor.observe(log_with_entries))
+    ca = CertificateAuthority("Inc CA", key_bits=256)
+    for i in range(3):
+        ca.issue(
+            IssuanceRequest((f"inc{i}.example",)), [log_with_entries],
+            now + timedelta(hours=2 + i),
+        )
+        seen.extend(monitor.observe(log_with_entries))
+    names = [obs.dns_names[0] for obs in seen]
+    assert names == [f"mon{i}.example" for i in range(5)] + [
+        f"inc{i}.example" for i in range(3)
+    ]

@@ -139,3 +139,82 @@ class TestHarvestCheckpoint:
         checkpoint.clear()
         assert not checkpoint.path.exists()
         assert checkpoint.completed() == {}
+
+
+class TestCheckpointFaultAccounting:
+    def _fresh(self, harvest):
+        path, _ = harvest
+        return HarvestCheckpoint.for_harvest(path, FQDN_LEAKAGE_PASS, 6)
+
+    def test_duplicate_record_is_a_noop_first_wins(self, harvest):
+        checkpoint = self._fresh(harvest)
+        checkpoint.record(0, {"v": "first"})
+        checkpoint.record(0, {"v": "second"})
+        assert checkpoint.completed() == {0: {"v": "first"}}
+        lines = checkpoint.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2  # header + one shard record
+
+    def test_duplicate_survives_reload(self, harvest):
+        checkpoint = self._fresh(harvest)
+        checkpoint.record(1, {"v": "first"})
+        reopened = self._fresh(harvest)
+        reopened.record(1, {"v": "second"})
+        assert reopened.completed() == {1: {"v": "first"}}
+
+    def test_attempts_recorded_and_aggregated(self, harvest):
+        checkpoint = self._fresh(harvest)
+        checkpoint.record(0, {"v": 0})
+        checkpoint.record(1, {"v": 1}, attempts=3)
+        checkpoint.record(2, {"v": 2}, attempts=2)
+        stats = checkpoint.fault_stats()
+        assert stats["shards"] == 3
+        assert stats["retried_shards"] == 2
+        assert stats["total_attempts"] == 6
+
+    def test_degraded_marker_round_trips(self, harvest):
+        class Report:
+            failed_indices = [2, 3]
+            retries = 5
+
+        checkpoint = self._fresh(harvest)
+        checkpoint.record(0, {"v": 0})
+        checkpoint.record_degraded(Report())
+        # Degraded markers never masquerade as completed shards.
+        assert set(checkpoint.completed()) == {0}
+        stats = checkpoint.fault_stats()
+        assert stats["degraded_runs"] == 1
+        assert stats["degraded_indices"] == [2, 3]
+        assert stats["degraded_retries"] == 5
+
+    def test_degraded_engine_run_writes_marker(self, harvest):
+        path, _ = harvest
+
+        def fail_shard_two(payload):
+            _, start, _ = payload
+            if start == 12:  # shard 2 at shard_size=6
+                raise RuntimeError("lost shard")
+            return harvest_entry_names(*payload)
+
+        from repro.resilience import RetryPolicy, TransientLogError
+
+        checkpoint = self._fresh(harvest)
+        engine = PipelineEngine(
+            workers=1,
+            shard_size=6,
+            retry=RetryPolicy(
+                max_attempts=2,
+                base_delay_s=0.0,
+                retryable=(TransientLogError,),
+            ),
+            on_error="degrade",
+        )
+        from repro.pipeline.shard import plan_sequence_shards
+
+        shards = plan_sequence_shards(20, 6, source=str(path))
+        tasks = [(str(path), s.start, s.stop) for s in shards]
+        result = engine.map(fail_shard_two, tasks, checkpoint=checkpoint)
+        assert result.degradation.failed_indices == [2]
+        stats = checkpoint.fault_stats()
+        assert stats["shards"] == 3
+        assert stats["degraded_runs"] == 1
+        assert stats["degraded_indices"] == [2]

@@ -3,9 +3,13 @@
 The acceptance bar for the sharded engine: Fig. 1a/1b/1c, Fig. 2 /
 Table 1, and Table 2 must come out *identical* — same numbers, same
 orderings, same rendered bytes — whether computed serially or sharded
-across a process pool.
+across a process pool.  The fault-injection classes extend that bar:
+a seeded :class:`FlakyLog` failing 20% of shard fetches plus a retry
+budget must *still* reproduce the fault-free serial output, and a
+degraded run must enumerate exactly the shards it lost.
 """
 
+import os
 from datetime import date
 
 import pytest
@@ -13,17 +17,38 @@ import pytest
 from repro.bro.analyzer import BroSctAnalyzer
 from repro.core import adoption, evolution, leakage
 from repro.core import report as rpt
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
 from repro.pipeline import (
     PipelineEngine,
+    analyze_log_names,
     evolution_growth,
     evolution_matrix,
     evolution_rates,
     leakage_names,
     traffic_adoption,
 )
+from repro.pipeline.harvest import log_entry_names
+from repro.resilience import (
+    DegradedResult,
+    FlakyLog,
+    RetryPolicy,
+    ShardFailedError,
+)
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
 from repro.workloads.ca_profiles import CaLoggingWorkload
 from repro.workloads.domains import DomainWorkload
 from repro.workloads.traffic import UplinkTrafficWorkload
+
+# CI's fault-injection job pins one executor per matrix leg via
+# REPRO_EXECUTOR; locally both run.
+FAULT_EXECUTORS = (
+    [os.environ["REPRO_EXECUTOR"]]
+    if os.environ.get("REPRO_EXECUTOR")
+    else ["process", "thread"]
+)
 
 
 @pytest.fixture(scope="module")
@@ -108,6 +133,149 @@ class TestLeakageParityAtDefaultScale:
         assert rpt.render_table2(parallel, weight=weight) == rpt.render_table2(
             serial, weight=weight
         )
+
+
+@pytest.fixture(scope="module")
+def fault_log():
+    """48 entries, 2 DNS names each: 6 shards at shard_size=8."""
+    log = CTLog(
+        name="Fault Target", operator="T", key=log_key("Fault Target", 256)
+    )
+    ca = CertificateAuthority("Fault CA", key_bits=256)
+    now = utc_datetime(2018, 5, 1, 12, 0)
+    for i in range(48):
+        ca.issue(
+            IssuanceRequest(
+                (f"host{i}.fault.example", f"alt{i}.fault.example")
+            ),
+            [log],
+            now,
+        )
+    return log
+
+
+def _flaky(log, seed=11):
+    """ISSUE acceptance profile: 20% of shard fetches fail transiently."""
+    return FlakyLog(
+        log,
+        SeededRng(seed, "parity-faults"),
+        failure_rate=0.2,
+        max_consecutive=2,
+        methods=("get_entries",),
+    )
+
+
+def _retries(n):
+    """The engine the CLI builds for ``--retries n``."""
+    return RetryPolicy(max_attempts=n + 1, base_delay_s=0.0)
+
+
+def _fail_tail(method, args):
+    """Permanent failure for every entry fetch at index >= 32.
+
+    Module-level so process pools can pickle the predicate.  With 48
+    entries and shard_size=8 this kills exactly shards 4 and 5.
+    """
+    return method == "get_entries" and args[0] >= 32
+
+
+class TestFaultInjectionParity:
+    """Transient faults + retries must not change a single byte."""
+
+    @pytest.fixture(scope="class")
+    def fault_free(self, fault_log):
+        return analyze_log_names(
+            fault_log, PipelineEngine(workers=1, shard_size=8)
+        )
+
+    @pytest.mark.parametrize("executor", FAULT_EXECUTORS)
+    def test_flaky_run_matches_fault_free_serial(
+        self, fault_log, fault_free, executor
+    ):
+        engine = PipelineEngine(
+            workers=3, shard_size=8, executor=executor, retry=_retries(3)
+        )
+        result = analyze_log_names(_flaky(fault_log), engine)
+        assert result == fault_free
+        assert result.top_labels(10) == fault_free.top_labels(10)
+        assert (
+            result.top_label_per_suffix() == fault_free.top_label_per_suffix()
+        )
+
+    def test_faults_were_injected_and_are_seed_deterministic(
+        self, fault_log, fault_free
+    ):
+        # Serial engine so the wrapper is never pickled away and its
+        # counters stay observable.
+        first = _flaky(fault_log)
+        engine = PipelineEngine(workers=1, shard_size=8, retry=_retries(3))
+        assert analyze_log_names(first, engine) == fault_free
+        assert first.faults_injected > 0
+
+        second = _flaky(fault_log)
+        assert analyze_log_names(second, engine) == fault_free
+        assert second.faults_injected == first.faults_injected
+
+    def test_without_retries_faults_surface_as_shard_failures(self, fault_log):
+        flaky = FlakyLog(
+            fault_log,
+            SeededRng(13, "no-retry"),
+            failure_rate=1.0,
+            max_consecutive=None,
+            methods=("get_entries",),
+        )
+        engine = PipelineEngine(workers=1, shard_size=8)
+        with pytest.raises(ShardFailedError) as excinfo:
+            analyze_log_names(flaky, engine)
+        assert excinfo.value.index == 0
+        assert excinfo.value.attempts == 1
+
+
+class TestDegradedHarvest:
+    """Exhausted retries with on_error="degrade" lose exactly the
+    failed shards and say so."""
+
+    @pytest.mark.parametrize("executor", FAULT_EXECUTORS)
+    def test_report_enumerates_exactly_failed_shards(
+        self, fault_log, executor
+    ):
+        flaky = FlakyLog(
+            fault_log,
+            SeededRng(1, "degrade"),
+            failure_rate=0.0,
+            fail_when=_fail_tail,
+        )
+        engine = PipelineEngine(
+            workers=3,
+            shard_size=8,
+            executor=executor,
+            retry=_retries(1),
+            on_error="degrade",
+        )
+        outcome = analyze_log_names(flaky, engine)
+        assert isinstance(outcome, DegradedResult)
+        assert outcome.report.failed_indices == [4, 5]
+        assert outcome.report.total_shards == 6
+        assert outcome.report.completed_shards == 4
+        # The partial result is the exact analysis of the surviving
+        # entry range [0, 32).
+        surviving = leakage.analyze_names(
+            log_entry_names(fault_log, 0, 32)
+        )
+        assert outcome.value == surviving
+
+    def test_raise_mode_names_the_first_failed_shard(self, fault_log):
+        flaky = FlakyLog(
+            fault_log,
+            SeededRng(1, "degrade"),
+            failure_rate=0.0,
+            fail_when=_fail_tail,
+        )
+        engine = PipelineEngine(workers=1, shard_size=8, retry=_retries(1))
+        with pytest.raises(ShardFailedError) as excinfo:
+            analyze_log_names(flaky, engine)
+        assert excinfo.value.index == 4
+        assert excinfo.value.attempts == 2
 
 
 class TestSerialFallback:

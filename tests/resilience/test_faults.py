@@ -1,0 +1,180 @@
+"""FlakyLog: deterministic seeded fault injection around CTLog."""
+
+import pickle
+
+import pytest
+
+from repro.ct.log import CTLog, LogOverloadedError
+from repro.ct.loglist import log_key
+from repro.resilience import (
+    FlakyLog,
+    LogTimeoutError,
+    RetryPolicy,
+    TransientLogError,
+)
+from repro.util.rng import SeededRng
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 10, 0)
+
+
+@pytest.fixture()
+def log():
+    log = CTLog(name="Flaky Target", operator="T", key=log_key("Flaky Target", 256))
+    ca = CertificateAuthority("Flaky CA", key_bits=256)
+    for i in range(8):
+        ca.issue(IssuanceRequest((f"f{i}.example",)), [log], NOW)
+    return log
+
+
+def drain(flaky, calls=40):
+    """Hammer get_entries and collect the outcome sequence."""
+    outcomes = []
+    for _ in range(calls):
+        try:
+            flaky.get_entries(0, flaky.size - 1)
+            outcomes.append("ok")
+        except Exception as exc:  # noqa: BLE001 - recording fault types
+            outcomes.append(type(exc).__name__)
+    return outcomes
+
+
+class TestConstruction:
+    def test_rejects_bad_rate(self, log):
+        with pytest.raises(ValueError):
+            FlakyLog(log, SeededRng(1), failure_rate=1.5)
+
+    def test_rejects_unknown_kind(self, log):
+        with pytest.raises(ValueError):
+            FlakyLog(log, SeededRng(1), kinds=("gremlins",))
+
+    def test_rejects_unwrappable_method(self, log):
+        with pytest.raises(ValueError):
+            FlakyLog(log, SeededRng(1), methods=("disqualify",))
+
+
+class TestDelegation:
+    def test_reads_pass_through_when_rate_zero(self, log):
+        flaky = FlakyLog(log, SeededRng(1), failure_rate=0.0)
+        assert flaky.size == 8
+        assert flaky.name == "Flaky Target"
+        assert len(flaky.get_entries(0, 7)) == 8
+        assert flaky.get_sth(NOW).tree_size == 8
+        assert flaky.entries is log.entries
+
+    def test_submissions_are_wrapped(self, log):
+        flaky = FlakyLog(
+            log,
+            SeededRng(1),
+            failure_rate=1.0,
+            max_consecutive=None,
+            methods=("add_pre_chain",),
+        )
+        ca = CertificateAuthority("Sub CA", key_bits=256)
+        with pytest.raises((TransientLogError, LogOverloadedError)):
+            ca.issue(IssuanceRequest(("sub.example",)), [flaky], NOW)
+
+
+class TestInjection:
+    def test_same_seed_same_fault_sequence(self, log):
+        a = FlakyLog(log, SeededRng(5), failure_rate=0.4)
+        b = FlakyLog(log, SeededRng(5), failure_rate=0.4)
+        assert drain(a) == drain(b)
+        assert a.faults_injected == b.faults_injected > 0
+
+    def test_different_seed_different_sequence(self, log):
+        a = FlakyLog(log, SeededRng(5), failure_rate=0.4)
+        b = FlakyLog(log, SeededRng(6), failure_rate=0.4)
+        assert drain(a) != drain(b)
+
+    def test_fault_kinds_match_registry(self, log):
+        flaky = FlakyLog(log, SeededRng(5), failure_rate=0.5)
+        kinds = set(drain(flaky, 60))
+        assert kinds <= {
+            "ok",
+            "LogTimeoutError",
+            "LogOverloadedError",
+            "TransientLogError",
+        }
+        assert flaky.faults_injected == sum(flaky.injected_by_kind.values())
+        assert flaky.injected_by_method.get("get_entries") == flaky.faults_injected
+
+    def test_single_kind_restriction(self, log):
+        flaky = FlakyLog(
+            log, SeededRng(5), failure_rate=0.6, kinds=("timeout",)
+        )
+        outcomes = set(drain(flaky, 40))
+        assert outcomes <= {"ok", "LogTimeoutError"}
+        assert "LogTimeoutError" in outcomes
+
+    def test_max_consecutive_bounds_failures_per_call_site(self, log):
+        flaky = FlakyLog(
+            log, SeededRng(5), failure_rate=1.0, max_consecutive=2
+        )
+        outcomes = drain(flaky, 30)
+        # rate 1.0 against one call site: two failures, then a forced
+        # success, repeating — so every third call gets through.
+        for i, outcome in enumerate(outcomes):
+            if i % 3 == 2:
+                assert outcome == "ok"
+            else:
+                assert outcome != "ok"
+
+    def test_retry_of_max_consecutive_always_recovers(self, log):
+        flaky = FlakyLog(
+            log, SeededRng(9), failure_rate=1.0, max_consecutive=2
+        )
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        outcome = policy.run(lambda: flaky.get_entries(0, 7))
+        assert len(outcome.value) == 8
+        assert outcome.attempts == 3
+
+    def test_unbounded_consecutive_failures(self, log):
+        flaky = FlakyLog(
+            log, SeededRng(5), failure_rate=1.0, max_consecutive=None
+        )
+        assert "ok" not in drain(flaky, 10)
+
+    def test_overload_faults_are_real_overload_errors(self, log):
+        flaky = FlakyLog(
+            log,
+            SeededRng(5),
+            failure_rate=1.0,
+            max_consecutive=None,
+            kinds=("overload",),
+        )
+        with pytest.raises(LogOverloadedError):
+            flaky.get_entries(0, 7)
+
+
+class TestFailWhen:
+    def test_predicate_fails_permanently(self, log):
+        flaky = FlakyLog(
+            log,
+            SeededRng(5),
+            failure_rate=0.0,
+            fail_when=lambda method, args: args[0] >= 4,
+        )
+        assert len(flaky.get_entries(0, 3)) == 4
+        for _ in range(5):
+            with pytest.raises(TransientLogError):
+                flaky.get_entries(4, 7)
+
+    def test_predicate_bypasses_rate(self, log):
+        flaky = FlakyLog(
+            log,
+            SeededRng(5),
+            failure_rate=0.0,
+            fail_when=lambda method, args: True,
+        )
+        with pytest.raises(TransientLogError):
+            flaky.get_entries(0, 7)
+
+
+class TestPickling:
+    def test_flaky_log_round_trips(self, log):
+        flaky = FlakyLog(log, SeededRng(5), failure_rate=0.4)
+        clone = pickle.loads(pickle.dumps(flaky))
+        assert clone.size == 8
+        assert drain(clone) == drain(flaky)

@@ -1,0 +1,161 @@
+"""RetryPolicy: classification, backoff schedule, and the retry loop."""
+
+import pytest
+
+from repro.ct.log import LogDisqualifiedError, LogOverloadedError
+from repro.resilience import (
+    LogTimeoutError,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientLogError,
+)
+from repro.util.rng import SeededRng
+
+
+def make_policy(**kwargs):
+    kwargs.setdefault("base_delay_s", 0.0)
+    kwargs.setdefault("rng", SeededRng(7, "test-retry"))
+    return RetryPolicy(**kwargs)
+
+
+class Flaky:
+    """Callable failing a scripted number of times before succeeding."""
+
+    def __init__(self, failures, exc=TransientLogError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom #{self.calls}")
+        return "ok"
+
+
+class TestConstruction:
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            make_policy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            make_policy(base_delay_s=-1.0)
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            make_policy(multiplier=0.5)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            make_policy(jitter=1.0)
+
+
+class TestClassification:
+    def test_overload_is_retryable(self):
+        assert make_policy().is_retryable(LogOverloadedError("over"))
+
+    def test_transient_and_timeout_are_retryable(self):
+        policy = make_policy()
+        assert policy.is_retryable(TransientLogError("t"))
+        assert policy.is_retryable(LogTimeoutError("t"))
+
+    def test_disqualified_is_terminal(self):
+        assert not make_policy().is_retryable(LogDisqualifiedError("dq"))
+
+    def test_unknown_errors_are_not_retryable(self):
+        assert not make_policy().is_retryable(KeyError("k"))
+
+    def test_terminal_beats_retryable_on_overlap(self):
+        policy = make_policy(
+            retryable=(RuntimeError,), terminal=(LogDisqualifiedError,)
+        )
+        # LogDisqualifiedError is a RuntimeError, but terminal wins.
+        assert not policy.is_retryable(LogDisqualifiedError("dq"))
+        assert policy.is_retryable(RuntimeError("other"))
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_and_cap(self):
+        policy = make_policy(
+            base_delay_s=1.0, multiplier=2.0, max_delay_s=5.0, jitter=0.0
+        )
+        assert [policy.backoff_delay(n) for n in (1, 2, 3, 4)] == [
+            1.0,
+            2.0,
+            4.0,
+            5.0,
+        ]
+
+    def test_zero_base_means_no_sleeping(self):
+        policy = make_policy(base_delay_s=0.0)
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.backoff_delay(10) == 0.0
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        a = make_policy(base_delay_s=1.0, jitter=0.25, rng=SeededRng(3, "j"))
+        b = make_policy(base_delay_s=1.0, jitter=0.25, rng=SeededRng(3, "j"))
+        delays_a = [a.backoff_delay(1) for _ in range(20)]
+        delays_b = [b.backoff_delay(1) for _ in range(20)]
+        assert delays_a == delays_b
+        assert all(0.75 <= d <= 1.25 for d in delays_a)
+        assert len(set(delays_a)) > 1  # actually jittered
+
+
+class TestRunLoop:
+    def test_success_first_try(self):
+        outcome = make_policy().run(lambda: 42)
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+        assert outcome.retried == 0
+
+    def test_recovers_within_budget(self):
+        fn = Flaky(failures=2)
+        outcome = make_policy(max_attempts=3).run(fn)
+        assert outcome.value == "ok"
+        assert outcome.attempts == 3
+        assert fn.calls == 3
+
+    def test_exhaustion_raises_with_attempt_count_and_cause(self):
+        fn = Flaky(failures=10)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            make_policy(max_attempts=3).run(fn)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, TransientLogError)
+        assert fn.calls == 3
+
+    def test_terminal_error_propagates_immediately(self):
+        fn = Flaky(failures=5, exc=LogDisqualifiedError)
+        with pytest.raises(LogDisqualifiedError):
+            make_policy(max_attempts=4).run(fn)
+        assert fn.calls == 1
+
+    def test_non_retryable_error_propagates_immediately(self):
+        fn = Flaky(failures=5, exc=KeyError)
+        with pytest.raises(KeyError):
+            make_policy(max_attempts=4).run(fn)
+        assert fn.calls == 1
+
+    def test_on_retry_callback_and_injected_sleep(self):
+        sleeps = []
+        notes = []
+        policy = make_policy(
+            max_attempts=3,
+            base_delay_s=1.0,
+            jitter=0.0,
+            sleep=sleeps.append,
+        )
+        outcome = policy.run(
+            Flaky(failures=2), on_retry=lambda n, exc: notes.append(n)
+        )
+        assert outcome.attempts == 3
+        assert sleeps == [1.0, 2.0]
+        assert notes == [1, 2]
+
+    def test_policy_is_picklable_for_process_pools(self):
+        import pickle
+
+        policy = make_policy(max_attempts=4, base_delay_s=0.5)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.max_attempts == 4
+        assert clone.run(lambda: "ok").value == "ok"

@@ -91,6 +91,33 @@ def test_parser_defaults_to_serial():
     assert args.shard_size is None
 
 
+def test_parser_fault_tolerance_defaults():
+    args = build_parser().parse_args(["fig1a"])
+    assert args.retries == 0
+    assert args.backoff == pytest.approx(0.05)
+    assert args.on_error == "raise"
+
+
+def test_parser_rejects_unknown_on_error():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig1a", "--on-error", "ignore"])
+
+
+def test_retries_and_degrade_do_not_change_output(capsys):
+    args = ("table2", "--scale", "0.0001", "--seed", "5")
+    code, baseline = run_cli(capsys, *args)
+    assert code == 0
+    code, tolerant = run_cli(
+        capsys, *args,
+        "--workers", "2", "--shard-size", "1000",
+        "--retries", "3", "--backoff", "0", "--on-error", "degrade",
+    )
+    assert code == 0
+    # No faults in a plain run: the fault-tolerant configuration must
+    # be byte-identical to the serial baseline.
+    assert tolerant == baseline
+
+
 def test_all_commands_registered():
     assert set(COMMANDS) == {
         "fig1a", "fig1b", "fig1c", "fig2", "table1", "sec32", "sec33",
