@@ -4,11 +4,14 @@ Heavy workloads are session-scoped so each is generated once and the
 per-artifact benchmarks measure their analysis stage.  Every benchmark
 renders its paper artifact to ``benchmarks/output/<name>.txt`` and
 echoes it to stdout, so a benchmark run regenerates the paper's
-evaluation section.
+evaluation section.  Benchmarks that pass ``data=`` additionally get a
+machine-readable ``output/<name>.json`` sidecar (timings, counts, and
+— where the benchmark instruments its engine — a metrics snapshot).
 """
 
 from __future__ import annotations
 
+import json
 from datetime import date
 from pathlib import Path
 
@@ -30,16 +33,28 @@ TRAFFIC_CONNECTIONS_PER_DAY = 600
 _ARTIFACTS: "list[tuple[str, str]]" = []
 
 
-def record_artifact(name: str, text: str) -> None:
+def record_artifact(name: str, text: str, data: "dict | None" = None) -> None:
     """Persist a rendered table/figure and queue it for the summary.
 
     pytest's fd-level capture swallows prints from inside tests, so the
     artifacts are replayed by :func:`pytest_terminal_summary` — a
     benchmark run thereby prints the paper's tables at the end.
+
+    ``data`` (any JSON-serialisable dict) lands in a ``<name>.json``
+    sidecar next to the text artifact, so dashboards and regression
+    trackers can consume timings/metrics without parsing the rendering.
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    sidecar = {
+        "artifact": name,
+        "text": text.splitlines(),
+        "data": data or {},
+    }
+    (OUTPUT_DIR / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     _ARTIFACTS.append((name, text))
     print(f"\n{text}\n[artifact written to {path}]")
 

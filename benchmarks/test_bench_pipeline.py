@@ -1,10 +1,13 @@
 """Serial vs sharded-parallel throughput for the hottest passes.
 
-Times the Table 2 FQDN pass (the heaviest per-item work) serially and
-on a 4-worker process pool at the benchmark's elevated scale, asserts
-the outputs are identical, and records a throughput artifact.  The
->= 2x speedup bar only applies where the hardware can deliver it
-(>= 4 CPUs) and timing is meaningful (not benchmark-smoke mode).
+Times the Table 2 FQDN pass (the heaviest per-item work) serially, on
+a 4-worker process pool, and on the same pool with metrics/span
+instrumentation attached, at the benchmark's elevated scale.  All
+three outputs must be identical; the instrumented run must stay
+within ``OVERHEAD_CEILING`` of the bare parallel run.  The >= 2x
+speedup bar (and the overhead bar) only applies where the hardware
+can deliver it (>= 4 CPUs) and timing is meaningful (not
+benchmark-smoke mode).
 """
 
 import os
@@ -13,10 +16,12 @@ import time
 from conftest import DOMAIN_SCALE, record_artifact
 
 from repro.core import leakage
+from repro.obs import MetricsRegistry, SpanTracer
 from repro.pipeline import PipelineEngine, leakage_names
 
 BENCH_WORKERS = 4
 SPEEDUP_TARGET = 2.0
+OVERHEAD_CEILING = 0.05
 
 
 def _timed(fn):
@@ -32,19 +37,39 @@ def test_bench_pipeline_table2(domain_corpus, request):
     serial_stats, serial_seconds = _timed(
         lambda: leakage.analyze_names(names, psl)
     )
-    engine = PipelineEngine(
-        workers=BENCH_WORKERS,
-        shard_size=max(1, len(names) // (BENCH_WORKERS * 4)),
-    )
+    shard_size = max(1, len(names) // (BENCH_WORKERS * 4))
+    engine = PipelineEngine(workers=BENCH_WORKERS, shard_size=shard_size)
     parallel_stats, parallel_seconds = _timed(
         lambda: leakage_names(names, engine, psl)
     )
 
-    # The point of the exercise: sharding must not change a single bit.
+    registry = MetricsRegistry()
+    instrumented = PipelineEngine(
+        workers=BENCH_WORKERS,
+        shard_size=shard_size,
+        metrics=registry,
+        tracer=SpanTracer(),
+    )
+    instrumented_stats, instrumented_seconds = _timed(
+        lambda: leakage_names(names, instrumented, psl)
+    )
+    snapshot = registry.snapshot()
+
+    # The point of the exercise: sharding must not change a single bit —
+    # and neither must turning the instrumentation on.
     assert parallel_stats == serial_stats
     assert parallel_stats.top_labels(20) == serial_stats.top_labels(20)
+    assert instrumented_stats == serial_stats
+    assert snapshot.counter("pipeline.shards_completed") == snapshot.counter(
+        "pipeline.shards_planned"
+    )
 
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    overhead = (
+        instrumented_seconds / parallel_seconds - 1.0
+        if parallel_seconds
+        else 0.0
+    )
     lines = [
         "Pipeline throughput — Table 2 FQDN pass "
         f"(scale 1:{int(1 / DOMAIN_SCALE)}, {len(names)} names, "
@@ -53,10 +78,26 @@ def test_bench_pipeline_table2(domain_corpus, request):
         f"{len(names) / serial_seconds:10.0f} names/s",
         f"  {BENCH_WORKERS} workers         {parallel_seconds:8.3f} s   "
         f"{len(names) / parallel_seconds:10.0f} names/s",
+        f"  + metrics/spans   {instrumented_seconds:8.3f} s   "
+        f"({overhead:+.1%} overhead)",
         f"  speedup           {speedup:8.2f}x",
         f"  outputs identical: {parallel_stats == serial_stats}",
     ]
-    record_artifact("pipeline", "\n".join(lines))
+    record_artifact(
+        "pipeline",
+        "\n".join(lines),
+        data={
+            "names": len(names),
+            "workers": BENCH_WORKERS,
+            "shard_size": shard_size,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "instrumented_seconds": instrumented_seconds,
+            "speedup": speedup,
+            "instrumentation_overhead": overhead,
+            "metrics": snapshot.to_dict(),
+        },
+    )
 
     smoke = request.config.getoption("--benchmark-disable", default=False)
     cpus = os.cpu_count() or 1
@@ -64,6 +105,10 @@ def test_bench_pipeline_table2(domain_corpus, request):
         assert speedup >= SPEEDUP_TARGET, (
             f"expected >= {SPEEDUP_TARGET}x with {BENCH_WORKERS} workers "
             f"on {cpus} CPUs, measured {speedup:.2f}x"
+        )
+        assert overhead < OVERHEAD_CEILING, (
+            f"instrumentation cost {overhead:.1%} exceeds the "
+            f"{OVERHEAD_CEILING:.0%} ceiling"
         )
 
 
@@ -79,13 +124,25 @@ def test_bench_pipeline_checkpoint_resume(tmp_path, fresh_harvest_log):
     _, cold_seconds = _timed(
         lambda: analyze_harvest_names(path, engine, checkpoint=True)
     )
+    registry = MetricsRegistry()
+    warm_engine = PipelineEngine(workers=2, shard_size=8, metrics=registry)
     resumed, warm_seconds = _timed(
-        lambda: analyze_harvest_names(path, engine, checkpoint=True)
+        lambda: analyze_harvest_names(path, warm_engine, checkpoint=True)
     )
     assert resumed == analyze_harvest_names(path)
+    snapshot = registry.snapshot()
+    hit_rate = snapshot.gauge("pipeline.checkpoint_hit_rate")
+    assert hit_rate == 1.0  # every shard came from the sidecar
     record_artifact(
         "pipeline_checkpoint",
         "Checkpointed harvest re-analysis\n"
         f"  cold run   {cold_seconds:8.3f} s\n"
-        f"  resumed    {warm_seconds:8.3f} s (all shards from checkpoint)",
+        f"  resumed    {warm_seconds:8.3f} s "
+        f"(checkpoint hit rate {hit_rate:.0%})",
+        data={
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "checkpoint_hit_rate": hit_rate,
+            "metrics": snapshot.to_dict(),
+        },
     )

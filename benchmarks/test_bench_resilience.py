@@ -90,4 +90,18 @@ def test_bench_degraded_harvest(fresh_harvest_log):
         f"({degraded.report.summary()})",
         f"  retried output identical: {retried == baseline}",
     ]
-    record_artifact("resilience", "\n".join(lines))
+    record_artifact(
+        "resilience",
+        "\n".join(lines),
+        data={
+            "entries": log.size,
+            "shard_size": SHARD_SIZE,
+            "failure_rate": FAILURE_RATE,
+            "clean_seconds": clean_seconds,
+            "flaky_seconds": flaky_seconds,
+            "degraded_seconds": degraded_seconds,
+            "faults_injected": flaky.faults_injected,
+            "failed_shards": degraded.report.failed_indices,
+            "degraded_retries": degraded.report.retries,
+        },
+    )

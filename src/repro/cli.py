@@ -37,23 +37,32 @@ def _engine(args):
     failures are retried inside the workers, and ``--on-error degrade``
     lets a run whose retries are exhausted complete with partial
     results plus a degradation report instead of aborting.
+
+    When ``--metrics-out``/``--trace`` are active, :func:`main` stashes
+    a registry/tracer on ``args`` and the engine (plus retry policy)
+    records into them; artifact outputs are unaffected either way.
     """
     from repro.pipeline import DEFAULT_SHARD_SIZE, PipelineEngine
     from repro.resilience import RetryPolicy
     from repro.util.rng import SeededRng
 
+    metrics = getattr(args, "metrics", None)
+    tracer = getattr(args, "tracer", None)
     retry = None
     if args.retries > 0:
         retry = RetryPolicy(
             max_attempts=args.retries + 1,
             base_delay_s=args.backoff,
             rng=SeededRng(args.seed, "cli-retry"),
+            metrics=metrics,
         )
     return PipelineEngine(
         workers=args.workers,
         shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
         retry=retry,
         on_error=args.on_error,
+        metrics=metrics,
+        tracer=tracer,
     )
 
 
@@ -268,18 +277,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include methodology ablations where supported (sec43)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSON metrics snapshot (counters, gauges, "
+        "histograms from the pipeline/retry layer) to FILE after the "
+        "artifact is rendered; stdout is unchanged",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans around the run and print the span tree to "
+        "stderr (stdout is unchanged)",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    from repro.obs import MetricsRegistry, SpanTracer, maybe_span
+
     args = build_parser().parse_args(argv)
+    args.metrics = MetricsRegistry() if args.metrics_out else None
+    args.tracer = SpanTracer() if args.trace else None
     try:
         if args.artifact == "list":
             print("available artifacts:")
             for name in sorted(COMMANDS):
                 print(f"  {name}")
             return 0
-        print(COMMANDS[args.artifact](args))
+        with maybe_span(args.tracer, f"cli.{args.artifact}", seed=args.seed):
+            rendered = COMMANDS[args.artifact](args)
+        print(rendered)
+        if args.metrics is not None:
+            args.metrics.snapshot().write(args.metrics_out)
+        if args.tracer is not None:
+            print(args.tracer.render(), file=sys.stderr)
     except BrokenPipeError:  # e.g. piped into `head`
         return 0
     return 0

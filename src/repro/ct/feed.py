@@ -20,6 +20,7 @@ that service shape:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from datetime import datetime
@@ -37,6 +38,7 @@ from typing import (
 from repro.ct.log import CTLog, LogEntry
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.obs.metrics import MetricsRegistry
     from repro.resilience.retry import RetryPolicy
 
 
@@ -79,15 +81,18 @@ class CertFeed:
         *,
         max_queue: int = 10_000,
         retry: Optional["RetryPolicy"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self._logs = list(logs)
         self._cursors: Dict[str, int] = {log.name: log.size for log in self._logs}
         self._subs: Dict[str, _Subscription] = {}
         self._default_max_queue = max_queue
         self.retry = retry
+        self.metrics = metrics
         self.events_emitted = 0
         self.poll_errors: Dict[str, int] = {log.name: 0 for log in self._logs}
         self.poll_retries: Dict[str, int] = {log.name: 0 for log in self._logs}
+        self.entries_fetched: Dict[str, int] = {log.name: 0 for log in self._logs}
 
     # -- subscription management ---------------------------------------------
 
@@ -152,6 +157,8 @@ class CertFeed:
             sub.callback(FeedEvent(log_name, entry, submitted_at))
             sub.delivered += 1
             replayed += 1
+        if self.metrics is not None and replayed:
+            self.metrics.inc("feed.backfill_events", replayed, subscriber=name)
         return replayed
 
     def _fetch_new(self, log: CTLog, cursor: int, end: int) -> List[LogEntry]:
@@ -162,6 +169,8 @@ class CertFeed:
         self.poll_retries[log.name] = (
             self.poll_retries.get(log.name, 0) + outcome.retried
         )
+        if self.metrics is not None and outcome.retried:
+            self.metrics.inc("feed.poll_retries", outcome.retried, log=log.name)
         return outcome.value
 
     def poll(self, now: datetime) -> int:
@@ -178,30 +187,56 @@ class CertFeed:
             size = log.size
             if size <= cursor:
                 continue
+            started = time.perf_counter()
             try:
                 entries = self._fetch_new(log, cursor, size - 1)
             except Exception as exc:
                 self.poll_errors[log.name] = self.poll_errors.get(log.name, 0) + 1
-                self.poll_retries[log.name] = self.poll_retries.get(
-                    log.name, 0
-                ) + max(0, getattr(exc, "attempts", 1) - 1)
+                failed_retries = max(0, getattr(exc, "attempts", 1) - 1)
+                self.poll_retries[log.name] = (
+                    self.poll_retries.get(log.name, 0) + failed_retries
+                )
+                if self.metrics is not None:
+                    self.metrics.inc("feed.poll_errors", log=log.name)
+                    if failed_retries:
+                        self.metrics.inc(
+                            "feed.poll_retries", failed_retries, log=log.name
+                        )
                 continue
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "feed.fetch_seconds",
+                    time.perf_counter() - started,
+                    log=log.name,
+                )
+                self.metrics.inc("feed.entries", len(entries), log=log.name)
+            self.entries_fetched[log.name] = (
+                self.entries_fetched.get(log.name, 0) + len(entries)
+            )
             fresh.extend(FeedEvent(log.name, entry, now) for entry in entries)
             self._cursors[log.name] = cursor + len(entries)
+        dropped = 0
         for event in fresh:
             self.events_emitted += 1
             for sub in self._subs.values():
                 if len(sub.queue) >= sub.max_queue:
                     sub.dropped += 1
+                    dropped += 1
                     continue
                 sub.queue.append(event)
+        if self.metrics is not None:
+            if fresh:
+                self.metrics.inc("feed.events_emitted", len(fresh))
+            if dropped:
+                self.metrics.inc("feed.events_dropped", dropped)
         return len(fresh)
 
     def log_health(self) -> Dict[str, Dict[str, int]]:
-        """Per-log cursor position and error/retry counters."""
+        """Per-log cursor position, entries delivered, error/retry counters."""
         return {
             log.name: {
                 "cursor": self._cursors.get(log.name, 0),
+                "entries": self.entries_fetched.get(log.name, 0),
                 "errors": self.poll_errors.get(log.name, 0),
                 "retries": self.poll_retries.get(log.name, 0),
             }
@@ -228,6 +263,8 @@ class CertFeed:
                 sub.delivered += 1
                 delivered += 1
                 pending = True
+        if self.metrics is not None and delivered:
+            self.metrics.inc("feed.deliveries", delivered)
         return delivered
 
     def run_once(self, now: datetime) -> int:

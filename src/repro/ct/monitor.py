@@ -22,6 +22,7 @@ Per-log error/retry counters are exposed on each monitor.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from datetime import datetime, timedelta
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
@@ -30,6 +31,7 @@ from repro.ct.log import CTLog, LogEntry
 from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.obs.metrics import MetricsRegistry
     from repro.resilience.retry import RetryPolicy
 
 
@@ -61,17 +63,26 @@ class _CursorMixin:
     skipped.
     """
 
-    def __init__(self, retry: Optional["RetryPolicy"] = None) -> None:
+    def __init__(
+        self,
+        retry: Optional["RetryPolicy"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self._cursors: Dict[str, int] = {}
         self.retry = retry
+        self.metrics = metrics
         self.errors: Dict[str, int] = {}
         self.retries: Dict[str, int] = {}
+
+    def _monitor_label(self) -> str:
+        return getattr(self, "name", type(self).__name__)
 
     def _new_entries(self, log: CTLog) -> List[LogEntry]:
         cursor = self._cursors.get(log.name, 0)
         size = log.size
         if size <= cursor:
             return []
+        started = time.perf_counter()
         try:
             if self.retry is None:
                 entries = log.get_entries(cursor, size - 1)
@@ -83,12 +94,41 @@ class _CursorMixin:
                 self.retries[log.name] = (
                     self.retries.get(log.name, 0) + outcome.retried
                 )
+                if self.metrics is not None and outcome.retried:
+                    self.metrics.inc(
+                        "monitor.retries",
+                        outcome.retried,
+                        monitor=self._monitor_label(),
+                        log=log.name,
+                    )
         except Exception as exc:
             self.errors[log.name] = self.errors.get(log.name, 0) + 1
-            self.retries[log.name] = self.retries.get(log.name, 0) + max(
-                0, getattr(exc, "attempts", 1) - 1
+            failed_retries = max(0, getattr(exc, "attempts", 1) - 1)
+            self.retries[log.name] = (
+                self.retries.get(log.name, 0) + failed_retries
             )
+            if self.metrics is not None:
+                label = self._monitor_label()
+                self.metrics.inc("monitor.errors", monitor=label, log=log.name)
+                if failed_retries:
+                    self.metrics.inc(
+                        "monitor.retries",
+                        failed_retries,
+                        monitor=label,
+                        log=log.name,
+                    )
             return []
+        if self.metrics is not None:
+            label = self._monitor_label()
+            self.metrics.observe(
+                "monitor.fetch_seconds",
+                time.perf_counter() - started,
+                monitor=label,
+                log=log.name,
+            )
+            self.metrics.inc(
+                "monitor.entries", len(entries), monitor=label, log=log.name
+            )
         self._cursors[log.name] = cursor + len(entries)
         return entries
 
@@ -108,8 +148,9 @@ class StreamingMonitor(_CursorMixin):
         latency_range_s: "tuple[float, float]" = (60.0, 180.0),
         base_offset_s: float = 0.0,
         retry: Optional["RetryPolicy"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
-        super().__init__(retry=retry)
+        super().__init__(retry=retry, metrics=metrics)
         self.name = name
         self._rng = rng.fork(f"stream:{name}")
         self.latency_range_s = latency_range_s
@@ -147,8 +188,9 @@ class BatchMonitor(_CursorMixin):
         interval: timedelta = timedelta(hours=2),
         processing_delay_s: float = 30.0,
         retry: Optional["RetryPolicy"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
-        super().__init__(retry=retry)
+        super().__init__(retry=retry, metrics=metrics)
         self.name = name
         self._rng = rng.fork(f"batch:{name}")
         self.interval = interval

@@ -138,6 +138,11 @@ class HarvestCheckpoint:
     different shard plan, truncated/garbled lines) raises
     :class:`LogStorageError` instead of silently resuming from
     partials that no longer describe the data.
+
+    An optional :class:`repro.obs.MetricsRegistry` (``metrics=``)
+    counts records as they land: ``checkpoint.shards_recorded``,
+    ``checkpoint.duplicate_records`` (re-records ignored under the
+    first-write-wins rule), and ``checkpoint.degraded_markers``.
     """
 
     VERSION = 1
@@ -150,12 +155,14 @@ class HarvestCheckpoint:
         shard_size: int,
         tree_size: int,
         root_hash: str,
+        metrics: Optional[object] = None,
     ) -> None:
         self.path = Path(path)
         self.pass_name = pass_name
         self.shard_size = shard_size
         self.tree_size = tree_size
         self.root_hash = root_hash
+        self.metrics = metrics
         self._recorded: Optional[set] = None
 
     @classmethod
@@ -165,6 +172,7 @@ class HarvestCheckpoint:
         pass_name: str,
         shard_size: int,
         suffix: str = ".checkpoint",
+        metrics: Optional[object] = None,
     ) -> "HarvestCheckpoint":
         """Open the sidecar checkpoint for a harvest file's current state."""
         trailer = read_tree_head(harvest_path)
@@ -174,6 +182,7 @@ class HarvestCheckpoint:
             shard_size=shard_size,
             tree_size=trailer["tree_size"],
             root_hash=trailer["root_hash"],
+            metrics=metrics,
         )
 
     def _header(self) -> dict:
@@ -272,6 +281,8 @@ class HarvestCheckpoint:
         if self._recorded is None:
             self._recorded = set(self.completed()) if self.path.exists() else set()
         if index in self._recorded:
+            if self.metrics is not None:
+                self.metrics.inc("checkpoint.duplicate_records")
             return
         record: Dict[str, object] = {
             "type": "shard",
@@ -282,6 +293,8 @@ class HarvestCheckpoint:
             record["attempts"] = attempts
         self._append(record)
         self._recorded.add(index)
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint.shards_recorded")
 
     def record_degraded(self, report: object) -> None:
         """Append a degraded-run marker (failed shard indices + retries).
@@ -296,6 +309,8 @@ class HarvestCheckpoint:
                 "retries": int(getattr(report, "retries", 0)),
             }
         )
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint.degraded_markers")
 
     def fault_stats(self) -> Dict[str, object]:
         """Aggregate retry/degradation accounting out of the sidecar."""

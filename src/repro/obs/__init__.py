@@ -1,0 +1,49 @@
+"""Observability: metrics and spans for the reproduction pipeline.
+
+The paper's headline numbers come out of sharded, retrying runs; this
+package is how those runs describe themselves.  Everything is
+dependency-free and deterministic where it matters:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters,
+  gauges, histograms) whose :class:`MetricsSnapshot` is picklable,
+  JSON-exportable with sorted keys, and merges associatively and
+  commutatively — per-shard metrics survive process-pool workers and
+  reduce bit-identically;
+* :mod:`repro.obs.trace` — :class:`SpanTracer`, a context-manager
+  span stack with wall-time, nesting, and JSON export.
+
+Wired consumers: :class:`repro.pipeline.PipelineEngine` (per-shard
+duration, queue wait, attempts, degraded shards, checkpoint resume hit
+rate), :class:`repro.ct.CertFeed` and the Section 6 monitors (per-log
+fetch latency, entries, error/retry counters),
+:class:`repro.resilience.RetryPolicy` (attempt/backoff histograms),
+:class:`repro.ct.storage.HarvestCheckpoint` (record accounting), the
+CLI (``--metrics-out FILE`` / ``--trace``), and the benchmark harness
+(JSON sidecars with metric snapshots).
+"""
+
+from repro.obs.metrics import (
+    COUNT_BOUNDS,
+    DEFAULT_TIME_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    metric_key,
+)
+from repro.obs.trace import Span, SpanTracer, maybe_span
+
+__all__ = [
+    "COUNT_BOUNDS",
+    "DEFAULT_TIME_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "SpanTracer",
+    "maybe_span",
+    "metric_key",
+]

@@ -1,0 +1,373 @@
+"""A dependency-free metrics registry with deterministic snapshots.
+
+Three instrument kinds, Prometheus-shaped but merge-first:
+
+* **counters** — monotonically increasing numbers; merge by summing;
+* **gauges** — last-set values; merge by taking the maximum (the only
+  order-independent choice that still answers "how bad did it get");
+* **histograms** — fixed-bound buckets plus count/sum/min/max; merge
+  bucket-wise (bounds must match).
+
+The mutable :class:`MetricsRegistry` is process-local; a
+:class:`MetricsSnapshot` is the frozen, picklable view that crosses
+process-pool boundaries.  Snapshot merging is associative and
+commutative (integer counters and bucket counts merge exactly; float
+sums rely on IEEE addition being commutative, and are exact whenever
+the observed values are — see the merge property tests), and JSON
+export sorts keys, so any shard plan reduces to the same bytes.
+
+Metric identity is ``name`` plus optional labels, encoded as
+``name{key=value,...}`` with label keys sorted — the registry and the
+snapshot both key on that string.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bounds for wall-time observations, in seconds.
+DEFAULT_TIME_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Bounds for small discrete quantities (retry attempt counts).
+COUNT_BOUNDS: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 16.0)
+
+
+def metric_key(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical metric identity: ``name`` or ``name{k=v,...}``, keys sorted."""
+    if "{" in name or "}" in name:
+        raise ValueError(f"metric name must not contain braces: {name!r}")
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing number."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-set value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound buckets plus count/sum/min/max.
+
+    ``bounds`` are upper bucket edges; an observation lands in the
+    first bucket whose bound is >= the value, with one implicit
+    overflow bucket at the end (``len(counts) == len(bounds) + 1``).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_TIME_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"bounds must be non-empty and sorted, got {bounds}")
+        self.bounds = tuple(float(edge) for edge in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def _merge_histogram_dicts(left: Mapping, right: Mapping) -> Dict:
+    if tuple(left["bounds"]) != tuple(right["bounds"]):
+        raise ValueError(
+            f"cannot merge histograms with bounds {left['bounds']} != "
+            f"{right['bounds']}"
+        )
+    mins = [m for m in (left["min"], right["min"]) if m is not None]
+    maxes = [m for m in (left["max"], right["max"]) if m is not None]
+    return {
+        "bounds": list(left["bounds"]),
+        "counts": [a + b for a, b in zip(left["counts"], right["counts"])],
+        "count": left["count"] + right["count"],
+        "sum": left["sum"] + right["sum"],
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+    }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen, picklable, mergeable view of a registry.
+
+    ``histograms`` values are plain dicts with keys ``bounds``,
+    ``counts``, ``count``, ``sum``, ``min``, ``max`` — the JSON schema
+    is exactly :meth:`to_dict` (see docs/API.md).
+    """
+
+    counters: Dict[str, Number] = field(default_factory=dict)
+    gauges: Dict[str, Number] = field(default_factory=dict)
+    histograms: Dict[str, Dict] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls()
+
+    # -- accessors -----------------------------------------------------------
+
+    def counter(self, name: str, default: Number = 0) -> Number:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: Number = 0) -> Number:
+        return self.gauges.get(name, default)
+
+    def histogram_count(self, name: str) -> int:
+        hist = self.histograms.get(name)
+        return hist["count"] if hist else 0
+
+    def counter_total(self, prefix: str) -> Number:
+        """Sum of every counter whose key starts with ``prefix``."""
+        return sum(
+            value for key, value in self.counters.items()
+            if key.startswith(prefix)
+        )
+
+    def labeled(self, name: str) -> Dict[str, Number]:
+        """Counters of one metric family, keyed by their label block."""
+        opening = name + "{"
+        return {
+            key[len(opening) - 1 :]: value
+            for key, value in self.counters.items()
+            if key.startswith(opening)
+        }
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = max(gauges[key], value) if key in gauges else value
+        histograms = {key: dict(hist) for key, hist in self.histograms.items()}
+        for key, hist in other.histograms.items():
+            if key in histograms:
+                histograms[key] = _merge_histogram_dicts(histograms[key], hist)
+            else:
+                histograms[key] = dict(hist)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    @classmethod
+    def merge_all(cls, snapshots: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        merged = cls.empty()
+        for snapshot in snapshots:
+            merged = merged.merge(snapshot)
+        return merged
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": 1,
+            "counters": {key: self.counters[key] for key in sorted(self.counters)},
+            "gauges": {key: self.gauges[key] for key in sorted(self.gauges)},
+            "histograms": {
+                key: {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                }
+                for key, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsSnapshot":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={
+                key: dict(hist)
+                for key, hist in data.get("histograms", {}).items()
+            },
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the snapshot as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+
+class MetricsRegistry:
+    """Mutable, process-local metric store.
+
+    Instruments are created on first touch and identified by
+    ``metric_key(name, labels)``.  Not thread-safe by design: the
+    engine folds worker results in its own thread, and workers build
+    their own local registries whose snapshots are merged back via
+    :meth:`absorb`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Tuple[float, ...] = DEFAULT_TIME_BOUNDS,
+        **labels: object,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(bounds)
+        elif instrument.bounds != tuple(float(edge) for edge in bounds):
+            raise ValueError(
+                f"histogram {key!r} already registered with bounds "
+                f"{instrument.bounds}, got {bounds}"
+            )
+        return instrument
+
+    # -- convenience recording ----------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1, **labels: object) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: Number, **labels: object) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        bounds: Tuple[float, ...] = DEFAULT_TIME_BOUNDS,
+        **labels: object,
+    ) -> None:
+        self.histogram(name, bounds, **labels).observe(value)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={key: c.value for key, c in self._counters.items()},
+            gauges={key: g.value for key, g in self._gauges.items()},
+            histograms={
+                key: {
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+                for key, hist in self._histograms.items()
+            },
+        )
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot (e.g. from a pool worker) into this registry."""
+        for key, value in snapshot.counters.items():
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.inc(value)
+        for key, value in snapshot.gauges.items():
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+                gauge.set(value)
+            else:
+                gauge.set(max(gauge.value, value))
+        for key, hist_data in snapshot.histograms.items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(
+                    tuple(hist_data["bounds"])
+                )
+            merged = _merge_histogram_dicts(
+                {
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                },
+                hist_data,
+            )
+            hist.counts = list(merged["counts"])
+            hist.count = merged["count"]
+            hist.sum = merged["sum"]
+            hist.min = merged["min"]
+            hist.max = merged["max"]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

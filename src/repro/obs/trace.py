@@ -1,0 +1,107 @@
+"""Lightweight wall-time spans with nesting and JSON export.
+
+A :class:`SpanTracer` keeps a stack of open spans; ``span(name)`` is a
+context manager that records start time (Unix seconds), duration
+(monotonic clock), depth, and the parent span's index.  Spans are
+listed in *start* order, so the exported JSON replays the run's call
+tree top-down.
+
+The tracer is intentionally single-threaded: the pipeline engine opens
+spans only from the coordinating thread (per-shard timing crosses the
+pool boundary as metrics, not spans).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One recorded span; ``duration_s`` is None while still open."""
+
+    name: str
+    index: int
+    parent: Optional[int]
+    depth: int
+    started_at: float
+    duration_s: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def set(self, key: str, value: object) -> None:
+        """Attach or update one attribute on the span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "started_at": self.started_at,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanTracer:
+    """Collects nested spans; export with :meth:`to_json` / :meth:`render`."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        record = Span(
+            name=name,
+            index=len(self.spans),
+            parent=self._stack[-1] if self._stack else None,
+            depth=len(self._stack),
+            started_at=time.time(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        self._stack.append(record.index)
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration_s = time.perf_counter() - started
+            self._stack.pop()
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [span.to_dict() for span in self.spans]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dicts(), sort_keys=True, indent=indent)
+
+    def render(self) -> str:
+        """Human-readable span tree (durations in ms, attrs inline)."""
+        lines = []
+        for span in self.spans:
+            duration = (
+                f"{span.duration_s * 1e3:10.2f} ms"
+                if span.duration_s is not None
+                else "      open"
+            )
+            attrs = "".join(
+                f" {key}={span.attrs[key]}" for key in sorted(span.attrs)
+            )
+            lines.append(f"{duration}  {'  ' * span.depth}{span.name}{attrs}")
+        return "\n".join(lines)
+
+
+def maybe_span(tracer: Optional[SpanTracer], name: str, **attrs: object):
+    """``tracer.span(...)`` or an inert context when no tracer is attached.
+
+    The null context yields ``None``, so callers guard attribute
+    updates with ``if span is not None``.
+    """
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **attrs)

@@ -22,6 +22,7 @@ in a :class:`~repro.resilience.DegradationReport`
 from __future__ import annotations
 
 import inspect
+import time
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
@@ -30,6 +31,8 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.trace import SpanTracer, maybe_span
 from repro.pipeline.shard import DEFAULT_SHARD_SIZE
 from repro.resilience.degrade import (
     DegradationReport,
@@ -56,17 +59,44 @@ class MapResult(List[Any]):
 
 
 def _run_task(
-    map_fn: MapFn, task: Any, retry: Optional[RetryPolicy]
-) -> Tuple[Any, int]:
+    map_fn: MapFn,
+    task: Any,
+    retry: Optional[RetryPolicy],
+    instrument: bool = False,
+    submitted_at: Optional[float] = None,
+) -> Tuple[Any, int, Optional[MetricsSnapshot]]:
     """Execute one shard (module-level so process pools can pickle it).
 
-    Returns ``(result, attempts)``; the retry loop runs *inside* the
-    worker, so transient faults never cross the pool boundary.
+    Returns ``(result, attempts, metrics)``; the retry loop runs
+    *inside* the worker, so transient faults never cross the pool
+    boundary.  With ``instrument=True`` the worker times itself into a
+    local registry and ships the snapshot back with the result —
+    that's how per-shard metrics survive a process pool (``metrics``
+    is ``None`` otherwise).  ``submitted_at`` is a ``time.time()``
+    stamp taken at submission; the gap to the worker picking the task
+    up is the shard's queue wait.
     """
+    if not instrument:
+        if retry is None:
+            return map_fn(task), 1, None
+        outcome = retry.run(lambda: map_fn(task))
+        return outcome.value, outcome.attempts, None
+    queue_wait = (
+        max(0.0, time.time() - submitted_at) if submitted_at is not None else 0.0
+    )
+    started = time.perf_counter()
     if retry is None:
-        return map_fn(task), 1
-    outcome = retry.run(lambda: map_fn(task))
-    return outcome.value, outcome.attempts
+        value, attempts = map_fn(task), 1
+    else:
+        outcome = retry.run(lambda: map_fn(task))
+        value, attempts = outcome.value, outcome.attempts
+    local = MetricsRegistry()
+    local.observe("pipeline.shard_seconds", time.perf_counter() - started)
+    local.observe("pipeline.shard_queue_wait_seconds", queue_wait)
+    local.inc("pipeline.shard_attempts", attempts)
+    if attempts > 1:
+        local.inc("pipeline.shard_retries", attempts - 1)
+    return value, attempts, local.snapshot()
 
 
 def _failure_attempts(exc: BaseException) -> int:
@@ -103,6 +133,18 @@ class PipelineEngine:
         :class:`ShardFailedError` naming the failing shard;
         ``"degrade"`` completes the run without the failed shards and
         attaches a :class:`DegradationReport`.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When attached,
+        every run records per-shard duration/queue-wait histograms,
+        attempt/retry counters, failed/degraded shard counters (with a
+        per-shard ``shard=`` label on failures), and checkpoint resume
+        hit rate.  Workers time themselves into local registries whose
+        snapshots merge back deterministically, so serial and parallel
+        runs report identical counter totals.
+    tracer:
+        Optional :class:`repro.obs.SpanTracer`; ``map_reduce`` then
+        records nested ``pipeline.map_reduce`` / ``pipeline.map`` /
+        ``pipeline.reduce`` spans (coordinator-side wall time).
     """
 
     def __init__(
@@ -112,6 +154,8 @@ class PipelineEngine:
         executor: str = "process",
         retry: Optional[RetryPolicy] = None,
         on_error: str = "raise",
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -130,6 +174,8 @@ class PipelineEngine:
         self.executor = executor
         self.retry = retry
         self.on_error = on_error
+        self.metrics = metrics
+        self.tracer = tracer
 
     @property
     def serial(self) -> bool:
@@ -165,60 +211,102 @@ class PipelineEngine:
         did finish are already checkpointed, and the report (if any)
         is appended to the checkpoint as well.
         """
+        instrument = self.metrics is not None
         results = MapResult([None] * len(tasks))
         pending = list(range(len(tasks)))
         if checkpoint is not None:
             done = checkpoint.completed()
+            resumed = 0
             for index, payload in done.items():
                 if 0 <= index < len(results):
                     results[index] = decode(payload) if decode else payload
+                    resumed += 1
             pending = [i for i in pending if i not in done]
+            if instrument and tasks:
+                self.metrics.inc("pipeline.shards_resumed", resumed)
+                self.metrics.set_gauge(
+                    "pipeline.checkpoint_hit_rate", resumed / len(tasks)
+                )
+        if instrument:
+            self.metrics.inc("pipeline.shards_planned", len(tasks))
         failures: List[FailedShard] = []
         retries = 0
 
-        def finish(index: int, value: Any, attempts: int) -> None:
+        def finish(
+            index: int, value: Any, attempts: int, snap: Optional[MetricsSnapshot]
+        ) -> None:
             nonlocal retries
             retries += attempts - 1
             results[index] = value
             self._record(checkpoint, encode, index, value, attempts)
+            if instrument:
+                if snap is not None:
+                    self.metrics.absorb(snap)
+                self.metrics.inc("pipeline.shards_completed")
+                if attempts > 1:
+                    self.metrics.inc("pipeline.retries_total", attempts - 1)
 
         def fail(index: int, exc: BaseException) -> None:
             nonlocal retries
             attempts = _failure_attempts(exc)
             cause = _failure_cause(exc)
+            if instrument:
+                self.metrics.inc("pipeline.shards_failed")
+                self.metrics.inc("pipeline.shard_failures", shard=index)
+                self.metrics.inc("pipeline.failed_shard_attempts", attempts)
+                if attempts > 1:
+                    self.metrics.inc("pipeline.retries_total", attempts - 1)
             if not self.degrading:
                 raise ShardFailedError(index, attempts, cause) from exc
             retries += attempts - 1
             failures.append(FailedShard(index, repr(cause), attempts))
 
-        if self.serial or len(pending) <= 1:
-            for index in pending:
-                try:
-                    value, attempts = _run_task(map_fn, tasks[index], self.retry)
-                except Exception as exc:
-                    fail(index, exc)
-                    continue
-                finish(index, value, attempts)
-        else:
-            pool_cls = (
-                ProcessPoolExecutor
-                if self.executor == "process"
-                else ThreadPoolExecutor
-            )
-            pool: Executor
-            with pool_cls(max_workers=min(self.workers, len(pending))) as pool:
-                futures = {
-                    pool.submit(_run_task, map_fn, tasks[i], self.retry): i
-                    for i in pending
-                }
-                for future in as_completed(futures):
-                    index = futures[future]
+        with maybe_span(
+            self.tracer, "pipeline.map", shards=len(tasks), pending=len(pending)
+        ):
+            if self.serial or len(pending) <= 1:
+                for index in pending:
                     try:
-                        value, attempts = future.result()
+                        value, attempts, snap = _run_task(
+                            map_fn,
+                            tasks[index],
+                            self.retry,
+                            instrument,
+                            time.time() if instrument else None,
+                        )
                     except Exception as exc:
                         fail(index, exc)
                         continue
-                    finish(index, value, attempts)
+                    finish(index, value, attempts, snap)
+            else:
+                pool_cls = (
+                    ProcessPoolExecutor
+                    if self.executor == "process"
+                    else ThreadPoolExecutor
+                )
+                pool: Executor
+                with pool_cls(
+                    max_workers=min(self.workers, len(pending))
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _run_task,
+                            map_fn,
+                            tasks[i],
+                            self.retry,
+                            instrument,
+                            time.time() if instrument else None,
+                        ): i
+                        for i in pending
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        try:
+                            value, attempts, snap = future.result()
+                        except Exception as exc:
+                            fail(index, exc)
+                            continue
+                        finish(index, value, attempts, snap)
 
         if self.degrading:
             report = DegradationReport(
@@ -251,21 +339,35 @@ class PipelineEngine:
         that survived (still in shard order) and the return value is a
         :class:`DegradedResult` pairing it with the run's report.
         """
-        partials = self.map(
-            map_fn,
-            tasks,
-            checkpoint=checkpoint,
-            encode=encode,
-            decode=decode,
-        )
-        report = partials.degradation
-        if report is None:
-            return reduce_fn(partials)
-        lost = set(report.failed_indices)
-        value = reduce_fn(
-            [partial for i, partial in enumerate(partials) if i not in lost]
-        )
-        return DegradedResult(value=value, report=report)
+        with maybe_span(self.tracer, "pipeline.map_reduce", shards=len(tasks)):
+            partials = self.map(
+                map_fn,
+                tasks,
+                checkpoint=checkpoint,
+                encode=encode,
+                decode=decode,
+            )
+            report = partials.degradation
+            if report is None:
+                return self._reduce(reduce_fn, list(partials))
+            lost = set(report.failed_indices)
+            value = self._reduce(
+                reduce_fn,
+                [partial for i, partial in enumerate(partials) if i not in lost],
+            )
+            return DegradedResult(value=value, report=report)
+
+    def _reduce(self, reduce_fn: ReduceFn, partials: List[Any]) -> Any:
+        """Run the reduce under the optional span/histogram."""
+        with maybe_span(self.tracer, "pipeline.reduce", partials=len(partials)):
+            if self.metrics is None:
+                return reduce_fn(partials)
+            started = time.perf_counter()
+            value = reduce_fn(partials)
+            self.metrics.observe(
+                "pipeline.reduce_seconds", time.perf_counter() - started
+            )
+            return value
 
     @staticmethod
     def _record(

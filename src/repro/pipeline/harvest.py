@@ -86,7 +86,7 @@ def analyze_harvest_names(
     store: Optional[HarvestCheckpoint] = None
     if checkpoint:
         store = HarvestCheckpoint.for_harvest(
-            path, FQDN_LEAKAGE_PASS, engine.shard_size
+            path, FQDN_LEAKAGE_PASS, engine.shard_size, metrics=engine.metrics
         )
     return engine.map_reduce(
         _harvest_leakage_task,

@@ -1,0 +1,66 @@
+"""Golden-output regression tests for the headline paper artifacts.
+
+Each case pins the *exact rendered bytes* of one CLI artifact at a
+small fixed scale/seed as a checked-in fixture: Figure 1a/1b (log
+growth and rates), Table 1 (top log ranking by observed certificates),
+Section 3.2 (SCT delivery channel shares), and Table 2 (subdomain
+label counts).  Every case is asserted twice — serial and sharded
+across a worker pool — so a regression in either the analyses, the
+renderers, the workload seeding, or the parallel merge path shows up
+as a byte diff.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/golden/test_golden_artifacts.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (fixture name, CLI argv).  Scales are chosen so each case renders in
+#: well under a second while still exercising every analysis stage.
+CASES = [
+    ("fig1a", ["fig1a", "--scale", "0.000002", "--seed", "7"]),
+    ("fig1b", ["fig1b", "--scale", "0.000002", "--seed", "7"]),
+    ("table1", ["table1", "--scale", "1e-9", "--seed", "42"]),
+    ("sec32", ["sec32", "--scale", "1e-9", "--seed", "42"]),
+    ("table2", ["table2", "--scale", "0.0001", "--seed", "5"]),
+]
+
+#: Extra argv for the sharded leg: 2 workers, shards small enough that
+#: every case splits into several (the merge path really runs).
+SHARDED = ["--workers", "2", "--shard-size", "512"]
+
+
+def _render(argv):
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.artifact](args) + "\n"
+
+
+@pytest.mark.parametrize("name,argv", CASES, ids=[case[0] for case in CASES])
+def test_serial_matches_fixture(name, argv):
+    expected = (FIXTURES / f"{name}.txt").read_text(encoding="utf-8")
+    assert _render(argv) == expected
+
+
+@pytest.mark.parametrize("name,argv", CASES, ids=[case[0] for case in CASES])
+def test_sharded_matches_fixture(name, argv):
+    expected = (FIXTURES / f"{name}.txt").read_text(encoding="utf-8")
+    assert _render(argv + SHARDED) == expected
+
+
+def regenerate():  # pragma: no cover - maintenance helper
+    FIXTURES.mkdir(exist_ok=True)
+    for name, argv in CASES:
+        path = FIXTURES / f"{name}.txt"
+        path.write_text(_render(argv), encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

@@ -1,0 +1,173 @@
+"""Unit tests for the metrics registry and its snapshots."""
+
+import pytest
+
+from repro.obs import (
+    COUNT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("pipeline.shards", {}) == "pipeline.shards"
+
+    def test_labels_sorted(self):
+        key = metric_key("feed.entries", {"log": "pilot", "kind": "x509"})
+        assert key == "feed.entries{kind=x509,log=pilot}"
+
+    def test_label_order_irrelevant(self):
+        assert metric_key("m", {"a": 1, "b": 2}) == metric_key(
+            "m", {"b": 2, "a": 1}
+        )
+
+    def test_braces_rejected(self):
+        with pytest.raises(ValueError):
+            metric_key("bad{name}", {})
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_set_wins(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_histogram_bucket_placement(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        # 0.5 and 1.0 land at or below the first edge; 3.0 in (2, 4];
+        # 100.0 overflows.
+        assert hist.counts == [2, 0, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == 104.5
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(104.5 / 4)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_empty_histogram_mean(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_touch(self):
+        registry = MetricsRegistry()
+        assert len(registry) == 0
+        registry.inc("a")
+        registry.set_gauge("b", 1)
+        registry.observe("c", 0.5)
+        assert len(registry) == 3
+
+    def test_same_key_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", log="pilot")
+        registry.inc("hits", log="pilot")
+        registry.inc("hits", log="icarus")
+        snap = registry.snapshot()
+        assert snap.counter("hits{log=pilot}") == 2
+        assert snap.counter("hits{log=icarus}") == 1
+
+    def test_histogram_bounds_conflict(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.5)
+        with pytest.raises(ValueError):
+            registry.histogram("lat", bounds=COUNT_BOUNDS)
+
+    def test_absorb_merges_worker_snapshot(self):
+        worker = MetricsRegistry()
+        worker.inc("shards", 3)
+        worker.set_gauge("peak", 7)
+        worker.observe("lat", 0.01)
+        parent = MetricsRegistry()
+        parent.inc("shards", 1)
+        parent.set_gauge("peak", 2)
+        parent.observe("lat", 0.02)
+        parent.absorb(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap.counter("shards") == 4
+        assert snap.gauge("peak") == 7  # gauges merge by max
+        assert snap.histogram_count("lat") == 2
+        assert snap.histograms["lat"]["min"] == 0.01
+        assert snap.histograms["lat"]["max"] == 0.02
+
+    def test_absorb_into_empty_registry(self):
+        worker = MetricsRegistry()
+        worker.observe("lat", 0.25)
+        parent = MetricsRegistry()
+        parent.absorb(worker.snapshot())
+        assert parent.snapshot() == worker.snapshot()
+
+
+class TestSnapshot:
+    def _sample(self):
+        registry = MetricsRegistry()
+        registry.inc("pipeline.shards_completed", 6)
+        registry.inc("pipeline.shard_failures", 1, shard=4)
+        registry.set_gauge("pipeline.checkpoint_hit_rate", 0.5)
+        registry.observe("retry.attempts", 2, bounds=COUNT_BOUNDS)
+        return registry.snapshot()
+
+    def test_json_roundtrip(self):
+        snap = self._sample()
+        again = MetricsSnapshot.from_json(snap.to_json())
+        assert again == snap
+        assert again.to_json() == snap.to_json()
+
+    def test_write_roundtrip(self, tmp_path):
+        snap = self._sample()
+        path = snap.write(tmp_path / "metrics.json")
+        assert MetricsSnapshot.from_json(path.read_text()) == snap
+
+    def test_to_dict_versioned_and_sorted(self):
+        data = self._sample().to_dict()
+        assert data["version"] == 1
+        assert list(data["counters"]) == sorted(data["counters"])
+
+    def test_merge_identity(self):
+        snap = self._sample()
+        assert MetricsSnapshot.empty().merge(snap) == snap
+        assert snap.merge(MetricsSnapshot.empty()) == snap
+
+    def test_merge_bounds_mismatch_rejected(self):
+        left = MetricsRegistry()
+        left.observe("lat", 0.5)
+        right = MetricsRegistry()
+        right.observe("lat", 2, bounds=COUNT_BOUNDS)
+        with pytest.raises(ValueError):
+            left.snapshot().merge(right.snapshot())
+
+    def test_counter_total_prefix(self):
+        snap = self._sample()
+        assert snap.counter_total("pipeline.") == 7
+        assert snap.counter_total("nope.") == 0
+
+    def test_labeled_family(self):
+        snap = self._sample()
+        assert snap.labeled("pipeline.shard_failures") == {"{shard=4}": 1}
+        assert snap.labeled("pipeline.shards_completed") == {}
+
+    def test_picklable(self):
+        import pickle
+
+        snap = self._sample()
+        assert pickle.loads(pickle.dumps(snap)) == snap

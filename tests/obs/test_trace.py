@@ -1,0 +1,75 @@
+"""Unit tests for the span tracer."""
+
+import json
+
+from repro.obs import SpanTracer, maybe_span
+
+
+def test_spans_record_nesting_and_order():
+    tracer = SpanTracer()
+    with tracer.span("outer", shards=2):
+        with tracer.span("inner-a"):
+            pass
+        with tracer.span("inner-b"):
+            pass
+    names = [span.name for span in tracer.spans]
+    assert names == ["outer", "inner-a", "inner-b"]  # start order
+    outer, inner_a, inner_b = tracer.spans
+    assert outer.parent is None and outer.depth == 0
+    assert inner_a.parent == outer.index and inner_a.depth == 1
+    assert inner_b.parent == outer.index and inner_b.depth == 1
+    assert outer.attrs == {"shards": 2}
+    assert all(span.duration_s is not None for span in tracer.spans)
+    assert outer.duration_s >= inner_a.duration_s
+
+
+def test_span_duration_set_even_on_error():
+    tracer = SpanTracer()
+    try:
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.spans[0].duration_s is not None
+    assert tracer._stack == []  # stack unwound
+
+
+def test_span_set_attribute():
+    tracer = SpanTracer()
+    with tracer.span("work") as span:
+        span.set("items", 12)
+    assert tracer.spans[0].attrs["items"] == 12
+
+
+def test_to_json_replays_tree():
+    tracer = SpanTracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    data = json.loads(tracer.to_json())
+    assert [item["name"] for item in data] == ["a", "b"]
+    assert data[1]["parent"] == 0
+    assert data[0]["started_at"] <= data[1]["started_at"]
+
+
+def test_render_indents_by_depth():
+    tracer = SpanTracer()
+    with tracer.span("outer", n=1):
+        with tracer.span("inner"):
+            pass
+    lines = tracer.render().splitlines()
+    assert lines[0].endswith("outer n=1")
+    assert "  inner" in lines[1]
+    assert "ms" in lines[0]
+
+
+def test_maybe_span_with_no_tracer():
+    with maybe_span(None, "ignored", anything=1) as span:
+        assert span is None
+
+
+def test_maybe_span_with_tracer():
+    tracer = SpanTracer()
+    with maybe_span(tracer, "real") as span:
+        assert span is not None
+    assert tracer.spans[0].name == "real"

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import COMMANDS, build_parser, main
+from repro.obs import MetricsSnapshot
 
 
 def run_cli(capsys, *argv):
@@ -116,6 +119,47 @@ def test_retries_and_degrade_do_not_change_output(capsys):
     # No faults in a plain run: the fault-tolerant configuration must
     # be byte-identical to the serial baseline.
     assert tolerant == baseline
+
+
+def test_parser_observability_defaults():
+    args = build_parser().parse_args(["fig1a"])
+    assert args.metrics_out is None
+    assert args.trace is False
+
+
+def test_metrics_out_writes_snapshot_without_touching_stdout(capsys, tmp_path):
+    args = ("table2", "--scale", "0.0001", "--seed", "5")
+    code, baseline = run_cli(capsys, *args)
+    assert code == 0
+    path = tmp_path / "metrics.json"
+    code, instrumented = run_cli(
+        capsys, *args, "--workers", "2", "--shard-size", "1000",
+        "--metrics-out", str(path),
+    )
+    assert code == 0
+    assert instrumented == baseline  # instrumentation changes no bytes
+    snap = MetricsSnapshot.from_json(path.read_text())
+    assert snap.counter("pipeline.shards_planned") > 0
+    assert snap.counter("pipeline.shards_completed") == snap.counter(
+        "pipeline.shards_planned"
+    )
+    assert json.loads(path.read_text())["version"] == 1
+
+
+def test_trace_renders_tree_on_stderr_only(capsys):
+    args = (
+        "table2", "--scale", "0.0001", "--seed", "5",
+        "--workers", "2", "--shard-size", "1000",
+    )
+    code = main(list(args))
+    baseline = capsys.readouterr().out
+    code = main([*args, "--trace"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert captured.out == baseline  # stdout untouched
+    assert "cli.table2" in captured.err
+    assert "pipeline.map_reduce" in captured.err
+    assert "pipeline.reduce" in captured.err
 
 
 def test_all_commands_registered():
