@@ -1,0 +1,130 @@
+"""Columnar corpus build cost and the fused-traversal payoff.
+
+Measurements over the Figure 1 workload at benchmark scale:
+
+* corpus construction throughput (records/s and resident bytes per
+  record, straight from the ``dataset.*`` build metrics);
+* the fused §2 traversal (growth + rates + matrix, the ``sec2``
+  artifact) versus the three single-pass scans it replaces — same
+  graph machinery either way, so the delta is traversal fusion itself;
+* the same comparison with the §4 leakage pass added (reported, not
+  gated: the PSL fold dominates per-record cost there, so fusion's
+  saved traversals are a smaller share of the total).
+
+The fused §2 pass must beat the summed per-section scans by
+``FUSION_TARGET`` (outputs asserted identical first); every timing is
+best-of-``TRIALS`` and the gate is skipped in benchmark-smoke mode
+where timing is meaningless.
+"""
+
+import time
+
+from conftest import EVOLUTION_SCALE, record_artifact
+
+from repro.dataset import CertCorpus, section2_graph, sections_graph
+from repro.dataset.sections import (
+    corpus_growth,
+    corpus_leakage,
+    corpus_matrix,
+    corpus_rates,
+)
+from repro.obs import MetricsRegistry
+
+FUSION_TARGET = 1.5
+TRIALS = 2
+
+
+def _timed(fn):
+    """(result, best-of-TRIALS seconds) — min damps scheduler noise."""
+    best = float("inf")
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_bench_dataset_fused_traversal(evolution_run, request):
+    metrics = MetricsRegistry()
+    corpus, build_seconds = _timed(
+        lambda: CertCorpus.from_logs(evolution_run.logs, metrics=metrics)
+    )
+    snapshot = metrics.snapshot()
+    bytes_per_record = snapshot.gauge("dataset.bytes_per_record")
+
+    sections = {
+        "growth": corpus_growth,
+        "rates": corpus_rates,
+        "matrix": corpus_matrix,
+        "leakage": corpus_leakage,
+    }
+    separate = {}
+    separate_seconds = {}
+    for name, section in sections.items():
+        separate[name], separate_seconds[name] = _timed(
+            lambda section=section: section(corpus)
+        )
+
+    sec2_graph = section2_graph()
+    sec2, sec2_seconds = _timed(
+        lambda: sec2_graph.run(corpus.iter_records())
+    )
+    all_graph = sections_graph()
+    fused_all, all_seconds = _timed(
+        lambda: all_graph.run(corpus.iter_records())
+    )
+
+    # Fusion must not change a bit of any section result.
+    for result in (sec2, fused_all):
+        assert result["growth"] == separate["growth"]
+        assert result["rates"] == separate["rates"]
+        assert result["matrix"].cells() == separate["matrix"].cells()
+    assert fused_all["leakage"] == separate["leakage"]
+
+    sec2_summed = sum(
+        separate_seconds[name] for name in ("growth", "rates", "matrix")
+    )
+    all_summed = sum(separate_seconds.values())
+    sec2_ratio = sec2_summed / sec2_seconds if sec2_seconds else 0.0
+    all_ratio = all_summed / all_seconds if all_seconds else 0.0
+
+    lines = [
+        "Columnar corpus + fused traversal "
+        f"(scale 1:{int(1 / EVOLUTION_SCALE)}, {len(corpus)} records)",
+        f"  corpus build        {build_seconds:8.3f} s   "
+        f"{len(corpus) / build_seconds:10.0f} records/s, "
+        f"{bytes_per_record:.0f} B/record",
+        *(
+            f"  {name:<10} scan     {seconds:8.3f} s"
+            for name, seconds in separate_seconds.items()
+        ),
+        f"  fused Sec2 (3 passes) {sec2_seconds:6.3f} s vs "
+        f"{sec2_summed:.3f} s summed -> {sec2_ratio:.2f}x",
+        f"  fused all  (4 passes) {all_seconds:6.3f} s vs "
+        f"{all_summed:.3f} s summed -> {all_ratio:.2f}x",
+    ]
+    record_artifact(
+        "dataset",
+        "\n".join(lines),
+        data={
+            "records": len(corpus),
+            "build_seconds": build_seconds,
+            "bytes_per_record": bytes_per_record,
+            "approx_bytes": corpus.approx_bytes(),
+            "separate_seconds": separate_seconds,
+            "sec2_summed_seconds": sec2_summed,
+            "sec2_fused_seconds": sec2_seconds,
+            "sec2_fusion_ratio": sec2_ratio,
+            "all_summed_seconds": all_summed,
+            "all_fused_seconds": all_seconds,
+            "all_fusion_ratio": all_ratio,
+            "metrics": snapshot.to_dict(),
+        },
+    )
+
+    smoke = request.config.getoption("--benchmark-disable", default=False)
+    if not smoke:
+        assert sec2_ratio >= FUSION_TARGET, (
+            f"fused Sec2 traversal must be >= {FUSION_TARGET}x the summed "
+            f"per-section scans, measured {sec2_ratio:.2f}x"
+        )

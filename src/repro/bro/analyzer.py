@@ -21,6 +21,22 @@ from repro.x509.certificate import Certificate
 
 
 @dataclass(frozen=True)
+class AnalyzerConfig:
+    """The plain-data state of a :class:`BroSctAnalyzer`.
+
+    Everything a worker needs to rebuild an equivalent analyzer —
+    name/key tables and flags only, no caches, no log objects — so
+    shard payloads ship this instead of the analyzer itself (see
+    :meth:`BroSctAnalyzer.config` / :meth:`BroSctAnalyzer.from_config`).
+    """
+
+    log_names: Dict[bytes, str]
+    log_keys: Dict[bytes, object]
+    issuer_key_hashes: Dict[str, bytes]
+    validate_signatures: bool
+
+
+@dataclass(frozen=True)
 class SctObservation:
     """Per-connection result of the SCT analyzer."""
 
@@ -70,6 +86,27 @@ class BroSctAnalyzer:
         # connections; cache per-certificate work by object identity.
         self._embedded_names_cache: Dict[int, Tuple[str, ...]] = {}
         self._embedded_valid_cache: Dict[int, bool] = {}
+
+    def config(self) -> AnalyzerConfig:
+        """This analyzer's rebuildable plain-data configuration."""
+        return AnalyzerConfig(
+            log_names=dict(self._log_names),
+            log_keys=dict(self._log_keys),
+            issuer_key_hashes=dict(self._issuer_key_hashes),
+            validate_signatures=self._validate_signatures,
+        )
+
+    @classmethod
+    def from_config(cls, config: AnalyzerConfig) -> "BroSctAnalyzer":
+        """Rebuild an equivalent analyzer (fresh caches) from a config."""
+        analyzer = cls(
+            {},
+            dict(config.issuer_key_hashes),
+            validate_signatures=config.validate_signatures,
+        )
+        analyzer._log_names = dict(config.log_names)
+        analyzer._log_keys = dict(config.log_keys)
+        return analyzer
 
     def __getstate__(self) -> dict:
         # The memo caches are keyed by object identity; in another

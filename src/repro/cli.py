@@ -99,6 +99,31 @@ def cmd_fig1c(args) -> str:
     return rpt.render_figure1c(matrix) + "\n\n" + rpt.render_log_load(load)
 
 
+def cmd_sec2(args) -> str:
+    """Figures 1a-1c (plus log load) from one fused corpus traversal.
+
+    Renders the same bytes as running ``fig1a``, ``fig1b`` and
+    ``fig1c`` separately, but the underlying analysis walks each
+    corpus shard exactly once for all three passes (see
+    :func:`repro.pipeline.evolution_sections`).
+    """
+    from repro.pipeline import evolution_sections
+
+    run = _evolution_run(args)
+    sections = evolution_sections(run.logs, "2018-04", _engine(args))
+    load = evolution.log_load_report(
+        run.logs, "2018-04", matrix=sections["matrix"]
+    )
+    return "\n\n".join(
+        [
+            rpt.render_figure1a(sections["growth"], weight=run.weight),
+            rpt.render_figure1b(sections["rates"]),
+            rpt.render_figure1c(sections["matrix"]),
+            rpt.render_log_load(load),
+        ]
+    )
+
+
 def _traffic_stats(args):
     from repro.bro.analyzer import BroSctAnalyzer
     from repro.pipeline import traffic_adoption
@@ -205,6 +230,7 @@ COMMANDS: Dict[str, Callable] = {
     "fig1a": cmd_fig1a,
     "fig1b": cmd_fig1b,
     "fig1c": cmd_fig1c,
+    "sec2": cmd_sec2,
     "fig2": cmd_fig2,
     "table1": cmd_table1,
     "sec32": cmd_sec32,

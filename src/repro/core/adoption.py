@@ -64,13 +64,26 @@ class AdoptionStats:
         return getattr(self, attribute) / self.total
 
 
-def aggregate(observations: Iterable[SctObservation]) -> AdoptionStats:
-    """Fold an observation stream into :class:`AdoptionStats`."""
-    stats = AdoptionStats()
-    cert_logs: Dict[str, int] = defaultdict(int)
-    tls_logs: Dict[str, int] = defaultdict(int)
-    ocsp_logs: Dict[str, int] = defaultdict(int)
-    for obs in observations:
+class AdoptionAccumulator:
+    """Incremental form of :func:`aggregate`: one observation at a time.
+
+    The fused corpus traversal folds observations record-by-record, so
+    the accumulation loop lives here and both entry points share it.
+    :meth:`finish` snapshots the per-log defaultdicts into the plain
+    dicts :class:`AdoptionStats` carries across process boundaries.
+    """
+
+    __slots__ = ("stats", "_cert_logs", "_tls_logs", "_ocsp_logs")
+
+    def __init__(self) -> None:
+        self.stats = AdoptionStats()
+        self._cert_logs: Dict[str, int] = defaultdict(int)
+        self._tls_logs: Dict[str, int] = defaultdict(int)
+        self._ocsp_logs: Dict[str, int] = defaultdict(int)
+
+    def add(self, obs: SctObservation) -> None:
+        """Fold one connection's observation into the aggregates."""
+        stats = self.stats
         weight = obs.weight
         stats.total += weight
         day = stats.daily.get(obs.day)
@@ -85,17 +98,17 @@ def aggregate(observations: Iterable[SctObservation]) -> AdoptionStats:
             stats.with_cert_sct += weight
             day.with_cert_sct += weight
             for log in obs.cert_sct_logs:
-                cert_logs[log] += weight
+                self._cert_logs[log] += weight
         if presence.tls_extension:
             stats.with_tls_sct += weight
             day.with_tls_sct += weight
             for log in obs.tls_sct_logs:
-                tls_logs[log] += weight
+                self._tls_logs[log] += weight
         if presence.ocsp_staple:
             stats.with_ocsp_sct += weight
             day.with_ocsp_sct += weight
             for log in obs.ocsp_sct_logs:
-                ocsp_logs[log] += weight
+                self._ocsp_logs[log] += weight
         if presence.certificate and presence.tls_extension:
             stats.overlap_cert_tls += weight
         if presence.certificate and presence.ocsp_staple:
@@ -106,10 +119,21 @@ def aggregate(observations: Iterable[SctObservation]) -> AdoptionStats:
             stats.client_support += weight
         if not obs.embedded_scts_valid:
             stats.invalid_embedded += weight
-    stats.cert_log_observations = dict(cert_logs)
-    stats.tls_log_observations = dict(tls_logs)
-    stats.ocsp_log_observations = dict(ocsp_logs)
-    return stats
+
+    def finish(self) -> AdoptionStats:
+        """Snapshot the per-log counts and return the aggregate."""
+        self.stats.cert_log_observations = dict(self._cert_logs)
+        self.stats.tls_log_observations = dict(self._tls_logs)
+        self.stats.ocsp_log_observations = dict(self._ocsp_logs)
+        return self.stats
+
+
+def aggregate(observations: Iterable[SctObservation]) -> AdoptionStats:
+    """Fold an observation stream into :class:`AdoptionStats`."""
+    accumulator = AdoptionAccumulator()
+    for obs in observations:
+        accumulator.add(obs)
+    return accumulator.finish()
 
 
 def merge_stats(partials: Iterable[AdoptionStats]) -> AdoptionStats:

@@ -50,6 +50,20 @@ def matrix_records(logs: Iterable[CTLog]) -> Iterator[MatrixRecord]:
         )
 
 
+def growth_fold(
+    firsts: Dict[Tuple[str, int], date], issuer_org: str, serial: int, day: date
+) -> None:
+    """Fold one precert observation into a shard-local firsts dict.
+
+    Shared by :func:`growth_map` and the fused corpus traversal
+    (:mod:`repro.dataset.sections`), so both keep identical
+    first-submission semantics.
+    """
+    key = (issuer_org, serial)
+    if key not in firsts:
+        firsts[key] = day
+
+
 def growth_map(records: Iterable[PrecertRecord]) -> Dict[Tuple[str, int], date]:
     """Map step shared by Figures 1a and 1b: shard-local dedup.
 
@@ -59,9 +73,7 @@ def growth_map(records: Iterable[PrecertRecord]) -> Dict[Tuple[str, int], date]:
     """
     firsts: Dict[Tuple[str, int], date] = {}
     for issuer_org, serial, day in records:
-        key = (issuer_org, serial)
-        if key not in firsts:
-            firsts[key] = day
+        growth_fold(firsts, issuer_org, serial, day)
     return firsts
 
 
@@ -143,18 +155,24 @@ def cumulative_precert_growth(
     A precertificate submitted to several logs counts once (identified
     by issuer + serial).  Returns, per CA, a day-indexed cumulative
     series covering only days with activity plus the series endpoints.
-    This is the single-shard case of the growth map/reduce pipeline.
+    Thin wrapper over the shared columnar corpus (one fused traversal);
+    equals ``growth_reduce([growth_map(growth_records(...))])``.
     """
-    return growth_reduce(
-        [growth_map(growth_records(logs.values()))], start=start, end=end
-    )
+    from repro.dataset import CertCorpus
+    from repro.dataset.sections import corpus_growth
+
+    corpus = CertCorpus.from_logs(logs, with_names=False)
+    return corpus_growth(corpus, start=start, end=end)
 
 
 def relative_daily_rates(
     logs: Dict[str, CTLog],
 ) -> Dict[date, Dict[str, float]]:
     """Figure 1b: each CA's share of the day's newly logged precerts."""
-    return rates_reduce([growth_map(growth_records(logs.values()))])
+    from repro.dataset import CertCorpus
+    from repro.dataset.sections import corpus_rates
+
+    return corpus_rates(CertCorpus.from_logs(logs, with_names=False))
 
 
 def ca_log_matrix(
@@ -163,9 +181,16 @@ def ca_log_matrix(
     """Figure 1c: precertificate log *entries* per (CA, log) in a month.
 
     Unlike 1a this counts entries, not unique precerts: the figure
-    shows how logging load lands on logs.
+    shows how logging load lands on logs.  Thin wrapper over the
+    shared columnar corpus; equals
+    ``matrix_map(matrix_records(...), month)``.
     """
-    return matrix_map(matrix_records(logs.values()), month)
+    from repro.dataset import CertCorpus
+    from repro.dataset.sections import corpus_matrix
+
+    return corpus_matrix(
+        CertCorpus.from_logs(logs, with_names=False), month
+    )
 
 
 @dataclass(frozen=True)

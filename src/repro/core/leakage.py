@@ -90,26 +90,47 @@ class LeakagePartial:
     )
 
 
-def map_name_chunk(
-    names: Iterable[str],
-    psl: Optional[PublicSuffixList] = None,
-) -> LeakagePartial:
-    """The map step: validate, deduplicate, and PSL-split one chunk."""
-    psl = psl or default_psl()
-    partial = LeakagePartial()
-    for raw in names:
+class NameFold:
+    """Incremental form of :func:`map_name_chunk`: one name at a time.
+
+    Holds the working PSL next to the accumulating
+    :class:`LeakagePartial` so record-at-a-time consumers (the fused
+    corpus traversal) share the exact validate/dedup/split code path
+    with the chunk-at-a-time map step.  Ship only :attr:`partial`
+    across process boundaries — the PSL stays local.
+    """
+
+    __slots__ = ("psl", "partial")
+
+    def __init__(self, psl: Optional[PublicSuffixList] = None) -> None:
+        self.psl = psl or default_psl()
+        self.partial = LeakagePartial()
+
+    def add(self, raw: str) -> None:
+        """Fold one raw CN/SAN name into the partial."""
+        partial = self.partial
         partial.total_names_seen += 1
         name = normalize_name(raw)
         wildcard = name.startswith("*.")
         candidate = name[2:] if wildcard else name
         if not is_valid_fqdn(candidate):
             partial.invalid_names += 1
-            continue
+            return
         if candidate in partial.candidates:
-            continue
-        labels, _registrable, suffix = psl.split(candidate)
+            return
+        labels, _registrable, suffix = self.psl.split(candidate)
         partial.candidates[candidate] = (tuple(labels), suffix)
-    return partial
+
+
+def map_name_chunk(
+    names: Iterable[str],
+    psl: Optional[PublicSuffixList] = None,
+) -> LeakagePartial:
+    """The map step: validate, deduplicate, and PSL-split one chunk."""
+    fold = NameFold(psl)
+    for raw in names:
+        fold.add(raw)
+    return fold.partial
 
 
 def reduce_name_partials(

@@ -97,13 +97,56 @@ def dump_log(log: CTLog, path: Union[str, Path]) -> int:
     return len(log.entries)
 
 
-def iter_stored_entries(path: Union[str, Path]) -> Iterator[dict]:
-    """Stream raw records (entries then the trailer) from a harvest file."""
+def iter_stored_entries(
+    path: Union[str, Path],
+    *,
+    on_corrupt: str = "skip",
+    metrics: Optional[object] = None,
+) -> Iterator[dict]:
+    """Stream raw records (entries then the trailer) from a harvest file.
+
+    A harvest interrupted mid-write (crash, full disk, torn copy)
+    leaves a truncated or garbled trailing line; with the default
+    ``on_corrupt="skip"`` such lines are dropped and counted instead
+    of aborting the stream mid-harvest — the Merkle verification in
+    :func:`load_log` still rejects the file as a whole if an *entry*
+    went missing, while scan-only consumers (tree-head lookup, corpus
+    streaming, checkpoint resume) keep working on the intact prefix.
+
+    ``on_corrupt="raise"`` restores the strict behaviour and raises
+    :class:`LogStorageError` on the first undecodable line.  ``metrics``
+    (a duck-typed :class:`repro.obs.MetricsRegistry`) counts skipped
+    lines as ``storage.corrupt_lines_skipped``.
+    """
+    if on_corrupt not in ("skip", "raise"):
+        raise ValueError(
+            f'on_corrupt must be "skip" or "raise", got {on_corrupt!r}'
+        )
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if on_corrupt == "raise":
+                    raise LogStorageError(
+                        f"corrupt harvest line {number} in {path}: {exc}"
+                    ) from exc
+                if metrics is not None:
+                    metrics.inc("storage.corrupt_lines_skipped")
+                continue
+            if not isinstance(record, dict):
+                if on_corrupt == "raise":
+                    raise LogStorageError(
+                        f"corrupt harvest line {number} in {path}: "
+                        "record is not an object"
+                    )
+                if metrics is not None:
+                    metrics.inc("storage.corrupt_lines_skipped")
+                continue
+            yield record
 
 
 def read_tree_head(path: Union[str, Path]) -> dict:

@@ -1,0 +1,69 @@
+"""The shared columnar certificate corpus and its fused pass graph.
+
+The paper's §2-§4 analyses iterate one certificate population.  This
+package materializes that population **once** — columnar, compact,
+sliceable — and walks it **once** per shard for every registered
+section pass:
+
+* :mod:`repro.dataset.corpus` — :class:`CertCorpus` (parallel column
+  tuples for issuer, serial, day, log, month, entry type, CN/SAN
+  names) built from in-memory logs or streamed from ``ct.storage``
+  JSON-lines harvests, plus zero-copy :class:`CorpusView` windows
+  that pickle as just their slice;
+* :mod:`repro.dataset.graph` — :class:`PassGraph`, a registry of
+  per-record :class:`Extractor`\\ s and typed :class:`SectionPass`
+  mergers, fused so each shard is traversed exactly once;
+* :mod:`repro.dataset.sections` — the §2 (growth/rates/matrix),
+  §3 (adoption) and §4 (leakage) passes registered on the graph,
+  wrapping the same fold/reduce primitives the serial analyses use;
+* :mod:`repro.dataset.fused` — engine drivers
+  (:func:`analyze_corpus` / :func:`analyze_records`) that shard a
+  corpus and reduce every pass at once, bit-identically serial or
+  process-pooled.
+
+Layer stack: **dataset** (this package) feeds the pipeline engine,
+which wears the resilience and obs layers — see README.md.
+"""
+
+from repro.dataset.corpus import CertCorpus, CertRecord, CorpusView
+from repro.dataset.fused import analyze_corpus, analyze_records, fused_shard_task
+from repro.dataset.graph import Extractor, PassGraph, SectionPass, ShardResult
+from repro.dataset.sections import (
+    adoption_extractor,
+    adoption_pass,
+    growth_extractor,
+    growth_pass,
+    leakage_extractor,
+    leakage_name_extractor,
+    leakage_pass,
+    matrix_extractor,
+    matrix_pass,
+    rates_pass,
+    section2_graph,
+    sections_graph,
+)
+
+__all__ = [
+    "CertCorpus",
+    "CertRecord",
+    "CorpusView",
+    "Extractor",
+    "PassGraph",
+    "SectionPass",
+    "ShardResult",
+    "analyze_corpus",
+    "analyze_records",
+    "fused_shard_task",
+    "adoption_extractor",
+    "adoption_pass",
+    "growth_extractor",
+    "growth_pass",
+    "leakage_extractor",
+    "leakage_name_extractor",
+    "leakage_pass",
+    "matrix_extractor",
+    "matrix_pass",
+    "rates_pass",
+    "section2_graph",
+    "sections_graph",
+]

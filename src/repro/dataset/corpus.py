@@ -1,0 +1,392 @@
+"""The columnar certificate corpus shared by the section passes.
+
+The paper's section analyses (precert growth, the CA x log matrix,
+subdomain leakage) all iterate the same certificate population.  A
+:class:`CertCorpus` materializes that population **once**, as parallel
+column tuples (struct-of-arrays) rather than per-certificate dicts:
+
+* tuples of small immutable values are far denser than a list of
+  dicts — no per-record hash table, one object header per cell;
+* shared values (issuer names, log names, months) are stored once per
+  occurrence as references to the same interned string;
+* a :class:`CorpusView` is a zero-copy ``[start, stop)`` window over
+  the columns, so the shard planner can hand workers plain picklable
+  payloads that carry *only their slice* of the data.
+
+Corpora are built from in-memory :class:`repro.ct.CTLog` objects
+(:meth:`CertCorpus.from_logs`) or streamed from a ``ct.storage``
+JSON-lines harvest (:meth:`CertCorpus.from_stored`) without ever
+holding per-entry dicts beyond the line being parsed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from datetime import date
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.ct.log import CTLog
+from repro.ct.sct import SctEntryType
+from repro.obs.metrics import MetricsRegistry
+from repro.util.timeutil import month_key
+
+
+class CertRecord(NamedTuple):
+    """One row of the corpus, assembled on demand from the columns."""
+
+    issuer_org: str
+    serial: int
+    day: date
+    log_name: str
+    month: str
+    is_precert: bool
+    names: Tuple[str, ...]
+
+
+class CertCorpus:
+    """Columnar storage for a certificate-entry population.
+
+    The constructor takes pre-built column tuples; use
+    :meth:`from_logs` / :meth:`from_stored` to build one.  All columns
+    have equal length.  ``names`` may be an empty tuple per record when
+    the corpus was built with ``with_names=False`` (the Section 2
+    passes never look at CN/SAN names, and the names column dominates
+    the corpus footprint).
+    """
+
+    __slots__ = (
+        "issuer_org",
+        "serial",
+        "day",
+        "log_name",
+        "month",
+        "is_precert",
+        "names",
+    )
+
+    def __init__(
+        self,
+        issuer_org: Tuple[str, ...],
+        serial: Tuple[int, ...],
+        day: Tuple[date, ...],
+        log_name: Tuple[str, ...],
+        month: Tuple[str, ...],
+        is_precert: Tuple[bool, ...],
+        names: Tuple[Tuple[str, ...], ...],
+    ) -> None:
+        lengths = {
+            len(issuer_org),
+            len(serial),
+            len(day),
+            len(log_name),
+            len(month),
+            len(is_precert),
+            len(names),
+        }
+        if len(lengths) > 1:
+            raise ValueError(f"ragged corpus columns: lengths {sorted(lengths)}")
+        self.issuer_org = issuer_org
+        self.serial = serial
+        self.day = day
+        self.log_name = log_name
+        self.month = month
+        self.is_precert = is_precert
+        self.names = names
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_logs(
+        cls,
+        logs: Union[Mapping[str, CTLog], Iterable[CTLog]],
+        *,
+        with_names: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "CertCorpus":
+        """Build the corpus from in-memory logs, in serial scan order.
+
+        Iterates logs exactly as the serial section passes do (mapping
+        value order, entries in append order), so reducing the corpus
+        in view order replays the serial iteration byte-for-byte.
+        """
+        started = time.perf_counter()
+        log_iter = logs.values() if isinstance(logs, Mapping) else logs
+        builder = _ColumnBuilder(with_names=with_names)
+        for log in log_iter:
+            for entry in log.entries:
+                cert = entry.certificate
+                day = entry.submitted_at.date()
+                builder.append(
+                    issuer_org=cert.issuer_org,
+                    serial=cert.serial,
+                    day=day,
+                    log_name=log.name,
+                    is_precert=entry.entry_type is SctEntryType.PRECERT_ENTRY,
+                    names=tuple(cert.dns_names()) if with_names else (),
+                )
+        corpus = builder.freeze()
+        _record_build_metrics(corpus, time.perf_counter() - started, metrics)
+        return corpus
+
+    @classmethod
+    def from_stored(
+        cls,
+        path: Union[str, Path],
+        *,
+        with_names: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "CertCorpus":
+        """Stream the corpus from a ``ct.storage`` JSON-lines harvest.
+
+        Entry records are folded straight into the columns (no
+        intermediate entry list); the log name is taken from the
+        tree-head trailer.  Corrupt trailing lines are skipped with a
+        counter (see :func:`repro.ct.storage.iter_stored_entries`) and
+        duplicate entry indices are dropped first-record-wins, with a
+        ``dataset.duplicate_entries_skipped`` counter when ``metrics``
+        is attached.
+        """
+        from repro.ct.storage import certificate_from_dict, iter_stored_entries
+        from repro.util.timeutil import from_timestamp_ms
+
+        started = time.perf_counter()
+        builder = _ColumnBuilder(with_names=with_names)
+        issuer_col: List[str] = builder.issuer_org
+        seen_indices: Set[object] = set()
+        duplicates = 0
+        log_name = ""
+        for record in iter_stored_entries(path, metrics=metrics):
+            rtype = record.get("type")
+            if rtype == "tree-head":
+                log_name = str(record.get("name", ""))
+                continue
+            if rtype != "entry":
+                continue
+            index = record.get("index")
+            if index in seen_indices:
+                duplicates += 1
+                continue
+            seen_indices.add(index)
+            cert = certificate_from_dict(record["certificate"])
+            builder.append(
+                issuer_org=cert.issuer_org,
+                serial=cert.serial,
+                day=from_timestamp_ms(record["submitted_at"]).date(),
+                log_name="",  # patched below once the trailer names the log
+                is_precert=(
+                    SctEntryType(record["entry_type"])
+                    is SctEntryType.PRECERT_ENTRY
+                ),
+                names=tuple(cert.dns_names()) if with_names else (),
+            )
+        builder.log_name = [log_name] * len(issuer_col)
+        corpus = builder.freeze()
+        if metrics is not None and duplicates:
+            metrics.inc("dataset.duplicate_entries_skipped", duplicates)
+        _record_build_metrics(corpus, time.perf_counter() - started, metrics)
+        return corpus
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.issuer_org)
+
+    def record(self, index: int) -> CertRecord:
+        return CertRecord(
+            self.issuer_org[index],
+            self.serial[index],
+            self.day[index],
+            self.log_name[index],
+            self.month[index],
+            self.is_precert[index],
+            self.names[index],
+        )
+
+    def iter_records(self) -> Iterator[CertRecord]:
+        return map(
+            CertRecord,
+            self.issuer_org,
+            self.serial,
+            self.day,
+            self.log_name,
+            self.month,
+            self.is_precert,
+            self.names,
+        )
+
+    def view(self, start: int = 0, stop: Optional[int] = None) -> "CorpusView":
+        return CorpusView(self, start, len(self) if stop is None else stop)
+
+    def approx_bytes(self) -> int:
+        """Estimated resident bytes of the column storage.
+
+        Sums ``sys.getsizeof`` over the column tuples and every cell;
+        strings shared across records are counted once per *distinct*
+        object, which is what actually happens in memory since the
+        builders reuse the same issuer/log/month string objects.
+        """
+        total = 0
+        counted: Set[int] = set()
+        for column in (
+            self.issuer_org,
+            self.serial,
+            self.day,
+            self.log_name,
+            self.month,
+            self.is_precert,
+            self.names,
+        ):
+            total += sys.getsizeof(column)
+            for cell in column:
+                if id(cell) in counted:
+                    continue
+                counted.add(id(cell))
+                total += sys.getsizeof(cell)
+                if isinstance(cell, tuple):
+                    total += sum(sys.getsizeof(item) for item in cell)
+        return total
+
+
+class CorpusView:
+    """A zero-copy ``[start, stop)`` window over a corpus.
+
+    In-process, a view is three words: a corpus reference plus the
+    range bounds — iterating it reads the parent columns directly.
+    Crossing a process-pool boundary, the view pickles as *only its
+    slice* of the columns (a standalone :class:`CertCorpus`), so shard
+    payloads stay proportional to the shard, not the corpus.
+    """
+
+    __slots__ = ("corpus", "start", "stop")
+
+    def __init__(self, corpus: CertCorpus, start: int, stop: int) -> None:
+        if start < 0 or stop < start or stop > len(corpus):
+            raise ValueError(
+                f"invalid view range [{start}, {stop}) over "
+                f"{len(corpus)} records"
+            )
+        self.corpus = corpus
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def iter_records(self) -> Iterator[CertRecord]:
+        corpus = self.corpus
+        return map(
+            CertRecord,
+            corpus.issuer_org[self.start : self.stop],
+            corpus.serial[self.start : self.stop],
+            corpus.day[self.start : self.stop],
+            corpus.log_name[self.start : self.stop],
+            corpus.month[self.start : self.stop],
+            corpus.is_precert[self.start : self.stop],
+            corpus.names[self.start : self.stop],
+        )
+
+    def materialize(self) -> CertCorpus:
+        """This window's records as a standalone (sliced) corpus."""
+        corpus = self.corpus
+        return CertCorpus(
+            corpus.issuer_org[self.start : self.stop],
+            corpus.serial[self.start : self.stop],
+            corpus.day[self.start : self.stop],
+            corpus.log_name[self.start : self.stop],
+            corpus.month[self.start : self.stop],
+            corpus.is_precert[self.start : self.stop],
+            corpus.names[self.start : self.stop],
+        )
+
+    def __reduce__(
+        self,
+    ) -> Tuple[Callable[[CertCorpus], "CorpusView"], Tuple[CertCorpus]]:
+        return (_view_of, (self.materialize(),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CorpusView([{self.start}, {self.stop}) of {len(self.corpus)})"
+
+
+def _view_of(corpus: CertCorpus) -> CorpusView:
+    """Unpickle helper: a full view over a materialized slice."""
+    return CorpusView(corpus, 0, len(corpus))
+
+
+class _ColumnBuilder:
+    """Accumulates column lists, then freezes them into a corpus.
+
+    Months are derived from days through a memo, so every record in
+    the same month shares one string object (this also keeps
+    :meth:`CertCorpus.approx_bytes` honest about sharing).
+    """
+
+    def __init__(self, *, with_names: bool) -> None:
+        self.with_names = with_names
+        self.issuer_org: List[str] = []
+        self.serial: List[int] = []
+        self.day: List[date] = []
+        self.log_name: List[str] = []
+        self.month: List[str] = []
+        self.is_precert: List[bool] = []
+        self.names: List[Tuple[str, ...]] = []
+        self._month_memo: Dict[Tuple[int, int], str] = {}
+
+    def append(
+        self,
+        *,
+        issuer_org: str,
+        serial: int,
+        day: date,
+        log_name: str,
+        is_precert: bool,
+        names: Tuple[str, ...],
+    ) -> None:
+        month = self._month_memo.get((day.year, day.month))
+        if month is None:
+            month = self._month_memo[(day.year, day.month)] = month_key(day)
+        self.issuer_org.append(issuer_org)
+        self.serial.append(serial)
+        self.day.append(day)
+        self.log_name.append(log_name)
+        self.month.append(month)
+        self.is_precert.append(is_precert)
+        self.names.append(names)
+
+    def freeze(self) -> CertCorpus:
+        return CertCorpus(
+            tuple(self.issuer_org),
+            tuple(self.serial),
+            tuple(self.day),
+            tuple(self.log_name),
+            tuple(self.month),
+            tuple(self.is_precert),
+            tuple(self.names),
+        )
+
+
+def _record_build_metrics(
+    corpus: CertCorpus, seconds: float, metrics: Optional[MetricsRegistry]
+) -> None:
+    """Corpus build observability: time, size, and density gauges."""
+    if metrics is None:
+        return
+    metrics.observe("dataset.corpus_build_seconds", seconds)
+    metrics.set_gauge("dataset.corpus_records", len(corpus))
+    if len(corpus):
+        metrics.set_gauge(
+            "dataset.bytes_per_record", corpus.approx_bytes() / len(corpus)
+        )

@@ -1,0 +1,283 @@
+"""The paper's section passes, registered on the fused graph.
+
+Every extractor/merger here wraps the *same* primitives the serial
+analyses use (:func:`repro.core.evolution.growth_fold`,
+:class:`repro.core.leakage.NameFold`,
+:class:`repro.core.adoption.AdoptionAccumulator`), so the fused
+single-traversal outputs are bit-identical to the per-section scans by
+construction:
+
+* **§2 evolution** — ``precert_firsts`` (shared by the ``growth`` and
+  ``rates`` passes) and ``matrix_cells`` (the ``matrix`` pass), both
+  over :class:`~repro.dataset.corpus.CertRecord` streams;
+* **§4 leakage** — ``leakage`` over corpus records (CN/SAN names
+  column) or, via :func:`leakage_name_extractor`, over plain FQDN
+  streams (the Section 4 name corpus);
+* **§3 adoption** — ``adoption`` over TLS-connection streams; the
+  extractor carries the analyzer's plain
+  :class:`~repro.bro.analyzer.AnalyzerConfig` and rebuilds the
+  analyzer worker-side.
+
+Fold functions are module-level and parameterized through
+``functools.partial``, so graphs pickle into process-pool payloads.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bro.analyzer import AnalyzerConfig, BroSctAnalyzer
+from repro.core import adoption, evolution, leakage
+from repro.dataset.corpus import CertCorpus, CertRecord
+from repro.dataset.graph import Extractor, PassGraph, SectionPass
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.util.stats import Counter2D
+
+#: Canonical extractor names (one state per traversal, shared by the
+#: passes that reduce it).
+PRECERT_FIRSTS = "precert_firsts"
+MATRIX_CELLS = "matrix_cells"
+LEAKAGE_NAMES = "leakage"
+ADOPTION = "adoption"
+
+FirstsState = Dict[Tuple[str, int], date]
+
+
+# -- §2: precert growth / rates (shared extractor) --------------------------
+
+
+def _firsts_init() -> FirstsState:
+    return {}
+
+
+def _firsts_fold(state: FirstsState, record: CertRecord) -> None:
+    if record.is_precert:
+        evolution.growth_fold(
+            state, record.issuer_org, record.serial, record.day
+        )
+
+
+def growth_extractor() -> Extractor:
+    """First submission day per unique (issuer, serial) precert."""
+    return Extractor(PRECERT_FIRSTS, _firsts_init, _firsts_fold)
+
+
+def _growth_reduce(
+    partials: List[FirstsState],
+    start: Optional[date],
+    end: Optional[date],
+) -> Dict[str, List[Tuple[date, int]]]:
+    return evolution.growth_reduce(partials, start=start, end=end)
+
+
+def growth_pass(
+    start: Optional[date] = None, end: Optional[date] = None
+) -> SectionPass:
+    """Figure 1a: cumulative unique-precert growth per CA."""
+    return SectionPass(
+        "growth", PRECERT_FIRSTS, partial(_growth_reduce, start=start, end=end)
+    )
+
+
+def rates_pass() -> SectionPass:
+    """Figure 1b: per-day CA shares, over the same firsts partials."""
+    return SectionPass("rates", PRECERT_FIRSTS, evolution.rates_reduce)
+
+
+# -- §2: the CA x log matrix -------------------------------------------------
+
+
+def _matrix_init() -> Counter2D:
+    return Counter2D()
+
+
+def _matrix_fold(month: str, state: Counter2D, record: CertRecord) -> None:
+    if record.is_precert and record.month == month:
+        state.add(record.issuer_org, record.log_name, 1)
+
+
+def matrix_extractor(month: str) -> Extractor:
+    """Precert log-entry counts per (CA, log) within one month."""
+    return Extractor(
+        MATRIX_CELLS, _matrix_init, partial(_matrix_fold, month)
+    )
+
+
+def matrix_pass() -> SectionPass:
+    """Figure 1c: merge the monthly (CA, log) entry counts."""
+    return SectionPass("matrix", MATRIX_CELLS, evolution.matrix_reduce)
+
+
+# -- §4: subdomain leakage ---------------------------------------------------
+
+
+def _leak_init(psl: Optional[PublicSuffixList]) -> leakage.NameFold:
+    # ``None`` means "the shared default PSL", rebuilt worker-side
+    # instead of pickled into every shard payload.
+    return leakage.NameFold(psl)
+
+
+def _leak_fold_record(state: leakage.NameFold, record: CertRecord) -> None:
+    for name in record.names:
+        state.add(name)
+
+
+def _leak_fold_name(state: leakage.NameFold, name: str) -> None:
+    state.add(name)
+
+
+def _leak_finalize(state: leakage.NameFold) -> leakage.LeakagePartial:
+    return state.partial
+
+
+def _leak_payload_psl(
+    psl: Optional[PublicSuffixList],
+) -> Optional[PublicSuffixList]:
+    return None if psl is None or psl is default_psl() else psl
+
+
+def leakage_extractor(psl: Optional[PublicSuffixList] = None) -> Extractor:
+    """Table 2 name pipeline over the corpus CN/SAN names column."""
+    return Extractor(
+        LEAKAGE_NAMES,
+        partial(_leak_init, _leak_payload_psl(psl)),
+        _leak_fold_record,
+        _leak_finalize,
+    )
+
+
+def leakage_name_extractor(
+    psl: Optional[PublicSuffixList] = None,
+) -> Extractor:
+    """Table 2 name pipeline over a plain FQDN stream (§4 corpus)."""
+    return Extractor(
+        LEAKAGE_NAMES,
+        partial(_leak_init, _leak_payload_psl(psl)),
+        _leak_fold_name,
+        _leak_finalize,
+    )
+
+
+def leakage_pass() -> SectionPass:
+    """Table 2 / Section 4.3: global dedup + label ranking."""
+    return SectionPass(
+        "leakage", LEAKAGE_NAMES, leakage.reduce_name_partials
+    )
+
+
+# -- §3: SCT adoption in traffic --------------------------------------------
+
+
+class _AdoptionState:
+    """Worker-local analyzer (rebuilt from config) plus accumulator."""
+
+    __slots__ = ("analyzer", "accumulator")
+
+    def __init__(self, config: AnalyzerConfig) -> None:
+        self.analyzer = BroSctAnalyzer.from_config(config)
+        self.accumulator = adoption.AdoptionAccumulator()
+
+
+def _adoption_init(config: AnalyzerConfig) -> _AdoptionState:
+    return _AdoptionState(config)
+
+
+def _adoption_fold(state: _AdoptionState, connection: Any) -> None:
+    state.accumulator.add(state.analyzer.analyze(connection))
+
+
+def _adoption_finalize(state: _AdoptionState) -> adoption.AdoptionStats:
+    return state.accumulator.finish()
+
+
+def adoption_extractor(config: AnalyzerConfig) -> Extractor:
+    """Figure 2 / Table 1 accounting over a TLS-connection stream.
+
+    The extractor ships only the analyzer's plain config; the analyzer
+    itself (with its identity-keyed caches) is rebuilt inside each
+    worker.
+    """
+    return Extractor(
+        ADOPTION,
+        partial(_adoption_init, config),
+        _adoption_fold,
+        _adoption_finalize,
+    )
+
+
+def adoption_pass() -> SectionPass:
+    """Figure 2 / Table 1: weighted-sum merge of chunk aggregates."""
+    return SectionPass("adoption", ADOPTION, adoption.merge_stats)
+
+
+# -- prebuilt graphs ---------------------------------------------------------
+
+
+def section2_graph(
+    month: str = "2018-04",
+    *,
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+) -> PassGraph:
+    """Growth + rates + matrix fused into one corpus traversal."""
+    graph = PassGraph()
+    graph.add_extractor(growth_extractor())
+    graph.add_extractor(matrix_extractor(month))
+    graph.add_pass(growth_pass(start, end))
+    graph.add_pass(rates_pass())
+    graph.add_pass(matrix_pass())
+    return graph
+
+
+def sections_graph(
+    month: str = "2018-04",
+    *,
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+    psl: Optional[PublicSuffixList] = None,
+) -> PassGraph:
+    """§2 evolution plus §4 leakage, all in one corpus traversal."""
+    graph = section2_graph(month, start=start, end=end)
+    graph.add_extractor(leakage_extractor(psl))
+    graph.add_pass(leakage_pass())
+    return graph
+
+
+# -- serial single-traversal helpers ----------------------------------------
+
+
+def corpus_growth(
+    corpus: CertCorpus,
+    *,
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+) -> Dict[str, List[Tuple[date, int]]]:
+    """Figure 1a over a corpus, serial single-shard case."""
+    graph = PassGraph().add_extractor(growth_extractor())
+    graph.add_pass(growth_pass(start, end))
+    return graph.run(corpus.iter_records())["growth"]
+
+
+def corpus_rates(corpus: CertCorpus) -> Dict[date, Dict[str, float]]:
+    """Figure 1b over a corpus, serial single-shard case."""
+    graph = PassGraph().add_extractor(growth_extractor())
+    graph.add_pass(rates_pass())
+    return graph.run(corpus.iter_records())["rates"]
+
+
+def corpus_matrix(corpus: CertCorpus, month: str = "2018-04") -> Counter2D:
+    """Figure 1c over a corpus, serial single-shard case."""
+    graph = PassGraph().add_extractor(matrix_extractor(month))
+    graph.add_pass(matrix_pass())
+    return graph.run(corpus.iter_records())["matrix"]
+
+
+def corpus_leakage(
+    corpus: CertCorpus, psl: Optional[PublicSuffixList] = None
+) -> leakage.LeakageStats:
+    """Table 2 over a corpus's names column, serial single-shard case."""
+    graph = PassGraph().add_extractor(leakage_extractor(psl))
+    graph.add_pass(leakage_pass())
+    return graph.run(corpus.iter_records())["leakage"]

@@ -13,11 +13,14 @@ typed partial results into one view.  This package provides
 * :mod:`repro.pipeline.engine` — :class:`PipelineEngine`, the
   ``concurrent.futures`` fan-out with a serial fallback and
   checkpoint support;
-* :mod:`repro.pipeline.passes` — the three hottest paper passes
-  (Fig. 1a-1c log evolution, Fig. 2 / Table 1 SCT traffic, Table 2 /
-  Section 4.3 FQDN leakage) ported onto the engine;
+* :mod:`repro.pipeline.passes` — the paper passes (Fig. 1a-1c log
+  evolution, Fig. 2 / Table 1 SCT traffic, Table 2 / Section 4.3 FQDN
+  leakage) driven through the fused :mod:`repro.dataset` layer —
+  :func:`~repro.pipeline.passes.evolution_sections` computes all of
+  §2 in one corpus traversal per shard;
 * :mod:`repro.pipeline.harvest` — checkpointed analysis of stored
-  harvests (see :mod:`repro.ct.storage`).
+  harvests (see :mod:`repro.ct.storage`), plus the fused
+  :func:`~repro.pipeline.harvest.analyze_harvest_sections`.
 
 Parallel and serial paths produce bit-identical outputs: partials are
 always merged in shard order, and the serial implementations are the
@@ -25,7 +28,11 @@ single-shard special case of the same map/reduce decomposition.
 """
 
 from repro.pipeline.engine import MapResult, PipelineEngine
-from repro.pipeline.harvest import analyze_harvest_names, analyze_log_names
+from repro.pipeline.harvest import (
+    analyze_harvest_names,
+    analyze_harvest_sections,
+    analyze_log_names,
+)
 from repro.pipeline.merge import (
     CounterMerge,
     SetUnionMerge,
@@ -36,6 +43,7 @@ from repro.pipeline.passes import (
     evolution_growth,
     evolution_matrix,
     evolution_rates,
+    evolution_sections,
     leakage_names,
     traffic_adoption,
 )
@@ -60,8 +68,10 @@ __all__ = [
     "evolution_growth",
     "evolution_rates",
     "evolution_matrix",
+    "evolution_sections",
     "traffic_adoption",
     "leakage_names",
     "analyze_harvest_names",
+    "analyze_harvest_sections",
     "analyze_log_names",
 ]

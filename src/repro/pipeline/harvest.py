@@ -9,8 +9,9 @@ the shards that were not checkpointed yet.
 
 from __future__ import annotations
 
+from datetime import date
 from pathlib import Path
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core import leakage
 from repro.ct.storage import (
@@ -19,6 +20,8 @@ from repro.ct.storage import (
     iter_stored_entries,
     read_tree_head,
 )
+from repro.dataset import CertCorpus, analyze_corpus, sections_graph
+from repro.dnscore.psl import PublicSuffixList
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.shard import plan_sequence_shards
 
@@ -96,6 +99,37 @@ def analyze_harvest_names(
         encode=leakage.encode_leakage_partial,
         decode=leakage.decode_leakage_partial,
     )
+
+
+def analyze_harvest_sections(
+    path: Union[str, Path],
+    engine: Optional[PipelineEngine] = None,
+    *,
+    month: str = "2018-04",
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+    psl: Optional[PublicSuffixList] = None,
+) -> Dict[str, Any]:
+    """Every corpus-backed section pass over one stored harvest, fused.
+
+    Streams the harvest once into a columnar
+    :class:`repro.dataset.CertCorpus` (truncated trailing lines are
+    skipped with a ``storage.corrupt_lines_skipped`` count, duplicate
+    entry indices with ``dataset.duplicate_entries_skipped``), then runs
+    the §2 growth/rates/matrix passes *and* the §4 leakage pass in one
+    traversal per shard.  Returns ``{"growth": ..., "rates": ...,
+    "matrix": ..., "leakage": ...}``; with ``on_error="degrade"`` the
+    mapping is wrapped in a :class:`repro.resilience.DegradedResult`.
+
+    Unlike :func:`analyze_harvest_names` this holds the corpus columns
+    in memory (no checkpoint sidecar), buying fused single-traversal
+    analysis in exchange — use the checkpointed pass for harvests too
+    large to materialize.
+    """
+    engine = engine or PipelineEngine()
+    corpus = CertCorpus.from_stored(path, metrics=engine.metrics)
+    graph = sections_graph(month, start=start, end=end, psl=psl)
+    return analyze_corpus(corpus, graph, engine)
 
 
 def log_entry_names(log: Any, start: int, stop: int) -> List[str]:

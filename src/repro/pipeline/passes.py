@@ -1,67 +1,54 @@
-"""The three hottest analysis passes, ported onto the engine.
+"""The paper's analysis passes, driven through the fused dataset layer.
 
-Each pass shards its corpus, maps the shards on the engine's pool,
-and reduces the typed partials in shard order.  With a serial engine
-(``workers=1``) the pass calls the original single-threaded code
-directly, so ``--workers 1`` is always the exact reference output and
-``--workers N`` is asserted (by the test suite) to match it
-bit-for-bit.
+Each driver materializes the shared columnar
+:class:`repro.dataset.CertCorpus` (or a plain record list for stream
+passes), registers the section's extractor/merger pair on a
+:class:`repro.dataset.PassGraph`, and hands zero-copy corpus views to
+the engine.  Serial (``--workers 1``) is the single-shard special case
+of the same fold/reduce decomposition, so ``--workers N`` is asserted
+(by the test suite) to match it bit-for-bit.
 
-Map functions live at module level so process pools can pickle them;
-task payloads carry plain data (record tuples, name chunks,
-connection chunks) rather than whole log objects.
+:func:`evolution_sections` is the fused entry point: Figures 1a-1c
+from **one traversal per shard** instead of three separate scans.
+
+Task payloads carry plain data only — graphs built from module-level
+functions, materialized view slices, the analyzer's plain
+:class:`~repro.bro.analyzer.AnalyzerConfig` — never live analyzers or
+log objects.
 """
 
 from __future__ import annotations
 
 import sys
 from datetime import date
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional
 
 from repro.bro.analyzer import BroSctAnalyzer
-from repro.core import adoption, evolution, leakage
+from repro.core import adoption, leakage
 from repro.ct.log import CTLog
-from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.dataset import (
+    CertCorpus,
+    PassGraph,
+    adoption_extractor,
+    adoption_pass,
+    analyze_corpus,
+    analyze_records,
+    growth_extractor,
+    growth_pass,
+    leakage_name_extractor,
+    leakage_pass,
+    matrix_extractor,
+    matrix_pass,
+    rates_pass,
+    section2_graph,
+)
+from repro.dnscore.psl import PublicSuffixList
 from repro.pipeline.engine import PipelineEngine
-from repro.pipeline.shard import plan_sequence_shards
 from repro.resilience.degrade import DegradedResult
 from repro.tls.connection import TlsConnection
 from repro.util.stats import Counter2D
 
-# -- module-level map tasks (picklable for process pools) ------------------
-
-
-def _growth_task(records: List[evolution.PrecertRecord]):
-    return evolution.growth_map(records)
-
-
-def _matrix_task(payload: Tuple[List[evolution.MatrixRecord], str]) -> Counter2D:
-    records, month = payload
-    return evolution.matrix_map(records, month)
-
-
-def _leakage_task(
-    payload: Tuple[List[str], Optional[PublicSuffixList]]
-) -> leakage.LeakagePartial:
-    names, psl = payload
-    return leakage.map_name_chunk(names, psl)
-
-
-def _traffic_task(
-    payload: Tuple[BroSctAnalyzer, List[TlsConnection]]
-) -> adoption.AdoptionStats:
-    analyzer, connections = payload
-    return adoption.aggregate(
-        analyzer.analyze(connection) for connection in connections
-    )
-
-
-# -- pass drivers ----------------------------------------------------------
-
-
-def _sequence_tasks(items: List, engine: PipelineEngine, source: str):
-    shards = plan_sequence_shards(len(items), engine.shard_size, source)
-    return [shard.slice(items) for shard in shards]
+# -- shared plumbing --------------------------------------------------------
 
 
 def _unwrap(result: Any) -> Any:
@@ -80,6 +67,15 @@ def _unwrap(result: Any) -> Any:
     return result
 
 
+def _logs_corpus(logs: Dict[str, CTLog], engine: PipelineEngine) -> CertCorpus:
+    # §2 passes never read the names column; skip it to keep the
+    # corpus (and every pickled view slice) small.
+    return CertCorpus.from_logs(logs, with_names=False, metrics=engine.metrics)
+
+
+# -- pass drivers ----------------------------------------------------------
+
+
 def evolution_growth(
     logs: Dict[str, CTLog],
     engine: Optional[PipelineEngine] = None,
@@ -89,19 +85,10 @@ def evolution_growth(
 ):
     """Figure 1a via the engine (== ``evolution.cumulative_precert_growth``)."""
     engine = engine or PipelineEngine()
-    if engine.serial:
-        return evolution.cumulative_precert_growth(logs, start=start, end=end)
-    records = list(evolution.growth_records(logs.values()))
-    tasks = _sequence_tasks(records, engine, "precerts")
-    return _unwrap(
-        engine.map_reduce(
-            _growth_task,
-            tasks,
-            lambda partials: evolution.growth_reduce(
-                partials, start=start, end=end
-            ),
-        )
-    )
+    graph = PassGraph().add_extractor(growth_extractor())
+    graph.add_pass(growth_pass(start, end))
+    result = analyze_corpus(_logs_corpus(logs, engine), graph, engine)
+    return _unwrap(result)["growth"]
 
 
 def evolution_rates(
@@ -109,13 +96,10 @@ def evolution_rates(
 ):
     """Figure 1b via the engine (== ``evolution.relative_daily_rates``)."""
     engine = engine or PipelineEngine()
-    if engine.serial:
-        return evolution.relative_daily_rates(logs)
-    records = list(evolution.growth_records(logs.values()))
-    tasks = _sequence_tasks(records, engine, "precerts")
-    return _unwrap(
-        engine.map_reduce(_growth_task, tasks, evolution.rates_reduce)
-    )
+    graph = PassGraph().add_extractor(growth_extractor())
+    graph.add_pass(rates_pass())
+    result = analyze_corpus(_logs_corpus(logs, engine), graph, engine)
+    return _unwrap(result)["rates"]
 
 
 def evolution_matrix(
@@ -125,15 +109,33 @@ def evolution_matrix(
 ) -> Counter2D:
     """Figure 1c via the engine (== ``evolution.ca_log_matrix``)."""
     engine = engine or PipelineEngine()
-    if engine.serial:
-        return evolution.ca_log_matrix(logs, month)
-    records = list(evolution.matrix_records(logs.values()))
-    tasks = [
-        (chunk, month) for chunk in _sequence_tasks(records, engine, "entries")
-    ]
-    return _unwrap(
-        engine.map_reduce(_matrix_task, tasks, evolution.matrix_reduce)
-    )
+    graph = PassGraph().add_extractor(matrix_extractor(month))
+    graph.add_pass(matrix_pass())
+    result = analyze_corpus(_logs_corpus(logs, engine), graph, engine)
+    return _unwrap(result)["matrix"]
+
+
+def evolution_sections(
+    logs: Dict[str, CTLog],
+    month: str = "2018-04",
+    engine: Optional[PipelineEngine] = None,
+    *,
+    start: Optional[date] = None,
+    end: Optional[date] = None,
+) -> Dict[str, Any]:
+    """Figures 1a-1c fused: one corpus traversal per shard for all three.
+
+    Returns ``{"growth": ..., "rates": ..., "matrix": ...}``, each value
+    bit-identical to the corresponding single-pass driver — the
+    ``growth`` and ``rates`` passes even share one extractor state, so
+    the fused run folds strictly less work than the three scans it
+    replaces (``dataset.separate_traversals_avoided`` counts the
+    difference when the engine carries a metrics registry).
+    """
+    engine = engine or PipelineEngine()
+    graph = section2_graph(month, start=start, end=end)
+    result = analyze_corpus(_logs_corpus(logs, engine), graph, engine)
+    return _unwrap(result)
 
 
 def traffic_adoption(
@@ -145,19 +147,21 @@ def traffic_adoption(
 
     Equals ``adoption.aggregate(analyzer.analyze_stream(connections))``:
     every aggregate field is a weighted sum, so chunk aggregates merge
-    exactly.
+    exactly.  Shard payloads carry the analyzer's plain
+    :class:`~repro.bro.analyzer.AnalyzerConfig`; each worker rebuilds
+    its own analyzer (fresh identity caches) from it.
     """
     engine = engine or PipelineEngine()
     if engine.serial:
+        # Keep the stream lazy and the caller's warm analyzer caches.
         return adoption.aggregate(analyzer.analyze_stream(connections))
     materialized = list(connections)
-    tasks = [
-        (analyzer, chunk)
-        for chunk in _sequence_tasks(materialized, engine, "connections")
-    ]
-    return _unwrap(
-        engine.map_reduce(_traffic_task, tasks, adoption.merge_stats)
+    graph = PassGraph().add_extractor(adoption_extractor(analyzer.config()))
+    graph.add_pass(adoption_pass())
+    result = analyze_records(
+        materialized, graph, engine, source="connections"
     )
+    return _unwrap(result)["adoption"]
 
 
 def leakage_names(
@@ -172,15 +176,10 @@ def leakage_names(
     """
     engine = engine or PipelineEngine()
     if engine.serial:
+        # Keep the name stream lazy (the §4 corpus is 206M domains).
         return leakage.analyze_names(names, psl)
     materialized = list(names)
-    # Workers rebuild the shared default PSL locally instead of
-    # unpickling a copy per task.
-    payload_psl = None if psl is None or psl is default_psl() else psl
-    tasks = [
-        (chunk, payload_psl)
-        for chunk in _sequence_tasks(materialized, engine, "fqdns")
-    ]
-    return _unwrap(
-        engine.map_reduce(_leakage_task, tasks, leakage.reduce_name_partials)
-    )
+    graph = PassGraph().add_extractor(leakage_name_extractor(psl))
+    graph.add_pass(leakage_pass())
+    result = analyze_records(materialized, graph, engine, source="fqdns")
+    return _unwrap(result)["leakage"]

@@ -116,6 +116,80 @@ def test_iter_stored_entries_order(populated_log, tmp_path):
     assert [r["index"] for r in records[:-1]] == list(range(7))
 
 
+class TestCorruptLineHandling:
+    """A torn trailing write must not abort scan-only consumers."""
+
+    @pytest.fixture()
+    def harvest(self, populated_log, tmp_path):
+        path = tmp_path / "harvest.jsonl"
+        dump_log(populated_log, path)
+        return path
+
+    def test_truncated_trailing_line_skipped_by_default(self, harvest):
+        reference = list(iter_stored_entries(harvest))
+        with harvest.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "entry", "index": 9')  # torn write
+        assert list(iter_stored_entries(harvest)) == reference
+
+    def test_skipped_lines_are_counted(self, harvest):
+        from repro.obs import MetricsRegistry
+
+        with harvest.open("a", encoding="utf-8") as handle:
+            handle.write("garbage that is not json\n")
+            handle.write('"a json string, not an object"\n')
+        metrics = MetricsRegistry()
+        list(iter_stored_entries(harvest, metrics=metrics))
+        assert (
+            metrics.snapshot().counter("storage.corrupt_lines_skipped") == 2
+        )
+
+    def test_raise_mode_names_the_corrupt_line(self, harvest):
+        with harvest.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "entry"')
+        with pytest.raises(LogStorageError, match="line 9"):
+            list(iter_stored_entries(harvest, on_corrupt="raise"))
+
+    def test_non_object_line_rejected_in_raise_mode(self, harvest):
+        with harvest.open("a", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]\n")
+        with pytest.raises(LogStorageError, match="not an object"):
+            list(iter_stored_entries(harvest, on_corrupt="raise"))
+
+    def test_unknown_mode_rejected(self, harvest):
+        with pytest.raises(ValueError, match="on_corrupt"):
+            list(iter_stored_entries(harvest, on_corrupt="ignore"))
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert list(iter_stored_entries(path)) == []
+
+    def test_blank_lines_are_not_corruption(self, harvest):
+        from repro.obs import MetricsRegistry
+
+        reference = list(iter_stored_entries(harvest))
+        text = harvest.read_text().replace("\n", "\n\n")
+        harvest.write_text(text)
+        metrics = MetricsRegistry()
+        assert list(iter_stored_entries(harvest, metrics=metrics)) == reference
+        assert (
+            metrics.snapshot().counter("storage.corrupt_lines_skipped") == 0
+        )
+
+    def test_duplicate_entry_lines_still_fail_merkle_verification(
+        self, populated_log, harvest
+    ):
+        """Skip-with-counter never weakens load_log's integrity check."""
+        import json
+
+        lines = harvest.read_text().splitlines()
+        entry = next(l for l in lines if json.loads(l)["type"] == "entry")
+        lines[-1:-1] = [entry]  # duplicate one entry before the trailer
+        harvest.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LogStorageError):
+            load_log(harvest, fresh_copy_of(populated_log))
+
+
 def test_dump_empty_log(tmp_path):
     empty = CTLog(name="Empty", operator="T", key=log_key("Empty", 256))
     path = tmp_path / "empty.jsonl"

@@ -1,0 +1,214 @@
+"""Columnar corpus: construction, views, pickling, harvest streaming."""
+
+import json
+import pickle
+from datetime import date
+
+import pytest
+
+from repro.core import evolution
+from repro.ct.storage import dump_log
+from repro.dataset import CertCorpus, CertRecord
+from repro.obs import MetricsRegistry
+from repro.workloads.ca_profiles import CaLoggingWorkload
+
+
+@pytest.fixture(scope="module")
+def logs():
+    run = CaLoggingWorkload(scale=2e-6, end=date(2018, 4, 30), seed=7).run()
+    return run.logs
+
+
+@pytest.fixture(scope="module")
+def corpus(logs):
+    return CertCorpus.from_logs(logs)
+
+
+class TestFromLogs:
+    def test_one_row_per_log_entry(self, logs, corpus):
+        assert len(corpus) == sum(len(log.entries) for log in logs.values())
+        for column in (
+            corpus.issuer_org,
+            corpus.serial,
+            corpus.day,
+            corpus.log_name,
+            corpus.month,
+            corpus.is_precert,
+            corpus.names,
+        ):
+            assert len(column) == len(corpus)
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            CertCorpus(("a",), (1, 2), (), (), (), (), ())
+
+    def test_precert_rows_equal_growth_records(self, logs, corpus):
+        """Scan order matches the serial reference iteration exactly."""
+        rows = [
+            (r.issuer_org, r.serial, r.day)
+            for r in corpus.iter_records()
+            if r.is_precert
+        ]
+        assert rows == list(evolution.growth_records(logs.values()))
+
+    def test_precert_rows_equal_matrix_records(self, logs, corpus):
+        rows = [
+            (r.issuer_org, r.log_name, r.month)
+            for r in corpus.iter_records()
+            if r.is_precert
+        ]
+        assert rows == list(evolution.matrix_records(logs.values()))
+
+    def test_record_assembles_the_same_row(self, corpus):
+        records = list(corpus.iter_records())
+        for index in (0, len(corpus) // 2, len(corpus) - 1):
+            assert corpus.record(index) == records[index]
+            assert isinstance(records[index], CertRecord)
+
+    def test_names_column_carries_dns_names(self, logs, corpus):
+        expected = [
+            tuple(entry.certificate.dns_names())
+            for log in logs.values()
+            for entry in log.entries
+        ]
+        assert list(corpus.names) == expected
+
+    def test_with_names_false_drops_the_names_column(self, logs, corpus):
+        lean = CertCorpus.from_logs(logs, with_names=False)
+        assert len(lean) == len(corpus)
+        assert all(names == () for names in lean.names)
+        assert lean.approx_bytes() < corpus.approx_bytes()
+
+    def test_same_month_cells_share_one_string_object(self, corpus):
+        first_seen = {}
+        for cell in corpus.month:
+            assert cell is first_seen.setdefault(cell, cell)
+
+    def test_build_metrics_recorded(self, logs):
+        metrics = MetricsRegistry()
+        built = CertCorpus.from_logs(logs, metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap.gauge("dataset.corpus_records") == len(built)
+        assert snap.gauge("dataset.bytes_per_record") > 0
+        assert snap.histogram_count("dataset.corpus_build_seconds") == 1
+
+
+class TestApproxBytes:
+    def test_shared_cells_counted_once(self):
+        shared = "Example CA"
+        dense = CertCorpus(
+            (shared,) * 64,
+            tuple(range(64)),
+            (date(2018, 4, 1),) * 64,
+            ("log",) * 64,
+            ("2018-04",) * 64,
+            (True,) * 64,
+            ((),) * 64,
+        )
+        distinct = CertCorpus(
+            tuple(f"Example CA {i:04d}" for i in range(64)),
+            tuple(range(64)),
+            (date(2018, 4, 1),) * 64,
+            ("log",) * 64,
+            ("2018-04",) * 64,
+            (True,) * 64,
+            ((),) * 64,
+        )
+        assert dense.approx_bytes() < distinct.approx_bytes()
+
+
+class TestCorpusView:
+    def test_full_view_by_default(self, corpus):
+        view = corpus.view()
+        assert len(view) == len(corpus)
+        assert list(view.iter_records()) == list(corpus.iter_records())
+
+    def test_window_sees_only_its_slice(self, corpus):
+        records = list(corpus.iter_records())
+        view = corpus.view(5, 17)
+        assert len(view) == 12
+        assert list(view.iter_records()) == records[5:17]
+
+    @pytest.mark.parametrize("start,stop", [(-1, 4), (4, 2), (0, 10**9)])
+    def test_invalid_ranges_rejected(self, corpus, start, stop):
+        with pytest.raises(ValueError, match="invalid view range"):
+            corpus.view(start, stop)
+
+    def test_materialize_is_a_standalone_corpus(self, corpus):
+        sliced = corpus.view(3, 9).materialize()
+        assert isinstance(sliced, CertCorpus)
+        assert len(sliced) == 6
+        assert list(sliced.iter_records()) == list(
+            corpus.view(3, 9).iter_records()
+        )
+
+    def test_pickles_only_the_slice(self, corpus):
+        """Shard payload size is proportional to the shard, not the corpus."""
+        assert len(corpus) > 64
+        small = pickle.dumps(corpus.view(0, 8))
+        full = pickle.dumps(corpus.view())
+        assert len(small) * 4 < len(full)
+
+    def test_pickle_roundtrip_preserves_records(self, corpus):
+        view = corpus.view(10, 30)
+        loaded = pickle.loads(pickle.dumps(view))
+        assert list(loaded.iter_records()) == list(view.iter_records())
+
+
+class TestFromStored:
+    @pytest.fixture()
+    def one_log(self, logs):
+        name = next(iter(logs))
+        return name, logs[name]
+
+    @pytest.fixture()
+    def harvest(self, one_log, tmp_path):
+        name, log = one_log
+        path = tmp_path / "harvest.jsonl"
+        dump_log(log, path)
+        return path
+
+    def test_streams_the_same_rows_as_from_logs(self, one_log, harvest):
+        name, log = one_log
+        streamed = CertCorpus.from_stored(harvest)
+        in_memory = CertCorpus.from_logs([log])
+        assert list(streamed.iter_records()) == list(in_memory.iter_records())
+
+    def test_log_name_column_comes_from_the_trailer(self, one_log, harvest):
+        _, log = one_log
+        streamed = CertCorpus.from_stored(harvest)
+        assert set(streamed.log_name) == {log.name}
+
+    def test_duplicate_entries_dropped_first_wins(self, harvest):
+        lines = harvest.read_text().splitlines()
+        entry_lines = [
+            line for line in lines if json.loads(line)["type"] == "entry"
+        ]
+        # Re-append a copy of the first two entries before the trailer.
+        lines[-1:-1] = entry_lines[:2]
+        harvest.write_text("\n".join(lines) + "\n")
+        metrics = MetricsRegistry()
+        streamed = CertCorpus.from_stored(harvest, metrics=metrics)
+        assert len(streamed) == len(entry_lines)
+        assert (
+            metrics.snapshot().counter("dataset.duplicate_entries_skipped")
+            == 2
+        )
+
+    def test_truncated_trailing_line_skipped_with_counter(self, harvest):
+        reference = CertCorpus.from_stored(harvest)
+        with harvest.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "entry", "index": 99')  # torn write
+        metrics = MetricsRegistry()
+        streamed = CertCorpus.from_stored(harvest, metrics=metrics)
+        assert list(streamed.iter_records()) == list(reference.iter_records())
+        assert (
+            metrics.snapshot().counter("storage.corrupt_lines_skipped") == 1
+        )
+
+    def test_empty_file_builds_an_empty_corpus(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        streamed = CertCorpus.from_stored(path)
+        assert len(streamed) == 0
+        assert list(streamed.iter_records()) == []

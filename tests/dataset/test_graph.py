@@ -1,0 +1,109 @@
+"""PassGraph semantics: registration, fusion, single-traversal folds."""
+
+import pytest
+
+from repro.dataset import Extractor, PassGraph, SectionPass
+
+
+def _count_init():
+    return {"n": 0}
+
+
+def _count_fold(state, record):
+    state["n"] += record
+
+
+def _count_finalize(state):
+    return state["n"]
+
+
+def _sum_reduce(partials):
+    return sum(partials)
+
+
+def _counting_graph():
+    graph = PassGraph().add_extractor(
+        Extractor("count", _count_init, _count_fold, _count_finalize)
+    )
+    graph.add_pass(SectionPass("total", "count", _sum_reduce))
+    return graph
+
+
+class TestRegistration:
+    def test_duplicate_extractor_rejected(self):
+        graph = _counting_graph()
+        with pytest.raises(ValueError, match="duplicate extractor"):
+            graph.add_extractor(
+                Extractor("count", _count_init, _count_fold)
+            )
+
+    def test_duplicate_pass_rejected(self):
+        graph = _counting_graph()
+        with pytest.raises(ValueError, match="duplicate pass"):
+            graph.add_pass(SectionPass("total", "count", _sum_reduce))
+
+    def test_pass_must_reference_a_registered_extractor(self):
+        graph = PassGraph()
+        with pytest.raises(ValueError, match="unknown extractor"):
+            graph.add_pass(SectionPass("total", "missing", _sum_reduce))
+
+    def test_empty_graph_refuses_to_run(self):
+        with pytest.raises(ValueError, match="no extractors"):
+            PassGraph().run_shard([1, 2])
+        graph = PassGraph().add_extractor(
+            Extractor("count", _count_init, _count_fold)
+        )
+        with pytest.raises(ValueError, match="no passes"):
+            graph.reduce([graph.run_shard([1]).partials])
+
+    def test_pass_names_in_registration_order(self):
+        graph = _counting_graph()
+        graph.add_pass(SectionPass("max", "count", max))
+        assert graph.pass_names == ("total", "max")
+        assert graph.traversals_fused() == 2
+
+
+class TestExecution:
+    def test_run_shard_counts_records_and_one_traversal(self):
+        result = _counting_graph().run_shard([1, 2, 3, 4])
+        assert result.partials == {"count": 10}
+        assert result.records == 4
+        assert result.traversals == 1
+
+    def test_reduce_merges_in_shard_order(self):
+        graph = _counting_graph()
+        shards = [graph.run_shard(chunk).partials for chunk in ([1, 2], [3], [])]
+        assert graph.reduce(shards) == {"total": 6}
+
+    def test_run_is_the_single_shard_special_case(self):
+        graph = _counting_graph()
+        assert graph.run([1, 2, 3]) == {"total": 6}
+
+    def test_passes_share_an_extractor_state(self):
+        graph = _counting_graph()
+        graph.add_pass(SectionPass("echo", "count", list))
+        result = graph.run([5, 7])
+        assert result == {"total": 12, "echo": [12]}
+
+    def test_each_record_folds_once_per_extractor(self):
+        """The fusion invariant: N passes never mean N record loops."""
+        touches = []
+
+        def spy_fold(state, record):
+            touches.append(record)
+
+        graph = PassGraph().add_extractor(
+            Extractor("spy", list, spy_fold)
+        )
+        graph.add_pass(SectionPass("a", "spy", len))
+        graph.add_pass(SectionPass("b", "spy", len))
+        graph.add_pass(SectionPass("c", "spy", len))
+        graph.run_shard(["r0", "r1", "r2"])
+        assert touches == ["r0", "r1", "r2"]
+
+    def test_finalize_transforms_the_shipped_partial(self):
+        graph = PassGraph().add_extractor(
+            Extractor("count", _count_init, _count_fold, _count_finalize)
+        )
+        result = graph.run_shard([4, 5])
+        assert result.partials == {"count": 9}  # the int, not the dict

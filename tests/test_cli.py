@@ -164,7 +164,31 @@ def test_trace_renders_tree_on_stderr_only(capsys):
 
 def test_all_commands_registered():
     assert set(COMMANDS) == {
-        "fig1a", "fig1b", "fig1c", "fig2", "table1", "sec32", "sec33",
-        "sec34", "table2", "sec43", "table3", "table4", "threatintel",
-        "projection",
+        "fig1a", "fig1b", "fig1c", "sec2", "fig2", "table1", "sec32",
+        "sec33", "sec34", "table2", "sec43", "table3", "table4",
+        "threatintel", "projection",
     }
+
+
+def test_sec2_matches_separate_commands(capsys):
+    """The fused sec2 artifact is the three §2 artifacts' bytes."""
+    scale = ("--scale", "0.000002")
+    code, fused = run_cli(capsys, "sec2", *scale)
+    assert code == 0
+    _, fig1a = run_cli(capsys, "fig1a", *scale)
+    _, fig1b = run_cli(capsys, "fig1b", *scale)
+    _, fig1c = run_cli(capsys, "fig1c", *scale)
+    assert fused == fig1a.rstrip("\n") + "\n\n" + fig1b.rstrip("\n") + (
+        "\n\n"
+    ) + fig1c.rstrip("\n") + "\n"
+
+
+def test_sec2_parallel_output_identical(capsys):
+    args = ("sec2", "--scale", "0.000002")
+    code, serial = run_cli(capsys, *args)
+    assert code == 0
+    code, parallel = run_cli(
+        capsys, *args, "--workers", "2", "--shard-size", "512"
+    )
+    assert code == 0
+    assert parallel == serial
