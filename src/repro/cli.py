@@ -15,8 +15,10 @@ harness writes to ``benchmarks/output/``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from datetime import date
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from repro.core import adoption, enumeration, evolution, misissuance
@@ -25,6 +27,18 @@ from repro.core import serversupport
 from repro.core.honeypot import CtHoneypotExperiment, render_table4
 from repro.core.phishdetect import PhishingDetector
 from repro.core.threatintel import build_threat_report, render_threat_report
+
+
+def _write_json_artifact(path, payload) -> Path:
+    """The one JSON-artifact writer behind ``--metrics-out``,
+    ``--trace-out``, ``--status-out``: sorted keys, 2-space indent,
+    trailing newline (byte-identical to
+    :meth:`repro.obs.MetricsSnapshot.write`)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def _engine(args):
@@ -48,6 +62,7 @@ def _engine(args):
 
     metrics = getattr(args, "metrics", None)
     tracer = getattr(args, "tracer", None)
+    events = getattr(args, "events", None)
     retry = None
     if args.retries > 0:
         retry = RetryPolicy(
@@ -63,6 +78,7 @@ def _engine(args):
         on_error=args.on_error,
         metrics=metrics,
         tracer=tracer,
+        events=events,
     )
 
 
@@ -219,6 +235,94 @@ def cmd_threatintel(args) -> str:
     return render_threat_report(build_threat_report(result))
 
 
+def cmd_status(args) -> str:
+    """Per-log SLO verdicts from a short live monitoring session.
+
+    Runs a deterministic feed loop over four known logs — two healthy,
+    one flaky-but-recovering (``degraded``: every fetch needs a retry),
+    one with a permanently dead read API (``failing`` once the
+    consecutive-failure streak crosses the policy threshold) — and
+    renders the same per-log health table a
+    :class:`~repro.obs.export.TelemetryServer` serves at ``/health``
+    for a real loop.  ``--status-out FILE`` writes the report as
+    machine-readable JSON; ``--events-out`` captures the per-poll
+    ``feed_poll`` events live.
+    """
+    from datetime import timedelta
+
+    from repro.ct.feed import CertFeed
+    from repro.ct.loglist import build_default_logs
+    from repro.obs import MetricsRegistry
+    from repro.resilience import FlakyLog, RetryPolicy
+    from repro.util.rng import SeededRng
+    from repro.util.timeutil import utc_datetime
+    from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+    rng = SeededRng(args.seed, "cli-status")
+    known = build_default_logs(with_capacities=False, key_bits=256)
+    degraded = FlakyLog(
+        known["DigiCert Log Server"],
+        rng,
+        failure_rate=1.0,
+        max_consecutive=1,
+        methods=("get_entries",),
+    )
+    failing = FlakyLog(
+        known["Symantec log"],
+        rng,
+        failure_rate=0.0,
+        methods=("get_entries",),
+        fail_when=lambda method, call: method == "get_entries",
+    )
+    logs = [
+        known["Google Pilot log"],
+        known["Google Rocketeer log"],
+        degraded,
+        failing,
+    ]
+    metrics = args.metrics if args.metrics is not None else MetricsRegistry()
+    feed = CertFeed(
+        logs,
+        retry=RetryPolicy(
+            max_attempts=2,
+            base_delay_s=0.0,
+            rng=rng.fork("retry"),
+            metrics=metrics,
+        ),
+        metrics=metrics,
+        events=args.events,
+        flush_interval_s=0.0 if args.events is not None else None,
+    )
+    feed.subscribe("status", lambda event: None)
+    ca = CertificateAuthority(name="Status CA", key_bits=256)
+    rounds = 6
+    start = utc_datetime(2018, 5, 1)
+    for round_no in range(rounds):
+        now = start + timedelta(minutes=10 * round_no)
+        for log in logs:
+            ca.issue(
+                IssuanceRequest(dns_names=(f"round{round_no}.status.example",)),
+                [log],
+                now,
+            )
+        feed.run_once(now)
+    feed.flush_telemetry()
+    report = feed.health_report()
+    delivered, _, _ = feed.stats("status")
+    if args.status_out:
+        _write_json_artifact(args.status_out, report.to_dict())
+    return "\n".join(
+        [
+            f"CT monitoring status — seed {args.seed}, {rounds} poll rounds",
+            "",
+            report.render(),
+            "",
+            f"feed: {feed.events_emitted} events emitted, "
+            f"{delivered} delivered to 1 subscriber",
+        ]
+    )
+
+
 def cmd_projection(args) -> str:
     from repro.core.projection import project_adoption, render_projection
 
@@ -242,6 +346,7 @@ COMMANDS: Dict[str, Callable] = {
     "table4": cmd_table4,
     "threatintel": cmd_threatintel,
     "projection": cmd_projection,
+    "status": cmd_status,
 }
 
 
@@ -317,30 +422,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="record spans around the run and print the span tree to "
         "stderr (stdout is unchanged)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record spans around the run and write the span tree as "
+        "JSON to FILE (combinable with --trace; stdout is unchanged)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="append a structured JSONL event log (run/shard lifecycle, "
+        "retries, degradation, per-log fetch outcomes) to FILE, "
+        "flushed line-by-line while the run is live; stdout is "
+        "unchanged",
+    )
+    parser.add_argument(
+        "--status-out",
+        metavar="FILE",
+        default=None,
+        help="(status only) also write the health report as JSON to "
+        "FILE — the same payload the telemetry server serves at "
+        "/health",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    from repro.obs import MetricsRegistry, SpanTracer, maybe_span
+    from repro.obs import EventLog, MetricsRegistry, SpanTracer, maybe_span
 
     args = build_parser().parse_args(argv)
     args.metrics = MetricsRegistry() if args.metrics_out else None
-    args.tracer = SpanTracer() if args.trace else None
+    args.tracer = SpanTracer() if (args.trace or args.trace_out) else None
+    args.events = EventLog(args.events_out) if args.events_out else None
     try:
         if args.artifact == "list":
             print("available artifacts:")
             for name in sorted(COMMANDS):
                 print(f"  {name}")
             return 0
-        with maybe_span(args.tracer, f"cli.{args.artifact}", seed=args.seed):
-            rendered = COMMANDS[args.artifact](args)
+        if args.events is not None:
+            args.events.emit(
+                "run_start",
+                artifact=args.artifact,
+                seed=args.seed,
+                workers=args.workers,
+            )
+        try:
+            with maybe_span(args.tracer, f"cli.{args.artifact}", seed=args.seed):
+                rendered = COMMANDS[args.artifact](args)
+        except Exception as exc:
+            if args.events is not None:
+                args.events.emit(
+                    "run_finish", artifact=args.artifact, ok=False, error=repr(exc)
+                )
+            raise
         print(rendered)
+        if args.events is not None:
+            args.events.emit("run_finish", artifact=args.artifact, ok=True)
         if args.metrics is not None:
-            args.metrics.snapshot().write(args.metrics_out)
-        if args.tracer is not None:
+            _write_json_artifact(args.metrics_out, args.metrics.snapshot().to_dict())
+        if args.trace_out:
+            _write_json_artifact(args.trace_out, args.tracer.to_dicts())
+        if args.trace:
             print(args.tracer.render(), file=sys.stderr)
     except BrokenPipeError:  # e.g. piped into `head`
         return 0
+    finally:
+        if args.events is not None:
+            args.events.close()
     return 0
 
 

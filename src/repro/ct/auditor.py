@@ -16,9 +16,10 @@ module is the machinery that actually does the detecting:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.ct.log import CTLog, SignedTreeHead
 from repro.ct.merkle import verify_consistency_proof, verify_inclusion_proof
@@ -30,6 +31,10 @@ from repro.ct.sct import (
 )
 from repro.util.timeutil import from_timestamp_ms
 from repro.x509.certificate import Certificate
+
+if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.obs.events import EventLog
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -60,17 +65,49 @@ class AuditReport:
 
 
 class LogAuditor:
-    """Follows a single log and verifies its behaviour over time."""
+    """Follows a single log and verifies its behaviour over time.
 
-    def __init__(self, log: CTLog) -> None:
+    With a :class:`~repro.obs.MetricsRegistry` attached the auditor
+    records a ``auditor.poll_seconds{log=}`` latency histogram, a
+    ``auditor.tree_size{log=}`` gauge, consistency-check pass/fail
+    counters, and an ``auditor.findings{log=,kind=}`` counter per
+    finding; an attached :class:`~repro.obs.events.EventLog` receives
+    one ``auditor_poll`` event per poll and one ``audit_finding``
+    event per problem.
+    """
+
+    def __init__(
+        self,
+        log: CTLog,
+        *,
+        metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
+    ) -> None:
         self._log = log
         self._last_sth: Optional[SignedTreeHead] = None
         self.report = AuditReport()
+        self.metrics = metrics
+        self.events = events
+
+    def _inc(self, name: str, **labels: object) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, log=self._log.name, **labels)
+
+    def _add_finding(self, finding: AuditFinding) -> None:
+        self.report.add(finding)
+        self._inc("auditor.findings", kind=finding.kind)
+        if self.events is not None:
+            self.events.emit(
+                "audit_finding",
+                log=finding.log_name,
+                finding=finding.kind,
+                detail=finding.detail,
+            )
 
     def observe_sth(self, sth: SignedTreeHead, now: datetime) -> None:
         """Verify a new STH and its consistency with the previous one."""
         if not sth.verify(self._log.key):
-            self.report.add(
+            self._add_finding(
                 AuditFinding(
                     self._log.name,
                     "bad-sth-signature",
@@ -80,10 +117,12 @@ class LogAuditor:
             )
             return
         self.report.sths_verified += 1
+        self._inc("auditor.sths_verified")
         previous = self._last_sth
         if previous is not None:
             if sth.tree_size < previous.tree_size:
-                self.report.add(
+                self._inc("auditor.consistency_failed")
+                self._add_finding(
                     AuditFinding(
                         self._log.name,
                         "inconsistent-history",
@@ -101,7 +140,8 @@ class LogAuditor:
                 sth.root_hash,
                 proof,
             ):
-                self.report.add(
+                self._inc("auditor.consistency_failed")
+                self._add_finding(
                     AuditFinding(
                         self._log.name,
                         "inconsistent-history",
@@ -111,12 +151,31 @@ class LogAuditor:
                     )
                 )
                 return
+            self._inc("auditor.consistency_ok")
         self._last_sth = sth
 
     def poll(self, now: datetime) -> SignedTreeHead:
         """Fetch and verify the log's current STH."""
+        findings_before = len(self.report.findings)
+        started = time.perf_counter()
         sth = self._log.get_sth(now)
         self.observe_sth(sth, now)
+        if self.metrics is not None:
+            self.metrics.observe(
+                "auditor.poll_seconds",
+                time.perf_counter() - started,
+                log=self._log.name,
+            )
+            self.metrics.set_gauge(
+                "auditor.tree_size", sth.tree_size, log=self._log.name
+            )
+        if self.events is not None:
+            self.events.emit(
+                "auditor_poll",
+                log=self._log.name,
+                tree_size=sth.tree_size,
+                ok=len(self.report.findings) == findings_before,
+            )
         return sth
 
     def audit_sct_inclusion(
@@ -138,7 +197,7 @@ class LogAuditor:
         else:
             entry_input = x509_signing_input(certificate)
         if not sct.verify(self._log.key, entry_input):
-            self.report.add(
+            self._add_finding(
                 AuditFinding(
                     self._log.name,
                     "bad-sth-signature",
@@ -161,7 +220,8 @@ class LogAuditor:
                 hours=self._log.mmd_hours
             )
             kind = "mmd-violation" if now > deadline else "missing-entry"
-            self.report.add(
+            self._inc("auditor.inclusion_failed")
+            self._add_finding(
                 AuditFinding(
                     self._log.name,
                     kind,
@@ -176,7 +236,8 @@ class LogAuditor:
             entry_input, index, sth.tree_size, proof, sth.root_hash
         )
         if not ok:
-            self.report.add(
+            self._inc("auditor.inclusion_failed")
+            self._add_finding(
                 AuditFinding(
                     self._log.name,
                     "missing-entry",
@@ -184,6 +245,8 @@ class LogAuditor:
                     now,
                 )
             )
+        else:
+            self._inc("auditor.inclusion_ok")
         return ok
 
 

@@ -15,7 +15,15 @@ that service shape:
 * polling is fault-tolerant: a log whose ``get_entries`` fails (after
   the optional :class:`~repro.resilience.RetryPolicy` is exhausted)
   keeps its cursor where it was — no entry is silently skipped — and
-  per-log error/retry counters are exposed via :meth:`log_health`.
+  per-log error/retry counters are exposed via :meth:`log_health`;
+* polling is live-observable: an attached
+  :class:`~repro.obs.events.EventLog` receives one ``feed_poll`` event
+  per fetched log (outcome, entries, retries) as it happens,
+  ``flush_interval_s`` adds interval-based counter-delta flushing into
+  the same stream, and :meth:`health_report` folds the per-log
+  counters into ``healthy|degraded|failing`` SLO verdicts (see
+  :mod:`repro.obs.health`) — the payload behind a
+  :class:`~repro.obs.export.TelemetryServer`'s ``/health`` endpoint.
 """
 
 from __future__ import annotations
@@ -38,6 +46,8 @@ from typing import (
 from repro.ct.log import CTLog, LogEntry
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.obs.events import EventLog
+    from repro.obs.health import HealthReport, SloPolicy
     from repro.obs.metrics import MetricsRegistry
     from repro.resilience.retry import RetryPolicy
 
@@ -82,6 +92,8 @@ class CertFeed:
         max_queue: int = 10_000,
         retry: Optional["RetryPolicy"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
+        flush_interval_s: Optional[float] = None,
     ) -> None:
         self._logs = list(logs)
         self._cursors: Dict[str, int] = {log.name: log.size for log in self._logs}
@@ -89,10 +101,26 @@ class CertFeed:
         self._default_max_queue = max_queue
         self.retry = retry
         self.metrics = metrics
+        self.events = events
         self.events_emitted = 0
         self.poll_errors: Dict[str, int] = {log.name: 0 for log in self._logs}
         self.poll_retries: Dict[str, int] = {log.name: 0 for log in self._logs}
+        self.poll_successes: Dict[str, int] = {log.name: 0 for log in self._logs}
+        self.consecutive_failures: Dict[str, int] = {
+            log.name: 0 for log in self._logs
+        }
         self.entries_fetched: Dict[str, int] = {log.name: 0 for log in self._logs}
+        self._flusher = None
+        if flush_interval_s is not None:
+            if events is None or metrics is None:
+                raise ValueError(
+                    "flush_interval_s needs both events= and metrics= attached"
+                )
+            from repro.obs.events import SnapshotDeltaFlusher
+
+            self._flusher = SnapshotDeltaFlusher(
+                metrics, events, interval_s=flush_interval_s
+            )
 
     # -- subscription management ---------------------------------------------
 
@@ -161,17 +189,17 @@ class CertFeed:
             self.metrics.inc("feed.backfill_events", replayed, subscriber=name)
         return replayed
 
-    def _fetch_new(self, log: CTLog, cursor: int, end: int) -> List[LogEntry]:
-        """``get_entries`` under the feed's retry policy (may raise)."""
+    def _fetch_new(
+        self, log: CTLog, cursor: int, end: int
+    ) -> Tuple[List[LogEntry], int]:
+        """``get_entries`` under the feed's retry policy (may raise).
+
+        Returns ``(entries, retries spent on this fetch)``.
+        """
         if self.retry is None:
-            return log.get_entries(cursor, end)
+            return log.get_entries(cursor, end), 0
         outcome = self.retry.run(lambda: log.get_entries(cursor, end))
-        self.poll_retries[log.name] = (
-            self.poll_retries.get(log.name, 0) + outcome.retried
-        )
-        if self.metrics is not None and outcome.retried:
-            self.metrics.inc("feed.poll_retries", outcome.retried, log=log.name)
-        return outcome.value
+        return outcome.value, outcome.retried
 
     def poll(self, now: datetime) -> int:
         """Pull new entries from all logs and enqueue them everywhere.
@@ -179,7 +207,11 @@ class CertFeed:
         A log whose fetch fails — even after retries — contributes
         nothing this round and its cursor stays put, so the entries
         are delivered (not skipped) by the next successful poll;
-        failures are tallied in ``poll_errors``/``poll_retries``.
+        failures are tallied in ``poll_errors``/``poll_retries`` and
+        the per-log consecutive-failure streak.  With an attached
+        event log every fetched log emits one ``feed_poll`` event, and
+        the optional interval flusher exports counter deltas into the
+        same stream.
         """
         fresh: List[FeedEvent] = []
         for log in self._logs:
@@ -189,9 +221,12 @@ class CertFeed:
                 continue
             started = time.perf_counter()
             try:
-                entries = self._fetch_new(log, cursor, size - 1)
+                entries, retried = self._fetch_new(log, cursor, size - 1)
             except Exception as exc:
                 self.poll_errors[log.name] = self.poll_errors.get(log.name, 0) + 1
+                self.consecutive_failures[log.name] = (
+                    self.consecutive_failures.get(log.name, 0) + 1
+                )
                 failed_retries = max(0, getattr(exc, "attempts", 1) - 1)
                 self.poll_retries[log.name] = (
                     self.poll_retries.get(log.name, 0) + failed_retries
@@ -202,7 +237,22 @@ class CertFeed:
                         self.metrics.inc(
                             "feed.poll_retries", failed_retries, log=log.name
                         )
+                if self.events is not None:
+                    self.events.emit(
+                        "feed_poll",
+                        log=log.name,
+                        ok=False,
+                        error=repr(exc),
+                        retried=failed_retries,
+                    )
                 continue
+            self.poll_retries[log.name] = (
+                self.poll_retries.get(log.name, 0) + retried
+            )
+            self.poll_successes[log.name] = (
+                self.poll_successes.get(log.name, 0) + 1
+            )
+            self.consecutive_failures[log.name] = 0
             if self.metrics is not None:
                 self.metrics.observe(
                     "feed.fetch_seconds",
@@ -210,6 +260,16 @@ class CertFeed:
                     log=log.name,
                 )
                 self.metrics.inc("feed.entries", len(entries), log=log.name)
+                if retried:
+                    self.metrics.inc("feed.poll_retries", retried, log=log.name)
+            if self.events is not None:
+                self.events.emit(
+                    "feed_poll",
+                    log=log.name,
+                    ok=True,
+                    entries=len(entries),
+                    retried=retried,
+                )
             self.entries_fetched[log.name] = (
                 self.entries_fetched.get(log.name, 0) + len(entries)
             )
@@ -229,6 +289,8 @@ class CertFeed:
                 self.metrics.inc("feed.events_emitted", len(fresh))
             if dropped:
                 self.metrics.inc("feed.events_dropped", dropped)
+        if self._flusher is not None:
+            self._flusher.maybe_flush()
         return len(fresh)
 
     def log_health(self) -> Dict[str, Dict[str, int]]:
@@ -239,9 +301,36 @@ class CertFeed:
                 "entries": self.entries_fetched.get(log.name, 0),
                 "errors": self.poll_errors.get(log.name, 0),
                 "retries": self.poll_retries.get(log.name, 0),
+                "successes": self.poll_successes.get(log.name, 0),
+                "consecutive_failures": self.consecutive_failures.get(
+                    log.name, 0
+                ),
             }
             for log in self._logs
         }
+
+    def health_report(
+        self, policy: Optional["SloPolicy"] = None
+    ) -> "HealthReport":
+        """Per-log SLO verdicts from :meth:`log_health` counters.
+
+        The report's :meth:`~repro.obs.health.HealthReport.to_dict` is
+        the ``/health`` payload of an attached
+        :class:`~repro.obs.export.TelemetryServer`.
+        """
+        from repro.obs.health import evaluate_stats
+
+        return evaluate_stats(self.log_health(), policy)
+
+    def flush_telemetry(self) -> bool:
+        """Force a counter-delta flush (loop-shutdown hook).
+
+        Returns whether a flush happened (``False`` without an
+        interval flusher attached).
+        """
+        if self._flusher is None:
+            return False
+        return self._flusher.flush()
 
     def dispatch(self, *, budget: Optional[int] = None) -> int:
         """Drain subscriber queues through their callbacks.

@@ -17,7 +17,10 @@ Polling is fault-tolerant: a fetch that fails — after the optional
 :class:`~repro.resilience.RetryPolicy` is exhausted — leaves the
 log's cursor untouched, so no entry is silently lost; the next
 successful poll observes everything that accumulated in the meantime.
-Per-log error/retry counters are exposed on each monitor.
+Per-log error/retry counters are exposed on each monitor, an attached
+:class:`~repro.obs.events.EventLog` receives one ``monitor_fetch``
+event per fetch as it happens, and ``health_report()`` folds the
+counters into per-log SLO verdicts (see :mod:`repro.obs.health`).
 """
 
 from __future__ import annotations
@@ -31,6 +34,8 @@ from repro.ct.log import CTLog, LogEntry
 from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.obs.events import EventLog
+    from repro.obs.health import HealthReport, SloPolicy
     from repro.obs.metrics import MetricsRegistry
     from repro.resilience.retry import RetryPolicy
 
@@ -67,12 +72,17 @@ class _CursorMixin:
         self,
         retry: Optional["RetryPolicy"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
     ) -> None:
         self._cursors: Dict[str, int] = {}
         self.retry = retry
         self.metrics = metrics
+        self.events = events
         self.errors: Dict[str, int] = {}
         self.retries: Dict[str, int] = {}
+        self.successes: Dict[str, int] = {}
+        self.entries_seen: Dict[str, int] = {}
+        self.consecutive_failures: Dict[str, int] = {}
 
     def _monitor_label(self) -> str:
         return getattr(self, "name", type(self).__name__)
@@ -82,7 +92,9 @@ class _CursorMixin:
         size = log.size
         if size <= cursor:
             return []
+        label = self._monitor_label()
         started = time.perf_counter()
+        retried = 0
         try:
             if self.retry is None:
                 entries = log.get_entries(cursor, size - 1)
@@ -91,24 +103,27 @@ class _CursorMixin:
                     lambda: log.get_entries(cursor, size - 1)
                 )
                 entries = outcome.value
+                retried = outcome.retried
                 self.retries[log.name] = (
-                    self.retries.get(log.name, 0) + outcome.retried
+                    self.retries.get(log.name, 0) + retried
                 )
-                if self.metrics is not None and outcome.retried:
+                if self.metrics is not None and retried:
                     self.metrics.inc(
                         "monitor.retries",
-                        outcome.retried,
-                        monitor=self._monitor_label(),
+                        retried,
+                        monitor=label,
                         log=log.name,
                     )
         except Exception as exc:
             self.errors[log.name] = self.errors.get(log.name, 0) + 1
+            self.consecutive_failures[log.name] = (
+                self.consecutive_failures.get(log.name, 0) + 1
+            )
             failed_retries = max(0, getattr(exc, "attempts", 1) - 1)
             self.retries[log.name] = (
                 self.retries.get(log.name, 0) + failed_retries
             )
             if self.metrics is not None:
-                label = self._monitor_label()
                 self.metrics.inc("monitor.errors", monitor=label, log=log.name)
                 if failed_retries:
                     self.metrics.inc(
@@ -117,9 +132,22 @@ class _CursorMixin:
                         monitor=label,
                         log=log.name,
                     )
+            if self.events is not None:
+                self.events.emit(
+                    "monitor_fetch",
+                    monitor=label,
+                    log=log.name,
+                    ok=False,
+                    error=repr(exc),
+                    retried=failed_retries,
+                )
             return []
+        self.successes[log.name] = self.successes.get(log.name, 0) + 1
+        self.consecutive_failures[log.name] = 0
+        self.entries_seen[log.name] = (
+            self.entries_seen.get(log.name, 0) + len(entries)
+        )
         if self.metrics is not None:
-            label = self._monitor_label()
             self.metrics.observe(
                 "monitor.fetch_seconds",
                 time.perf_counter() - started,
@@ -129,8 +157,44 @@ class _CursorMixin:
             self.metrics.inc(
                 "monitor.entries", len(entries), monitor=label, log=log.name
             )
+        if self.events is not None:
+            self.events.emit(
+                "monitor_fetch",
+                monitor=label,
+                log=log.name,
+                ok=True,
+                entries=len(entries),
+                retried=retried,
+            )
         self._cursors[log.name] = cursor + len(entries)
         return entries
+
+    def log_health(self) -> Dict[str, Dict[str, int]]:
+        """Per-log fetch counters in :mod:`repro.obs.health` shape."""
+        names = sorted(
+            set(self._cursors)
+            | set(self.errors)
+            | set(self.successes)
+        )
+        return {
+            name: {
+                "cursor": self._cursors.get(name, 0),
+                "entries": self.entries_seen.get(name, 0),
+                "errors": self.errors.get(name, 0),
+                "retries": self.retries.get(name, 0),
+                "successes": self.successes.get(name, 0),
+                "consecutive_failures": self.consecutive_failures.get(name, 0),
+            }
+            for name in names
+        }
+
+    def health_report(
+        self, policy: Optional["SloPolicy"] = None
+    ) -> "HealthReport":
+        """Per-log SLO verdicts over every log this monitor has fetched."""
+        from repro.obs.health import evaluate_stats
+
+        return evaluate_stats(self.log_health(), policy)
 
 
 class StreamingMonitor(_CursorMixin):
@@ -149,8 +213,9 @@ class StreamingMonitor(_CursorMixin):
         base_offset_s: float = 0.0,
         retry: Optional["RetryPolicy"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
     ) -> None:
-        super().__init__(retry=retry, metrics=metrics)
+        super().__init__(retry=retry, metrics=metrics, events=events)
         self.name = name
         self._rng = rng.fork(f"stream:{name}")
         self.latency_range_s = latency_range_s
@@ -189,8 +254,9 @@ class BatchMonitor(_CursorMixin):
         processing_delay_s: float = 30.0,
         retry: Optional["RetryPolicy"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
     ) -> None:
-        super().__init__(retry=retry, metrics=metrics)
+        super().__init__(retry=retry, metrics=metrics, events=events)
         self.name = name
         self._rng = rng.fork(f"batch:{name}")
         self.interval = interval

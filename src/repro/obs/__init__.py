@@ -1,4 +1,4 @@
-"""Observability: metrics and spans for the reproduction pipeline.
+"""Observability: metrics, spans, and live telemetry for the pipeline.
 
 The paper's headline numbers come out of sharded, retrying runs; this
 package is how those runs describe themselves.  Everything is
@@ -10,18 +10,63 @@ dependency-free and deterministic where it matters:
   commutatively — per-shard metrics survive process-pool workers and
   reduce bit-identically;
 * :mod:`repro.obs.trace` — :class:`SpanTracer`, a context-manager
-  span stack with wall-time, nesting, and JSON export.
+  span stack with wall-time, nesting, and JSON export;
+* :mod:`repro.obs.export` — :func:`render_prometheus` (deterministic
+  Prometheus text exposition of a snapshot) and
+  :class:`TelemetryServer`, a stdlib HTTP endpoint serving
+  ``/metrics``, ``/health``, and ``/events/tail`` for long-running
+  loops;
+* :mod:`repro.obs.events` — :class:`EventLog`, a structured JSONL
+  event stream (run/shard lifecycle, per-log fetch outcomes) with
+  per-run correlation IDs, :func:`replay_counters` to fold the stream
+  back into the counters it mirrors, and
+  :class:`SnapshotDeltaFlusher` for interval-based live counter
+  deltas;
+* :mod:`repro.obs.health` — the per-log SLO engine:
+  :func:`evaluate_stats` folds fetch counters into
+  ``healthy|degraded|failing`` verdicts under an :class:`SloPolicy`.
 
 Wired consumers: :class:`repro.pipeline.PipelineEngine` (per-shard
 duration, queue wait, attempts, degraded shards, checkpoint resume hit
-rate), :class:`repro.ct.CertFeed` and the Section 6 monitors (per-log
-fetch latency, entries, error/retry counters),
-:class:`repro.resilience.RetryPolicy` (attempt/backoff histograms),
-:class:`repro.ct.storage.HarvestCheckpoint` (record accounting), the
-CLI (``--metrics-out FILE`` / ``--trace``), and the benchmark harness
-(JSON sidecars with metric snapshots).
+rate, lifecycle events), :class:`repro.ct.CertFeed` and the Section 6
+monitors (per-log fetch latency, entries, error/retry counters,
+``feed_poll``/``monitor_fetch`` events, health reports),
+:class:`repro.ct.LogAuditor` (poll latency, consistency pass/fail,
+tree-size gauge), :class:`repro.resilience.RetryPolicy`
+(attempt/backoff histograms), :class:`repro.ct.storage.
+HarvestCheckpoint` (record accounting), the CLI (``--metrics-out`` /
+``--trace`` / ``--trace-out`` / ``--events-out`` and the ``status``
+artifact), and the benchmark harness (JSON sidecars).
 """
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    SnapshotDeltaFlusher,
+    counter_delta,
+    new_run_id,
+    read_events,
+    replay_counters,
+)
+from repro.obs.export import (
+    EXPOSITION_CONTENT_TYPE,
+    TelemetryServer,
+    escape_label_value,
+    format_number,
+    parse_exposition,
+    prometheus_name,
+    render_prometheus,
+    split_metric_key,
+)
+from repro.obs.health import (
+    DEFAULT_POLICY,
+    HealthReport,
+    LogHealth,
+    SloPolicy,
+    evaluate_log,
+    evaluate_stats,
+)
 from repro.obs.metrics import (
     COUNT_BOUNDS,
     DEFAULT_TIME_BOUNDS,
@@ -36,14 +81,36 @@ from repro.obs.trace import Span, SpanTracer, maybe_span
 
 __all__ = [
     "COUNT_BOUNDS",
+    "DEFAULT_POLICY",
     "DEFAULT_TIME_BOUNDS",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "EXPOSITION_CONTENT_TYPE",
     "Counter",
+    "EventLog",
     "Gauge",
+    "HealthReport",
     "Histogram",
+    "LogHealth",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "SloPolicy",
+    "SnapshotDeltaFlusher",
     "Span",
     "SpanTracer",
+    "TelemetryServer",
+    "counter_delta",
+    "escape_label_value",
+    "evaluate_log",
+    "evaluate_stats",
+    "format_number",
     "maybe_span",
     "metric_key",
+    "new_run_id",
+    "parse_exposition",
+    "prometheus_name",
+    "read_events",
+    "render_prometheus",
+    "replay_counters",
+    "split_metric_key",
 ]

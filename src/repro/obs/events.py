@@ -1,0 +1,323 @@
+"""Structured JSONL event log with per-run correlation IDs.
+
+Where :mod:`repro.obs.metrics` answers "how much, in total", this
+module answers "what happened, in order" — an append-only stream of
+JSON objects emitted *live* (one line per event, flushed as written),
+so a long-running monitoring loop can be tailed while it runs instead
+of inspected post-mortem.
+
+Every event carries the same envelope::
+
+    {"v": 1, "run": "<correlation id>", "seq": N, "ts": <unix s>,
+     "kind": "<event kind>", ...kind-specific fields...}
+
+``seq`` is a gapless per-log sequence number, so a consumer can detect
+torn tails; ``run`` correlates every event of one process/run.  Kind
+names and their fields are a stable schema (documented in
+docs/API.md); the emitting layers are the pipeline engine (run/shard
+lifecycle, retries, degradation, checkpoint resume), the feed and the
+monitors (per-log fetch outcomes), and the STH auditor.
+
+:func:`replay_counters` folds a stream of events back into the metric
+counters the instrumented layers record, keyed exactly like
+:func:`repro.obs.metrics.metric_key` — the event log and the final
+:class:`~repro.obs.metrics.MetricsSnapshot` are two views of the same
+run, and the replay is how tests prove they agree.
+
+:class:`SnapshotDeltaFlusher` is the live-export half: it diffs the
+registry against the last flush on an interval and emits the delta as
+a ``metrics_flush`` event, so tailing the event log shows counters
+move while the loop is still running.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    TextIO,
+    Union,
+)
+
+from repro.obs.metrics import MetricsSnapshot, Number, metric_key
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: Event schema version; bump on any envelope change.
+EVENT_SCHEMA_VERSION = 1
+
+#: Envelope keys; ``emit`` rejects field names that would shadow them.
+ENVELOPE_FIELDS = ("v", "run", "seq", "ts", "kind")
+
+#: The stable event kinds (see docs/API.md for their fields).
+EVENT_KINDS = (
+    "run_start",
+    "run_finish",
+    "map_start",
+    "map_finish",
+    "shard_finish",
+    "shard_failed",
+    "checkpoint_resume",
+    "degraded",
+    "feed_poll",
+    "monitor_fetch",
+    "auditor_poll",
+    "audit_finding",
+    "metrics_flush",
+)
+
+
+def new_run_id() -> str:
+    """A fresh correlation ID (12 hex chars; not seeded — identity, not data)."""
+    return uuid.uuid4().hex[:12]
+
+
+class EventLog:
+    """Append-only JSONL event stream with an in-memory tail.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file; each event is written as one
+        ``json.dumps(..., sort_keys=True)`` line and flushed
+        immediately, so the file is tail-able while the run is live.
+        With ``path=None`` events only fill the in-memory ring.
+    run_id:
+        Correlation ID stamped on every event; defaults to a fresh
+        :func:`new_run_id`.
+    clock:
+        Unix-seconds source for the ``ts`` field (injectable for
+        deterministic tests).
+    tail_size:
+        Ring-buffer capacity backing :meth:`tail` (and the telemetry
+        server's ``/events/tail`` endpoint).
+
+    Thread-safe: emission takes a lock, so feed/monitor loops and the
+    telemetry server's handler threads can share one log.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        run_id: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
+        tail_size: int = 1024,
+    ) -> None:
+        if tail_size < 1:
+            raise ValueError(f"tail_size must be >= 1, got {tail_size}")
+        self.path = Path(path) if path is not None else None
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._tail: Deque[Dict[str, object]] = deque(maxlen=tail_size)
+        self._file: Optional[TextIO] = (
+            open(self.path, "a", encoding="utf-8")
+            if self.path is not None
+            else None
+        )
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Record one event; returns the full record (envelope + fields)."""
+        shadowed = [key for key in fields if key in ENVELOPE_FIELDS]
+        if shadowed:
+            raise ValueError(
+                f"event fields {shadowed} shadow envelope keys {ENVELOPE_FIELDS}"
+            )
+        with self._lock:
+            record: Dict[str, object] = {
+                "v": EVENT_SCHEMA_VERSION,
+                "run": self.run_id,
+                "seq": self._seq,
+                "ts": round(float(self._clock()), 6),
+                "kind": kind,
+            }
+            for key in sorted(fields):
+                record[key] = fields[key]
+            self._seq += 1
+            self._tail.append(record)
+            if self._file is not None:
+                self._file.write(json.dumps(record, sort_keys=True) + "\n")
+                self._file.flush()
+            return record
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted so far (== the next ``seq``)."""
+        return self._seq
+
+    def tail(self, n: int = 100) -> List[Dict[str, object]]:
+        """The most recent ``n`` events, oldest first."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        with self._lock:
+            events = list(self._tail)
+        return events[len(events) - n :] if n else []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSONL event file; blank lines are ignored."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def replay_counters(events: Iterable[Mapping[str, object]]) -> Dict[str, Number]:
+    """Fold events back into the counters their emitters recorded.
+
+    Covers the counter families whose instruments and events are
+    emitted by the same code paths — per-log feed/monitor fetch
+    outcomes and per-shard pipeline lifecycle — so for a run with both
+    metrics and events attached, the replay of those families equals
+    the final snapshot's counters exactly (asserted in
+    ``tests/obs/test_events.py`` and the live telemetry test).
+    """
+    counters: Dict[str, Number] = {}
+
+    def add(name: str, amount: Number = 1, **labels: object) -> None:
+        key = metric_key(name, labels)
+        counters[key] = counters.get(key, 0) + amount
+
+    for event in events:
+        kind = event.get("kind")
+        if kind == "feed_poll":
+            log = event["log"]
+            if event.get("ok"):
+                add("feed.entries", int(event.get("entries", 0)), log=log)
+            else:
+                add("feed.poll_errors", 1, log=log)
+            retried = int(event.get("retried", 0))
+            if retried:
+                add("feed.poll_retries", retried, log=log)
+        elif kind == "monitor_fetch":
+            labels = {"monitor": event["monitor"], "log": event["log"]}
+            if event.get("ok"):
+                add("monitor.entries", int(event.get("entries", 0)), **labels)
+            else:
+                add("monitor.errors", 1, **labels)
+            retried = int(event.get("retried", 0))
+            if retried:
+                add("monitor.retries", retried, **labels)
+        elif kind == "map_start":
+            add("pipeline.shards_planned", int(event.get("shards", 0)))
+        elif kind == "shard_finish":
+            attempts = int(event.get("attempts", 1))
+            add("pipeline.shards_completed")
+            add("pipeline.shard_attempts", attempts)
+            if attempts > 1:
+                add("pipeline.shard_retries", attempts - 1)
+                add("pipeline.retries_total", attempts - 1)
+        elif kind == "shard_failed":
+            attempts = int(event.get("attempts", 1))
+            add("pipeline.shards_failed")
+            add("pipeline.shard_failures", 1, shard=event["shard"])
+            add("pipeline.failed_shard_attempts", attempts)
+            if attempts > 1:
+                add("pipeline.retries_total", attempts - 1)
+        elif kind == "checkpoint_resume":
+            add("pipeline.shards_resumed", int(event.get("shards", 0)))
+    return counters
+
+
+def counter_delta(
+    old: MetricsSnapshot, new: MetricsSnapshot
+) -> Dict[str, Number]:
+    """Counter increments from ``old`` to ``new`` (changed keys only)."""
+    delta: Dict[str, Number] = {}
+    for key, value in new.counters.items():
+        moved = value - old.counters.get(key, 0)
+        if moved:
+            delta[key] = moved
+    return delta
+
+
+class SnapshotDeltaFlusher:
+    """Interval-based live export of counter movement as events.
+
+    Attached to a polling loop (``CertFeed.poll`` calls
+    :meth:`maybe_flush` once per round), it emits a ``metrics_flush``
+    event whenever ``interval_s`` has elapsed since the last flush,
+    carrying the counter *delta* since that flush plus the current
+    gauges.  Deltas baseline from an empty snapshot, so the running sum
+    of all flushed deltas equals the registry's counters at the last
+    flush — :meth:`flush` with no interval check is the loop-shutdown
+    hook that makes the stream complete.
+    """
+
+    def __init__(
+        self,
+        metrics: "MetricsRegistry",
+        events: EventLog,
+        interval_s: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+        self.metrics = metrics
+        self.events = events
+        self.interval_s = interval_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._last = MetricsSnapshot.empty()
+        self._last_at = self._clock()
+        self.flushes = 0
+
+    def maybe_flush(self) -> bool:
+        """Flush when the interval has elapsed; returns whether it did."""
+        now = self._clock()
+        if now - self._last_at < self.interval_s:
+            return False
+        return self._flush(now)
+
+    def flush(self) -> bool:
+        """Flush unconditionally (e.g. on loop shutdown)."""
+        return self._flush(self._clock())
+
+    def _flush(self, now: float) -> bool:
+        current = self.metrics.snapshot()
+        delta = counter_delta(self._last, current)
+        self.events.emit(
+            "metrics_flush",
+            flush=self.flushes,
+            counters={key: delta[key] for key in sorted(delta)},
+            gauges={key: current.gauges[key] for key in sorted(current.gauges)},
+        )
+        self._last = current
+        self._last_at = now
+        self.flushes += 1
+        return True

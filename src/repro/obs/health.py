@@ -1,0 +1,202 @@
+"""Per-log health verdicts: the SLO engine over the fetch counters.
+
+The paper's Section 2 observation — log load concentrates on a handful
+of logs, so the ecosystem's health hinges on a few operators — is
+exactly the condition a per-log health view detects in a running
+monitoring loop.  This module folds the per-log counters the feed and
+the monitors already keep (entries, errors, retries, successes, and
+the consecutive-failure streak, i.e. staleness) into one of three SLO
+verdicts per log:
+
+* ``healthy`` — fetches succeed, error ratio within budget, no retry
+  churn;
+* ``degraded`` — the log answers, but only after retries, or its error
+  ratio exceeds the policy budget (it is being served by the retry
+  layer, not by the log);
+* ``failing`` — the log has not answered for ``failing_after``
+  consecutive fetches: its cursor is stale and entries are piling up
+  unseen.
+
+Verdicts are pure functions of the counters and the
+:class:`SloPolicy` — no clocks, no I/O — so the same counters always
+yield the same report, and the report is cheap enough to compute on
+every ``/health`` scrape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Verdicts ordered from best to worst; ``overall`` is the worst seen.
+VERDICTS = ("healthy", "degraded", "failing")
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Thresholds that turn counters into verdicts.
+
+    ``failing_after``: consecutive failed fetches before a log is
+    ``failing`` (staleness: its cursor has not advanced for that many
+    attempts).  ``max_error_ratio``: errors / (successes + errors)
+    budget; above it the log is ``degraded`` even though it currently
+    answers.  ``degraded_retries``: total retries at or above which a
+    log is ``degraded`` — it recovers, but only through the retry
+    layer.
+    """
+
+    failing_after: int = 3
+    max_error_ratio: float = 0.1
+    degraded_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failing_after < 1:
+            raise ValueError(
+                f"failing_after must be >= 1, got {self.failing_after}"
+            )
+        if not 0.0 <= self.max_error_ratio <= 1.0:
+            raise ValueError(
+                f"max_error_ratio must be in [0, 1], got {self.max_error_ratio}"
+            )
+        if self.degraded_retries < 1:
+            raise ValueError(
+                f"degraded_retries must be >= 1, got {self.degraded_retries}"
+            )
+
+
+DEFAULT_POLICY = SloPolicy()
+
+
+@dataclass(frozen=True)
+class LogHealth:
+    """One log's verdict plus the counters it was derived from."""
+
+    log: str
+    verdict: str
+    entries: int
+    successes: int
+    errors: int
+    retries: int
+    consecutive_failures: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "entries": self.entries,
+            "successes": self.successes,
+            "errors": self.errors,
+            "retries": self.retries,
+            "consecutive_failures": self.consecutive_failures,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Per-log verdicts plus the roll-up; the ``/health`` payload."""
+
+    logs: Tuple[LogHealth, ...]
+
+    @property
+    def overall(self) -> str:
+        """The worst per-log verdict (``healthy`` when there are none)."""
+        worst = 0
+        for health in self.logs:
+            worst = max(worst, VERDICTS.index(health.verdict))
+        return VERDICTS[worst]
+
+    @property
+    def ok(self) -> bool:
+        """True unless any log is ``failing``."""
+        return self.overall != "failing"
+
+    def verdicts(self) -> Dict[str, str]:
+        return {health.log: health.verdict for health in self.logs}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable report (sorted, JSON-ready)."""
+        return {
+            "version": 1,
+            "overall": self.overall,
+            "logs": {
+                health.log: health.to_dict()
+                for health in sorted(self.logs, key=lambda h: h.log)
+            },
+        }
+
+    def render(self) -> str:
+        """Aligned text table for the ``repro status`` command."""
+        rows = sorted(self.logs, key=lambda h: h.log)
+        width = max([len("log"), *(len(h.log) for h in rows)], default=3)
+        lines = [
+            f"Log health — {len(rows)} logs, overall {self.overall}",
+            f"  {'log':<{width}}  verdict   entries  errors  retries"
+            "  streak  reason",
+        ]
+        for h in rows:
+            lines.append(
+                f"  {h.log:<{width}}  {h.verdict:<8}  {h.entries:7d}"
+                f"  {h.errors:6d}  {h.retries:7d}"
+                f"  {h.consecutive_failures:6d}  {h.reason}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_log(
+    log: str,
+    stats: Mapping[str, object],
+    policy: SloPolicy = DEFAULT_POLICY,
+) -> LogHealth:
+    """Verdict for one log from its fetch counters.
+
+    ``stats`` keys (all optional, default 0): ``entries``,
+    ``successes``, ``errors``, ``retries``, ``consecutive_failures``.
+    The feed's :meth:`~repro.ct.feed.CertFeed.log_health` and the
+    monitors' ``log_health()`` produce exactly this shape.
+    """
+    entries = int(stats.get("entries", 0))  # type: ignore[arg-type]
+    successes = int(stats.get("successes", 0))  # type: ignore[arg-type]
+    errors = int(stats.get("errors", 0))  # type: ignore[arg-type]
+    retries = int(stats.get("retries", 0))  # type: ignore[arg-type]
+    streak = int(stats.get("consecutive_failures", 0))  # type: ignore[arg-type]
+    attempts = successes + errors
+    ratio = (errors / attempts) if attempts else (1.0 if errors else 0.0)
+
+    if streak >= policy.failing_after:
+        verdict = "failing"
+        reason = f"{streak} consecutive failed fetches"
+    elif ratio > policy.max_error_ratio:
+        verdict = "degraded"
+        reason = (
+            f"error ratio {ratio:.0%} exceeds {policy.max_error_ratio:.0%}"
+        )
+    elif retries >= policy.degraded_retries:
+        verdict = "degraded"
+        reason = f"recovered only after {retries} retries"
+    else:
+        verdict = "healthy"
+        reason = "ok"
+    return LogHealth(
+        log=log,
+        verdict=verdict,
+        entries=entries,
+        successes=successes,
+        errors=errors,
+        retries=retries,
+        consecutive_failures=streak,
+        reason=reason,
+    )
+
+
+def evaluate_stats(
+    stats: Mapping[str, Mapping[str, object]],
+    policy: Optional[SloPolicy] = None,
+) -> HealthReport:
+    """Fold a per-log stats mapping into a :class:`HealthReport`."""
+    policy = policy if policy is not None else DEFAULT_POLICY
+    return HealthReport(
+        logs=tuple(
+            evaluate_log(log, stats[log], policy) for log in sorted(stats)
+        )
+    )

@@ -31,6 +31,7 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.trace import SpanTracer, maybe_span
 from repro.pipeline.shard import DEFAULT_SHARD_SIZE
@@ -145,6 +146,14 @@ class PipelineEngine:
         Optional :class:`repro.obs.SpanTracer`; ``map_reduce`` then
         records nested ``pipeline.map_reduce`` / ``pipeline.map`` /
         ``pipeline.reduce`` spans (coordinator-side wall time).
+    events:
+        Optional :class:`repro.obs.EventLog`; every run then emits
+        live lifecycle events from the coordinator thread —
+        ``map_start`` / ``map_finish``, one ``shard_finish`` or
+        ``shard_failed`` per shard (with attempt counts),
+        ``checkpoint_resume``, and ``degraded`` — mirroring the
+        metric counters event-for-increment (see
+        :func:`repro.obs.replay_counters`).
     """
 
     def __init__(
@@ -156,6 +165,7 @@ class PipelineEngine:
         on_error: str = "raise",
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -176,6 +186,7 @@ class PipelineEngine:
         self.on_error = on_error
         self.metrics = metrics
         self.tracer = tracer
+        self.events = events
 
     @property
     def serial(self) -> bool:
@@ -227,8 +238,18 @@ class PipelineEngine:
                 self.metrics.set_gauge(
                     "pipeline.checkpoint_hit_rate", resumed / len(tasks)
                 )
+            if self.events is not None and tasks:
+                self.events.emit(
+                    "checkpoint_resume",
+                    shards=resumed,
+                    hit_rate=resumed / len(tasks),
+                )
         if instrument:
             self.metrics.inc("pipeline.shards_planned", len(tasks))
+        if self.events is not None:
+            self.events.emit(
+                "map_start", shards=len(tasks), pending=len(pending)
+            )
         failures: List[FailedShard] = []
         retries = 0
 
@@ -245,6 +266,10 @@ class PipelineEngine:
                 self.metrics.inc("pipeline.shards_completed")
                 if attempts > 1:
                     self.metrics.inc("pipeline.retries_total", attempts - 1)
+            if self.events is not None:
+                self.events.emit(
+                    "shard_finish", shard=index, attempts=attempts
+                )
 
         def fail(index: int, exc: BaseException) -> None:
             nonlocal retries
@@ -256,6 +281,13 @@ class PipelineEngine:
                 self.metrics.inc("pipeline.failed_shard_attempts", attempts)
                 if attempts > 1:
                     self.metrics.inc("pipeline.retries_total", attempts - 1)
+            if self.events is not None:
+                self.events.emit(
+                    "shard_failed",
+                    shard=index,
+                    attempts=attempts,
+                    error=repr(cause),
+                )
             if not self.degrading:
                 raise ShardFailedError(index, attempts, cause) from exc
             retries += attempts - 1
@@ -315,12 +347,25 @@ class PipelineEngine:
                 retries=retries,
             )
             results.degradation = report
+            if self.events is not None and report.failed:
+                self.events.emit(
+                    "degraded",
+                    failed=list(report.failed_indices),
+                    retries=report.retries,
+                )
             if (
                 checkpoint is not None
                 and report.failed
                 and hasattr(checkpoint, "record_degraded")
             ):
                 checkpoint.record_degraded(report)
+        if self.events is not None:
+            self.events.emit(
+                "map_finish",
+                shards=len(tasks),
+                completed=sum(1 for r in results if r is not None),
+                failed=len(failures),
+            )
         return results
 
     def map_reduce(

@@ -1,0 +1,146 @@
+"""Tests for the STH auditor's metrics/events instrumentation."""
+
+from dataclasses import replace
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.auditor import LogAuditor, make_split_view_log
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.obs import EventLog, MetricsRegistry
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+
+@pytest.fixture()
+def log():
+    return CTLog(name="Obs Log", operator="T", key=log_key("Obs Log", 256))
+
+
+@pytest.fixture()
+def ca256():
+    return CertificateAuthority("Obs CA", key_bits=256)
+
+
+def grow(ca, log, count, start, prefix="g"):
+    for i in range(count):
+        ca.issue(
+            IssuanceRequest((f"{prefix}{i}.example",)), [log],
+            start + timedelta(minutes=i),
+        )
+
+
+def test_clean_polls_record_latency_gauge_and_counters(log, ca256, now):
+    metrics = MetricsRegistry()
+    events = EventLog()
+    auditor = LogAuditor(log, metrics=metrics, events=events)
+    auditor.poll(now)
+    grow(ca256, log, 5, now)
+    auditor.poll(now + timedelta(hours=1))
+    grow(ca256, log, 2, now + timedelta(hours=2))
+    auditor.poll(now + timedelta(hours=3))
+    snap = metrics.snapshot()
+    hist = snap.histograms["auditor.poll_seconds{log=Obs Log}"]
+    assert hist["count"] == 3
+    assert hist["sum"] > 0
+    assert snap.gauges["auditor.tree_size{log=Obs Log}"] == 7
+    assert snap.counters["auditor.sths_verified{log=Obs Log}"] == 3
+    assert snap.counters["auditor.consistency_ok{log=Obs Log}"] == 2
+    assert "auditor.consistency_failed{log=Obs Log}" not in snap.counters
+    polls = [e for e in events.tail(100) if e["kind"] == "auditor_poll"]
+    assert [p["tree_size"] for p in polls] == [0, 5, 7]
+    assert all(p["ok"] for p in polls)
+    assert all(p["log"] == "Obs Log" for p in polls)
+
+
+def test_split_view_bumps_consistency_failed(log, ca256, now):
+    metrics = MetricsRegistry()
+    events = EventLog()
+    grow(ca256, log, 6, now)
+    auditor = LogAuditor(log, metrics=metrics, events=events)
+    auditor.poll(now + timedelta(minutes=30))
+    # Swap the audited log for an equivocating twin mid-stream.
+    auditor._log = make_split_view_log(log, fork_at=4)
+    sth = auditor.poll(now + timedelta(hours=1))
+    assert sth.tree_size == 5
+    snap = metrics.snapshot()
+    assert snap.counters["auditor.consistency_failed{log=Obs Log}"] == 1
+    assert (
+        snap.counters["auditor.findings{kind=inconsistent-history,log=Obs Log}"]
+        == 1
+    )
+    findings = [e for e in events.tail(100) if e["kind"] == "audit_finding"]
+    assert len(findings) == 1
+    assert findings[0]["finding"] == "inconsistent-history"
+    polls = [e for e in events.tail(100) if e["kind"] == "auditor_poll"]
+    assert polls[-1]["ok"] is False
+
+
+def test_shrinking_tree_counts_as_consistency_failure(log, ca256, now):
+    from repro.ct.log import SignedTreeHead
+    from repro.x509 import crypto
+
+    metrics = MetricsRegistry()
+    auditor = LogAuditor(log, metrics=metrics)
+    grow(ca256, log, 4, now)
+    auditor.observe_sth(log.get_sth(now), now)
+    small_root = log.tree.root(2)
+    payload = SignedTreeHead.signed_payload(2, 0, small_root)
+    small = SignedTreeHead(2, 0, small_root, crypto.sign(log.key, payload))
+    auditor.observe_sth(small, now + timedelta(hours=1))
+    snap = metrics.snapshot()
+    assert snap.counters["auditor.consistency_failed{log=Obs Log}"] == 1
+
+
+def test_bad_signature_finding_counted(log, now):
+    metrics = MetricsRegistry()
+    auditor = LogAuditor(log, metrics=metrics)
+    sth = log.get_sth(now)
+    auditor.observe_sth(
+        replace(sth, signature=b"\x00" * len(sth.signature)), now
+    )
+    snap = metrics.snapshot()
+    assert (
+        snap.counters["auditor.findings{kind=bad-sth-signature,log=Obs Log}"]
+        == 1
+    )
+    assert "auditor.sths_verified{log=Obs Log}" not in snap.counters
+
+
+def test_inclusion_audit_counters(log, ca256, now):
+    metrics = MetricsRegistry()
+    auditor = LogAuditor(log, metrics=metrics)
+    pair = ca256.issue(IssuanceRequest(("inc.example",)), [log], now)
+    ok = auditor.audit_sct_inclusion(
+        pair.precertificate, pair.scts[0], ca256.issuer_key_hash, now
+    )
+    assert ok
+    snap = metrics.snapshot()
+    assert snap.counters["auditor.inclusion_ok{log=Obs Log}"] == 1
+    assert "auditor.inclusion_failed{log=Obs Log}" not in snap.counters
+
+
+def test_missing_entry_bumps_inclusion_failed(log, ca256, now):
+    other = CTLog(name="Other", operator="T", key=log.key)
+    metrics = MetricsRegistry()
+    events = EventLog()
+    auditor = LogAuditor(other, metrics=metrics, events=events)
+    pair = ca256.issue(IssuanceRequest(("gone.example",)), [log], now)
+    # SCT verifies (same key) but the entry is not in ``other``.
+    ok = auditor.audit_sct_inclusion(
+        pair.precertificate, pair.scts[0], ca256.issuer_key_hash, now
+    )
+    assert not ok
+    snap = metrics.snapshot()
+    assert snap.counters["auditor.inclusion_failed{log=Other}"] == 1
+    findings = [e for e in events.tail(10) if e["kind"] == "audit_finding"]
+    assert findings and findings[0]["finding"] == "missing-entry"
+
+
+def test_auditor_without_observability_unchanged(log, ca256, now):
+    auditor = LogAuditor(log)
+    auditor.poll(now)
+    grow(ca256, log, 3, now)
+    auditor.poll(now + timedelta(hours=1))
+    assert auditor.report.clean
+    assert auditor.report.sths_verified == 2

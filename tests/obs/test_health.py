@@ -1,0 +1,139 @@
+"""Tests for the per-log SLO verdict engine."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_POLICY,
+    HealthReport,
+    SloPolicy,
+    evaluate_log,
+    evaluate_stats,
+)
+from repro.obs.health import VERDICTS
+
+
+class TestVerdictRules:
+    def test_clean_counters_are_healthy(self):
+        health = evaluate_log("pilot", {"successes": 10, "entries": 42})
+        assert health.verdict == "healthy"
+        assert health.reason == "ok"
+
+    def test_no_traffic_is_healthy(self):
+        assert evaluate_log("idle", {}).verdict == "healthy"
+
+    def test_retries_mean_degraded(self):
+        health = evaluate_log("flaky", {"successes": 10, "retries": 3})
+        assert health.verdict == "degraded"
+        assert "3 retries" in health.reason
+
+    def test_error_ratio_over_budget_is_degraded(self):
+        health = evaluate_log("lossy", {"successes": 8, "errors": 2})
+        assert health.verdict == "degraded"
+        assert "error ratio" in health.reason
+
+    def test_error_ratio_within_budget_is_healthy(self):
+        health = evaluate_log("ok", {"successes": 99, "errors": 1})
+        assert health.verdict == "healthy"
+
+    def test_only_errors_no_successes_counts_ratio_one(self):
+        health = evaluate_log("dead", {"errors": 2})
+        assert health.verdict == "degraded"
+
+    def test_consecutive_failures_mean_failing(self):
+        health = evaluate_log(
+            "down", {"errors": 3, "consecutive_failures": 3}
+        )
+        assert health.verdict == "failing"
+        assert "consecutive" in health.reason
+
+    def test_failing_beats_degraded(self):
+        # A log can match every rule; staleness is the worst signal.
+        health = evaluate_log(
+            "worst",
+            {"successes": 1, "errors": 9, "retries": 5,
+             "consecutive_failures": 9},
+        )
+        assert health.verdict == "failing"
+
+    def test_policy_thresholds_respected(self):
+        policy = SloPolicy(
+            failing_after=10, max_error_ratio=0.5, degraded_retries=100
+        )
+        health = evaluate_log(
+            "tolerant",
+            {"successes": 6, "errors": 4, "retries": 50,
+             "consecutive_failures": 4},
+            policy,
+        )
+        assert health.verdict == "healthy"
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        assert DEFAULT_POLICY.failing_after == 3
+        assert DEFAULT_POLICY.max_error_ratio == pytest.approx(0.1)
+        assert DEFAULT_POLICY.degraded_retries == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failing_after": 0},
+            {"max_error_ratio": -0.1},
+            {"max_error_ratio": 1.5},
+            {"degraded_retries": 0},
+        ],
+    )
+    def test_bad_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SloPolicy(**kwargs)
+
+
+class TestHealthReport:
+    def _report(self):
+        return evaluate_stats(
+            {
+                "pilot": {"successes": 5, "entries": 9},
+                "flaky": {"successes": 5, "retries": 2},
+                "down": {"errors": 4, "consecutive_failures": 4},
+            }
+        )
+
+    def test_overall_is_worst_verdict(self):
+        report = self._report()
+        assert report.overall == "failing"
+        assert report.ok is False
+        assert report.verdicts() == {
+            "pilot": "healthy", "flaky": "degraded", "down": "failing",
+        }
+
+    def test_empty_report_is_healthy(self):
+        report = HealthReport(logs=())
+        assert report.overall == "healthy"
+        assert report.ok is True
+
+    def test_to_dict_is_json_ready_and_sorted(self):
+        payload = self._report().to_dict()
+        assert payload["version"] == 1
+        assert payload["overall"] == "failing"
+        assert list(payload["logs"]) == sorted(payload["logs"])
+        round_trip = json.loads(json.dumps(payload, sort_keys=True))
+        assert round_trip == payload
+        assert round_trip["logs"]["down"]["consecutive_failures"] == 4
+
+    def test_render_table(self):
+        text = self._report().render()
+        lines = text.splitlines()
+        assert lines[0] == "Log health — 3 logs, overall failing"
+        assert "verdict" in lines[1] and "streak" in lines[1]
+        assert any("down" in line and "failing" in line for line in lines)
+        assert any("recovered only after 2 retries" in line for line in lines)
+
+    def test_verdict_order_is_severity_order(self):
+        assert VERDICTS == ("healthy", "degraded", "failing")
+
+
+def test_same_counters_same_report():
+    stats = {"a": {"successes": 3, "retries": 1}}
+    assert evaluate_stats(stats) == evaluate_stats(stats)

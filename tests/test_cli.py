@@ -166,8 +166,93 @@ def test_all_commands_registered():
     assert set(COMMANDS) == {
         "fig1a", "fig1b", "fig1c", "sec2", "fig2", "table1", "sec32",
         "sec33", "sec34", "table2", "sec43", "table3", "table4",
-        "threatintel", "projection",
+        "threatintel", "projection", "status",
     }
+
+
+def test_parser_telemetry_defaults():
+    args = build_parser().parse_args(["fig1a"])
+    assert args.trace_out is None
+    assert args.events_out is None
+    assert args.status_out is None
+
+
+def test_trace_out_writes_span_tree_without_touching_stdout(capsys, tmp_path):
+    args = (
+        "table2", "--scale", "0.0001", "--seed", "5",
+        "--workers", "2", "--shard-size", "1000",
+    )
+    code, baseline = run_cli(capsys, *args)
+    assert code == 0
+    path = tmp_path / "trace.json"
+    code, traced = run_cli(capsys, *args, "--trace-out", str(path))
+    assert code == 0
+    assert traced == baseline  # stdout untouched
+    spans = json.loads(path.read_text())
+    names = [span["name"] for span in spans]
+    assert "cli.table2" in names
+    assert "pipeline.map_reduce" in names
+    assert spans[0]["attrs"]["seed"] == 5
+    # Root span has no parent; children point at ancestors by index.
+    assert spans[0]["parent"] is None
+    assert all(
+        span["parent"] is not None for span in spans if span["depth"] > 0
+    )
+    assert path.read_text().endswith("\n")
+
+
+def test_events_out_writes_live_jsonl(capsys, tmp_path):
+    from repro.obs import read_events, replay_counters
+
+    args = ("table2", "--scale", "0.0001", "--seed", "5")
+    code, baseline = run_cli(capsys, *args)
+    assert code == 0
+    path = tmp_path / "events.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    code, instrumented = run_cli(
+        capsys, *args, "--workers", "2", "--shard-size", "1000",
+        "--events-out", str(path), "--metrics-out", str(metrics_path),
+    )
+    assert code == 0
+    assert instrumented == baseline  # instrumentation changes no bytes
+    events = read_events(path)
+    kinds = [event["kind"] for event in events]
+    assert kinds[0] == "run_start"
+    assert kinds[-1] == "run_finish"
+    assert "map_start" in kinds and "shard_finish" in kinds
+    # Envelope invariants: one run id, gapless seq, schema version 1.
+    assert len({event["run"] for event in events}) == 1
+    assert [event["seq"] for event in events] == list(range(len(events)))
+    assert all(event["v"] == 1 for event in events)
+    # The event stream replays to the snapshot's pipeline counters.
+    snap = MetricsSnapshot.from_json(metrics_path.read_text())
+    replayed = replay_counters(events)
+    for key, value in replayed.items():
+        if key.startswith("pipeline."):
+            assert snap.counters.get(key) == value, key
+
+
+def test_status_renders_verdicts_and_writes_json(capsys, tmp_path):
+    path = tmp_path / "status.json"
+    code, output = run_cli(capsys, "status", "--status-out", str(path))
+    assert code == 0
+    assert "overall failing" in output
+    assert "degraded" in output and "healthy" in output
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert payload["overall"] == "failing"
+    verdicts = {name: log["verdict"] for name, log in payload["logs"].items()}
+    assert verdicts["Symantec log"] == "failing"
+    assert verdicts["DigiCert Log Server"] == "degraded"
+    assert verdicts["Google Pilot log"] == "healthy"
+
+
+def test_status_is_deterministic(capsys):
+    code, first = run_cli(capsys, "status", "--seed", "11")
+    assert code == 0
+    code, second = run_cli(capsys, "status", "--seed", "11")
+    assert code == 0
+    assert second == first
 
 
 def test_sec2_matches_separate_commands(capsys):
