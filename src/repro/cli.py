@@ -330,6 +330,119 @@ def cmd_projection(args) -> str:
     return render_projection(project_adoption(share))
 
 
+def _seeded_ct_log(seed: int, entries: int):
+    """A CT log pre-populated with ``entries`` deterministic precerts."""
+    from datetime import timedelta
+
+    from repro.ct.log import CTLog
+    from repro.util.timeutil import utc_datetime
+    from repro.x509 import crypto
+    from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+    log = CTLog(
+        name="Repro Serve Log",
+        operator="Repro",
+        key=crypto.KeyPair.generate(f"serve-log:{seed}", 256),
+    )
+    ca = CertificateAuthority(name="Serve Seed CA", key_bits=256)
+    start = utc_datetime(2018, 5, 1, 12, 0)
+    for i in range(entries):
+        ca.issue(
+            IssuanceRequest((f"seed{i}.serve.example",)),
+            [log],
+            start + timedelta(seconds=i),
+        )
+    return log
+
+
+def cmd_serve(args) -> str:
+    """Serve a seeded CT log over RFC 6962 HTTP endpoints.
+
+    Boots a :class:`~repro.ct.server.LogServer` on ``--host``/``--port``
+    (port 0 picks an ephemeral port), prints the endpoint URLs
+    immediately, then serves for ``--duration-s`` seconds (0 = until
+    interrupted).  ``--metrics-out``/``--events-out`` attach the
+    observability layer: every request lands in per-endpoint latency
+    histograms, status counters, and ``log_server_request`` events.
+    """
+    import time as _time
+
+    from repro.ct.server import LogServer
+
+    log = _seeded_ct_log(args.seed, args.log_entries)
+    server = LogServer(
+        log,
+        host=args.host,
+        port=args.port,
+        metrics=args.metrics,
+        events=args.events,
+    )
+    server.start()
+    base = server.log_url(log.name)
+    print(f"serving {log.name!r} ({log.size} entries) at {server.url}", flush=True)
+    for endpoint in (
+        "get-sth",
+        "get-entries",
+        "get-proof-by-hash",
+        "get-sth-consistency",
+        "add-pre-chain",
+    ):
+        print(f"  {base}/ct/v1/{endpoint}", flush=True)
+    try:
+        if args.duration_s > 0:
+            _time.sleep(args.duration_s)
+        else:
+            print("press Ctrl-C to stop", flush=True)
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    memo = server.memo_stats()
+    hits = sum(stats["hits"] for stats in memo.values())
+    misses = sum(stats["misses"] for stats in memo.values())
+    return (
+        f"served {log.name!r}: tree size {log.size}, "
+        f"memo hits {hits}, misses {misses}"
+    )
+
+
+def cmd_loadstorm(args) -> str:
+    """Boot a served log and drive a seeded client storm against it.
+
+    Seeds a log with ``--log-entries`` precertificates, serves it on an
+    ephemeral port, expands the ``--browsers``/``--monitors``/
+    ``--submitters`` population into deterministic plans, and runs them
+    concurrently over real sockets with ``--executor`` workers.  Prints
+    the storm report (reads/sec, p50/p99, submissions/sec); with
+    ``--storm-out FILE`` also writes it as JSON.
+    """
+    from repro.ct.server import LogServer
+    from repro.workloads.loadgen import LoadStormConfig, plan_storm, run_storm
+
+    log = _seeded_ct_log(args.seed, args.log_entries)
+    config = LoadStormConfig(
+        seed=args.seed,
+        browsers=args.browsers,
+        monitors=args.monitors,
+        submitters=args.submitters,
+    )
+    plans = plan_storm(config, log)
+    with LogServer(
+        log, host=args.host, metrics=args.metrics, events=args.events
+    ) as server:
+        report = run_storm(
+            plans,
+            server.log_url(log.name),
+            executor=args.executor,
+            workers=args.workers if args.workers > 1 else 8,
+        )
+    if args.storm_out:
+        _write_json_artifact(args.storm_out, report.to_dict())
+    return report.render()
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig1a": cmd_fig1a,
     "fig1b": cmd_fig1b,
@@ -347,6 +460,8 @@ COMMANDS: Dict[str, Callable] = {
     "threatintel": cmd_threatintel,
     "projection": cmd_projection,
     "status": cmd_status,
+    "serve": cmd_serve,
+    "loadstorm": cmd_loadstorm,
 }
 
 
@@ -445,6 +560,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="(status only) also write the health report as JSON to "
         "FILE — the same payload the telemetry server serves at "
         "/health",
+    )
+    server_group = parser.add_argument_group(
+        "log server / load storm options (serve, loadstorm)"
+    )
+    server_group.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for the served log (default 127.0.0.1)",
+    )
+    server_group.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port for `serve` (0 = ephemeral; loadstorm always uses "
+        "an ephemeral port)",
+    )
+    server_group.add_argument(
+        "--duration-s",
+        type=float,
+        default=0.0,
+        help="(serve only) seconds to serve before exiting "
+        "(0 = run until Ctrl-C)",
+    )
+    server_group.add_argument(
+        "--log-entries",
+        type=int,
+        default=32,
+        help="precertificates to seed the served log with (default 32)",
+    )
+    server_group.add_argument(
+        "--browsers",
+        type=int,
+        default=6,
+        help="(loadstorm) SCT-auditing browser clients (default 6)",
+    )
+    server_group.add_argument(
+        "--monitors",
+        type=int,
+        default=2,
+        help="(loadstorm) tailing monitor clients (default 2)",
+    )
+    server_group.add_argument(
+        "--submitters",
+        type=int,
+        default=2,
+        help="(loadstorm) bursty CA submitter clients (default 2)",
+    )
+    server_group.add_argument(
+        "--executor",
+        choices=["thread", "process", "serial"],
+        default="thread",
+        help="(loadstorm) client concurrency mode (default thread)",
+    )
+    server_group.add_argument(
+        "--storm-out",
+        metavar="FILE",
+        default=None,
+        help="(loadstorm) also write the storm report as JSON to FILE",
     )
     return parser
 

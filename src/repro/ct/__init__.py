@@ -14,7 +14,12 @@ Implements the CT machinery the paper measures:
 * :mod:`repro.ct.monitor` — streaming and batch log monitors, the
   mechanism behind Section 6's honeypot observations;
 * :mod:`repro.ct.verification` — embedded-SCT validation by
-  precertificate reconstruction (Section 3.4).
+  precertificate reconstruction (Section 3.4);
+* :mod:`repro.ct.server` — the RFC 6962 HTTP front end
+  (:class:`LogServer`) serving get-sth / get-entries /
+  get-proof-by-hash / get-sth-consistency / add-pre-chain over real
+  sockets, plus the matching :class:`LogClient` and the Merkle-verified
+  :func:`harvest_log` replica builder.
 """
 
 from repro.ct.auditor import AuditFinding, GossipPool, LogAuditor
@@ -30,6 +35,13 @@ from repro.ct.merkle import (
 from repro.ct.monitor import BatchMonitor, LogObservation, StreamingMonitor
 from repro.ct.policy import ChromeCTPolicy, PolicyVerdict
 from repro.ct.sct import SignedCertificateTimestamp, SctChannel
+from repro.ct.server import (
+    HarvestedLog,
+    LogClient,
+    LogClientError,
+    LogServer,
+    harvest_log,
+)
 from repro.ct.verification import SctValidationResult, validate_embedded_scts
 
 __all__ = [
@@ -44,7 +56,12 @@ __all__ = [
     "redact_certificate",
     "redact_name",
     "ChromeCTPolicy",
+    "HarvestedLog",
     "KNOWN_LOGS",
+    "LogClient",
+    "LogClientError",
+    "LogServer",
+    "harvest_log",
     "LogEntry",
     "LogEntryType",
     "LogInfo",

@@ -16,7 +16,7 @@ are the invariants the property-based tests in
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LEAF_PREFIX = b"\x00"
 NODE_PREFIX = b"\x01"
@@ -52,6 +52,15 @@ class MerkleTree:
     def __init__(self) -> None:
         self._leaf_hashes: List[bytes] = []
         self._subtree_cache: Dict[Tuple[int, int], bytes] = {}
+        # Incremental root cache: the root over the first n leaves is
+        # immutable under append, so every computed root is kept.  A
+        # busy served log answers repeated get-sth / proof requests at
+        # one dict lookup instead of re-walking the ragged right edge.
+        self._root_cache: Dict[int, bytes] = {}
+        # Leaf-hash -> first index, maintained on append; this is the
+        # RFC 6962 get-proof-by-hash lookup (first occurrence wins, as
+        # for real logs with duplicate leaves).
+        self._leaf_index: Dict[bytes, int] = {}
 
     def __len__(self) -> int:
         return len(self._leaf_hashes)
@@ -62,13 +71,18 @@ class MerkleTree:
 
     def append(self, leaf: bytes) -> int:
         """Append a leaf; returns its index."""
-        self._leaf_hashes.append(leaf_hash(leaf))
-        return len(self._leaf_hashes) - 1
+        return self.append_leaf_hash(leaf_hash(leaf))
 
     def append_leaf_hash(self, digest: bytes) -> int:
         """Append an already-hashed leaf (for replicating trees)."""
         self._leaf_hashes.append(digest)
-        return len(self._leaf_hashes) - 1
+        index = len(self._leaf_hashes) - 1
+        self._leaf_index.setdefault(digest, index)
+        return index
+
+    def leaf_index(self, digest: bytes) -> Optional[int]:
+        """First index of a leaf *hash*, or ``None`` if absent."""
+        return self._leaf_index.get(digest)
 
     def root(self, tree_size: int = -1) -> bytes:
         """Merkle tree head over the first ``tree_size`` leaves."""
@@ -78,7 +92,12 @@ class MerkleTree:
             raise ValueError("tree_size exceeds current tree")
         if tree_size == 0:
             return EMPTY_TREE_HASH
-        return self._range_hash(0, tree_size)
+        cached = self._root_cache.get(tree_size)
+        if cached is None:
+            cached = self._root_cache[tree_size] = self._range_hash(
+                0, tree_size
+            )
+        return cached
 
     def _range_hash(self, start: int, end: int) -> bytes:
         """Hash of the subtree over leaves [start, end)."""

@@ -1,0 +1,797 @@
+"""RFC 6962 HTTP front end for :class:`~repro.ct.log.CTLog` instances.
+
+Everything the paper measures sits downstream of logs answering
+``get-sth`` / ``get-entries`` to browsers, monitors, and CAs at
+Internet scale.  :class:`LogServer` puts the in-process log object
+behind real sockets: a stdlib-only threaded HTTP server exposing the
+RFC 6962 section 4 endpoints as JSON, over one or more logs.
+
+Routes (one log also answers at the bare prefix)::
+
+    GET  /                                      server index (non-RFC)
+    GET  [/<log-slug>]/ct/v1/get-sth
+    GET  [/<log-slug>]/ct/v1/get-entries?start=&end=
+    GET  [/<log-slug>]/ct/v1/get-proof-by-hash?hash=&tree_size=
+    GET  [/<log-slug>]/ct/v1/get-sth-consistency?first=&second=
+    POST [/<log-slug>]/ct/v1/add-pre-chain
+
+Error mapping: malformed or out-of-range parameters answer 400,
+an over-capacity log answers 429 (the Nimbus overload incident of
+Section 2, now visible to clients), a disqualified log answers 410,
+an unknown log or route 404 — always as well-formed JSON, never a bare
+500.
+
+The serving side carries the speed work the write path needs under
+load: signed tree heads are memoized per tree size (one RSA signature
+per tree growth, not per scrape), inclusion/consistency proofs are
+memoized in a bounded LRU (proofs over a fixed tree size are
+immutable), and the Merkle tree itself caches roots incrementally
+(:class:`repro.ct.merkle.MerkleTree`).
+
+Telemetry: with a :class:`~repro.obs.metrics.MetricsRegistry` /
+:class:`~repro.obs.events.EventLog` attached, every request records a
+per-endpoint latency histogram (``log_server.request_seconds``), a
+per-endpoint/status counter (``log_server.responses``), memo hit/miss
+counters (``log_server.memo_hits`` / ``log_server.memo_misses``), and
+a ``log_server_request`` event — the same obs layer the feed and the
+pipeline already report through.
+
+:class:`LogClient` is the matching stdlib client (used by the load
+generator of :mod:`repro.workloads.loadgen`), and :func:`harvest_log`
+rebuilds a complete, Merkle-verified log replica from the HTTP
+endpoints alone — the parity tests prove a corpus built from such a
+replica is bit-identical to one read from the in-process object.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import re
+import threading
+import time
+from collections import OrderedDict
+from datetime import datetime, timezone
+from http.server import BaseHTTPRequestHandler
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+from urllib.error import HTTPError
+from urllib.parse import parse_qs, quote, urlsplit
+from urllib.request import Request, urlopen
+
+from repro.ct.log import (
+    CTLog,
+    LogDisqualifiedError,
+    LogEntry,
+    LogOverloadedError,
+)
+from repro.ct.merkle import MerkleTree
+from repro.ct.sct import SctEntryType, SignedCertificateTimestamp
+from repro.ct.storage import certificate_from_dict, certificate_to_dict
+from repro.util.httpd import HttpServerHandle
+from repro.util.timeutil import from_timestamp_ms, timestamp_ms
+from repro.x509.certificate import Certificate
+
+#: Hard ceiling on entries returned per get-entries page (RFC 6962
+#: allows serving fewer entries than requested; real logs page too).
+DEFAULT_PAGE_LIMIT = 1024
+
+#: Bound on the per-log proof/page memo (entries, not bytes).
+DEFAULT_MEMO_ENTRIES = 4096
+
+_SLUG_CHARS = re.compile(r"[^a-z0-9]+")
+
+
+def log_slug(name: str) -> str:
+    """URL-safe slug for a log name ("Google Pilot log" -> "google-pilot-log")."""
+    slug = _SLUG_CHARS.sub("-", name.lower()).strip("-")
+    if not slug:
+        raise ValueError(f"log name {name!r} does not slugify")
+    return slug
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"), validate=True)
+
+
+class HttpApiError(Exception):
+    """An error the server answers with a specific HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def entry_to_wire(entry: LogEntry) -> Dict[str, str]:
+    """One get-entries element: RFC-shaped ``leaf_input`` + ``extra_data``.
+
+    ``extra_data`` carries the full certificate record (the same JSON
+    schema :mod:`repro.ct.storage` persists), base64-wrapped, so a
+    harvester can rebuild the exact :class:`~repro.ct.log.LogEntry`.
+    """
+    extra = {
+        "certificate": certificate_to_dict(entry.certificate),
+        "submitted_at": timestamp_ms(entry.submitted_at),
+        "entry_type": int(entry.entry_type),
+        "index": entry.index,
+    }
+    return {
+        "leaf_input": _b64(entry.leaf_input),
+        "extra_data": _b64(
+            json.dumps(extra, separators=(",", ":"), sort_keys=True).encode()
+        ),
+    }
+
+
+def entry_from_wire(element: Mapping[str, str]) -> LogEntry:
+    """Invert :func:`entry_to_wire`."""
+    extra = json.loads(_unb64(element["extra_data"]))
+    return LogEntry(
+        index=extra["index"],
+        submitted_at=from_timestamp_ms(extra["submitted_at"]),
+        entry_type=SctEntryType(extra["entry_type"]),
+        certificate=certificate_from_dict(extra["certificate"]),
+        leaf_input=_unb64(element["leaf_input"]),
+    )
+
+
+class _MemoCache:
+    """A tiny bounded LRU for immutable responses (proofs, pages)."""
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max_entries
+        self._data: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[object]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: object) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
+
+class _ServedLog:
+    """One mounted log: the object, its lock, and its memo caches."""
+
+    def __init__(self, log: CTLog, memo_entries: int) -> None:
+        self.log = log
+        self.slug = log_slug(log.name)
+        # One lock per log: CTLog is not thread-safe, and handler
+        # threads race both reads and add-pre-chain mutations.
+        self.lock = threading.RLock()
+        self.memo = _MemoCache(memo_entries)
+        self._sth_memo: Optional[Tuple[int, Dict[str, object]]] = None
+
+    def sth_body(self, now: datetime) -> Dict[str, object]:
+        """The signed tree head, memoized per tree size.
+
+        One signature per tree growth: a million scrapes between two
+        appends cost one RSA signing operation, exactly like a real
+        log publishing an STH on an interval.
+        """
+        size = self.log.tree.size
+        if self._sth_memo is not None and self._sth_memo[0] == size:
+            self.memo.hits += 1
+            return self._sth_memo[1]
+        self.memo.misses += 1
+        sth = self.log.get_sth(now)
+        body: Dict[str, object] = {
+            "tree_size": sth.tree_size,
+            "timestamp": sth.timestamp_ms,
+            "sha256_root_hash": _b64(sth.root_hash),
+            "tree_head_signature": _b64(sth.signature),
+        }
+        self._sth_memo = (size, body)
+        return body
+
+
+Clock = Callable[[], datetime]
+
+
+def _utc_now() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+class LogServer:
+    """Serve one or more CT logs over HTTP (RFC 6962 section 4).
+
+    Parameters
+    ----------
+    logs:
+        A single :class:`~repro.ct.log.CTLog`, an iterable of logs, or
+        a mapping of them.  Each log mounts at ``/<slug>/ct/v1/...``
+        (see :func:`log_slug`); when exactly one log is served it also
+        answers at the bare ``/ct/v1/...`` prefix.
+    clock:
+        Injectable UTC-now source stamping STHs and submissions
+        (deterministic tests/storms pass a simulated clock).
+    metrics / events:
+        Optional obs sinks for the request-logging middleware; pass
+        ``telemetry_lock`` when the registry is shared with another
+        thread (the registry itself is not thread-safe).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port — the shared
+        :class:`repro.util.httpd.HttpServerHandle` behaviour, identical
+        to :class:`repro.obs.export.TelemetryServer`.
+    """
+
+    def __init__(
+        self,
+        logs: Union[CTLog, Iterable[CTLog], Mapping[str, CTLog]],
+        *,
+        clock: Optional[Clock] = None,
+        metrics: Optional[object] = None,
+        events: Optional[object] = None,
+        telemetry_lock: Optional[threading.Lock] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        page_limit: int = DEFAULT_PAGE_LIMIT,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+    ) -> None:
+        if isinstance(logs, CTLog):
+            log_list: List[CTLog] = [logs]
+        elif isinstance(logs, Mapping):
+            log_list = list(logs.values())
+        else:
+            log_list = list(logs)
+        if not log_list:
+            raise ValueError("LogServer needs at least one log")
+        self._served: "Dict[str, _ServedLog]" = {}
+        for log in log_list:
+            served = _ServedLog(log, memo_entries)
+            if served.slug in self._served:
+                raise ValueError(f"duplicate log slug {served.slug!r}")
+            self._served[served.slug] = served
+        self._single = (
+            next(iter(self._served.values())) if len(self._served) == 1 else None
+        )
+        self._clock = clock if clock is not None else _utc_now
+        self._metrics = metrics
+        self._events = events
+        self._telemetry_lock = telemetry_lock or threading.Lock()
+        self.page_limit = page_limit
+        self._handle = HttpServerHandle(
+            _LogServerHandler,
+            owner=self,
+            host=host,
+            port=port,
+            thread_name="repro-log-server",
+        )
+
+    # -- address / lifecycle (shared handle surface) -------------------------
+
+    @property
+    def host(self) -> str:
+        return self._handle.host
+
+    @property
+    def port(self) -> int:
+        return self._handle.port
+
+    @property
+    def url(self) -> str:
+        return self._handle.url
+
+    def start(self) -> "LogServer":
+        self._handle.start()
+        return self
+
+    def stop(self) -> None:
+        self._handle.stop()
+
+    def __enter__(self) -> "LogServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def log_url(self, name: str) -> str:
+        """Base URL of one served log (``.../<slug>``)."""
+        slug = log_slug(name)
+        if slug not in self._served:
+            raise KeyError(f"no served log named {name!r}")
+        return f"{self.url}/{slug}"
+
+    @property
+    def slugs(self) -> List[str]:
+        return sorted(self._served)
+
+    # -- dispatch (handler threads) ------------------------------------------
+
+    def _resolve(self, path: str) -> Tuple[_ServedLog, str]:
+        """Split a URL path into (served log, endpoint path)."""
+        if path.startswith("/ct/v1/") and self._single is not None:
+            return self._single, path[len("/ct/v1/") :]
+        parts = path.lstrip("/").split("/", 1)
+        if len(parts) == 2 and parts[1].startswith("ct/v1/"):
+            served = self._served.get(parts[0])
+            if served is not None:
+                return served, parts[1][len("ct/v1/") :]
+        raise HttpApiError(404, f"unknown route {path!r}")
+
+    def handle_request(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], str]:
+        """Route one request; returns (status, json body, endpoint label)."""
+        endpoint = "unknown"
+        slug = "-"
+        started = time.perf_counter()
+        try:
+            if path in ("", "/"):
+                endpoint = "index"
+                if method != "GET":
+                    raise HttpApiError(405, "index is GET-only")
+                return self._finish(200, self._index_body(), endpoint, slug, started)
+            served, endpoint = self._resolve(path)
+            slug = served.slug
+            params = parse_qs(query)
+            if endpoint == "add-pre-chain":
+                if method != "POST":
+                    raise HttpApiError(405, "add-pre-chain requires POST")
+                status, payload = self._add_pre_chain(served, body)
+            elif method != "GET":
+                raise HttpApiError(405, f"{endpoint} requires GET")
+            elif endpoint == "get-sth":
+                status, payload = self._get_sth(served)
+            elif endpoint == "get-entries":
+                status, payload = self._get_entries(served, params)
+            elif endpoint == "get-proof-by-hash":
+                status, payload = self._get_proof_by_hash(served, params)
+            elif endpoint == "get-sth-consistency":
+                status, payload = self._get_consistency(served, params)
+            else:
+                raise HttpApiError(404, f"unknown endpoint {endpoint!r}")
+            return self._finish(status, payload, endpoint, slug, started)
+        except HttpApiError as exc:
+            return self._finish(
+                exc.status,
+                {"error": exc.message, "code": exc.status},
+                endpoint,
+                slug,
+                started,
+            )
+        except LogOverloadedError as exc:
+            return self._finish(
+                429, {"error": str(exc), "code": 429}, endpoint, slug, started
+            )
+        except LogDisqualifiedError as exc:
+            return self._finish(
+                410, {"error": str(exc), "code": 410}, endpoint, slug, started
+            )
+        except Exception as exc:  # defensive: never a bare 500 page
+            return self._finish(
+                500,
+                {"error": f"internal error: {exc!r}", "code": 500},
+                endpoint,
+                slug,
+                started,
+            )
+
+    def _finish(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        endpoint: str,
+        slug: str,
+        started: float,
+    ) -> Tuple[int, Dict[str, object], str]:
+        """Request-logging middleware: histogram + counter + event."""
+        duration = time.perf_counter() - started
+        if self._metrics is not None:
+            with self._telemetry_lock:
+                self._metrics.observe(
+                    "log_server.request_seconds", duration, endpoint=endpoint
+                )
+                self._metrics.inc(
+                    "log_server.responses", endpoint=endpoint, status=status
+                )
+        if self._events is not None:
+            self._events.emit(
+                "log_server_request",
+                endpoint=endpoint,
+                status=status,
+                log=slug,
+                duration_ms=round(duration * 1e3, 3),
+            )
+        return status, payload, endpoint
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _index_body(self) -> Dict[str, object]:
+        logs = []
+        for slug in sorted(self._served):
+            served = self._served[slug]
+            with served.lock:
+                logs.append(
+                    {
+                        "slug": slug,
+                        "name": served.log.name,
+                        "operator": served.log.operator,
+                        "tree_size": served.log.tree.size,
+                        "disqualified": served.log.disqualified,
+                        "url": f"/{slug}",
+                    }
+                )
+        return {"logs": logs}
+
+    def _get_sth(self, served: _ServedLog) -> Tuple[int, Dict[str, object]]:
+        with served.lock:
+            return 200, served.sth_body(self._clock())
+
+    @staticmethod
+    def _int_param(params: Mapping[str, List[str]], name: str) -> int:
+        values = params.get(name)
+        if not values:
+            raise HttpApiError(400, f"missing parameter {name!r}")
+        try:
+            return int(values[0])
+        except ValueError:
+            raise HttpApiError(
+                400, f"parameter {name!r} must be an integer, got {values[0]!r}"
+            ) from None
+
+    def _get_entries(
+        self, served: _ServedLog, params: Mapping[str, List[str]]
+    ) -> Tuple[int, Dict[str, object]]:
+        start = self._int_param(params, "start")
+        end = self._int_param(params, "end")
+        if start < 0 or end < start:
+            raise HttpApiError(
+                400, f"invalid range: start={start} end={end}"
+            )
+        with served.lock:
+            size = served.log.tree.size
+            if size == 0:
+                raise HttpApiError(400, "log is empty")
+            if start >= size:
+                raise HttpApiError(
+                    400, f"start={start} beyond tree_size={size}"
+                )
+            # RFC 6962 lets the log return fewer entries than asked:
+            # clamp the tail and page down to the serving limit.
+            end = min(end, size - 1, start + self.page_limit - 1)
+            key = ("entries", start, end)
+            cached = served.memo.get(key)
+            if cached is None:
+                cached = {
+                    "entries": [
+                        entry_to_wire(entry)
+                        for entry in served.log.get_entries(start, end)
+                    ]
+                }
+                served.memo.put(key, cached)
+            return 200, cached  # type: ignore[return-value]
+
+    def _get_proof_by_hash(
+        self, served: _ServedLog, params: Mapping[str, List[str]]
+    ) -> Tuple[int, Dict[str, object]]:
+        tree_size = self._int_param(params, "tree_size")
+        hashes = params.get("hash")
+        if not hashes:
+            raise HttpApiError(400, "missing parameter 'hash'")
+        try:
+            digest = _unb64(hashes[0])
+        except Exception:
+            raise HttpApiError(400, "parameter 'hash' is not valid base64") from None
+        with served.lock:
+            size = served.log.tree.size
+            if not 0 < tree_size <= size:
+                raise HttpApiError(
+                    400, f"tree_size={tree_size} outside (0, {size}]"
+                )
+            index = served.log.tree.leaf_index(digest)
+            if index is None:
+                raise HttpApiError(404, "leaf hash not found in this log")
+            if index >= tree_size:
+                raise HttpApiError(
+                    400,
+                    f"leaf index {index} not included in tree_size={tree_size}",
+                )
+            key = ("incl", digest, tree_size)
+            cached = served.memo.get(key)
+            if cached is None:
+                proof = served.log.get_proof_by_hash(index, tree_size)
+                cached = {
+                    "leaf_index": index,
+                    "audit_path": [_b64(node) for node in proof],
+                }
+                served.memo.put(key, cached)
+            return 200, cached  # type: ignore[return-value]
+
+    def _get_consistency(
+        self, served: _ServedLog, params: Mapping[str, List[str]]
+    ) -> Tuple[int, Dict[str, object]]:
+        first = self._int_param(params, "first")
+        second = self._int_param(params, "second")
+        with served.lock:
+            size = served.log.tree.size
+            if not 0 <= first <= second <= size:
+                raise HttpApiError(
+                    400,
+                    f"require 0 <= first <= second <= tree_size, got "
+                    f"first={first} second={second} tree_size={size}",
+                )
+            key = ("cons", first, second)
+            cached = served.memo.get(key)
+            if cached is None:
+                proof = served.log.get_consistency(first, second)
+                cached = {"consistency": [_b64(node) for node in proof]}
+                served.memo.put(key, cached)
+            return 200, cached  # type: ignore[return-value]
+
+    def _add_pre_chain(
+        self, served: _ServedLog, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise HttpApiError(400, "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise HttpApiError(400, "request body must be a JSON object")
+        chain = payload.get("chain")
+        if not isinstance(chain, list) or not chain:
+            raise HttpApiError(400, "body needs a non-empty 'chain' list")
+        if "issuer_key_hash" not in payload:
+            raise HttpApiError(400, "body needs 'issuer_key_hash'")
+        try:
+            precert = certificate_from_dict(chain[0])
+            issuer_key_hash = _unb64(payload["issuer_key_hash"])
+        except HttpApiError:
+            raise
+        except Exception as exc:
+            raise HttpApiError(400, f"malformed chain: {exc}") from None
+        with served.lock:
+            try:
+                sct = served.log.add_pre_chain(
+                    precert, issuer_key_hash, self._clock()
+                )
+            except ValueError as exc:
+                raise HttpApiError(400, str(exc)) from None
+        return 200, {
+            "sct_version": 0,
+            "id": _b64(sct.log_id),
+            "timestamp": sct.timestamp_ms,
+            "extensions": _b64(sct.extensions),
+            "signature": _b64(sct.signature),
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    def memo_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-log memo hit/miss counters (STH memo included)."""
+        return {
+            slug: {"hits": served.memo.hits, "misses": served.memo.misses}
+            for slug, served in sorted(self._served.items())
+        }
+
+
+class _LogServerHandler(BaseHTTPRequestHandler):
+    server_version = "repro-ct-log/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args: object) -> None:  # middleware logs instead
+        pass
+
+    def _dispatch(self, method: str) -> None:
+        owner: LogServer = self.server.owner  # type: ignore[attr-defined]
+        parts = urlsplit(self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, payload, _ = owner.handle_request(
+            method, parts.path, parts.query, body
+        )
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+# -- client side --------------------------------------------------------------
+
+
+class LogClientError(RuntimeError):
+    """A non-2xx answer from a log endpoint."""
+
+    def __init__(self, status: int, body: Mapping[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = dict(body)
+
+
+class LogClient:
+    """Minimal stdlib client for one served log.
+
+    ``base_url`` is the log's mount point — ``server.log_url(name)``,
+    or the server URL itself for a single-log server.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(
+        self,
+        endpoint: str,
+        params: Optional[Mapping[str, object]] = None,
+        post_body: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        url = f"{self.base_url}/ct/v1/{endpoint}"
+        if params:
+            query = "&".join(
+                f"{key}={_quote(str(value))}" for key, value in params.items()
+            )
+            url = f"{url}?{query}"
+        data = None
+        headers = {}
+        if post_body is not None:
+            data = json.dumps(post_body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(url, data=data, headers=headers)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                body = {"error": f"HTTP {exc.code}"}
+            raise LogClientError(exc.code, body) from None
+
+    # -- RFC 6962 calls ------------------------------------------------------
+
+    def get_sth(self) -> Dict[str, object]:
+        return self._call("get-sth")
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        body = self._call("get-entries", {"start": start, "end": end})
+        return [entry_from_wire(element) for element in body["entries"]]
+
+    def get_proof_by_hash(
+        self, digest: bytes, tree_size: int
+    ) -> Tuple[int, List[bytes]]:
+        body = self._call(
+            "get-proof-by-hash",
+            {"hash": _b64(digest), "tree_size": tree_size},
+        )
+        return (
+            int(body["leaf_index"]),
+            [_unb64(node) for node in body["audit_path"]],
+        )
+
+    def get_sth_consistency(self, first: int, second: int) -> List[bytes]:
+        body = self._call(
+            "get-sth-consistency", {"first": first, "second": second}
+        )
+        return [_unb64(node) for node in body["consistency"]]
+
+    def add_pre_chain(
+        self, precert: Certificate, issuer_key_hash: bytes
+    ) -> SignedCertificateTimestamp:
+        body = self._call(
+            "add-pre-chain",
+            post_body={
+                "chain": [certificate_to_dict(precert)],
+                "issuer_key_hash": _b64(issuer_key_hash),
+            },
+        )
+        return SignedCertificateTimestamp(
+            log_id=_unb64(body["id"]),
+            timestamp_ms=int(body["timestamp"]),
+            entry_type=SctEntryType.PRECERT_ENTRY,
+            signature=_unb64(body["signature"]),
+            extensions=_unb64(body["extensions"]),
+        )
+
+
+class HarvestedLog:
+    """A log replica rebuilt purely from HTTP responses.
+
+    Duck-type compatible with :class:`~repro.ct.log.CTLog` where it
+    matters downstream: ``name`` / ``operator`` / ``entries`` /
+    ``tree``, which is all :func:`repro.ct.storage.dump_log` and
+    :meth:`repro.dataset.CertCorpus.from_logs` touch.
+    """
+
+    def __init__(self, name: str, operator: str) -> None:
+        self.name = name
+        self.operator = operator
+        self.entries: List[LogEntry] = []
+        self.tree = MerkleTree()
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+
+class HarvestMismatchError(RuntimeError):
+    """The harvested entries do not reproduce the served tree head."""
+
+
+def harvest_log(
+    client: LogClient,
+    *,
+    name: str = "",
+    operator: str = "",
+    page_size: int = 256,
+) -> HarvestedLog:
+    """Rebuild a complete log replica over HTTP and verify it.
+
+    Pages ``get-entries`` from 0 to the ``get-sth`` tree size, rebuilds
+    the Merkle tree from the returned ``leaf_input`` bytes, and
+    requires the rebuilt root to equal the served
+    ``sha256_root_hash`` — a truncated or tampered harvest raises
+    :class:`HarvestMismatchError`.
+    """
+    sth = client.get_sth()
+    size = int(sth["tree_size"])
+    replica = HarvestedLog(name, operator)
+    index = 0
+    while index < size:
+        page = client.get_entries(index, min(index + page_size - 1, size - 1))
+        if not page:
+            raise HarvestMismatchError(
+                f"empty get-entries page at index {index}"
+            )
+        for entry in page:
+            replica.tree.append(entry.leaf_input)
+            replica.entries.append(entry)
+        index += len(page)
+    if replica.tree.size != size:
+        raise HarvestMismatchError(
+            f"harvested {replica.tree.size} entries, STH says {size}"
+        )
+    if size and replica.tree.root() != _unb64(str(sth["sha256_root_hash"])):
+        raise HarvestMismatchError(
+            "rebuilt Merkle root does not match the served STH"
+        )
+    return replica
+
+
+def _quote(value: str) -> str:
+    return quote(value, safe="")
+
+
+__all__ = [
+    "DEFAULT_PAGE_LIMIT",
+    "HarvestMismatchError",
+    "HarvestedLog",
+    "HttpApiError",
+    "LogClient",
+    "LogClientError",
+    "LogServer",
+    "entry_from_wire",
+    "entry_to_wire",
+    "harvest_log",
+    "log_slug",
+]

@@ -77,6 +77,7 @@ EVENT_KINDS = (
     "auditor_poll",
     "audit_finding",
     "metrics_flush",
+    "log_server_request",
 )
 
 

@@ -24,8 +24,7 @@ from __future__ import annotations
 
 import json
 import re
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -39,6 +38,7 @@ from typing import (
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.metrics import MetricsSnapshot, Number
+from repro.util.httpd import HttpServerHandle
 
 if TYPE_CHECKING:
     from repro.obs.events import EventLog
@@ -203,6 +203,9 @@ class TelemetryServer:
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`;
     requests are served on daemon threads and never block the loop.
+    The bind/serve/shutdown lifecycle (and the ephemeral-port
+    behaviour) is the shared :class:`repro.util.httpd.HttpServerHandle`
+    — the same helper behind :class:`repro.ct.server.LogServer`.
     """
 
     def __init__(
@@ -219,41 +222,32 @@ class TelemetryServer:
         self._health_source = health_source
         self._events = events
         self._prefix = prefix
-        self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
-        self._httpd.daemon_threads = True
-        self._httpd.telemetry = self  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
+        self._handle = HttpServerHandle(
+            _TelemetryHandler,
+            owner=self,
+            host=host,
+            port=port,
+            thread_name="repro-telemetry",
+        )
 
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        return self._handle.host
 
     @property
     def port(self) -> int:
-        return self._httpd.server_address[1]
+        return self._handle.port
 
     @property
     def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+        return self._handle.url
 
     def start(self) -> "TelemetryServer":
-        if self._thread is not None:
-            raise RuntimeError("telemetry server already started")
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-telemetry",
-            daemon=True,
-        )
-        self._thread.start()
+        self._handle.start()
         return self
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._httpd.shutdown()
-        self._thread.join()
-        self._httpd.server_close()
-        self._thread = None
+        self._handle.stop()
 
     def __enter__(self) -> "TelemetryServer":
         return self.start()
@@ -300,7 +294,7 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         pass
 
     def do_GET(self) -> None:
-        telemetry: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        telemetry: TelemetryServer = self.server.owner  # type: ignore[attr-defined]
         parts = urlsplit(self.path)
         try:
             if parts.path == "/metrics":

@@ -17,7 +17,10 @@ the numbers the paper reports (see DESIGN.md, "Reproduction strategy").
 * :mod:`repro.workloads.wordlists` — synthetic subbrute/dnsrecon lists;
 * :mod:`repro.workloads.sonar` — a Sonar-FDNS-like dataset;
 * :mod:`repro.workloads.phishing` — phishing/legitimate/benign domains
-  (Table 3, Section 5).
+  (Table 3, Section 5);
+* :mod:`repro.workloads.loadgen` — seeded client storms (browsers,
+  monitors, bursty submitters) driven over real sockets against a
+  served log (:class:`repro.ct.server.LogServer`).
 """
 
 from repro.workloads.ca_profiles import (
@@ -28,6 +31,14 @@ from repro.workloads.ca_profiles import (
 from repro.workloads.domains import DomainCorpus, DomainWorkload
 from repro.workloads.hosting import HostingPopulation, HostingWorkload
 from repro.workloads.incidents import IncidentCorpus, MisissuanceWorkload
+from repro.workloads.loadgen import (
+    ClientPlan,
+    LoadStormConfig,
+    LoadStormReport,
+    StormOp,
+    plan_storm,
+    run_storm,
+)
 from repro.workloads.phishing import PhishingCorpus, PhishingWorkload
 from repro.workloads.sonar import SonarDataset, SonarWorkload
 from repro.workloads.traffic import SiteGroup, UplinkTrafficWorkload
@@ -36,11 +47,14 @@ from repro.workloads.wordlists import dnsrecon_wordlist, subbrute_wordlist
 __all__ = [
     "CaLoggingWorkload",
     "CaProfile",
+    "ClientPlan",
     "DomainCorpus",
     "DomainWorkload",
     "HostingPopulation",
     "HostingWorkload",
     "IncidentCorpus",
+    "LoadStormConfig",
+    "LoadStormReport",
     "MisissuanceWorkload",
     "PAPER_CA_PROFILES",
     "PhishingCorpus",
@@ -48,7 +62,10 @@ __all__ = [
     "SiteGroup",
     "SonarDataset",
     "SonarWorkload",
+    "StormOp",
     "UplinkTrafficWorkload",
     "dnsrecon_wordlist",
+    "plan_storm",
+    "run_storm",
     "subbrute_wordlist",
 ]

@@ -1,0 +1,456 @@
+"""Seeded load storms against a served CT log.
+
+The paper's vantage points — browsers validating SCTs, monitors
+tailing ``get-entries``, CAs submitting precertificates in bursts —
+are all *clients* of log HTTP endpoints.  This module builds that
+client population deterministically and drives a
+:class:`repro.ct.server.LogServer` over real sockets:
+
+* the **plan** is fully seeded: :func:`plan_storm` expands a
+  :class:`LoadStormConfig` against a pre-seeded log into per-client
+  operation lists (which leaf a browser audits, which pages a monitor
+  tails, which precertificates a CA submits) — two calls with the same
+  seed produce identical plans, byte for byte;
+* the **execution** is real concurrency: every client plan runs in a
+  worker (thread pool by default, process pool under
+  ``executor="process"`` — the same two modes the pipeline engine's
+  ``REPRO_EXECUTOR`` matrix exercises) issuing genuine HTTP requests
+  through :class:`repro.ct.server.LogClient`;
+* the **verification** is cryptographic, not cosmetic: browsers check
+  the returned audit paths against the seeded tree root, monitors
+  check consistency proofs between tree heads, submitters check the
+  returned SCT signatures.
+
+:func:`run_storm` returns a :class:`LoadStormReport` with sustained
+submissions/sec, read p50/p99 latency, per-endpoint status counts, and
+verification tallies — the numbers the ``repro loadstorm`` CLI prints
+and the server benchmark gates.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ct.log import CTLog
+from repro.ct.merkle import (
+    leaf_hash,
+    verify_consistency_proof,
+    verify_inclusion_proof,
+)
+from repro.ct.server import LogClient, LogClientError
+from repro.ct.storage import certificate_to_dict
+from repro.util.rng import SeededRng
+from repro.util.stats import percentile
+from repro.util.timeutil import utc_datetime
+from repro.x509 import crypto
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+#: Executor modes for the client population (mirrors the pipeline).
+STORM_EXECUTORS = ("thread", "process", "serial")
+
+#: Op kinds that count as *reads* for the latency percentiles.
+READ_OPS = ("get_sth", "get_entries", "get_proof_by_hash", "get_sth_consistency")
+
+
+@dataclass(frozen=True)
+class StormOp:
+    """One planned client operation; all fields picklable primitives."""
+
+    kind: str
+    start: int = 0
+    end: int = 0
+    first: int = 0
+    second: int = 0
+    leaf: bytes = b""
+    tree_size: int = 0
+    expected_root: bytes = b""
+    old_root: bytes = b""
+    chain: Tuple[Dict, ...] = ()
+    issuer_key_hash: bytes = b""
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """One client's seeded request sequence."""
+
+    kind: str  # "browser" | "monitor" | "submitter"
+    name: str
+    ops: Tuple[StormOp, ...]
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for op in self.ops if op.kind in READ_OPS)
+
+    @property
+    def submissions(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "add_pre_chain")
+
+
+@dataclass(frozen=True)
+class LoadStormConfig:
+    """Shape of the storm population (all rates are per client)."""
+
+    seed: int = 2018
+    browsers: int = 6
+    monitors: int = 2
+    submitters: int = 2
+    audits_per_browser: int = 8
+    pages_per_monitor: int = 6
+    page_size: int = 16
+    submissions_per_submitter: int = 10
+    #: Wall-clock budget per HTTP call before a client gives up.
+    timeout_s: float = 30.0
+
+    @property
+    def clients(self) -> int:
+        return self.browsers + self.monitors + self.submitters
+
+    @property
+    def planned_submissions(self) -> int:
+        return self.submitters * self.submissions_per_submitter
+
+
+def plan_storm(
+    config: LoadStormConfig,
+    log: CTLog,
+    *,
+    submission_day: Optional[datetime] = None,
+) -> List[ClientPlan]:
+    """Expand a config into deterministic per-client op sequences.
+
+    ``log`` is the (already seeded, not yet served) log the storm will
+    hit: browsers audit leaves that exist *now*, monitors tail the
+    seeded range, submitters carry freshly built precertificates for
+    names derived from the seed.  The log object is only read here —
+    submissions happen over HTTP at execution time.
+    """
+    if log.size == 0:
+        raise ValueError("plan_storm needs a log seeded with entries")
+    rng = SeededRng(config.seed, "loadstorm")
+    seed_size = log.tree.size
+    seed_root = log.tree.root()
+    plans: List[ClientPlan] = []
+
+    for b in range(config.browsers):
+        browser_rng = rng.fork(f"browser:{b}")
+        ops: List[StormOp] = [StormOp(kind="get_sth")]
+        for _ in range(config.audits_per_browser):
+            entry = log.entries[browser_rng.randrange(seed_size)]
+            ops.append(
+                StormOp(
+                    kind="get_proof_by_hash",
+                    leaf=entry.leaf_input,
+                    tree_size=seed_size,
+                    expected_root=seed_root,
+                )
+            )
+        plans.append(ClientPlan("browser", f"browser-{b}", tuple(ops)))
+
+    for m in range(config.monitors):
+        monitor_rng = rng.fork(f"monitor:{m}")
+        cursor = monitor_rng.randrange(max(1, seed_size // 2))
+        ops = [StormOp(kind="get_sth")]
+        old_size = max(1, cursor)
+        for _ in range(config.pages_per_monitor):
+            if cursor >= seed_size:
+                cursor = 0  # wrap: monitors re-tail from the start
+            ops.append(
+                StormOp(
+                    kind="get_entries",
+                    start=cursor,
+                    end=cursor + config.page_size - 1,
+                )
+            )
+            cursor += config.page_size
+        ops.append(
+            StormOp(
+                kind="get_sth_consistency",
+                first=old_size,
+                second=seed_size,
+                old_root=log.tree.root(old_size),
+                expected_root=seed_root,
+                tree_size=seed_size,
+            )
+        )
+        plans.append(ClientPlan("monitor", f"monitor-{m}", tuple(ops)))
+
+    when = submission_day or utc_datetime(2018, 5, 2, 9, 0)
+    for s in range(config.submitters):
+        submitter_rng = rng.fork(f"submitter:{s}")
+        ca = CertificateAuthority(f"Storm CA {config.seed}-{s}", key_bits=256)
+        scratch = CTLog(
+            name=f"storm-scratch-{s}",
+            operator="storm",
+            key=crypto.KeyPair.generate(f"storm-scratch:{config.seed}:{s}", 256),
+        )
+        ops = []
+        for n in range(config.submissions_per_submitter):
+            name = (
+                f"burst{n}.{submitter_rng.token(8)}.storm-{config.seed}.example"
+            )
+            pair = ca.issue(
+                IssuanceRequest((name, f"www.{name}")),
+                [scratch],
+                when + timedelta(seconds=n),
+            )
+            assert pair.precertificate is not None
+            ops.append(
+                StormOp(
+                    kind="add_pre_chain",
+                    chain=(certificate_to_dict(pair.precertificate),),
+                    issuer_key_hash=ca.issuer_key_hash,
+                )
+            )
+        plans.append(ClientPlan("submitter", f"submitter-{s}", tuple(ops)))
+
+    return plans
+
+
+@dataclass
+class OpResult:
+    """Outcome of one executed operation."""
+
+    kind: str
+    status: int
+    seconds: float
+    verified: Optional[bool] = None
+
+
+@dataclass
+class ClientResult:
+    """Everything one client observed during the storm."""
+
+    kind: str
+    name: str
+    ops: List[OpResult] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+
+def _execute_plan(
+    base_url: str, plan: ClientPlan, timeout_s: float
+) -> ClientResult:
+    """Run one client's ops over HTTP (module-level: process-picklable)."""
+    from repro.ct.storage import certificate_from_dict
+
+    client = LogClient(base_url, timeout=timeout_s)
+    result = ClientResult(plan.kind, plan.name)
+    for op in plan.ops:
+        started = time.perf_counter()
+        status = 200
+        verified: Optional[bool] = None
+        try:
+            if op.kind == "get_sth":
+                body = client.get_sth()
+                verified = int(body["tree_size"]) >= 0
+            elif op.kind == "get_entries":
+                entries = client.get_entries(op.start, op.end)
+                verified = len(entries) > 0
+            elif op.kind == "get_proof_by_hash":
+                index, path = client.get_proof_by_hash(
+                    leaf_hash(op.leaf), op.tree_size
+                )
+                verified = verify_inclusion_proof(
+                    op.leaf, index, op.tree_size, path, op.expected_root
+                )
+            elif op.kind == "get_sth_consistency":
+                proof = client.get_sth_consistency(op.first, op.second)
+                verified = verify_consistency_proof(
+                    op.first, op.second, op.old_root, op.expected_root, proof
+                )
+            elif op.kind == "add_pre_chain":
+                precert = certificate_from_dict(dict(op.chain[0]))
+                sct = client.add_pre_chain(precert, op.issuer_key_hash)
+                verified = sct.timestamp_ms > 0 and len(sct.signature) > 0
+            else:  # pragma: no cover - plan builder controls kinds
+                raise ValueError(f"unknown op kind {op.kind!r}")
+        except LogClientError as exc:
+            status = exc.status
+        except Exception as exc:  # socket errors, timeouts
+            status = -1
+            result.errors.append(f"{op.kind}: {exc!r}")
+        result.ops.append(
+            OpResult(op.kind, status, time.perf_counter() - started, verified)
+        )
+    return result
+
+
+@dataclass
+class LoadStormReport:
+    """Aggregated storm outcome (the benchmark's gated numbers)."""
+
+    wall_seconds: float
+    executor: str
+    workers: int
+    clients: int
+    results: List[ClientResult]
+
+    # -- aggregates ----------------------------------------------------------
+
+    def _ops(self, *kinds: str) -> List[OpResult]:
+        wanted = kinds or None
+        out: List[OpResult] = []
+        for result in self.results:
+            for op in result.ops:
+                if wanted is None or op.kind in wanted:
+                    out.append(op)
+        return out
+
+    @property
+    def read_latencies(self) -> List[float]:
+        return sorted(
+            op.seconds for op in self._ops(*READ_OPS) if op.status == 200
+        )
+
+    @property
+    def read_p50(self) -> float:
+        lats = self.read_latencies
+        return percentile(lats, 50) if lats else 0.0
+
+    @property
+    def read_p99(self) -> float:
+        lats = self.read_latencies
+        return percentile(lats, 99) if lats else 0.0
+
+    @property
+    def submissions_ok(self) -> int:
+        return sum(
+            1 for op in self._ops("add_pre_chain") if op.status == 200
+        )
+
+    @property
+    def submissions_rejected(self) -> int:
+        return sum(
+            1 for op in self._ops("add_pre_chain") if op.status == 429
+        )
+
+    @property
+    def submissions_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.submissions_ok / self.wall_seconds
+
+    @property
+    def reads_ok(self) -> int:
+        return sum(1 for op in self._ops(*READ_OPS) if op.status == 200)
+
+    @property
+    def reads_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.reads_ok / self.wall_seconds
+
+    @property
+    def verified_ok(self) -> int:
+        return sum(1 for op in self._ops() if op.verified is True)
+
+    @property
+    def verification_failures(self) -> int:
+        return sum(
+            1
+            for op in self._ops()
+            if op.status == 200 and op.verified is False
+        )
+
+    @property
+    def transport_errors(self) -> int:
+        return sum(1 for op in self._ops() if op.status == -1)
+
+    def status_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for op in self._ops():
+            counts[op.status] = counts.get(op.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "executor": self.executor,
+            "workers": self.workers,
+            "clients": self.clients,
+            "wall_seconds": self.wall_seconds,
+            "reads_ok": self.reads_ok,
+            "reads_per_sec": self.reads_per_sec,
+            "read_p50_s": self.read_p50,
+            "read_p99_s": self.read_p99,
+            "submissions_ok": self.submissions_ok,
+            "submissions_rejected": self.submissions_rejected,
+            "submissions_per_sec": self.submissions_per_sec,
+            "verified_ok": self.verified_ok,
+            "verification_failures": self.verification_failures,
+            "transport_errors": self.transport_errors,
+            "status_counts": {
+                str(status): count
+                for status, count in self.status_counts().items()
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Load storm — {self.clients} clients over {self.executor} "
+            f"pool ({self.workers} workers), {self.wall_seconds:.2f}s wall",
+            f"  reads        {self.reads_ok:6d} ok   "
+            f"{self.reads_per_sec:8.1f}/s   "
+            f"p50 {self.read_p50 * 1e3:7.2f} ms   "
+            f"p99 {self.read_p99 * 1e3:7.2f} ms",
+            f"  submissions  {self.submissions_ok:6d} ok   "
+            f"{self.submissions_per_sec:8.1f}/s   "
+            f"{self.submissions_rejected} rejected (429)",
+            f"  verification {self.verified_ok:6d} ok   "
+            f"{self.verification_failures} failed   "
+            f"{self.transport_errors} transport errors",
+            "  statuses     "
+            + "  ".join(
+                f"{status}:{count}"
+                for status, count in self.status_counts().items()
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_storm(
+    plans: Sequence[ClientPlan],
+    base_url: str,
+    *,
+    executor: str = "thread",
+    workers: int = 8,
+    timeout_s: float = 30.0,
+) -> LoadStormReport:
+    """Execute every client plan against a served log, concurrently.
+
+    ``executor="thread"`` runs clients on a thread pool (cheap,
+    default), ``"process"`` on a process pool (real parallel clients —
+    plans are picklable by construction), ``"serial"`` in-line (for
+    debugging).  Requests inside one client stay ordered; across
+    clients everything races, exactly like the real population.
+    """
+    if executor not in STORM_EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {STORM_EXECUTORS}, got {executor!r}"
+        )
+    started = time.perf_counter()
+    if executor == "serial" or workers <= 1 or len(plans) <= 1:
+        results = [
+            _execute_plan(base_url, plan, timeout_s) for plan in plans
+        ]
+    else:
+        pool_cls = (
+            ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=min(workers, len(plans))) as pool:
+            futures = [
+                pool.submit(_execute_plan, base_url, plan, timeout_s)
+                for plan in plans
+            ]
+            results = [future.result() for future in futures]
+    wall = time.perf_counter() - started
+    return LoadStormReport(
+        wall_seconds=wall,
+        executor=executor,
+        workers=workers,
+        clients=len(plans),
+        results=results,
+    )

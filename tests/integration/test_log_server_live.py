@@ -1,0 +1,223 @@
+"""Live LogServer: real sockets, harvest parity, storm bursts.
+
+The acceptance bar for the served-log layer: all five RFC 6962
+endpoints answer over genuine HTTP (including a 400 and a 429 on the
+wire, never a bare 500 page), a corpus harvested purely through the
+HTTP API is bit-identical to one read from the in-process
+:class:`~repro.ct.log.CTLog`, and a seeded load-storm burst completes
+cleanly under both executor modes of CI's matrix.
+"""
+
+import base64
+import json
+import os
+import urllib.error
+import urllib.request
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.ct.merkle import leaf_hash, verify_inclusion_proof
+from repro.ct.server import (
+    HarvestedLog,
+    HarvestMismatchError,
+    LogClient,
+    LogClientError,
+    LogServer,
+    harvest_log,
+)
+from repro.ct.storage import dump_log
+from repro.dataset import CertCorpus
+from repro.obs import EventLog, MetricsRegistry
+from repro.util.timeutil import utc_datetime
+from repro.workloads.loadgen import LoadStormConfig, plan_storm, run_storm
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 10, 0)
+
+# CI's log-server-smoke job pins one executor per matrix leg via
+# REPRO_EXECUTOR; locally both run.
+EXECUTORS = (
+    [os.environ["REPRO_EXECUTOR"]]
+    if os.environ.get("REPRO_EXECUTOR")
+    else ["process", "thread"]
+)
+
+
+def _build_log(name="Live Served Log", entries=12, **kwargs):
+    log = CTLog(name=name, operator="Live", key=log_key(name, 256), **kwargs)
+    ca = CertificateAuthority("Live Serve CA", key_bits=256)
+    for i in range(entries):
+        ca.issue(
+            IssuanceRequest(
+                (f"live{i}.example", f"www.live{i}.example")
+            ),
+            [log],
+            NOW + timedelta(seconds=i),
+        )
+    return log
+
+
+def _precerts(count, tag):
+    ca = CertificateAuthority(f"Live Submit CA {tag}", key_bits=256)
+    scratch = CTLog(
+        name=f"live-scratch-{tag}",
+        operator="Live",
+        key=log_key(f"live-scratch-{tag}", 256),
+    )
+    pairs = [
+        ca.issue(IssuanceRequest((f"s{i}.{tag}.example",)), [scratch], NOW)
+        for i in range(count)
+    ]
+    return [pair.precertificate for pair in pairs], ca.issuer_key_hash
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def test_all_five_endpoints_over_real_http():
+    log = _build_log()
+    with LogServer(log, clock=lambda: NOW) as server:
+        base = server.log_url(log.name)
+        client = LogClient(base)
+
+        sth = client.get_sth()
+        assert sth["tree_size"] == 12
+        assert base64.b64decode(sth["sha256_root_hash"]) == log.tree.root()
+
+        entries = client.get_entries(0, 11)
+        assert [entry.leaf_input for entry in entries] == [
+            entry.leaf_input for entry in log.entries
+        ]
+
+        leaf = log.entries[7].leaf_input
+        index, path = client.get_proof_by_hash(leaf_hash(leaf), 12)
+        assert index == 7
+        assert verify_inclusion_proof(leaf, 7, 12, path, log.tree.root())
+
+        proof = client.get_sth_consistency(5, 12)
+        assert proof == log.tree.consistency_proof(5, 12)
+
+        (precert,), issuer_key_hash = _precerts(1, "live")
+        sct = client.add_pre_chain(precert, issuer_key_hash)
+        assert sct.log_id == log.log_id
+        assert log.size == 13
+
+        # The index page lists the mount.
+        status, payload = _get_json(server.url)
+        assert status == 200
+        assert payload["logs"][0]["slug"] == "live-served-log"
+
+
+def test_errors_arrive_as_json_over_the_wire():
+    log = _build_log(entries=4, capacity_per_day=4, strict_capacity=True)
+    with LogServer(log, clock=lambda: NOW) as server:
+        base = server.log_url(log.name)
+
+        # 400: malformed range, straight HTTP (no client wrapper).
+        try:
+            urllib.request.urlopen(
+                f"{base}/ct/v1/get-entries?start=9&end=2", timeout=10
+            )
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            payload = json.loads(exc.read().decode())
+            assert payload["code"] == 400 and "invalid range" in payload["error"]
+
+        # 429: the log's daily capacity is exhausted by the seed.
+        (precert,), issuer_key_hash = _precerts(1, "overload")
+        client = LogClient(base)
+        with pytest.raises(LogClientError) as excinfo:
+            client.add_pre_chain(precert, issuer_key_hash)
+        assert excinfo.value.status == 429
+        assert excinfo.value.body["code"] == 429
+
+
+def test_http_harvest_is_bit_identical_to_in_process_log(tmp_path):
+    log = _build_log(entries=10)
+    with LogServer(log, clock=lambda: NOW) as server:
+        client = LogClient(server.log_url(log.name))
+        replica = harvest_log(
+            client, name=log.name, operator=log.operator, page_size=3
+        )
+
+    assert isinstance(replica, HarvestedLog)
+    assert replica.size == log.size
+    assert replica.tree.root() == log.tree.root()
+    assert replica.entries == log.entries
+
+    # Byte-identical persisted dumps...
+    direct_path = tmp_path / "direct.jsonl"
+    harvested_path = tmp_path / "harvested.jsonl"
+    dump_log(log, direct_path)
+    dump_log(replica, harvested_path)
+    assert harvested_path.read_bytes() == direct_path.read_bytes()
+
+    # ...and an identical columnar corpus.
+    direct = CertCorpus.from_logs([log])
+    via_http = CertCorpus.from_logs([replica])
+    assert len(direct) == len(via_http) == 10
+    for column in (
+        "issuer_org", "serial", "day", "log_name", "month",
+        "is_precert", "names",
+    ):
+        assert getattr(direct, column) == getattr(via_http, column)
+
+
+def test_harvest_detects_truncated_replica():
+    log = _build_log(entries=6)
+    with LogServer(log, clock=lambda: NOW) as server:
+
+        class LyingClient(LogClient):
+            def get_entries(self, start, end):
+                entries = super().get_entries(start, end)
+                return entries[:-1] if end >= 5 else entries
+
+        client = LyingClient(server.log_url(log.name))
+        with pytest.raises(HarvestMismatchError):
+            harvest_log(client, page_size=6)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_storm_burst_under_both_executors(executor):
+    log = _build_log(entries=8)
+    config = LoadStormConfig(
+        seed=11,
+        browsers=2,
+        monitors=1,
+        submitters=1,
+        audits_per_browser=3,
+        pages_per_monitor=2,
+        page_size=4,
+        submissions_per_submitter=3,
+    )
+    plans = plan_storm(config, log)
+    metrics = MetricsRegistry()
+    events = EventLog()
+    with LogServer(
+        log, clock=lambda: NOW, metrics=metrics, events=events
+    ) as server:
+        report = run_storm(
+            plans, server.log_url(log.name), executor=executor, workers=4
+        )
+
+    assert report.executor == executor
+    assert report.transport_errors == 0
+    assert report.verification_failures == 0
+    assert report.submissions_ok == config.planned_submissions
+    assert report.reads_ok == sum(plan.reads for plan in plans)
+    assert log.size == 8 + config.planned_submissions
+
+    # The middleware saw every request the clients made.
+    total_ops = sum(len(result.ops) for result in report.results)
+    served = sum(
+        count
+        for key, count in metrics.snapshot().counters.items()
+        if key.startswith("log_server.responses")
+    )
+    assert served == total_ops == events.emitted

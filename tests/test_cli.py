@@ -166,7 +166,7 @@ def test_all_commands_registered():
     assert set(COMMANDS) == {
         "fig1a", "fig1b", "fig1c", "sec2", "fig2", "table1", "sec32",
         "sec33", "sec34", "table2", "sec43", "table3", "table4",
-        "threatintel", "projection", "status",
+        "threatintel", "projection", "status", "serve", "loadstorm",
     }
 
 
@@ -277,3 +277,85 @@ def test_sec2_parallel_output_identical(capsys):
     )
     assert code == 0
     assert parallel == serial
+
+
+def test_serve_runs_for_duration_and_reports(capsys):
+    code, output = run_cli(
+        capsys,
+        "serve", "--duration-s", "0.2", "--log-entries", "4", "--seed", "9",
+    )
+    assert code == 0
+    assert "serving 'Repro Serve Log' (4 entries) at http://127.0.0.1:" in output
+    for endpoint in (
+        "get-sth", "get-entries", "get-proof-by-hash",
+        "get-sth-consistency", "add-pre-chain",
+    ):
+        assert f"/ct/v1/{endpoint}" in output
+    assert "served 'Repro Serve Log': tree size 4" in output
+
+
+def test_serve_is_actually_reachable_while_up(capsys):
+    """Scrape get-sth from a `repro serve` instance while it serves."""
+    import re
+    import threading
+    import time
+    import urllib.request
+
+    result = {}
+
+    def run():
+        result["code"] = main(
+            ["serve", "--duration-s", "1.5", "--log-entries", "3"]
+        )
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    try:
+        base = None
+        for _ in range(100):
+            banner = capsys.readouterr().out
+            match = re.search(r"at (http://127\.0\.0\.1:\d+)", banner)
+            if match:
+                base = match.group(1)
+                break
+            time.sleep(0.02)
+        assert base, "serve never printed its URL"
+        with urllib.request.urlopen(
+            f"{base}/ct/v1/get-sth", timeout=10
+        ) as response:
+            sth = json.loads(response.read().decode())
+        assert sth["tree_size"] == 3
+    finally:
+        thread.join()
+    assert result["code"] == 0
+
+
+def test_loadstorm_reports_and_writes_sidecar(capsys, tmp_path):
+    path = tmp_path / "storm.json"
+    code, output = run_cli(
+        capsys,
+        "loadstorm", "--log-entries", "8", "--browsers", "2",
+        "--monitors", "1", "--submitters", "1", "--seed", "4",
+        "--executor", "thread", "--storm-out", str(path),
+    )
+    assert code == 0
+    assert "Load storm" in output
+    assert "p99" in output
+    assert "0 failed   0 transport errors" in output
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert payload["clients"] == 4
+    assert payload["submissions_ok"] == 10
+    assert payload["verification_failures"] == 0
+    assert payload["transport_errors"] == 0
+
+
+def test_loadstorm_serial_executor_matches_population(capsys):
+    code, output = run_cli(
+        capsys,
+        "loadstorm", "--log-entries", "6", "--browsers", "1",
+        "--monitors", "1", "--submitters", "0", "--executor", "serial",
+    )
+    assert code == 0
+    assert "serial pool" in output
+    assert "2 clients" in output

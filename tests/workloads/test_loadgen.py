@@ -1,0 +1,155 @@
+"""Unit tests for the load-storm planner and report math (no sockets)."""
+
+import pickle
+
+import pytest
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.util.timeutil import utc_datetime
+from repro.workloads.loadgen import (
+    READ_OPS,
+    ClientResult,
+    LoadStormConfig,
+    LoadStormReport,
+    OpResult,
+    plan_storm,
+    run_storm,
+)
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 10, 0)
+
+
+def _seeded_log(entries=10):
+    log = CTLog(
+        name="Plan Log", operator="T", key=log_key("Plan Log", 256)
+    )
+    ca = CertificateAuthority("Plan CA", key_bits=256)
+    for i in range(entries):
+        ca.issue(IssuanceRequest((f"p{i}.example",)), [log], NOW)
+    return log
+
+
+def test_plans_are_deterministic_and_seed_sensitive():
+    log = _seeded_log()
+    config = LoadStormConfig(seed=5, browsers=2, monitors=1, submitters=1)
+    assert plan_storm(config, log) == plan_storm(config, log)
+    other = LoadStormConfig(seed=6, browsers=2, monitors=1, submitters=1)
+    assert plan_storm(config, log) != plan_storm(other, log)
+
+
+def test_plan_population_matches_config():
+    log = _seeded_log()
+    config = LoadStormConfig(
+        seed=3,
+        browsers=3,
+        monitors=2,
+        submitters=2,
+        audits_per_browser=4,
+        pages_per_monitor=3,
+        submissions_per_submitter=5,
+    )
+    plans = plan_storm(config, log)
+    assert [plan.kind for plan in plans].count("browser") == 3
+    assert [plan.kind for plan in plans].count("monitor") == 2
+    assert [plan.kind for plan in plans].count("submitter") == 2
+    assert sum(plan.submissions for plan in plans) == 10
+    # Browsers: one get-sth plus the audits, all reads.
+    browser = next(plan for plan in plans if plan.kind == "browser")
+    assert browser.reads == len(browser.ops) == 5
+    # Monitors end with a consistency check against the seed head.
+    monitor = next(plan for plan in plans if plan.kind == "monitor")
+    assert monitor.ops[-1].kind == "get_sth_consistency"
+    assert monitor.ops[-1].second == log.size
+    # Submitters carry real poisoned precertificates in wire form.
+    submitter = next(plan for plan in plans if plan.kind == "submitter")
+    assert all(op.kind == "add_pre_chain" for op in submitter.ops)
+    assert all(op.chain and op.issuer_key_hash for op in submitter.ops)
+
+
+def test_plans_are_picklable_for_process_executor():
+    log = _seeded_log(entries=4)
+    config = LoadStormConfig(
+        seed=1, browsers=1, monitors=1, submitters=1,
+        audits_per_browser=1, pages_per_monitor=1,
+        submissions_per_submitter=1,
+    )
+    plans = plan_storm(config, log)
+    assert pickle.loads(pickle.dumps(plans)) == plans
+
+
+def test_plan_storm_rejects_empty_log():
+    log = CTLog(name="Empty", operator="T", key=log_key("Empty", 256))
+    with pytest.raises(ValueError, match="seeded"):
+        plan_storm(LoadStormConfig(), log)
+
+
+def test_run_storm_rejects_unknown_executor():
+    with pytest.raises(ValueError, match="executor"):
+        run_storm([], "http://127.0.0.1:1", executor="fibers")
+
+
+def _report(ops_by_client):
+    return LoadStormReport(
+        wall_seconds=2.0,
+        executor="thread",
+        workers=4,
+        clients=len(ops_by_client),
+        results=[
+            ClientResult("browser", f"c{i}", ops=list(ops))
+            for i, ops in enumerate(ops_by_client)
+        ],
+    )
+
+
+def test_report_percentiles_and_rates():
+    reads = [
+        OpResult("get_sth", 200, seconds / 100, True)
+        for seconds in range(1, 101)
+    ]
+    submissions = [OpResult("add_pre_chain", 200, 0.01, True)] * 10
+    rejected = [OpResult("add_pre_chain", 429, 0.01, None)] * 3
+    failed = [OpResult("get_entries", 400, 0.01, None)]
+    report = _report([reads, submissions + rejected + failed])
+
+    assert report.reads_ok == 100
+    assert report.read_p50 == pytest.approx(0.505, abs=0.01)
+    assert report.read_p99 == pytest.approx(1.0, abs=0.02)
+    assert report.submissions_ok == 10
+    assert report.submissions_rejected == 3
+    assert report.submissions_per_sec == pytest.approx(5.0)
+    assert report.reads_per_sec == pytest.approx(50.0)
+    assert report.status_counts() == {200: 110, 400: 1, 429: 3}
+    assert report.transport_errors == 0
+
+
+def test_report_flags_verification_failures_only_on_success():
+    ops = [
+        OpResult("get_proof_by_hash", 200, 0.01, False),  # lying server
+        OpResult("get_proof_by_hash", 404, 0.01, None),  # clean error
+        OpResult("get_sth", -1, 0.01, None),  # transport
+    ]
+    report = _report([ops])
+    assert report.verification_failures == 1
+    assert report.transport_errors == 1
+
+
+def test_report_to_dict_round_trips_schema():
+    report = _report([[OpResult("get_sth", 200, 0.5, True)]])
+    data = report.to_dict()
+    assert data["version"] == 1
+    assert data["clients"] == 1
+    assert data["reads_ok"] == 1
+    assert data["status_counts"] == {"200": 1}
+    assert set(READ_OPS) == {
+        "get_sth", "get_entries", "get_proof_by_hash", "get_sth_consistency"
+    }
+
+
+def test_report_render_mentions_the_gated_numbers():
+    report = _report([[OpResult("add_pre_chain", 200, 0.01, True)]])
+    rendered = report.render()
+    assert "submissions" in rendered
+    assert "p99" in rendered
+    assert "thread pool" in rendered
