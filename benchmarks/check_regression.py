@@ -35,9 +35,14 @@ from typing import Iterator, List, Tuple
 #: Keys whose numeric values are machine-dependent measurements. Gate
 #: *constants* also match (gate_max_read_p99_s etc.) — harmless, since
 #: a gate disappearing or changing type still fails the schema check.
+#: ``ratio`` covers timing quotients (fusion/overhead ratios) and the
+#: exact-leaf names ``min``/``max``/``sum``/``counts`` cover histogram
+#: statistics, whose values follow the timing samples; a histogram's
+#: total ``count`` stays exact (it counts events, not seconds).
 TOLERANT_KEY = re.compile(
     r"seconds|_ms\b|latency|p50|p95|p99|overhead|speedup|per_sec|rate"
-    r"|bytes|duration|wall|elapsed|hits|misses|timestamp",
+    r"|bytes|duration|wall|elapsed|hits|misses|timestamp|ratio"
+    r"|^(?:min|max|sum|counts)$",
     re.IGNORECASE,
 )
 
@@ -55,9 +60,21 @@ def _type_name(value: object) -> str:
 
 
 def compare(
-    baseline: object, current: object, path: str, key: str
+    baseline: object,
+    current: object,
+    path: str,
+    key: str,
+    tolerant: bool = False,
 ) -> Iterator[str]:
-    """Yield human-readable problems between two sidecar nodes."""
+    """Yield human-readable problems between two sidecar nodes.
+
+    ``tolerant`` is inherited down the key path: once any ancestor key
+    names a measurement (``separate_seconds``, a ``*_seconds``
+    histogram...), every numeric leaf below it is machine-dependent —
+    the leaf names alone (``growth``, per-bucket indices) can't tell.
+    Schema checks (key sets, types, lengths) still apply throughout.
+    """
+    tolerant = tolerant or bool(TOLERANT_KEY.search(key))
     if _type_name(baseline) != _type_name(current):
         yield (
             f"{path}: type changed "
@@ -73,7 +90,7 @@ def compare(
             yield f"{path}: keys added: {', '.join(added)}"
         for name in sorted(set(baseline) & set(current)):
             yield from compare(
-                baseline[name], current[name], f"{path}.{name}", name
+                baseline[name], current[name], f"{path}.{name}", name, tolerant
             )
     elif isinstance(baseline, list):
         if key in TEXT_KEYS:
@@ -84,10 +101,12 @@ def compare(
             )
             return
         for index, (b_item, c_item) in enumerate(zip(baseline, current)):
-            yield from compare(b_item, c_item, f"{path}[{index}]", key)
+            yield from compare(
+                b_item, c_item, f"{path}[{index}]", key, tolerant
+            )
     elif isinstance(baseline, bool) or not isinstance(baseline, (int, float)):
         return  # strings and nulls: type match is enough
-    elif TOLERANT_KEY.search(key):
+    elif tolerant:
         return  # measured value; any number is fine
     elif baseline != current:
         yield f"{path}: value changed {baseline!r} -> {current!r}"

@@ -17,21 +17,36 @@ best-of-``TRIALS`` and the gate is skipped in benchmark-smoke mode
 where timing is meaningless.
 """
 
+import json
+import threading
 import time
+import urllib.request
+from datetime import timedelta
 
 from conftest import EVOLUTION_SCALE, record_artifact
 
-from repro.dataset import CertCorpus, section2_graph, sections_graph
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.ct.server import LogServer
+from repro.dataset import CertCorpus, LiveAnalytics, section2_graph, sections_graph
 from repro.dataset.sections import (
     corpus_growth,
     corpus_leakage,
     corpus_matrix,
     corpus_rates,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TelemetryServer
+from repro.util.timeutil import utc_datetime
+from repro.workloads.loadgen import LoadStormConfig, plan_storm, run_storm
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
 FUSION_TARGET = 1.5
 TRIALS = 2
+
+#: The append path must beat per-poll full recomputes by this much.
+APPEND_TARGET = 10.0
+APPEND_BATCHES = 40
+SCRAPE_EVERY = 8
 
 
 def _timed(fn):
@@ -127,4 +142,202 @@ def test_bench_dataset_fused_traversal(evolution_run, request):
         assert sec2_ratio >= FUSION_TARGET, (
             f"fused Sec2 traversal must be >= {FUSION_TARGET}x the summed "
             f"per-section scans, measured {sec2_ratio:.2f}x"
+        )
+
+
+def _poll_batches(logs, count):
+    """The evolution entries as ``count`` ordered poll batches of pairs."""
+    pairs = [
+        (log.name, entry)
+        for log in logs.values()
+        for entry in log.entries
+    ]
+    size = max(1, -(-len(pairs) // count))
+    return [pairs[i : i + size] for i in range(0, len(pairs), size)]
+
+
+def _append_pass(batches, on_batch=None):
+    """Fold every batch through the streaming path; timed.
+
+    Returns ``(live, seconds)`` where ``seconds`` covers the full
+    incremental pipeline: columnar append + per-delta graph fold.
+    """
+    corpus = CertCorpus.empty()
+    live = LiveAnalytics()
+    start = time.perf_counter()
+    for index, batch in enumerate(batches):
+        live.fold_delta(corpus.append_batch(batch, with_names=False))
+        if on_batch is not None:
+            on_batch(index)
+    return live, time.perf_counter() - start
+
+
+def _storm_log(entries=10):
+    now = utc_datetime(2018, 5, 1, 10, 0)
+    log = CTLog(
+        name="Append Storm Log",
+        operator="Bench",
+        key=log_key("Append Storm Log", 256),
+    )
+    ca = CertificateAuthority("Append Storm CA", key_bits=256)
+    for index in range(entries):
+        ca.issue(
+            IssuanceRequest((f"storm{index}.bench.org",)),
+            [log],
+            now + timedelta(seconds=index),
+        )
+    return log
+
+
+def test_bench_dataset_append_path(evolution_run, request):
+    """Streaming append+fold vs per-poll batch recompute, served live.
+
+    The rebuild leg models a naive monitor: after every poll it
+    rebuilds the corpus over the whole prefix and reruns the Section 2
+    graph from scratch.  The append leg is the streaming path —
+    ``append_batch`` plus ``LiveAnalytics.fold_delta`` per poll — and
+    must come out ``APPEND_TARGET`` times cheaper over the same
+    ``APPEND_BATCHES`` polls (results asserted identical first).
+
+    The first append trial additionally runs "under fire": a telemetry
+    server exposes the folding accumulator's ``GET /analytics`` while a
+    seeded load storm hammers a ``LogServer`` in the background, and
+    the benchmark scrapes the endpoint between folds — pinning that
+    live serving works mid-storm.  Timing takes best-of-trials, so the
+    gate compares clean runs.
+    """
+    batches = _poll_batches(evolution_run.logs, APPEND_BATCHES)
+
+    # -- append leg, trial 1: folding while serving during a storm ----------
+    registry = MetricsRegistry()
+    scrapes = []
+    served_live = {}
+
+    def scrape(index):
+        if (index + 1) % SCRAPE_EVERY:
+            return
+        url = served_live["url"] + "/analytics"
+        with urllib.request.urlopen(url, timeout=5) as response:
+            assert response.status == 200
+            scrapes.append(json.loads(response.read().decode()))
+
+    storm_log = _storm_log()
+    plans = plan_storm(
+        LoadStormConfig(
+            seed=18,
+            browsers=2,
+            monitors=1,
+            submitters=1,
+            audits_per_browser=3,
+            pages_per_monitor=2,
+            page_size=4,
+            submissions_per_submitter=3,
+        ),
+        storm_log,
+    )
+    storm_report = {}
+    live = LiveAnalytics()
+    with LogServer(
+        storm_log, clock=lambda: utc_datetime(2018, 5, 1, 10, 5)
+    ) as log_server, TelemetryServer(
+        registry.snapshot, analytics_source=live.to_dict
+    ) as telemetry:
+        served_live["url"] = telemetry.url
+
+        def storm():
+            storm_report["report"] = run_storm(
+                plans,
+                log_server.log_url(storm_log.name),
+                executor="thread",
+                workers=4,
+            )
+
+        storm_thread = threading.Thread(target=storm)
+        storm_thread.start()
+        corpus = CertCorpus.empty()
+        start = time.perf_counter()
+        for index, batch in enumerate(batches):
+            live.fold_delta(corpus.append_batch(batch, with_names=False))
+            scrape(index)
+        storm_seconds = time.perf_counter() - start
+        storm_thread.join(timeout=60)
+    live_storm = live
+    report = storm_report["report"]
+    assert report.transport_errors == 0
+    assert report.verification_failures == 0
+    # Every scrape is a well-formed version-1 snapshot; the folded
+    # record count grows monotonically across them.
+    assert len(scrapes) == APPEND_BATCHES // SCRAPE_EVERY
+    assert all(snap["version"] == 1 for snap in scrapes)
+    folded = [snap["records_folded"] for snap in scrapes]
+    assert folded == sorted(folded)
+    assert folded[-1] == live_storm.records_folded
+
+    # -- append leg, trial 2: clean (no concurrent serving) -----------------
+    live_clean, clean_seconds = _append_pass(batches)
+    append_seconds = min(storm_seconds, clean_seconds)
+
+    # -- rebuild leg: full recompute after every poll ------------------------
+    graph = section2_graph()
+    prefix = []
+    rebuild_results = None
+    start = time.perf_counter()
+    for batch in batches:
+        prefix.extend(batch)
+        rebuilt = CertCorpus.empty()
+        rebuilt.append_batch(prefix, with_names=False)
+        rebuild_results = graph.run(rebuilt.iter_records())
+    rebuild_seconds = time.perf_counter() - start
+
+    # Identical outputs before any timing claim: both append trials and
+    # the final rebuild agree bit-for-bit.
+    for results in (live_storm.results(), live_clean.results()):
+        assert results["growth"] == rebuild_results["growth"]
+        assert list(results["growth"]) == list(rebuild_results["growth"])
+        assert results["rates"] == rebuild_results["rates"]
+        assert (
+            results["matrix"].cells() == rebuild_results["matrix"].cells()
+        )
+    assert json.dumps(live_storm.to_dict(), sort_keys=True) == json.dumps(
+        live_clean.to_dict(), sort_keys=True
+    )
+
+    speedup = rebuild_seconds / append_seconds if append_seconds else 0.0
+    records = live_clean.records_folded
+    lines = [
+        "Streaming append path vs per-poll recompute "
+        f"(scale 1:{int(1 / EVOLUTION_SCALE)}, {records} records, "
+        f"{len(batches)} polls)",
+        f"  append+fold (clean)   {clean_seconds:8.3f} s",
+        f"  append+fold (storm)   {storm_seconds:8.3f} s   "
+        f"{len(scrapes)} /analytics scrapes, "
+        f"{report.reads_ok} storm reads served alongside",
+        f"  rebuild every poll    {rebuild_seconds:8.3f} s",
+        f"  speedup               {speedup:8.1f} x  (gate >= "
+        f"{APPEND_TARGET}x)",
+    ]
+    record_artifact(
+        "dataset_append",
+        "\n".join(lines),
+        data={
+            "version": 1,
+            "records": records,
+            "batches": len(batches),
+            "analytics_scrapes": len(scrapes),
+            "storm_reads_ok": report.reads_ok,
+            "storm_submissions_ok": report.submissions_ok,
+            "append_seconds": append_seconds,
+            "append_clean_seconds": clean_seconds,
+            "append_storm_seconds": storm_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": speedup,
+            "gate_min_speedup": APPEND_TARGET,
+        },
+    )
+
+    smoke = request.config.getoption("--benchmark-disable", default=False)
+    if not smoke:
+        assert speedup >= APPEND_TARGET, (
+            f"streaming append must be >= {APPEND_TARGET}x cheaper than "
+            f"per-poll recompute, measured {speedup:.2f}x"
         )

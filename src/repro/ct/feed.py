@@ -16,6 +16,10 @@ that service shape:
   the optional :class:`~repro.resilience.RetryPolicy` is exhausted)
   keeps its cursor where it was — no entry is silently skipped — and
   per-log error/retry counters are exposed via :meth:`log_health`;
+* polling feeds the live analytics: an attached
+  :class:`~repro.dataset.live.LiveAnalytics` (``analytics=``) absorbs
+  every poll batch before fan-out, so ``GET /analytics`` reflects a
+  batch by the time subscribers see its events;
 * polling is live-observable: an attached
   :class:`~repro.obs.events.EventLog` receives one ``feed_poll`` event
   per fetched log (outcome, entries, retries) as it happens,
@@ -46,6 +50,7 @@ from typing import (
 from repro.ct.log import CTLog, LogEntry
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.dataset.live import LiveAnalytics
     from repro.obs.events import EventLog
     from repro.obs.health import HealthReport, SloPolicy
     from repro.obs.metrics import MetricsRegistry
@@ -94,6 +99,7 @@ class CertFeed:
         metrics: Optional["MetricsRegistry"] = None,
         events: Optional["EventLog"] = None,
         flush_interval_s: Optional[float] = None,
+        analytics: Optional["LiveAnalytics"] = None,
     ) -> None:
         self._logs = list(logs)
         self._cursors: Dict[str, int] = {log.name: log.size for log in self._logs}
@@ -102,6 +108,7 @@ class CertFeed:
         self.retry = retry
         self.metrics = metrics
         self.events = events
+        self.analytics = analytics
         self.events_emitted = 0
         self.poll_errors: Dict[str, int] = {log.name: 0 for log in self._logs}
         self.poll_retries: Dict[str, int] = {log.name: 0 for log in self._logs}
@@ -275,6 +282,10 @@ class CertFeed:
             )
             fresh.extend(FeedEvent(log.name, entry, now) for entry in entries)
             self._cursors[log.name] = cursor + len(entries)
+        if self.analytics is not None and fresh:
+            # Fold before fan-out so /analytics already reflects this
+            # batch by the time subscribers see the events.
+            self.analytics.fold_events(fresh)
         dropped = 0
         for event in fresh:
             self.events_emitted += 1

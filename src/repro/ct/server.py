@@ -54,6 +54,7 @@ from collections import OrderedDict
 from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -78,6 +79,9 @@ from repro.ct.sct import SctEntryType, SignedCertificateTimestamp
 from repro.ct.storage import certificate_from_dict, certificate_to_dict
 from repro.util.httpd import HttpServerHandle
 from repro.util.timeutil import from_timestamp_ms, timestamp_ms
+
+if TYPE_CHECKING:  # avoid a runtime import cycle through repro.dataset
+    from repro.dataset.live import LiveAnalytics
 from repro.x509.certificate import Certificate
 
 #: Hard ceiling on entries returned per get-entries page (RFC 6962
@@ -149,13 +153,36 @@ def entry_from_wire(element: Mapping[str, str]) -> LogEntry:
 
 
 class _MemoCache:
-    """A tiny bounded LRU for immutable responses (proofs, pages)."""
+    """A tiny bounded LRU for immutable responses (proofs, pages).
+
+    Only *validated* responses may be cached: every endpoint raises on
+    malformed/out-of-range parameters **before** touching the cache,
+    so junk requests can neither evict legitimate proof/page entries
+    nor skew the hit-rate accounting.
+    """
 
     def __init__(self, max_entries: int) -> None:
         self.max_entries = max_entries
         self._data: "OrderedDict[tuple, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 before any request (never divides by 0)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: tuple) -> bool:
+        # Membership probe for tests/introspection: does not count as
+        # a lookup and does not touch LRU order.
+        return key in self._data
 
     def get(self, key: tuple) -> Optional[object]:
         value = self._data.get(key)
@@ -580,10 +607,20 @@ class LogServer:
 
     # -- introspection -------------------------------------------------------
 
-    def memo_stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-log memo hit/miss counters (STH memo included)."""
+    def memo_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-log memo counters (STH memo included).
+
+        ``hit_rate`` is hits per lookup and is 0.0 for a server that
+        has not seen a single memoized request yet — scraping the
+        stats before any traffic never divides by zero.
+        """
         return {
-            slug: {"hits": served.memo.hits, "misses": served.memo.misses}
+            slug: {
+                "hits": served.memo.hits,
+                "misses": served.memo.misses,
+                "lookups": served.memo.lookups,
+                "hit_rate": served.memo.hit_rate(),
+            }
             for slug, served in sorted(self._served.items())
         }
 
@@ -744,6 +781,7 @@ def harvest_log(
     name: str = "",
     operator: str = "",
     page_size: int = 256,
+    analytics: Optional["LiveAnalytics"] = None,
 ) -> HarvestedLog:
     """Rebuild a complete log replica over HTTP and verify it.
 
@@ -752,6 +790,16 @@ def harvest_log(
     requires the rebuilt root to equal the served
     ``sha256_root_hash`` — a truncated or tampered harvest raises
     :class:`HarvestMismatchError`.
+
+    Every round is pinned to the ``tree_size`` of the STH fetched
+    up front: requested page bounds never exceed it, and a log that
+    grows mid-harvest (or a replica that over-answers a range) cannot
+    slip entries past the verified tree head — over-long pages are
+    truncated to the pinned window before they touch the replica.
+
+    An attached :class:`~repro.dataset.live.LiveAnalytics` absorbs
+    each verified page as it lands (``analytics=``), so live harvests
+    stream straight into the incremental Fig 1a/1b/Table 1 aggregates.
     """
     sth = client.get_sth()
     size = int(sth["tree_size"])
@@ -763,9 +811,16 @@ def harvest_log(
             raise HarvestMismatchError(
                 f"empty get-entries page at index {index}"
             )
+        if len(page) > size - index:
+            # The server answered past the pinned STH window (a log
+            # that grew between our fetch and its clamp, or a lying
+            # replica): keep only the rows the fetched STH covers.
+            page = page[: size - index]
         for entry in page:
             replica.tree.append(entry.leaf_input)
             replica.entries.append(entry)
+        if analytics is not None:
+            analytics.fold_entries(name, page)
         index += len(page)
     if replica.tree.size != size:
         raise HarvestMismatchError(

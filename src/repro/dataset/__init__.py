@@ -19,15 +19,21 @@ section pass:
 * :mod:`repro.dataset.fused` — engine drivers
   (:func:`analyze_corpus` / :func:`analyze_records`) that shard a
   corpus and reduce every pass at once, bit-identically serial or
-  process-pooled.
+  process-pooled;
+* :mod:`repro.dataset.live` — :class:`LiveAnalytics`, the incremental
+  mode: live extractor states folding ``CertFeed.poll`` batches,
+  harvest pages, and :class:`CorpusDelta` windows into the current
+  Fig 1a/1b/Table 1 aggregates (the ``GET /analytics`` payload),
+  bit-identical to a batch recompute over the same entries.
 
 Layer stack: **dataset** (this package) feeds the pipeline engine,
 which wears the resilience and obs layers — see README.md.
 """
 
-from repro.dataset.corpus import CertCorpus, CertRecord, CorpusView
+from repro.dataset.corpus import CertCorpus, CertRecord, CorpusDelta, CorpusView
 from repro.dataset.fused import analyze_corpus, analyze_records, fused_shard_task
 from repro.dataset.graph import Extractor, PassGraph, SectionPass, ShardResult
+from repro.dataset.live import ANALYTICS_SCHEMA_VERSION, LiveAnalytics
 from repro.dataset.sections import (
     adoption_extractor,
     adoption_pass,
@@ -44,9 +50,12 @@ from repro.dataset.sections import (
 )
 
 __all__ = [
+    "ANALYTICS_SCHEMA_VERSION",
     "CertCorpus",
     "CertRecord",
+    "CorpusDelta",
     "CorpusView",
+    "LiveAnalytics",
     "Extractor",
     "PassGraph",
     "SectionPass",

@@ -100,19 +100,31 @@ class PassGraph:
 
     # -- execution -----------------------------------------------------------
 
-    def run_shard(self, records: Iterable[Any]) -> ShardResult:
-        """Fold one shard's records through every extractor, **once**.
+    def new_states(self) -> Dict[str, Any]:
+        """Fresh working states, one per extractor.
 
-        The single ``for`` loop below is the whole point of the graph:
-        however many sections are registered, each record is touched
-        exactly one time per shard.
+        This is the seed of the graph's **incremental mode**: hold the
+        states across calls and keep folding batches into them with
+        :meth:`fold_into`; :meth:`results_from_states` reads the
+        current section results at any point.  A one-shot
+        :meth:`run_shard` is exactly ``new_states`` + one
+        ``fold_into`` + finalize.
         """
         if not self.extractors:
             raise ValueError("pass graph has no extractors registered")
-        states = {
+        return {
             name: extractor.init()
             for name, extractor in self.extractors.items()
         }
+
+    def fold_into(self, states: Dict[str, Any], records: Iterable[Any]) -> int:
+        """Fold one batch of records into live states, **one traversal**.
+
+        The single ``for`` loop below is the whole point of the graph:
+        however many sections are registered, each record is touched
+        exactly one time per batch.  Returns the number of records
+        folded.
+        """
         folds = [
             (extractor.fold, states[name])
             for name, extractor in self.extractors.items()
@@ -144,11 +156,34 @@ class PassGraph:
                 count += 1
                 for fold, state in folds:
                     fold(state, record)
-        partials = {
+        return count
+
+    def finalize_states(self, states: Dict[str, Any]) -> Dict[str, Any]:
+        """Each extractor's pool-crossing partial from its live state.
+
+        Finalize never mutates the state (it is identity for the
+        corpus extractors; the leakage/adoption finalizers read their
+        state into a fresh partial), so incremental consumers can keep
+        folding into the same states afterwards.
+        """
+        return {
             name: extractor.finalize(states[name])
             for name, extractor in self.extractors.items()
         }
-        return ShardResult(partials=partials, records=count, traversals=1)
+
+    def results_from_states(self, states: Dict[str, Any]) -> Dict[str, Any]:
+        """Every section result from live states (single-partial reduce)."""
+        return self.reduce([self.finalize_states(states)])
+
+    def run_shard(self, records: Iterable[Any]) -> ShardResult:
+        """Fold one shard's records through every extractor, **once**."""
+        states = self.new_states()
+        count = self.fold_into(states, records)
+        return ShardResult(
+            partials=self.finalize_states(states),
+            records=count,
+            traversals=1,
+        )
 
     def reduce(
         self, shard_results: Sequence[Mapping[str, Any]]

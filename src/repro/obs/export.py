@@ -12,8 +12,11 @@ at process exit; this module is the *live* half for long-running loops
 * :class:`TelemetryServer` is a dependency-free ``http.server``
   endpoint serving ``GET /metrics`` (exposition text), ``GET /health``
   (the SLO verdicts of :mod:`repro.obs.health` as JSON; 503 once any
-  log is ``failing``), and ``GET /events/tail?n=N`` (the most recent
-  events of an attached :class:`~repro.obs.events.EventLog` as JSONL).
+  log is ``failing``), ``GET /events/tail?n=N`` (the most recent
+  events of an attached :class:`~repro.obs.events.EventLog` as JSONL),
+  and ``GET /analytics`` (the version-1 live-analytics snapshot of an
+  attached :class:`~repro.dataset.live.LiveAnalytics` — the paper's
+  Fig 1a/1b/Table 1 aggregates, folded incrementally).
 
 The server never touches a registry directly — it calls the injected
 provider callables on every request, so the owner of the loop decides
@@ -180,6 +183,7 @@ def render_prometheus(
 
 SnapshotSource = Callable[[], MetricsSnapshot]
 HealthSource = Callable[[], object]  # HealthReport or plain dict
+AnalyticsSource = Callable[[], object]  # LiveAnalytics to_dict() or plain dict
 
 
 class TelemetryServer:
@@ -197,6 +201,11 @@ class TelemetryServer:
     events:
         Optional :class:`~repro.obs.events.EventLog` backing
         ``/events/tail``; without it the route answers 404.
+    analytics_source:
+        Optional callable returning the current live-analytics
+        snapshot for ``/analytics`` — typically
+        :meth:`repro.dataset.live.LiveAnalytics.to_dict` (any mapping
+        works); without it the route answers 404.
     host / port:
         Bind address; ``port=0`` (the default) picks an ephemeral port,
         exposed as :attr:`port` / :attr:`url` after construction.
@@ -214,6 +223,7 @@ class TelemetryServer:
         *,
         health_source: Optional[HealthSource] = None,
         events: Optional["EventLog"] = None,
+        analytics_source: Optional[AnalyticsSource] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro_",
@@ -221,6 +231,7 @@ class TelemetryServer:
         self._snapshot_source = snapshot_source
         self._health_source = health_source
         self._events = events
+        self._analytics_source = analytics_source
         self._prefix = prefix
         self._handle = HttpServerHandle(
             _TelemetryHandler,
@@ -271,6 +282,15 @@ class TelemetryServer:
         status = 503 if body.get("overall") == "failing" else 200
         return status, "application/json", json.dumps(body, sort_keys=True) + "\n"
 
+    def _analytics_response(self) -> Tuple[int, str, str]:
+        if self._analytics_source is None:
+            return 404, "application/json", '{"error": "no analytics source"}\n'
+        snapshot = self._analytics_source()
+        body: Mapping[str, object] = (
+            snapshot.to_dict() if hasattr(snapshot, "to_dict") else snapshot  # type: ignore[union-attr]
+        )
+        return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
+
     def _events_response(self, query: str) -> Tuple[int, str, str]:
         if self._events is None:
             return 404, "application/json", '{"error": "no event log"}\n'
@@ -301,6 +321,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 status, ctype, body = telemetry._metrics_response()
             elif parts.path == "/health":
                 status, ctype, body = telemetry._health_response()
+            elif parts.path == "/analytics":
+                status, ctype, body = telemetry._analytics_response()
             elif parts.path == "/events/tail":
                 status, ctype, body = telemetry._events_response(parts.query)
             else:

@@ -16,10 +16,24 @@ def share(part: float, whole: float) -> float:
 def percentile(sorted_values: List[float], q: float) -> float:
     """Return the q-th percentile (0..100) by linear interpolation.
 
-    ``sorted_values`` must already be sorted ascending.
+    ``sorted_values`` must already be sorted ascending — this is
+    verified, because an unsorted input silently returns garbage
+    quantiles.  NaN anywhere in the input (or as ``q``) is rejected:
+    NaN is unordered, so it both breaks the sortedness contract and
+    poisons the interpolation.  Small samples interpolate like any
+    other: ``percentile([1.0, 2.0], 99)`` is 1.99, not the max.
     """
+    if q != q:
+        raise ValueError("percentile q is NaN")
     if not sorted_values:
         raise ValueError("percentile of empty sequence")
+    previous = sorted_values[0]
+    for value in sorted_values:
+        if value != value:
+            raise ValueError("percentile input contains NaN")
+        if value < previous:
+            raise ValueError("percentile input is not sorted ascending")
+        previous = value
     if len(sorted_values) == 1:
         return sorted_values[0]
     if q <= 0:

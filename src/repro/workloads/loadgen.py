@@ -162,7 +162,12 @@ def plan_storm(
                 StormOp(
                     kind="get_entries",
                     start=cursor,
-                    end=cursor + config.page_size - 1,
+                    # Pin the page to the STH the monitor verifies
+                    # against: submitters grow the log mid-storm, and
+                    # an unclamped tail would hand back entries past
+                    # the seeded tree head (a read-then-fetch TOCTOU).
+                    end=min(cursor + config.page_size - 1, seed_size - 1),
+                    tree_size=seed_size,
                 )
             )
             cursor += config.page_size
@@ -248,7 +253,17 @@ def _execute_plan(
                 verified = int(body["tree_size"]) >= 0
             elif op.kind == "get_entries":
                 entries = client.get_entries(op.start, op.end)
-                verified = len(entries) > 0
+                # Pages must stay inside the requested window and,
+                # when the plan pinned a tree size, inside the STH the
+                # client is verifying against — a server racing
+                # concurrent appends must not leak newer entries here.
+                verified = len(entries) > 0 and all(
+                    op.start <= entry.index <= op.end for entry in entries
+                )
+                if op.tree_size:
+                    verified = verified and all(
+                        entry.index < op.tree_size for entry in entries
+                    )
             elif op.kind == "get_proof_by_hash":
                 index, path = client.get_proof_by_hash(
                     leaf_hash(op.leaf), op.tree_size

@@ -310,6 +310,75 @@ def test_poll_retry_policy_recovers_within_one_poll(world):
     assert health["cursor"] == 2
 
 
+class ShortReadLog:
+    """A log whose ``get_entries`` answers at most ``page`` entries.
+
+    RFC 6962 explicitly allows short reads; the feed must advance its
+    cursor by what actually arrived, never by what it asked for.
+    """
+
+    def __init__(self, log, page):
+        self._log = log
+        self._page = page
+        self.requests = []
+
+    @property
+    def name(self):
+        return self._log.name
+
+    @property
+    def size(self):
+        return self._log.size
+
+    def get_entries(self, start, end):
+        self.requests.append((start, end))
+        return self._log.get_entries(start, min(end, start + self._page - 1))
+
+
+def test_short_reads_advance_cursor_only_by_delivered_entries(world):
+    log_a, _, ca = world
+    short = ShortReadLog(log_a, page=3)
+    feed = CertFeed([short])
+    seen = []
+    feed.subscribe("s", seen.append)
+    for i in range(7):
+        issue(ca, log_a, f"sr{i}.example")
+
+    # Each poll asks for everything but receives at most 3 entries.
+    assert feed.run_once(NOW) == 3
+    assert feed.log_health()["Feed A"]["cursor"] == 3
+    assert short.requests[-1] == (0, 6)  # asked for all seven
+    assert feed.run_once(NOW + timedelta(minutes=1)) == 3
+    assert feed.log_health()["Feed A"]["cursor"] == 6
+    assert short.requests[-1] == (3, 6)  # resumed where delivery ended
+    assert feed.run_once(NOW + timedelta(minutes=2)) == 1
+    assert feed.log_health()["Feed A"]["cursor"] == 7
+
+    # No entry skipped, none duplicated, order preserved.
+    assert [e.dns_names[0] for e in seen] == [
+        f"sr{i}.example" for i in range(7)
+    ]
+    assert feed.run_once(NOW + timedelta(minutes=3)) == 0
+
+
+def test_short_reads_interleaved_with_growth(world):
+    log_a, _, ca = world
+    short = ShortReadLog(log_a, page=2)
+    feed = CertFeed([short])
+    seen = []
+    feed.subscribe("s", seen.append)
+    issue(ca, log_a, "g0.example")
+    issue(ca, log_a, "g1.example")
+    issue(ca, log_a, "g2.example")
+    assert feed.run_once(NOW) == 2  # short read: 2 of 3
+    issue(ca, log_a, "g3.example")  # grows while one entry is pending
+    assert feed.run_once(NOW + timedelta(minutes=1)) == 2
+    assert [e.dns_names[0] for e in seen] == [
+        "g0.example", "g1.example", "g2.example", "g3.example",
+    ]
+    assert feed.log_health()["Feed A"]["cursor"] == 4
+
+
 def test_one_failing_log_does_not_block_the_other(world):
     log_a, log_b, ca = world
     broken = FlakyLog(

@@ -471,7 +471,7 @@ def test_sth_memoized_per_tree_size():
     second = get(server, "/ct/v1/get-sth")[1]
     assert first is second  # same cached body, one signature
     stats = server.memo_stats()[slug]
-    assert stats == {"hits": 1, "misses": 1}
+    assert stats == {"hits": 1, "misses": 1, "lookups": 2, "hit_rate": 0.5}
 
     (precert,), ikh = make_precerts(1, "grow")
     server.handle_request(
@@ -495,6 +495,98 @@ def test_proof_and_entries_pages_are_memoized():
     stats = server.memo_stats()[slug]
     assert stats["misses"] == 2  # one per distinct key
     assert stats["hits"] == 4
+    assert stats["lookups"] == 6
+    assert stats["hit_rate"] == pytest.approx(4 / 6)
+
+
+def test_memo_stats_before_any_request_has_zero_hit_rate():
+    """Scraping a fresh server's stats must not divide by zero."""
+    server = LogServer(make_log(entries=3), clock=lambda: NOW)
+    stats = server.memo_stats()[log_slug("Unit Log")]
+    assert stats == {"hits": 0, "misses": 0, "lookups": 0, "hit_rate": 0.0}
+
+
+def test_invalid_requests_never_touch_the_memo():
+    """Junk ranges can't skew hit rates or evict cached pages."""
+    log = make_log(entries=5)
+    server = LogServer(log, clock=lambda: NOW)
+    slug = log_slug(log.name)
+    served = server._served[slug]
+
+    # Warm one legitimate page into the cache.
+    assert get(server, "/ct/v1/get-entries", "start=0&end=4")[0] == 200
+    warmed = server.memo_stats()[slug]
+    assert ("entries", 0, 4) in served.memo
+
+    for query in (
+        "start=-1&end=4",        # negative start
+        "start=9&end=2",         # start after end
+        "start=99&end=104",      # start beyond tree size
+        "start=zero&end=4",      # non-integer
+        "end=4",                 # missing parameter
+    ):
+        assert get(server, "/ct/v1/get-entries", query)[0] == 400
+    empty = LogServer(make_log(name="Empty", entries=0), clock=lambda: NOW)
+    assert get(empty, "/ct/v1/get-entries", "start=0&end=0")[0] == 400
+
+    assert server.memo_stats()[slug] == warmed  # not a single lookup
+    assert empty.memo_stats()[log_slug("Empty")]["lookups"] == 0
+    assert ("entries", 0, 4) in served.memo  # nothing evicted
+    assert len(served.memo) == 1
+
+
+# -- harvest pinned to the fetched STH ---------------------------------------
+
+
+class _OveransweringClient:
+    """A replica that answers ``get-entries`` past the requested range.
+
+    Duck-types the two :class:`~repro.ct.server.LogClient` methods
+    :func:`harvest_log` uses; the STH is pinned at issuance time while
+    the backing log keeps growing, so every page call can over-answer
+    beyond the verified tree head.
+    """
+
+    def __init__(self, log, sth):
+        self.log = log
+        self.sth = sth
+
+    def get_sth(self):
+        return self.sth
+
+    def get_entries(self, start, end):
+        # Ignore ``end`` entirely: hand out everything from ``start``.
+        return self.log.get_entries(start, self.log.size - 1)
+
+
+def _pinned_sth(log):
+    sth = log.get_sth(NOW)
+    return {
+        "tree_size": sth.tree_size,
+        "sha256_root_hash": _b64(sth.root_hash),
+    }
+
+
+def test_harvest_truncates_pages_beyond_the_pinned_sth():
+    from repro.ct.server import harvest_log
+
+    log = make_log(entries=6)
+    sth = _pinned_sth(log)  # pin at size 6...
+    ca = CertificateAuthority("Unit CA Unit Log", key_bits=256)
+    for i in range(4):  # ...then the log grows underneath the harvest
+        ca.issue(IssuanceRequest((f"late{i}.example",)), [log], NOW)
+    assert log.size == 10
+
+    from repro.dataset import LiveAnalytics
+
+    live = LiveAnalytics()
+    replica = harvest_log(
+        _OveransweringClient(log, sth), page_size=4, analytics=live
+    )
+    assert replica.size == 6
+    assert [entry.index for entry in replica.entries] == list(range(6))
+    # The analytics fold saw only the verified window, nothing more.
+    assert live.records_folded == 6
 
 
 # -- middleware --------------------------------------------------------------

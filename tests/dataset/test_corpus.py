@@ -212,3 +212,154 @@ class TestFromStored:
         streamed = CertCorpus.from_stored(path)
         assert len(streamed) == 0
         assert list(streamed.iter_records()) == []
+
+
+class TestAppend:
+    def test_empty_constructor(self):
+        corpus = CertCorpus.empty()
+        assert len(corpus) == 0
+        assert list(corpus.iter_records()) == []
+        assert corpus.view().stop == 0
+
+    def test_append_row_returns_index_and_round_trips(self):
+        corpus = CertCorpus.empty()
+        index = corpus.append_row(
+            issuer_org="Row CA",
+            serial=77,
+            day=date(2018, 4, 3),
+            log_name="row-log",
+            is_precert=True,
+            names=("a.example",),
+        )
+        assert index == 0
+        assert corpus.append_row(
+            issuer_org="Row CA",
+            serial=78,
+            day=date(2018, 4, 4),
+            log_name="row-log",
+            is_precert=False,
+        ) == 1
+        assert len(corpus) == 2
+        assert corpus.record(0) == CertRecord(
+            "Row CA", 77, date(2018, 4, 3), "row-log", "2018-04",
+            True, ("a.example",),
+        )
+        assert corpus.record(1).names == ()
+
+    def test_appended_rows_intern_against_existing_values(self):
+        corpus = CertCorpus.empty()
+        corpus.append_row(
+            issuer_org="Shared CA", serial=1, day=date(2018, 4, 1),
+            log_name="log", is_precert=True,
+        )
+        corpus.append_row(
+            issuer_org="Shared CA", serial=2, day=date(2018, 4, 28),
+            log_name="log", is_precert=True,
+        )
+        assert corpus.issuer_org[0] is corpus.issuer_org[1]
+        assert corpus.log_name[0] is corpus.log_name[1]
+        # Same calendar month, different day: one shared month string.
+        assert corpus.month[0] is corpus.month[1]
+
+    def test_append_entries_matches_from_logs(self, logs):
+        incremental = CertCorpus.empty()
+        for log in logs.values():
+            delta = incremental.append_entries(log.name, log.entries)
+            assert len(delta) == len(log.entries)
+        reference = CertCorpus.from_logs(logs)
+        assert list(incremental.iter_records()) == list(
+            reference.iter_records()
+        )
+
+    def test_append_entries_delta_covers_exactly_the_new_rows(self, logs):
+        corpus = CertCorpus.empty()
+        previous_stop = 0
+        for log in logs.values():
+            delta = corpus.append_entries(log.name, log.entries)
+            assert delta.start == previous_stop  # gapless coverage
+            assert delta.stop == len(corpus)
+            assert list(delta.iter_records()) == list(
+                corpus.iter_range(delta.start, delta.stop)
+            )
+            previous_stop = delta.stop
+
+    def test_append_batch_accepts_pairs_and_event_like_items(self, logs):
+        name, log = next(iter(logs.items()))
+        pairs = [(log.name, entry) for entry in log.entries[:4]]
+
+        class EventLike:
+            def __init__(self, log_name, entry):
+                self.log_name = log_name
+                self.entry = entry
+
+        events = [EventLike(log.name, entry) for entry in log.entries[4:8]]
+        corpus = CertCorpus.empty()
+        first = corpus.append_batch(pairs)
+        second = corpus.append_batch(events)
+        assert (first.start, first.stop) == (0, len(pairs))
+        assert (second.start, second.stop) == (
+            len(pairs), len(pairs) + len(events),
+        )
+        reference = CertCorpus.empty()
+        reference.append_entries(log.name, log.entries[:8])
+        assert list(corpus.iter_records()) == list(reference.iter_records())
+
+    def test_append_batch_with_names_false_drops_names(self, logs):
+        name, log = next(iter(logs.items()))
+        corpus = CertCorpus.empty()
+        corpus.append_batch(
+            [(log.name, entry) for entry in log.entries[:3]],
+            with_names=False,
+        )
+        assert all(names == () for names in corpus.names)
+
+    def test_serial_overflow_beyond_64_bits_round_trips(self):
+        huge = 2**127 + 5
+        corpus = CertCorpus.empty()
+        corpus.append_row(
+            issuer_org="Big CA", serial=huge, day=date(2018, 4, 1),
+            log_name="log", is_precert=True,
+        )
+        corpus.append_row(
+            issuer_org="Big CA", serial=9, day=date(2018, 4, 1),
+            log_name="log", is_precert=True,
+        )
+        assert corpus.serial[0] == huge
+        assert corpus.serial[1] == 9
+        assert list(corpus.serial) == [huge, 9]
+        assert corpus.serial[:] == (huge, 9)
+        assert [r.serial for r in corpus.iter_records()] == [huge, 9]
+        loaded = pickle.loads(pickle.dumps(corpus))
+        assert list(loaded.serial) == [huge, 9]
+
+    def test_open_iterators_and_views_survive_appends(self, logs):
+        """Appending must never raise BufferError under live readers."""
+        name, log = next(iter(logs.items()))
+        corpus = CertCorpus.empty()
+        corpus.append_entries(log.name, log.entries[:5])
+        view = corpus.view(0, 5)
+        iterator = corpus.iter_records()
+        next(iterator)
+        column_iter = iter(corpus.issuer_org)
+        next(column_iter)
+        delta = corpus.append_entries(log.name, log.entries[5:8])
+        assert len(delta) == 3
+        assert len(view) == 5  # existing rows never move
+        assert list(view.iter_records()) == list(corpus.iter_range(0, 5))
+
+    def test_columns_compare_equal_to_plain_sequences(self, corpus):
+        """Tuple-column parity: ``==`` is element-wise both ways."""
+        for column in ("issuer_org", "serial", "day", "log_name", "month",
+                       "is_precert"):
+            values = getattr(corpus, column)
+            assert values == values[:]
+            assert values[:] == values
+            assert values == list(values)
+            assert not values == tuple(values)[:-1]
+
+    def test_appended_corpus_pickle_round_trips(self, logs):
+        corpus = CertCorpus.empty()
+        for log in logs.values():
+            corpus.append_entries(log.name, log.entries)
+        loaded = pickle.loads(pickle.dumps(corpus))
+        assert list(loaded.iter_records()) == list(corpus.iter_records())

@@ -1,0 +1,267 @@
+"""Streaming incremental analytics: fold-by-fold equals batch."""
+
+import json
+from datetime import date, timedelta
+
+import pytest
+
+from repro.ct.feed import CertFeed
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.dataset import (
+    ANALYTICS_SCHEMA_VERSION,
+    CertCorpus,
+    LiveAnalytics,
+)
+from repro.dataset.sections import section2_graph, sections_graph
+from repro.obs import MetricsRegistry
+from repro.util.timeutil import utc_datetime
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 4, 2, 9, 0)
+MONTH = "2018-04"
+
+
+@pytest.fixture()
+def world():
+    logs = [
+        CTLog(name=f"Live Log {i}", operator="T", key=log_key(f"live:{i}", 256))
+        for i in range(3)
+    ]
+    cas = [CertificateAuthority(f"Live CA {i}", key_bits=256) for i in range(2)]
+    return logs, cas
+
+
+def _issue_rounds(logs, cas, rounds=5):
+    """Deterministic issuance; returns per-round issue counts."""
+    for round_no in range(rounds):
+        when = NOW + timedelta(days=round_no)
+        for c, ca in enumerate(cas):
+            for n in range(c + 1):
+                ca.issue(
+                    IssuanceRequest((f"r{round_no}c{c}n{n}.example",)),
+                    [logs[(round_no + c + n) % len(logs)]],
+                    when,
+                )
+        yield when
+
+
+def _assert_sections_equal(live_results, batch_results):
+    assert live_results["growth"] == batch_results["growth"]
+    assert live_results["rates"] == batch_results["rates"]
+    assert live_results["matrix"].cells() == batch_results["matrix"].cells()
+    assert live_results["matrix"].rows() == batch_results["matrix"].rows()
+    assert live_results["matrix"].cols() == batch_results["matrix"].cols()
+
+
+# -- PassGraph incremental mode ----------------------------------------------
+
+
+def test_graph_incremental_mode_equals_run_shard(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas))
+    corpus = CertCorpus.from_logs(logs)
+    graph = section2_graph(MONTH)
+
+    states = graph.new_states()
+    total = 0
+    for start in range(0, len(corpus), 4):
+        total += graph.fold_into(
+            states, corpus.iter_range(start, min(start + 4, len(corpus)))
+        )
+    incremental = graph.results_from_states(states)
+    batch = graph.run(corpus.iter_records())
+    assert total == len(corpus)
+    _assert_sections_equal(incremental, batch)
+
+
+def test_results_from_states_is_repeatable_and_non_destructive(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas, rounds=3))
+    corpus = CertCorpus.from_logs(logs)
+    graph = section2_graph(MONTH)
+    states = graph.new_states()
+    graph.fold_into(states, corpus.iter_range(0, len(corpus) // 2))
+    early = graph.results_from_states(states)
+    again = graph.results_from_states(states)
+    assert early["growth"] == again["growth"]
+    assert early["matrix"].cells() == again["matrix"].cells()
+    # Reading mid-stream must not corrupt the continuing fold.
+    graph.fold_into(states, corpus.iter_range(len(corpus) // 2, len(corpus)))
+    _assert_sections_equal(
+        graph.results_from_states(states), graph.run(corpus.iter_records())
+    )
+
+
+def test_empty_graph_has_no_states():
+    from repro.dataset.graph import PassGraph
+
+    with pytest.raises(ValueError, match="no extractors"):
+        PassGraph().new_states()
+
+
+# -- LiveAnalytics fold entry points -----------------------------------------
+
+
+def test_fold_events_from_feed_polls_equals_batch(world):
+    logs, cas = world
+    live = LiveAnalytics(section2_graph(MONTH))
+    feed = CertFeed(logs, analytics=live)
+    polls = 0
+    for when in _issue_rounds(logs, cas):
+        feed.poll(when)
+        polls += 1
+    corpus = CertCorpus.from_logs(logs, with_names=False)
+    assert live.records_folded == len(corpus)
+    assert live.batches_folded == polls
+    _assert_sections_equal(
+        live.results(), section2_graph(MONTH).run(corpus.iter_records())
+    )
+
+
+def test_fold_entries_and_fold_delta_agree_with_fold_events(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas))
+
+    by_events = LiveAnalytics(section2_graph(MONTH))
+    feed = CertFeed([], analytics=by_events)  # fold_events directly
+    from repro.ct.feed import FeedEvent
+
+    by_events.fold_events(
+        FeedEvent(log.name, entry, entry.submitted_at)
+        for log in logs
+        for entry in log.entries
+    )
+
+    by_entries = LiveAnalytics(section2_graph(MONTH))
+    for log in logs:
+        by_entries.fold_entries(log.name, log.entries)
+
+    by_delta = LiveAnalytics(section2_graph(MONTH))
+    corpus = CertCorpus.empty()
+    for log in logs:
+        by_delta.fold_delta(corpus.append_entries(log.name, log.entries))
+
+    reference = by_events.to_dict()["sections"]
+    assert by_entries.to_dict()["sections"] == reference
+    assert by_delta.to_dict()["sections"] == reference
+    assert feed.analytics is by_events
+
+
+def test_default_graph_is_section2(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas, rounds=2))
+    live = LiveAnalytics()
+    for log in logs:
+        live.fold_entries(log.name, log.entries)
+    assert set(live.results()) == {"growth", "rates", "matrix"}
+
+
+def test_metrics_counters(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas, rounds=2))
+    metrics = MetricsRegistry()
+    live = LiveAnalytics(section2_graph(MONTH), metrics=metrics)
+    for log in logs:
+        live.fold_entries(log.name, log.entries)
+    snap = metrics.snapshot()
+    assert snap.counter("dataset.live_batches") == len(logs)
+    assert snap.counter("dataset.live_records") == live.records_folded
+
+
+# -- the version-1 snapshot ---------------------------------------------------
+
+
+def test_to_dict_schema_and_json_round_trip(world):
+    logs, cas = world
+    live = LiveAnalytics(section2_graph(MONTH))
+    feed = CertFeed(logs, analytics=live)
+    for when in _issue_rounds(logs, cas):
+        feed.poll(when)
+    snapshot = live.to_dict()
+    assert snapshot["version"] == ANALYTICS_SCHEMA_VERSION == 1
+    assert snapshot["records_folded"] == live.records_folded > 0
+    assert snapshot["batches_folded"] == live.batches_folded
+    assert set(snapshot["sections"]) == {"growth", "rates", "matrix"}
+
+    # Plain JSON types throughout (the /analytics body).
+    encoded = json.dumps(snapshot, sort_keys=True)
+    assert json.loads(encoded) == snapshot
+
+    growth = snapshot["sections"]["growth"]
+    assert sorted(growth) == list(growth)  # CAs sorted
+    for points in growth.values():
+        days = [day for day, _ in points]
+        assert days == sorted(days)
+        for day, count in points:
+            assert date.fromisoformat(day)
+            assert isinstance(count, int)
+        counts = [count for _, count in points]
+        assert counts == sorted(counts)  # cumulative
+
+    rates = snapshot["sections"]["rates"]
+    assert list(rates) == sorted(rates)
+    for shares in rates.values():
+        assert all(0.0 <= share <= 1.0 for share in shares.values())
+
+    matrix = snapshot["sections"]["matrix"]
+    assert set(matrix) == {"rows", "cols", "cells"}
+    assert sum(cell[2] for cell in matrix["cells"]) == len(
+        [r for r in CertCorpus.from_logs(logs).iter_records() if r.is_precert]
+    )
+
+
+def test_sections_without_serializer_are_listed_unserialized(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas, rounds=2))
+    live = LiveAnalytics(sections_graph(MONTH), with_names=True)
+    for log in logs:
+        live.fold_entries(log.name, log.entries)
+    snapshot = live.to_dict()
+    # LeakageStats has no to_dict: reported, not silently dropped.
+    assert snapshot["unserialized"] == ["leakage"]
+    assert "leakage" not in snapshot["sections"]
+    json.dumps(snapshot)
+
+
+def test_with_names_controls_the_names_column(world):
+    logs, cas = world
+    list(_issue_rounds(logs, cas, rounds=2))
+    lean = LiveAnalytics(section2_graph(MONTH))
+    named = LiveAnalytics(section2_graph(MONTH), with_names=True)
+    seen = {}
+    for tag, live in (("lean", lean), ("named", named)):
+        records = []
+        original = live.graph.fold_into
+
+        def capture(states, recs, _records=records, _fold=original):
+            recs = list(recs)
+            _records.extend(recs)
+            return _fold(states, recs)
+
+        live.graph.fold_into = capture
+        live.fold_entries(logs[0].name, logs[0].entries)
+        seen[tag] = records
+    assert all(record.names == () for record in seen["lean"])
+    assert any(record.names != () for record in seen["named"])
+
+
+def test_render_is_deterministic_and_summarizes(world):
+    logs, cas = world
+    live = LiveAnalytics(section2_graph(MONTH))
+    feed = CertFeed(logs, analytics=live)
+    for when in _issue_rounds(logs, cas):
+        feed.poll(when)
+    text = live.render()
+    assert text == live.render()
+    assert "schema v1" in text
+    assert "growth (Fig 1a)" in text
+    assert "matrix (Table 1)" in text
+    for ca in ("Live CA 0", "Live CA 1"):
+        assert ca in text
+
+
+def test_render_of_empty_analytics():
+    live = LiveAnalytics(section2_graph(MONTH))
+    text = live.render()
+    assert "0 records, 0 batches" in text

@@ -183,6 +183,58 @@ def test_harvest_detects_truncated_replica():
             harvest_log(client, page_size=6)
 
 
+def test_harvest_pinned_to_sth_while_log_grows_concurrently():
+    """TOCTOU regression: appends landing mid-harvest must not leak in.
+
+    Every ``get-entries`` round triggers a concurrent submission over
+    the same HTTP server before the page is fetched, so the served
+    tree is strictly larger than the STH the harvest pinned up front.
+    The replica must stop at the pinned tree size and still verify
+    against the pinned root — growth after the STH fetch is invisible.
+    """
+    log = _build_log(entries=9)
+    precerts, issuer_key_hash = _precerts(6, "toctou")
+    with LogServer(log, clock=lambda: NOW) as server:
+        base = server.log_url(log.name)
+        submitter = LogClient(base)
+
+        class GrowingClient(LogClient):
+            def __init__(self, url):
+                super().__init__(url)
+                self.pending = list(precerts)
+
+            def get_entries(self, start, end):
+                if self.pending:  # the log grows before every page
+                    submitter.add_pre_chain(
+                        self.pending.pop(), issuer_key_hash
+                    )
+                return super().get_entries(start, end)
+
+        client = GrowingClient(base)
+        pinned = int(client.get_sth()["tree_size"])
+        assert pinned == 9
+
+        replica = harvest_log(
+            client, name=log.name, operator=log.operator, page_size=2
+        )
+
+    assert replica.size == pinned  # not one entry past the pinned STH
+    assert [entry.index for entry in replica.entries] == list(range(pinned))
+    assert replica.entries == log.entries[:pinned]
+    assert log.size > pinned  # the concurrent appends really landed
+    # harvest_log verified the rebuilt root against the pinned STH; a
+    # second harvest after the growth settles sees the longer log.
+    with LogServer(log, clock=lambda: NOW) as server:
+        settled = harvest_log(
+            LogClient(server.log_url(log.name)),
+            name=log.name,
+            operator=log.operator,
+            page_size=4,
+        )
+    assert settled.size == log.size
+    assert settled.tree.root() == log.tree.root()
+
+
 @pytest.mark.parametrize("executor", EXECUTORS)
 def test_storm_burst_under_both_executors(executor):
     log = _build_log(entries=8)

@@ -198,10 +198,51 @@ class TestTelemetryServer:
 
     def test_missing_sources_answer_404(self):
         with TelemetryServer(MetricsRegistry().snapshot) as server:
-            for route in ("/health", "/events/tail", "/nonsense"):
+            for route in ("/health", "/events/tail", "/analytics", "/nonsense"):
                 with pytest.raises(urllib.error.HTTPError) as excinfo:
                     _get(server.url + route)
                 assert excinfo.value.code == 404
+
+    def test_analytics_endpoint_serves_version1_json(self):
+        snapshot = {
+            "version": 1,
+            "records_folded": 3,
+            "batches_folded": 1,
+            "sections": {"growth": {"CA": [["2018-04-01", 3]]}},
+        }
+        with TelemetryServer(
+            MetricsRegistry().snapshot, analytics_source=lambda: snapshot
+        ) as server:
+            status, headers, body = _get(server.url + "/analytics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert body.endswith("\n")
+        assert json.loads(body) == snapshot
+        # Deterministic rendering: keys arrive sorted.
+        assert body == json.dumps(snapshot, sort_keys=True) + "\n"
+
+    def test_analytics_source_may_return_a_to_dict_object(self):
+        class Live:
+            def to_dict(self):
+                return {"version": 1, "sections": {}}
+
+        with TelemetryServer(
+            MetricsRegistry().snapshot, analytics_source=Live
+        ) as server:
+            status, _, body = _get(server.url + "/analytics")
+        assert status == 200
+        assert json.loads(body) == {"version": 1, "sections": {}}
+
+    def test_analytics_reflects_source_updates_between_scrapes(self):
+        state = {"version": 1, "records_folded": 0}
+        with TelemetryServer(
+            MetricsRegistry().snapshot, analytics_source=lambda: dict(state)
+        ) as server:
+            _, _, before = _get(server.url + "/analytics")
+            state["records_folded"] = 42
+            _, _, after = _get(server.url + "/analytics")
+        assert json.loads(before)["records_folded"] == 0
+        assert json.loads(after)["records_folded"] == 42
 
     def test_bad_tail_parameter_answers_400(self):
         with TelemetryServer(

@@ -167,6 +167,7 @@ def test_all_commands_registered():
         "fig1a", "fig1b", "fig1c", "sec2", "fig2", "table1", "sec32",
         "sec33", "sec34", "table2", "sec43", "table3", "table4",
         "threatintel", "projection", "status", "serve", "loadstorm",
+        "watch",
     }
 
 
@@ -348,6 +349,41 @@ def test_loadstorm_reports_and_writes_sidecar(capsys, tmp_path):
     assert payload["submissions_ok"] == 10
     assert payload["verification_failures"] == 0
     assert payload["transport_errors"] == 0
+
+
+def test_watch_streams_and_cross_checks(capsys):
+    code, output = run_cli(capsys, "watch", "--seed", "7")
+    assert code == 0
+    assert "CT live analytics — seed 7, 6 poll rounds" in output
+    assert "schema v1" in output
+    assert "growth (Fig 1a)" in output
+    assert "matrix (Table 1)" in output
+    assert (
+        "cross-check: incremental fold == batch recompute" in output
+    )
+
+
+def test_watch_is_deterministic(capsys):
+    code, first = run_cli(capsys, "watch", "--seed", "3")
+    assert code == 0
+    code, second = run_cli(capsys, "watch", "--seed", "3")
+    assert code == 0
+    assert first == second
+
+
+def test_watch_writes_analytics_snapshot(capsys, tmp_path):
+    path = tmp_path / "analytics.json"
+    code, output = run_cli(
+        capsys, "watch", "--seed", "7", "--analytics-out", str(path)
+    )
+    assert code == 0
+    snapshot = json.loads(path.read_text())
+    assert snapshot["version"] == 1
+    assert set(snapshot["sections"]) == {"growth", "rates", "matrix"}
+    assert snapshot["records_folded"] > 0
+    assert snapshot["batches_folded"] == 6
+    # The rendering and the sidecar agree on the record count.
+    assert f"{snapshot['records_folded']} records" in output
 
 
 def test_loadstorm_serial_executor_matches_population(capsys):

@@ -26,6 +26,66 @@ def test_percentile_empty_raises():
         percentile([], 50)
 
 
+def test_percentile_n1_exact():
+    for q in (0, 1, 50, 99, 100):
+        assert percentile([5.0], q) == 5.0
+
+
+def test_percentile_n2_exact():
+    values = [1.0, 2.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 25) == 1.25
+    assert percentile(values, 50) == 1.5
+    # Small samples interpolate; p99 of two points is NOT the max.
+    assert percentile(values, 99) == pytest.approx(1.99)
+    assert percentile(values, 100) == 2.0
+
+
+def test_percentile_n3_exact():
+    values = [10.0, 20.0, 40.0]
+    assert percentile(values, 25) == 15.0
+    assert percentile(values, 50) == 20.0
+    assert percentile(values, 75) == 30.0
+    assert percentile(values, 90) == pytest.approx(36.0)
+
+
+def test_percentile_n100_exact():
+    values = [float(i) for i in range(1, 101)]
+    assert percentile(values, 50) == 50.5
+    assert percentile(values, 95) == pytest.approx(95.05)
+    assert percentile(values, 99) == pytest.approx(99.01)
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 100.0
+
+
+def test_percentile_out_of_range_q_clamps_to_extremes():
+    values = [3.0, 4.0, 5.0]
+    assert percentile(values, -10) == 3.0
+    assert percentile(values, 250) == 5.0
+
+
+def test_percentile_nan_q_rejected():
+    with pytest.raises(ValueError, match="q is NaN"):
+        percentile([1.0, 2.0], float("nan"))
+
+
+def test_percentile_nan_value_rejected():
+    with pytest.raises(ValueError, match="contains NaN"):
+        percentile([1.0, float("nan"), 3.0], 50)
+    with pytest.raises(ValueError, match="contains NaN"):
+        percentile([float("nan")], 50)
+
+
+def test_percentile_unsorted_input_rejected():
+    with pytest.raises(ValueError, match="not sorted"):
+        percentile([2.0, 1.0, 3.0], 50)
+
+
+def test_percentile_allows_duplicates():
+    assert percentile([1.0, 1.0, 1.0], 73) == 1.0
+    assert percentile([1.0, 1.0, 2.0], 50) == 1.0
+
+
 def test_cumulative():
     assert cumulative([1, 2, 3]) == [1, 3, 6]
     assert cumulative([]) == []

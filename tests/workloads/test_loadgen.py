@@ -68,6 +68,38 @@ def test_plan_population_matches_config():
     assert all(op.chain and op.issuer_key_hash for op in submitter.ops)
 
 
+def test_monitor_pages_pinned_to_seed_tree_size():
+    """TOCTOU guard: planned reads never reach past the seeded tree.
+
+    Submitter clients grow the log mid-storm, so a monitor page
+    planned as ``cursor + page_size - 1`` could land beyond the seed
+    size and return entries the verification STH does not cover.  The
+    planner must clamp every page to the seed window and pin its
+    ``tree_size`` so execution can reject any over-answer.
+    """
+    log = _seeded_log(entries=10)
+    config = LoadStormConfig(
+        seed=9,
+        browsers=0,
+        monitors=3,
+        submitters=2,
+        pages_per_monitor=8,
+        page_size=7,  # guarantees cursor + page_size overruns size 10
+        submissions_per_submitter=4,
+    )
+    pages = [
+        op
+        for plan in plan_storm(config, log)
+        for op in plan.ops
+        if op.kind == "get_entries"
+    ]
+    assert pages
+    assert any(op.start + config.page_size - 1 > 9 for op in pages)
+    for op in pages:
+        assert 0 <= op.start <= op.end <= 9  # clamped to the seed window
+        assert op.tree_size == 10  # pinned for execution-time checks
+
+
 def test_plans_are_picklable_for_process_executor():
     log = _seeded_log(entries=4)
     config = LoadStormConfig(
