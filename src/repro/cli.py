@@ -451,10 +451,20 @@ def cmd_serve(args) -> str:
         port=args.port,
         metrics=args.metrics,
         events=args.events,
+        merge_interval=args.merge_interval,
+        max_batch=args.max_batch,
     )
     server.start()
     base = server.log_url(log.name)
-    print(f"serving {log.name!r} ({log.size} entries) at {server.url}", flush=True)
+    mode = (
+        f"batched writes, merge every {args.merge_interval}s"
+        if args.merge_interval is not None
+        else "per-entry writes"
+    )
+    print(
+        f"serving {log.name!r} ({log.size} entries, {mode}) at {server.url}",
+        flush=True,
+    )
     for endpoint in (
         "get-sth",
         "get-entries",
@@ -481,10 +491,18 @@ def cmd_serve(args) -> str:
     # A server stopped before any memoized request has zero lookups;
     # the rate is defined as 0.0 then, never a division by zero.
     hit_rate = hits / lookups if lookups else 0.0
-    return (
+    summary = (
         f"served {log.name!r}: tree size {log.size}, "
         f"memo hits {hits}, misses {misses}, hit rate {hit_rate:.0%}"
     )
+    for slug, stats in sorted(server.sequencer_stats().items()):
+        summary += (
+            f"\nsequencer {slug}: {stats['merges']} merges, "
+            f"{stats['entries_merged']} entries merged, "
+            f"max batch {stats['max_batch_merged']}, "
+            f"{stats['dedup_hits']} dedup hits"
+        )
+    return summary
 
 
 def cmd_loadstorm(args) -> str:
@@ -509,7 +527,12 @@ def cmd_loadstorm(args) -> str:
     )
     plans = plan_storm(config, log)
     with LogServer(
-        log, host=args.host, metrics=args.metrics, events=args.events
+        log,
+        host=args.host,
+        metrics=args.metrics,
+        events=args.events,
+        merge_interval=args.merge_interval,
+        max_batch=args.max_batch,
     ) as server:
         report = run_storm(
             plans,
@@ -517,6 +540,7 @@ def cmd_loadstorm(args) -> str:
             executor=args.executor,
             workers=args.workers if args.workers > 1 else 8,
         )
+        server.drain_writes()
     if args.storm_out:
         _write_json_artifact(args.storm_out, report.to_dict())
     return report.render()
@@ -700,6 +724,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["thread", "process", "serial"],
         default="thread",
         help="(loadstorm) client concurrency mode (default thread)",
+    )
+    server_group.add_argument(
+        "--merge-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="(serve, loadstorm) batch writes through the MMD sequencer, "
+        "merging pending submissions every SECONDS (default: per-entry "
+        "writes, no sequencer)",
+    )
+    server_group.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="(serve, loadstorm) max submissions folded into the Merkle "
+        "tree per merge when --merge-interval is set (default 256)",
     )
     server_group.add_argument(
         "--storm-out",

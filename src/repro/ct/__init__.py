@@ -19,7 +19,10 @@ Implements the CT machinery the paper measures:
   (:class:`LogServer`) serving get-sth / get-entries /
   get-proof-by-hash / get-sth-consistency / add-pre-chain over real
   sockets, plus the matching :class:`LogClient` and the Merkle-verified
-  :func:`harvest_log` replica builder.
+  :func:`harvest_log` replica builder;
+* :mod:`repro.ct.sequencer` — the MMD sequencer
+  (:class:`LogSequencer`): batched Merkle writes with immediate SCT
+  issuance, the write path that survives Section 2's submission storm.
 """
 
 from repro.ct.auditor import AuditFinding, GossipPool, LogAuditor
@@ -35,6 +38,7 @@ from repro.ct.merkle import (
 from repro.ct.monitor import BatchMonitor, LogObservation, StreamingMonitor
 from repro.ct.policy import ChromeCTPolicy, PolicyVerdict
 from repro.ct.sct import SignedCertificateTimestamp, SctChannel
+from repro.ct.sequencer import LogSequencer, MergeResult
 from repro.ct.server import (
     HarvestedLog,
     LogClient,
@@ -67,6 +71,8 @@ __all__ = [
     "LogInfo",
     "LogObservation",
     "LogOverloadedError",
+    "LogSequencer",
+    "MergeResult",
     "MerkleTree",
     "PolicyVerdict",
     "SctChannel",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import date, datetime
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ct.merkle import MerkleTree
 from repro.ct.sct import (
@@ -150,42 +150,102 @@ class CTLog:
     ) -> SignedCertificateTimestamp:
         if self.disqualified:
             raise LogDisqualifiedError(f"{self.name} is disqualified")
-        cache_key = crypto.sha256(entry_input)
+        cache_key = self.submission_cache_key(entry_input)
         cached = self._sct_cache.get(cache_key)
         if cached is not None:
             # Logs deduplicate: resubmission returns the original SCT.
             return cached
+        self.admit(now)
+        sct = self.sign_sct(entry_type, entry_input, now)
+        self.append_batch([(entry_input, entry_type, cert, now)])
+        self._sct_cache[cache_key] = sct
+        return sct
+
+    # -- submission primitives (shared with the MMD sequencer) ---------------
+
+    @staticmethod
+    def submission_cache_key(entry_input: bytes) -> bytes:
+        """The dedup key for one submission (hash of the signed input)."""
+        return crypto.sha256(entry_input)
+
+    def admit(self, now: datetime) -> None:
+        """Gate one *new* (non-duplicate) submission.
+
+        Raises :class:`LogDisqualifiedError` for a disqualified log and
+        — after recording the overload — :class:`LogOverloadedError`
+        for a strict over-capacity log.  Only an *accepted* submission
+        consumes daily quota: a rejected submission records an overload
+        event but leaves ``_daily_counts`` at the capacity ceiling, so
+        a client retrying a 429 never double-counts against the quota.
+        """
+        if self.disqualified:
+            raise LogDisqualifiedError(f"{self.name} is disqualified")
         day = now.date()
         count = self._daily_counts.get(day, 0) + 1
-        self._daily_counts[day] = count
         if self.capacity_per_day is not None and count > self.capacity_per_day:
             self.overload_days[day] = self.overload_days.get(day, 0) + 1
             if self.strict_capacity:
                 raise LogOverloadedError(
                     f"{self.name} over capacity on {day.isoformat()}"
                 )
+        self._daily_counts[day] = count
+
+    def sign_sct(
+        self, entry_type: SctEntryType, entry_input: bytes, now: datetime
+    ) -> SignedCertificateTimestamp:
+        """Sign the inclusion promise for one admitted submission.
+
+        Pure compute over the log key — safe to call outside any tree
+        lock, which is exactly what the batched write pipeline does.
+        """
         ts = timestamp_ms(now)
         payload = SignedCertificateTimestamp.signed_payload(
             self.log_id, ts, entry_type, entry_input
         )
-        sct = SignedCertificateTimestamp(
+        return SignedCertificateTimestamp(
             log_id=self.log_id,
             timestamp_ms=ts,
             entry_type=entry_type,
             signature=crypto.sign(self.key, payload),
         )
-        index = self.tree.append(entry_input)
-        self.entries.append(
-            LogEntry(
-                index=index,
-                submitted_at=now,
-                entry_type=entry_type,
-                certificate=cert,
-                leaf_input=entry_input,
-            )
+
+    def append_batch(
+        self,
+        submissions: Sequence[Tuple[bytes, SctEntryType, Certificate, datetime]],
+    ) -> List[int]:
+        """Fold admitted submissions into the tree in one batch.
+
+        Each element is ``(entry_input, entry_type, certificate,
+        submitted_at)``.  The tree and the entry list grow together in
+        one step (callers holding a read lock see either none or all of
+        the batch); returns the assigned indices.
+        """
+        indices = self.tree.append_many(
+            [entry_input for entry_input, _, _, _ in submissions]
         )
+        for index, (entry_input, entry_type, cert, submitted_at) in zip(
+            indices, submissions
+        ):
+            self.entries.append(
+                LogEntry(
+                    index=index,
+                    submitted_at=submitted_at,
+                    entry_type=entry_type,
+                    certificate=cert,
+                    leaf_input=entry_input,
+                )
+            )
+        return indices
+
+    def cached_sct(self, cache_key: bytes) -> Optional[SignedCertificateTimestamp]:
+        """The SCT of an already-merged submission, if any."""
+        return self._sct_cache.get(cache_key)
+
+    def register_sct(
+        self, cache_key: bytes, sct: SignedCertificateTimestamp
+    ) -> None:
+        """Install a merged submission's SCT into the dedup cache."""
         self._sct_cache[cache_key] = sct
-        return sct
 
     # -- read API --------------------------------------------------------------
 

@@ -16,7 +16,7 @@ are the invariants the property-based tests in
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 LEAF_PREFIX = b"\x00"
 NODE_PREFIX = b"\x01"
@@ -79,6 +79,51 @@ class MerkleTree:
         index = len(self._leaf_hashes) - 1
         self._leaf_index.setdefault(digest, index)
         return index
+
+    def append_many(self, leaves: Iterable[bytes]) -> List[int]:
+        """Append a batch of leaves; returns their indices.
+
+        Bit-identical to calling :meth:`append` once per leaf — same
+        roots at every tree size, same proofs, same first-occurrence
+        ``leaf_index`` winners — but the subtree cache is warmed once
+        per batch instead of once per leaf, so a merge of *k* entries
+        costs O(k) hashing instead of k ragged-edge re-walks.
+        """
+        return self.extend_leaf_hashes([leaf_hash(leaf) for leaf in leaves])
+
+    def extend_leaf_hashes(self, digests: Iterable[bytes]) -> List[int]:
+        """Batch form of :meth:`append_leaf_hash` (for replicas/merges)."""
+        batch = list(digests)
+        start = len(self._leaf_hashes)
+        self._leaf_hashes.extend(batch)
+        for offset, digest in enumerate(batch):
+            self._leaf_index.setdefault(digest, start + offset)
+        if batch:
+            self._warm_subtree_cache(start, len(self._leaf_hashes))
+        return list(range(start, start + len(batch)))
+
+    def _warm_subtree_cache(self, start: int, end: int) -> None:
+        """Cache every complete power-of-two subtree gaining leaves.
+
+        Works bottom-up (children before parents), so each interior
+        node costs exactly one hash over two already-known digests.
+        Only complete, aligned subtrees are cached — the same immutable
+        set :meth:`_range_hash` caches lazily — so a batched tree and a
+        per-leaf tree answer every root/proof query identically.
+        """
+        width = 2
+        while width <= end:
+            block = (start // width) * width
+            while block + width <= end:
+                key = (block, block + width)
+                if key not in self._subtree_cache:
+                    half = width // 2
+                    self._subtree_cache[key] = node_hash(
+                        self._range_hash(block, block + half),
+                        self._range_hash(block + half, block + width),
+                    )
+                block += width
+            width *= 2
 
     def leaf_index(self, digest: bytes) -> Optional[int]:
         """First index of a leaf *hash*, or ``None`` if absent."""

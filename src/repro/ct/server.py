@@ -28,6 +28,17 @@ memoized in a bounded LRU (proofs over a fixed tree size are
 immutable), and the Merkle tree itself caches roots incrementally
 (:class:`repro.ct.merkle.MerkleTree`).
 
+The write path scales through the MMD sequencer
+(:class:`repro.ct.sequencer.LogSequencer`): pass ``merge_interval``
+(plus ``max_batch``) and every mounted :class:`CTLog` gains RFC 6962
+maximum-merge-delay semantics — ``add-pre-chain`` signs and returns
+the SCT immediately *without taking the per-log read lock*, parks the
+entry in a pending queue, and a background worker folds batches into
+the Merkle tree, publishing one STH per merge.  A pre-built
+:class:`~repro.ct.sequencer.LogSequencer` can also be mounted directly
+(deterministic mode: the caller drives ``merge()`` explicitly);
+:meth:`LogServer.drain_writes` force-merges everything pending.
+
 Telemetry: with a :class:`~repro.obs.metrics.MetricsRegistry` /
 :class:`~repro.obs.events.EventLog` attached, every request records a
 per-endpoint latency histogram (``log_server.request_seconds``), a
@@ -75,6 +86,7 @@ from repro.ct.log import (
     LogOverloadedError,
 )
 from repro.ct.merkle import MerkleTree
+from repro.ct.sequencer import DEFAULT_MAX_BATCH, LogSequencer
 from repro.ct.sct import SctEntryType, SignedCertificateTimestamp
 from repro.ct.storage import certificate_from_dict, certificate_to_dict
 from repro.util.httpd import HttpServerHandle
@@ -201,14 +213,28 @@ class _MemoCache:
 
 
 class _ServedLog:
-    """One mounted log: the object, its lock, and its memo caches."""
+    """One mounted log: the object, its lock, and its memo caches.
 
-    def __init__(self, log: CTLog, memo_entries: int) -> None:
-        self.log = log
-        self.slug = log_slug(log.name)
-        # One lock per log: CTLog is not thread-safe, and handler
-        # threads race both reads and add-pre-chain mutations.
-        self.lock = threading.RLock()
+    A mounted :class:`~repro.ct.sequencer.LogSequencer` brings its own
+    tree lock (merges and HTTP readers must agree on one), and its
+    published STH is reused instead of re-signing on scrape.
+    """
+
+    def __init__(
+        self, target: Union[CTLog, LogSequencer], memo_entries: int
+    ) -> None:
+        if isinstance(target, LogSequencer):
+            self.sequencer: Optional[LogSequencer] = target
+            self.log = target.log
+            # Readers take the same lock merges fold batches under.
+            self.lock: threading.RLock = target.tree_lock
+        else:
+            self.sequencer = None
+            self.log = target
+            # One lock per log: CTLog is not thread-safe, and handler
+            # threads race both reads and add-pre-chain mutations.
+            self.lock = threading.RLock()
+        self.slug = log_slug(self.log.name)
         self.memo = _MemoCache(memo_entries)
         self._sth_memo: Optional[Tuple[int, Dict[str, object]]] = None
 
@@ -217,14 +243,21 @@ class _ServedLog:
 
         One signature per tree growth: a million scrapes between two
         appends cost one RSA signing operation, exactly like a real
-        log publishing an STH on an interval.
+        log publishing an STH on an interval.  A sequenced log already
+        signed an STH at merge time; that one is served as-is.
         """
         size = self.log.tree.size
         if self._sth_memo is not None and self._sth_memo[0] == size:
             self.memo.hits += 1
             return self._sth_memo[1]
         self.memo.misses += 1
-        sth = self.log.get_sth(now)
+        sth = None
+        if self.sequencer is not None:
+            published = self.sequencer.latest_sth()
+            if published is not None and published.tree_size == size:
+                sth = published
+        if sth is None:
+            sth = self.log.get_sth(now)
         body: Dict[str, object] = {
             "tree_size": sth.tree_size,
             "timestamp": sth.timestamp_ms,
@@ -263,11 +296,25 @@ class LogServer:
         Bind address; ``port=0`` picks an ephemeral port — the shared
         :class:`repro.util.httpd.HttpServerHandle` behaviour, identical
         to :class:`repro.obs.export.TelemetryServer`.
+    merge_interval / max_batch:
+        When ``merge_interval`` is set, every bare :class:`CTLog` is
+        wrapped in a :class:`~repro.ct.sequencer.LogSequencer` whose
+        background worker merges pending entries every
+        ``merge_interval`` seconds in ``max_batch``-sized Merkle
+        batches (MMD semantics: SCT first, inclusion later).  The
+        worker follows :meth:`start`/:meth:`stop`; ``stop`` drains.
+        Mounting a pre-built sequencer instead leaves merge scheduling
+        to the caller.
     """
 
     def __init__(
         self,
-        logs: Union[CTLog, Iterable[CTLog], Mapping[str, CTLog]],
+        logs: Union[
+            CTLog,
+            LogSequencer,
+            Iterable[Union[CTLog, LogSequencer]],
+            Mapping[str, Union[CTLog, LogSequencer]],
+        ],
         *,
         clock: Optional[Clock] = None,
         metrics: Optional[object] = None,
@@ -277,17 +324,38 @@ class LogServer:
         port: int = 0,
         page_limit: int = DEFAULT_PAGE_LIMIT,
         memo_entries: int = DEFAULT_MEMO_ENTRIES,
+        merge_interval: Optional[float] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
     ) -> None:
-        if isinstance(logs, CTLog):
-            log_list: List[CTLog] = [logs]
+        if isinstance(logs, (CTLog, LogSequencer)):
+            log_list: List[Union[CTLog, LogSequencer]] = [logs]
         elif isinstance(logs, Mapping):
             log_list = list(logs.values())
         else:
             log_list = list(logs)
         if not log_list:
             raise ValueError("LogServer needs at least one log")
+        self._clock = clock if clock is not None else _utc_now
+        self._metrics = metrics
+        self._events = events
+        self._telemetry_lock = telemetry_lock or threading.Lock()
+        # Sequencers the server itself created (merge_interval mode):
+        # their background workers follow the server's start()/stop().
+        # Prebuilt LogSequencer mounts stay caller-managed.
+        self._own_sequencers: List[LogSequencer] = []
         self._served: "Dict[str, _ServedLog]" = {}
         for log in log_list:
+            if isinstance(log, CTLog) and merge_interval is not None:
+                log = LogSequencer(
+                    log,
+                    max_batch=max_batch,
+                    merge_interval=merge_interval,
+                    clock=self._clock,
+                    metrics=metrics,
+                    events=events,
+                    telemetry_lock=self._telemetry_lock,
+                )
+                self._own_sequencers.append(log)
             served = _ServedLog(log, memo_entries)
             if served.slug in self._served:
                 raise ValueError(f"duplicate log slug {served.slug!r}")
@@ -295,10 +363,6 @@ class LogServer:
         self._single = (
             next(iter(self._served.values())) if len(self._served) == 1 else None
         )
-        self._clock = clock if clock is not None else _utc_now
-        self._metrics = metrics
-        self._events = events
-        self._telemetry_lock = telemetry_lock or threading.Lock()
         self.page_limit = page_limit
         self._handle = HttpServerHandle(
             _LogServerHandler,
@@ -324,10 +388,16 @@ class LogServer:
 
     def start(self) -> "LogServer":
         self._handle.start()
+        for sequencer in self._own_sequencers:
+            sequencer.start()
         return self
 
     def stop(self) -> None:
         self._handle.stop()
+        # After the socket closes no new submissions can land; merge
+        # whatever is still pending so every issued SCT is honoured.
+        for sequencer in self._own_sequencers:
+            sequencer.stop(drain=True)
 
     def __enter__(self) -> "LogServer":
         return self.start()
@@ -452,16 +522,17 @@ class LogServer:
         for slug in sorted(self._served):
             served = self._served[slug]
             with served.lock:
-                logs.append(
-                    {
-                        "slug": slug,
-                        "name": served.log.name,
-                        "operator": served.log.operator,
-                        "tree_size": served.log.tree.size,
-                        "disqualified": served.log.disqualified,
-                        "url": f"/{slug}",
-                    }
-                )
+                entry: Dict[str, object] = {
+                    "slug": slug,
+                    "name": served.log.name,
+                    "operator": served.log.operator,
+                    "tree_size": served.log.tree.size,
+                    "disqualified": served.log.disqualified,
+                    "url": f"/{slug}",
+                }
+            if served.sequencer is not None:
+                entry["pending"] = served.sequencer.pending_count()
+            logs.append(entry)
         return {"logs": logs}
 
     def _get_sth(self, served: _ServedLog) -> Tuple[int, Dict[str, object]]:
@@ -590,13 +661,25 @@ class LogServer:
             raise
         except Exception as exc:
             raise HttpApiError(400, f"malformed chain: {exc}") from None
-        with served.lock:
+        if served.sequencer is not None:
+            # MMD write path: dedup + SCT signing happen in the
+            # sequencer without touching the per-log read lock, so a
+            # submission storm on this log never serializes against
+            # readers — or against other logs' writers.
             try:
-                sct = served.log.add_pre_chain(
+                sct = served.sequencer.submit_pre_chain(
                     precert, issuer_key_hash, self._clock()
                 )
             except ValueError as exc:
                 raise HttpApiError(400, str(exc)) from None
+        else:
+            with served.lock:
+                try:
+                    sct = served.log.add_pre_chain(
+                        precert, issuer_key_hash, self._clock()
+                    )
+                except ValueError as exc:
+                    raise HttpApiError(400, str(exc)) from None
         return 200, {
             "sct_version": 0,
             "id": _b64(sct.log_id),
@@ -606,6 +689,27 @@ class LogServer:
         }
 
     # -- introspection -------------------------------------------------------
+
+    def drain_writes(self) -> int:
+        """Merge every pending entry on every sequenced log, now.
+
+        Returns the number of entries folded.  Useful for tests and
+        storms that issued SCTs and want inclusion proofs without
+        waiting out the merge interval.  Per-entry logs contribute 0.
+        """
+        return sum(
+            served.sequencer.drain()
+            for served in self._served.values()
+            if served.sequencer is not None
+        )
+
+    def sequencer_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-log sequencer counters (sequenced logs only)."""
+        return {
+            slug: served.sequencer.stats()
+            for slug, served in sorted(self._served.items())
+            if served.sequencer is not None
+        }
 
     def memo_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-log memo counters (STH memo included).

@@ -78,6 +78,7 @@ EVENT_KINDS = (
     "audit_finding",
     "metrics_flush",
     "log_server_request",
+    "sequencer_merge",
 )
 
 

@@ -25,10 +25,21 @@ client population deterministically and drives a
 submissions/sec, read p50/p99 latency, per-endpoint status counts, and
 verification tallies — the numbers the ``repro loadstorm`` CLI prints
 and the server benchmark gates.
+
+Against a *batched* server (``LogServer(..., merge_interval=...)``)
+SCT issuance and Merkle inclusion are separate moments: the SCT comes
+back immediately, the leaf appears in the tree only after the next
+merge.  Each submitter therefore ends its plan with an
+``await_inclusion`` op (unless ``LoadStormConfig.await_inclusion`` is
+off) that polls ``get-sth`` + ``get-proof-by-hash`` until every leaf
+it submitted verifies against a served root — the measured duration of
+that op *is* the observed merge lag, reported separately from SCT
+latency (``sct_p50``/``sct_p99`` vs ``merge_lag_max_s``).
 """
 
 from __future__ import annotations
 
+import base64
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -41,6 +52,7 @@ from repro.ct.merkle import (
     verify_consistency_proof,
     verify_inclusion_proof,
 )
+from repro.ct.sct import precert_signing_input
 from repro.ct.server import LogClient, LogClientError
 from repro.ct.storage import certificate_to_dict
 from repro.util.rng import SeededRng
@@ -53,7 +65,12 @@ from repro.x509.ca import CertificateAuthority, IssuanceRequest
 STORM_EXECUTORS = ("thread", "process", "serial")
 
 #: Op kinds that count as *reads* for the latency percentiles.
+#: ``await_inclusion`` is deliberately excluded: it is a polling loop
+#: whose duration measures merge lag, not a single-request latency.
 READ_OPS = ("get_sth", "get_entries", "get_proof_by_hash", "get_sth_consistency")
+
+#: Sleep between inclusion polls while waiting for a merge.
+_AWAIT_POLL_S = 0.005
 
 
 @dataclass(frozen=True)
@@ -71,6 +88,7 @@ class StormOp:
     old_root: bytes = b""
     chain: Tuple[Dict, ...] = ()
     issuer_key_hash: bytes = b""
+    leaves: Tuple[bytes, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -89,6 +107,10 @@ class ClientPlan:
     def submissions(self) -> int:
         return sum(1 for op in self.ops if op.kind == "add_pre_chain")
 
+    @property
+    def awaited_leaves(self) -> int:
+        return sum(len(op.leaves) for op in self.ops if op.kind == "await_inclusion")
+
 
 @dataclass(frozen=True)
 class LoadStormConfig:
@@ -104,6 +126,9 @@ class LoadStormConfig:
     submissions_per_submitter: int = 10
     #: Wall-clock budget per HTTP call before a client gives up.
     timeout_s: float = 30.0
+    #: Whether each submitter ends its plan by polling until every
+    #: leaf it submitted is provably included (measures merge lag).
+    await_inclusion: bool = True
 
     @property
     def clients(self) -> int:
@@ -193,6 +218,7 @@ def plan_storm(
             key=crypto.KeyPair.generate(f"storm-scratch:{config.seed}:{s}", 256),
         )
         ops = []
+        leaves: List[bytes] = []
         for n in range(config.submissions_per_submitter):
             name = (
                 f"burst{n}.{submitter_rng.token(8)}.storm-{config.seed}.example"
@@ -210,9 +236,48 @@ def plan_storm(
                     issuer_key_hash=ca.issuer_key_hash,
                 )
             )
+            leaves.append(
+                precert_signing_input(pair.precertificate, ca.issuer_key_hash)
+            )
+        if config.await_inclusion and leaves:
+            ops.append(StormOp(kind="await_inclusion", leaves=tuple(leaves)))
         plans.append(ClientPlan("submitter", f"submitter-{s}", tuple(ops)))
 
     return plans
+
+
+def _await_inclusion(
+    client: LogClient, leaves: Sequence[bytes], timeout_s: float
+) -> bool:
+    """Poll until every leaf verifies inclusion against a served STH.
+
+    A batched log answers ``add-pre-chain`` before the leaf is in the
+    tree; this loop is the client-side other half of MMD semantics —
+    wait for a merge, then check the promise was kept.  Returns whether
+    every leaf produced a valid inclusion proof before ``timeout_s``.
+    """
+    deadline = time.monotonic() + timeout_s
+    pending: Dict[bytes, bytes] = {leaf_hash(leaf): leaf for leaf in leaves}
+    while pending:
+        sth = client.get_sth()
+        tree_size = int(sth["tree_size"])  # type: ignore[arg-type]
+        root = base64.b64decode(str(sth["sha256_root_hash"]))
+        if tree_size > 0:
+            for digest in list(pending):
+                try:
+                    index, path = client.get_proof_by_hash(digest, tree_size)
+                except LogClientError:
+                    continue  # not merged into this tree size yet
+                if verify_inclusion_proof(
+                    pending[digest], index, tree_size, path, root
+                ):
+                    del pending[digest]
+        if not pending:
+            return True
+        if time.monotonic() >= deadline:
+            return False
+        time.sleep(_AWAIT_POLL_S)
+    return True
 
 
 @dataclass
@@ -280,6 +345,8 @@ def _execute_plan(
                 precert = certificate_from_dict(dict(op.chain[0]))
                 sct = client.add_pre_chain(precert, op.issuer_key_hash)
                 verified = sct.timestamp_ms > 0 and len(sct.signature) > 0
+            elif op.kind == "await_inclusion":
+                verified = _await_inclusion(client, op.leaves, timeout_s)
             else:  # pragma: no cover - plan builder controls kinds
                 raise ValueError(f"unknown op kind {op.kind!r}")
         except LogClientError as exc:
@@ -329,6 +396,47 @@ class LoadStormReport:
     def read_p99(self) -> float:
         lats = self.read_latencies
         return percentile(lats, 99) if lats else 0.0
+
+    @property
+    def sct_latencies(self) -> List[float]:
+        """Time-to-SCT for accepted submissions (promise latency)."""
+        return sorted(
+            op.seconds for op in self._ops("add_pre_chain") if op.status == 200
+        )
+
+    @property
+    def sct_p50(self) -> float:
+        lats = self.sct_latencies
+        return percentile(lats, 50) if lats else 0.0
+
+    @property
+    def sct_p99(self) -> float:
+        lats = self.sct_latencies
+        return percentile(lats, 99) if lats else 0.0
+
+    @property
+    def merge_lags(self) -> List[float]:
+        """Observed merge lag per submitter (await_inclusion durations)."""
+        return sorted(
+            op.seconds for op in self._ops("await_inclusion") if op.status == 200
+        )
+
+    @property
+    def merge_lag_max_s(self) -> float:
+        lags = self.merge_lags
+        return lags[-1] if lags else 0.0
+
+    @property
+    def merge_lag_mean_s(self) -> float:
+        lags = self.merge_lags
+        return sum(lags) / len(lags) if lags else 0.0
+
+    @property
+    def inclusions_verified(self) -> int:
+        """await_inclusion ops whose every leaf proved inclusion."""
+        return sum(
+            1 for op in self._ops("await_inclusion") if op.verified is True
+        )
 
     @property
     def submissions_ok(self) -> int:
@@ -382,7 +490,7 @@ class LoadStormReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "version": 1,
+            "version": 2,
             "executor": self.executor,
             "workers": self.workers,
             "clients": self.clients,
@@ -394,6 +502,11 @@ class LoadStormReport:
             "submissions_ok": self.submissions_ok,
             "submissions_rejected": self.submissions_rejected,
             "submissions_per_sec": self.submissions_per_sec,
+            "sct_p50_s": self.sct_p50,
+            "sct_p99_s": self.sct_p99,
+            "merge_lag_max_s": self.merge_lag_max_s,
+            "merge_lag_mean_s": self.merge_lag_mean_s,
+            "inclusions_verified": self.inclusions_verified,
             "verified_ok": self.verified_ok,
             "verification_failures": self.verification_failures,
             "transport_errors": self.transport_errors,
@@ -414,9 +527,19 @@ class LoadStormReport:
             f"  submissions  {self.submissions_ok:6d} ok   "
             f"{self.submissions_per_sec:8.1f}/s   "
             f"{self.submissions_rejected} rejected (429)",
+            f"  sct latency  p50 {self.sct_p50 * 1e3:7.2f} ms   "
+            f"p99 {self.sct_p99 * 1e3:7.2f} ms",
             f"  verification {self.verified_ok:6d} ok   "
             f"{self.verification_failures} failed   "
             f"{self.transport_errors} transport errors",
+        ]
+        if self.merge_lags:
+            lines.append(
+                f"  merge lag    max {self.merge_lag_max_s * 1e3:7.2f} ms   "
+                f"mean {self.merge_lag_mean_s * 1e3:7.2f} ms   "
+                f"{self.inclusions_verified} submitters fully included"
+            )
+        lines += [
             "  statuses     "
             + "  ".join(
                 f"{status}:{count}"

@@ -133,6 +133,62 @@ def test_strict_capacity_rejects(ca256, now):
         issue_into(ca256, log, "over.example", now)
 
 
+def test_strict_rejections_do_not_consume_quota(ca256, now):
+    """A 429'd submission must not count against the daily quota.
+
+    Before the fix, ``_accept`` bumped ``_daily_counts`` *before* the
+    strict-capacity raise, so every rejected retry inflated the count
+    past the ceiling even though nothing was appended.
+    """
+    log = CTLog(
+        name="Quota Log", operator="T", key=log_key("Quota Log", 256),
+        capacity_per_day=2, strict_capacity=True,
+    )
+    scratch = CTLog(
+        name="Quota Scratch", operator="T", key=log_key("Quota Scratch", 256)
+    )
+    accepted = [issue_into(ca256, log, f"q{i}.example", now) for i in range(2)]
+    assert log.size == 2
+
+    # Five distinct over-capacity submissions: each raises, none counts.
+    for i in range(5):
+        pair = issue_into(ca256, scratch, f"over{i}.example", now)
+        with pytest.raises(LogOverloadedError):
+            log.add_pre_chain(pair.precertificate, ca256.issuer_key_hash, now)
+
+    assert log.daily_submission_counts()[now.date()] == 2
+    assert log.overload_days[now.date()] == 5  # overloads still observed
+    assert log.size == 2
+
+    # A retried rejection also never double-counts the quota.
+    retry = issue_into(ca256, scratch, "retry.example", now)
+    for _ in range(3):
+        with pytest.raises(LogOverloadedError):
+            log.add_pre_chain(retry.precertificate, ca256.issuer_key_hash, now)
+    assert log.daily_submission_counts()[now.date()] == 2
+
+    # Dedup runs before the capacity gate: a resubmission of an
+    # *accepted* entry still returns its cached SCT at full capacity.
+    again = log.add_pre_chain(
+        accepted[0].precertificate, ca256.issuer_key_hash, now
+    )
+    assert again == accepted[0].scts[0]
+    assert log.daily_submission_counts()[now.date()] == 2
+
+
+def test_non_strict_overload_still_counts_admissions(ca256, now):
+    """Without strict_capacity every submission is accepted and counted."""
+    log = CTLog(
+        name="Soft Log", operator="T", key=log_key("Soft Log", 256),
+        capacity_per_day=2,
+    )
+    for i in range(5):
+        issue_into(ca256, log, f"s{i}.example", now)
+    assert log.size == 5
+    assert log.daily_submission_counts()[now.date()] == 5
+    assert log.overload_days[now.date()] == 3
+
+
 def test_capacity_resets_across_days(ca256, now):
     log = CTLog(
         name="Daily Log", operator="T", key=log_key("Daily Log", 256),

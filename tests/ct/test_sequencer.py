@@ -1,0 +1,432 @@
+"""The MMD sequencer: batched writes proven equivalent to per-entry.
+
+Four families of guarantees:
+
+* **MMD semantics** — submissions return an SCT immediately but stay
+  invisible to readers until a merge; one STH per merge; deterministic
+  ``merge``/``run_merges``/``drain`` driving.
+* **dedup races** — resubmitting a still-pending certificate returns
+  the original SCT and never enqueues a second entry, serial and
+  threaded.
+* **golden equivalence** — with a fixed clock, the fully-merged
+  batched pipeline serves byte-identical JSON bodies to the per-entry
+  write path (get-sth, get-entries, proofs, SCT responses).
+* **incremental equivalence** — the sequencer-built log state is
+  bit-identical to the unbatched path, serially and after a threaded
+  race (replayed against a serial reference).
+"""
+
+import json
+import threading
+from datetime import timedelta
+
+import pytest
+
+from repro.ct.log import CTLog, LogOverloadedError
+from repro.ct.merkle import leaf_hash, verify_inclusion_proof
+from repro.ct.sct import precert_signing_input
+from repro.ct.sequencer import LogSequencer
+from repro.ct.server import LogServer
+from repro.obs import EventLog, MetricsRegistry
+from repro.util.timeutil import utc_datetime
+from repro.x509 import crypto
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+NOW = utc_datetime(2018, 5, 1, 12, 0)
+
+
+def make_log(name="Seq Log", **kwargs):
+    return CTLog(
+        name=name,
+        operator="Unit",
+        key=crypto.KeyPair.generate(f"seq-unit:{name}", 256),
+        **kwargs,
+    )
+
+
+def make_precerts(count, tag="seq"):
+    ca = CertificateAuthority(f"Seq CA {tag}", key_bits=256)
+    scratch = make_log(name=f"seq-scratch-{tag}")
+    precerts = []
+    for i in range(count):
+        pair = ca.issue(
+            IssuanceRequest((f"p{i}.{tag}.example",)), [scratch], NOW
+        )
+        precerts.append(pair.precertificate)
+    return precerts, ca.issuer_key_hash
+
+
+# -- MMD semantics -----------------------------------------------------------
+
+
+def test_submission_is_pending_until_merge():
+    log = make_log()
+    sequencer = LogSequencer(log)
+    precerts, ikh = make_precerts(3)
+
+    scts = [
+        sequencer.submit_pre_chain(p, ikh, NOW + timedelta(seconds=i))
+        for i, p in enumerate(precerts)
+    ]
+    assert all(sct.signature for sct in scts)
+    assert log.size == 0  # promise issued, inclusion deferred
+    assert sequencer.pending_count() == 3
+    assert sequencer.queued_count() == 3
+    assert sequencer.latest_sth() is None
+
+    result = sequencer.merge(NOW + timedelta(minutes=1))
+    assert result.merged == 3
+    assert result.tree_size == 3
+    assert log.size == 3
+    assert sequencer.pending_count() == 0
+
+
+def test_merge_publishes_one_verifiable_sth_per_batch():
+    log = make_log()
+    sequencer = LogSequencer(log, max_batch=2)
+    precerts, ikh = make_precerts(5)
+    for p in precerts:
+        sequencer.submit_pre_chain(p, ikh, NOW)
+
+    results = sequencer.run_merges(10, NOW + timedelta(minutes=2))
+    assert [r.merged for r in results] == [2, 2, 1]
+    assert [r.tree_size for r in results] == [2, 4, 5]
+    for result in results:
+        assert result.sth is not None
+        assert result.sth.verify(log.key)
+        assert result.sth.tree_size <= log.size
+    assert sequencer.latest_sth().tree_size == 5
+    assert results[-1].max_lag_s == pytest.approx(120.0)
+
+
+def test_empty_merge_is_a_noop():
+    sequencer = LogSequencer(make_log())
+    result = sequencer.merge(NOW)
+    assert result.empty
+    assert result.sth is None
+    assert sequencer.stats()["merges"] == 0
+
+
+def test_drain_merges_everything():
+    log = make_log()
+    sequencer = LogSequencer(log, max_batch=3)
+    precerts, ikh = make_precerts(8)
+    for p in precerts:
+        sequencer.submit_pre_chain(p, ikh, NOW)
+    assert sequencer.drain(NOW) == 8
+    assert log.size == 8
+    assert sequencer.queued_count() == 0
+    stats = sequencer.stats()
+    assert stats["merges"] == 3  # ceil(8 / 3)
+    assert stats["max_batch_merged"] == 3
+
+
+def test_background_worker_merges_without_explicit_calls():
+    log = make_log()
+    precerts, ikh = make_precerts(4)
+    with LogSequencer(log, merge_interval=0.01) as sequencer:
+        for p in precerts:
+            sequencer.submit_pre_chain(p, ikh, NOW)
+        deadline = threading.Event()
+        for _ in range(500):
+            if log.size == 4:
+                break
+            deadline.wait(0.01)
+    assert log.size == 4
+    assert sequencer.stats()["entries_merged"] == 4
+
+
+def test_submit_chain_sequences_final_certificates():
+    log = make_log(name="X509 Log")
+    sequencer = LogSequencer(log)
+    ca = CertificateAuthority("Seq X509 CA", key_bits=256)
+    pair = ca.issue(
+        IssuanceRequest(("x509.seq.example",), embed_scts=False), [], NOW
+    )
+    sct = sequencer.submit_chain(pair.final_certificate, NOW)
+    assert sct.signature
+    assert log.size == 0
+    assert sequencer.merge(NOW).merged == 1
+    assert log.entries[0].entry_type.name == "X509_ENTRY"
+
+
+def test_capacity_gate_applies_at_submission_time():
+    log = make_log(capacity_per_day=2, strict_capacity=True)
+    sequencer = LogSequencer(log)
+    precerts, ikh = make_precerts(3)
+    sequencer.submit_pre_chain(precerts[0], ikh, NOW)
+    sequencer.submit_pre_chain(precerts[1], ikh, NOW)
+    with pytest.raises(LogOverloadedError):
+        sequencer.submit_pre_chain(precerts[2], ikh, NOW)
+    # The rejected submission reserved nothing: merge sees exactly two.
+    assert sequencer.drain(NOW) == 2
+    assert log.size == 2
+
+
+def test_sequencer_obs_wiring():
+    metrics = MetricsRegistry()
+    events = EventLog()
+    log = make_log()
+    sequencer = LogSequencer(log, metrics=metrics, events=events)
+    precerts, ikh = make_precerts(3)
+    for p in precerts:
+        sequencer.submit_pre_chain(p, ikh, NOW)
+    sequencer.submit_pre_chain(precerts[0], ikh, NOW)  # merged? no: pending dedup
+    sequencer.drain(NOW + timedelta(seconds=30))
+    sequencer.submit_pre_chain(precerts[0], ikh, NOW)  # merged dedup
+
+    from repro.obs.metrics import metric_key
+
+    snapshot = metrics.snapshot()
+    name = log.name
+    assert snapshot.counters[metric_key("sequencer.merges", {"log": name})] == 1
+    assert (
+        snapshot.counters[metric_key("sequencer.entries_merged", {"log": name})] == 3
+    )
+    assert (
+        snapshot.counters[
+            metric_key("sequencer.dedup_hits", {"log": name, "state": "pending"})
+        ]
+        == 1
+    )
+    assert (
+        snapshot.counters[
+            metric_key("sequencer.dedup_hits", {"log": name, "state": "merged"})
+        ]
+        == 1
+    )
+    assert snapshot.gauges[metric_key("sequencer.pending_depth", {"log": name})] == 0
+    merge_events = [e for e in events.tail(100) if e["kind"] == "sequencer_merge"]
+    assert len(merge_events) == 1
+    assert merge_events[0]["batch"] == 3
+    assert merge_events[0]["tree_size"] == 3
+    assert merge_events[0]["max_lag_ms"] == pytest.approx(30000.0)
+
+
+# -- dedup races (satellite: pending resubmission) ---------------------------
+
+
+def test_pending_resubmission_returns_original_sct_without_second_entry():
+    log = make_log()
+    sequencer = LogSequencer(log)
+    precerts, ikh = make_precerts(1)
+    first = sequencer.submit_pre_chain(precerts[0], ikh, NOW)
+    again = sequencer.submit_pre_chain(
+        precerts[0], ikh, NOW + timedelta(seconds=5)
+    )
+    assert again is first  # the parked entry's SCT, not a re-signature
+    assert sequencer.queued_count() == 1
+    assert sequencer.pending_count() == 1
+    assert sequencer.stats()["dedup_hits"] == 1
+
+    assert sequencer.drain(NOW) == 1
+    assert log.size == 1
+    merged = sequencer.submit_pre_chain(
+        precerts[0], ikh, NOW + timedelta(minutes=9)
+    )
+    assert merged.timestamp_ms == first.timestamp_ms
+    assert merged.signature == first.signature
+    assert log.size == 1  # still exactly one entry
+
+
+def test_threaded_duplicate_race_yields_one_entry_one_sct():
+    log = make_log()
+    sequencer = LogSequencer(log)
+    precerts, ikh = make_precerts(1)
+    results = []
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def race():
+        try:
+            barrier.wait(timeout=10)
+            results.append(sequencer.submit_pre_chain(precerts[0], ikh, NOW))
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [threading.Thread(target=race) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert len(results) == 8
+    # Every racer got the *same* SCT bytes, and only one entry exists.
+    assert len({sct.signature for sct in results}) == 1
+    assert sequencer.queued_count() == 1
+    assert sequencer.drain(NOW) == 1
+    assert log.size == 1
+    # Quota was charged exactly once despite eight concurrent submitters.
+    assert log.daily_submission_counts()[NOW.date()] == 1
+
+
+# -- golden equivalence over HTTP bodies (satellite: byte-identical) ---------
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_batched_pipeline_serves_byte_identical_bodies():
+    """Fixed clock + same submissions: batched == per-entry, byte for byte."""
+    clock = lambda: NOW  # noqa: E731 - deterministic server clock
+    key_a = crypto.KeyPair.generate("seq-golden", 256)
+    key_b = crypto.KeyPair.generate("seq-golden", 256)
+    assert key_a.key_id == key_b.key_id  # same seed -> same log identity
+
+    plain_log = CTLog(name="Golden Log", operator="Unit", key=key_a)
+    seq_log = CTLog(name="Golden Log", operator="Unit", key=key_b)
+    plain_server = LogServer(plain_log, clock=clock)
+    sequencer = LogSequencer(seq_log, clock=clock, max_batch=4)
+    seq_server = LogServer(sequencer, clock=clock)
+
+    precerts, ikh = make_precerts(9, tag="golden")
+    from tests.ct.test_server import submit_body
+
+    for precert in precerts:
+        body = submit_body(precert, ikh)
+        status_a, sct_a, _ = plain_server.handle_request(
+            "POST", "/ct/v1/add-pre-chain", "", body
+        )
+        status_b, sct_b, _ = seq_server.handle_request(
+            "POST", "/ct/v1/add-pre-chain", "", body
+        )
+        assert status_a == status_b == 200
+        # The SCT response is identical even *before* the merge.
+        assert canonical(sct_a) == canonical(sct_b)
+
+    assert seq_log.size == 0
+    sequencer.drain()  # fully merged (clock is fixed, lag is zero)
+    assert seq_log.size == plain_log.size == 9
+
+    probes = [
+        ("GET", "/ct/v1/get-sth", ""),
+        ("GET", "/ct/v1/get-entries", "start=0&end=8"),
+        ("GET", "/ct/v1/get-entries", "start=3&end=5"),
+        ("GET", "/ct/v1/get-sth-consistency", "first=4&second=9"),
+        ("GET", "/ct/v1/get-sth-consistency", "first=0&second=9"),
+    ]
+    import base64
+
+    for precert in precerts:
+        digest = leaf_hash(precert_signing_input(precert, ikh))
+        quoted = base64.b64encode(digest).decode().replace("+", "%2B").replace(
+            "/", "%2F"
+        ).replace("=", "%3D")
+        probes.append(
+            ("GET", "/ct/v1/get-proof-by-hash", f"hash={quoted}&tree_size=9")
+        )
+    for method, path, query in probes:
+        status_a, body_a, _ = plain_server.handle_request(method, path, query, b"")
+        status_b, body_b, _ = seq_server.handle_request(method, path, query, b"")
+        assert status_a == status_b == 200, (path, query)
+        assert canonical(body_a) == canonical(body_b), (path, query)
+
+
+# -- incremental equivalence -------------------------------------------------
+
+
+def test_serial_sequencer_state_matches_unbatched_path():
+    precerts, ikh = make_precerts(13, tag="serial-eq")
+    reference = make_log(name="Eq Log")
+    log = CTLog(name="Eq Log", operator="Unit", key=crypto.KeyPair.generate("seq-unit:Eq Log", 256))
+    assert log.key.key_id == reference.key.key_id
+    sequencer = LogSequencer(log, max_batch=5)
+
+    ref_scts, seq_scts = [], []
+    for i, precert in enumerate(precerts):
+        when = NOW + timedelta(seconds=i)
+        ref_scts.append(reference.add_pre_chain(precert, ikh, when))
+        seq_scts.append(sequencer.submit_pre_chain(precert, ikh, when))
+        if i % 4 == 3:
+            sequencer.merge(when)
+    sequencer.drain(NOW + timedelta(minutes=1))
+
+    assert log.size == reference.size
+    assert log.tree.root() == reference.tree.root()
+    for size in range(reference.size + 1):
+        assert log.tree.root(size) == reference.tree.root(size)
+    for index in range(reference.size):
+        assert log.tree.inclusion_proof(index) == reference.tree.inclusion_proof(index)
+    assert [s.signature for s in seq_scts] == [s.signature for s in ref_scts]
+    assert [e.leaf_input for e in log.entries] == [
+        e.leaf_input for e in reference.entries
+    ]
+    assert log.entries == reference.entries
+    assert log.daily_submission_counts() == reference.daily_submission_counts()
+
+
+def test_threaded_sequencer_equals_serial_replay():
+    precerts, ikh = make_precerts(24, tag="thread-eq")
+    log = make_log(name="Race Log")
+    sequencer = LogSequencer(log, max_batch=7)
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def submit(chunk):
+        try:
+            barrier.wait(timeout=10)
+            for precert in chunk:
+                sequencer.submit_pre_chain(precert, ikh, NOW)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(precerts[i::4],)) for i in range(4)
+    ]
+    merger = threading.Thread(
+        target=lambda: [sequencer.merge(NOW) for _ in range(6)]
+    )
+    for t in threads:
+        t.start()
+    merger.start()
+    for t in threads + [merger]:
+        t.join(timeout=60)
+    assert not errors
+    sequencer.drain(NOW)
+
+    assert log.size == 24  # nothing lost, nothing duplicated
+    assert len({e.leaf_input for e in log.entries}) == 24
+
+    # Replay the *observed* entry order serially through the unbatched
+    # path: the threaded pipeline must have produced the same tree.
+    replay = CTLog(
+        name="Race Log",
+        operator="Unit",
+        key=crypto.KeyPair.generate("seq-unit:Race Log", 256),
+    )
+    for entry in log.entries:
+        replay.tree.append(entry.leaf_input)
+    assert replay.tree.root() == log.tree.root()
+    for size in range(25):
+        assert replay.tree.root(size) == log.tree.root(size)
+
+    # Every SCT's promise is honoured: its leaf verifies inclusion
+    # against the final root.
+    root = log.tree.root()
+    for precert in precerts:
+        leaf = precert_signing_input(precert, ikh)
+        index = log.tree.leaf_index(leaf_hash(leaf))
+        assert index is not None
+        proof = log.tree.inclusion_proof(index)
+        assert verify_inclusion_proof(leaf, index, 24, proof, root)
+
+
+def test_sequencer_rejects_bad_parameters():
+    log = make_log(name="Param Log")
+    with pytest.raises(ValueError):
+        LogSequencer(log, max_batch=0)
+    with pytest.raises(ValueError):
+        LogSequencer(log, merge_interval=-1.0)
+    sequencer = LogSequencer(log)
+    with pytest.raises(ValueError):
+        sequencer.merge(NOW, max_batch=0)
+    final_ca = CertificateAuthority("Seq Final CA", key_bits=256)
+    pair = final_ca.issue(
+        IssuanceRequest(("final.seq.example",), embed_scts=False), [], NOW
+    )
+    with pytest.raises(ValueError):
+        sequencer.submit_pre_chain(pair.final_certificate, b"x" * 32, NOW)
+    precerts, ikh = make_precerts(1, tag="param")
+    with pytest.raises(ValueError):
+        sequencer.submit_chain(precerts[0], NOW)

@@ -1,0 +1,164 @@
+"""Batched Merkle appends are bit-identical to sequential appends.
+
+The MMD sequencer's whole correctness story rests on one equivalence:
+``append_many`` over *any* batch split must leave the tree in exactly
+the state N single ``append`` calls produce — same roots at every
+historical size, same proofs, same duplicate-leaf index semantics.
+These tests drive that equivalence with seeded stdlib randomness
+(deterministic across runs, no extra dependencies needed for the
+batch-split generator).
+"""
+
+import random
+
+import pytest
+
+from repro.ct.merkle import (
+    MerkleTree,
+    leaf_hash,
+    verify_consistency_proof,
+    verify_inclusion_proof,
+)
+
+SEEDS = (2018, 6962, 424242)
+
+
+def random_leaves(rng: random.Random, count: int) -> list:
+    """Leaves with deliberate duplicates (dedup index semantics matter)."""
+    leaves = []
+    for _ in range(count):
+        if leaves and rng.random() < 0.2:
+            leaves.append(rng.choice(leaves))  # duplicate an earlier leaf
+        else:
+            leaves.append(rng.randbytes(rng.randrange(0, 33)))
+    return leaves
+
+
+def random_splits(rng: random.Random, count: int) -> list:
+    """Partition ``count`` items into random contiguous batch sizes."""
+    sizes = []
+    remaining = count
+    while remaining:
+        take = rng.randint(1, remaining)
+        sizes.append(take)
+        remaining -= take
+    return sizes
+
+
+def sequential_reference(leaves):
+    tree = MerkleTree()
+    roots_by_size = {0: tree.root()}
+    for leaf in leaves:
+        tree.append(leaf)
+        roots_by_size[tree.size] = tree.root()
+    return tree, roots_by_size
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_append_many_matches_sequential_appends(seed):
+    rng = random.Random(seed)
+    for trial in range(10):
+        leaves = random_leaves(rng, rng.randint(1, 48))
+        reference, roots_by_size = sequential_reference(leaves)
+
+        batched = MerkleTree()
+        cursor = 0
+        for size in random_splits(rng, len(leaves)):
+            indices = batched.append_many(leaves[cursor : cursor + size])
+            assert indices == list(range(cursor, cursor + size))
+            cursor += size
+            # The root after every batch equals the sequential root at
+            # that intermediate size — batches are invisible in history.
+            assert batched.root() == roots_by_size[cursor]
+
+        assert batched.size == reference.size
+        for tree_size in range(len(leaves) + 1):
+            assert batched.root(tree_size) == reference.root(tree_size)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_tree_proofs_verify_and_match(seed):
+    rng = random.Random(seed)
+    leaves = random_leaves(rng, 37)
+    reference, _ = sequential_reference(leaves)
+
+    batched = MerkleTree()
+    cursor = 0
+    for size in random_splits(rng, len(leaves)):
+        batched.append_many(leaves[cursor : cursor + size])
+        cursor += size
+
+    root = batched.root()
+    for index in range(len(leaves)):
+        proof = batched.inclusion_proof(index)
+        assert proof == reference.inclusion_proof(index)
+        assert verify_inclusion_proof(
+            leaves[index], index, len(leaves), proof, root
+        )
+    for old_size in range(len(leaves) + 1):
+        proof = batched.consistency_proof(old_size)
+        assert proof == reference.consistency_proof(old_size)
+        assert verify_consistency_proof(
+            old_size, len(leaves), batched.root(old_size), root, proof
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_leaf_index_keeps_first_occurrence_across_batches(seed):
+    rng = random.Random(seed)
+    leaves = random_leaves(rng, 40)
+    reference, _ = sequential_reference(leaves)
+
+    batched = MerkleTree()
+    cursor = 0
+    for size in random_splits(rng, len(leaves)):
+        batched.append_many(leaves[cursor : cursor + size])
+        cursor += size
+
+    first_seen = {}
+    for position, leaf in enumerate(leaves):
+        first_seen.setdefault(leaf_hash(leaf), position)
+    for digest, expected in first_seen.items():
+        assert batched.leaf_index(digest) == expected
+        assert reference.leaf_index(digest) == expected
+
+
+def test_append_many_empty_batch_is_a_noop():
+    tree = MerkleTree()
+    tree.append(b"anchor")
+    root = tree.root()
+    assert tree.append_many([]) == []
+    assert tree.extend_leaf_hashes([]) == []
+    assert tree.size == 1
+    assert tree.root() == root
+
+
+def test_extend_leaf_hashes_matches_append_leaf_hash():
+    rng = random.Random(99)
+    digests = [leaf_hash(rng.randbytes(16)) for _ in range(23)]
+
+    sequential = MerkleTree()
+    for digest in digests:
+        sequential.append_leaf_hash(digest)
+
+    batched = MerkleTree()
+    batched.extend_leaf_hashes(digests[:7])
+    batched.extend_leaf_hashes(digests[7:8])
+    batched.extend_leaf_hashes(digests[8:])
+
+    assert batched.size == sequential.size
+    for tree_size in range(len(digests) + 1):
+        assert batched.root(tree_size) == sequential.root(tree_size)
+    for index in range(len(digests)):
+        assert batched.inclusion_proof(index) == sequential.inclusion_proof(index)
+
+
+def test_single_giant_batch_equals_per_leaf_appends():
+    rng = random.Random(5)
+    leaves = [rng.randbytes(24) for _ in range(257)]  # crosses power-of-two edges
+    reference, _ = sequential_reference(leaves)
+    batched = MerkleTree()
+    batched.append_many(leaves)
+    assert batched.root() == reference.root()
+    for tree_size in (1, 2, 127, 128, 129, 255, 256, 257):
+        assert batched.root(tree_size) == reference.root(tree_size)

@@ -286,13 +286,27 @@ def test_serve_runs_for_duration_and_reports(capsys):
         "serve", "--duration-s", "0.2", "--log-entries", "4", "--seed", "9",
     )
     assert code == 0
-    assert "serving 'Repro Serve Log' (4 entries) at http://127.0.0.1:" in output
+    assert (
+        "serving 'Repro Serve Log' (4 entries, per-entry writes) "
+        "at http://127.0.0.1:"
+    ) in output
     for endpoint in (
         "get-sth", "get-entries", "get-proof-by-hash",
         "get-sth-consistency", "add-pre-chain",
     ):
         assert f"/ct/v1/{endpoint}" in output
     assert "served 'Repro Serve Log': tree size 4" in output
+
+
+def test_serve_batched_mode_reports_sequencer_stats(capsys):
+    code, output = run_cli(
+        capsys,
+        "serve", "--duration-s", "0.2", "--log-entries", "4", "--seed", "9",
+        "--merge-interval", "0.05", "--max-batch", "16",
+    )
+    assert code == 0
+    assert "(4 entries, batched writes, merge every 0.05s)" in output
+    assert "sequencer repro-serve-log: 0 merges" in output
 
 
 def test_serve_is_actually_reachable_while_up(capsys):
@@ -344,11 +358,14 @@ def test_loadstorm_reports_and_writes_sidecar(capsys, tmp_path):
     assert "p99" in output
     assert "0 failed   0 transport errors" in output
     payload = json.loads(path.read_text())
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["clients"] == 4
     assert payload["submissions_ok"] == 10
     assert payload["verification_failures"] == 0
     assert payload["transport_errors"] == 0
+    # Per-entry writes merge synchronously, but the submitter still
+    # proves its leaves included before exiting.
+    assert payload["inclusions_verified"] == 1
 
 
 def test_watch_streams_and_cross_checks(capsys):

@@ -62,10 +62,32 @@ def test_plan_population_matches_config():
     monitor = next(plan for plan in plans if plan.kind == "monitor")
     assert monitor.ops[-1].kind == "get_sth_consistency"
     assert monitor.ops[-1].second == log.size
-    # Submitters carry real poisoned precertificates in wire form.
+    # Submitters carry real poisoned precertificates in wire form and
+    # end with one await_inclusion op covering every submitted leaf.
     submitter = next(plan for plan in plans if plan.kind == "submitter")
-    assert all(op.kind == "add_pre_chain" for op in submitter.ops)
-    assert all(op.chain and op.issuer_key_hash for op in submitter.ops)
+    assert [op.kind for op in submitter.ops] == ["add_pre_chain"] * 5 + [
+        "await_inclusion"
+    ]
+    assert all(
+        op.chain and op.issuer_key_hash
+        for op in submitter.ops
+        if op.kind == "add_pre_chain"
+    )
+    assert submitter.awaited_leaves == 5
+    assert len(submitter.ops[-1].leaves) == 5
+    assert submitter.submissions == 5  # the await op is not a submission
+    assert submitter.reads == 0  # ...and not a read either
+
+
+def test_await_inclusion_can_be_disabled():
+    log = _seeded_log()
+    config = LoadStormConfig(
+        seed=3, browsers=0, monitors=0, submitters=2,
+        submissions_per_submitter=4, await_inclusion=False,
+    )
+    for plan in plan_storm(config, log):
+        assert all(op.kind == "add_pre_chain" for op in plan.ops)
+        assert plan.awaited_leaves == 0
 
 
 def test_monitor_pages_pinned_to_seed_tree_size():
@@ -170,13 +192,42 @@ def test_report_flags_verification_failures_only_on_success():
 def test_report_to_dict_round_trips_schema():
     report = _report([[OpResult("get_sth", 200, 0.5, True)]])
     data = report.to_dict()
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert data["clients"] == 1
     assert data["reads_ok"] == 1
     assert data["status_counts"] == {"200": 1}
+    for key in (
+        "sct_p50_s", "sct_p99_s", "merge_lag_max_s", "merge_lag_mean_s",
+        "inclusions_verified",
+    ):
+        assert key in data
     assert set(READ_OPS) == {
         "get_sth", "get_entries", "get_proof_by_hash", "get_sth_consistency"
     }
+
+
+def test_report_separates_sct_latency_from_merge_lag():
+    submissions = [
+        OpResult("add_pre_chain", 200, 0.002, True),
+        OpResult("add_pre_chain", 200, 0.004, True),
+        OpResult("add_pre_chain", 429, 9.0, None),  # rejected: excluded
+    ]
+    awaits = [
+        OpResult("await_inclusion", 200, 0.050, True),
+        OpResult("await_inclusion", 200, 0.030, True),
+        OpResult("await_inclusion", 200, 10.0, False),  # timed out
+    ]
+    report = _report([submissions, awaits])
+    assert report.sct_latencies == [0.002, 0.004]
+    assert report.sct_p99 <= 0.004
+    # Merge lag comes from the await ops — including the timeout (its
+    # duration is real waiting), but it fails inclusion verification.
+    assert report.merge_lag_max_s == pytest.approx(10.0)
+    assert report.merge_lag_mean_s == pytest.approx((0.05 + 0.03 + 10.0) / 3)
+    assert report.inclusions_verified == 2
+    assert report.verification_failures == 1
+    # The await ops never leak into the read-latency percentiles.
+    assert report.read_latencies == []
 
 
 def test_report_render_mentions_the_gated_numbers():
@@ -185,3 +236,17 @@ def test_report_render_mentions_the_gated_numbers():
     assert "submissions" in rendered
     assert "p99" in rendered
     assert "thread pool" in rendered
+    assert "sct latency" in rendered
+    assert "merge lag" not in rendered  # no await ops ran
+
+
+def test_report_render_includes_merge_lag_when_awaited():
+    report = _report(
+        [[
+            OpResult("add_pre_chain", 200, 0.01, True),
+            OpResult("await_inclusion", 200, 0.2, True),
+        ]]
+    )
+    rendered = report.render()
+    assert "merge lag" in rendered
+    assert "1 submitters fully included" in rendered
