@@ -514,9 +514,24 @@ def cmd_loadstorm(args) -> str:
     concurrently over real sockets with ``--executor`` workers.  Prints
     the storm report (reads/sec, p50/p99, submissions/sec); with
     ``--storm-out FILE`` also writes it as JSON.
+
+    ``--lightweight-monitors N`` additionally runs a swarm of N
+    verifiable light-weight monitors (proof subscription via
+    ``get-batch-digest``) against the served log after the storm
+    settles, reporting their wire cost and zero-miss coverage;
+    ``--swarm-out FILE`` writes that report as JSON.
     """
+    from datetime import datetime, timezone
+
     from repro.ct.server import LogServer
-    from repro.workloads.loadgen import LoadStormConfig, plan_storm, run_storm
+    from repro.workloads.loadgen import (
+        LoadStormConfig,
+        MonitorSwarm,
+        MonitorSwarmConfig,
+        plan_storm,
+        plan_swarm_subscriptions,
+        run_storm,
+    )
 
     log = _seeded_ct_log(args.seed, args.log_entries)
     config = LoadStormConfig(
@@ -526,6 +541,7 @@ def cmd_loadstorm(args) -> str:
         submitters=args.submitters,
     )
     plans = plan_storm(config, log)
+    swarm_summary = None
     with LogServer(
         log,
         host=args.host,
@@ -541,9 +557,126 @@ def cmd_loadstorm(args) -> str:
             workers=args.workers if args.workers > 1 else 8,
         )
         server.drain_writes()
+        if args.lightweight_monitors > 0:
+            swarm_config = MonitorSwarmConfig(
+                seed=args.seed, monitors=args.lightweight_monitors
+            )
+            domain_pool = [
+                name
+                for entry in log.entries
+                for name in entry.certificate.dns_names()
+            ]
+            swarm = MonitorSwarm(
+                server.log_url(log.name),
+                log.name,
+                plan_swarm_subscriptions(swarm_config, domain_pool),
+                key=log.key,
+            )
+            matched = swarm.poll(datetime.now(timezone.utc))
+            totals = swarm.wire_totals()
+            swarm_summary = {
+                "monitors": args.lightweight_monitors,
+                "tree_size": log.size,
+                "matched_observations": matched,
+                "missed_subscribed": swarm.missed_subscribed(log),
+                "findings": len(swarm.findings()),
+                "wire_requests": totals["requests"],
+                "wire_entries": totals["entries"],
+                "wire_bytes": totals["bytes"],
+            }
     if args.storm_out:
         _write_json_artifact(args.storm_out, report.to_dict())
-    return report.render()
+    rendered = report.render()
+    if swarm_summary is not None:
+        if args.swarm_out:
+            _write_json_artifact(args.swarm_out, swarm_summary)
+        rendered += (
+            f"\nLight-weight swarm — {swarm_summary['monitors']} monitors "
+            f"over tree size {swarm_summary['tree_size']}:"
+            f"\n  matched      {swarm_summary['matched_observations']:6d} "
+            f"observations   {swarm_summary['missed_subscribed']} missed   "
+            f"{swarm_summary['findings']} findings"
+            f"\n  wire cost    {swarm_summary['wire_requests']:6d} requests   "
+            f"{swarm_summary['wire_entries']} entry bodies   "
+            f"{swarm_summary['wire_bytes']} bytes"
+        )
+    return rendered
+
+
+def cmd_gossip(args) -> str:
+    """Demonstrate wire-level STH gossip catching a split-view log.
+
+    Seeds a log, builds a fully servable equivocating twin (same size,
+    diverging tail), and mounts both as one
+    :class:`~repro.ct.server.SplitView`: clients on one side of the
+    partition read the honest view, clients on the other side the twin.
+    A read-only seeded storm (browsers + monitors, no submitters) then
+    hits the server, every client's fetched STH is gossiped into a
+    :class:`~repro.ct.auditor.GossipPool`, and the detected
+    equivocation surfaces as split-view incidents.  ``--gossip-out
+    FILE`` writes the storm report plus the incidents as JSON.
+    """
+    from repro.ct.auditor import GossipPool, make_split_view_log
+    from repro.ct.server import LogServer, SplitView
+    from repro.workloads.incidents import split_view_incidents
+    from repro.workloads.loadgen import (
+        LoadStormConfig,
+        gossip_storm_sths,
+        plan_storm,
+        run_storm,
+    )
+
+    log = _seeded_ct_log(args.seed, args.log_entries)
+    twin = make_split_view_log(log, fork_at=log.size // 2, pad_to=log.size)
+    config = LoadStormConfig(
+        seed=args.seed,
+        browsers=args.browsers,
+        monitors=args.monitors,
+        submitters=0,
+    )
+    plans = plan_storm(config, log)
+    with LogServer(
+        SplitView(log, twin),
+        host=args.host,
+        metrics=args.metrics,
+        events=args.events,
+    ) as server:
+        report = run_storm(
+            plans,
+            server.log_url(log.name),
+            executor=args.executor,
+            workers=args.workers if args.workers > 1 else 8,
+        )
+    pool = GossipPool(metrics=args.metrics, events=args.events)
+    gossip_storm_sths(report, pool, log.name)
+    incidents = split_view_incidents(pool)
+    if args.gossip_out:
+        _write_json_artifact(
+            args.gossip_out,
+            {
+                "storm": report.to_dict(),
+                "sths_gossiped": pool.sths_gossiped,
+                "split_view_incidents": [
+                    incident.to_dict() for incident in incidents
+                ],
+            },
+        )
+    lines = [
+        report.render(),
+        f"Gossip — {pool.sths_gossiped} STHs gossiped by "
+        f"{config.clients} clients:",
+    ]
+    if incidents:
+        for incident in incidents:
+            lines.append(
+                f"  SPLIT VIEW detected on {incident.log_name!r} at tree "
+                f"size {incident.tree_size}: {incident.first_reporter} saw "
+                f"{incident.first_root[:16]}…, {incident.second_reporter} "
+                f"saw {incident.second_root[:16]}…"
+            )
+    else:
+        lines.append("  no equivocation detected")
+    return "\n".join(lines)
 
 
 COMMANDS: Dict[str, Callable] = {
@@ -566,6 +699,7 @@ COMMANDS: Dict[str, Callable] = {
     "watch": cmd_watch,
     "serve": cmd_serve,
     "loadstorm": cmd_loadstorm,
+    "gossip": cmd_gossip,
 }
 
 
@@ -747,6 +881,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="(loadstorm) also write the storm report as JSON to FILE",
+    )
+    server_group.add_argument(
+        "--lightweight-monitors",
+        type=int,
+        default=0,
+        metavar="N",
+        help="(loadstorm) after the storm, run N verifiable light-weight "
+        "monitors (get-batch-digest proof subscription) against the "
+        "served log and report their wire cost (default 0 = off)",
+    )
+    server_group.add_argument(
+        "--swarm-out",
+        metavar="FILE",
+        default=None,
+        help="(loadstorm) also write the light-weight swarm report as "
+        "JSON to FILE",
+    )
+    server_group.add_argument(
+        "--gossip-out",
+        metavar="FILE",
+        default=None,
+        help="(gossip) also write the storm report + detected split-view "
+        "incidents as JSON to FILE",
     )
     return parser
 

@@ -25,8 +25,20 @@ Implements the CT machinery the paper measures:
   issuance, the write path that survives Section 2's submission storm.
 """
 
-from repro.ct.auditor import AuditFinding, GossipPool, LogAuditor
-from repro.ct.log import CTLog, LogEntry, LogEntryType, LogOverloadedError
+from repro.ct.auditor import (
+    AuditFinding,
+    Equivocation,
+    GossipPool,
+    LogAuditor,
+    make_split_view_log,
+)
+from repro.ct.log import (
+    BatchDigest,
+    CTLog,
+    LogEntry,
+    LogEntryType,
+    LogOverloadedError,
+)
 from repro.ct.loglist import KNOWN_LOGS, LogInfo, build_default_logs
 from repro.ct.redaction import RedactionPolicy, redact_certificate, redact_name
 from repro.ct.storage import dump_log, load_log
@@ -35,7 +47,18 @@ from repro.ct.merkle import (
     verify_consistency_proof,
     verify_inclusion_proof,
 )
-from repro.ct.monitor import BatchMonitor, LogObservation, StreamingMonitor
+from repro.ct.monitor import (
+    BatchMonitor,
+    HttpTransport,
+    InMemoryTransport,
+    LightweightMonitor,
+    LogObservation,
+    LogTransport,
+    StreamingMonitor,
+    as_transport,
+    domain_matches,
+    watch_logs,
+)
 from repro.ct.policy import ChromeCTPolicy, PolicyVerdict
 from repro.ct.sct import SignedCertificateTimestamp, SctChannel
 from repro.ct.sequencer import LogSequencer, MergeResult
@@ -44,16 +67,30 @@ from repro.ct.server import (
     LogClient,
     LogClientError,
     LogServer,
+    SplitView,
+    default_split_partition,
     harvest_log,
 )
 from repro.ct.verification import SctValidationResult, validate_embedded_scts
 
 __all__ = [
     "AuditFinding",
+    "BatchDigest",
     "BatchMonitor",
     "CTLog",
+    "Equivocation",
     "GossipPool",
+    "HttpTransport",
+    "InMemoryTransport",
+    "LightweightMonitor",
     "LogAuditor",
+    "LogTransport",
+    "SplitView",
+    "as_transport",
+    "default_split_partition",
+    "domain_matches",
+    "make_split_view_log",
+    "watch_logs",
     "RedactionPolicy",
     "dump_log",
     "load_log",

@@ -250,54 +250,157 @@ class LogAuditor:
         return ok
 
 
+@dataclass(frozen=True)
+class Equivocation:
+    """One cryptographically proven split view: two roots, one size."""
+
+    log_name: str
+    tree_size: int
+    first_root: bytes
+    first_reporter: str
+    second_root: bytes
+    second_reporter: str
+    observed_at: Optional[datetime] = None
+
+
 class GossipPool:
     """Cross-vantage STH gossip for split-view detection.
 
     Vantage points submit the STHs they observed; for any two STHs of
     the same log with the same tree size but different root hashes the
     log has equivocated — cryptographic proof of misbehaviour.
+
+    Reports through the same obs surface as :class:`LogAuditor`: with
+    ``metrics=`` attached every gossiped STH counts into
+    ``gossip.sths{log=}`` and every detected fork into
+    ``auditor.findings{log=,kind="split-view"}``; with ``events=``
+    each fork emits one ``audit_finding`` event.  Resubmitting an
+    already-flagged equivocating root does not duplicate the finding.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
+    ) -> None:
         # (log name, tree size) -> (root hash, first reporter)
         self._seen: Dict[Tuple[str, int], Tuple[bytes, str]] = {}
+        # (log name, tree size, root) of forks already reported.
+        self._flagged: set = set()
         self.findings: List[AuditFinding] = []
+        self.equivocations: List[Equivocation] = []
         self.sths_gossiped = 0
+        self.metrics = metrics
+        self.events = events
 
-    def submit(self, log_name: str, sth: SignedTreeHead, reporter: str) -> Optional[AuditFinding]:
+    def submit(
+        self,
+        log_name: str,
+        sth: SignedTreeHead,
+        reporter: str,
+        now: Optional[datetime] = None,
+    ) -> Optional[AuditFinding]:
         """Record an observed STH; returns a finding on equivocation."""
         self.sths_gossiped += 1
+        if self.metrics is not None:
+            self.metrics.inc("gossip.sths", log=log_name)
         key = (log_name, sth.tree_size)
         known = self._seen.get(key)
         if known is None:
             self._seen[key] = (sth.root_hash, reporter)
             return None
         root, first_reporter = known
-        if root != sth.root_hash:
-            finding = AuditFinding(
-                log_name,
-                "split-view",
-                f"tree size {sth.tree_size}: {first_reporter} saw root "
-                f"{root.hex()[:16]}…, {reporter} saw {sth.root_hash.hex()[:16]}…",
+        if root == sth.root_hash:
+            return None
+        flag_key = (log_name, sth.tree_size, sth.root_hash)
+        if flag_key in self._flagged:
+            return None
+        self._flagged.add(flag_key)
+        finding = AuditFinding(
+            log_name,
+            "split-view",
+            f"tree size {sth.tree_size}: {first_reporter} saw root "
+            f"{root.hex()[:16]}…, {reporter} saw {sth.root_hash.hex()[:16]}…",
+            now,
+        )
+        self.findings.append(finding)
+        self.equivocations.append(
+            Equivocation(
+                log_name=log_name,
+                tree_size=sth.tree_size,
+                first_root=root,
+                first_reporter=first_reporter,
+                second_root=sth.root_hash,
+                second_reporter=reporter,
+                observed_at=now,
             )
-            self.findings.append(finding)
-            return finding
-        return None
+        )
+        if self.metrics is not None:
+            self.metrics.inc("auditor.findings", log=log_name, kind=finding.kind)
+        if self.events is not None:
+            self.events.emit(
+                "audit_finding",
+                log=finding.log_name,
+                finding=finding.kind,
+                detail=finding.detail,
+            )
+        return finding
 
     @property
     def clean(self) -> bool:
         return not self.findings
 
 
-def make_split_view_log(log: CTLog, fork_at: int) -> CTLog:
+def _fabricated_entry(log: CTLog, index: int) -> "LogEntry":
+    """A deterministic entry that exists only in the equivocating view."""
+    from repro.ct.log import LogEntry
+    from repro.util.timeutil import utc_datetime
+    from repro.x509.certificate import GeneralName, SanType
+
+    name = f"equivocation{index}.{log.name.lower().replace(' ', '-')}.invalid"
+    certificate = Certificate(
+        serial=0x5EED_0000 + index,
+        issuer_cn=f"{log.operator} Shadow CA",
+        issuer_org=log.operator,
+        subject_cn=name,
+        san=(GeneralName(SanType.DNS, name),),
+        not_before=utc_datetime(2018, 1, 1),
+        not_after=utc_datetime(2019, 1, 1),
+    )
+    return LogEntry(
+        index=index,
+        submitted_at=utc_datetime(2018, 1, 1),
+        entry_type=SctEntryType.X509_ENTRY,
+        certificate=certificate,
+        leaf_input=f"equivocation-entry:{log.name}:{index}".encode(),
+    )
+
+
+def make_split_view_log(
+    log: CTLog, fork_at: int, pad_to: Optional[int] = None
+) -> CTLog:
     """Build an equivocating twin of ``log`` for testing/demonstration.
 
     The twin shares ``log``'s history up to ``fork_at`` entries and
     then diverges — the classic split-view attack setup.  It uses the
     same key (the attacker *is* the log operator).
+
+    The fabricated tail consists of full :class:`~repro.ct.log.LogEntry`
+    records, so ``tree_size == len(entries)`` always holds and the twin
+    can be mounted on a :class:`~repro.ct.server.LogServer` and answer
+    ``get-entries`` like any honest log.  ``pad_to`` sets the twin's
+    final size (default ``fork_at + 1``); pad to the honest log's size
+    to stage the same-size/different-root equivocation gossip catches.
     """
     from repro.ct.merkle import MerkleTree
 
+    target = pad_to if pad_to is not None else fork_at + 1
+    if target <= fork_at:
+        raise ValueError(
+            f"pad_to={target} must exceed fork_at={fork_at} — the twin "
+            f"has to diverge"
+        )
     twin = CTLog(
         name=log.name,
         operator=log.operator,
@@ -310,6 +413,9 @@ def make_split_view_log(log: CTLog, fork_at: int) -> CTLog:
     for entry in log.entries[:fork_at]:
         twin.tree.append(entry.leaf_input)
         twin.entries.append(entry)
-    # Diverge: a fabricated entry not present in the honest view.
-    twin.tree.append(b"equivocation-entry")
+    # Diverge: fabricated entries not present in the honest view.
+    for index in range(fork_at, target):
+        entry = _fabricated_entry(log, index)
+        twin.tree.append(entry.leaf_input)
+        twin.entries.append(entry)
     return twin

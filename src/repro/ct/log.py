@@ -12,6 +12,7 @@ model lets the evolution benchmarks reproduce that overload signal.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from datetime import date, datetime
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -71,6 +72,62 @@ class SignedTreeHead:
 
     def verify(self, log_key: crypto.KeyPair) -> bool:
         payload = self.signed_payload(self.tree_size, self.timestamp_ms, self.root_hash)
+        return crypto.verify(log_key, payload, self.signature)
+
+
+@dataclass(frozen=True)
+class BatchDigest:
+    """A signed per-batch digest for light-weight monitors.
+
+    Covers the entry range ``[start, end)``: the DNS names of every
+    entry in the range plus the tree root at size ``end``.  A monitor
+    that trusts the digest signature can decide *which* entries matter
+    to it without downloading any bodies, then verify the digest root's
+    consistency with the current STH and fetch inclusion proofs only
+    for the matches (Dahlberg & Pulls' verifiable light-weight
+    monitoring).
+    """
+
+    start: int
+    end: int  # exclusive
+    timestamp_ms: int
+    root_hash: bytes  # tree root at size ``end``
+    #: Per-entry claimed identities: ``(index, dns names)`` pairs.
+    domains: Tuple[Tuple[int, Tuple[str, ...]], ...]
+    signature: bytes
+
+    @staticmethod
+    def domains_digest(
+        domains: Sequence[Tuple[int, Sequence[str]]]
+    ) -> bytes:
+        """Hash of the canonical JSON encoding of the domain claims."""
+        blob = json.dumps(
+            [[index, list(names)] for index, names in domains],
+            separators=(",", ":"),
+        ).encode()
+        return crypto.sha256(blob)
+
+    @staticmethod
+    def signed_payload(
+        start: int,
+        end: int,
+        timestamp_ms_: int,
+        root_hash: bytes,
+        domains: Sequence[Tuple[int, Sequence[str]]],
+    ) -> bytes:
+        return (
+            b"BATCHv1"
+            + start.to_bytes(8, "big")
+            + end.to_bytes(8, "big")
+            + timestamp_ms_.to_bytes(8, "big")
+            + root_hash
+            + BatchDigest.domains_digest(domains)
+        )
+
+    def verify(self, log_key: crypto.KeyPair) -> bool:
+        payload = self.signed_payload(
+            self.start, self.end, self.timestamp_ms, self.root_hash, self.domains
+        )
         return crypto.verify(log_key, payload, self.signature)
 
 
@@ -266,6 +323,29 @@ class CTLog:
         if start < 0 or end < start:
             raise ValueError("invalid entry range")
         return self.entries[start : end + 1]
+
+    def batch_digest(self, start: int, end: int, now: datetime) -> BatchDigest:
+        """Sign a :class:`BatchDigest` over entries ``[start, end)``."""
+        if not 0 <= start < end <= self.tree.size:
+            raise ValueError(
+                f"invalid digest range [{start}, {end}) for tree size "
+                f"{self.tree.size}"
+            )
+        domains = tuple(
+            (entry.index, tuple(entry.certificate.dns_names()))
+            for entry in self.entries[start:end]
+        )
+        root = self.tree.root(end)
+        ts = timestamp_ms(now)
+        payload = BatchDigest.signed_payload(start, end, ts, root, domains)
+        return BatchDigest(
+            start=start,
+            end=end,
+            timestamp_ms=ts,
+            root_hash=root,
+            domains=domains,
+            signature=crypto.sign(self.key, payload),
+        )
 
     def get_proof_by_hash(self, index: int, tree_size: int) -> List[bytes]:
         return self.tree.inclusion_proof(index, tree_size)

@@ -11,7 +11,23 @@ observed reaction times:
   (62 %) after logging.
 
 Both monitor types consume the log through the public read API
-(``get_entries`` cursors), never through private state.
+(``get_entries`` cursors), never through private state — and since the
+transport refactor, "the public read API" is literal: every monitor
+polls through a :class:`LogTransport`, either the zero-copy
+:class:`InMemoryTransport` over a :class:`~repro.ct.log.CTLog` object
+(bit-identical to the pre-transport behaviour) or the
+:class:`HttpTransport` over a real :class:`~repro.ct.server.LogServer`
+socket.  ``monitor.observe(log)`` and ``monitor.observe(transport)``
+are both accepted; bare logs are wrapped on the fly.
+
+:class:`LightweightMonitor` is the third style — Dahlberg & Pulls'
+*verifiable light-weight monitoring*: instead of replaying every
+entry, it subscribes to a domain set, reads the log's signed per-batch
+digests (``get-batch-digest``), verifies STH consistency plus the
+digest root's consistency with the served tree head, and downloads
+bodies + inclusion proofs **only for entries whose claimed domains
+match the subscription**.  Wire-level cost (requests, entries, bytes)
+is accounted per poll and reported through :mod:`repro.obs`.
 
 Polling is fault-tolerant: a fetch that fails — after the optional
 :class:`~repro.resilience.RetryPolicy` is exhausted — leaves the
@@ -27,17 +43,238 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from datetime import datetime, timedelta
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+from datetime import datetime, timedelta, timezone
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.ct.log import CTLog, LogEntry
+from repro.ct.auditor import AuditFinding
+from repro.ct.log import BatchDigest, CTLog, LogEntry, SignedTreeHead
+from repro.ct.merkle import (
+    leaf_hash,
+    verify_consistency_proof,
+    verify_inclusion_proof,
+)
 from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
+    from repro.ct.server import LogClient
     from repro.obs.events import EventLog
     from repro.obs.health import HealthReport, SloPolicy
     from repro.obs.metrics import MetricsRegistry
     from repro.resilience.retry import RetryPolicy
+
+
+def _utc_now() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+def domain_matches(domain: str, name: str) -> bool:
+    """True when ``name`` equals ``domain`` or is a subdomain of it."""
+    domain = domain.lower().strip().lstrip("*.").rstrip(".")
+    name = name.lower().strip().rstrip(".")
+    return name == domain or name.endswith("." + domain)
+
+
+# -- transports ----------------------------------------------------------------
+
+
+class LogTransport:
+    """How a monitor reaches one log: name plus the RFC 6962 read API.
+
+    Concrete transports wrap either the in-process log object
+    (:class:`InMemoryTransport`) or an HTTP client against a served
+    one (:class:`HttpTransport`).  All read methods raise on failure;
+    the monitors' cursor bookkeeping treats any exception as "this
+    poll saw nothing", leaving the cursor in place.
+
+    ``stats()`` is the wire-cost ledger: cumulative requests, entry
+    bodies fetched, and bytes received (0 for in-memory transports,
+    where no bytes cross a wire).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.requests = 0
+        self.entries_fetched = 0
+
+    def tree_size(self) -> int:
+        raise NotImplementedError
+
+    def get_sth(self, now: Optional[datetime] = None) -> SignedTreeHead:
+        raise NotImplementedError
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        raise NotImplementedError
+
+    def get_batch_digest(self, start: int) -> BatchDigest:
+        raise NotImplementedError
+
+    def get_proof_by_hash(
+        self, digest: bytes, tree_size: int
+    ) -> Tuple[int, List[bytes]]:
+        raise NotImplementedError
+
+    def get_consistency(self, first: int, second: int) -> List[bytes]:
+        raise NotImplementedError
+
+    def bytes_fetched(self) -> int:
+        return 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "entries": self.entries_fetched,
+            "bytes": self.bytes_fetched(),
+        }
+
+
+class InMemoryTransport(LogTransport):
+    """Zero-copy transport over an in-process log object.
+
+    Accepts anything duck-typed like :class:`~repro.ct.log.CTLog`
+    (including :class:`~repro.resilience.FlakyLog` proxies, whose
+    injected faults pass straight through).  Monitors polling through
+    this transport behave bit-identically to polling the log directly.
+    """
+
+    def __init__(
+        self,
+        log: CTLog,
+        *,
+        clock: Optional[Callable[[], datetime]] = None,
+    ) -> None:
+        super().__init__(log.name)
+        self.log = log
+        self._clock = clock if clock is not None else _utc_now
+
+    def tree_size(self) -> int:
+        return self.log.size
+
+    def get_sth(self, now: Optional[datetime] = None) -> SignedTreeHead:
+        self.requests += 1
+        return self.log.get_sth(now if now is not None else self._clock())
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        self.requests += 1
+        entries = self.log.get_entries(start, end)
+        self.entries_fetched += len(entries)
+        return entries
+
+    def get_batch_digest(self, start: int) -> BatchDigest:
+        # An in-process log has no merge schedule to expose: the whole
+        # not-yet-digested suffix is one batch, like a bare served log.
+        self.requests += 1
+        return self.log.batch_digest(start, self.log.size, self._clock())
+
+    def get_proof_by_hash(
+        self, digest: bytes, tree_size: int
+    ) -> Tuple[int, List[bytes]]:
+        self.requests += 1
+        index = self.log.tree.leaf_index(digest)
+        if index is None:
+            raise KeyError(f"leaf hash not present in {self.name}")
+        return index, self.log.get_proof_by_hash(index, tree_size)
+
+    def get_consistency(self, first: int, second: int) -> List[bytes]:
+        self.requests += 1
+        return self.log.get_consistency(first, second)
+
+
+class HttpTransport(LogTransport):
+    """Transport over a served log's HTTP endpoints.
+
+    ``target`` is either a ready :class:`~repro.ct.server.LogClient`
+    or a base URL string (``server.log_url(name)``).  ``get_entries``
+    pages through the server's response clamping, so a request larger
+    than the serving page limit still returns the full range.  The
+    wire ledger counts the client's real request/byte totals.
+    """
+
+    def __init__(
+        self,
+        target: Union["LogClient", str],
+        name: str,
+        *,
+        page_size: int = 512,
+        timeout: float = 10.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        from repro.ct.server import LogClient
+
+        super().__init__(name)
+        if isinstance(target, LogClient):
+            self.client = target
+        else:
+            self.client = LogClient(
+                str(target), timeout=timeout, client_id=client_id
+            )
+        self.page_size = page_size
+
+    def bytes_fetched(self) -> int:
+        return self.client.bytes_received
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "requests": self.client.requests,
+            "entries": self.entries_fetched,
+            "bytes": self.client.bytes_received,
+        }
+
+    def tree_size(self) -> int:
+        return self.get_sth().tree_size
+
+    def get_sth(self, now: Optional[datetime] = None) -> SignedTreeHead:
+        return self.client.get_signed_tree_head()
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        entries: List[LogEntry] = []
+        index = start
+        while index <= end:
+            page = self.client.get_entries(
+                index, min(end, index + self.page_size - 1)
+            )
+            if not page:
+                raise RuntimeError(
+                    f"{self.name}: empty get-entries page at index {index}"
+                )
+            entries.extend(page)
+            index = page[-1].index + 1
+        self.entries_fetched += len(entries)
+        return entries
+
+    def get_batch_digest(self, start: int) -> BatchDigest:
+        return self.client.get_batch_digest(start)
+
+    def get_proof_by_hash(
+        self, digest: bytes, tree_size: int
+    ) -> Tuple[int, List[bytes]]:
+        return self.client.get_proof_by_hash(digest, tree_size)
+
+    def get_consistency(self, first: int, second: int) -> List[bytes]:
+        return self.client.get_sth_consistency(first, second)
+
+
+def as_transport(target: Union[LogTransport, CTLog]) -> LogTransport:
+    """Coerce a monitor's poll target into a transport.
+
+    Transports pass through (keeping their wire ledgers); anything
+    else is wrapped in a fresh :class:`InMemoryTransport`.
+    """
+    if isinstance(target, LogTransport):
+        return target
+    return InMemoryTransport(target)
+
+
+# -- observations --------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -65,7 +302,8 @@ class _CursorMixin:
     fetched; a failed ``get_entries`` (after the optional retry policy
     gives up) counts into ``errors`` and leaves the cursor alone, so
     the entries surface on the next successful poll instead of being
-    skipped.
+    skipped.  Over an HTTP transport a failed ``get-sth`` (server
+    down, socket error) counts as an error the same way.
     """
 
     def __init__(
@@ -87,86 +325,88 @@ class _CursorMixin:
     def _monitor_label(self) -> str:
         return getattr(self, "name", type(self).__name__)
 
-    def _new_entries(self, log: CTLog) -> List[LogEntry]:
-        cursor = self._cursors.get(log.name, 0)
-        size = log.size
-        if size <= cursor:
-            return []
+    def _new_entries(
+        self, target: Union[LogTransport, CTLog]
+    ) -> List[LogEntry]:
+        transport = as_transport(target)
+        name = transport.name
+        cursor = self._cursors.get(name, 0)
         label = self._monitor_label()
         started = time.perf_counter()
         retried = 0
         try:
+            size = transport.tree_size()
+            if size <= cursor:
+                return []
             if self.retry is None:
-                entries = log.get_entries(cursor, size - 1)
+                entries = transport.get_entries(cursor, size - 1)
             else:
                 outcome = self.retry.run(
-                    lambda: log.get_entries(cursor, size - 1)
+                    lambda: transport.get_entries(cursor, size - 1)
                 )
                 entries = outcome.value
                 retried = outcome.retried
-                self.retries[log.name] = (
-                    self.retries.get(log.name, 0) + retried
-                )
+                self.retries[name] = self.retries.get(name, 0) + retried
                 if self.metrics is not None and retried:
                     self.metrics.inc(
                         "monitor.retries",
                         retried,
                         monitor=label,
-                        log=log.name,
+                        log=name,
                     )
         except Exception as exc:
-            self.errors[log.name] = self.errors.get(log.name, 0) + 1
-            self.consecutive_failures[log.name] = (
-                self.consecutive_failures.get(log.name, 0) + 1
+            self.errors[name] = self.errors.get(name, 0) + 1
+            self.consecutive_failures[name] = (
+                self.consecutive_failures.get(name, 0) + 1
             )
             failed_retries = max(0, getattr(exc, "attempts", 1) - 1)
-            self.retries[log.name] = (
-                self.retries.get(log.name, 0) + failed_retries
+            self.retries[name] = (
+                self.retries.get(name, 0) + failed_retries
             )
             if self.metrics is not None:
-                self.metrics.inc("monitor.errors", monitor=label, log=log.name)
+                self.metrics.inc("monitor.errors", monitor=label, log=name)
                 if failed_retries:
                     self.metrics.inc(
                         "monitor.retries",
                         failed_retries,
                         monitor=label,
-                        log=log.name,
+                        log=name,
                     )
             if self.events is not None:
                 self.events.emit(
                     "monitor_fetch",
                     monitor=label,
-                    log=log.name,
+                    log=name,
                     ok=False,
                     error=repr(exc),
                     retried=failed_retries,
                 )
             return []
-        self.successes[log.name] = self.successes.get(log.name, 0) + 1
-        self.consecutive_failures[log.name] = 0
-        self.entries_seen[log.name] = (
-            self.entries_seen.get(log.name, 0) + len(entries)
+        self.successes[name] = self.successes.get(name, 0) + 1
+        self.consecutive_failures[name] = 0
+        self.entries_seen[name] = (
+            self.entries_seen.get(name, 0) + len(entries)
         )
         if self.metrics is not None:
             self.metrics.observe(
                 "monitor.fetch_seconds",
                 time.perf_counter() - started,
                 monitor=label,
-                log=log.name,
+                log=name,
             )
             self.metrics.inc(
-                "monitor.entries", len(entries), monitor=label, log=log.name
+                "monitor.entries", len(entries), monitor=label, log=name
             )
         if self.events is not None:
             self.events.emit(
                 "monitor_fetch",
                 monitor=label,
-                log=log.name,
+                log=name,
                 ok=True,
                 entries=len(entries),
                 retried=retried,
             )
-        self._cursors[log.name] = cursor + len(entries)
+        self._cursors[name] = cursor + len(entries)
         return entries
 
     def log_health(self) -> Dict[str, Dict[str, int]]:
@@ -221,16 +461,19 @@ class StreamingMonitor(_CursorMixin):
         self.latency_range_s = latency_range_s
         self.base_offset_s = base_offset_s
 
-    def observe(self, log: CTLog) -> List[LogObservation]:
+    def observe(
+        self, log: Union[LogTransport, CTLog]
+    ) -> List[LogObservation]:
         """Return observations for all entries not yet seen."""
+        transport = as_transport(log)
         observations = []
         low, high = self.latency_range_s
-        for entry in self._new_entries(log):
+        for entry in self._new_entries(transport):
             delay = self.base_offset_s + self._rng.uniform(low, high)
             observations.append(
                 LogObservation(
                     monitor=self.name,
-                    log_name=log.name,
+                    log_name=transport.name,
                     entry=entry,
                     observed_at=entry.submitted_at + timedelta(seconds=delay),
                 )
@@ -278,9 +521,12 @@ class BatchMonitor(_CursorMixin):
             tick += self.interval
         return tick
 
-    def observe(self, log: CTLog) -> List[LogObservation]:
+    def observe(
+        self, log: Union[LogTransport, CTLog]
+    ) -> List[LogObservation]:
+        transport = as_transport(log)
         observations = []
-        for entry in self._new_entries(log):
+        for entry in self._new_entries(transport):
             poll_at = self.next_poll_after(entry.submitted_at)
             observed = poll_at + timedelta(
                 seconds=self._rng.uniform(0.0, self.processing_delay_s)
@@ -288,7 +534,7 @@ class BatchMonitor(_CursorMixin):
             observations.append(
                 LogObservation(
                     monitor=self.name,
-                    log_name=log.name,
+                    log_name=transport.name,
                     entry=entry,
                     observed_at=observed,
                 )
@@ -296,9 +542,378 @@ class BatchMonitor(_CursorMixin):
         return observations
 
 
+class LightweightMonitor:
+    """A verifiable light-weight monitor (Dahlberg & Pulls).
+
+    Subscribes to a domain set and never downloads non-matching entry
+    bodies.  Per poll it:
+
+    1. fetches the STH, verifies its signature (when the log ``key``
+       is pinned) and its consistency with the last verified STH;
+    2. walks the log's signed batch digests from its cursor, verifying
+       each digest signature and the digest root's consistency with
+       the served tree head — so the *claimed* domain list is bound to
+       the same tree the STH commits to;
+    3. for every digest entry whose claimed domains match a
+       subscription, fetches just that entry body plus an inclusion
+       proof at the STH's tree size, checks the claimed domains
+       against the body, and verifies the proof.
+
+    Any verification failure is recorded as an
+    :class:`~repro.ct.auditor.AuditFinding` (and stops the cursor, so
+    nothing is skipped past); matching entries become
+    :class:`LogObservation` rows like every other monitor's.
+
+    Obs surface: per successful poll one ``lightweight_poll`` event
+    plus ``monitor.wire_entries`` / ``monitor.wire_bytes`` /
+    ``monitor.matches`` counters — the wire cost ledger the efficiency
+    benchmark gates on; findings emit ``audit_finding`` events and
+    ``auditor.findings{log=,kind=}`` counters, the same family
+    :class:`~repro.ct.auditor.LogAuditor` reports into.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        domains: Iterable[str],
+        *,
+        key: Optional[object] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
+    ) -> None:
+        self.name = name
+        self.domains: Tuple[str, ...] = tuple(
+            sorted({d.lower().strip().lstrip("*.").rstrip(".") for d in domains})
+        )
+        self.key = key
+        self.metrics = metrics
+        self.events = events
+        self._cursors: Dict[str, int] = {}
+        self._verified: Dict[str, SignedTreeHead] = {}
+        self.findings: List[AuditFinding] = []
+        self.sths_verified = 0
+        self.digests_verified = 0
+        self.proofs_verified = 0
+        self.entries_matched = 0
+        self.wire_entries: Dict[str, int] = {}
+        self.wire_bytes: Dict[str, int] = {}
+        self.wire_requests: Dict[str, int] = {}
+
+    def matches(self, names: Sequence[str]) -> bool:
+        """Whether any of ``names`` falls under a subscribed domain."""
+        return any(
+            domain_matches(domain, name)
+            for name in names
+            for domain in self.domains
+        )
+
+    def _find(
+        self, log_name: str, kind: str, detail: str, now: datetime
+    ) -> None:
+        finding = AuditFinding(log_name, kind, detail, now)
+        self.findings.append(finding)
+        if self.metrics is not None:
+            self.metrics.inc("auditor.findings", log=log_name, kind=kind)
+        if self.events is not None:
+            self.events.emit(
+                "audit_finding",
+                log=log_name,
+                finding=kind,
+                detail=detail,
+            )
+
+    def _verify_entry(
+        self,
+        transport: LogTransport,
+        sth: SignedTreeHead,
+        index: int,
+        claimed: Sequence[str],
+        now: datetime,
+    ) -> Optional[LogEntry]:
+        """Fetch one matching entry body and prove its inclusion."""
+        name = transport.name
+        entries = transport.get_entries(index, index)
+        if len(entries) != 1 or entries[0].index != index:
+            self._find(
+                name,
+                "missing-entry",
+                f"get-entries({index}) did not return entry {index}",
+                now,
+            )
+            return None
+        entry = entries[0]
+        if sorted(entry.certificate.dns_names()) != sorted(claimed):
+            self._find(
+                name,
+                "missing-entry",
+                f"digest claimed domains {sorted(claimed)} for entry "
+                f"{index}, body has {sorted(entry.certificate.dns_names())}",
+                now,
+            )
+            return None
+        proof_index, path = transport.get_proof_by_hash(
+            leaf_hash(entry.leaf_input), sth.tree_size
+        )
+        if proof_index != index or not verify_inclusion_proof(
+            entry.leaf_input, index, sth.tree_size, path, sth.root_hash
+        ):
+            self._find(
+                name,
+                "missing-entry",
+                f"inclusion proof for matched entry {index} does not "
+                f"verify against STH at size {sth.tree_size}",
+                now,
+            )
+            return None
+        self.proofs_verified += 1
+        return entry
+
+    def poll(
+        self,
+        target: Union[LogTransport, CTLog],
+        now: Optional[datetime] = None,
+    ) -> List[LogObservation]:
+        """One verification round; returns matching-entry observations."""
+        transport = as_transport(target)
+        name = transport.name
+        when = now if now is not None else _utc_now()
+        before = transport.stats()
+        observations: List[LogObservation] = []
+        findings_before = len(self.findings)
+        try:
+            sth = transport.get_sth(when)
+        except Exception as exc:
+            self._find(name, "fetch-error", f"get-sth failed: {exc!r}", when)
+            return []
+        if self.key is not None and not sth.verify(self.key):
+            self._find(
+                name,
+                "bad-sth-signature",
+                f"STH for tree size {sth.tree_size} has an invalid signature",
+                when,
+            )
+            return []
+        self.sths_verified += 1
+        previous = self._verified.get(name)
+        if previous is not None and not self._check_history(
+            transport, previous, sth, when
+        ):
+            return []
+        cursor = self._cursors.get(name, 0)
+        try:
+            while cursor < sth.tree_size:
+                digest = transport.get_batch_digest(cursor)
+                if not self._check_digest(transport, digest, cursor, sth, when):
+                    break
+                for index, claimed in digest.domains:
+                    if not self.matches(claimed):
+                        continue
+                    self.entries_matched += 1
+                    entry = self._verify_entry(
+                        transport, sth, index, claimed, when
+                    )
+                    if entry is not None:
+                        observations.append(
+                            LogObservation(
+                                monitor=self.name,
+                                log_name=name,
+                                entry=entry,
+                                observed_at=when,
+                            )
+                        )
+                cursor = digest.end
+                self._cursors[name] = cursor
+        except Exception as exc:
+            self._find(
+                name, "fetch-error", f"digest walk failed: {exc!r}", when
+            )
+        self._verified[name] = sth
+        self._account(transport, before, sth, len(observations))
+        ok = len(self.findings) == findings_before
+        if self.events is not None:
+            after = transport.stats()
+            self.events.emit(
+                "lightweight_poll",
+                monitor=self.name,
+                log=name,
+                tree_size=sth.tree_size,
+                cursor=self._cursors.get(name, 0),
+                matches=len(observations),
+                wire_entries=after["entries"] - before["entries"],
+                wire_bytes=after["bytes"] - before["bytes"],
+                ok=ok,
+            )
+        return observations
+
+    # ``watch_logs`` duck-type: a lightweight monitor drops into any
+    # monitor population (observation timestamps default to poll time).
+    def observe(
+        self, log: Union[LogTransport, CTLog]
+    ) -> List[LogObservation]:
+        return self.poll(log)
+
+    def _check_history(
+        self,
+        transport: LogTransport,
+        previous: SignedTreeHead,
+        sth: SignedTreeHead,
+        now: datetime,
+    ) -> bool:
+        """Consistency of the new STH with the last verified one."""
+        name = transport.name
+        if sth.tree_size < previous.tree_size:
+            self._find(
+                name,
+                "inconsistent-history",
+                f"tree shrank from {previous.tree_size} to {sth.tree_size}",
+                now,
+            )
+            return False
+        if sth.tree_size == previous.tree_size:
+            if sth.root_hash != previous.root_hash:
+                self._find(
+                    name,
+                    "inconsistent-history",
+                    f"two roots at tree size {sth.tree_size}: "
+                    f"{previous.root_hash.hex()[:16]}… then "
+                    f"{sth.root_hash.hex()[:16]}…",
+                    now,
+                )
+                return False
+            return True
+        try:
+            proof = transport.get_consistency(
+                previous.tree_size, sth.tree_size
+            )
+        except Exception as exc:
+            self._find(
+                name,
+                "fetch-error",
+                f"get-consistency failed: {exc!r}",
+                now,
+            )
+            return False
+        if not verify_consistency_proof(
+            previous.tree_size,
+            sth.tree_size,
+            previous.root_hash,
+            sth.root_hash,
+            proof,
+        ):
+            self._find(
+                name,
+                "inconsistent-history",
+                f"no valid consistency proof from size "
+                f"{previous.tree_size} to {sth.tree_size}",
+                now,
+            )
+            return False
+        return True
+
+    def _check_digest(
+        self,
+        transport: LogTransport,
+        digest: BatchDigest,
+        cursor: int,
+        sth: SignedTreeHead,
+        now: datetime,
+    ) -> bool:
+        """Verify one batch digest and bind its root into the STH."""
+        name = transport.name
+        if (
+            digest.start != cursor
+            or digest.end <= digest.start
+            or digest.end > sth.tree_size
+        ):
+            self._find(
+                name,
+                "inconsistent-history",
+                f"batch digest range [{digest.start}, {digest.end}) does "
+                f"not continue cursor {cursor} within tree size "
+                f"{sth.tree_size}",
+                now,
+            )
+            return False
+        if self.key is not None and not digest.verify(self.key):
+            self._find(
+                name,
+                "bad-sth-signature",
+                f"batch digest [{digest.start}, {digest.end}) has an "
+                f"invalid signature",
+                now,
+            )
+            return False
+        if digest.end == sth.tree_size:
+            bound = digest.root_hash == sth.root_hash
+        else:
+            proof = transport.get_consistency(digest.end, sth.tree_size)
+            bound = verify_consistency_proof(
+                digest.end,
+                sth.tree_size,
+                digest.root_hash,
+                sth.root_hash,
+                proof,
+            )
+        if not bound:
+            self._find(
+                name,
+                "inconsistent-history",
+                f"batch digest root at size {digest.end} is not consistent "
+                f"with the STH at size {sth.tree_size}",
+                now,
+            )
+            return False
+        self.digests_verified += 1
+        return True
+
+    def _account(
+        self,
+        transport: LogTransport,
+        before: Dict[str, int],
+        sth: SignedTreeHead,
+        matched: int,
+    ) -> None:
+        after = transport.stats()
+        name = transport.name
+        entries = after["entries"] - before["entries"]
+        moved = after["bytes"] - before["bytes"]
+        requests = after["requests"] - before["requests"]
+        self.wire_entries[name] = self.wire_entries.get(name, 0) + entries
+        self.wire_bytes[name] = self.wire_bytes.get(name, 0) + moved
+        self.wire_requests[name] = self.wire_requests.get(name, 0) + requests
+        if self.metrics is not None:
+            self.metrics.inc(
+                "monitor.wire_entries", entries, monitor=self.name, log=name
+            )
+            self.metrics.inc(
+                "monitor.wire_bytes", moved, monitor=self.name, log=name
+            )
+            self.metrics.inc(
+                "monitor.matches", matched, monitor=self.name, log=name
+            )
+            self.metrics.set_gauge(
+                "monitor.verified_tree_size",
+                sth.tree_size,
+                monitor=self.name,
+                log=name,
+            )
+
+    def wire_stats(self) -> Dict[str, int]:
+        """Cumulative wire cost over every log this monitor polled."""
+        return {
+            "requests": sum(self.wire_requests.values()),
+            "entries": sum(self.wire_entries.values()),
+            "bytes": sum(self.wire_bytes.values()),
+        }
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
 def watch_logs(
     monitors: Iterable[object],
-    logs: Iterable[CTLog],
+    logs: Iterable[Union[LogTransport, CTLog]],
 ) -> List[LogObservation]:
     """Run every monitor over every log; observations sorted by time."""
     observations: List[LogObservation] = []

@@ -196,6 +196,10 @@ class LogSequencer:
         self._latest_sth: Optional[SignedTreeHead] = None
         self._worker: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        # Cumulative tree sizes at each published merge (the batch
+        # boundaries get-batch-digest serves).  Entries the log held
+        # before sequencing form the first batch.
+        self._batch_boundaries: List[int] = [log.size] if log.size else []
         # Lifetime counters (kept even without a metrics registry).
         self._merges = 0
         self._entries_merged = 0
@@ -324,6 +328,7 @@ class LogSequencer:
                 self.log.append_batch(rows)
                 size = self.log.tree.size
                 root = self.log.tree.root()
+                self._batch_boundaries.append(size)
             # The tree-head signature (one per merge, not per entry)
             # also happens outside the read lock.
             ts = timestamp_ms(when)
@@ -431,6 +436,15 @@ class LogSequencer:
     def latest_sth(self) -> Optional[SignedTreeHead]:
         """The STH published by the most recent merge (None pre-merge)."""
         return self._latest_sth
+
+    def batch_boundaries(self) -> List[int]:
+        """Cumulative tree sizes at each merge, oldest first.
+
+        Callers wanting a consistent view against the tree should hold
+        ``tree_lock`` (boundaries are appended under it during merges).
+        """
+        with self.tree_lock:
+            return list(self._batch_boundaries)
 
     def pending_count(self) -> int:
         """Entries with an issued (or in-flight) SCT awaiting merge."""

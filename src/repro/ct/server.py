@@ -13,6 +13,7 @@ Routes (one log also answers at the bare prefix)::
     GET  [/<log-slug>]/ct/v1/get-entries?start=&end=
     GET  [/<log-slug>]/ct/v1/get-proof-by-hash?hash=&tree_size=
     GET  [/<log-slug>]/ct/v1/get-sth-consistency?first=&second=
+    GET  [/<log-slug>]/ct/v1/get-batch-digest?start=     (non-RFC)
     POST [/<log-slug>]/ct/v1/add-pre-chain
 
 Error mapping: malformed or out-of-range parameters answer 400,
@@ -57,6 +58,7 @@ replica is bit-identical to one read from the in-process object.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import re
 import threading
@@ -80,10 +82,12 @@ from urllib.parse import parse_qs, quote, urlsplit
 from urllib.request import Request, urlopen
 
 from repro.ct.log import (
+    BatchDigest,
     CTLog,
     LogDisqualifiedError,
     LogEntry,
     LogOverloadedError,
+    SignedTreeHead,
 )
 from repro.ct.merkle import MerkleTree
 from repro.ct.sequencer import DEFAULT_MAX_BATCH, LogSequencer
@@ -212,6 +216,60 @@ class _MemoCache:
             self._data.popitem(last=False)
 
 
+def default_split_partition(client_id: str) -> bool:
+    """The default victim selector for :class:`SplitView` mounts.
+
+    Returns True when the client should be served the equivocating
+    twin.  Anonymous clients (empty id) always see the honest view.
+    Named clients split deterministically: ids with a trailing
+    ``-<number>`` component (the load generator's ``browser-3`` /
+    ``monitor-1`` naming) split on that number's parity, anything else
+    on the low bit of a sha256 over the id — never on Python's salted
+    ``hash()``, which would change between processes.
+    """
+    if not client_id:
+        return False
+    tail = client_id.rsplit("-", 1)[-1]
+    if tail.isdigit():
+        return int(tail) % 2 == 1
+    return hashlib.sha256(client_id.encode("utf-8")).digest()[-1] % 2 == 1
+
+
+class SplitView:
+    """A misbehaving log: honest view plus an equivocating twin.
+
+    Mount this instead of a bare log to model the split-view attacker
+    of the gossip literature: the server answers every read endpoint
+    from either the honest log or the twin depending on which side the
+    requesting client (the ``X-Repro-Client`` header) falls on.  Both
+    views share one name/slug — clients cannot tell which side they
+    are on without gossiping their STHs.
+
+    ``partition`` maps a client id to True for "serve the twin"
+    (default :func:`default_split_partition`).  Submissions always land
+    on the honest log: the attack is about reads.
+    """
+
+    def __init__(
+        self,
+        honest: Union[CTLog, LogSequencer],
+        twin: CTLog,
+        *,
+        partition: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        honest_log = honest.log if isinstance(honest, LogSequencer) else honest
+        if log_slug(twin.name) != log_slug(honest_log.name):
+            raise ValueError(
+                f"split-view twin {twin.name!r} must share the honest "
+                f"log's slug {log_slug(honest_log.name)!r}"
+            )
+        self.honest = honest
+        self.twin = twin
+        self.partition = (
+            partition if partition is not None else default_split_partition
+        )
+
+
 class _ServedLog:
     """One mounted log: the object, its lock, and its memo caches.
 
@@ -237,6 +295,16 @@ class _ServedLog:
         self.slug = log_slug(self.log.name)
         self.memo = _MemoCache(memo_entries)
         self._sth_memo: Optional[Tuple[int, Dict[str, object]]] = None
+        # Split-view mount: (partition fn, the twin's _ServedLog).
+        self.split: Optional[
+            Tuple[Callable[[str], bool], "_ServedLog"]
+        ] = None
+
+    def select(self, client_id: str) -> "_ServedLog":
+        """The view this client is served (honest unless partitioned)."""
+        if self.split is not None and self.split[0](client_id):
+            return self.split[1]
+        return self
 
     def sth_body(self, now: datetime) -> Dict[str, object]:
         """The signed tree head, memoized per tree size.
@@ -312,8 +380,9 @@ class LogServer:
         logs: Union[
             CTLog,
             LogSequencer,
-            Iterable[Union[CTLog, LogSequencer]],
-            Mapping[str, Union[CTLog, LogSequencer]],
+            SplitView,
+            Iterable[Union[CTLog, LogSequencer, SplitView]],
+            Mapping[str, Union[CTLog, LogSequencer, SplitView]],
         ],
         *,
         clock: Optional[Clock] = None,
@@ -327,8 +396,8 @@ class LogServer:
         merge_interval: Optional[float] = None,
         max_batch: int = DEFAULT_MAX_BATCH,
     ) -> None:
-        if isinstance(logs, (CTLog, LogSequencer)):
-            log_list: List[Union[CTLog, LogSequencer]] = [logs]
+        if isinstance(logs, (CTLog, LogSequencer, SplitView)):
+            log_list: List[Union[CTLog, LogSequencer, SplitView]] = [logs]
         elif isinstance(logs, Mapping):
             log_list = list(logs.values())
         else:
@@ -345,7 +414,13 @@ class LogServer:
         self._own_sequencers: List[LogSequencer] = []
         self._served: "Dict[str, _ServedLog]" = {}
         for log in log_list:
-            if isinstance(log, CTLog) and merge_interval is not None:
+            split: Optional[SplitView] = None
+            if isinstance(log, SplitView):
+                # Split-view mounts serve as given: an equivocating
+                # operator decides its own merge schedule.
+                split = log
+                log = log.honest
+            elif isinstance(log, CTLog) and merge_interval is not None:
                 log = LogSequencer(
                     log,
                     max_batch=max_batch,
@@ -357,6 +432,11 @@ class LogServer:
                 )
                 self._own_sequencers.append(log)
             served = _ServedLog(log, memo_entries)
+            if split is not None:
+                served.split = (
+                    split.partition,
+                    _ServedLog(split.twin, memo_entries),
+                )
             if served.slug in self._served:
                 raise ValueError(f"duplicate log slug {served.slug!r}")
             self._served[served.slug] = served
@@ -430,9 +510,19 @@ class LogServer:
         raise HttpApiError(404, f"unknown route {path!r}")
 
     def handle_request(
-        self, method: str, path: str, query: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        client: str = "",
     ) -> Tuple[int, Dict[str, object], str]:
-        """Route one request; returns (status, json body, endpoint label)."""
+        """Route one request; returns (status, json body, endpoint label).
+
+        ``client`` is the requester's self-declared identity (the
+        ``X-Repro-Client`` header) — only consulted by split-view
+        mounts to pick which side of the partition answers reads.
+        """
         endpoint = "unknown"
         slug = "-"
         started = time.perf_counter()
@@ -448,19 +538,25 @@ class LogServer:
             if endpoint == "add-pre-chain":
                 if method != "POST":
                     raise HttpApiError(405, "add-pre-chain requires POST")
+                # Submissions always land on the honest log: the
+                # split-view attack is about diverging *reads*.
                 status, payload = self._add_pre_chain(served, body)
             elif method != "GET":
                 raise HttpApiError(405, f"{endpoint} requires GET")
-            elif endpoint == "get-sth":
-                status, payload = self._get_sth(served)
-            elif endpoint == "get-entries":
-                status, payload = self._get_entries(served, params)
-            elif endpoint == "get-proof-by-hash":
-                status, payload = self._get_proof_by_hash(served, params)
-            elif endpoint == "get-sth-consistency":
-                status, payload = self._get_consistency(served, params)
             else:
-                raise HttpApiError(404, f"unknown endpoint {endpoint!r}")
+                served = served.select(client)
+                if endpoint == "get-sth":
+                    status, payload = self._get_sth(served)
+                elif endpoint == "get-entries":
+                    status, payload = self._get_entries(served, params)
+                elif endpoint == "get-proof-by-hash":
+                    status, payload = self._get_proof_by_hash(served, params)
+                elif endpoint == "get-sth-consistency":
+                    status, payload = self._get_consistency(served, params)
+                elif endpoint == "get-batch-digest":
+                    status, payload = self._get_batch_digest(served, params)
+                else:
+                    raise HttpApiError(404, f"unknown endpoint {endpoint!r}")
             return self._finish(status, payload, endpoint, slug, started)
         except HttpApiError as exc:
             return self._finish(
@@ -532,6 +628,8 @@ class LogServer:
                 }
             if served.sequencer is not None:
                 entry["pending"] = served.sequencer.pending_count()
+            if served.split is not None:
+                entry["split_view"] = True
             logs.append(entry)
         return {"logs": logs}
 
@@ -640,6 +738,48 @@ class LogServer:
                 served.memo.put(key, cached)
             return 200, cached  # type: ignore[return-value]
 
+    def _get_batch_digest(
+        self, served: _ServedLog, params: Mapping[str, List[str]]
+    ) -> Tuple[int, Dict[str, object]]:
+        """Signed domain digest of the merge batch containing ``start``.
+
+        The batch ends at the first published merge boundary past
+        ``start`` (sequenced logs), or at the current tree size (bare
+        logs, where every entry is merged on arrival) — so a
+        light-weight monitor walking digests from its cursor sees the
+        same batches the sequencer published STHs for.
+        """
+        start = self._int_param(params, "start")
+        with served.lock:
+            size = served.log.tree.size
+            if not 0 <= start < size:
+                raise HttpApiError(
+                    400, f"start={start} outside [0, {size})"
+                )
+            end = size
+            if served.sequencer is not None:
+                for boundary in served.sequencer.batch_boundaries():
+                    if boundary > start:
+                        end = min(end, boundary)
+                        break
+            key = ("digest", start, end)
+            cached = served.memo.get(key)
+            if cached is None:
+                digest = served.log.batch_digest(start, end, self._clock())
+                cached = {
+                    "start": digest.start,
+                    "end": digest.end,
+                    "timestamp": digest.timestamp_ms,
+                    "sha256_root_hash": _b64(digest.root_hash),
+                    "domains": [
+                        [index, list(names)]
+                        for index, names in digest.domains
+                    ],
+                    "signature": _b64(digest.signature),
+                }
+                served.memo.put(key, cached)
+            return 200, cached  # type: ignore[return-value]
+
     def _add_pre_chain(
         self, served: _ServedLog, body: bytes
     ) -> Tuple[int, Dict[str, object]]:
@@ -741,8 +881,9 @@ class _LogServerHandler(BaseHTTPRequestHandler):
         parts = urlsplit(self.path)
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
+        client = self.headers.get("X-Repro-Client", "") or ""
         status, payload, _ = owner.handle_request(
-            method, parts.path, parts.query, body
+            method, parts.path, parts.query, body, client
         )
         data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
@@ -774,12 +915,26 @@ class LogClient:
     """Minimal stdlib client for one served log.
 
     ``base_url`` is the log's mount point — ``server.log_url(name)``,
-    or the server URL itself for a single-log server.
+    or the server URL itself for a single-log server.  ``client_id``
+    is sent as the ``X-Repro-Client`` header (how split-view mounts
+    partition their victims).  The client keeps a wire ledger:
+    ``requests`` and ``bytes_received`` count every call, including
+    error responses — the cost accounting the light-weight monitor
+    benchmark gates on.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        client_id: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
+        self.requests = 0
+        self.bytes_received = 0
 
     def _call(
         self,
@@ -798,21 +953,53 @@ class LogClient:
         if post_body is not None:
             data = json.dumps(post_body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
         request = Request(url, data=data, headers=headers)
+        self.requests += 1
         try:
             with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                raw = response.read()
+                self.bytes_received += len(raw)
+                return json.loads(raw.decode("utf-8"))
         except HTTPError as exc:
+            raw = b""
             try:
-                body = json.loads(exc.read().decode("utf-8"))
+                raw = exc.read()
+                body = json.loads(raw.decode("utf-8"))
             except Exception:
                 body = {"error": f"HTTP {exc.code}"}
+            self.bytes_received += len(raw)
             raise LogClientError(exc.code, body) from None
 
     # -- RFC 6962 calls ------------------------------------------------------
 
     def get_sth(self) -> Dict[str, object]:
         return self._call("get-sth")
+
+    def get_signed_tree_head(self) -> SignedTreeHead:
+        """``get-sth`` parsed into a :class:`~repro.ct.log.SignedTreeHead`."""
+        body = self.get_sth()
+        return SignedTreeHead(
+            tree_size=int(body["tree_size"]),
+            timestamp_ms=int(body["timestamp"]),
+            root_hash=_unb64(str(body["sha256_root_hash"])),
+            signature=_unb64(str(body["tree_head_signature"])),
+        )
+
+    def get_batch_digest(self, start: int) -> BatchDigest:
+        """The signed batch digest covering entry ``start``."""
+        body = self._call("get-batch-digest", {"start": start})
+        return BatchDigest(
+            start=int(body["start"]),
+            end=int(body["end"]),
+            timestamp_ms=int(body["timestamp"]),
+            root_hash=_unb64(str(body["sha256_root_hash"])),
+            domains=tuple(
+                (int(index), tuple(names)) for index, names in body["domains"]
+            ),
+            signature=_unb64(str(body["signature"])),
+        )
 
     def get_entries(self, start: int, end: int) -> List[LogEntry]:
         body = self._call("get-entries", {"start": start, "end": end})
@@ -949,6 +1136,8 @@ __all__ = [
     "LogClient",
     "LogClientError",
     "LogServer",
+    "SplitView",
+    "default_split_partition",
     "entry_from_wire",
     "entry_to_wire",
     "harvest_log",

@@ -79,6 +79,7 @@ EVENT_KINDS = (
     "metrics_flush",
     "log_server_request",
     "sequencer_merge",
+    "lightweight_poll",
 )
 
 
@@ -236,6 +237,11 @@ def replay_counters(events: Iterable[Mapping[str, object]]) -> Dict[str, Number]
             retried = int(event.get("retried", 0))
             if retried:
                 add("monitor.retries", retried, **labels)
+        elif kind == "lightweight_poll":
+            labels = {"monitor": event["monitor"], "log": event["log"]}
+            add("monitor.wire_entries", int(event.get("wire_entries", 0)), **labels)
+            add("monitor.wire_bytes", int(event.get("wire_bytes", 0)), **labels)
+            add("monitor.matches", int(event.get("matches", 0)), **labels)
         elif kind == "map_start":
             add("pipeline.shards_planned", int(event.get("shards", 0)))
         elif kind == "shard_finish":

@@ -30,13 +30,22 @@ from repro.workloads.ca_profiles import (
 )
 from repro.workloads.domains import DomainCorpus, DomainWorkload
 from repro.workloads.hosting import HostingPopulation, HostingWorkload
-from repro.workloads.incidents import IncidentCorpus, MisissuanceWorkload
+from repro.workloads.incidents import (
+    IncidentCorpus,
+    MisissuanceWorkload,
+    SplitViewIncident,
+    split_view_incidents,
+)
 from repro.workloads.loadgen import (
     ClientPlan,
     LoadStormConfig,
     LoadStormReport,
+    MonitorSwarm,
+    MonitorSwarmConfig,
     StormOp,
+    gossip_storm_sths,
     plan_storm,
+    plan_swarm_subscriptions,
     run_storm,
 )
 from repro.workloads.phishing import PhishingCorpus, PhishingWorkload
@@ -56,7 +65,10 @@ __all__ = [
     "LoadStormConfig",
     "LoadStormReport",
     "MisissuanceWorkload",
+    "MonitorSwarm",
+    "MonitorSwarmConfig",
     "PAPER_CA_PROFILES",
+    "SplitViewIncident",
     "PhishingCorpus",
     "PhishingWorkload",
     "SiteGroup",
@@ -65,7 +77,10 @@ __all__ = [
     "StormOp",
     "UplinkTrafficWorkload",
     "dnsrecon_wordlist",
+    "gossip_storm_sths",
     "plan_storm",
+    "plan_swarm_subscriptions",
     "run_storm",
+    "split_view_incidents",
     "subbrute_wordlist",
 ]

@@ -15,13 +15,23 @@ This workload issues those 16 certificates through the buggy-pipeline
 paths of :class:`~repro.x509.ca.CertificateAuthority`, embedded in a
 larger population of correctly issued certificates from the same and
 other CAs.
+
+Beyond CA pipeline bugs, the module also types *log* misbehaviour:
+:class:`SplitViewIncident` is a detected equivocation — a log that
+showed different clients different tree heads of the same size —
+surfaced by :func:`split_view_incidents` from a
+:class:`~repro.ct.auditor.GossipPool` after a storm's STHs were
+gossiped (see :func:`repro.workloads.loadgen.gossip_storm_sths`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from datetime import timedelta
-from typing import Dict, List, Optional, Tuple
+from datetime import datetime, timedelta
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.ct.auditor import GossipPool
 
 from repro.ct.log import CTLog
 from repro.ct.loglist import build_default_logs
@@ -142,3 +152,50 @@ class MisissuanceWorkload:
             utc_datetime(2018, 3, 20),
         )
         return corpus
+
+
+@dataclass(frozen=True)
+class SplitViewIncident:
+    """A gossip-detected split view: one log, one size, two roots.
+
+    Root hashes are hex strings (JSON/report friendly); the reporters
+    are the client identities whose gossiped STHs collided.
+    """
+
+    log_name: str
+    tree_size: int
+    first_root: str
+    second_root: str
+    first_reporter: str
+    second_reporter: str
+    detected_at: Optional[datetime] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "split-view",
+            "log": self.log_name,
+            "tree_size": self.tree_size,
+            "first_root": self.first_root,
+            "second_root": self.second_root,
+            "first_reporter": self.first_reporter,
+            "second_reporter": self.second_reporter,
+            "detected_at": (
+                self.detected_at.isoformat() if self.detected_at else None
+            ),
+        }
+
+
+def split_view_incidents(pool: "GossipPool") -> List[SplitViewIncident]:
+    """Promote a gossip pool's proven equivocations into incidents."""
+    return [
+        SplitViewIncident(
+            log_name=equivocation.log_name,
+            tree_size=equivocation.tree_size,
+            first_root=equivocation.first_root.hex(),
+            second_root=equivocation.second_root.hex(),
+            first_reporter=equivocation.first_reporter,
+            second_reporter=equivocation.second_reporter,
+            detected_at=equivocation.observed_at,
+        )
+        for equivocation in pool.equivocations
+    ]

@@ -44,13 +44,23 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.ct.log import CTLog
+if TYPE_CHECKING:
+    from repro.ct.auditor import AuditFinding, GossipPool
+    from repro.x509 import crypto as _crypto
+
+from repro.ct.log import CTLog, SignedTreeHead
 from repro.ct.merkle import (
     leaf_hash,
     verify_consistency_proof,
     verify_inclusion_proof,
+)
+from repro.ct.monitor import (
+    BatchMonitor,
+    HttpTransport,
+    LightweightMonitor,
+    domain_matches,
 )
 from repro.ct.sct import precert_signing_input
 from repro.ct.server import LogClient, LogClientError
@@ -282,12 +292,18 @@ def _await_inclusion(
 
 @dataclass
 class OpResult:
-    """Outcome of one executed operation."""
+    """Outcome of one executed operation.
+
+    ``sth`` carries the raw ``get-sth`` body (picklable primitives)
+    when the op fetched one — the material :func:`gossip_storm_sths`
+    feeds into a :class:`~repro.ct.auditor.GossipPool` after the storm.
+    """
 
     kind: str
     status: int
     seconds: float
     verified: Optional[bool] = None
+    sth: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -306,16 +322,27 @@ def _execute_plan(
     """Run one client's ops over HTTP (module-level: process-picklable)."""
     from repro.ct.storage import certificate_from_dict
 
-    client = LogClient(base_url, timeout=timeout_s)
+    client = LogClient(base_url, timeout=timeout_s, client_id=plan.name)
     result = ClientResult(plan.kind, plan.name)
     for op in plan.ops:
         started = time.perf_counter()
         status = 200
         verified: Optional[bool] = None
+        sth_body: Optional[Dict[str, object]] = None
         try:
             if op.kind == "get_sth":
                 body = client.get_sth()
                 verified = int(body["tree_size"]) >= 0
+                sth_body = {
+                    key: body[key]
+                    for key in (
+                        "tree_size",
+                        "timestamp",
+                        "sha256_root_hash",
+                        "tree_head_signature",
+                    )
+                    if key in body
+                }
             elif op.kind == "get_entries":
                 entries = client.get_entries(op.start, op.end)
                 # Pages must stay inside the requested window and,
@@ -355,9 +382,49 @@ def _execute_plan(
             status = -1
             result.errors.append(f"{op.kind}: {exc!r}")
         result.ops.append(
-            OpResult(op.kind, status, time.perf_counter() - started, verified)
+            OpResult(
+                op.kind,
+                status,
+                time.perf_counter() - started,
+                verified,
+                sth_body,
+            )
         )
     return result
+
+
+def gossip_storm_sths(
+    report: "LoadStormReport",
+    pool: "GossipPool",
+    log_name: str,
+    *,
+    now: Optional[datetime] = None,
+) -> List["AuditFinding"]:
+    """Feed every STH the storm's clients observed into a gossip pool.
+
+    This is the wire-level gossip loop closed: the STHs were fetched
+    over HTTP by independent clients (each with its own
+    ``X-Repro-Client`` identity), so a split-view server that showed
+    different clients different roots is caught here — the pool
+    returns one finding per detected fork.
+    """
+    findings: List["AuditFinding"] = []
+    for result in report.results:
+        for op in result.ops:
+            if op.kind != "get_sth" or op.status != 200 or not op.sth:
+                continue
+            sth = SignedTreeHead(
+                tree_size=int(op.sth["tree_size"]),  # type: ignore[arg-type]
+                timestamp_ms=int(op.sth["timestamp"]),  # type: ignore[arg-type]
+                root_hash=base64.b64decode(str(op.sth["sha256_root_hash"])),
+                signature=base64.b64decode(
+                    str(op.sth["tree_head_signature"])
+                ),
+            )
+            finding = pool.submit(log_name, sth, result.name, now=now)
+            if finding is not None:
+                findings.append(finding)
+    return findings
 
 
 @dataclass
@@ -592,3 +659,164 @@ def run_storm(
         clients=len(plans),
         results=results,
     )
+
+
+# -- monitor swarms ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MonitorSwarmConfig:
+    """Shape of a light-weight monitor population."""
+
+    seed: int = 2018
+    monitors: int = 100
+    domains_per_monitor: int = 2
+    page_size: int = 512
+    timeout_s: float = 30.0
+    workers: int = 8
+
+
+def plan_swarm_subscriptions(
+    config: MonitorSwarmConfig, domain_pool: Sequence[str]
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Deterministic ``(monitor name, subscribed domains)`` pairs.
+
+    Each monitor samples ``domains_per_monitor`` domains from the pool
+    through its own forked stream, so the subscription map depends only
+    on the seed — not on population size or build order.
+    """
+    pool = sorted(set(domain_pool))
+    if not pool:
+        raise ValueError("plan_swarm_subscriptions needs a non-empty pool")
+    rng = SeededRng(config.seed, "monitor-swarm")
+    count = min(config.domains_per_monitor, len(pool))
+    return [
+        (
+            f"lw-monitor-{m}",
+            tuple(sorted(rng.fork(f"subscribe:{m}").sample(pool, count))),
+        )
+        for m in range(config.monitors)
+    ]
+
+
+class MonitorSwarm:
+    """A monitor population polling one served log over real HTTP.
+
+    ``mode="lightweight"`` runs :class:`~repro.ct.monitor.LightweightMonitor`
+    members (proof subscription: digests + matching bodies only);
+    ``mode="replay"`` runs the equal-coverage control population of
+    :class:`~repro.ct.monitor.BatchMonitor` members that download every
+    entry — the cost baseline the paper's §5/§6 monitors pay.  Both
+    modes track the same subscriptions, so their observed
+    subscribed-domain entry sets are directly comparable.
+    """
+
+    MODES = ("lightweight", "replay")
+
+    def __init__(
+        self,
+        base_url: str,
+        log_name: str,
+        subscriptions: Sequence[Tuple[str, Sequence[str]]],
+        *,
+        mode: str = "lightweight",
+        key: Optional["_crypto.KeyPair"] = None,
+        seed: int = 2018,
+        page_size: int = 512,
+        timeout_s: float = 30.0,
+        workers: int = 8,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if not subscriptions:
+            raise ValueError("MonitorSwarm needs at least one subscription")
+        self.mode = mode
+        self.log_name = log_name
+        self.workers = workers
+        rng = SeededRng(seed, f"monitor-swarm:{mode}")
+        self.members: List[Tuple[object, HttpTransport, Tuple[str, ...]]] = []
+        for name, domains in subscriptions:
+            transport = HttpTransport(
+                base_url,
+                log_name,
+                page_size=page_size,
+                timeout=timeout_s,
+                client_id=name,
+            )
+            monitor: object
+            if mode == "lightweight":
+                monitor = LightweightMonitor(name, domains, key=key)
+            else:
+                monitor = BatchMonitor(name, rng)
+            self.members.append((monitor, transport, tuple(domains)))
+        #: Per-monitor indices of *subscribed-domain* entries observed.
+        self.observed: Dict[str, Set[int]] = {
+            name: set() for name, _ in subscriptions
+        }
+
+    def poll(self, now: datetime) -> int:
+        """One poll round across the population; returns new matches."""
+
+        def run(member: Tuple[object, HttpTransport, Tuple[str, ...]]):
+            monitor, transport, domains = member
+            if self.mode == "lightweight":
+                return monitor, domains, monitor.poll(transport, now)  # type: ignore[attr-defined]
+            return monitor, domains, monitor.observe(transport)  # type: ignore[attr-defined]
+
+        if self.workers > 1 and len(self.members) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(self.members))
+            ) as pool:
+                results = list(pool.map(run, self.members))
+        else:
+            results = [run(member) for member in self.members]
+        matched = 0
+        for monitor, domains, observations in results:
+            for obs in observations:
+                if any(
+                    domain_matches(domain, name)
+                    for name in obs.dns_names
+                    for domain in domains
+                ):
+                    self.observed[monitor.name].add(obs.entry.index)  # type: ignore[attr-defined]
+                    matched += 1
+        return matched
+
+    def wire_totals(self) -> Dict[str, int]:
+        """Cumulative wire cost summed over every member transport."""
+        totals = {"requests": 0, "entries": 0, "bytes": 0}
+        for _, transport, _ in self.members:
+            stats = transport.stats()
+            for key in totals:
+                totals[key] += stats[key]
+        return totals
+
+    def findings(self) -> List["AuditFinding"]:
+        """Verification findings across the population (lightweight mode)."""
+        out: List["AuditFinding"] = []
+        for monitor, _, _ in self.members:
+            out.extend(getattr(monitor, "findings", []))
+        return out
+
+    def missed_subscribed(self, log: CTLog) -> int:
+        """Subscribed-domain entries of ``log`` a member failed to see.
+
+        The zero-miss gate: every entry whose certificate claims a name
+        under a member's subscription must appear in that member's
+        observed set.
+        """
+        missed = 0
+        for monitor, _, domains in self.members:
+            expected = {
+                entry.index
+                for entry in log.entries
+                if any(
+                    domain_matches(domain, name)
+                    for name in entry.certificate.dns_names()
+                    for domain in domains
+                )
+            }
+            missed += len(
+                expected - self.observed[monitor.name]  # type: ignore[attr-defined]
+            )
+        return missed

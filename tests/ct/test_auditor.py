@@ -6,6 +6,7 @@ import pytest
 
 from repro.ct.auditor import GossipPool, LogAuditor, make_split_view_log
 from repro.ct.log import CTLog, SignedTreeHead
+from repro.ct.merkle import leaf_hash
 from repro.ct.loglist import log_key
 from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
@@ -110,17 +111,11 @@ class TestGossip:
 
     def test_split_view_detected(self, log, ca256, now):
         grow(ca256, log, 6, now)
-        twin = make_split_view_log(log, fork_at=4)
-        # Grow both views to the same size with different content.
-        grow(ca256, log, 1, now + timedelta(hours=1), prefix="honest")
-        # twin already has 5 entries (4 shared + 1 fabricated); honest
-        # log now has 7 — align sizes by trimming honest comparison to
-        # what each vantage reports at its own size.
+        # Pad the twin to the honest log's size: same tree size,
+        # different content — the equivocation gossip catches.
+        twin = make_split_view_log(log, fork_at=4, pad_to=log.size)
         pool = GossipPool()
         honest_sth = log.get_sth(now + timedelta(hours=2))
-        # Make the twin the same tree size as the honest log.
-        while twin.tree.size < honest_sth.tree_size:
-            twin.tree.append(b"more-equivocation")
         twin_sth = twin.get_sth(now + timedelta(hours=2))
         assert honest_sth.tree_size == twin_sth.tree_size
         assert pool.submit(log.name, honest_sth, "vantage-a") is None
@@ -128,6 +123,85 @@ class TestGossip:
         assert finding is not None
         assert finding.kind == "split-view"
         assert not pool.clean
+
+    def test_same_root_from_many_reporters_stays_clean(self, log, ca256, now):
+        grow(ca256, log, 4, now)
+        pool = GossipPool()
+        sth = log.get_sth(now + timedelta(minutes=30))
+        for reporter in (f"vantage-{i}" for i in range(12)):
+            assert pool.submit(log.name, sth, reporter) is None
+        assert pool.clean
+        assert pool.sths_gossiped == 12
+
+    def test_multiple_forks_each_yield_a_finding(self, log, ca256, now):
+        grow(ca256, log, 6, now)
+        fork_a = make_split_view_log(log, fork_at=3, pad_to=log.size)
+        fork_b = make_split_view_log(log, fork_at=5, pad_to=log.size)
+        assert fork_a.tree.root() != fork_b.tree.root()
+        pool = GossipPool()
+        when = now + timedelta(hours=1)
+        pool.submit(log.name, log.get_sth(when), "honest-client")
+        assert pool.submit(log.name, fork_a.get_sth(when), "victim-a")
+        assert pool.submit(log.name, fork_b.get_sth(when), "victim-b")
+        assert len(pool.findings) == 2
+        assert len(pool.equivocations) == 2
+        assert {f.kind for f in pool.findings} == {"split-view"}
+
+    def test_repeated_equivocating_sth_not_duplicated(self, log, ca256, now):
+        grow(ca256, log, 6, now)
+        twin = make_split_view_log(log, fork_at=4, pad_to=log.size)
+        pool = GossipPool()
+        when = now + timedelta(hours=1)
+        pool.submit(log.name, log.get_sth(when), "honest-client")
+        twin_sth = twin.get_sth(when)
+        assert pool.submit(log.name, twin_sth, "victim-a") is not None
+        # The same equivocating root reported again — by the same or
+        # another vantage — must not produce a second finding.
+        assert pool.submit(log.name, twin_sth, "victim-a") is None
+        assert pool.submit(log.name, twin_sth, "victim-b") is None
+        later = twin.get_sth(when + timedelta(minutes=5))
+        assert pool.submit(log.name, later, "victim-c") is None
+        assert len(pool.findings) == 1
+
+    def test_findings_carry_timestamp_and_obs(self, log, ca256, now):
+        from repro.obs import EventLog, MetricsRegistry
+
+        grow(ca256, log, 6, now)
+        twin = make_split_view_log(log, fork_at=4, pad_to=log.size)
+        metrics = MetricsRegistry()
+        events = EventLog()
+        pool = GossipPool(metrics=metrics, events=events)
+        when = now + timedelta(hours=1)
+        pool.submit(log.name, log.get_sth(when), "vantage-a", now=when)
+        finding = pool.submit(log.name, twin.get_sth(when), "vantage-b", now=when)
+        assert finding is not None
+        assert finding.observed_at == when
+        snapshot = metrics.snapshot()
+        assert (
+            snapshot.counters[f"auditor.findings{{kind=split-view,log={log.name}}}"]
+            == 1
+        )
+        assert snapshot.counters[f"gossip.sths{{log={log.name}}}"] == 2
+        kinds = [record["kind"] for record in events.tail()]
+        assert kinds.count("audit_finding") == 1
+
+    def test_split_view_twin_is_servable(self, log, ca256, now):
+        grow(ca256, log, 6, now)
+        twin = make_split_view_log(log, fork_at=4, pad_to=log.size)
+        # The fabricated tail is made of full LogEntry records: the
+        # tree and the entry list agree, so the twin can answer
+        # get-entries/get-sth like any honest log.
+        assert twin.tree.size == len(twin.entries) == log.size
+        tail = twin.get_entries(4, twin.size - 1)
+        assert [entry.index for entry in tail] == list(range(4, twin.size))
+        for entry in tail:
+            assert entry.certificate.dns_names()
+            assert twin.tree.leaf_index(leaf_hash(entry.leaf_input)) == entry.index
+
+    def test_make_split_view_requires_divergence(self, log, ca256, now):
+        grow(ca256, log, 4, now)
+        with pytest.raises(ValueError):
+            make_split_view_log(log, fork_at=3, pad_to=3)
 
     def test_different_sizes_do_not_conflict(self, log, ca256, now):
         grow(ca256, log, 2, now)

@@ -167,7 +167,7 @@ def test_all_commands_registered():
         "fig1a", "fig1b", "fig1c", "sec2", "fig2", "table1", "sec32",
         "sec33", "sec34", "table2", "sec43", "table3", "table4",
         "threatintel", "projection", "status", "serve", "loadstorm",
-        "watch",
+        "watch", "gossip",
     }
 
 

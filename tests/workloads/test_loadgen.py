@@ -250,3 +250,86 @@ def test_report_render_includes_merge_lag_when_awaited():
     rendered = report.render()
     assert "merge lag" in rendered
     assert "1 submitters fully included" in rendered
+
+
+# -- monitor swarm planning and storm gossip (no sockets) -------------------
+
+
+def test_swarm_subscriptions_deterministic_and_sorted():
+    from repro.workloads.loadgen import (
+        MonitorSwarmConfig,
+        plan_swarm_subscriptions,
+    )
+
+    pool = [f"d{i}.example" for i in range(20)]
+    config = MonitorSwarmConfig(seed=5, monitors=10, domains_per_monitor=2)
+    subs = plan_swarm_subscriptions(config, pool)
+    assert subs == plan_swarm_subscriptions(config, list(reversed(pool)))
+    assert len(subs) == 10
+    assert [name for name, _ in subs] == [f"lw-monitor-{m}" for m in range(10)]
+    for _, domains in subs:
+        assert len(domains) == 2
+        assert list(domains) == sorted(domains)
+        assert set(domains) <= set(pool)
+    other = MonitorSwarmConfig(seed=6, monitors=10, domains_per_monitor=2)
+    assert plan_swarm_subscriptions(other, pool) != subs
+
+
+def test_swarm_subscriptions_reject_empty_pool():
+    from repro.workloads.loadgen import (
+        MonitorSwarmConfig,
+        plan_swarm_subscriptions,
+    )
+
+    with pytest.raises(ValueError):
+        plan_swarm_subscriptions(MonitorSwarmConfig(), [])
+
+
+def test_monitor_swarm_validates_inputs():
+    from repro.workloads.loadgen import MonitorSwarm
+
+    with pytest.raises(ValueError):
+        MonitorSwarm("http://x", "L", [], mode="lightweight")
+    with pytest.raises(ValueError):
+        MonitorSwarm(
+            "http://x", "L", [("m", ("d.example",))], mode="firehose"
+        )
+
+
+def test_gossip_storm_sths_skips_failed_and_foreign_ops():
+    import base64
+
+    from repro.ct.auditor import GossipPool
+    from repro.workloads.loadgen import gossip_storm_sths
+
+    log = _seeded_log(entries=4)
+    sth = log.get_sth(NOW)
+    body = {
+        "tree_size": sth.tree_size,
+        "timestamp": sth.timestamp_ms,
+        "sha256_root_hash": base64.b64encode(sth.root_hash).decode(),
+        "tree_head_signature": base64.b64encode(sth.signature).decode(),
+    }
+    results = [
+        ClientResult(
+            kind="browser", name="b-0",
+            ops=[
+                OpResult("get_sth", 200, 0.001, True, sth=body),
+                OpResult("get_sth", 500, 0.001, None),  # failed: skipped
+                OpResult("get_entries", 200, 0.001, True),  # not an STH
+            ],
+        ),
+        ClientResult(
+            kind="monitor", name="m-0",
+            ops=[OpResult("get_sth", 200, 0.001, True, sth=body)],
+        ),
+    ]
+    report = LoadStormReport(
+        wall_seconds=0.01, executor="serial", workers=1,
+        clients=2, results=results,
+    )
+    pool = GossipPool()
+    findings = gossip_storm_sths(report, pool, log.name, now=NOW)
+    assert findings == []
+    assert pool.sths_gossiped == 2
+    assert pool.clean
