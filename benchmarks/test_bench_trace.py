@@ -1,0 +1,174 @@
+"""Cost of distributed tracing on the live storm path: on vs off.
+
+Two identical seeded storms run serially against a live
+sequencer-backed :class:`~repro.ct.server.LogServer`; one bare, one
+fully traced — client root spans per op, the trace context crossing
+the wire in ``X-Repro-Traceparent``, server + sequencer spans, and
+every span serialized into an in-memory event log.  Two gates:
+
+* the storm's trace-independent output (op kinds, statuses, verify
+  verdicts, errors) must be **byte-identical** between the runs —
+  tracing observes the storm, it never changes it;
+* tracing must cost < ``OVERHEAD_CEILING`` over the bare storm.
+
+Overhead is measured in **process CPU time**, not wall clock: client
+and server share one process, tracing cost is pure CPU, and on shared
+CI runners wall-clock per-request latency swings far more than the
+ceiling this gate enforces.  Bare and traced storms in a pair reuse
+the same log name (hence the same deterministically derived key), so
+signing work is identical and only tracing differs; the gate takes the
+minimum ratio over up to ``MAX_REPEATS`` interleaved pairs, stopping
+at the first pair under the ceiling.  Logs and CAs use the repo's
+default 512-bit keys (tests shrink to 256 for speed) so per-op signing
+cost is the realistic denominator.
+"""
+
+import json
+import time
+from datetime import timedelta
+
+from conftest import record_artifact
+
+from repro.ct.log import CTLog
+from repro.ct.loglist import log_key
+from repro.ct.server import LogServer
+from repro.obs import EventLog, SpanTracer, TraceStore
+from repro.util.timeutil import utc_datetime
+from repro.workloads.loadgen import LoadStormConfig, plan_storm, run_storm
+from repro.x509.ca import CertificateAuthority, IssuanceRequest
+
+SEED = 2018
+#: Upper bound on bare/traced storm pairs; the gate takes the best
+#: (minimum) ratio and stops as soon as one pair lands under the
+#: ceiling, so a clean machine runs a single pair.
+MAX_REPEATS = 6
+OVERHEAD_CEILING = 0.05
+
+
+def _seeded_log(tag):
+    log = CTLog(
+        name=f"Trace Bench {tag}",
+        operator="T",
+        key=log_key(f"Trace Bench {tag}"),
+    )
+    ca = CertificateAuthority(f"Trace Bench CA {tag}")
+    base = utc_datetime(2018, 5, 1, 12, 0)
+    for i in range(4):
+        ca.issue(
+            IssuanceRequest((f"seed{i}.trace.example",)), [log],
+            base + timedelta(minutes=i),
+        )
+    return log
+
+
+def _stable_view(report):
+    """The storm's trace-independent output, as canonical JSON."""
+    return json.dumps(
+        [
+            {
+                "client": result.name,
+                "kind": result.kind,
+                "errors": result.errors,
+                "ops": [
+                    {
+                        "kind": op.kind,
+                        "status": op.status,
+                        "verified": op.verified,
+                    }
+                    for op in result.ops
+                ],
+            }
+            for result in report.results
+        ],
+        sort_keys=True,
+    )
+
+
+def _run_storm(tag, traced):
+    log = _seeded_log(tag)
+    # ``await_inclusion=False``: inclusion polling races the background
+    # merge worker and its sleeps would swamp the tracing signal.  The
+    # timed section is pure request/response work; merges drain after.
+    config = LoadStormConfig(
+        seed=SEED,
+        browsers=2,
+        monitors=1,
+        submitters=4,
+        await_inclusion=False,
+    )
+    plans = plan_storm(config, log)
+    events = EventLog(tail_size=65536) if traced else None
+    tracer = (
+        SpanTracer(seed=SEED, name="bench", events=events) if traced else None
+    )
+    with LogServer(
+        log, merge_interval=60.0, events=events, tracer=tracer
+    ) as server:
+        started = time.process_time()
+        report = run_storm(
+            plans,
+            server.log_url(log.name),
+            executor="serial",
+            trace_seed=SEED if traced else None,
+        )
+        spent = time.process_time() - started
+        server.drain_writes()
+    spans = 0
+    if traced:
+        for result in report.results:
+            for record in result.spans:
+                tracer.record_remote(record)
+        store = TraceStore()
+        store.add_many(tracer.to_records())
+        assert store.orphan_spans() == []
+        spans = len(store)
+    return spent, report, spans
+
+
+def test_bench_tracing_overhead(request):
+    smoke = request.config.getoption("--benchmark-disable", default=False)
+    runs = []
+    for repeat in range(1 if smoke else MAX_REPEATS):
+        # Same tag both sides: identical derived keys, identical
+        # signing work — the pair differs only in tracing.
+        bare_seconds, bare_report, _ = _run_storm("pair", False)
+        traced_seconds, traced_report, spans = _run_storm("pair", True)
+        # Tracing-off output stays byte-identical to tracing-on.
+        assert _stable_view(bare_report) == _stable_view(traced_report)
+        runs.append((bare_seconds, traced_seconds, spans))
+        if traced_seconds / bare_seconds - 1.0 < OVERHEAD_CEILING:
+            break
+
+    # Min over repeats: shared-runner noise only ever inflates a pair.
+    overhead = min(t / b - 1.0 for b, t, _ in runs)
+    bare_best = min(run[0] for run in runs)
+    traced_best = min(run[1] for run in runs)
+    spans = runs[-1][2]
+
+    if not smoke:
+        assert overhead < OVERHEAD_CEILING, (
+            f"tracing overhead {overhead:.1%} exceeds the "
+            f"{OVERHEAD_CEILING:.0%} ceiling after {len(runs)} pairs"
+        )
+
+    ops = sum(len(result.ops) for result in bare_report.results)
+    lines = [
+        f"Distributed tracing — seed {SEED}, serial storm, {ops} ops",
+        f"  tracing off  {bare_best * 1e3:8.2f} ms CPU",
+        f"  tracing on   {traced_best * 1e3:8.2f} ms CPU   "
+        f"({spans} spans, {overhead:+.1%})",
+        f"  ceiling      {OVERHEAD_CEILING:.0%}",
+    ]
+    record_artifact(
+        "trace",
+        "\n".join(lines),
+        data={
+            "seed": SEED,
+            "max_repeats": MAX_REPEATS,
+            "ops": ops,
+            "bare_seconds": bare_best,
+            "traced_seconds": traced_best,
+            "overhead": overhead,
+            "ceiling": OVERHEAD_CEILING,
+        },
+    )

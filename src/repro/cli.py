@@ -244,18 +244,29 @@ def cmd_status(args) -> str:
     consecutive-failure streak crosses the policy threshold) — and
     renders the same per-log health table a
     :class:`~repro.obs.export.TelemetryServer` serves at ``/health``
-    for a real loop.  ``--status-out FILE`` writes the report as
-    machine-readable JSON; ``--events-out`` captures the per-poll
-    ``feed_poll`` events live.
+    for a real loop.  A second, equally deterministic exercise covers
+    the *write path*: two MMD sequencers merging under injected clocks
+    (one within the merge-lag budget, one far past it) and a
+    capacity-limited served log shedding submissions with 429s, folded
+    into verdicts by :func:`repro.obs.evaluate_write_path`.
+    ``--status-out FILE`` writes both reports as machine-readable JSON
+    (the write-path verdicts under a ``write_path`` key);
+    ``--events-out`` captures the per-poll ``feed_poll`` events live.
     """
+    import base64
     from datetime import timedelta
 
     from repro.ct.feed import CertFeed
+    from repro.ct.log import CTLog
     from repro.ct.loglist import build_default_logs
-    from repro.obs import MetricsRegistry
+    from repro.ct.sequencer import LogSequencer
+    from repro.ct.server import LogServer
+    from repro.ct.storage import certificate_to_dict
+    from repro.obs import MetricsRegistry, evaluate_write_path
     from repro.resilience import FlakyLog, RetryPolicy
     from repro.util.rng import SeededRng
     from repro.util.timeutil import utc_datetime
+    from repro.x509 import crypto
     from repro.x509.ca import CertificateAuthority, IssuanceRequest
 
     rng = SeededRng(args.seed, "cli-status")
@@ -309,13 +320,74 @@ def cmd_status(args) -> str:
     feed.flush_telemetry()
     report = feed.health_report()
     delivered, _, _ = feed.stats("status")
+
+    # Write-path exercise, fully clock-injected so the verdicts (and
+    # the rendered bytes) are deterministic: two sequencers merging the
+    # same submissions with very different lags, and one served log
+    # shedding over-capacity submissions as 429s through the real
+    # request middleware (handle_request called in-process).
+    t0 = utc_datetime(2018, 5, 1, 12, 0)
+    wp_ca = CertificateAuthority(name="Status Write CA", key_bits=256)
+    scratch = CTLog(
+        name="status-scratch",
+        operator="Repro",
+        key=crypto.KeyPair.generate(f"status-scratch:{args.seed}", 256),
+    )
+    pairs = [
+        wp_ca.issue(
+            IssuanceRequest(dns_names=(f"merge{n}.status.example",)),
+            [scratch],
+            t0,
+        )
+        for n in range(3)
+    ]
+    for seq_name, lag_s in (("Sequenced Fast", 0.5), ("Sequenced Slow", 150.0)):
+        seq_log = CTLog(
+            name=seq_name,
+            operator="Repro",
+            key=crypto.KeyPair.generate(f"status-wp:{args.seed}:{seq_name}", 256),
+        )
+        sequencer = LogSequencer(seq_log, metrics=metrics, events=args.events)
+        for pair in pairs:
+            sequencer.submit_pre_chain(
+                pair.precertificate, wp_ca.issuer_key_hash, now=t0
+            )
+        sequencer.merge(now=t0 + timedelta(seconds=lag_s))
+    shed_log = CTLog(
+        name="Status Shed",
+        operator="Repro",
+        key=crypto.KeyPair.generate(f"status-shed:{args.seed}", 256),
+        capacity_per_day=1,
+        strict_capacity=True,
+    )
+    shed_server = LogServer(
+        shed_log, metrics=metrics, events=args.events, clock=lambda: t0
+    )
+    for _ in range(2):
+        shed_server.handle_request("GET", "/ct/v1/get-sth", "", b"")
+    for pair in pairs:  # capacity 1: first lands, the rest shed as 429
+        body = json.dumps(
+            {
+                "chain": [certificate_to_dict(pair.precertificate)],
+                "issuer_key_hash": base64.b64encode(
+                    wp_ca.issuer_key_hash
+                ).decode("ascii"),
+            }
+        ).encode("utf-8")
+        shed_server.handle_request("POST", "/ct/v1/add-pre-chain", "", body)
+    write_report = evaluate_write_path(metrics.snapshot())
+
     if args.status_out:
-        _write_json_artifact(args.status_out, report.to_dict())
+        payload = report.to_dict()
+        payload["write_path"] = write_report.to_dict()
+        _write_json_artifact(args.status_out, payload)
     return "\n".join(
         [
             f"CT monitoring status — seed {args.seed}, {rounds} poll rounds",
             "",
             report.render(),
+            "",
+            write_report.render(),
             "",
             f"feed: {feed.events_emitted} events emitted, "
             f"{delivered} delivered to 1 subscriber",
@@ -603,6 +675,139 @@ def cmd_loadstorm(args) -> str:
     return rendered
 
 
+def cmd_lifecycle(args) -> str:
+    """Per-certificate lifecycle timelines reconstructed from spans.
+
+    Boots a sequencer-backed :class:`~repro.ct.server.LogServer` with a
+    seeded tracer, drives a seeded client storm against it with tracing
+    on (every hop propagates the trace context through the
+    ``X-Repro-Traceparent`` header), then polls a traced light-weight
+    monitor subscribed to every submitted domain.  The resulting span
+    events are assembled into a :class:`~repro.obs.TraceStore` and
+    decomposed into the paper's Sec. 6 timeline — submit → SCT signed →
+    merge/STH published → inclusion verified → first monitor detection
+    — **from spans alone**.  The assembly is checked end to end: zero
+    orphan spans (every server span's parent resolves to a recorded
+    client span across the process boundary) and the replayed event log
+    rebuilds an identical store.  ``--lifecycle-out FILE`` writes the
+    timelines as JSON.
+    """
+    from datetime import datetime, timezone
+
+    from repro.ct.monitor import HttpTransport, LightweightMonitor
+    from repro.ct.server import LogServer
+    from repro.ct.storage import certificate_from_dict
+    from repro.obs import (
+        EventLog,
+        SpanTracer,
+        TraceStore,
+        certificate_lifecycles,
+        read_events,
+        render_lifecycles,
+    )
+    from repro.workloads.loadgen import LoadStormConfig, plan_storm, run_storm
+
+    events = args.events if args.events is not None else EventLog(tail_size=16384)
+    tracer = SpanTracer(seed=args.seed, name="lifecycle", events=events)
+    log = _seeded_ct_log(args.seed, args.log_entries)
+    merge_interval = (
+        args.merge_interval if args.merge_interval is not None else 0.05
+    )
+    config = LoadStormConfig(
+        seed=args.seed,
+        browsers=args.browsers,
+        monitors=args.monitors,
+        submitters=args.submitters,
+    )
+    plans = plan_storm(config, log)
+    submitted_domains = sorted(
+        {
+            name
+            for plan in plans
+            for op in plan.ops
+            if op.kind == "add_pre_chain" and op.chain
+            for name in certificate_from_dict(dict(op.chain[0])).dns_names()
+        }
+    )
+    with LogServer(
+        log,
+        host=args.host,
+        metrics=args.metrics,
+        events=events,
+        merge_interval=merge_interval,
+        max_batch=args.max_batch,
+        tracer=tracer,
+    ) as server:
+        report = run_storm(
+            plans,
+            server.log_url(log.name),
+            executor=args.executor,
+            workers=args.workers if args.workers > 1 else 8,
+            trace_seed=args.seed,
+        )
+        server.drain_writes()
+        monitor = LightweightMonitor(
+            "lifecycle-monitor",
+            submitted_domains or ("none.example",),
+            key=log.key,
+            tracer=tracer,
+        )
+        transport = HttpTransport(
+            server.log_url(log.name),
+            log.name,
+            timeout=30.0,
+            client_id="lifecycle-monitor",
+            tracer=tracer,
+        )
+        monitor.poll(transport, datetime.now(timezone.utc))
+    # Ship every storm worker's client spans home: record_remote files
+    # them on the coordinating tracer *and* re-emits them as ``span``
+    # events, so the event log is the complete cross-process record.
+    for result in report.results:
+        for record in result.spans:
+            tracer.record_remote(record)
+    store = TraceStore()
+    store.add_many(tracer.to_records())
+    orphans = store.orphan_spans()
+    if args.events_out:
+        replayed = TraceStore.from_events(read_events(args.events_out))
+    else:
+        replayed = TraceStore.from_events(events.tail(events.emitted))
+    replay_identical = replayed == store
+    lifecycles = certificate_lifecycles(store)
+    complete = sum(1 for item in lifecycles if item["complete"])
+    if args.lifecycle_out:
+        _write_json_artifact(
+            args.lifecycle_out,
+            {
+                "version": 1,
+                "seed": args.seed,
+                "certificates": lifecycles,
+                "complete": complete,
+                "traces": len(store.trace_ids()),
+                "spans": len(store),
+                "orphan_spans": len(orphans),
+                "replay_identical": replay_identical,
+            },
+        )
+    lines = [
+        f"Certificate lifecycle — seed {args.seed}, "
+        f"{config.clients} clients, merge every {merge_interval}s",
+        "",
+        render_lifecycles(lifecycles),
+        "",
+        f"traces: {len(store.trace_ids())}  spans: {len(store)}  "
+        f"orphans: {len(orphans)}  "
+        f"replay: {'identical' if replay_identical else 'DIVERGED'}",
+    ]
+    if orphans or not replay_identical:
+        raise AssertionError(
+            f"trace assembly broken: {len(orphans)} orphan spans, "
+            f"replay identical={replay_identical}"
+        )
+    return "\n".join(lines)
+
+
 def cmd_gossip(args) -> str:
     """Demonstrate wire-level STH gossip catching a split-view log.
 
@@ -699,6 +904,7 @@ COMMANDS: Dict[str, Callable] = {
     "watch": cmd_watch,
     "serve": cmd_serve,
     "loadstorm": cmd_loadstorm,
+    "lifecycle": cmd_lifecycle,
     "gossip": cmd_gossip,
 }
 
@@ -899,6 +1105,13 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON to FILE",
     )
     server_group.add_argument(
+        "--lifecycle-out",
+        metavar="FILE",
+        default=None,
+        help="(lifecycle) also write the per-certificate lifecycle "
+        "timelines (reconstructed from span events) as JSON to FILE",
+    )
+    server_group.add_argument(
         "--gossip-out",
         metavar="FILE",
         default=None,
@@ -913,8 +1126,14 @@ def main(argv: Optional[list] = None) -> int:
 
     args = build_parser().parse_args(argv)
     args.metrics = MetricsRegistry() if args.metrics_out else None
-    args.tracer = SpanTracer() if (args.trace or args.trace_out) else None
     args.events = EventLog(args.events_out) if args.events_out else None
+    # Seeded IDs + the shared event log make traced runs reproducible
+    # and let ``--events-out`` carry ``span`` events for later replay.
+    args.tracer = (
+        SpanTracer(seed=args.seed, name="cli", events=args.events)
+        if (args.trace or args.trace_out)
+        else None
+    )
     try:
         if args.artifact == "list":
             print("available artifacts:")

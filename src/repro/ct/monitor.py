@@ -63,6 +63,7 @@ from repro.ct.merkle import (
     verify_consistency_proof,
     verify_inclusion_proof,
 )
+from repro.obs.trace import maybe_span
 from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
@@ -70,6 +71,7 @@ if TYPE_CHECKING:  # avoid a runtime import cycle through repro.ct
     from repro.obs.events import EventLog
     from repro.obs.health import HealthReport, SloPolicy
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import SpanTracer
     from repro.resilience.retry import RetryPolicy
 
 
@@ -196,7 +198,12 @@ class HttpTransport(LogTransport):
     or a base URL string (``server.log_url(name)``).  ``get_entries``
     pages through the server's response clamping, so a request larger
     than the serving page limit still returns the full range.  The
-    wire ledger counts the client's real request/byte totals.
+    wire ledger counts the client's real request/byte totals; entry
+    accounting is per page *as received*, so the ledger stays exact
+    even when a fault mid-range forces the caller's retry layer to
+    refetch (the books balance against the byte/request counters,
+    which also count every attempt).  ``tracer`` propagates to the
+    client, which injects the trace-context header per request.
     """
 
     def __init__(
@@ -207,15 +214,19 @@ class HttpTransport(LogTransport):
         page_size: int = 512,
         timeout: float = 10.0,
         client_id: Optional[str] = None,
+        tracer: Optional["SpanTracer"] = None,
     ) -> None:
         from repro.ct.server import LogClient
 
         super().__init__(name)
         if isinstance(target, LogClient):
             self.client = target
+            if tracer is not None and self.client.tracer is None:
+                self.client.tracer = tracer
         else:
             self.client = LogClient(
-                str(target), timeout=timeout, client_id=client_id
+                str(target), timeout=timeout, client_id=client_id,
+                tracer=tracer,
             )
         self.page_size = page_size
 
@@ -246,9 +257,13 @@ class HttpTransport(LogTransport):
                 raise RuntimeError(
                     f"{self.name}: empty get-entries page at index {index}"
                 )
+            # Count each page the moment it lands: if a later page of
+            # this range fails, the wire ledger still reflects what was
+            # actually transferred (and a retry that refetches counts
+            # again, matching the byte counter's view).
+            self.entries_fetched += len(page)
             entries.extend(page)
             index = page[-1].index + 1
-        self.entries_fetched += len(entries)
         return entries
 
     def get_batch_digest(self, start: int) -> BatchDigest:
@@ -569,7 +584,11 @@ class LightweightMonitor:
     ``monitor.matches`` counters — the wire cost ledger the efficiency
     benchmark gates on; findings emit ``audit_finding`` events and
     ``auditor.findings{log=,kind=}`` counters, the same family
-    :class:`~repro.ct.auditor.LogAuditor` reports into.
+    :class:`~repro.ct.auditor.LogAuditor` reports into.  With a
+    ``tracer``, each poll runs under a ``monitor.poll`` client root
+    span with one ``monitor.match`` child per matched entry (carrying
+    the claimed domains) — the detection end of the certificate
+    lifecycle timeline.
     """
 
     def __init__(
@@ -580,6 +599,7 @@ class LightweightMonitor:
         key: Optional[object] = None,
         metrics: Optional["MetricsRegistry"] = None,
         events: Optional["EventLog"] = None,
+        tracer: Optional["SpanTracer"] = None,
     ) -> None:
         self.name = name
         self.domains: Tuple[str, ...] = tuple(
@@ -588,6 +608,7 @@ class LightweightMonitor:
         self.key = key
         self.metrics = metrics
         self.events = events
+        self.tracer = tracer
         self._cursors: Dict[str, int] = {}
         self._verified: Dict[str, SignedTreeHead] = {}
         self.findings: List[AuditFinding] = []
@@ -673,8 +694,30 @@ class LightweightMonitor:
         target: Union[LogTransport, CTLog],
         now: Optional[datetime] = None,
     ) -> List[LogObservation]:
-        """One verification round; returns matching-entry observations."""
+        """One verification round; returns matching-entry observations.
+
+        With a tracer attached the round runs under a ``monitor.poll``
+        client root span (its HTTP calls become child spans carrying
+        the trace across the wire).
+        """
         transport = as_transport(target)
+        if self.tracer is None:
+            return self._poll(transport, now)
+        with self.tracer.span(
+            "monitor.poll",
+            kind="client",
+            monitor=self.name,
+            log=transport.name,
+        ) as span:
+            observations = self._poll(transport, now)
+            span.set("matches", len(observations))
+            return observations
+
+    def _poll(
+        self,
+        transport: LogTransport,
+        now: Optional[datetime] = None,
+    ) -> List[LogObservation]:
         name = transport.name
         when = now if now is not None else _utc_now()
         before = transport.stats()
@@ -709,9 +752,19 @@ class LightweightMonitor:
                     if not self.matches(claimed):
                         continue
                     self.entries_matched += 1
-                    entry = self._verify_entry(
-                        transport, sth, index, claimed, when
-                    )
+                    with maybe_span(
+                        self.tracer,
+                        "monitor.match",
+                        monitor=self.name,
+                        log=name,
+                        entry=index,
+                        domains=sorted(claimed),
+                    ) as match_span:
+                        entry = self._verify_entry(
+                            transport, sth, index, claimed, when
+                        )
+                        if match_span is not None:
+                            match_span.set("verified", entry is not None)
                     if entry is not None:
                         observations.append(
                             LogObservation(

@@ -63,6 +63,8 @@ from repro.ct.sct import (
     precert_signing_input,
     x509_signing_input,
 )
+from repro.obs.trace import SpanTracer, maybe_span
+from repro.obs.tracectx import TraceContext
 from repro.util.timeutil import timestamp_ms
 from repro.x509 import crypto
 from repro.x509.certificate import Certificate
@@ -94,6 +96,7 @@ class _PendingEntry:
         "submitted_at",
         "sct",
         "ready",
+        "trace_context",
     )
 
     def __init__(
@@ -113,6 +116,10 @@ class _PendingEntry:
         # Set once the SCT signature lands; duplicate submitters that
         # lose the reservation race wait on this instead of re-signing.
         self.ready = threading.Event()
+        # The submitting span's context (the server span handling the
+        # add-pre-chain call); the merge span links back to it across
+        # the async boundary.
+        self.trace_context: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -157,6 +164,12 @@ class LogSequencer:
         HTTP readers and merges stay mutually consistent.
     metrics / events / telemetry_lock:
         Optional obs sinks (duck-typed, same as the server middleware).
+    tracer:
+        Optional :class:`~repro.obs.trace.SpanTracer`.  ``submit``
+        records the submitting span's context on the pending entry;
+        every ``merge`` then runs under one ``sequencer.merge``
+        consumer span *linked* to all folded submissions (one merge,
+        N links — the async-boundary case).  ``None`` changes nothing.
     """
 
     def __init__(
@@ -170,6 +183,7 @@ class LogSequencer:
         metrics: Optional[object] = None,
         events: Optional[object] = None,
         telemetry_lock: Optional[threading.Lock] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -185,6 +199,7 @@ class LogSequencer:
         self._metrics = metrics
         self._events = events
         self._telemetry_lock = telemetry_lock or threading.Lock()
+        self._tracer = tracer
         # Admission/dedup state: guards the pending map, the queue, and
         # the log's capacity counters.  Held only for dict/deque ops —
         # never across an RSA signature.
@@ -260,6 +275,10 @@ class LogSequencer:
                 pending = _PendingEntry(
                     cache_key, entry_input, entry_type, cert, when
                 )
+                if self._tracer is not None:
+                    # The submitting span (e.g. the server span for
+                    # this add-pre-chain call) is open on this thread.
+                    pending.trace_context = self._tracer.current_context()
                 self._pending[cache_key] = pending
                 owner = True
             else:
@@ -319,47 +338,63 @@ class LogSequencer:
                 return MergeResult(
                     merged=0, tree_size=self.log.size, sth=None
                 )
-            rows = [
-                (p.entry_input, p.entry_type, p.certificate, p.submitted_at)
-                for p in batch
+            # One merge, N links: the consumer span points back at
+            # every folded submission's span across the async boundary.
+            links = [
+                p.trace_context for p in batch if p.trace_context is not None
             ]
-            with self.tree_lock:
-                # Readers see the whole batch land atomically.
-                self.log.append_batch(rows)
-                size = self.log.tree.size
-                root = self.log.tree.root()
-                self._batch_boundaries.append(size)
-            # The tree-head signature (one per merge, not per entry)
-            # also happens outside the read lock.
-            ts = timestamp_ms(when)
-            payload = SignedTreeHead.signed_payload(size, ts, root)
-            sth = SignedTreeHead(
-                tree_size=size,
-                timestamp_ms=ts,
-                root_hash=root,
-                signature=crypto.sign(self.log.key, payload),
-            )
-            with self._submit_lock:
-                for p in batch:
-                    # Keys leave the pending map only after the merged
-                    # SCT cache covers them: a resubmission always sees
-                    # exactly one of the two.
-                    self.log.register_sct(p.cache_key, p.sct)
-                    self._pending.pop(p.cache_key, None)
-                depth = len(self._queue)
-            self._latest_sth = sth
-            lag = max(
-                (timestamp_ms(when) - timestamp_ms(p.submitted_at)) / 1e3
-                for p in batch
-            )
-            self._merges += 1
-            self._entries_merged += len(batch)
-            self._max_batch_merged = max(self._max_batch_merged, len(batch))
-            self._max_lag_s = max(self._max_lag_s, lag)
-            self._note_merge(batch, lag, depth, size)
-            return MergeResult(
-                merged=len(batch), tree_size=size, sth=sth, max_lag_s=lag
-            )
+            with maybe_span(
+                self._tracer,
+                "sequencer.merge",
+                kind="consumer",
+                links=links,
+                log=self.log.name,
+            ) as span:
+                rows = [
+                    (p.entry_input, p.entry_type, p.certificate, p.submitted_at)
+                    for p in batch
+                ]
+                with self.tree_lock:
+                    # Readers see the whole batch land atomically.
+                    self.log.append_batch(rows)
+                    size = self.log.tree.size
+                    root = self.log.tree.root()
+                    self._batch_boundaries.append(size)
+                # The tree-head signature (one per merge, not per entry)
+                # also happens outside the read lock.
+                ts = timestamp_ms(when)
+                payload = SignedTreeHead.signed_payload(size, ts, root)
+                sth = SignedTreeHead(
+                    tree_size=size,
+                    timestamp_ms=ts,
+                    root_hash=root,
+                    signature=crypto.sign(self.log.key, payload),
+                )
+                with self._submit_lock:
+                    for p in batch:
+                        # Keys leave the pending map only after the merged
+                        # SCT cache covers them: a resubmission always sees
+                        # exactly one of the two.
+                        self.log.register_sct(p.cache_key, p.sct)
+                        self._pending.pop(p.cache_key, None)
+                    depth = len(self._queue)
+                self._latest_sth = sth
+                lag = max(
+                    (timestamp_ms(when) - timestamp_ms(p.submitted_at)) / 1e3
+                    for p in batch
+                )
+                self._merges += 1
+                self._entries_merged += len(batch)
+                self._max_batch_merged = max(self._max_batch_merged, len(batch))
+                self._max_lag_s = max(self._max_lag_s, lag)
+                self._note_merge(batch, lag, depth, size)
+                if span is not None:
+                    span.set("merged", len(batch))
+                    span.set("tree_size", size)
+                    span.set("lag_s", round(lag, 6))
+                return MergeResult(
+                    merged=len(batch), tree_size=size, sth=sth, max_lag_s=lag
+                )
 
     def run_merges(
         self, n: int, now: Optional[datetime] = None

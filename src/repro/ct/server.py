@@ -93,6 +93,8 @@ from repro.ct.merkle import MerkleTree
 from repro.ct.sequencer import DEFAULT_MAX_BATCH, LogSequencer
 from repro.ct.sct import SctEntryType, SignedCertificateTimestamp
 from repro.ct.storage import certificate_from_dict, certificate_to_dict
+from repro.obs.trace import SpanTracer
+from repro.obs.tracectx import TRACEPARENT_HEADER, TraceContext
 from repro.util.httpd import HttpServerHandle
 from repro.util.timeutil import from_timestamp_ms, timestamp_ms
 
@@ -360,6 +362,14 @@ class LogServer:
         Optional obs sinks for the request-logging middleware; pass
         ``telemetry_lock`` when the registry is shared with another
         thread (the registry itself is not thread-safe).
+    tracer:
+        Optional :class:`~repro.obs.trace.SpanTracer` (thread-safe).
+        The middleware opens one ``server.<endpoint>`` span per
+        request, parented on the client span named by the incoming
+        ``X-Repro-Traceparent`` header — the cross-process half of a
+        distributed trace.  Server-created sequencers share the
+        tracer, so merges emit consumer spans linked to the folded
+        submissions.  Tracing off (``None``) changes nothing.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port — the shared
         :class:`repro.util.httpd.HttpServerHandle` behaviour, identical
@@ -389,6 +399,7 @@ class LogServer:
         metrics: Optional[object] = None,
         events: Optional[object] = None,
         telemetry_lock: Optional[threading.Lock] = None,
+        tracer: Optional[SpanTracer] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         page_limit: int = DEFAULT_PAGE_LIMIT,
@@ -408,6 +419,7 @@ class LogServer:
         self._metrics = metrics
         self._events = events
         self._telemetry_lock = telemetry_lock or threading.Lock()
+        self._tracer = tracer
         # Sequencers the server itself created (merge_interval mode):
         # their background workers follow the server's start()/stop().
         # Prebuilt LogSequencer mounts stay caller-managed.
@@ -429,6 +441,7 @@ class LogServer:
                     metrics=metrics,
                     events=events,
                     telemetry_lock=self._telemetry_lock,
+                    tracer=tracer,
                 )
                 self._own_sequencers.append(log)
             served = _ServedLog(log, memo_entries)
@@ -516,13 +529,42 @@ class LogServer:
         query: str,
         body: bytes,
         client: str = "",
+        traceparent: str = "",
     ) -> Tuple[int, Dict[str, object], str]:
         """Route one request; returns (status, json body, endpoint label).
 
         ``client`` is the requester's self-declared identity (the
         ``X-Repro-Client`` header) — only consulted by split-view
         mounts to pick which side of the partition answers reads.
+        ``traceparent`` is the raw ``X-Repro-Traceparent`` header; with
+        a tracer attached the request runs under a ``server.<endpoint>``
+        span parented on the remote client span it names.
         """
+        if self._tracer is None:
+            return self._handle_routed(method, path, query, body, client)
+        parent = TraceContext.parse(traceparent)
+        with self._tracer.span(
+            "server.request", kind="server", parent=parent
+        ) as span:
+            status, payload, endpoint = self._handle_routed(
+                method, path, query, body, client
+            )
+            # The endpoint is only known after routing; rename before
+            # the span closes so the serialized event carries it.
+            span.name = f"server.{endpoint}"
+            span.set("endpoint", endpoint)
+            span.set("status", status)
+            span.set("method", method)
+            return status, payload, endpoint
+
+    def _handle_routed(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        client: str = "",
+    ) -> Tuple[int, Dict[str, object], str]:
         endpoint = "unknown"
         slug = "-"
         started = time.perf_counter()
@@ -882,8 +924,9 @@ class _LogServerHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
         client = self.headers.get("X-Repro-Client", "") or ""
+        traceparent = self.headers.get(TRACEPARENT_HEADER, "") or ""
         status, payload, _ = owner.handle_request(
-            method, parts.path, parts.query, body, client
+            method, parts.path, parts.query, body, client, traceparent
         )
         data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
@@ -921,6 +964,11 @@ class LogClient:
     ``requests`` and ``bytes_received`` count every call, including
     error responses — the cost accounting the light-weight monitor
     benchmark gates on.
+
+    With a ``tracer`` attached, every call runs under an
+    ``http.<endpoint>`` client span whose context is injected as the
+    ``X-Repro-Traceparent`` header, so the server's span joins this
+    client's trace.  Tracing off changes nothing on the wire.
     """
 
     def __init__(
@@ -929,10 +977,12 @@ class LogClient:
         *,
         timeout: float = 10.0,
         client_id: Optional[str] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
+        self.tracer = tracer
         self.requests = 0
         self.bytes_received = 0
 
@@ -941,6 +991,28 @@ class LogClient:
         endpoint: str,
         params: Optional[Mapping[str, object]] = None,
         post_body: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        if self.tracer is None:
+            return self._request(endpoint, params, post_body)
+        with self.tracer.span(f"http.{endpoint}", kind="client") as span:
+            if self.client_id:
+                span.set("client", self.client_id)
+            try:
+                body = self._request(
+                    endpoint, params, post_body, span.context.to_header()
+                )
+            except LogClientError as exc:
+                span.set("status", exc.status)
+                raise
+            span.set("status", 200)
+            return body
+
+    def _request(
+        self,
+        endpoint: str,
+        params: Optional[Mapping[str, object]] = None,
+        post_body: Optional[Mapping[str, object]] = None,
+        traceparent: str = "",
     ) -> Dict[str, object]:
         url = f"{self.base_url}/ct/v1/{endpoint}"
         if params:
@@ -955,6 +1027,8 @@ class LogClient:
             headers["Content-Type"] = "application/json"
         if self.client_id:
             headers["X-Repro-Client"] = self.client_id
+        if traceparent:
+            headers[TRACEPARENT_HEADER] = traceparent
         request = Request(url, data=data, headers=headers)
         self.requests += 1
         try:

@@ -9,8 +9,16 @@ dependency-free and deterministic where it matters:
   JSON-exportable with sorted keys, and merges associatively and
   commutatively — per-shard metrics survive process-pool workers and
   reduce bit-identically;
-* :mod:`repro.obs.trace` — :class:`SpanTracer`, a context-manager
-  span stack with wall-time, nesting, and JSON export;
+* :mod:`repro.obs.trace` — :class:`SpanTracer`, a thread-safe
+  context-manager span stack with wall-time, nesting, trace-context
+  identity, and JSON export;
+* :mod:`repro.obs.tracectx` — distributed-tracing glue:
+  :class:`TraceContext` (the ``X-Repro-Traceparent`` wire encoding),
+  :class:`TraceIdSource` (seeded deterministic trace/span ids),
+  :class:`TraceStore` (span assembly grouped by trace id from live
+  tracers, worker-shipped records, or replayed ``span`` events), and
+  :func:`certificate_lifecycles` (the Sec. 6 submit → SCT → merge →
+  inclusion → detection timeline read out of spans alone);
 * :mod:`repro.obs.export` — :func:`render_prometheus` (deterministic
   Prometheus text exposition of a snapshot) and
   :class:`TelemetryServer`, a stdlib HTTP endpoint serving
@@ -64,8 +72,11 @@ from repro.obs.health import (
     HealthReport,
     LogHealth,
     SloPolicy,
+    WritePathHealth,
+    WritePathReport,
     evaluate_log,
     evaluate_stats,
+    evaluate_write_path,
 )
 from repro.obs.metrics import (
     COUNT_BOUNDS,
@@ -78,6 +89,17 @@ from repro.obs.metrics import (
     metric_key,
 )
 from repro.obs.trace import Span, SpanTracer, maybe_span
+from repro.obs.tracectx import (
+    SPAN_KINDS,
+    SPAN_RECORD_FIELDS,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    TraceIdSource,
+    TraceStore,
+    certificate_lifecycles,
+    normalize_span_record,
+    render_lifecycles,
+)
 
 __all__ = [
     "COUNT_BOUNDS",
@@ -86,6 +108,9 @@ __all__ = [
     "EVENT_KINDS",
     "EVENT_SCHEMA_VERSION",
     "EXPOSITION_CONTENT_TYPE",
+    "SPAN_KINDS",
+    "SPAN_RECORD_FIELDS",
+    "TRACEPARENT_HEADER",
     "Counter",
     "EventLog",
     "Gauge",
@@ -99,17 +124,26 @@ __all__ = [
     "Span",
     "SpanTracer",
     "TelemetryServer",
+    "TraceContext",
+    "TraceIdSource",
+    "TraceStore",
+    "WritePathHealth",
+    "WritePathReport",
+    "certificate_lifecycles",
     "counter_delta",
     "escape_label_value",
     "evaluate_log",
     "evaluate_stats",
+    "evaluate_write_path",
     "format_number",
     "maybe_span",
     "metric_key",
     "new_run_id",
+    "normalize_span_record",
     "parse_exposition",
     "prometheus_name",
     "read_events",
+    "render_lifecycles",
     "render_prometheus",
     "replay_counters",
     "split_metric_key",

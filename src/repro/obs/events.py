@@ -57,10 +57,12 @@ if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
 
 #: Event schema version; bump on any envelope change.
-EVENT_SCHEMA_VERSION = 1
+#: v2: added the ``span`` kind (distributed-tracing span records).
+EVENT_SCHEMA_VERSION = 2
 
 #: Envelope keys; ``emit`` rejects field names that would shadow them.
 ENVELOPE_FIELDS = ("v", "run", "seq", "ts", "kind")
+_ENVELOPE_SET = frozenset(ENVELOPE_FIELDS)
 
 #: The stable event kinds (see docs/API.md for their fields).
 EVENT_KINDS = (
@@ -80,6 +82,7 @@ EVENT_KINDS = (
     "log_server_request",
     "sequencer_merge",
     "lightweight_poll",
+    "span",
 )
 
 
@@ -138,8 +141,8 @@ class EventLog:
 
     def emit(self, kind: str, **fields: object) -> Dict[str, object]:
         """Record one event; returns the full record (envelope + fields)."""
-        shadowed = [key for key in fields if key in ENVELOPE_FIELDS]
-        if shadowed:
+        if not _ENVELOPE_SET.isdisjoint(fields):
+            shadowed = sorted(_ENVELOPE_SET.intersection(fields))
             raise ValueError(
                 f"event fields {shadowed} shadow envelope keys {ENVELOPE_FIELDS}"
             )

@@ -14,9 +14,12 @@ at process exit; this module is the *live* half for long-running loops
   (the SLO verdicts of :mod:`repro.obs.health` as JSON; 503 once any
   log is ``failing``), ``GET /events/tail?n=N`` (the most recent
   events of an attached :class:`~repro.obs.events.EventLog` as JSONL),
-  and ``GET /analytics`` (the version-1 live-analytics snapshot of an
+  ``GET /analytics`` (the version-1 live-analytics snapshot of an
   attached :class:`~repro.dataset.live.LiveAnalytics` — the paper's
-  Fig 1a/1b/Table 1 aggregates, folded incrementally).
+  Fig 1a/1b/Table 1 aggregates, folded incrementally), and
+  ``GET /spans?trace_id=...`` (one assembled trace from an attached
+  :class:`~repro.obs.tracectx.TraceStore` source; without the query
+  parameter, a summary of every known trace).
 
 The server never touches a registry directly — it calls the injected
 provider callables on every request, so the owner of the loop decides
@@ -45,6 +48,7 @@ from repro.util.httpd import HttpServerHandle
 
 if TYPE_CHECKING:
     from repro.obs.events import EventLog
+    from repro.obs.tracectx import TraceStore
 
 #: Content type of the Prometheus text exposition format.
 EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -184,6 +188,7 @@ def render_prometheus(
 SnapshotSource = Callable[[], MetricsSnapshot]
 HealthSource = Callable[[], object]  # HealthReport or plain dict
 AnalyticsSource = Callable[[], object]  # LiveAnalytics to_dict() or plain dict
+TraceSource = Callable[[], "TraceStore"]  # current assembled trace store
 
 
 class TelemetryServer:
@@ -206,6 +211,10 @@ class TelemetryServer:
         snapshot for ``/analytics`` — typically
         :meth:`repro.dataset.live.LiveAnalytics.to_dict` (any mapping
         works); without it the route answers 404.
+    trace_source:
+        Optional callable returning the current
+        :class:`~repro.obs.tracectx.TraceStore` for ``/spans``;
+        without it the route answers 404.
     host / port:
         Bind address; ``port=0`` (the default) picks an ephemeral port,
         exposed as :attr:`port` / :attr:`url` after construction.
@@ -224,6 +233,7 @@ class TelemetryServer:
         health_source: Optional[HealthSource] = None,
         events: Optional["EventLog"] = None,
         analytics_source: Optional[AnalyticsSource] = None,
+        trace_source: Optional[TraceSource] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro_",
@@ -232,6 +242,7 @@ class TelemetryServer:
         self._health_source = health_source
         self._events = events
         self._analytics_source = analytics_source
+        self._trace_source = trace_source
         self._prefix = prefix
         self._handle = HttpServerHandle(
             _TelemetryHandler,
@@ -306,6 +317,33 @@ class TelemetryServer:
         body = "\n".join(lines) + ("\n" if lines else "")
         return 200, "application/x-ndjson", body
 
+    def _spans_response(self, query: str) -> Tuple[int, str, str]:
+        if self._trace_source is None:
+            return 404, "application/json", '{"error": "no trace source"}\n'
+        store = self._trace_source()
+        params = parse_qs(query)
+        trace_id = params.get("trace_id", [""])[0].strip().lower()
+        if trace_id:
+            spans = store.spans_for(trace_id)
+            if not spans:
+                return (
+                    404,
+                    "application/json",
+                    '{"error": "unknown trace_id"}\n',
+                )
+            body = {"trace_id": trace_id, "spans": spans}
+        else:
+            body = {
+                "traces": [
+                    {
+                        "trace_id": known,
+                        "spans": len(store.spans_for(known)),
+                    }
+                    for known in store.trace_ids()
+                ]
+            }
+        return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
+
 
 class _TelemetryHandler(BaseHTTPRequestHandler):
     server_version = "repro-telemetry/1"
@@ -325,6 +363,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 status, ctype, body = telemetry._analytics_response()
             elif parts.path == "/events/tail":
                 status, ctype, body = telemetry._events_response(parts.query)
+            elif parts.path == "/spans":
+                status, ctype, body = telemetry._spans_response(parts.query)
             else:
                 status, ctype, body = (
                     404,

@@ -1,0 +1,387 @@
+"""Cross-process trace context: IDs, wire encoding, and trace assembly.
+
+Distributed tracing needs three things the in-process tracer cannot
+provide on its own:
+
+* **Identity** — :class:`TraceIdSource` mints trace ids (32 hex chars)
+  and span ids (16 hex chars).  Seeded sources are deterministic: the
+  same ``(seed, name)`` pair replays the same id sequence, so two runs
+  of a seeded storm produce comparable traces.  Distinct participants
+  (server, each storm client) must use distinct ``name``s or their id
+  streams collide.
+* **Propagation** — :class:`TraceContext` is the wire form of "the
+  currently open span", carried across the HTTP boundary in the
+  :data:`TRACEPARENT_HEADER` header as ``<trace_id>-<span_id>``
+  (a traceparent-style encoding without version/flags fields).  The
+  server parses the header and opens its span as a *child* of the
+  remote client span, stitching the two processes into one trace.
+* **Assembly** — :class:`TraceStore` folds span records back together:
+  live spans from a tracer, picklable dicts shipped home from worker
+  processes, and ``span`` events replayed from a JSONL event log all
+  normalize to the same canonical record, grouped by ``trace_id``.
+  :func:`certificate_lifecycles` then reads the paper's Sec. 6
+  timeline (submit -> SCT -> merge -> inclusion -> first monitor
+  detection) out of the assembled store, from spans alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import uuid
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+TRACEPARENT_HEADER = "X-Repro-Traceparent"
+
+TRACE_ID_HEX = 32
+SPAN_ID_HEX = 16
+
+SPAN_KINDS = ("client", "server", "internal", "producer", "consumer")
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+#: Canonical span-record fields, as serialized into ``span`` events and
+#: stored by :class:`TraceStore`.  ``kind`` travels as ``span_kind`` in
+#: events because ``kind`` is claimed by the event envelope.
+SPAN_RECORD_FIELDS = (
+    "name",
+    "trace_id",
+    "span_id",
+    "parent_span_id",
+    "kind",
+    "started_at",
+    "duration_ms",
+    "attrs",
+    "links",
+)
+
+
+def _is_hex(value: str, width: int) -> bool:
+    return len(value) == width and set(value) <= _HEX_DIGITS
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one open span."""
+
+    trace_id: str
+    span_id: str
+
+    def to_header(self) -> str:
+        return f"{self.trace_id}-{self.span_id}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def parse(cls, header: object) -> Optional["TraceContext"]:
+        """Parse a ``trace_id-span_id`` header; None when absent/invalid."""
+        if not isinstance(header, str) or not header:
+            return None
+        parts = header.strip().lower().split("-")
+        if len(parts) != 2:
+            return None
+        trace_id, span_id = parts
+        if not _is_hex(trace_id, TRACE_ID_HEX) or not _is_hex(span_id, SPAN_ID_HEX):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+class TraceIdSource:
+    """Thread-safe id mint; deterministic when seeded.
+
+    Ids are sha256 digests of ``"{seed}:{name}:{counter}"`` so every
+    ``(seed, name)`` stream is reproducible yet streams with different
+    names never collide.  Unseeded sources key off a process-unique
+    UUID instead.
+    """
+
+    def __init__(self, seed: Optional[int] = None, name: str = "tracer") -> None:
+        self.seed = seed
+        self.name = name
+        if seed is None:
+            self._material = f"{uuid.uuid4().hex}:{name}"
+        else:
+            self._material = f"{seed}:{name}"
+        # ``next()`` on an itertools counter is atomic under the GIL,
+        # so minting needs no lock on the request path.
+        self._counter = itertools.count()
+
+    def _next_hex(self, width: int) -> str:
+        counter = next(self._counter)
+        digest = hashlib.sha256(f"{self._material}:{counter}".encode("ascii"))
+        return digest.hexdigest()[:width]
+
+    def trace_id(self) -> str:
+        return self._next_hex(TRACE_ID_HEX)
+
+    def span_id(self) -> str:
+        return self._next_hex(SPAN_ID_HEX)
+
+
+def _jsonify(value: object) -> object:
+    """Mirror a JSON encode/decode cycle without serializing.
+
+    Tuples become lists and mapping keys become strings — exactly what
+    a round-trip through the JSONL event log does to attribute values —
+    at a fraction of the cost, which matters because every span close
+    canonicalizes its record on the request path.
+    """
+    # Concrete-type checks first: attrs are overwhelmingly flat dicts
+    # of scalars, and abc/typing isinstance checks are slow.
+    if type(value) in (str, int, float, bool, type(None)):
+        return value
+    if type(value) is dict:
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if type(value) in (list, tuple):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def normalize_span_record(record: Mapping[str, object]) -> Dict[str, object]:
+    """Canonicalize a span dict from any source.
+
+    Accepts live ``Span.to_record()`` dicts, pickled worker copies, and
+    replayed ``span`` events (which carry the envelope fields and spell
+    the span kind ``span_kind``).  Floats are rounded exactly as the
+    event writer rounds them, so a store built from live spans compares
+    equal to one rebuilt from the JSONL replay.
+    """
+    kind = record.get("span_kind", record.get("kind", "internal"))
+    duration = record.get("duration_ms")
+    if duration is None and record.get("duration_s") is not None:
+        duration = float(record["duration_s"]) * 1e3  # type: ignore[arg-type]
+    attrs = record.get("attrs") or {}
+    links = record.get("links") or ()
+    return {
+        "name": str(record.get("name", "")),
+        "trace_id": str(record.get("trace_id", "")),
+        "span_id": str(record.get("span_id", "")),
+        "parent_span_id": record.get("parent_span_id"),
+        "kind": str(kind),
+        "started_at": round(float(record.get("started_at", 0.0)), 6),  # type: ignore[arg-type]
+        "duration_ms": None if duration is None else round(float(duration), 3),  # type: ignore[arg-type]
+        # Live records (tuples, etc.) must compare equal to the same
+        # records replayed from the JSONL event log.
+        "attrs": _jsonify(attrs),
+        "links": [dict(link) for link in links],  # type: ignore[union-attr]
+    }
+
+
+class TraceStore:
+    """Span records grouped by ``trace_id``.
+
+    The store is the merge point for spans produced on both sides of
+    the HTTP boundary: feed it a server's tracer, the span dicts each
+    storm worker ships home, or a replayed event log — the resulting
+    store is identical regardless of the route the spans took.
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, List[Dict[str, object]]] = {}
+
+    def add(self, record: Mapping[str, object]) -> Dict[str, object]:
+        """Normalize and file one span record; returns the stored copy."""
+        span = normalize_span_record(record)
+        self._traces.setdefault(str(span["trace_id"]), []).append(span)
+        return span
+
+    def add_many(self, records: Iterable[Mapping[str, object]]) -> int:
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count
+
+    @classmethod
+    def from_events(cls, events: Iterable[Mapping[str, object]]) -> "TraceStore":
+        """Build a store from replayed event records (``kind == "span"``)."""
+        store = cls()
+        for event in events:
+            if event.get("kind") == "span":
+                store.add(event)
+        return store
+
+    def trace_ids(self) -> List[str]:
+        return sorted(self._traces)
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, object]]:
+        """Spans of one trace, stable-sorted by start time then id."""
+        spans = self._traces.get(trace_id, [])
+        return sorted(spans, key=lambda s: (s["started_at"], s["span_id"]))  # type: ignore[arg-type]
+
+    def all_spans(self) -> List[Dict[str, object]]:
+        return [span for trace_id in self.trace_ids() for span in self.spans_for(trace_id)]
+
+    def orphan_spans(self) -> List[Dict[str, object]]:
+        """Spans whose parent_span_id resolves to no recorded span.
+
+        A clean cross-process assembly has zero orphans: every server
+        span's parent is the client span that sent the header.
+        """
+        orphans = []
+        for trace_id in self.trace_ids():
+            spans = self._traces[trace_id]
+            known = {span["span_id"] for span in spans}
+            for span in spans:
+                parent = span["parent_span_id"]
+                if parent is not None and parent not in known:
+                    orphans.append(span)
+        return orphans
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "traces": {trace_id: self.spans_for(trace_id) for trace_id in self.trace_ids()},
+            "spans": len(self),
+        }
+
+    def __len__(self) -> int:
+        return sum(len(spans) for spans in self._traces.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceStore):
+            return NotImplemented
+        if self.trace_ids() != other.trace_ids():
+            return False
+        return all(
+            self.spans_for(trace_id) == other.spans_for(trace_id)
+            for trace_id in self.trace_ids()
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("TraceStore is mutable and unhashable")
+
+
+def _span_end(span: Mapping[str, object]) -> Optional[float]:
+    started = span.get("started_at")
+    duration = span.get("duration_ms")
+    if started is None or duration is None:
+        return None
+    return float(started) + float(duration) / 1e3  # type: ignore[arg-type]
+
+
+def certificate_lifecycles(store: TraceStore) -> List[Dict[str, object]]:
+    """Decompose per-certificate lifecycle timelines from spans alone.
+
+    For every submitted certificate (one ``storm.add_pre_chain`` client
+    root span per cert, carrying a ``domain`` attr) the walk links:
+
+    1. the client submit span (submit start),
+    2. its ``server.add-pre-chain`` child in the same trace (SCT signed
+       when the server span closes),
+    3. the ``sequencer.merge`` consumer span whose links name that
+       server span (merge/STH published when the merge closes),
+    4. the submitter's ``storm.await_inclusion`` span (inclusion
+       verified when it closes), matched via the ``client`` attr,
+    5. the earliest ``monitor.match`` span whose ``domains`` include
+       the certificate's domain (first monitor detection).
+
+    Returns one dict per certificate, sorted by domain; stages that
+    never happened are ``None``.
+    """
+    spans = store.all_spans()
+    merges_by_link: Dict[Tuple[str, str], Mapping[str, object]] = {}
+    awaits_by_client: Dict[str, Mapping[str, object]] = {}
+    matches: List[Mapping[str, object]] = []
+    for span in spans:
+        if span["name"] == "sequencer.merge":
+            for link in span["links"]:  # type: ignore[union-attr]
+                merges_by_link[(str(link["trace_id"]), str(link["span_id"]))] = span
+        elif span["name"] == "storm.await_inclusion":
+            client = str(span["attrs"].get("client", ""))  # type: ignore[union-attr]
+            if client:
+                awaits_by_client[client] = span
+        elif span["name"] == "monitor.match":
+            matches.append(span)
+
+    lifecycles: List[Dict[str, object]] = []
+    for span in spans:
+        if span["name"] != "storm.add_pre_chain":
+            continue
+        attrs: Mapping[str, object] = span["attrs"]  # type: ignore[assignment]
+        domain = str(attrs.get("domain", ""))
+        client = str(attrs.get("client", ""))
+        trace_id = str(span["trace_id"])
+        submitted_at = float(span["started_at"])  # type: ignore[arg-type]
+
+        server_span = next(
+            (
+                candidate
+                for candidate in store.spans_for(trace_id)
+                if candidate["name"] == "server.add-pre-chain"
+            ),
+            None,
+        )
+        sct_at = _span_end(server_span) if server_span is not None else None
+
+        merge_span = None
+        if server_span is not None:
+            merge_span = merges_by_link.get((trace_id, str(server_span["span_id"])))
+        merged_at = _span_end(merge_span) if merge_span is not None else None
+
+        await_span = awaits_by_client.get(client)
+        inclusion_at = _span_end(await_span) if await_span is not None else None
+
+        detected_at = None
+        for match in matches:
+            domains = match["attrs"].get("domains", ())  # type: ignore[union-attr]
+            if domain and domain in domains:  # type: ignore[operator]
+                if detected_at is None or float(match["started_at"]) < detected_at:  # type: ignore[arg-type]
+                    detected_at = float(match["started_at"])  # type: ignore[arg-type]
+
+        def _delta(stage_at: Optional[float]) -> Optional[float]:
+            if stage_at is None:
+                return None
+            return round((stage_at - submitted_at) * 1e3, 3)
+
+        lifecycles.append(
+            {
+                "domain": domain,
+                "client": client,
+                "trace_id": trace_id,
+                "submitted_at": round(submitted_at, 6),
+                "sct_ms": _delta(sct_at),
+                "merge_ms": _delta(merged_at),
+                "inclusion_ms": _delta(inclusion_at),
+                "detection_ms": _delta(detected_at),
+                "complete": None
+                not in (sct_at, merged_at, inclusion_at, detected_at),
+            }
+        )
+    lifecycles.sort(key=lambda item: (str(item["domain"]), str(item["trace_id"])))
+    return lifecycles
+
+
+def render_lifecycles(lifecycles: List[Dict[str, object]]) -> str:
+    """Tabular view of per-certificate lifecycle timelines."""
+    headers = ("certificate", "sct_ms", "merge_ms", "inclusion_ms", "detection_ms")
+    rows = [headers]
+    for item in lifecycles:
+        rows.append(
+            (
+                str(item["domain"]),
+                *(
+                    "-" if item[key] is None else f"{item[key]:.1f}"  # type: ignore[str-format]
+                    for key in ("sct_ms", "merge_ms", "inclusion_ms", "detection_ms")
+                ),
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[col]) if col == 0 else cell.rjust(widths[col])
+                for col, cell in enumerate(row)
+            )
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    complete = sum(1 for item in lifecycles if item["complete"])
+    lines.append(f"{complete}/{len(lifecycles)} certificates completed the full chain")
+    return "\n".join(lines)

@@ -308,79 +308,129 @@ class OpResult:
 
 @dataclass
 class ClientResult:
-    """Everything one client observed during the storm."""
+    """Everything one client observed during the storm.
+
+    ``spans`` carries the client's closed trace spans as plain dicts
+    (picklable), so process-pool workers ship their half of each trace
+    back to the coordinator for :class:`~repro.obs.TraceStore` assembly.
+    """
 
     kind: str
     name: str
     ops: List[OpResult] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+
+
+def _op_span_attrs(plan: ClientPlan, op: StormOp) -> Dict[str, object]:
+    """Attributes for one storm op's client root span.
+
+    The domain is read straight off the serialized chain dict —
+    mirroring ``Certificate.dns_names()[0]`` (subject CN, falling back
+    to the first DNS SAN) without rebuilding the certificate, since
+    this runs per op inside the timed storm path.
+    """
+    attrs: Dict[str, object] = {"client": plan.name}
+    if op.kind == "add_pre_chain" and op.chain:
+        leaf = op.chain[0]
+        domain = leaf.get("subject_cn") or next(
+            (value for kind, value in leaf.get("san", ()) if kind == "dns"),
+            None,
+        )
+        if domain:
+            attrs["domain"] = domain
+    elif op.kind == "await_inclusion":
+        attrs["leaves"] = len(op.leaves)
+    return attrs
 
 
 def _execute_plan(
-    base_url: str, plan: ClientPlan, timeout_s: float
+    base_url: str,
+    plan: ClientPlan,
+    timeout_s: float,
+    trace_seed: Optional[int] = None,
 ) -> ClientResult:
     """Run one client's ops over HTTP (module-level: process-picklable)."""
     from repro.ct.storage import certificate_from_dict
+    from repro.obs.trace import SpanTracer, maybe_span
 
-    client = LogClient(base_url, timeout=timeout_s, client_id=plan.name)
+    tracer: Optional[SpanTracer] = None
+    if trace_seed is not None:
+        # Seeding by (storm seed, client name) keeps every client's ID
+        # stream deterministic yet disjoint across the population.
+        tracer = SpanTracer(seed=trace_seed, name=f"storm:{plan.name}")
+    client = LogClient(
+        base_url, timeout=timeout_s, client_id=plan.name, tracer=tracer
+    )
     result = ClientResult(plan.kind, plan.name)
     for op in plan.ops:
         started = time.perf_counter()
         status = 200
         verified: Optional[bool] = None
         sth_body: Optional[Dict[str, object]] = None
-        try:
-            if op.kind == "get_sth":
-                body = client.get_sth()
-                verified = int(body["tree_size"]) >= 0
-                sth_body = {
-                    key: body[key]
-                    for key in (
-                        "tree_size",
-                        "timestamp",
-                        "sha256_root_hash",
-                        "tree_head_signature",
+        with maybe_span(
+            tracer,
+            f"storm.{op.kind}",
+            kind="client",
+            **_op_span_attrs(plan, op),
+        ) as root:
+            try:
+                if op.kind == "get_sth":
+                    body = client.get_sth()
+                    verified = int(body["tree_size"]) >= 0
+                    sth_body = {
+                        key: body[key]
+                        for key in (
+                            "tree_size",
+                            "timestamp",
+                            "sha256_root_hash",
+                            "tree_head_signature",
+                        )
+                        if key in body
+                    }
+                elif op.kind == "get_entries":
+                    entries = client.get_entries(op.start, op.end)
+                    # Pages must stay inside the requested window and,
+                    # when the plan pinned a tree size, inside the STH the
+                    # client is verifying against — a server racing
+                    # concurrent appends must not leak newer entries here.
+                    verified = len(entries) > 0 and all(
+                        op.start <= entry.index <= op.end for entry in entries
                     )
-                    if key in body
-                }
-            elif op.kind == "get_entries":
-                entries = client.get_entries(op.start, op.end)
-                # Pages must stay inside the requested window and,
-                # when the plan pinned a tree size, inside the STH the
-                # client is verifying against — a server racing
-                # concurrent appends must not leak newer entries here.
-                verified = len(entries) > 0 and all(
-                    op.start <= entry.index <= op.end for entry in entries
-                )
-                if op.tree_size:
-                    verified = verified and all(
-                        entry.index < op.tree_size for entry in entries
+                    if op.tree_size:
+                        verified = verified and all(
+                            entry.index < op.tree_size for entry in entries
+                        )
+                elif op.kind == "get_proof_by_hash":
+                    index, path = client.get_proof_by_hash(
+                        leaf_hash(op.leaf), op.tree_size
                     )
-            elif op.kind == "get_proof_by_hash":
-                index, path = client.get_proof_by_hash(
-                    leaf_hash(op.leaf), op.tree_size
-                )
-                verified = verify_inclusion_proof(
-                    op.leaf, index, op.tree_size, path, op.expected_root
-                )
-            elif op.kind == "get_sth_consistency":
-                proof = client.get_sth_consistency(op.first, op.second)
-                verified = verify_consistency_proof(
-                    op.first, op.second, op.old_root, op.expected_root, proof
-                )
-            elif op.kind == "add_pre_chain":
-                precert = certificate_from_dict(dict(op.chain[0]))
-                sct = client.add_pre_chain(precert, op.issuer_key_hash)
-                verified = sct.timestamp_ms > 0 and len(sct.signature) > 0
-            elif op.kind == "await_inclusion":
-                verified = _await_inclusion(client, op.leaves, timeout_s)
-            else:  # pragma: no cover - plan builder controls kinds
-                raise ValueError(f"unknown op kind {op.kind!r}")
-        except LogClientError as exc:
-            status = exc.status
-        except Exception as exc:  # socket errors, timeouts
-            status = -1
-            result.errors.append(f"{op.kind}: {exc!r}")
+                    verified = verify_inclusion_proof(
+                        op.leaf, index, op.tree_size, path, op.expected_root
+                    )
+                elif op.kind == "get_sth_consistency":
+                    proof = client.get_sth_consistency(op.first, op.second)
+                    verified = verify_consistency_proof(
+                        op.first, op.second, op.old_root, op.expected_root,
+                        proof,
+                    )
+                elif op.kind == "add_pre_chain":
+                    precert = certificate_from_dict(dict(op.chain[0]))
+                    sct = client.add_pre_chain(precert, op.issuer_key_hash)
+                    verified = sct.timestamp_ms > 0 and len(sct.signature) > 0
+                elif op.kind == "await_inclusion":
+                    verified = _await_inclusion(client, op.leaves, timeout_s)
+                else:  # pragma: no cover - plan builder controls kinds
+                    raise ValueError(f"unknown op kind {op.kind!r}")
+            except LogClientError as exc:
+                status = exc.status
+            except Exception as exc:  # socket errors, timeouts
+                status = -1
+                result.errors.append(f"{op.kind}: {exc!r}")
+            if root is not None:
+                root.set("status", status)
+                if verified is not None:
+                    root.set("verified", verified)
         result.ops.append(
             OpResult(
                 op.kind,
@@ -390,6 +440,8 @@ def _execute_plan(
                 sth_body,
             )
         )
+    if tracer is not None:
+        result.spans = tracer.to_records()
     return result
 
 
@@ -623,6 +675,7 @@ def run_storm(
     executor: str = "thread",
     workers: int = 8,
     timeout_s: float = 30.0,
+    trace_seed: Optional[int] = None,
 ) -> LoadStormReport:
     """Execute every client plan against a served log, concurrently.
 
@@ -631,6 +684,12 @@ def run_storm(
     plans are picklable by construction), ``"serial"`` in-line (for
     debugging).  Requests inside one client stay ordered; across
     clients everything races, exactly like the real population.
+
+    ``trace_seed`` turns on client-side tracing: every op runs under a
+    ``storm.<kind>`` root span, the trace context crosses the HTTP
+    boundary via the traceparent header, and each
+    :class:`ClientResult` ships its closed spans back as picklable
+    records (even from process-pool workers).
     """
     if executor not in STORM_EXECUTORS:
         raise ValueError(
@@ -639,7 +698,8 @@ def run_storm(
     started = time.perf_counter()
     if executor == "serial" or workers <= 1 or len(plans) <= 1:
         results = [
-            _execute_plan(base_url, plan, timeout_s) for plan in plans
+            _execute_plan(base_url, plan, timeout_s, trace_seed)
+            for plan in plans
         ]
     else:
         pool_cls = (
@@ -647,7 +707,8 @@ def run_storm(
         )
         with pool_cls(max_workers=min(workers, len(plans))) as pool:
             futures = [
-                pool.submit(_execute_plan, base_url, plan, timeout_s)
+                pool.submit(_execute_plan, base_url, plan, timeout_s,
+                            trace_seed)
                 for plan in plans
             ]
             results = [future.result() for future in futures]

@@ -23,7 +23,7 @@ from repro.ct.monitor import (
     as_transport,
     watch_logs,
 )
-from repro.ct.server import LogServer
+from repro.ct.server import LogClientError, LogServer
 from repro.resilience import FlakyLog, RetryPolicy
 from repro.util.rng import SeededRng
 from repro.x509.ca import CertificateAuthority, IssuanceRequest
@@ -170,6 +170,64 @@ def test_http_transport_pages_through_entry_limit(log_with_entries):
     assert stats["entries"] == 5
     assert stats["requests"] >= 3  # five entries, two per page
     assert stats["bytes"] > 0
+
+
+def test_http_wire_ledger_exact_under_forced_retries(log_with_entries):
+    # A fault mid-range forces the monitor's retry layer to refetch the
+    # whole window.  The wire ledger must count exactly what crossed
+    # the wire: the page received before the fault counts once, the
+    # refetched pages count again, nothing is double-counted beyond
+    # actual transfer.
+    def fail_second_page_once():
+        calls = {"n": 0}
+
+        def predicate(method, call_args):
+            if method != "get_entries" or call_args[0] != 2:
+                return False
+            calls["n"] += 1
+            return calls["n"] == 1
+
+        return predicate
+
+    def run(log, retry):
+        monitor = StreamingMonitor("s", SeededRng(21), retry=retry)
+        with LogServer([log], page_limit=2) as server:
+            transport = HttpTransport(
+                server.log_url(log_with_entries.name),
+                log_with_entries.name,
+                page_size=2,
+            )
+            observations = monitor.observe(transport)
+        return observations, transport.stats()
+
+    control_obs, control = run(log_with_entries, None)
+    assert control == {"requests": 4, "entries": 5, "bytes": control["bytes"]}
+
+    flaky = FlakyLog(
+        log_with_entries,
+        SeededRng(22),
+        failure_rate=0.0,
+        fail_when=fail_second_page_once(),
+    )
+    # Over HTTP a server-side fault surfaces as a LogClientError (the
+    # 500 response), so the policy must list it as retryable.
+    faulty_obs, faulty = run(
+        flaky,
+        RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, retryable=(LogClientError,)
+        ),
+    )
+    # The monitor's output is identical — the retry hid the fault.
+    assert [o.entry.index for o in faulty_obs] == [
+        o.entry.index for o in control_obs
+    ]
+    # get-sth, then pages (0,1) ok / (2,3) fault / full refetch (0,1),
+    # (2,3), (4,4): six requests, seven entry bodies over the wire.
+    assert faulty["requests"] == control["requests"] + 2
+    assert faulty["entries"] == control["entries"] + 2
+    # Bytes also count the failed attempt's error body plus the
+    # refetched page, so they strictly exceed the clean run's total.
+    assert faulty["bytes"] > control["bytes"]
 
 
 def test_http_transport_failure_counts_monitor_error(log_with_entries):

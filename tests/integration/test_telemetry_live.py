@@ -19,6 +19,7 @@ from repro.ct.feed import CertFeed
 from repro.ct.log import CTLog
 from repro.ct.loglist import log_key
 from repro.obs import (
+    EVENT_SCHEMA_VERSION,
     EventLog,
     MetricsRegistry,
     TelemetryServer,
@@ -117,7 +118,7 @@ def test_scrape_feed_loop_while_running():
             assert status == 200
             tail = [json.loads(line) for line in body.splitlines()]
             assert len(tail) == 4
-            assert all(event["v"] == 1 for event in tail)
+            assert all(event["v"] == EVENT_SCHEMA_VERSION for event in tail)
         finally:
             scraped.set()
             worker.join(timeout=60)

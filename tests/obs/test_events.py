@@ -10,6 +10,7 @@ from repro.ct.loglist import log_key
 from repro.ct.monitor import StreamingMonitor
 from repro.obs import (
     EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
     EventLog,
     MetricsRegistry,
     MetricsSnapshot,
@@ -34,7 +35,7 @@ class TestEventLog:
         events = EventLog(run_id="abc", clock=lambda: 12.3456789)
         first = events.emit("run_start", artifact="fig1a")
         second = events.emit("run_finish", ok=True)
-        assert first["v"] == 1
+        assert first["v"] == EVENT_SCHEMA_VERSION == 2
         assert first["run"] == "abc"
         assert first["ts"] == 12.345679  # rounded to microseconds
         assert [first["seq"], second["seq"]] == [0, 1]

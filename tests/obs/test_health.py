@@ -7,9 +7,11 @@ import pytest
 from repro.obs import (
     DEFAULT_POLICY,
     HealthReport,
+    MetricsRegistry,
     SloPolicy,
     evaluate_log,
     evaluate_stats,
+    evaluate_write_path,
 )
 from repro.obs.health import VERDICTS
 
@@ -137,3 +139,81 @@ class TestHealthReport:
 def test_same_counters_same_report():
     stats = {"a": {"successes": 3, "retries": 1}}
     assert evaluate_stats(stats) == evaluate_stats(stats)
+
+
+class TestWritePath:
+    def _registry(self):
+        registry = MetricsRegistry()
+        # Two sequenced logs with very different worst merge lags.
+        registry.observe("sequencer.merge_lag_seconds", 0.4, log="fast")
+        registry.inc("sequencer.merges", log="fast")
+        registry.inc("sequencer.entries_merged", 5, log="fast")
+        registry.observe("sequencer.merge_lag_seconds", 45.0, log="slow")
+        registry.observe("sequencer.merge_lag_seconds", 2.0, log="slow")
+        registry.inc("sequencer.merges", 2, log="slow")
+        registry.inc("sequencer.entries_merged", 8, log="slow")
+        return registry
+
+    def test_merge_lag_thresholds(self):
+        registry = self._registry()
+        report = evaluate_write_path(registry.snapshot())
+        assert report.verdicts() == {"fast": "healthy", "slow": "degraded"}
+        assert report.overall == "degraded"
+        rows = {row.name: row for row in report.rows}
+        assert rows["fast"].max_lag_s == pytest.approx(0.4)
+        assert rows["slow"].max_lag_s == pytest.approx(45.0)
+        assert rows["slow"].merges == 2
+        assert rows["slow"].entries_merged == 8
+
+    def test_merge_lag_failing_threshold(self):
+        registry = self._registry()
+        registry.observe("sequencer.merge_lag_seconds", 500.0, log="slow")
+        report = evaluate_write_path(registry.snapshot())
+        assert report.verdicts()["slow"] == "failing"
+        assert not report.ok
+
+    def test_overload_ratio_rows(self):
+        registry = MetricsRegistry()
+        for _ in range(18):
+            registry.inc("log_server.responses", endpoint="get-sth", status=200)
+        registry.inc("log_server.responses", endpoint="add-pre-chain", status=429)
+        registry.inc("log_server.responses", endpoint="add-pre-chain", status=410)
+        report = evaluate_write_path(registry.snapshot())
+        rows = {row.name: row for row in report.rows}
+        assert rows["log_server"].verdict == "degraded"  # 2/20 = 10% > 5%
+        assert rows["log_server"].responses == 20
+        assert rows["log_server"].overloaded == 2
+        # Mostly shed -> failing.
+        for _ in range(40):
+            registry.inc(
+                "log_server.responses", endpoint="add-pre-chain", status=429
+            )
+        worse = evaluate_write_path(registry.snapshot())
+        assert worse.verdicts()["log_server"] == "failing"
+
+    def test_empty_snapshot_yields_no_rows(self):
+        report = evaluate_write_path(MetricsRegistry().snapshot())
+        assert report.rows == ()
+        assert report.overall == "healthy"
+        assert report.ok
+
+    def test_write_path_policy_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(degraded_merge_lag_s=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(failing_merge_lag_s=1.0, degraded_merge_lag_s=5.0)
+        with pytest.raises(ValueError):
+            SloPolicy(max_overload_ratio=1.5)
+        with pytest.raises(ValueError):
+            SloPolicy(max_overload_ratio=0.4, failing_overload_ratio=0.1)
+
+    def test_report_serializes_and_renders(self):
+        registry = self._registry()
+        report = evaluate_write_path(registry.snapshot())
+        payload = report.to_dict()
+        assert payload["version"] == 1
+        assert payload["overall"] == "degraded"
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+        text = report.render()
+        assert text.splitlines()[0].startswith("Write-path health")
+        assert any("slow" in line and "degraded" in line for line in text.splitlines())

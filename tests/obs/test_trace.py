@@ -1,8 +1,9 @@
 """Unit tests for the span tracer."""
 
 import json
+import threading
 
-from repro.obs import SpanTracer, maybe_span
+from repro.obs import EventLog, SpanTracer, TraceContext, maybe_span
 
 
 def test_spans_record_nesting_and_order():
@@ -23,6 +24,50 @@ def test_spans_record_nesting_and_order():
     assert outer.duration_s >= inner_a.duration_s
 
 
+def test_spans_carry_trace_context():
+    tracer = SpanTracer(seed=7, name="t")
+    with tracer.span("outer") as outer:
+        assert tracer.current_context() == outer.context
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id  # one trace
+            assert inner.parent_span_id == outer.span_id
+            assert tracer.current_context() == inner.context
+    with tracer.span("other-root") as other:
+        assert other.trace_id != outer.trace_id  # new trace
+        assert other.parent_span_id is None
+    assert tracer.current_context() is None
+    assert tracer.spans[0].kind == "internal"
+
+
+def test_seeded_ids_are_deterministic():
+    first = SpanTracer(seed=11, name="same")
+    second = SpanTracer(seed=11, name="same")
+    other = SpanTracer(seed=11, name="different")
+    for t in (first, second, other):
+        with t.span("a"):
+            with t.span("b"):
+                pass
+    assert [s.span_id for s in first.spans] == [s.span_id for s in second.spans]
+    assert first.spans[0].trace_id == second.spans[0].trace_id
+    assert other.spans[0].span_id != first.spans[0].span_id
+
+
+def test_remote_parent_and_links():
+    tracer = SpanTracer(seed=3)
+    remote = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    link = TraceContext(trace_id="12" * 16, span_id="34" * 8)
+    with tracer.span("server.request", kind="server", parent=remote):
+        pass
+    with tracer.span("merge", kind="consumer", links=[link]) as merge:
+        pass
+    server = tracer.spans[0]
+    assert server.trace_id == remote.trace_id
+    assert server.parent_span_id == remote.span_id
+    assert server.parent is None  # no *local* parent
+    assert server.kind == "server"
+    assert merge.links == (link.to_dict(),)
+
+
 def test_span_duration_set_even_on_error():
     tracer = SpanTracer()
     try:
@@ -31,7 +76,7 @@ def test_span_duration_set_even_on_error():
     except RuntimeError:
         pass
     assert tracer.spans[0].duration_s is not None
-    assert tracer._stack == []  # stack unwound
+    assert tracer.current_context() is None  # stack unwound
 
 
 def test_span_set_attribute():
@@ -63,6 +108,102 @@ def test_render_indents_by_depth():
     assert "ms" in lines[0]
 
 
+def test_render_uses_parent_links_not_start_order():
+    # Two threads interleave: global start order is root-a, root-b,
+    # child-a — start order no longer implies tree order, but the
+    # rendered tree must still nest child-a under root-a.
+    tracer = SpanTracer()
+    started = threading.Event()
+    release = threading.Event()
+
+    def slow_root():
+        with tracer.span("root-a"):
+            started.set()
+            release.wait(timeout=60)
+            with tracer.span("child-a"):
+                pass
+
+    worker = threading.Thread(target=slow_root)
+    worker.start()
+    assert started.wait(timeout=60)
+    with tracer.span("root-b"):
+        pass
+    release.set()
+    worker.join(timeout=60)
+    names = [span.name for span in tracer.spans]
+    assert names == ["root-a", "root-b", "child-a"]  # interleaved
+    lines = tracer.render().splitlines()
+    assert lines[0].endswith("root-a")
+    assert lines[1].endswith("  child-a")  # nested under its parent
+    assert lines[2].endswith("root-b")
+
+
+def test_concurrent_spans_keep_per_thread_stacks():
+    # Regression: one tracer shared by many threads (the LogServer
+    # middleware case) must not cross-wire parents between threads.
+    tracer = SpanTracer(seed=5)
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def hammer(worker_id):
+        try:
+            barrier.wait(timeout=60)
+            for i in range(25):
+                with tracer.span(f"outer-{worker_id}", worker=worker_id) as outer:
+                    with tracer.span(f"inner-{worker_id}-{i}") as inner:
+                        assert inner.parent == outer.index
+                        assert inner.parent_span_id == outer.span_id
+                        assert inner.trace_id == outer.trace_id
+                assert tracer.current_context() is None
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert errors == []
+    assert len(tracer.spans) == 8 * 25 * 2
+    assert len({span.span_id for span in tracer.spans}) == len(tracer.spans)
+    assert all(span.duration_s is not None for span in tracer.spans)
+    for span in tracer.spans:
+        if span.parent is not None:
+            parent = tracer.spans[span.parent]
+            # Parent/child always belong to the same worker's trace.
+            assert parent.attrs["worker"] == int(span.name.split("-")[1])
+
+
+def test_closed_spans_serialize_as_span_events():
+    events = EventLog()
+    tracer = SpanTracer(seed=9, events=events)
+    with tracer.span("outer", n=1):
+        with tracer.span("inner"):
+            pass
+    kinds = [event["kind"] for event in events.tail(10)]
+    assert kinds == ["span", "span"]  # inner closes first
+    inner_event, outer_event = events.tail(10)
+    assert inner_event["name"] == "inner"
+    assert outer_event["name"] == "outer"
+    assert outer_event["span_kind"] == "internal"
+    assert inner_event["parent_span_id"] == outer_event["span_id"]
+    assert outer_event["attrs"] == {"n": 1}
+
+
+def test_record_remote_files_and_emits():
+    events = EventLog()
+    worker = SpanTracer(seed=1, name="worker")
+    with worker.span("storm.op", client="c1"):
+        pass
+    home = SpanTracer(seed=1, name="home", events=events)
+    shipped = worker.to_records()
+    span = home.record_remote(shipped[0])
+    assert span.name == "storm.op"
+    assert span.span_id == worker.spans[0].span_id
+    assert home.spans[-1] is span
+    assert events.tail(1)[0]["name"] == "storm.op"
+
+
 def test_maybe_span_with_no_tracer():
     with maybe_span(None, "ignored", anything=1) as span:
         assert span is None
@@ -70,6 +211,7 @@ def test_maybe_span_with_no_tracer():
 
 def test_maybe_span_with_tracer():
     tracer = SpanTracer()
-    with maybe_span(tracer, "real") as span:
+    with maybe_span(tracer, "real", kind="client") as span:
         assert span is not None
     assert tracer.spans[0].name == "real"
+    assert tracer.spans[0].kind == "client"

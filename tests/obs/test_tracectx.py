@@ -1,0 +1,183 @@
+"""Unit tests for trace-context propagation and trace assembly."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    SpanTracer,
+    TraceContext,
+    TraceIdSource,
+    TraceStore,
+    certificate_lifecycles,
+    normalize_span_record,
+    render_lifecycles,
+)
+from repro.obs.tracectx import SPAN_ID_HEX, TRACE_ID_HEX
+
+
+class TestTraceContext:
+    def test_header_round_trip(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        header = ctx.to_header()
+        assert header == "ab" * 16 + "-" + "cd" * 8
+        assert TraceContext.parse(header) == ctx
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            None,
+            "nonsense",
+            "ab" * 16,  # missing span id
+            "ab" * 16 + "-" + "cd" * 7,  # short span id
+            "xy" * 16 + "-" + "cd" * 8,  # non-hex trace id
+            "ab" * 16 + "-" + "cd" * 8 + "-extra",
+        ],
+    )
+    def test_parse_rejects_invalid(self, header):
+        assert TraceContext.parse(header) is None
+
+    def test_parse_normalizes_case_and_whitespace(self):
+        header = ("AB" * 16 + "-" + "CD" * 8).upper()
+        ctx = TraceContext.parse(f"  {header}  ")
+        assert ctx is not None
+        assert ctx.trace_id == "ab" * 16
+
+
+class TestTraceIdSource:
+    def test_seeded_streams_replay(self):
+        a = TraceIdSource(seed=42, name="srv")
+        b = TraceIdSource(seed=42, name="srv")
+        assert [a.trace_id(), a.span_id()] == [b.trace_id(), b.span_id()]
+
+    def test_distinct_names_diverge(self):
+        a = TraceIdSource(seed=42, name="srv")
+        b = TraceIdSource(seed=42, name="client")
+        assert a.trace_id() != b.trace_id()
+
+    def test_id_widths_are_wire_valid(self):
+        source = TraceIdSource(seed=1)
+        trace_id, span_id = source.trace_id(), source.span_id()
+        assert len(trace_id) == TRACE_ID_HEX
+        assert len(span_id) == SPAN_ID_HEX
+        assert TraceContext.parse(f"{trace_id}-{span_id}") is not None
+
+    def test_unseeded_sources_do_not_collide(self):
+        assert TraceIdSource().trace_id() != TraceIdSource().trace_id()
+
+
+class TestTraceStore:
+    def test_groups_by_trace_and_sorts_by_start(self):
+        store = TraceStore()
+        store.add({"name": "b", "trace_id": "t1", "span_id": "s2",
+                   "parent_span_id": "s1", "started_at": 2.0, "duration_ms": 1.0})
+        store.add({"name": "a", "trace_id": "t1", "span_id": "s1",
+                   "parent_span_id": None, "started_at": 1.0, "duration_ms": 5.0})
+        store.add({"name": "c", "trace_id": "t2", "span_id": "s3",
+                   "parent_span_id": None, "started_at": 0.5, "duration_ms": 1.0})
+        assert store.trace_ids() == ["t1", "t2"]
+        assert [s["name"] for s in store.spans_for("t1")] == ["a", "b"]
+        assert len(store) == 3
+        assert store.orphan_spans() == []
+
+    def test_orphans_are_unresolved_parents(self):
+        store = TraceStore()
+        stored = store.add({"name": "child", "trace_id": "t1", "span_id": "s2",
+                            "parent_span_id": "missing", "started_at": 1.0,
+                            "duration_ms": 1.0})
+        assert store.orphan_spans() == [stored]
+
+    def test_live_store_equals_event_replay(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = EventLog(path)
+        tracer = SpanTracer(seed=4, events=events)
+        with tracer.span("outer", domains=("a.example", "b.example")):
+            with tracer.span("inner", count=3):
+                pass
+        live = TraceStore()
+        live.add_many(tracer.to_records())
+        replayed = TraceStore.from_events(
+            json.loads(line) for line in path.read_text().splitlines()
+        )
+        assert live == replayed
+        assert replayed.orphan_spans() == []
+        assert len(replayed) == 2
+
+    def test_normalize_accepts_span_events_and_span_dicts(self):
+        tracer = SpanTracer(seed=2)
+        with tracer.span("x", kind="client"):
+            pass
+        from_dict = normalize_span_record(tracer.spans[0].to_dict())
+        from_record = normalize_span_record(tracer.spans[0].to_record())
+        assert from_dict == from_record
+        assert from_dict["kind"] == "client"
+        assert from_dict["duration_ms"] is not None
+        event_style = dict(from_record)
+        event_style["span_kind"] = event_style.pop("kind")
+        assert normalize_span_record(event_style)["kind"] == "client"
+
+
+def _span(name, trace_id, span_id, started_at, duration_ms=1.0,
+          parent_span_id=None, attrs=None, links=()):
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_span_id": parent_span_id,
+        "kind": "internal",
+        "started_at": started_at,
+        "duration_ms": duration_ms,
+        "attrs": attrs or {},
+        "links": list(links),
+    }
+
+
+class TestCertificateLifecycles:
+    def _store(self):
+        store = TraceStore()
+        # Client submit span (root) -> server child -> merge link.
+        store.add(_span("storm.add_pre_chain", "t1", "c1", 10.0, 50.0,
+                        attrs={"domain": "a.example", "client": "sub1"}))
+        store.add(_span("server.add-pre-chain", "t1", "v1", 10.01, 20.0,
+                        parent_span_id="c1"))
+        store.add(_span("sequencer.merge", "m1", "g1", 10.2, 30.0,
+                        links=[{"trace_id": "t1", "span_id": "v1"}]))
+        store.add(_span("storm.await_inclusion", "t2", "w1", 10.3, 100.0,
+                        attrs={"client": "sub1", "leaves": 1}))
+        store.add(_span("monitor.match", "t3", "d1", 11.0, 1.0,
+                        attrs={"domains": ["a.example"], "monitor": "lw0"}))
+        return store
+
+    def test_full_chain_decomposes(self):
+        lifecycles = certificate_lifecycles(self._store())
+        assert len(lifecycles) == 1
+        item = lifecycles[0]
+        assert item["domain"] == "a.example"
+        assert item["complete"] is True
+        # submit at 10.0; server closes at 10.03; merge at 10.23;
+        # inclusion at 10.4; detection starts at 11.0.
+        assert item["sct_ms"] == pytest.approx(30.0)
+        assert item["merge_ms"] == pytest.approx(230.0)
+        assert item["inclusion_ms"] == pytest.approx(400.0)
+        assert item["detection_ms"] == pytest.approx(1000.0)
+        # Stages are ordered: each later stage is >= the previous.
+        assert (item["sct_ms"] <= item["merge_ms"]
+                <= item["inclusion_ms"] <= item["detection_ms"])
+
+    def test_missing_stages_are_none(self):
+        store = TraceStore()
+        store.add(_span("storm.add_pre_chain", "t1", "c1", 10.0, 50.0,
+                        attrs={"domain": "b.example", "client": "sub2"}))
+        item = certificate_lifecycles(store)[0]
+        assert item["sct_ms"] is None
+        assert item["merge_ms"] is None
+        assert item["complete"] is False
+
+    def test_render_lifecycles_tabulates(self):
+        text = render_lifecycles(certificate_lifecycles(self._store()))
+        lines = text.splitlines()
+        assert lines[0].startswith("certificate")
+        assert any("a.example" in line for line in lines)
+        assert lines[-1] == "1/1 certificates completed the full chain"

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import COMMANDS, build_parser, main
-from repro.obs import MetricsSnapshot
+from repro.obs import EVENT_SCHEMA_VERSION, MetricsSnapshot
 
 
 def run_cli(capsys, *argv):
@@ -167,7 +167,7 @@ def test_all_commands_registered():
         "fig1a", "fig1b", "fig1c", "sec2", "fig2", "table1", "sec32",
         "sec33", "sec34", "table2", "sec43", "table3", "table4",
         "threatintel", "projection", "status", "serve", "loadstorm",
-        "watch", "gossip",
+        "watch", "gossip", "lifecycle",
     }
 
 
@@ -221,10 +221,10 @@ def test_events_out_writes_live_jsonl(capsys, tmp_path):
     assert kinds[0] == "run_start"
     assert kinds[-1] == "run_finish"
     assert "map_start" in kinds and "shard_finish" in kinds
-    # Envelope invariants: one run id, gapless seq, schema version 1.
+    # Envelope invariants: one run id, gapless seq, current schema.
     assert len({event["run"] for event in events}) == 1
     assert [event["seq"] for event in events] == list(range(len(events)))
-    assert all(event["v"] == 1 for event in events)
+    assert all(event["v"] == EVENT_SCHEMA_VERSION for event in events)
     # The event stream replays to the snapshot's pipeline counters.
     snap = MetricsSnapshot.from_json(metrics_path.read_text())
     replayed = replay_counters(events)
